@@ -1,0 +1,25 @@
+//! Baseline auto-scaling policies the paper compares against (§V).
+//!
+//! * [`ds2`] — DS2 (Kalavri et al., OSDI'18): scale each operator to
+//!   `⌈target rate / true per-instance rate⌉`, assuming performance grows
+//!   linearly with instances. Fast, but the linear assumption bites when
+//!   added instances interfere, and without AuTraScale's extra
+//!   termination condition it loops on externally-capped jobs.
+//! * [`drs`] — DRS (Fu et al.): model every operator as an M/M/k queue,
+//!   predict end-to-end latency with a Jackson-network sum, and greedily
+//!   add instances where they help the predicted latency most until the
+//!   target is met. Evaluated with both the **observed** processing rate
+//!   (as published) and the **true** processing rate (paper §V-C runs
+//!   both to isolate the metric's effect).
+//! * [`queueing`] — the Erlang-C machinery DRS builds on.
+//!
+//! All policies drive the cluster through
+//! [`autrascale_flinkctl::JobControl`], exactly like AuTraScale itself, so
+//! comparisons exercise identical control paths.
+
+pub mod drs;
+pub mod ds2;
+pub mod queueing;
+
+pub use drs::{DrsConfig, DrsOutcome, DrsPolicy, RateMetric};
+pub use ds2::{Ds2Config, Ds2Outcome, Ds2Policy};

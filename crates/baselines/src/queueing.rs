@@ -1,0 +1,125 @@
+//! M/M/k queueing formulas (Erlang C) for the DRS latency model.
+
+/// Erlang-C probability that an arriving job must wait, for `k` servers
+/// at offered load `a = λ/μ`.
+///
+/// Computed with the numerically stable iterative form of the Erlang-B
+/// recurrence followed by the B→C conversion. Returns 1.0 when the system
+/// is unstable (`a ≥ k`).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `a` is negative.
+pub fn erlang_c(k: u32, a: f64) -> f64 {
+    assert!(k > 0, "erlang_c: need at least one server");
+    assert!(a >= 0.0, "erlang_c: negative offered load");
+    if a == 0.0 {
+        return 0.0;
+    }
+    let rho = a / f64::from(k);
+    if rho >= 1.0 {
+        return 1.0;
+    }
+    // Erlang B via the stable recurrence B(0) = 1, B(n) = aB/(n + aB).
+    let mut b = 1.0;
+    for n in 1..=k {
+        b = a * b / (f64::from(n) + a * b);
+    }
+    // C = B / (1 - ρ(1 - B)).
+    b / (1.0 - rho * (1.0 - b))
+}
+
+/// Expected sojourn time (waiting + service) in seconds of an M/M/k queue
+/// with arrival rate `lambda` (jobs/s) and per-server service rate `mu`
+/// (jobs/s). `None` when the system is unstable (`λ ≥ k·μ`).
+pub fn mmk_sojourn_time(k: u32, lambda: f64, mu: f64) -> Option<f64> {
+    assert!(mu > 0.0, "service rate must be positive");
+    if lambda <= 0.0 {
+        return Some(1.0 / mu);
+    }
+    let a = lambda / mu;
+    if a >= f64::from(k) {
+        return None;
+    }
+    let c = erlang_c(k, a);
+    let wait = c / (f64::from(k) * mu - lambda);
+    Some(wait + 1.0 / mu)
+}
+
+/// Minimum number of servers for stability at the given rates, i.e. the
+/// smallest `k` with `k·μ > λ`. Saturates at `k_max`.
+pub fn min_stable_servers(lambda: f64, mu: f64, k_max: u32) -> u32 {
+    assert!(mu > 0.0, "service rate must be positive");
+    if lambda <= 0.0 {
+        return 1;
+    }
+    let k = (lambda / mu).floor() as u32 + 1;
+    k.clamp(1, k_max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_c_single_server_equals_rho() {
+        // For M/M/1, P(wait) = ρ.
+        for rho in [0.1, 0.5, 0.9] {
+            assert!((erlang_c(1, rho) - rho).abs() < 1e-12, "rho={rho}");
+        }
+    }
+
+    #[test]
+    fn erlang_c_known_value() {
+        // Classic table value: k=5, a=4 (ρ=0.8) ⇒ C ≈ 0.5541.
+        let c = erlang_c(5, 4.0);
+        assert!((c - 0.5541).abs() < 5e-4, "C = {c}");
+    }
+
+    #[test]
+    fn erlang_c_bounds_and_saturation() {
+        assert_eq!(erlang_c(3, 0.0), 0.0);
+        assert_eq!(erlang_c(2, 2.0), 1.0);
+        assert_eq!(erlang_c(2, 5.0), 1.0);
+        let c = erlang_c(10, 5.0);
+        assert!((0.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn mm1_sojourn_matches_closed_form() {
+        // M/M/1: W = 1/(μ - λ).
+        let w = mmk_sojourn_time(1, 4.0, 10.0).unwrap();
+        assert!((w - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sojourn_unstable_is_none() {
+        assert_eq!(mmk_sojourn_time(2, 20.0, 10.0), None);
+        assert_eq!(mmk_sojourn_time(2, 25.0, 10.0), None);
+    }
+
+    #[test]
+    fn sojourn_decreases_with_servers() {
+        let w2 = mmk_sojourn_time(2, 15.0, 10.0).unwrap();
+        let w4 = mmk_sojourn_time(4, 15.0, 10.0).unwrap();
+        let w8 = mmk_sojourn_time(8, 15.0, 10.0).unwrap();
+        assert!(w2 > w4);
+        assert!(w4 > w8);
+        // Never below pure service time.
+        assert!(w8 >= 0.1);
+    }
+
+    #[test]
+    fn sojourn_idle_queue_is_service_time() {
+        assert_eq!(mmk_sojourn_time(3, 0.0, 5.0), Some(0.2));
+    }
+
+    #[test]
+    fn min_stable_servers_examples() {
+        assert_eq!(min_stable_servers(0.0, 10.0, 50), 1);
+        assert_eq!(min_stable_servers(9.0, 10.0, 50), 1);
+        assert_eq!(min_stable_servers(10.0, 10.0, 50), 2);
+        assert_eq!(min_stable_servers(35.0, 10.0, 50), 4);
+        assert_eq!(min_stable_servers(1000.0, 10.0, 50), 50);
+    }
+}

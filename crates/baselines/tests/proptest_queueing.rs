@@ -1,0 +1,80 @@
+//! Property-based tests for the M/M/k queueing kernels DRS builds on.
+
+use autrascale_baselines::queueing::{erlang_c, min_stable_servers, mmk_sojourn_time};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Erlang C is a probability.
+    #[test]
+    fn erlang_c_is_probability(k in 1u32..100, a in 0.0f64..200.0) {
+        let c = erlang_c(k, a);
+        prop_assert!((0.0..=1.0).contains(&c), "C({k}, {a}) = {c}");
+    }
+
+    /// More servers at the same offered load wait less.
+    #[test]
+    fn erlang_c_decreases_in_servers(k in 1u32..50, a in 0.01f64..40.0) {
+        let c1 = erlang_c(k, a);
+        let c2 = erlang_c(k + 1, a);
+        prop_assert!(c2 <= c1 + 1e-12, "C({k})={c1} C({})={c2}", k + 1);
+    }
+
+    /// Higher offered load waits more (fixed servers).
+    #[test]
+    fn erlang_c_increases_in_load(k in 1u32..50, a in 0.01f64..30.0, da in 0.0f64..10.0) {
+        let c1 = erlang_c(k, a);
+        let c2 = erlang_c(k, a + da);
+        prop_assert!(c2 >= c1 - 1e-12);
+    }
+
+    /// Sojourn time, when defined, is at least the pure service time and
+    /// finite; undefined exactly when unstable.
+    #[test]
+    fn sojourn_dominates_service_time(
+        k in 1u32..50,
+        lambda in 0.0f64..100.0,
+        mu in 0.1f64..50.0,
+    ) {
+        match mmk_sojourn_time(k, lambda, mu) {
+            Some(w) => {
+                prop_assert!(w >= 1.0 / mu - 1e-12, "W {w} < 1/mu {}", 1.0 / mu);
+                prop_assert!(w.is_finite());
+                prop_assert!(lambda < f64::from(k) * mu);
+            }
+            None => prop_assert!(lambda >= f64::from(k) * mu - 1e-9),
+        }
+    }
+
+    /// Adding a server never increases the sojourn time.
+    #[test]
+    fn sojourn_monotone_in_servers(
+        k in 1u32..30,
+        lambda in 0.1f64..50.0,
+        mu in 0.5f64..20.0,
+    ) {
+        if let Some(w1) = mmk_sojourn_time(k, lambda, mu) {
+            let w2 = mmk_sojourn_time(k + 1, lambda, mu).expect("still stable");
+            prop_assert!(w2 <= w1 + 1e-12, "W({k})={w1} W({})={w2}", k + 1);
+        }
+    }
+
+    /// `min_stable_servers` really is minimal: stable at k, unstable at
+    /// k−1 (unless clamped).
+    #[test]
+    fn min_stable_is_minimal(lambda in 0.0f64..500.0, mu in 0.1f64..50.0) {
+        let k_max = 1000;
+        let k = min_stable_servers(lambda, mu, k_max);
+        prop_assert!(k >= 1);
+        if k < k_max {
+            prop_assert!(f64::from(k) * mu > lambda, "k={k} not stable");
+            if k > 1 {
+                prop_assert!(
+                    f64::from(k - 1) * mu <= lambda + 1e-9,
+                    "k−1={} already stable", k - 1
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Bootstrap-sample designs (paper §III-D).
+//!
+//! The initial training set of AuTraScale's surrogate has two families:
+//!
+//! 1. **Uniform-parallelism samples** — all operators share a parallelism;
+//!    the shared value sweeps from `k'_max` (the largest component of the
+//!    throughput-optimal configuration) to `P_max` in `M` evenly spaced
+//!    steps. These let the model perceive the coarse QoS landscape and
+//!    reveal whether the current resources can meet the QoS target at all.
+//! 2. **One-hot-maximum samples** — one operator is raised to `P_max` while
+//!    the others stay at the base configuration `k'`; there are `N` of
+//!    these (one per operator). These expose each operator's individual
+//!    impact on QoS.
+
+use crate::space::SearchSpace;
+
+/// The paper's combined bootstrap design.
+#[derive(Debug, Clone)]
+pub struct BootstrapDesign {
+    /// Family 1: uniform-parallelism sweep samples.
+    pub uniform: Vec<Vec<u32>>,
+    /// Family 2: per-operator one-hot-maximum samples.
+    pub one_hot_max: Vec<Vec<u32>>,
+}
+
+impl BootstrapDesign {
+    /// All samples in evaluation order (uniform sweep first, as the paper
+    /// uses them to judge feasibility before refining per-operator).
+    pub fn all(&self) -> Vec<Vec<u32>> {
+        let mut out = self.uniform.clone();
+        out.extend(self.one_hot_max.iter().cloned());
+        out
+    }
+
+    /// Total number of bootstrap samples.
+    pub fn len(&self) -> usize {
+        self.uniform.len() + self.one_hot_max.len()
+    }
+
+    /// `true` when the design is empty (never produced by
+    /// [`bootstrap_set`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Builds the paper's bootstrap design for base configuration `base` (the
+/// throughput-optimal `k'`), ceiling `p_max`, and `m` uniform sweep samples.
+///
+/// Duplicates (e.g. when `p_max` is close to the base) are removed while
+/// preserving order.
+pub fn bootstrap_set(base: &[u32], p_max: u32, m: usize) -> BootstrapDesign {
+    assert!(!base.is_empty(), "bootstrap_set: empty base configuration");
+    let n = base.len();
+    let k_max = base.iter().copied().max().unwrap_or(1).min(p_max);
+
+    // The base configuration `k'` itself leads the design: the score
+    // function is anchored at it (F = 1 there when latency is met), so the
+    // surrogate must know its true value, and the job is already running
+    // it after throughput optimization — the sample is nearly free.
+    let mut uniform = Vec::with_capacity(m + 1);
+    uniform.push(base.iter().map(|&b| b.clamp(1, p_max)).collect::<Vec<u32>>());
+
+    // Family 1: parallelism shared by all operators, swept from k_max to
+    // p_max over m samples ("divide the remaining parallelism into M-1
+    // parts, each of which is called an interval").
+    if m > 0 {
+        let remaining = (p_max - k_max) as f64;
+        let steps = (m - 1).max(1) as f64;
+        for i in 0..m {
+            let value = if m == 1 {
+                k_max
+            } else {
+                (k_max as f64 + i as f64 * remaining / steps).round() as u32
+            };
+            uniform.push(vec![value.clamp(1, p_max); n]);
+        }
+    }
+
+    // Family 2: one operator at p_max, the rest at the base configuration.
+    let mut one_hot_max = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut sample: Vec<u32> = base.iter().map(|&b| b.min(p_max)).collect();
+        sample[i] = p_max;
+        one_hot_max.push(sample);
+    }
+
+    dedup_in_place(&mut uniform);
+    dedup_in_place(&mut one_hot_max);
+    // Also drop one-hot samples already present in the uniform family.
+    one_hot_max.retain(|s| !uniform.contains(s));
+
+    BootstrapDesign { uniform, one_hot_max }
+}
+
+/// Order-preserving dedup.
+fn dedup_in_place(samples: &mut Vec<Vec<u32>>) {
+    let mut seen: Vec<Vec<u32>> = Vec::with_capacity(samples.len());
+    samples.retain(|s| {
+        if seen.contains(s) {
+            false
+        } else {
+            seen.push(s.clone());
+            true
+        }
+    });
+}
+
+/// Builds the design constrained to a search space; samples are clamped
+/// into the box. Convenience for the transfer-learning path (Algorithm 2,
+/// line 6: `bootstrap_set(P_max, k')`).
+pub fn bootstrap_set_in(space: &SearchSpace, m: usize) -> BootstrapDesign {
+    let p_max = space.upper().iter().copied().max().unwrap_or(1);
+    let design = bootstrap_set(space.lower(), p_max, m);
+    BootstrapDesign {
+        uniform: design.uniform.iter().map(|s| space.clamp(s)).collect(),
+        one_hot_max: design.one_hot_max.iter().map(|s| space.clamp(s)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_family_spans_kmax_to_pmax() {
+        let d = bootstrap_set(&[2, 4, 3], 12, 5);
+        // The base configuration leads the design…
+        assert_eq!(d.uniform.first().unwrap(), &vec![2, 4, 3]);
+        // …followed by the uniform sweep from k'_max to P_max.
+        assert_eq!(d.uniform[1], vec![4, 4, 4]);
+        assert_eq!(d.uniform.last().unwrap(), &vec![12, 12, 12]);
+        for s in d.uniform.iter().skip(1) {
+            assert!(s.iter().all(|&v| v == s[0]));
+        }
+    }
+
+    #[test]
+    fn one_hot_family_has_one_sample_per_operator() {
+        let d = bootstrap_set(&[2, 4, 3], 12, 5);
+        assert_eq!(d.one_hot_max.len(), 3);
+        for (i, s) in d.one_hot_max.iter().enumerate() {
+            assert_eq!(s[i], 12);
+            for (j, &v) in s.iter().enumerate() {
+                if j != i {
+                    assert_eq!(v, [2, 4, 3][j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dedups_when_pmax_equals_base() {
+        let d = bootstrap_set(&[5, 5], 5, 4);
+        // Every sample collapses to (5,5): exactly one remains.
+        assert_eq!(d.all(), vec![vec![5, 5]]);
+    }
+
+    #[test]
+    fn m_of_one_gives_base_plus_single_uniform_sample() {
+        let d = bootstrap_set(&[1, 2], 8, 1);
+        assert_eq!(d.uniform, vec![vec![1, 2], vec![2, 2]]);
+    }
+
+    #[test]
+    fn zero_m_gives_base_plus_one_hot() {
+        let d = bootstrap_set(&[1, 2], 8, 0);
+        assert_eq!(d.uniform, vec![vec![1, 2]]);
+        assert_eq!(d.one_hot_max.len(), 2);
+    }
+
+    #[test]
+    fn respects_search_space_clamping() {
+        let space = SearchSpace::new(vec![2, 3], vec![6, 6]).unwrap();
+        let d = bootstrap_set_in(&space, 4);
+        for s in d.all() {
+            assert!(space.contains(&s), "{s:?} outside the space");
+        }
+    }
+
+    #[test]
+    fn total_size_is_base_plus_m_plus_n_when_distinct() {
+        let d = bootstrap_set(&[1, 2, 3, 4], 20, 6);
+        // Base + M uniform + N one-hot, all distinct for this geometry.
+        assert_eq!(d.len(), 1 + 6 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty base")]
+    fn empty_base_panics() {
+        let _ = bootstrap_set(&[], 5, 3);
+    }
+}

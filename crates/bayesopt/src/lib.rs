@@ -1,0 +1,44 @@
+//! Bayesian optimization over discrete parallelism spaces.
+//!
+//! This crate provides the optimization machinery of AuTraScale's
+//! Algorithm 1 (paper §III-E), independent of any streaming-system concern:
+//!
+//! * [`SearchSpace`] — the box of feasible parallelism vectors between the
+//!   throughput-optimal base configuration `k'` and the resource ceiling
+//!   `P_max`;
+//! * [`bootstrap`] — the paper's two bootstrap-sample families
+//!   (§III-D "Bootstrapping samples selection");
+//! * [`expected_improvement`] — the ξ-augmented EI acquisition (Eqs. 5–7);
+//! * [`BayesOpt`] — suggest-observe loop: fit a GP surrogate on the scored
+//!   samples seen so far, rank candidates by EI, propose the best unseen
+//!   configuration.
+//!
+//! # Example
+//!
+//! ```
+//! use autrascale_bayesopt::{BayesOpt, BoOptions, SearchSpace};
+//!
+//! // Maximize an unknown score over 2-operator parallelism vectors.
+//! let space = SearchSpace::new(vec![1, 1], vec![6, 6]).unwrap();
+//! let mut bo = BayesOpt::new(space, BoOptions::default());
+//! // Seed with two observations, then ask for a suggestion.
+//! bo.observe(vec![1, 1], 0.2);
+//! bo.observe(vec![6, 6], 0.5);
+//! let next = bo.suggest().unwrap();
+//! assert_eq!(next.len(), 2);
+//! ```
+
+mod acquisition;
+pub mod bootstrap;
+mod optimizer;
+mod space;
+
+pub use acquisition::{expected_improvement, thompson_sample, upper_confidence_bound};
+pub use bootstrap::{bootstrap_set, BootstrapDesign};
+pub use optimizer::{Acquisition, BayesOpt, BoError, BoOptions};
+pub use space::SearchSpace;
+
+/// Converts a parallelism vector to the `f64` feature vector the GP sees.
+pub fn to_features(k: &[u32]) -> Vec<f64> {
+    k.iter().map(|&v| v as f64).collect()
+}

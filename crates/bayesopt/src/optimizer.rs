@@ -1,0 +1,432 @@
+//! The suggest–observe Bayesian-optimization loop.
+//!
+//! [`BayesOpt`] owns the observation history and, on each
+//! [`suggest`](BayesOpt::suggest), fits a fresh GP surrogate (hyperparameters
+//! re-optimized, as the paper's Algorithm 1 retrains the model every
+//! iteration) and maximizes expected improvement over the candidate set.
+//! Candidate generation enumerates the whole space when it is small and
+//! falls back to seeded random sampling plus ±1 local refinement around the
+//! best candidates otherwise, so suggestion cost stays bounded for
+//! high-arity DAGs.
+
+use crate::acquisition::{expected_improvement, thompson_sample, upper_confidence_bound};
+use crate::space::SearchSpace;
+use crate::to_features;
+use autrascale_gp::{fit_subset, FitOptions, GaussianProcess};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Which acquisition function ranks candidates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Acquisition {
+    /// ξ-augmented expected improvement (the paper's choice, Eqs. 5–7);
+    /// ξ comes from [`BoOptions::xi`].
+    ExpectedImprovement,
+    /// Upper confidence bound `μ + β·σ`.
+    Ucb {
+        /// Optimism weight β.
+        beta: f64,
+    },
+    /// Approximate (marginal) Thompson sampling.
+    Thompson,
+}
+
+/// Tuning knobs of the BO loop.
+#[derive(Debug, Clone)]
+pub struct BoOptions {
+    /// Acquisition function (the paper uses expected improvement).
+    pub acquisition: Acquisition,
+    /// EI exploration parameter ξ (paper Eq. 6).
+    pub xi: f64,
+    /// Enumerate the space exhaustively when its cardinality is at most
+    /// this; otherwise sample.
+    pub max_enumeration: u64,
+    /// Number of random candidates when sampling.
+    pub sampled_candidates: usize,
+    /// Rounds of ±1 local refinement applied to the EI maximizer.
+    pub local_refinement_rounds: usize,
+    /// GP hyperparameter fitting options.
+    pub fit: FitOptions,
+    /// Cap on surrogate training points: beyond it, farthest-point
+    /// subset-of-data sparsification kicks in (keeps long-running loops
+    /// O(m³) instead of O(n³); the paper's §VII "reduce the training
+    /// costs").
+    pub max_surrogate_points: usize,
+    /// Seed for candidate sampling.
+    pub seed: u64,
+}
+
+impl Default for BoOptions {
+    fn default() -> Self {
+        Self {
+            acquisition: Acquisition::ExpectedImprovement,
+            xi: 0.01,
+            max_enumeration: 4096,
+            sampled_candidates: 2048,
+            local_refinement_rounds: 3,
+            fit: FitOptions::default(),
+            max_surrogate_points: 200,
+            seed: 0xB0,
+        }
+    }
+}
+
+/// Errors from the BO loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoError {
+    /// `suggest` was called before any observation.
+    NoObservations,
+    /// The surrogate model could not be fitted.
+    SurrogateFit(String),
+    /// An observed configuration had the wrong arity for the space.
+    ArityMismatch { expected: usize, got: usize },
+}
+
+impl fmt::Display for BoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoError::NoObservations => write!(f, "no observations yet"),
+            BoError::SurrogateFit(e) => write!(f, "surrogate fit failed: {e}"),
+            BoError::ArityMismatch { expected, got } => {
+                write!(f, "configuration arity {got}, space has {expected} operators")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BoError {}
+
+/// Bayesian optimizer over a [`SearchSpace`] of parallelism vectors,
+/// maximizing an externally observed score.
+#[derive(Debug, Clone)]
+pub struct BayesOpt {
+    space: SearchSpace,
+    options: BoOptions,
+    observations: Vec<(Vec<u32>, f64)>,
+    rng: StdRng,
+}
+
+impl BayesOpt {
+    /// Creates an optimizer with no observations.
+    pub fn new(space: SearchSpace, options: BoOptions) -> Self {
+        let rng = StdRng::seed_from_u64(options.seed);
+        Self { space, options, observations: Vec::new(), rng }
+    }
+
+    /// Records a scored configuration. Re-observing a configuration is
+    /// allowed (streaming QoS is noisy); both samples are kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` has the wrong arity for the space.
+    pub fn observe(&mut self, k: Vec<u32>, score: f64) {
+        assert_eq!(k.len(), self.space.dim(), "observe: arity mismatch");
+        self.observations.push((k, score));
+    }
+
+    /// All observations so far.
+    pub fn observations(&self) -> &[(Vec<u32>, f64)] {
+        &self.observations
+    }
+
+    /// The observation with the highest score.
+    pub fn best(&self) -> Option<(&[u32], f64)> {
+        self.observations
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(k, s)| (k.as_slice(), *s))
+    }
+
+    /// The search space.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// Fits the surrogate on the current observations.
+    pub fn fit_surrogate(&self) -> Result<GaussianProcess, BoError> {
+        if self.observations.is_empty() {
+            return Err(BoError::NoObservations);
+        }
+        let x: Vec<Vec<f64>> = self.observations.iter().map(|(k, _)| to_features(k)).collect();
+        let y: Vec<f64> = self.observations.iter().map(|(_, s)| *s).collect();
+        fit_subset(x, y, self.options.max_surrogate_points, &self.options.fit)
+            .map_err(|e| BoError::SurrogateFit(e.to_string()))
+    }
+
+    /// Suggests the next configuration to evaluate: the EI maximizer over
+    /// the candidate set, preferring configurations not yet observed.
+    pub fn suggest(&mut self) -> Result<Vec<u32>, BoError> {
+        let gp = self.fit_surrogate()?;
+        Ok(self.suggest_with(&gp))
+    }
+
+    /// Like [`suggest`](Self::suggest) but with a caller-provided surrogate
+    /// (used by the transfer-learning path, where the surrogate combines a
+    /// prior model with a residual model).
+    pub fn suggest_with(&mut self, gp: &GaussianProcess) -> Vec<u32> {
+        let f_best = self
+            .observations
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let f_best = if f_best.is_finite() { f_best } else { gp.best_observed() };
+
+        let mut candidates = self.candidates();
+        // Rank by the configured acquisition. Thompson draws use the
+        // loop's seeded RNG, so suggestions stay replayable.
+        let xi = self.options.xi;
+        let acquisition = self.options.acquisition;
+        let rng = &mut self.rng;
+        let mut score = move |k: &[u32]| match acquisition {
+            Acquisition::ExpectedImprovement => {
+                expected_improvement(gp, &to_features(k), f_best, xi)
+            }
+            Acquisition::Ucb { beta } => {
+                // Shift so "no better than the incumbent" maps near zero,
+                // keeping the flat-landscape fallback meaningful.
+                upper_confidence_bound(gp, &to_features(k), beta) - f_best
+            }
+            Acquisition::Thompson => thompson_sample(gp, &to_features(k), rng) - f_best,
+        };
+
+        let mut best_k = candidates
+            .pop()
+            .unwrap_or_else(|| self.space.lower().to_vec());
+        let mut best_ei = score(&best_k);
+        for k in candidates {
+            let ei = score(&k);
+            if ei > best_ei || (ei == best_ei && tie_break(&k, &best_k)) {
+                best_ei = ei;
+                best_k = k;
+            }
+        }
+
+        // Local ±1 refinement around the winner.
+        for _ in 0..self.options.local_refinement_rounds {
+            let mut improved = false;
+            for neighbor in self.space.neighbors(&best_k) {
+                let ei = score(&neighbor);
+                if ei > best_ei {
+                    best_ei = ei;
+                    best_k = neighbor;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+
+        // If EI is flat zero everywhere (degenerate surrogate), prefer an
+        // unobserved configuration so the loop still explores.
+        if best_ei <= 0.0 {
+            if let Some(unseen) = self.first_unseen() {
+                return unseen;
+            }
+        }
+        best_k
+    }
+
+    /// Candidate pool: exhaustive for small spaces, sampled otherwise.
+    fn candidates(&mut self) -> Vec<Vec<u32>> {
+        if self.space.cardinality() <= self.options.max_enumeration {
+            self.space.enumerate()
+        } else {
+            let mut out = Vec::with_capacity(self.options.sampled_candidates + 2);
+            // Always consider the box corners: cheapest and most provisioned.
+            out.push(self.space.lower().to_vec());
+            out.push(self.space.upper().to_vec());
+            for _ in 0..self.options.sampled_candidates {
+                out.push(self.space.sample(&mut self.rng));
+            }
+            out
+        }
+    }
+
+    /// First configuration (in enumeration or sample order) that has not
+    /// been observed yet.
+    fn first_unseen(&mut self) -> Option<Vec<u32>> {
+        let candidates = self.candidates();
+        let seen: Vec<&Vec<u32>> = self.observations.iter().map(|(k, _)| k).collect();
+        candidates.into_iter().find(|k| !seen.contains(&k))
+    }
+}
+
+/// Deterministic tie-break: prefer the configuration with smaller total
+/// parallelism (cheaper), then lexicographically smaller.
+fn tie_break(a: &[u32], b: &[u32]) -> bool {
+    let sa: u64 = a.iter().map(|&v| v as u64).sum();
+    let sb: u64 = b.iter().map(|&v| v as u64).sum();
+    sa < sb || (sa == sb && a < b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hidden objective with a unique maximum at (4, 2).
+    fn hidden(k: &[u32]) -> f64 {
+        let d0 = k[0] as f64 - 4.0;
+        let d1 = k[1] as f64 - 2.0;
+        1.0 - 0.05 * (d0 * d0 + d1 * d1)
+    }
+
+    fn seeded_bo() -> BayesOpt {
+        let space = SearchSpace::new(vec![1, 1], vec![8, 8]).unwrap();
+        let mut bo = BayesOpt::new(space, BoOptions::default());
+        for k in [[1u32, 1], [8, 8], [1, 8], [8, 1], [4, 4]] {
+            bo.observe(k.to_vec(), hidden(&k));
+        }
+        bo
+    }
+
+    #[test]
+    fn suggest_without_observations_errors() {
+        let space = SearchSpace::new(vec![1], vec![4]).unwrap();
+        let mut bo = BayesOpt::new(space, BoOptions::default());
+        assert!(matches!(bo.suggest(), Err(BoError::NoObservations)));
+    }
+
+    #[test]
+    fn converges_to_hidden_optimum() {
+        let mut bo = seeded_bo();
+        for _ in 0..12 {
+            let k = bo.suggest().unwrap();
+            let s = hidden(&k);
+            bo.observe(k, s);
+        }
+        let (best_k, best_s) = bo.best().unwrap();
+        assert!(best_s > 0.98, "best score {best_s} at {best_k:?}");
+    }
+
+    #[test]
+    fn suggestions_stay_in_space() {
+        let mut bo = seeded_bo();
+        for _ in 0..5 {
+            let k = bo.suggest().unwrap();
+            assert!(bo.space().contains(&k), "{k:?}");
+            let s = hidden(&k);
+            bo.observe(k, s);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut bo = seeded_bo();
+            let mut trace = Vec::new();
+            for _ in 0..4 {
+                let k = bo.suggest().unwrap();
+                let s = hidden(&k);
+                trace.push(k.clone());
+                bo.observe(k, s);
+            }
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn best_tracks_maximum() {
+        let mut bo = seeded_bo();
+        let (_, s) = bo.best().unwrap();
+        assert!((s - hidden(&[4, 4])).abs() < 1e-12);
+        bo.observe(vec![4, 2], hidden(&[4, 2]));
+        let (k, _) = bo.best().unwrap();
+        assert_eq!(k, &[4, 2]);
+    }
+
+    #[test]
+    fn large_space_uses_sampling() {
+        // 50^5 ≫ max_enumeration: must not hang.
+        let space = SearchSpace::new(vec![1; 5], vec![50; 5]).unwrap();
+        let mut bo = BayesOpt::new(
+            space,
+            BoOptions { sampled_candidates: 128, ..Default::default() },
+        );
+        bo.observe(vec![1; 5], 0.1);
+        bo.observe(vec![50; 5], 0.4);
+        bo.observe(vec![25; 5], 0.9);
+        let k = bo.suggest().unwrap();
+        assert_eq!(k.len(), 5);
+        assert!(bo.space().contains(&k));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn observe_wrong_arity_panics() {
+        let space = SearchSpace::new(vec![1, 1], vec![4, 4]).unwrap();
+        let mut bo = BayesOpt::new(space, BoOptions::default());
+        bo.observe(vec![1], 0.5);
+    }
+
+    #[test]
+    fn tie_break_prefers_cheaper() {
+        assert!(tie_break(&[1, 2], &[2, 2]));
+        assert!(!tie_break(&[3, 2], &[2, 2]));
+        assert!(tie_break(&[1, 3], &[2, 2]));
+        assert!(!tie_break(&[2, 2], &[2, 2]));
+    }
+}
+
+#[cfg(test)]
+mod acquisition_dispatch_tests {
+    use super::*;
+
+    fn hidden(k: &[u32]) -> f64 {
+        let d0 = k[0] as f64 - 4.0;
+        let d1 = k[1] as f64 - 2.0;
+        1.0 - 0.05 * (d0 * d0 + d1 * d1)
+    }
+
+    fn run_with(acquisition: Acquisition) -> f64 {
+        let space = SearchSpace::new(vec![1, 1], vec![8, 8]).unwrap();
+        let mut bo = BayesOpt::new(space, BoOptions { acquisition, ..Default::default() });
+        for k in [[1u32, 1], [8, 8], [1, 8], [8, 1], [4, 4]] {
+            bo.observe(k.to_vec(), hidden(&k));
+        }
+        for _ in 0..10 {
+            let k = bo.suggest().unwrap();
+            let s = hidden(&k);
+            bo.observe(k, s);
+        }
+        bo.best().unwrap().1
+    }
+
+    #[test]
+    fn ucb_converges_like_ei() {
+        assert!(run_with(Acquisition::Ucb { beta: 1.5 }) > 0.95);
+    }
+
+    #[test]
+    fn thompson_converges_and_is_replayable() {
+        assert!(run_with(Acquisition::Thompson) > 0.9);
+        // Seeded RNG: identical traces across runs.
+        let a = run_with(Acquisition::Thompson);
+        let b = run_with(Acquisition::Thompson);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+#[cfg(test)]
+mod sparse_surrogate_tests {
+    use super::*;
+
+    #[test]
+    fn surrogate_respects_point_cap() {
+        let space = SearchSpace::new(vec![1], vec![64]).unwrap();
+        let mut bo = BayesOpt::new(
+            space,
+            BoOptions { max_surrogate_points: 10, ..Default::default() },
+        );
+        for k in 1..=64u32 {
+            bo.observe(vec![k], 1.0 / (1.0 + (k as f64 - 20.0).abs()));
+        }
+        let gp = bo.fit_surrogate().unwrap();
+        assert_eq!(gp.len(), 10, "sparsified to the cap");
+        // The loop still works end to end.
+        let k = bo.suggest().unwrap();
+        assert!(bo.space().contains(&k));
+    }
+}

@@ -1,0 +1,226 @@
+//! The discrete search space of parallelism vectors.
+//!
+//! Paper §III-D: "the search space of the BO algorithm is limited between
+//! the optimal configuration of throughput and the maximum allowable
+//! parallelism of the system". The space is therefore an integer box
+//! `[lower_i, upper_i]` per operator.
+
+use rand::Rng;
+
+/// An integer box of feasible parallelism vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchSpace {
+    lower: Vec<u32>,
+    upper: Vec<u32>,
+}
+
+impl SearchSpace {
+    /// Creates a space with per-operator bounds.
+    ///
+    /// Returns `None` if the vectors differ in length, are empty, any lower
+    /// bound is zero (parallelism is at least 1), or any `lower > upper`.
+    pub fn new(lower: Vec<u32>, upper: Vec<u32>) -> Option<Self> {
+        if lower.is_empty() || lower.len() != upper.len() {
+            return None;
+        }
+        if lower.contains(&0) {
+            return None;
+        }
+        if lower.iter().zip(&upper).any(|(l, u)| l > u) {
+            return None;
+        }
+        Some(Self { lower, upper })
+    }
+
+    /// Space where every operator ranges from its base parallelism to a
+    /// shared ceiling `p_max` (the common case in the paper: `k'` to
+    /// `P_max`). Base values above `p_max` are clamped to `p_max`.
+    pub fn from_base(base: &[u32], p_max: u32) -> Option<Self> {
+        let lower: Vec<u32> = base.iter().map(|&b| b.clamp(1, p_max)).collect();
+        Self::new(lower, vec![p_max; base.len()])
+    }
+
+    /// Number of operators (dimensionality).
+    pub fn dim(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Per-operator lower bounds.
+    pub fn lower(&self) -> &[u32] {
+        &self.lower
+    }
+
+    /// Per-operator upper bounds.
+    pub fn upper(&self) -> &[u32] {
+        &self.upper
+    }
+
+    /// `true` iff `k` lies inside the box (and has the right arity).
+    pub fn contains(&self, k: &[u32]) -> bool {
+        k.len() == self.dim()
+            && k.iter()
+                .zip(self.lower.iter().zip(&self.upper))
+                .all(|(v, (l, u))| v >= l && v <= u)
+    }
+
+    /// Clamps a vector into the box, preserving arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k.len() != self.dim()`.
+    pub fn clamp(&self, k: &[u32]) -> Vec<u32> {
+        assert_eq!(k.len(), self.dim(), "clamp: arity mismatch");
+        k.iter()
+            .zip(self.lower.iter().zip(&self.upper))
+            .map(|(v, (l, u))| (*v).clamp(*l, *u))
+            .collect()
+    }
+
+    /// Total number of configurations, saturating at `u64::MAX`.
+    pub fn cardinality(&self) -> u64 {
+        self.lower
+            .iter()
+            .zip(&self.upper)
+            .map(|(l, u)| (u - l + 1) as u64)
+            .try_fold(1u64, |acc, n| acc.checked_mul(n))
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Enumerates every configuration. Use only when
+    /// [`cardinality`](Self::cardinality) is small; candidate generation in
+    /// [`crate::BayesOpt`] falls back to sampling otherwise.
+    pub fn enumerate(&self) -> Vec<Vec<u32>> {
+        let mut out = Vec::new();
+        let mut current = self.lower.clone();
+        loop {
+            out.push(current.clone());
+            // Odometer increment.
+            let mut i = self.dim();
+            loop {
+                if i == 0 {
+                    return out;
+                }
+                i -= 1;
+                if current[i] < self.upper[i] {
+                    current[i] += 1;
+                    let reset = (i + 1)..self.dim();
+                    current[reset.clone()].copy_from_slice(&self.lower[reset]);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Draws a uniform random configuration.
+    pub fn sample(&self, rng: &mut impl Rng) -> Vec<u32> {
+        self.lower
+            .iter()
+            .zip(&self.upper)
+            .map(|(&l, &u)| rng.gen_range(l..=u))
+            .collect()
+    }
+
+    /// All axis-aligned ±1 neighbours of `k` inside the box, used for local
+    /// refinement of the acquisition maximizer.
+    pub fn neighbors(&self, k: &[u32]) -> Vec<Vec<u32>> {
+        let mut out = Vec::with_capacity(2 * self.dim());
+        for i in 0..self.dim() {
+            if k[i] > self.lower[i] {
+                let mut n = k.to_vec();
+                n[i] -= 1;
+                out.push(n);
+            }
+            if k[i] < self.upper[i] {
+                let mut n = k.to_vec();
+                n[i] += 1;
+                out.push(n);
+            }
+        }
+        out
+    }
+
+    /// Total parallelism (Σ k_i) of the cheapest configuration.
+    pub fn min_total_parallelism(&self) -> u64 {
+        self.lower.iter().map(|&l| l as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates() {
+        assert!(SearchSpace::new(vec![], vec![]).is_none());
+        assert!(SearchSpace::new(vec![1], vec![2, 3]).is_none());
+        assert!(SearchSpace::new(vec![0], vec![5]).is_none());
+        assert!(SearchSpace::new(vec![4], vec![2]).is_none());
+        assert!(SearchSpace::new(vec![1, 2], vec![5, 2]).is_some());
+    }
+
+    #[test]
+    fn from_base_clamps() {
+        let s = SearchSpace::from_base(&[3, 50], 10).unwrap();
+        assert_eq!(s.lower(), &[3, 10]);
+        assert_eq!(s.upper(), &[10, 10]);
+    }
+
+    #[test]
+    fn contains_and_clamp() {
+        let s = SearchSpace::new(vec![2, 2], vec![5, 5]).unwrap();
+        assert!(s.contains(&[2, 5]));
+        assert!(!s.contains(&[1, 5]));
+        assert!(!s.contains(&[2]));
+        assert_eq!(s.clamp(&[0, 9]), vec![2, 5]);
+    }
+
+    #[test]
+    fn cardinality_and_enumeration_agree() {
+        let s = SearchSpace::new(vec![1, 2, 1], vec![3, 4, 2]).unwrap();
+        let all = s.enumerate();
+        assert_eq!(all.len() as u64, s.cardinality());
+        assert_eq!(s.cardinality(), 3 * 3 * 2);
+        // No duplicates, all contained.
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len());
+        assert!(all.iter().all(|k| s.contains(k)));
+    }
+
+    #[test]
+    fn cardinality_saturates() {
+        let s = SearchSpace::new(vec![1; 20], vec![1000; 20]).unwrap();
+        assert_eq!(s.cardinality(), u64::MAX);
+    }
+
+    #[test]
+    fn sampling_stays_in_box() {
+        let s = SearchSpace::new(vec![2, 3], vec![7, 9]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(s.contains(&s.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn neighbors_at_corner_and_interior() {
+        let s = SearchSpace::new(vec![1, 1], vec![3, 3]).unwrap();
+        // Corner: only 2 neighbours.
+        assert_eq!(s.neighbors(&[1, 1]).len(), 2);
+        // Interior: all 4.
+        let n = s.neighbors(&[2, 2]);
+        assert_eq!(n.len(), 4);
+        assert!(n.iter().all(|k| s.contains(k)));
+    }
+
+    #[test]
+    fn degenerate_single_point_space() {
+        let s = SearchSpace::new(vec![4], vec![4]).unwrap();
+        assert_eq!(s.cardinality(), 1);
+        assert_eq!(s.enumerate(), vec![vec![4]]);
+        assert!(s.neighbors(&[4]).is_empty());
+    }
+}

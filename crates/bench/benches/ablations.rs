@@ -1,0 +1,241 @@
+//! Ablation benches for the design choices DESIGN.md §3 calls out.
+//!
+//! Each group times one design variant against its alternatives on the
+//! same deterministic task, so relative cost/quality differences show up
+//! directly in the Criterion report:
+//!
+//! * `ablate_kernel` — Matérn 5/2 (the paper's choice) vs Matérn 3/2 vs
+//!   RBF surrogate fits;
+//! * `ablate_xi` — EI exploration parameter ξ: convergence of the BO loop
+//!   to a hidden optimum;
+//! * `ablate_bootstrap` — BO seeded with the §III-D bootstrap design vs
+//!   random seeding;
+//! * `ablate_transfer` — Algorithm 2's warm-started search vs a cold
+//!   start at the new rate (synthetic objective);
+//! * `ablate_truerate` — the throughput rule driven by the true vs the
+//!   observed processing rate (the paper's metric contribution).
+
+use autrascale_bayesopt::{bootstrap_set, Acquisition, BayesOpt, BoOptions, SearchSpace};
+use autrascale_flinkctl::{FlinkCluster, JobControl};
+use autrascale_gp::{fit_auto, FitOptions, KernelKind};
+use autrascale_streamsim::{
+    JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A deterministic benefit-like objective with optimum at (2, 6).
+fn objective(k: &[u32]) -> f64 {
+    let d0 = (k[0] as f64 - 2.0).abs();
+    let d1 = (k[1] as f64 - 6.0).abs();
+    1.0 / (1.0 + 0.25 * d0 + 0.1 * d1)
+}
+
+fn training_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for a in (1..=16u32).step_by(3) {
+        for b in (1..=16u32).step_by(3) {
+            x.push(vec![a as f64, b as f64]);
+            y.push(objective(&[a, b]));
+        }
+    }
+    (x, y)
+}
+
+fn ablate_kernel(c: &mut Criterion) {
+    let (x, y) = training_data();
+    let mut group = c.benchmark_group("ablate_kernel");
+    for (name, kind) in [
+        ("matern52", KernelKind::Matern52),
+        ("matern32", KernelKind::Matern32),
+        ("rbf", KernelKind::Rbf),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &kind, |b, &kind| {
+            b.iter(|| {
+                let gp = fit_auto(
+                    x.clone(),
+                    y.clone(),
+                    &FitOptions { kind, restarts: 2, ..Default::default() },
+                )
+                .unwrap();
+                black_box(gp.predict(&[2.0, 6.0]))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Run BO to the optimum; returns evaluations used (same work per ξ, so
+/// timing differences reflect convergence speed).
+fn bo_to_optimum(xi: f64, seed_samples: &[(Vec<u32>, f64)]) -> usize {
+    bo_to_optimum_with(Acquisition::ExpectedImprovement, xi, seed_samples)
+}
+
+/// Same, with an explicit acquisition function.
+fn bo_to_optimum_with(
+    acquisition: Acquisition,
+    xi: f64,
+    seed_samples: &[(Vec<u32>, f64)],
+) -> usize {
+    let space = SearchSpace::new(vec![1, 1], vec![16, 16]).unwrap();
+    let mut bo = BayesOpt::new(space, BoOptions { acquisition, xi, ..Default::default() });
+    for (k, s) in seed_samples {
+        bo.observe(k.clone(), *s);
+    }
+    let target = objective(&[2, 6]) - 1e-9;
+    for i in 0..20 {
+        let k = bo.suggest().expect("suggestion");
+        let s = objective(&k);
+        bo.observe(k, s);
+        if s >= target {
+            return i + 1;
+        }
+    }
+    20
+}
+
+fn default_seed_samples() -> Vec<(Vec<u32>, f64)> {
+    [[1u32, 1u32], [16, 16], [1, 16], [16, 1]]
+        .iter()
+        .map(|k| (k.to_vec(), objective(k)))
+        .collect()
+}
+
+fn ablate_xi(c: &mut Criterion) {
+    let seeds = default_seed_samples();
+    let mut group = c.benchmark_group("ablate_xi");
+    for xi in [0.0f64, 0.01, 0.1] {
+        group.bench_with_input(BenchmarkId::from_parameter(xi), &xi, |b, &xi| {
+            b.iter(|| black_box(bo_to_optimum(xi, &seeds)))
+        });
+    }
+    group.finish();
+}
+
+fn ablate_bootstrap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_bootstrap");
+    // With the paper's design: base + uniform sweep + one-hot maxima.
+    let design: Vec<(Vec<u32>, f64)> = bootstrap_set(&[2, 3], 16, 4)
+        .all()
+        .into_iter()
+        .map(|k| {
+            let s = objective(&k);
+            (k, s)
+        })
+        .collect();
+    group.bench_function("with_bootstrap_design", |b| {
+        b.iter(|| black_box(bo_to_optimum(0.01, &design)))
+    });
+    // Without: four corner samples only.
+    let corners = default_seed_samples();
+    group.bench_function("corners_only", |b| {
+        b.iter(|| black_box(bo_to_optimum(0.01, &corners)))
+    });
+    group.finish();
+}
+
+fn ablate_transfer(c: &mut Criterion) {
+    // Old-rate objective: optimum at (2, 4); new rate shifts it to (2, 6).
+    let old_objective =
+        |k: &[u32]| 1.0 / (1.0 + 0.25 * (k[0] as f64 - 2.0).abs() + 0.1 * (k[1] as f64 - 4.0).abs());
+    let prior: Vec<(Vec<u32>, f64)> = bootstrap_set(&[2, 2], 16, 5)
+        .all()
+        .into_iter()
+        .map(|k| {
+            let s = old_objective(&k);
+            (k, s)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("ablate_transfer");
+    group.bench_function("warm_start_from_prior", |b| {
+        b.iter(|| black_box(bo_to_optimum(0.01, &prior)))
+    });
+    group.bench_function("cold_start", |b| {
+        let corners = default_seed_samples();
+        b.iter(|| black_box(bo_to_optimum(0.01, &corners[..2])))
+    });
+    group.finish();
+}
+
+fn ablate_truerate(c: &mut Criterion) {
+    // The DS2-style rule from a single under-utilized measurement: with
+    // the true rate it recommends the right parallelism in one shot; with
+    // the observed rate it over-provisions and needs correction. Bench
+    // the full loop run by each metric.
+    fn run(observed: bool) -> Vec<u32> {
+        let job = JobGraph::linear(vec![
+            OperatorSpec::source("Source", 30_000.0),
+            OperatorSpec::transform("Map", 8_000.0, 1.0).with_sync_coeff(0.03),
+            OperatorSpec::sink("Sink", 25_000.0),
+        ])
+        .unwrap();
+        let sim = Simulation::new(SimulationConfig {
+            job,
+            profile: RateProfile::constant(15_000.0),
+            seed: 8,
+            restart_downtime: 2.0,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut fc = FlinkCluster::new(sim);
+        fc.submit(&[1, 1, 1]).unwrap();
+        // Two measure→plan rounds with the chosen metric.
+        let mut current = vec![1u32, 1, 1];
+        for _ in 0..3 {
+            fc.run_for(60.0);
+            let Some(m) = fc.metrics(30.0) else { break };
+            let mut next = Vec::new();
+            let mut target = m.producer_rate;
+            for op in &m.operators {
+                let v = if observed { op.observed_rate_avg } else { op.true_rate_avg };
+                next.push(((target / v.max(1e-9)).ceil() as u32).clamp(1, 50));
+                target *= if op.observed_rate_total > 1e-9 {
+                    op.output_rate / op.observed_rate_total
+                } else {
+                    1.0
+                };
+            }
+            if next == current {
+                break;
+            }
+            JobControl::deploy(&mut fc, &next).unwrap();
+            current = next;
+        }
+        current
+    }
+
+    let mut group = c.benchmark_group("ablate_truerate");
+    group.bench_function("true_rate", |b| b.iter(|| black_box(run(false))));
+    group.bench_function("observed_rate", |b| b.iter(|| black_box(run(true))));
+    group.finish();
+}
+
+fn ablate_acquisition(c: &mut Criterion) {
+    let seeds = default_seed_samples();
+    let mut group = c.benchmark_group("ablate_acquisition");
+    for (name, acq) in [
+        ("ei", Acquisition::ExpectedImprovement),
+        ("ucb", Acquisition::Ucb { beta: 1.5 }),
+        ("thompson", Acquisition::Thompson),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &acq, |b, &acq| {
+            b.iter(|| black_box(bo_to_optimum_with(acq, 0.01, &seeds)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets =
+        ablate_kernel,
+        ablate_xi,
+        ablate_bootstrap,
+        ablate_transfer,
+        ablate_truerate,
+        ablate_acquisition,
+}
+criterion_main!(benches);

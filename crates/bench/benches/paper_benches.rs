@@ -1,0 +1,220 @@
+//! One Criterion bench per paper table/figure (scaled-down workloads so
+//! the harness completes in minutes; the `autrascale-experiments` binary
+//! regenerates the full-scale numbers).
+//!
+//! | bench group | paper artifact |
+//! |---|---|
+//! | `fig1_case1` | Fig. 1 — simulating the fixed-parallelism staircase |
+//! | `fig2_case2` | Fig. 2 — one fixed-rate/parallelism sub-test |
+//! | `fig5_throughput_opt` | Fig. 5 — the Eq. 3 iteration to convergence |
+//! | `tables_2_3_elasticity` | Tables II/III — one Algorithm 1 evaluate step |
+//! | `fig8_transfer` | Fig. 8 — one Algorithm 2 residual-transfer computation |
+//! | `table4_overhead` | Table IV — surrogate fit / recommend vs operator count |
+
+use autrascale::{Algorithm1, AuTraScaleConfig, ThroughputOptimizer};
+use autrascale::algorithm1::SamplePhase;
+use autrascale_bayesopt::{BayesOpt, BoOptions, SearchSpace};
+use autrascale_flinkctl::FlinkCluster;
+use autrascale_gp::{fit_auto, FitOptions};
+use autrascale_streamsim::{
+    JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
+};
+use autrascale_workloads::{synthetic_chain, wordcount};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn small_job() -> JobGraph {
+    JobGraph::linear(vec![
+        OperatorSpec::source("Source", 30_000.0),
+        OperatorSpec::transform("Map", 9_000.0, 1.0).with_sync_coeff(0.05),
+        OperatorSpec::sink("Sink", 25_000.0),
+    ])
+    .unwrap()
+}
+
+fn fast_cluster(rate: f64, seed: u64) -> FlinkCluster {
+    let sim = Simulation::new(SimulationConfig {
+        job: small_job(),
+        profile: RateProfile::constant(rate),
+        seed,
+        restart_downtime: 2.0,
+        ..Default::default()
+    })
+    .unwrap();
+    FlinkCluster::new(sim)
+}
+
+fn fast_config() -> AuTraScaleConfig {
+    AuTraScaleConfig {
+        target_latency_ms: 150.0,
+        policy_running_time: 60.0,
+        bootstrap_m: 3,
+        max_bo_iters: 5,
+        ..Default::default()
+    }
+}
+
+/// Fig. 1: simulating 120 s of the CASE 1 staircase at parallelism 2.
+fn bench_fig1_case1(c: &mut Criterion) {
+    let workload = wordcount();
+    c.bench_function("fig1_case1/simulate_120s", |b| {
+        b.iter(|| {
+            let profile = RateProfile::staircase(100_000.0, 50_000.0, 30.0, 300_000.0);
+            let mut sim =
+                Simulation::new(workload.config_with_profile(profile, 1)).unwrap();
+            sim.deploy(&[2, 2, 2, 2]).unwrap();
+            sim.run_for(120.0);
+            black_box(sim.snapshot())
+        })
+    });
+}
+
+/// Fig. 2: one fixed-rate sub-test (p = 3) for 120 s.
+fn bench_fig2_case2(c: &mut Criterion) {
+    let workload = wordcount();
+    c.bench_function("fig2_case2/simulate_p3_120s", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(workload.config(300_000.0, 2)).unwrap();
+            sim.deploy(&[3, 3, 3, 3]).unwrap();
+            sim.run_for(120.0);
+            black_box(sim.snapshot())
+        })
+    });
+}
+
+/// Fig. 5: the full Eq. 3 throughput-optimization loop to convergence.
+fn bench_fig5_throughput_opt(c: &mut Criterion) {
+    c.bench_function("fig5_throughput_opt/small_pipeline", |b| {
+        b.iter(|| {
+            let mut cluster = fast_cluster(20_000.0, 3);
+            let outcome = ThroughputOptimizer::new(&fast_config())
+                .run(&mut cluster)
+                .unwrap();
+            black_box(outcome)
+        })
+    });
+}
+
+/// Tables II/III: one Algorithm 1 evaluate step (deploy + policy run +
+/// score).
+fn bench_tables23_elasticity_step(c: &mut Criterion) {
+    c.bench_function("tables_2_3_elasticity/evaluate_step", |b| {
+        b.iter(|| {
+            let mut cluster = fast_cluster(15_000.0, 4);
+            cluster.submit(&[1, 2, 1]).unwrap();
+            let alg = Algorithm1::new(&fast_config(), vec![1, 2, 1], 20);
+            let record = alg
+                .evaluate(&mut cluster, &[1, 3, 1], SamplePhase::BoStep)
+                .unwrap();
+            black_box(record)
+        })
+    });
+}
+
+/// Fig. 8: one residual-transfer computation (prior predict + residual
+/// fit + recommendation), pure CPU.
+fn bench_fig8_transfer(c: &mut Criterion) {
+    // A prior model trained on synthetic scores.
+    let prior_x: Vec<Vec<f64>> = (1..=20u32)
+        .map(|k| vec![1.0, k as f64])
+        .collect();
+    let prior_y: Vec<f64> = prior_x
+        .iter()
+        .map(|v| 1.0 / (1.0 + (v[1] - 6.0).abs() / 5.0))
+        .collect();
+    let prior = fit_auto(prior_x, prior_y, &FitOptions::default()).unwrap();
+    let space = SearchSpace::new(vec![1, 1], vec![4, 20]).unwrap();
+
+    c.bench_function("fig8_transfer/residual_step", |b| {
+        b.iter(|| {
+            // Real samples at the new rate.
+            let d_c = [(vec![1u32, 8u32], 0.7f64), (vec![1, 12], 0.8)];
+            let x: Vec<Vec<f64>> = d_c
+                .iter()
+                .map(|(k, _)| k.iter().map(|&v| f64::from(v)).collect())
+                .collect();
+            let y: Vec<f64> = d_c
+                .iter()
+                .zip(&x)
+                .map(|((_, s), f)| s - prior.predict(f).mean)
+                .collect();
+            let residual = fit_auto(x, y, &FitOptions::default()).unwrap();
+
+            let mut bo = BayesOpt::new(space.clone(), BoOptions::default());
+            for (k, s) in &d_c {
+                bo.observe(k.clone(), *s);
+            }
+            for k in space.enumerate().into_iter().step_by(7) {
+                let f: Vec<f64> = k.iter().map(|&v| f64::from(v)).collect();
+                let mu = prior.predict(&f).mean + residual.predict(&f).mean;
+                bo.observe(k, mu);
+            }
+            black_box(bo.suggest().unwrap())
+        })
+    });
+}
+
+/// Table IV: surrogate fit and recommendation cost vs operator count.
+fn bench_table4_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_overhead");
+    for n in [2usize, 6, 10] {
+        let workload = synthetic_chain(n);
+        let _ = &workload;
+        // A 20-sample dataset over [1, 20]^n.
+        let dataset: Vec<(Vec<u32>, f64)> = (0..20)
+            .map(|i| {
+                let k: Vec<u32> = (0..n).map(|d| 1 + ((i * 7 + d * 3) % 20) as u32).collect();
+                let mean = k.iter().map(|&v| f64::from(v)).sum::<f64>() / n as f64;
+                (k, 1.0 / (1.0 + (mean - 5.0).abs() / 5.0))
+            })
+            .collect();
+        let x: Vec<Vec<f64>> = dataset
+            .iter()
+            .map(|(k, _)| k.iter().map(|&v| f64::from(v)).collect())
+            .collect();
+        let y: Vec<f64> = dataset.iter().map(|(_, s)| *s).collect();
+
+        group.bench_with_input(BenchmarkId::new("alg1_train", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    fit_auto(x.clone(), y.clone(), &FitOptions::default()).unwrap(),
+                )
+            })
+        });
+
+        let gp = fit_auto(x.clone(), y.clone(), &FitOptions::default()).unwrap();
+        let space = SearchSpace::new(vec![1; n], vec![20; n]).unwrap();
+        group.bench_with_input(BenchmarkId::new("alg1_use", n), &n, |b, _| {
+            b.iter(|| {
+                let f_best = gp.best_observed();
+                let mut best = f64::NEG_INFINITY;
+                let mut rng = {
+                    use rand::SeedableRng;
+                    rand::rngs::StdRng::seed_from_u64(1)
+                };
+                for _ in 0..256 {
+                    let cand = space.sample(&mut rng);
+                    let f: Vec<f64> = cand.iter().map(|&v| f64::from(v)).collect();
+                    best = best.max(autrascale_bayesopt::expected_improvement(
+                        &gp, &f, f_best, 0.01,
+                    ));
+                }
+                black_box(best)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_fig1_case1,
+        bench_fig2_case2,
+        bench_fig5_throughput_opt,
+        bench_tables23_elasticity_step,
+        bench_fig8_transfer,
+        bench_table4_overhead,
+}
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Criterion benchmark harness for the AuTraScale reproduction.
+//!
+//! The bench targets live in `benches/`:
+//!
+//! * `paper_benches` — one group per paper table/figure (Fig. 1, Fig. 2,
+//!   Fig. 5, Tables II/III, Fig. 8, Table IV) at reduced scale;
+//! * `ablations` — the DESIGN.md §3 ablations (kernel family, EI ξ,
+//!   bootstrap design, transfer warm-start, true-vs-observed rate).
+//!
+//! Run with `cargo bench -p autrascale-bench`. Full-scale experiment
+//! regeneration lives in the `autrascale-experiments` binary instead —
+//! Criterion is for cost, the binary is for shapes.

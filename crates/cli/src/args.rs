@@ -1,0 +1,305 @@
+//! Hand-rolled argument parsing (no CLI dependency; the surface is tiny).
+
+use std::fmt;
+
+/// Usage text shown by `--help` and on parse errors.
+pub const USAGE: &str = "\
+autrasctl — streaming auto-scaling on the simulated cluster
+
+USAGE:
+  autrasctl workloads
+      List the built-in workloads with their calibrated targets.
+
+  autrasctl topology --workload <name>
+      Print a workload's operator DAG.
+
+  autrasctl simulate --workload <name> --policy <policy> [options]
+      Run a policy against a workload and print a timeline + summary.
+
+POLICIES:
+  autrascale          throughput optimization + Algorithm 1 (+ MAPE loop)
+  ds2                 DS2 true-rate scaling
+  drs-true            DRS queueing model on the true processing rate
+  drs-observed        DRS queueing model on the observed rate (as published)
+  static:<p1,p2,...>  fixed parallelism, no controller
+
+OPTIONS (simulate):
+  --workload <wordcount|yahoo|q5|q11>   required
+  --policy <see above>                  required
+  --rate <records/s>                    default: the workload's paper rate
+  --profile <spec>                      time-varying input instead of --rate:
+                                          staircase:<init>,<step>,<period>,<max>
+                                          diurnal:<base>,<amplitude>,<period>
+                                          bursty:<base>,<burst>,<every>,<len>,<count>
+  --duration <secs>                     observation window AFTER the policy
+                                        finishes; default: 3600
+  --seed <u64>                          default: 42
+  --latency-target <ms>                 default: the workload's paper target
+  --report-interval <secs>              default: 300
+  --csv <path>                          also write the timeline as CSV
+";
+
+/// A parse failure with its message.
+#[derive(Debug)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Which auto-scaler drives the job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Policy {
+    /// The full AuTraScale pipeline.
+    AuTraScale,
+    /// DS2 true-rate scaling.
+    Ds2,
+    /// DRS on the true processing rate.
+    DrsTrue,
+    /// DRS on the observed processing rate.
+    DrsObserved,
+    /// A fixed parallelism vector, no controller.
+    Static(Vec<u32>),
+}
+
+/// Parsed `simulate` options.
+#[derive(Debug, Clone)]
+pub struct SimulateOptions {
+    /// Workload name (`wordcount`, `yahoo`, `q5`, `q11`).
+    pub workload: String,
+    /// The policy to run.
+    pub policy: Policy,
+    /// Input rate override (records/s).
+    pub rate: Option<f64>,
+    /// Time-varying profile spec (overrides `rate`).
+    pub profile: Option<String>,
+    /// Total simulated seconds.
+    pub duration: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Latency target override, ms.
+    pub latency_target: Option<f64>,
+    /// Seconds between timeline rows.
+    pub report_interval: f64,
+    /// Optional CSV output path for the timeline.
+    pub csv: Option<String>,
+}
+
+/// A parsed top-level command.
+#[derive(Debug)]
+pub enum Command {
+    /// `autrasctl workloads`
+    Workloads,
+    /// `autrasctl topology --workload x`
+    Topology {
+        /// Workload name.
+        workload: String,
+    },
+    /// `autrasctl simulate …`
+    Simulate(SimulateOptions),
+    /// `--help` / `help`
+    Help,
+}
+
+/// Parses the argument vector (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
+    let mut it = argv.iter();
+    let Some(command) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "workloads" => Ok(Command::Workloads),
+        "topology" => {
+            let mut workload = None;
+            parse_flags(it, |flag, value| {
+                match flag {
+                    "--workload" => workload = Some(value.to_string()),
+                    other => return Err(ParseError(format!("unknown flag {other:?}"))),
+                }
+                Ok(())
+            })?;
+            let workload =
+                workload.ok_or_else(|| ParseError("topology needs --workload".into()))?;
+            Ok(Command::Topology { workload })
+        }
+        "simulate" => {
+            let mut options = SimulateOptions {
+                workload: String::new(),
+                policy: Policy::AuTraScale,
+                rate: None,
+                profile: None,
+                duration: 3600.0,
+                seed: 42,
+                latency_target: None,
+                report_interval: 300.0,
+                csv: None,
+            };
+            let mut saw_workload = false;
+            let mut saw_policy = false;
+            parse_flags(it, |flag, value| {
+                match flag {
+                    "--workload" => {
+                        options.workload = value.to_string();
+                        saw_workload = true;
+                    }
+                    "--policy" => {
+                        options.policy = parse_policy(value)?;
+                        saw_policy = true;
+                    }
+                    "--rate" => options.rate = Some(parse_number(flag, value)?),
+                    "--profile" => options.profile = Some(value.to_string()),
+                    "--duration" => options.duration = parse_number(flag, value)?,
+                    "--seed" => {
+                        options.seed = value
+                            .parse()
+                            .map_err(|_| ParseError(format!("bad --seed {value:?}")))?
+                    }
+                    "--latency-target" => {
+                        options.latency_target = Some(parse_number(flag, value)?)
+                    }
+                    "--report-interval" => {
+                        options.report_interval = parse_number(flag, value)?
+                    }
+                    "--csv" => options.csv = Some(value.to_string()),
+                    other => return Err(ParseError(format!("unknown flag {other:?}"))),
+                }
+                Ok(())
+            })?;
+            if !saw_workload {
+                return Err(ParseError("simulate needs --workload".into()));
+            }
+            if !saw_policy {
+                return Err(ParseError("simulate needs --policy".into()));
+            }
+            if options.duration <= 0.0 || options.report_interval <= 0.0 {
+                return Err(ParseError("durations must be positive".into()));
+            }
+            Ok(Command::Simulate(options))
+        }
+        other => Err(ParseError(format!("unknown command {other:?}"))),
+    }
+}
+
+fn parse_flags<'a>(
+    mut it: std::slice::Iter<'a, String>,
+    mut apply: impl FnMut(&'a str, &'a str) -> Result<(), ParseError>,
+) -> Result<(), ParseError> {
+    while let Some(flag) = it.next() {
+        if !flag.starts_with("--") {
+            return Err(ParseError(format!("expected a flag, got {flag:?}")));
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| ParseError(format!("flag {flag} needs a value")))?;
+        apply(flag, value)?;
+    }
+    Ok(())
+}
+
+fn parse_number(flag: &str, value: &str) -> Result<f64, ParseError> {
+    value
+        .parse::<f64>()
+        .ok()
+        .filter(|v| v.is_finite())
+        .ok_or_else(|| ParseError(format!("bad {flag} value {value:?}")))
+}
+
+fn parse_policy(value: &str) -> Result<Policy, ParseError> {
+    match value {
+        "autrascale" => Ok(Policy::AuTraScale),
+        "ds2" => Ok(Policy::Ds2),
+        "drs-true" => Ok(Policy::DrsTrue),
+        "drs-observed" => Ok(Policy::DrsObserved),
+        other => {
+            if let Some(rest) = other.strip_prefix("static:") {
+                let parallelism: Result<Vec<u32>, _> =
+                    rest.split(',').map(str::parse).collect();
+                match parallelism {
+                    Ok(p) if !p.is_empty() && p.iter().all(|&v| v > 0) => {
+                        Ok(Policy::Static(p))
+                    }
+                    _ => Err(ParseError(format!(
+                        "bad static parallelism {rest:?} (want e.g. static:1,2,1)"
+                    ))),
+                }
+            } else {
+                Err(ParseError(format!("unknown policy {other:?}")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_workloads_and_help() {
+        assert!(matches!(parse(&argv("workloads")), Ok(Command::Workloads)));
+        assert!(matches!(parse(&argv("--help")), Ok(Command::Help)));
+        assert!(matches!(parse(&[]), Ok(Command::Help)));
+    }
+
+    #[test]
+    fn parses_topology() {
+        match parse(&argv("topology --workload yahoo")) {
+            Ok(Command::Topology { workload }) => assert_eq!(workload, "yahoo"),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("topology")).is_err());
+    }
+
+    #[test]
+    fn parses_simulate_defaults_and_overrides() {
+        let cmd = parse(&argv(
+            "simulate --workload q5 --policy ds2 --rate 30000 --duration 100 \
+             --seed 7 --latency-target 500 --report-interval 10",
+        ))
+        .unwrap();
+        let Command::Simulate(o) = cmd else { panic!() };
+        assert_eq!(o.workload, "q5");
+        assert_eq!(o.policy, Policy::Ds2);
+        assert_eq!(o.rate, Some(30_000.0));
+        assert_eq!(o.duration, 100.0);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.latency_target, Some(500.0));
+        assert_eq!(o.report_interval, 10.0);
+        assert_eq!(o.csv, None);
+    }
+
+    #[test]
+    fn parses_every_policy() {
+        for (text, expected) in [
+            ("autrascale", Policy::AuTraScale),
+            ("ds2", Policy::Ds2),
+            ("drs-true", Policy::DrsTrue),
+            ("drs-observed", Policy::DrsObserved),
+        ] {
+            assert_eq!(parse_policy(text).unwrap(), expected);
+        }
+        assert_eq!(
+            parse_policy("static:1,2,3").unwrap(),
+            Policy::Static(vec![1, 2, 3])
+        );
+        assert!(parse_policy("static:0,1").is_err());
+        assert!(parse_policy("static:").is_err());
+        assert!(parse_policy("magic").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse(&argv("simulate --workload q5")).is_err()); // no policy
+        assert!(parse(&argv("simulate --policy ds2")).is_err()); // no workload
+        assert!(parse(&argv("simulate --workload q5 --policy ds2 --rate abc")).is_err());
+        assert!(parse(&argv("simulate --workload q5 --policy ds2 --duration -1")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("simulate --workload")).is_err()); // missing value
+    }
+}

@@ -1,0 +1,37 @@
+//! `autrasctl` — drive a simulated streaming job under AuTraScale or a
+//! baseline auto-scaler from the command line.
+//!
+//! ```text
+//! autrasctl workloads
+//! autrasctl topology  --workload yahoo
+//! autrasctl simulate  --workload wordcount --rate 350000 --policy autrascale \
+//!                     --duration 3600 [--seed 42] [--latency-target 180] \
+//!                     [--report-interval 300] [--csv timeline.csv]
+//! ```
+
+mod args;
+mod run;
+
+use args::{Command, ParseError};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(Command::Workloads) => run::list_workloads(),
+        Ok(Command::Topology { workload }) => run::print_topology(&workload),
+        Ok(Command::Simulate(options)) => {
+            if let Err(e) = run::simulate(&options) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        Ok(Command::Help) => {
+            print!("{}", args::USAGE);
+        }
+        Err(ParseError(message)) => {
+            eprintln!("error: {message}\n");
+            eprint!("{}", args::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Command implementations.
+
+use crate::args::{Policy, SimulateOptions};
+use autrascale::{AuTraScaleConfig, MapeController};
+use autrascale_baselines::{DrsConfig, DrsPolicy, Ds2Config, Ds2Policy, RateMetric};
+use autrascale_flinkctl::FlinkCluster;
+use autrascale_streamsim::{rate_generators, RateProfile, Simulation};
+use autrascale_workloads::{nexmark_q11, nexmark_q5, wordcount, yahoo, Workload};
+use std::io::Write as _;
+
+/// Resolves a workload by CLI name.
+fn workload_by_name(name: &str) -> Result<Workload, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "wordcount" | "wc" => Ok(wordcount()),
+        "yahoo" => Ok(yahoo()),
+        "q5" | "nexmark-q5" => Ok(nexmark_q5()),
+        "q11" | "nexmark-q11" => Ok(nexmark_q11()),
+        other => Err(format!(
+            "unknown workload {other:?} (try: wordcount, yahoo, q5, q11)"
+        )),
+    }
+}
+
+/// `autrasctl workloads`
+pub fn list_workloads() {
+    println!("{:<12} {:>10} {:>12} {:>8} {:>10}", "name", "operators", "rate (r/s)", "P_max", "l_t (ms)");
+    for w in autrascale_workloads::all_paper_workloads() {
+        println!(
+            "{:<12} {:>10} {:>12.0} {:>8} {:>10.0}",
+            w.name.to_ascii_lowercase(),
+            w.num_operators(),
+            w.input_rate,
+            w.p_max(),
+            w.target_latency_ms
+        );
+    }
+}
+
+/// `autrasctl topology --workload x`
+pub fn print_topology(name: &str) {
+    let workload = match workload_by_name(name) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("{} — {} operators", workload.name, workload.num_operators());
+    for (i, op) in workload.job.operators().iter().enumerate() {
+        let succ = workload.job.successors(i);
+        let arrow = if succ.is_empty() {
+            "(sink)".to_string()
+        } else {
+            format!(
+                "→ {}",
+                succ.iter()
+                    .map(|&s| workload.job.operators()[s].name.clone())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
+        let limit = op
+            .external_limit
+            .map(|l| format!(", external limit {l:.0}/s"))
+            .unwrap_or_default();
+        println!(
+            "  [{i}] {:<14} base {:>9.0}/s  selectivity {:>4.2}  σ={:<5.3}{limit} {arrow}",
+            op.name, op.base_rate, op.selectivity, op.sync_coeff
+        );
+    }
+}
+
+/// One timeline row of a simulate run.
+struct TimelineRow {
+    minute: f64,
+    parallelism: Vec<u32>,
+    throughput: f64,
+    producer: f64,
+    latency_ms: f64,
+    lag: f64,
+}
+
+/// `autrasctl simulate …`
+pub fn simulate(options: &SimulateOptions) -> Result<(), String> {
+    let mut workload = workload_by_name(&options.workload)?;
+    if let Some(lt) = options.latency_target {
+        workload.target_latency_ms = lt;
+    }
+    let rate = options.rate.unwrap_or(workload.input_rate);
+    let profile = match &options.profile {
+        Some(spec) => parse_profile(spec)?,
+        None => RateProfile::constant(rate),
+    };
+    let sim = Simulation::new(workload.config_with_profile(profile, options.seed))
+        .map_err(|e| e.to_string())?;
+    let mut cluster = FlinkCluster::new(sim);
+
+    let n = workload.num_operators();
+    let initial = match &options.policy {
+        Policy::Static(p) => {
+            if p.len() != n {
+                return Err(format!(
+                    "static parallelism has {} entries, {} has {n} operators",
+                    p.len(),
+                    workload.name
+                ));
+            }
+            p.clone()
+        }
+        _ => vec![1; n],
+    };
+    cluster.submit(&initial).map_err(|e| e.to_string())?;
+
+    println!(
+        "{} @ {:.0} records/s — policy {:?}, target latency {:.0} ms, seed {}",
+        workload.name, rate, options.policy, workload.target_latency_ms, options.seed
+    );
+
+    // Run the policy (static needs none).
+    let config = AuTraScaleConfig {
+        target_latency_ms: workload.target_latency_ms,
+        policy_running_time: 300.0,
+        policy_interval: 60.0,
+        ..Default::default()
+    };
+    match &options.policy {
+        Policy::AuTraScale => {
+            cluster.run_for(60.0);
+            let mut controller = MapeController::new(config.clone());
+            controller.activate(&mut cluster).map_err(|e| e.to_string())?;
+        }
+        Policy::Ds2 => {
+            let policy = Ds2Policy::new(Ds2Config {
+                policy_running_time: config.policy_running_time,
+                ..Default::default()
+            });
+            policy.run(&mut cluster).map_err(|e| e.to_string())?;
+        }
+        Policy::DrsTrue | Policy::DrsObserved => {
+            let metric = if matches!(options.policy, Policy::DrsTrue) {
+                RateMetric::True
+            } else {
+                RateMetric::Observed
+            };
+            let policy = DrsPolicy::new(DrsConfig {
+                target_latency_ms: workload.target_latency_ms,
+                rate_metric: metric,
+                policy_running_time: config.policy_running_time,
+                max_iters: 8,
+            });
+            policy.run(&mut cluster).map_err(|e| e.to_string())?;
+        }
+        Policy::Static(_) => {}
+    }
+
+    // Timeline: observe for `duration` seconds AFTER the policy phase
+    // (the search itself can consume hours of simulated time).
+    let deadline = cluster.now() + options.duration;
+    let mut rows: Vec<TimelineRow> = Vec::new();
+    println!(
+        "\n{:>7} {:>18} {:>12} {:>12} {:>12} {:>14}",
+        "minute", "parallelism", "throughput", "input", "latency(ms)", "kafka lag"
+    );
+    while cluster.now() < deadline {
+        let remaining = deadline - cluster.now();
+        if remaining < 1.0 {
+            // Less than a metric window left: would round to zero ticks.
+            break;
+        }
+        let step = options.report_interval.min(remaining);
+        cluster.run_for(step);
+        let Some(m) = cluster.metrics_over(options.report_interval.min(120.0)) else {
+            continue;
+        };
+        let row = TimelineRow {
+            minute: cluster.now() / 60.0,
+            parallelism: cluster.parallelism().to_vec(),
+            throughput: m.throughput,
+            producer: m.producer_rate,
+            latency_ms: m.processing_latency_ms,
+            lag: m.kafka_lag,
+        };
+        println!(
+            "{:>7.1} {:>18} {:>12.0} {:>12.0} {:>12.1} {:>14.0}",
+            row.minute,
+            format!("{:?}", row.parallelism),
+            row.throughput,
+            row.producer,
+            row.latency_ms,
+            row.lag
+        );
+        rows.push(row);
+    }
+
+    // Summary.
+    if let Some(m) = cluster.metrics_over(options.report_interval.min(300.0)) {
+        let meets_latency = m.processing_latency_ms <= workload.target_latency_ms;
+        println!(
+            "\nsummary: parallelism {:?} (Σ {}), throughput {:.0}/{:.0} records/s, \
+             latency {:.1} ms (target {:.0}: {}), keeping up: {}",
+            cluster.parallelism(),
+            cluster.parallelism().iter().sum::<u32>(),
+            m.throughput,
+            m.producer_rate,
+            m.processing_latency_ms,
+            workload.target_latency_ms,
+            if meets_latency { "met" } else { "VIOLATED" },
+            m.keeping_up(0.05),
+        );
+    }
+
+    if let Some(path) = &options.csv {
+        write_csv(path, &rows)?;
+        println!("timeline written to {path}");
+    }
+    Ok(())
+}
+
+/// Parses `--profile` specs like `diurnal:10000,4000,14400`.
+fn parse_profile(spec: &str) -> Result<RateProfile, String> {
+    let (kind, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("bad profile {spec:?} (want kind:params)"))?;
+    let params: Result<Vec<f64>, _> = rest.split(',').map(str::parse::<f64>).collect();
+    let params = params.map_err(|_| format!("bad profile numbers in {spec:?}"))?;
+    match (kind, params.as_slice()) {
+        ("staircase", [init, step, period, max]) => {
+            Ok(RateProfile::staircase(*init, *step, *period, *max))
+        }
+        ("diurnal", [base, amplitude, period]) => {
+            Ok(rate_generators::diurnal(*base, *amplitude, *period, period / 48.0))
+        }
+        ("bursty", [base, burst, every, len, count]) => Ok(rate_generators::bursty(
+            *base,
+            *burst,
+            *every,
+            *len,
+            *count as usize,
+        )),
+        _ => Err(format!(
+            "bad profile {spec:?}: unknown kind or wrong parameter count"
+        )),
+    }
+}
+
+fn write_csv(path: &str, rows: &[TimelineRow]) -> Result<(), String> {
+    let mut file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+    writeln!(file, "minute,parallelism,throughput,input_rate,latency_ms,kafka_lag")
+        .map_err(|e| e.to_string())?;
+    for r in rows {
+        let parallelism: Vec<String> = r.parallelism.iter().map(u32::to_string).collect();
+        writeln!(
+            file,
+            "{:.2},{},{:.0},{:.0},{:.1},{:.0}",
+            r.minute,
+            parallelism.join(";"),
+            r.throughput,
+            r.producer,
+            r.latency_ms,
+            r.lag
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_lookup_accepts_aliases() {
+        assert!(workload_by_name("wordcount").is_ok());
+        assert!(workload_by_name("WC").is_ok());
+        assert!(workload_by_name("Q5").is_ok());
+        assert!(workload_by_name("nexmark-q11").is_ok());
+        assert!(workload_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn simulate_static_policy_smoke() {
+        let options = SimulateOptions {
+            workload: "q11".into(),
+            policy: Policy::Static(vec![1, 12]),
+            rate: Some(80_000.0),
+            profile: None,
+            duration: 120.0,
+            seed: 1,
+            latency_target: None,
+            report_interval: 60.0,
+            csv: None,
+        };
+        simulate(&options).unwrap();
+    }
+
+    #[test]
+    fn simulate_rejects_bad_static_arity() {
+        let options = SimulateOptions {
+            workload: "q11".into(),
+            policy: Policy::Static(vec![1, 2, 3]),
+            rate: None,
+            profile: None,
+            duration: 60.0,
+            seed: 1,
+            latency_target: None,
+            report_interval: 30.0,
+            csv: None,
+        };
+        assert!(simulate(&options).is_err());
+    }
+}
+
+#[cfg(test)]
+mod profile_tests {
+    use super::*;
+
+    #[test]
+    fn parses_each_profile_kind() {
+        assert!(matches!(
+            parse_profile("staircase:100000,50000,600,300000"),
+            Ok(RateProfile::Staircase { .. })
+        ));
+        assert!(matches!(
+            parse_profile("diurnal:10000,4000,14400"),
+            Ok(RateProfile::Piecewise(_))
+        ));
+        assert!(matches!(
+            parse_profile("bursty:1000,9000,600,60,3"),
+            Ok(RateProfile::Piecewise(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_profiles() {
+        assert!(parse_profile("diurnal").is_err());
+        assert!(parse_profile("diurnal:1,2").is_err());
+        assert!(parse_profile("warp:1,2,3").is_err());
+        assert!(parse_profile("bursty:a,b,c,d,e").is_err());
+    }
+}

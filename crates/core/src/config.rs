@@ -1,0 +1,98 @@
+//! Controller configuration — every tunable the paper names, with the
+//! paper's experimental values as defaults.
+
+/// AuTraScale's tunables (paper §III and §IV).
+#[derive(Debug, Clone)]
+pub struct AuTraScaleConfig {
+    /// Target processing latency `l_t`, ms.
+    pub target_latency_ms: f64,
+    /// Scoring-function weight α between the latency and resource terms
+    /// (Eq. 4).
+    pub alpha: f64,
+    /// User over-allocation ratio `w` (Eq. 8); sets the benefit-score
+    /// termination threshold (Eq. 9).
+    pub over_allocation_ratio: f64,
+    /// EI exploration parameter ξ (Eq. 6).
+    pub xi: f64,
+    /// Number of uniform-parallelism bootstrap samples `M` (§III-D).
+    pub bootstrap_m: usize,
+    /// Seconds between controller activations ("Policy interval", §IV).
+    pub policy_interval: f64,
+    /// Seconds a new configuration runs before its metrics are trusted
+    /// ("Policy running time", §IV) — should be an integer multiple of
+    /// `policy_interval`.
+    pub policy_running_time: f64,
+    /// Relative tolerance when comparing throughput with the input rate.
+    pub rate_tolerance: f64,
+    /// Maximum reconfiguration iterations for the throughput loop.
+    pub max_throughput_iters: usize,
+    /// Maximum recommend–run–judge iterations for Algorithm 1.
+    pub max_bo_iters: usize,
+    /// Real samples at the new rate before Algorithm 2 hands control back
+    /// to Algorithm 1 (`N_num`, §III-F).
+    pub n_num: usize,
+    /// Relative rate change that counts as "the input data rate changed"
+    /// and triggers the transfer path.
+    pub rate_change_threshold: f64,
+    /// Warm-start rate changes from the joint rate-aware model
+    /// ([`crate::RateAwareModel`], the paper's §VII future work) instead
+    /// of Algorithm 2's per-rate prior, once at least two benefit models
+    /// exist.
+    pub use_rate_aware_warm_start: bool,
+    /// Seed for every stochastic component (BO candidate sampling, GP
+    /// restarts).
+    pub seed: u64,
+}
+
+impl Default for AuTraScaleConfig {
+    fn default() -> Self {
+        Self {
+            target_latency_ms: 250.0,
+            alpha: 0.5,
+            over_allocation_ratio: 0.25,
+            xi: 0.01,
+            bootstrap_m: 5,
+            policy_interval: 30.0,
+            policy_running_time: 120.0,
+            rate_tolerance: 0.05,
+            max_throughput_iters: 10,
+            max_bo_iters: 25,
+            n_num: 8,
+            rate_change_threshold: 0.15,
+            use_rate_aware_warm_start: false,
+            seed: 0xA07A,
+        }
+    }
+}
+
+impl AuTraScaleConfig {
+    /// The benefit-score termination threshold (Eq. 9):
+    /// `α + (1 − α) / (1 + w)`.
+    pub fn score_threshold(&self) -> f64 {
+        crate::scoring::termination_threshold(self.alpha, self.over_allocation_ratio)
+    }
+
+    /// Config preset for a workload's published targets.
+    pub fn with_target_latency(mut self, target_latency_ms: f64) -> Self {
+        self.target_latency_ms = target_latency_ms;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_threshold_matches_formula() {
+        let c = AuTraScaleConfig::default();
+        let expected = 0.5 + 0.5 / 1.25;
+        assert!((c.score_threshold() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_sets_latency() {
+        let c = AuTraScaleConfig::default().with_target_latency(300.0);
+        assert_eq!(c.target_latency_ms, 300.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! The MAPE control loop (paper §IV).
+//!
+//! * **Monitor** — the simulator (or Flink) pushes metrics into the
+//!   time-series store; the controller reads windowed aggregates through
+//!   [`JobControl::metrics`].
+//! * **Analyze** — the Scaling Manager decides whether the configuration
+//!   needs adjusting (QoS violation, throughput lag, or a changed input
+//!   rate) and whether the model library has a model for the current rate.
+//! * **Plan** — the Policy Controller runs throughput optimization and
+//!   then either Algorithm 1 (steady rate) or Algorithm 2 (rate changed,
+//!   prior model available), updating the model library.
+//! * **Execute** — deployments go through the System Scheduler
+//!   (stop-with-savepoint → restart), which [`JobControl::deploy`] models.
+//!
+//! Activations happen every `policy_interval`; a freshly deployed
+//! configuration is given `policy_running_time` before its metrics are
+//! trusted — both knobs from §IV.
+
+use crate::algorithm1::Algorithm1;
+use crate::config::AuTraScaleConfig;
+use crate::model_library::ModelLibrary;
+use crate::rate_aware::RateAwareModel;
+use crate::throughput::{ThroughputOptimizer, ThroughputOutcome};
+use crate::transfer::TransferLearner;
+use autrascale_flinkctl::JobControl;
+
+/// What one controller activation did.
+#[derive(Debug, Clone)]
+pub enum ControllerEvent {
+    /// Throughput optimization ran and selected a base configuration.
+    ThroughputOptimized(ThroughputOutcome),
+    /// Algorithm 1 ran to termination at a steady rate.
+    SteadyRateOptimized(crate::algorithm1::ElasticityOutcome),
+    /// Algorithm 2 transferred an existing model to a new rate.
+    Transferred(crate::algorithm1::ElasticityOutcome),
+    /// The joint rate-aware model warm-started Algorithm 1 at a new rate
+    /// (§VII future work, enabled by
+    /// [`AuTraScaleConfig::use_rate_aware_warm_start`]).
+    RateAwareWarmStarted(crate::algorithm1::ElasticityOutcome),
+    /// A significant input-rate change was detected.
+    RateChangeDetected {
+        /// Previous steady rate, records/s.
+        old: f64,
+        /// Newly observed rate, records/s.
+        new: f64,
+    },
+    /// QoS and resource usage were fine; nothing to do.
+    NoActionNeeded,
+}
+
+/// The AuTraScale controller: owns the model library and the per-rate
+/// state, and drives a [`JobControl`] cluster.
+pub struct MapeController {
+    config: AuTraScaleConfig,
+    library: ModelLibrary,
+    /// The steady rate the current model corresponds to.
+    current_rate: Option<f64>,
+    /// The throughput-optimal base configuration `k'` at `current_rate`.
+    base: Option<Vec<u32>>,
+}
+
+impl MapeController {
+    /// A controller with an empty model library.
+    pub fn new(config: AuTraScaleConfig) -> Self {
+        Self { config, library: ModelLibrary::new(), current_rate: None, base: None }
+    }
+
+    /// The model library (one benefit model per steady rate seen).
+    pub fn library(&self) -> &ModelLibrary {
+        &self.library
+    }
+
+    /// The current base configuration, if one has been established.
+    pub fn base(&self) -> Option<&[u32]> {
+        self.base.as_deref()
+    }
+
+    /// One Analyze→Plan→Execute activation. The caller advances time
+    /// between activations (see [`run_loop`](Self::run_loop)).
+    pub fn activate(
+        &mut self,
+        cluster: &mut impl JobControl,
+    ) -> Result<Vec<ControllerEvent>, String> {
+        let Some(metrics) = cluster.metrics(self.config.policy_interval) else {
+            return Ok(vec![ControllerEvent::NoActionNeeded]);
+        };
+        let rate = metrics.producer_rate;
+        let mut events = Vec::new();
+
+        match self.current_rate {
+            // First activation: establish the model from scratch.
+            None => {
+                let (base, outcome) = self.optimize_throughput(cluster)?;
+                events.push(ControllerEvent::ThroughputOptimized(outcome));
+                let alg1 = Algorithm1::new(&self.config, base.clone(), cluster.max_parallelism());
+                let result = alg1.run(cluster, Vec::new())?;
+                self.library.insert(rate, result.dataset.clone());
+                self.base = Some(base);
+                self.current_rate = Some(rate);
+                events.push(ControllerEvent::SteadyRateOptimized(result));
+            }
+            Some(current) if rate_changed(current, rate, self.config.rate_change_threshold) => {
+                events.push(ControllerEvent::RateChangeDetected { old: current, new: rate });
+                let (base, outcome) = self.optimize_throughput(cluster)?;
+                events.push(ControllerEvent::ThroughputOptimized(outcome));
+
+                // Preferred path when enabled and enough models exist:
+                // warm-start Algorithm 1 from the joint rate-aware model.
+                let rate_aware_dataset = if self.config.use_rate_aware_warm_start
+                    && self.library.len() >= 2
+                {
+                    RateAwareModel::fit(&self.library, self.config.seed)
+                        .ok()
+                        .map(|model| {
+                            model.warm_start_dataset(
+                                &base,
+                                cluster.max_parallelism(),
+                                self.config.bootstrap_m,
+                                rate,
+                            )
+                        })
+                } else {
+                    None
+                };
+
+                let prior = self.library.closest(rate).cloned();
+                let result = match (rate_aware_dataset, prior) {
+                    (Some(dataset), _) => {
+                        let alg1 = Algorithm1::new(
+                            &self.config,
+                            base.clone(),
+                            cluster.max_parallelism(),
+                        );
+                        let r = alg1.run(cluster, dataset)?;
+                        events.push(ControllerEvent::RateAwareWarmStarted(r.clone()));
+                        r
+                    }
+                    (None, Some(prior)) => {
+                        let tl = TransferLearner::new(
+                            &self.config,
+                            base.clone(),
+                            cluster.max_parallelism(),
+                        );
+                        let r = tl.run(cluster, &prior, Vec::new())?;
+                        events.push(ControllerEvent::Transferred(r.clone()));
+                        r
+                    }
+                    (None, None) => {
+                        let alg1 = Algorithm1::new(
+                            &self.config,
+                            base.clone(),
+                            cluster.max_parallelism(),
+                        );
+                        let r = alg1.run(cluster, Vec::new())?;
+                        events.push(ControllerEvent::SteadyRateOptimized(r.clone()));
+                        r
+                    }
+                };
+                self.library.insert(rate, result.dataset);
+                self.base = Some(base);
+                self.current_rate = Some(rate);
+            }
+            Some(_) => {
+                // Steady rate: intervene only on QoS violation or lag.
+                let qos_violated = metrics.processing_latency_ms
+                    > self.config.target_latency_ms
+                    || !metrics.meets_rate(self.config.rate_tolerance);
+                if qos_violated {
+                    let base = self
+                        .base
+                        .clone()
+                        .expect("base exists whenever current_rate does");
+                    let dataset = self
+                        .library
+                        .closest(rate)
+                        .map(|m| m.dataset.clone())
+                        .unwrap_or_default();
+                    let alg1 =
+                        Algorithm1::new(&self.config, base, cluster.max_parallelism());
+                    let result = alg1.run(cluster, dataset)?;
+                    self.library.insert(rate, result.dataset.clone());
+                    events.push(ControllerEvent::SteadyRateOptimized(result));
+                } else {
+                    events.push(ControllerEvent::NoActionNeeded);
+                }
+            }
+        }
+        Ok(events)
+    }
+
+    /// Runs activations every `policy_interval` until `total_secs` of
+    /// simulation time have passed, collecting all events.
+    pub fn run_loop(
+        &mut self,
+        cluster: &mut impl JobControl,
+        total_secs: f64,
+    ) -> Result<Vec<ControllerEvent>, String> {
+        let mut events = Vec::new();
+        let deadline = cluster.now() + total_secs;
+        while cluster.now() < deadline {
+            cluster.advance(self.config.policy_interval);
+            events.extend(self.activate(cluster)?);
+        }
+        Ok(events)
+    }
+
+    fn optimize_throughput(
+        &self,
+        cluster: &mut impl JobControl,
+    ) -> Result<(Vec<u32>, ThroughputOutcome), String> {
+        let outcome = ThroughputOptimizer::new(&self.config).run(cluster)?;
+        Ok((outcome.final_parallelism.clone(), outcome))
+    }
+}
+
+fn rate_changed(old: f64, new: f64, threshold: f64) -> bool {
+    if old <= 0.0 {
+        return new > 0.0;
+    }
+    ((new - old) / old).abs() > threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autrascale_flinkctl::FlinkCluster;
+    use autrascale_streamsim::{
+        JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
+    };
+
+    fn cluster_with(profile: RateProfile, seed: u64) -> FlinkCluster {
+        let job = JobGraph::linear(vec![
+            OperatorSpec::source("Source", 30_000.0),
+            OperatorSpec::sink("Sink", 5_000.0).with_sync_coeff(0.02).with_comm_cost_ms(3.0),
+        ])
+        .unwrap();
+        let config = SimulationConfig {
+            job,
+            profile,
+            seed,
+            restart_downtime: 2.0,
+            ..Default::default()
+        };
+        FlinkCluster::new(Simulation::new(config).unwrap())
+    }
+
+    fn config() -> AuTraScaleConfig {
+        AuTraScaleConfig {
+            target_latency_ms: 150.0,
+            policy_interval: 30.0,
+            policy_running_time: 60.0,
+            bootstrap_m: 3,
+            max_bo_iters: 5,
+            n_num: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn first_activation_builds_model() {
+        let mut fc = cluster_with(RateProfile::constant(10_000.0), 31);
+        fc.submit(&[1, 1]).unwrap();
+        fc.run_for(60.0);
+        let mut ctrl = MapeController::new(config());
+        let events = ctrl.activate(&mut fc).unwrap();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::ThroughputOptimized(_))));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::SteadyRateOptimized(_))));
+        assert_eq!(ctrl.library().len(), 1);
+        assert!(ctrl.base().is_some());
+    }
+
+    #[test]
+    fn steady_state_is_a_noop() {
+        let mut fc = cluster_with(RateProfile::constant(10_000.0), 32);
+        fc.submit(&[1, 1]).unwrap();
+        fc.run_for(60.0);
+        let mut ctrl = MapeController::new(config());
+        ctrl.activate(&mut fc).unwrap();
+        // Give the final configuration time to stabilize, then activate
+        // again: no QoS violation, so no action.
+        fc.run_for(120.0);
+        let events = ctrl.activate(&mut fc).unwrap();
+        assert!(
+            events.iter().any(|e| matches!(e, ControllerEvent::NoActionNeeded)),
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn rate_change_triggers_transfer() {
+        let mut fc = cluster_with(
+            RateProfile::piecewise(vec![(0.0, 8_000.0), (2_000.0, 14_000.0)]),
+            33,
+        );
+        fc.submit(&[1, 2]).unwrap();
+        fc.run_for(60.0);
+        let mut ctrl = MapeController::new(config());
+        ctrl.activate(&mut fc).unwrap();
+        assert_eq!(ctrl.library().len(), 1);
+
+        // Jump past the rate change.
+        let past = 2_100.0 - fc.now().min(2_100.0);
+        fc.run_for(past.max(0.0) + 60.0);
+        let events = ctrl.activate(&mut fc).unwrap();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, ControllerEvent::RateChangeDetected { .. })),
+            "{events:?}"
+        );
+        assert!(
+            events.iter().any(|e| matches!(e, ControllerEvent::Transferred(_))),
+            "{events:?}"
+        );
+        assert_eq!(ctrl.library().len(), 2);
+    }
+}

@@ -1,0 +1,197 @@
+//! The per-rate benefit-model library (paper §IV, Plan module).
+//!
+//! Every completed Algorithm 1 run at a steady input rate leaves behind a
+//! training set `{(k, F)}` — the benefit model for that rate. The library
+//! stores those models and answers the Scaling Manager's question "is
+//! there a model suitable for the current rate?", returning the model
+//! whose rate is closest to the new one (Algorithm 2 consumes it as
+//! `M_{c−1}`).
+
+use autrascale_gp::{fit_auto, FitOptions, GaussianProcess, GpError};
+use serde::{Deserialize, Serialize};
+
+/// One stored benefit model: the input rate it was trained at plus its
+/// training set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenefitModel {
+    /// Input data rate this model corresponds to, records/s.
+    pub rate: f64,
+    /// Scored samples `(parallelism, benefit score)`.
+    pub dataset: Vec<(Vec<u32>, f64)>,
+}
+
+impl BenefitModel {
+    /// Fits the Gaussian process for this model's dataset.
+    pub fn fit(&self, seed: u64) -> Result<GaussianProcess, GpError> {
+        let x: Vec<Vec<f64>> = self
+            .dataset
+            .iter()
+            .map(|(k, _)| k.iter().map(|&v| v as f64).collect())
+            .collect();
+        let y: Vec<f64> = self.dataset.iter().map(|(_, s)| *s).collect();
+        fit_auto(x, y, &FitOptions { seed, ..Default::default() })
+    }
+
+    /// Leave-one-out RMSE of the fitted model — the measurable form of
+    /// §IV's "the accuracy of the model will gradually increase as the
+    /// training data increases". `None` when the fit fails.
+    pub fn loo_rmse(&self, seed: u64) -> Option<f64> {
+        self.fit(seed).ok().map(|gp| gp.loo_rmse())
+    }
+}
+
+/// The model store.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ModelLibrary {
+    models: Vec<BenefitModel>,
+}
+
+impl ModelLibrary {
+    /// An empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores (or replaces, when the rate matches within 0.1%) a model.
+    pub fn insert(&mut self, rate: f64, dataset: Vec<(Vec<u32>, f64)>) {
+        if let Some(existing) = self
+            .models
+            .iter_mut()
+            .find(|m| (m.rate - rate).abs() <= rate.abs() * 1e-3)
+        {
+            existing.dataset = dataset;
+        } else {
+            self.models.push(BenefitModel { rate, dataset });
+        }
+    }
+
+    /// The model whose rate is closest to `rate`; `None` when empty.
+    pub fn closest(&self, rate: f64) -> Option<&BenefitModel> {
+        self.models
+            .iter()
+            .min_by(|a, b| (a.rate - rate).abs().total_cmp(&(b.rate - rate).abs()))
+    }
+
+    /// `true` when a model exists within `tolerance` (relative) of `rate` —
+    /// the Scaling Manager's "model suitable for the current rate" check.
+    pub fn has_model_for(&self, rate: f64, tolerance: f64) -> bool {
+        self.models
+            .iter()
+            .any(|m| (m.rate - rate).abs() <= rate.abs() * tolerance)
+    }
+
+    /// Number of stored models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// `true` when no model is stored.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// All stored models.
+    pub fn models(&self) -> &[BenefitModel] {
+        &self.models
+    }
+
+    /// Persists the library as JSON — benefit models are expensive to
+    /// train (each sample is a cluster reconfiguration + policy running
+    /// time), so a restarting controller loads them back instead of
+    /// re-learning from scratch.
+    pub fn save_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self).expect("library serializes");
+        std::fs::write(path, json)
+    }
+
+    /// Loads a library saved by [`save_json`](Self::save_json).
+    pub fn load_json(path: &std::path::Path) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dataset() -> Vec<(Vec<u32>, f64)> {
+        vec![(vec![1, 2], 0.9), (vec![2, 4], 0.7), (vec![4, 8], 0.5)]
+    }
+
+    #[test]
+    fn insert_and_closest() {
+        let mut lib = ModelLibrary::new();
+        assert!(lib.closest(10.0).is_none());
+        lib.insert(20_000.0, sample_dataset());
+        lib.insert(80_000.0, sample_dataset());
+        assert_eq!(lib.len(), 2);
+        assert_eq!(lib.closest(30_000.0).unwrap().rate, 20_000.0);
+        assert_eq!(lib.closest(79_000.0).unwrap().rate, 80_000.0);
+    }
+
+    #[test]
+    fn insert_replaces_same_rate() {
+        let mut lib = ModelLibrary::new();
+        lib.insert(20_000.0, sample_dataset());
+        lib.insert(20_000.0, vec![(vec![3, 3], 0.4)]);
+        assert_eq!(lib.len(), 1);
+        assert_eq!(lib.closest(20_000.0).unwrap().dataset.len(), 1);
+    }
+
+    #[test]
+    fn has_model_for_respects_tolerance() {
+        let mut lib = ModelLibrary::new();
+        lib.insert(20_000.0, sample_dataset());
+        assert!(lib.has_model_for(20_500.0, 0.05));
+        assert!(!lib.has_model_for(30_000.0, 0.05));
+    }
+
+    #[test]
+    fn model_fits_a_gp() {
+        let model = BenefitModel { rate: 1.0, dataset: sample_dataset() };
+        let gp = model.fit(7).unwrap();
+        // Prediction near a training point tracks its score.
+        let p = gp.predict(&[1.0, 2.0]);
+        assert!((p.mean - 0.9).abs() < 0.2, "mean {}", p.mean);
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let mut lib = ModelLibrary::new();
+        lib.insert(20_000.0, vec![(vec![1, 2], 0.9), (vec![3, 4], 0.6)]);
+        lib.insert(80_000.0, vec![(vec![2, 8], 0.8)]);
+
+        let dir = std::env::temp_dir().join("autrascale_model_lib_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("library.json");
+        lib.save_json(&path).unwrap();
+
+        let restored = ModelLibrary::load_json(&path).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.closest(20_000.0).unwrap().dataset.len(), 2);
+        assert_eq!(
+            restored.closest(80_000.0).unwrap().dataset,
+            vec![(vec![2, 8], 0.8)]
+        );
+        // The restored model still fits and predicts.
+        let gp = restored.closest(20_000.0).unwrap().fit(1).unwrap();
+        assert!((gp.predict(&[1.0, 2.0]).mean - 0.9).abs() < 0.25);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("autrascale_model_lib_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(ModelLibrary::load_json(&path).is_err());
+        assert!(ModelLibrary::load_json(&dir.join("missing.json")).is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Rate-aware joint benefit model — the paper's stated future work
+//! (§VII: "investigate efficient methods to unbind benefit models from
+//! input data rates").
+//!
+//! Instead of one Gaussian process per input rate (the model library
+//! consumed by Algorithm 2), a single GP is trained over the joint input
+//! `(k₁ … k_N, rate)` using every sample of every stored model. The
+//! normalized rate dimension gets its own ARD lengthscale, so the model
+//! learns how fast the benefit landscape deforms with the rate —
+//! predictions at an *unseen* rate interpolate between the trained ones
+//! rather than copying the nearest (what `M_{c−1}` in Algorithm 2 does).
+//!
+//! The model plugs into the existing machinery as a warm-start source:
+//! [`RateAwareModel::warm_start_dataset`] synthesizes scored samples for
+//! the new rate which feed straight into [`crate::Algorithm1::run`] —
+//! replacing Algorithm 2's prior + residual pair with one query.
+
+use crate::model_library::ModelLibrary;
+use autrascale_bayesopt::bootstrap_set;
+use autrascale_gp::{fit_auto, FitOptions, GaussianProcess, Prediction};
+use std::fmt;
+
+/// Errors from fitting the joint model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RateAwareError {
+    /// The library has no models to learn from.
+    EmptyLibrary,
+    /// The library's datasets disagree on the number of operators.
+    InconsistentArity,
+    /// The underlying GP fit failed.
+    Fit(String),
+}
+
+impl fmt::Display for RateAwareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RateAwareError::EmptyLibrary => write!(f, "model library is empty"),
+            RateAwareError::InconsistentArity => {
+                write!(f, "library datasets have inconsistent operator counts")
+            }
+            RateAwareError::Fit(e) => write!(f, "joint GP fit failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RateAwareError {}
+
+/// A single GP over `(parallelism…, normalized rate)` trained on the
+/// whole model library.
+#[derive(Debug, Clone)]
+pub struct RateAwareModel {
+    gp: GaussianProcess,
+    /// Rates are divided by this before entering the GP (mean library
+    /// rate), keeping the rate dimension comparable to parallelism.
+    rate_scale: f64,
+    /// Number of operators (input dimensionality minus the rate).
+    operators: usize,
+}
+
+impl RateAwareModel {
+    /// Fits the joint model from every sample in the library.
+    pub fn fit(library: &ModelLibrary, seed: u64) -> Result<Self, RateAwareError> {
+        let models = library.models();
+        if models.is_empty() {
+            return Err(RateAwareError::EmptyLibrary);
+        }
+        let operators = models
+            .iter()
+            .flat_map(|m| m.dataset.first())
+            .map(|(k, _)| k.len())
+            .next()
+            .ok_or(RateAwareError::EmptyLibrary)?;
+        let rate_scale = models.iter().map(|m| m.rate).sum::<f64>() / models.len() as f64;
+        let rate_scale = if rate_scale.abs() > 1e-9 { rate_scale } else { 1.0 };
+
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for model in models {
+            for (k, score) in &model.dataset {
+                if k.len() != operators {
+                    return Err(RateAwareError::InconsistentArity);
+                }
+                let mut features: Vec<f64> = k.iter().map(|&v| f64::from(v)).collect();
+                // Scaled to O(operators' magnitude) so a shared prior
+                // lengthscale is sane even before ARD refines it.
+                features.push(model.rate / rate_scale * 10.0);
+                x.push(features);
+                y.push(*score);
+            }
+        }
+        if x.is_empty() {
+            return Err(RateAwareError::EmptyLibrary);
+        }
+
+        let gp = fit_auto(
+            x,
+            y,
+            &FitOptions { ard: true, restarts: 3, seed, ..Default::default() },
+        )
+        .map_err(|e| RateAwareError::Fit(e.to_string()))?;
+        Ok(Self { gp, rate_scale, operators })
+    }
+
+    /// Posterior prediction of the benefit score for configuration `k`
+    /// at input rate `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` has the wrong arity.
+    pub fn predict(&self, k: &[u32], rate: f64) -> Prediction {
+        assert_eq!(k.len(), self.operators, "parallelism arity mismatch");
+        let mut features: Vec<f64> = k.iter().map(|&v| f64::from(v)).collect();
+        features.push(rate / self.rate_scale * 10.0);
+        self.gp.predict(&features)
+    }
+
+    /// Number of operators the model was trained for.
+    pub fn operators(&self) -> usize {
+        self.operators
+    }
+
+    /// Total training samples absorbed from the library.
+    pub fn len(&self) -> usize {
+        self.gp.len()
+    }
+
+    /// `true` when no samples were absorbed (never for a fitted model).
+    pub fn is_empty(&self) -> bool {
+        self.gp.is_empty()
+    }
+
+    /// Synthesizes a scored dataset for `rate` over the §III-D bootstrap
+    /// design of base configuration `base` — a drop-in warm start for
+    /// [`crate::Algorithm1::run`], replacing Algorithm 2's
+    /// prior-plus-residual construction with joint-model queries.
+    pub fn warm_start_dataset(
+        &self,
+        base: &[u32],
+        p_max: u32,
+        m: usize,
+        rate: f64,
+    ) -> Vec<(Vec<u32>, f64)> {
+        bootstrap_set(base, p_max, m)
+            .all()
+            .into_iter()
+            .map(|k| {
+                let score = self.predict(&k, rate).mean;
+                (k, score)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic benefit landscape: optimum shifts up with the rate.
+    fn score_at(k: &[u32], rate: f64) -> f64 {
+        let optimum = rate / 4_000.0; // rate 8k ⇒ 2, rate 16k ⇒ 4
+        let d = (k[1] as f64 - optimum).abs();
+        1.0 / (1.0 + 0.3 * d)
+    }
+
+    fn library() -> ModelLibrary {
+        let mut lib = ModelLibrary::new();
+        for rate in [8_000.0, 16_000.0] {
+            let dataset: Vec<(Vec<u32>, f64)> = (1..=10u32)
+                .map(|b| {
+                    let k = vec![1, b];
+                    let s = score_at(&k, rate);
+                    (k, s)
+                })
+                .collect();
+            lib.insert(rate, dataset);
+        }
+        lib
+    }
+
+    #[test]
+    fn fit_requires_models() {
+        assert!(matches!(
+            RateAwareModel::fit(&ModelLibrary::new(), 1),
+            Err(RateAwareError::EmptyLibrary)
+        ));
+    }
+
+    #[test]
+    fn reproduces_trained_rates() {
+        let model = RateAwareModel::fit(&library(), 1).unwrap();
+        assert_eq!(model.operators(), 2);
+        assert_eq!(model.len(), 20);
+        // Best config at 8k is k₂ = 2; at 16k it is k₂ = 4.
+        let best_8k = (1..=10u32)
+            .max_by(|&a, &b| {
+                model
+                    .predict(&[1, a], 8_000.0)
+                    .mean
+                    .total_cmp(&model.predict(&[1, b], 8_000.0).mean)
+            })
+            .unwrap();
+        let best_16k = (1..=10u32)
+            .max_by(|&a, &b| {
+                model
+                    .predict(&[1, a], 16_000.0)
+                    .mean
+                    .total_cmp(&model.predict(&[1, b], 16_000.0).mean)
+            })
+            .unwrap();
+        assert!((1..=3).contains(&best_8k), "8k optimum ~2, got {best_8k}");
+        assert!((3..=5).contains(&best_16k), "16k optimum ~4, got {best_16k}");
+    }
+
+    #[test]
+    fn interpolates_at_unseen_rate() {
+        // At 12k the true optimum (3) lies between the trained ones —
+        // exactly what the nearest-model prior of Algorithm 2 cannot
+        // express.
+        let model = RateAwareModel::fit(&library(), 1).unwrap();
+        let best_12k = (1..=10u32)
+            .max_by(|&a, &b| {
+                model
+                    .predict(&[1, a], 12_000.0)
+                    .mean
+                    .total_cmp(&model.predict(&[1, b], 12_000.0).mean)
+            })
+            .unwrap();
+        assert!((2..=4).contains(&best_12k), "12k optimum ~3, got {best_12k}");
+    }
+
+    #[test]
+    fn warm_start_dataset_covers_bootstrap_design() {
+        let model = RateAwareModel::fit(&library(), 1).unwrap();
+        let ds = model.warm_start_dataset(&[1, 3], 10, 4, 12_000.0);
+        assert!(ds.len() >= 5, "{}", ds.len());
+        assert!(ds.iter().all(|(k, _)| k.len() == 2));
+        assert!(ds.iter().all(|(_, s)| s.is_finite()));
+        // The base configuration leads the design.
+        assert_eq!(ds[0].0, vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn predict_panics_on_wrong_arity() {
+        let model = RateAwareModel::fit(&library(), 1).unwrap();
+        let _ = model.predict(&[1, 2, 3], 8_000.0);
+    }
+}

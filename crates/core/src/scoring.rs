@@ -1,0 +1,161 @@
+//! The benefit scoring function (paper Eq. 4) and the Bayesian-optimization
+//! termination threshold (Eq. 9).
+//!
+//! The score jointly quantifies latency benefit and resource thrift:
+//!
+//! ```text
+//! F = α · min(1, l_t / l_r)  +  (1 − α) · (1/N) · Σ_i k'_i / k_i
+//! ```
+//!
+//! Rule (a): lower latency ⇒ higher score — the first term saturates at 1
+//! once the target `l_t` is met and decays as measured latency `l_r`
+//! exceeds it. Rule (b): the closer the configuration to the
+//! throughput-optimal base `k'` ⇒ higher score — the second term is the
+//! mean resource-allocation ratio `C_opt/C_now`, which is 1 at the base
+//! configuration and shrinks with over-provisioning.
+//!
+//! (The paper prints the first term as `min(1, l_i/l_t)`, which would
+//! *reward* high latency, contradicting its own rule (a); we use the
+//! orientation the rules and the termination condition Eq. 9 require — see
+//! DESIGN.md §5.)
+
+/// Computes the benefit score `F` (Eq. 4).
+///
+/// * `alpha` — latency-vs-resources weight in `[0, 1]`;
+/// * `latency_ms` — measured average processing latency `l_r`;
+/// * `target_latency_ms` — the QoS target `l_t`;
+/// * `base` — the throughput-optimal parallelism `k'`;
+/// * `current` — the deployed parallelism `k`.
+///
+/// # Panics
+///
+/// Panics if `alpha` is outside `[0, 1]`, the vectors differ in length or
+/// are empty, or any parallelism is zero.
+pub fn benefit_score(
+    alpha: f64,
+    latency_ms: f64,
+    target_latency_ms: f64,
+    base: &[u32],
+    current: &[u32],
+) -> f64 {
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+    assert!(!base.is_empty(), "empty parallelism vectors");
+    assert_eq!(base.len(), current.len(), "parallelism arity mismatch");
+    assert!(
+        base.iter().chain(current).all(|&k| k > 0),
+        "parallelism must be at least 1"
+    );
+
+    let latency_term = if latency_ms <= 0.0 {
+        1.0
+    } else {
+        (target_latency_ms / latency_ms).min(1.0)
+    };
+    let n = base.len() as f64;
+    let resource_term: f64 = base
+        .iter()
+        .zip(current)
+        .map(|(&kb, &kc)| f64::from(kb) / f64::from(kc))
+        .sum::<f64>()
+        / n;
+
+    alpha * latency_term + (1.0 - alpha) * resource_term
+}
+
+/// The Bayesian-optimization termination threshold (Eq. 9):
+/// `α + (1 − α) / (1 + w)` for over-allocation ratio `w ≥ 0`.
+///
+/// # Panics
+///
+/// Panics if `alpha` is outside `[0, 1]` or `w` is negative.
+pub fn termination_threshold(alpha: f64, w: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+    assert!(w >= 0.0, "over-allocation ratio must be non-negative");
+    alpha + (1.0 - alpha) / (1.0 + w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_configuration_scores_one() {
+        // Latency met, parallelism at base.
+        let f = benefit_score(0.5, 100.0, 180.0, &[3, 4], &[3, 4]);
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_latency_scores_higher() {
+        let good = benefit_score(0.5, 150.0, 180.0, &[2, 2], &[4, 4]);
+        let bad = benefit_score(0.5, 360.0, 180.0, &[2, 2], &[4, 4]);
+        assert!(good > bad);
+        // Rule (a) from the paper.
+        assert!((bad - (0.5 * 0.5 + 0.5 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closer_to_base_scores_higher() {
+        let lean = benefit_score(0.5, 100.0, 180.0, &[2, 2], &[2, 3]);
+        let fat = benefit_score(0.5, 100.0, 180.0, &[2, 2], &[8, 8]);
+        assert!(lean > fat);
+    }
+
+    #[test]
+    fn latency_term_saturates_at_target() {
+        // Any latency at or below the target contributes the same.
+        let at = benefit_score(1.0, 180.0, 180.0, &[1], &[1]);
+        let below = benefit_score(1.0, 10.0, 180.0, &[1], &[1]);
+        assert!((at - below).abs() < 1e-12);
+        assert!((at - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_extremes_isolate_terms() {
+        // α = 1: pure latency.
+        let f1 = benefit_score(1.0, 360.0, 180.0, &[1], &[10]);
+        assert!((f1 - 0.5).abs() < 1e-12);
+        // α = 0: pure resources.
+        let f0 = benefit_score(0.0, 9999.0, 180.0, &[2], &[8]);
+        assert!((f0 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_latency_counts_as_met() {
+        let f = benefit_score(0.5, 0.0, 180.0, &[1], &[1]);
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_formula() {
+        assert!((termination_threshold(0.5, 0.25) - (0.5 + 0.5 / 1.25)).abs() < 1e-12);
+        // w = 0: no over-allocation allowed, threshold is exactly 1.
+        assert!((termination_threshold(0.7, 0.0) - 1.0).abs() < 1e-12);
+        // w → ∞ would drop the threshold to α.
+        assert!(termination_threshold(0.5, 100.0) < 0.51);
+    }
+
+    #[test]
+    fn base_config_meeting_latency_always_passes_threshold() {
+        // At the base configuration with latency met, F = 1 ≥ threshold
+        // for every α, w.
+        for alpha in [0.0, 0.3, 0.5, 0.9, 1.0] {
+            for w in [0.0, 0.1, 0.5, 2.0] {
+                let f = benefit_score(alpha, 50.0, 100.0, &[2, 5], &[2, 5]);
+                assert!(f >= termination_threshold(alpha, w) - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let _ = benefit_score(0.5, 1.0, 1.0, &[1, 2], &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_parallelism_panics() {
+        let _ = benefit_score(0.5, 1.0, 1.0, &[1, 0], &[1, 1]);
+    }
+}

@@ -1,0 +1,344 @@
+//! Throughput optimization via true processing rates (paper §III-C).
+//!
+//! Following DS2's dataflow rule, the optimal parallelism of each operator
+//! is derived by propagating the external input rate `v₀` down the DAG
+//! (Eq. 3): the source must keep up with `v₀`, and every downstream
+//! operator must keep up with its upstream's output at the *new*
+//! configuration, estimated through observed selectivities and
+//! busy-time-based true processing rates (Eq. 2). Iterate deploy → measure
+//! → recompute until:
+//!
+//! * throughput reaches the input rate (within tolerance), or
+//! * **the paper's new termination condition** — the recommendation
+//!   repeats the current configuration, which happens when an external
+//!   bottleneck (Redis in the Yahoo benchmark) caps throughput below the
+//!   target and DS2 alone would loop forever, or
+//! * the iteration budget is exhausted.
+//!
+//! Afterwards, AuTraScale "reviews the iterative process and selects the
+//! solution with maximum throughput and less resource utilization"
+//! (§V-B): among visited configurations whose throughput is within
+//! tolerance of the best seen, the one with the least total parallelism
+//! wins.
+
+use crate::config::AuTraScaleConfig;
+use autrascale_flinkctl::{JobControl, JobMetrics};
+
+/// One deploy–measure step of the throughput loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputStep {
+    /// Configuration measured in this step.
+    pub parallelism: Vec<u32>,
+    /// Throughput (source consumption) observed, records/s.
+    pub throughput: f64,
+    /// External input rate during the step, records/s.
+    pub input_rate: f64,
+    /// Whether this step was keeping up (rate met and lag not growing).
+    pub keeping_up: bool,
+}
+
+/// Result of the throughput optimization phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputOutcome {
+    /// The selected configuration `k'` (max throughput, least resource).
+    pub final_parallelism: Vec<u32>,
+    /// Throughput of the selected configuration, records/s.
+    pub final_throughput: f64,
+    /// Number of deploy–measure iterations performed.
+    pub iterations: usize,
+    /// `true` when throughput reached the input rate; `false` when an
+    /// external limit capped it (the Yahoo case).
+    pub reached_input_rate: bool,
+    /// Every step, in order.
+    pub history: Vec<ThroughputStep>,
+}
+
+/// The Eq. 3 optimizer.
+#[derive(Debug, Clone)]
+pub struct ThroughputOptimizer {
+    config: AuTraScaleConfig,
+}
+
+impl ThroughputOptimizer {
+    /// Builds an optimizer with the given controller configuration.
+    pub fn new(config: &AuTraScaleConfig) -> Self {
+        Self { config: config.clone() }
+    }
+
+    /// Runs the full loop starting from the currently deployed
+    /// configuration (deploying all-ones if the job is not running yet).
+    ///
+    /// Returns an error string if the cluster rejects a deployment.
+    pub fn run(&self, cluster: &mut impl JobControl) -> Result<ThroughputOutcome, String> {
+        let n = cluster.num_operators();
+        let mut current = cluster.current_parallelism();
+        if current.iter().all(|&p| p == 0) || current.len() != n {
+            current = vec![1; n];
+            cluster.deploy(&current)?;
+        }
+
+        let mut history: Vec<ThroughputStep> = Vec::new();
+        let mut reached = false;
+
+        for _ in 0..self.config.max_throughput_iters {
+            cluster.advance(self.config.policy_running_time);
+            let metrics = cluster
+                .metrics(self.config.policy_running_time / 2.0)
+                .ok_or_else(|| "no metrics available after policy running time".to_string())?;
+
+            let rate_met = metrics.keeping_up(self.config.rate_tolerance);
+            history.push(ThroughputStep {
+                parallelism: current.clone(),
+                throughput: metrics.throughput,
+                input_rate: metrics.producer_rate,
+                keeping_up: rate_met,
+            });
+
+            let next = self.recommend(&metrics, cluster.max_parallelism());
+
+            // The paper's new termination condition: a repeated
+            // recommendation means either convergence (rate met) or an
+            // external cap that further scaling cannot lift (rate unmet —
+            // the Yahoo case, where DS2 alone would loop forever).
+            if next == current {
+                reached = rate_met;
+                break;
+            }
+            // Rate met and the recommendation is not cheaper: converged.
+            // (A cheaper recommendation with the rate met is the
+            // scale-down path — Eq. 3 computes the MINIMAL configuration,
+            // so over-provisioned deployments shrink toward it.)
+            let total = |k: &[u32]| k.iter().map(|&p| u64::from(p)).sum::<u64>();
+            if rate_met && total(&next) >= total(&current) {
+                reached = true;
+                break;
+            }
+            cluster.deploy(&next)?;
+            current = next;
+        }
+
+        // Review the iterative process: among acceptable steps, the least
+        // total parallelism wins. "Acceptable" means meeting the input
+        // rate when it was reachable, or within tolerance of the best
+        // throughput seen when an external cap gated it (the Yahoo case).
+        let best_throughput = history
+            .iter()
+            .map(|s| s.throughput)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let acceptable = |s: &&ThroughputStep| {
+            if reached {
+                s.keeping_up
+            } else {
+                s.throughput >= best_throughput * (1.0 - self.config.rate_tolerance)
+            }
+        };
+        let winner = history
+            .iter()
+            .filter(acceptable)
+            .min_by_key(|s| s.parallelism.iter().map(|&p| u64::from(p)).sum::<u64>())
+            .unwrap_or_else(|| history.last().expect("history has at least one step"));
+
+        let outcome = ThroughputOutcome {
+            final_parallelism: winner.parallelism.clone(),
+            final_throughput: winner.throughput,
+            iterations: history.len(),
+            reached_input_rate: reached,
+            history,
+        };
+
+        // Leave the cluster on the selected configuration.
+        if cluster.current_parallelism() != outcome.final_parallelism {
+            cluster.deploy(&outcome.final_parallelism)?;
+            cluster.advance(self.config.policy_running_time);
+        }
+        Ok(outcome)
+    }
+
+    /// One application of Eq. 3: propagate the producer rate down the
+    /// topology through observed selectivities and true rates.
+    ///
+    /// `metrics.operators` is in topological order (guaranteed by the
+    /// simulator's `JobGraph`); predecessors therefore appear before
+    /// successors and a single forward pass suffices. Branching DAGs are
+    /// handled through `metrics.edges`: a join operator's target input is
+    /// the sum over its predecessors' target outputs.
+    pub fn recommend(&self, metrics: &JobMetrics, p_max: u32) -> Vec<u32> {
+        let ops = &metrics.operators;
+        let n = ops.len();
+        let mut target_input = vec![0.0f64; n];
+        let mut recommendation = Vec::with_capacity(n);
+
+        for (i, op) in ops.iter().enumerate() {
+            let predecessors = metrics.predecessors(i);
+            let target = if predecessors.is_empty() {
+                // The source must ingest the external rate v0 (plus it will
+                // also need to drain lag, but Eq. 3 targets the rate).
+                metrics.producer_rate
+            } else {
+                // Sum the predecessors' target outputs at the NEW
+                // configuration (their target inputs through observed
+                // selectivities). A target below the observed flow is
+                // legitimate: when the job is draining lag, observed rates
+                // exceed v0 and the target scales DOWN.
+                predecessors
+                    .iter()
+                    .map(|&p| target_input[p] * observed_selectivity(&ops[p]))
+                    .sum()
+            };
+            target_input[i] = target;
+
+            // Provision with `rate_tolerance` headroom over the bare
+            // target: an exact-ceiling configuration lands within noise of
+            // the input rate, where the backlog never drains and the
+            // repeated-recommendation termination would misfire.
+            let v_avg = op.true_rate_avg.max(1e-9);
+            let k = (target * (1.0 + self.config.rate_tolerance) / v_avg).ceil() as i64;
+            recommendation.push((k.max(1) as u32).min(p_max));
+        }
+        recommendation
+    }
+}
+
+/// Observed selectivity `o_i / processed_i` of an operator; 1.0 when the
+/// operator has processed nothing yet.
+fn observed_selectivity(op: &autrascale_flinkctl::OperatorMetrics) -> f64 {
+    let processed = op.observed_rate_total;
+    if processed > 1e-9 && op.output_rate > 0.0 {
+        op.output_rate / processed
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autrascale_flinkctl::FlinkCluster;
+    use autrascale_streamsim::{
+        JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
+    };
+
+    fn cluster(job: JobGraph, rate: f64, seed: u64) -> FlinkCluster {
+        let config = SimulationConfig {
+            job,
+            profile: RateProfile::constant(rate),
+            seed,
+            restart_downtime: 10.0,
+            ..Default::default()
+        };
+        FlinkCluster::new(Simulation::new(config).unwrap())
+    }
+
+    fn fast_config() -> AuTraScaleConfig {
+        AuTraScaleConfig {
+            policy_running_time: 120.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn scales_up_bottleneck_operator() {
+        let job = JobGraph::linear(vec![
+            OperatorSpec::source("Source", 40_000.0),
+            OperatorSpec::transform("Map", 12_000.0, 1.0).with_sync_coeff(0.05),
+            OperatorSpec::sink("Sink", 50_000.0),
+        ])
+        .unwrap();
+        let mut fc = cluster(job, 30_000.0, 1);
+        let outcome = ThroughputOptimizer::new(&fast_config()).run(&mut fc).unwrap();
+        assert!(outcome.reached_input_rate, "{outcome:?}");
+        // Map needs ~3 instances for 30k at 12k each.
+        assert!(outcome.final_parallelism[1] >= 3, "{:?}", outcome.final_parallelism);
+        // Source and sink stay lean.
+        assert_eq!(outcome.final_parallelism[0], 1);
+        assert!(outcome.iterations <= 5, "iterations {}", outcome.iterations);
+        assert!(outcome.final_throughput > 28_000.0);
+    }
+
+    #[test]
+    fn terminates_on_external_cap_instead_of_looping() {
+        // Sink externally capped at 5k: input 20k can never be met. DS2
+        // alone would keep raising parallelism; the new termination
+        // condition must stop the loop.
+        let job = JobGraph::linear(vec![
+            OperatorSpec::source("Source", 30_000.0),
+            OperatorSpec::sink("Sink", 2_000.0).with_external_limit(5_000.0),
+        ])
+        .unwrap();
+        let mut fc = cluster(job, 20_000.0, 2);
+        let cfg = fast_config();
+        let outcome = ThroughputOptimizer::new(&cfg).run(&mut fc).unwrap();
+        assert!(!outcome.reached_input_rate);
+        assert!(outcome.iterations <= cfg.max_throughput_iters);
+        // Throughput pinned near the 5k cap.
+        assert!(outcome.final_throughput < 7_000.0, "{}", outcome.final_throughput);
+        assert!(outcome.final_throughput > 3_000.0, "{}", outcome.final_throughput);
+    }
+
+    #[test]
+    fn review_picks_least_resource_among_max_throughput() {
+        // After the loop, the winner must not be strictly dominated: no
+        // visited config with equal-or-better throughput and less total
+        // parallelism.
+        let job = JobGraph::linear(vec![
+            OperatorSpec::source("Source", 30_000.0),
+            OperatorSpec::transform("Map", 9_000.0, 1.0),
+            OperatorSpec::sink("Sink", 40_000.0),
+        ])
+        .unwrap();
+        let mut fc = cluster(job, 20_000.0, 3);
+        let outcome = ThroughputOptimizer::new(&fast_config()).run(&mut fc).unwrap();
+        let winner_total: u64 = outcome.final_parallelism.iter().map(|&p| u64::from(p)).sum();
+        for step in &outcome.history {
+            let total: u64 = step.parallelism.iter().map(|&p| u64::from(p)).sum();
+            let dominates = step.throughput >= outcome.final_throughput && total < winner_total;
+            assert!(!dominates, "dominated by {step:?}");
+        }
+    }
+
+    #[test]
+    fn already_provisioned_job_terminates_immediately() {
+        let job = JobGraph::linear(vec![
+            OperatorSpec::source("Source", 50_000.0),
+            OperatorSpec::sink("Sink", 50_000.0),
+        ])
+        .unwrap();
+        let mut fc = cluster(job, 10_000.0, 4);
+        fc.submit(&[1, 1]).unwrap();
+        let outcome = ThroughputOptimizer::new(&fast_config()).run(&mut fc).unwrap();
+        assert!(outcome.reached_input_rate);
+        assert_eq!(outcome.iterations, 1);
+        assert_eq!(outcome.final_parallelism, vec![1, 1]);
+    }
+
+    #[test]
+    fn recommendation_respects_p_max() {
+        let job = JobGraph::linear(vec![
+            OperatorSpec::source("Source", 1_000.0),
+            OperatorSpec::sink("Sink", 1_000.0),
+        ])
+        .unwrap();
+        // 200k input with 1k/instance operators: unbounded recommendation
+        // would be 200; P_max (50) must clamp it.
+        let mut fc = cluster(job, 200_000.0, 5);
+        let outcome = ThroughputOptimizer::new(&fast_config()).run(&mut fc).unwrap();
+        assert!(outcome.final_parallelism.iter().all(|&p| p <= 50));
+    }
+
+    #[test]
+    fn selectivity_propagates_to_downstream_targets() {
+        // FlatMap doubles record count: Sink needs ~2x the instances Map
+        // math alone would suggest.
+        let job = JobGraph::linear(vec![
+            OperatorSpec::source("Source", 40_000.0),
+            OperatorSpec::transform("FlatMap", 40_000.0, 2.0),
+            OperatorSpec::sink("Sink", 10_000.0).with_sync_coeff(0.02),
+        ])
+        .unwrap();
+        let mut fc = cluster(job, 20_000.0, 6);
+        let outcome = ThroughputOptimizer::new(&fast_config()).run(&mut fc).unwrap();
+        assert!(outcome.reached_input_rate, "{outcome:?}");
+        // Sink sees 40k records/s at 10k per instance ⇒ ≥ 4.
+        assert!(outcome.final_parallelism[2] >= 4, "{:?}", outcome.final_parallelism);
+    }
+}

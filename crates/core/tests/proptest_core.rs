@@ -1,0 +1,122 @@
+//! Property-based tests for the scoring function (Eq. 4), the termination
+//! threshold (Eq. 9), and their interaction — the invariants Algorithm 1's
+//! convergence argument rests on.
+
+use autrascale::{benefit_score, termination_threshold};
+use proptest::prelude::*;
+
+fn parallelism_pair() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    (1usize..6).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(1u32..20, n),
+            proptest::collection::vec(0u32..30, n),
+        )
+            .prop_map(|(base, extra)| {
+                // current_i = base_i + extra_i keeps current ≥ base, the
+                // Algorithm 1 search-space invariant.
+                let current: Vec<u32> =
+                    base.iter().zip(&extra).map(|(b, e)| b + e).collect();
+                (base, current)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The score is always in [0, 1] within the search space.
+    #[test]
+    fn score_is_bounded(
+        (base, current) in parallelism_pair(),
+        alpha in 0.0f64..=1.0,
+        latency in 0.0f64..10_000.0,
+        target in 1.0f64..1_000.0,
+    ) {
+        let f = benefit_score(alpha, latency, target, &base, &current);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&f), "f = {f}");
+    }
+
+    /// Rule (a): lower latency never lowers the score.
+    #[test]
+    fn monotone_in_latency(
+        (base, current) in parallelism_pair(),
+        alpha in 0.0f64..=1.0,
+        l1 in 0.0f64..5_000.0,
+        dl in 0.0f64..5_000.0,
+        target in 1.0f64..1_000.0,
+    ) {
+        let better = benefit_score(alpha, l1, target, &base, &current);
+        let worse = benefit_score(alpha, l1 + dl, target, &base, &current);
+        prop_assert!(better >= worse - 1e-12);
+    }
+
+    /// Rule (b): adding parallelism anywhere never raises the score.
+    #[test]
+    fn monotone_in_parallelism(
+        (base, current) in parallelism_pair(),
+        alpha in 0.0f64..=1.0,
+        latency in 0.0f64..1_000.0,
+        target in 1.0f64..1_000.0,
+        which in 0usize..6,
+    ) {
+        let lean = benefit_score(alpha, latency, target, &base, &current);
+        let mut fatter = current.clone();
+        let i = which % fatter.len();
+        fatter[i] += 1;
+        let fat = benefit_score(alpha, latency, target, &base, &fatter);
+        prop_assert!(fat <= lean + 1e-12, "fat {fat} lean {lean}");
+    }
+
+    /// F = 1 exactly at the base configuration with latency met — the
+    /// anchor the bootstrap design evaluates first.
+    #[test]
+    fn base_config_scores_one(
+        base in proptest::collection::vec(1u32..20, 1..6),
+        alpha in 0.0f64..=1.0,
+        target in 1.0f64..1_000.0,
+        frac in 0.0f64..=1.0,
+    ) {
+        let latency = target * frac; // at or below target
+        let f = benefit_score(alpha, latency, target, &base, &base);
+        prop_assert!((f - 1.0).abs() < 1e-12, "f = {f}");
+    }
+
+    /// The threshold lies in [α, 1] and decreases with the allowed
+    /// over-allocation w — more slack, easier termination.
+    #[test]
+    fn threshold_bounds_and_monotonicity(
+        alpha in 0.0f64..=1.0,
+        w1 in 0.0f64..5.0,
+        dw in 0.0f64..5.0,
+    ) {
+        let t1 = termination_threshold(alpha, w1);
+        let t2 = termination_threshold(alpha, w1 + dw);
+        prop_assert!(t1 <= 1.0 + 1e-12);
+        prop_assert!(t1 >= alpha - 1e-12);
+        prop_assert!(t2 <= t1 + 1e-12);
+    }
+
+    /// Termination is sound: any configuration passing the threshold with
+    /// latency met respects the user's over-allocation bound (Eq. 8)
+    /// expressed through the mean allocation ratio.
+    #[test]
+    fn threshold_implies_allocation_bound(
+        (base, current) in parallelism_pair(),
+        alpha in 0.01f64..=0.99,
+        w in 0.0f64..3.0,
+        target in 1.0f64..1_000.0,
+    ) {
+        let latency = target * 0.5; // latency met
+        let f = benefit_score(alpha, latency, target, &base, &current);
+        if f >= termination_threshold(alpha, w) {
+            let n = base.len() as f64;
+            let ratio: f64 = base
+                .iter()
+                .zip(&current)
+                .map(|(&b, &c)| f64::from(b) / f64::from(c))
+                .sum::<f64>() / n;
+            // Eq. 8: C_opt/C_now ≥ 1/(1+w).
+            prop_assert!(ratio >= 1.0 / (1.0 + w) - 1e-9, "ratio {ratio}, w {w}");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Bootstrap-size sweep — §V-C's observation "the more train samples,
+//! the fewer iterations", which the paper states (WordCount trained with
+//! 10 samples vs Yahoo with 40) but does not tabulate.
+//!
+//! Sweeps the uniform-family size `M` of the §III-D bootstrap design and
+//! measures how many BO iterations Algorithm 1 needs afterwards, plus the
+//! quality of the terminal configuration. Expected shape: iterations fall
+//! (or stay flat) as the initial design grows, at the cost of more
+//! bootstrap evaluations — the exploration is paid for either way, but
+//! designed samples are better placed than acquisition-driven ones early
+//! on.
+
+use crate::{output, paper_config};
+use autrascale::{Algorithm1, ThroughputOptimizer};
+use autrascale_flinkctl::{FlinkCluster, JobControl};
+use autrascale_streamsim::Simulation;
+use autrascale_workloads::wordcount;
+use serde::Serialize;
+
+/// One sweep point, averaged over several seeds (BO is stochastic; a
+/// single run per M would mostly show acquisition variance).
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepRow {
+    /// Uniform-family size M of the bootstrap design.
+    pub bootstrap_m: usize,
+    /// Bootstrap samples evaluated (after dedup, incl. base + one-hots).
+    pub bootstrap_samples: usize,
+    /// Mean BO iterations to termination across seeds.
+    pub bo_iterations: f64,
+    /// Mean total cluster evaluations (bootstrap + BO).
+    pub total_evaluations: f64,
+    /// Mean terminal Σ parallelism.
+    pub total_parallelism: f64,
+    /// Mean terminal latency, ms.
+    pub final_latency_ms: f64,
+    /// Fraction of seeds whose terminal configuration met QoS.
+    pub qos_success_rate: f64,
+}
+
+/// The sweep report.
+#[derive(Debug, Clone, Serialize)]
+pub struct BootstrapSweepReport {
+    /// One row per M.
+    pub rows: Vec<SweepRow>,
+}
+
+/// Runs the sweep on WordCount at its paper rate, with a latency target
+/// tightened to 140 ms so the throughput-optimal base does NOT already
+/// satisfy QoS — the BO loop has real work to do at every M.
+pub fn run(seed: u64) -> BootstrapSweepReport {
+    let mut w = wordcount();
+    w.target_latency_ms = 140.0;
+    let ms = [2usize, 5, 10, 15];
+    let seeds = [seed, seed + 1000, seed + 2000];
+    let rows: Vec<SweepRow> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ms
+            .iter()
+            .map(|&m| {
+                let w = w.clone();
+                scope.spawn(move || {
+                    let mut boot = 0usize;
+                    let mut iters = 0.0;
+                    let mut total_p = 0.0;
+                    let mut latency = 0.0;
+                    let mut met = 0usize;
+                    for &run_seed in &seeds {
+                        let sim = Simulation::new(w.default_config(run_seed))
+                            .expect("valid workload");
+                        let mut cluster = FlinkCluster::new(sim);
+                        let mut config = paper_config(&w, run_seed);
+                        config.bootstrap_m = m;
+                        let thr = ThroughputOptimizer::new(&config)
+                            .run(&mut cluster)
+                            .expect("throughput phase");
+                        let alg1 =
+                            Algorithm1::new(&config, thr.final_parallelism, w.p_max());
+                        let outcome =
+                            alg1.run(&mut cluster, Vec::new()).expect("Algorithm 1");
+                        boot = outcome.bootstrap_samples;
+                        iters += outcome.iterations as f64;
+                        total_p += outcome
+                            .final_parallelism
+                            .iter()
+                            .map(|&p| f64::from(p))
+                            .sum::<f64>();
+                        latency += outcome.final_latency_ms;
+                        met += usize::from(outcome.meets_qos);
+                    }
+                    let n = seeds.len() as f64;
+                    SweepRow {
+                        bootstrap_m: m,
+                        bootstrap_samples: boot,
+                        bo_iterations: iters / n,
+                        total_evaluations: boot as f64 + iters / n,
+                        total_parallelism: total_p / n,
+                        final_latency_ms: latency / n,
+                        qos_success_rate: met as f64 / n,
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep thread")).collect()
+    });
+
+    let report = BootstrapSweepReport { rows };
+    let dir = output::results_dir();
+    output::write_csv(
+        &dir.join("bootstrap_sweep.csv"),
+        &[
+            "bootstrap_m", "bootstrap_samples", "bo_iterations", "total_evaluations",
+            "total_parallelism", "final_latency_ms", "qos_success_rate",
+        ],
+        report.rows.iter().map(|r| {
+            vec![
+                r.bootstrap_m.to_string(),
+                r.bootstrap_samples.to_string(),
+                format!("{:.1}", r.bo_iterations),
+                format!("{:.1}", r.total_evaluations),
+                format!("{:.1}", r.total_parallelism),
+                format!("{:.1}", r.final_latency_ms),
+                format!("{:.2}", r.qos_success_rate),
+            ]
+        }),
+    )
+    .expect("write sweep csv");
+    output::write_json(&dir.join("bootstrap_sweep.json"), &report).expect("write sweep json");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_row_accounting_is_consistent() {
+        // A single fast point (not the full sweep) to keep test time sane.
+        let w = wordcount();
+        let sim = Simulation::new(w.default_config(3)).unwrap();
+        let mut cluster = FlinkCluster::new(sim);
+        let mut config = paper_config(&w, 3);
+        config.bootstrap_m = 3;
+        config.max_bo_iters = 6;
+        config.policy_running_time = 150.0;
+        let thr = ThroughputOptimizer::new(&config).run(&mut cluster).unwrap();
+        let alg1 = Algorithm1::new(&config, thr.final_parallelism, w.p_max());
+        let outcome = alg1.run(&mut cluster, Vec::new()).unwrap();
+        // Base + up to M uniform + up to N one-hot, minus dedup.
+        assert!(outcome.bootstrap_samples >= 4);
+        assert!(outcome.bootstrap_samples <= 1 + 3 + 4);
+        assert!(outcome.iterations >= 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Fig. 1 — CASE 1: fixed parallelism 2, input rate rising 100k→300k in
+//! 50k steps every 10 minutes.
+//!
+//! Expected shape (paper Observation 1): throughput tracks the input rate
+//! up to ~250k records/s, then plateaus; Kafka lag and end-to-end
+//! (event-time) latency grow without bound once the rate exceeds the
+//! fixed configuration's capacity.
+
+use crate::output;
+use autrascale_streamsim::{RateProfile, Simulation};
+use autrascale_workloads::wordcount;
+use serde::Serialize;
+
+/// One sampled point of the CASE 1 time series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig1Point {
+    /// Time, minutes.
+    pub minute: f64,
+    /// External input rate, records/s.
+    pub input_rate: f64,
+    /// Job throughput (source consumption), records/s.
+    pub throughput: f64,
+    /// Kafka consumer lag, records.
+    pub kafka_lag: f64,
+    /// In-job processing latency, ms.
+    pub processing_latency_ms: f64,
+    /// Event-time latency (Kafka pending + processing), ms; very large
+    /// values are reported as-is, `None` while fully stalled.
+    pub event_time_latency_ms: Option<f64>,
+}
+
+/// The CASE 1 report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig1Report {
+    /// Sampled every `sample_interval` seconds.
+    pub series: Vec<Fig1Point>,
+    /// The plateau throughput over the final 10 minutes, records/s.
+    pub plateau_throughput: f64,
+    /// Lag at the end of the run, records.
+    pub final_lag: f64,
+}
+
+/// Runs CASE 1. `duration_secs` defaults to the paper's 50 minutes.
+pub fn run(duration_secs: f64, seed: u64) -> Fig1Report {
+    let w = wordcount();
+    // 100k start, +50k per 10 min, capped at 300k.
+    let profile = RateProfile::staircase(100_000.0, 50_000.0, 600.0, 300_000.0);
+    let mut sim = Simulation::new(w.config_with_profile(profile, seed))
+        .expect("valid workload config");
+    sim.deploy(&[2, 2, 2, 2]).expect("parallelism 2 is valid");
+
+    let sample_interval = 10.0;
+    let mut series = Vec::new();
+    let mut elapsed = 0.0;
+    while elapsed < duration_secs {
+        sim.run_for(sample_interval);
+        elapsed += sample_interval;
+        let snap = sim.snapshot();
+        series.push(Fig1Point {
+            minute: snap.time / 60.0,
+            input_rate: snap.producer_rate,
+            throughput: snap.source_consumption_rate,
+            kafka_lag: snap.kafka_lag,
+            processing_latency_ms: snap.processing_latency_ms,
+            event_time_latency_ms: snap.event_time_latency_ms,
+        });
+    }
+
+    let tail = (duration_secs / sample_interval * 0.2) as usize;
+    let tail_points = &series[series.len().saturating_sub(tail.max(1))..];
+    let plateau_throughput =
+        tail_points.iter().map(|p| p.throughput).sum::<f64>() / tail_points.len() as f64;
+
+    let report = Fig1Report {
+        final_lag: series.last().map(|p| p.kafka_lag).unwrap_or(0.0),
+        plateau_throughput,
+        series,
+    };
+
+    let dir = output::results_dir();
+    output::write_csv(
+        &dir.join("fig1_case1.csv"),
+        &["minute", "input_rate", "throughput", "kafka_lag", "proc_latency_ms", "event_latency_ms"],
+        report.series.iter().map(|p| {
+            vec![
+                format!("{:.2}", p.minute),
+                format!("{:.0}", p.input_rate),
+                format!("{:.0}", p.throughput),
+                format!("{:.0}", p.kafka_lag),
+                format!("{:.1}", p.processing_latency_ms),
+                p.event_time_latency_ms
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_else(|| "inf".into()),
+            ]
+        }),
+    )
+    .expect("write fig1 csv");
+    output::write_json(&dir.join("fig1_case1.json"), &report).expect("write fig1 json");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case1_reproduces_observation1() {
+        // Shortened run: 100k for 120 s (fine), then jump straight into
+        // the over-capacity regime via the staircase at 10x speed.
+        let w = wordcount();
+        let profile = RateProfile::staircase(100_000.0, 50_000.0, 60.0, 300_000.0);
+        let mut sim = Simulation::new(w.config_with_profile(profile, 5)).unwrap();
+        sim.deploy(&[2, 2, 2, 2]).unwrap();
+        // At 100k: keeps up.
+        sim.run_for(50.0);
+        let early = sim.snapshot();
+        assert!(early.kafka_lag < 50_000.0, "lag {}", early.kafka_lag);
+        // At 300k (t > 240 s): far over the ~250k capacity ⇒ lag grows.
+        sim.run_for(400.0);
+        let late = sim.snapshot();
+        assert!(late.kafka_lag > 1_000_000.0, "lag {}", late.kafka_lag);
+        assert!(late.source_consumption_rate < 280_000.0);
+        assert!(late.source_consumption_rate > 200_000.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Fig. 8 — transfer efficiency when the data rate changes (§V-D).
+//!
+//! Nexmark Query 5 (rate 20k → 30k, l_t = 500 ms) and Query 11 (rate
+//! 80k → 100k, l_t = 150 ms). A benefit model is trained in advance at
+//! the old rate; at the new rate AuTraScale runs throughput optimization
+//! followed by Algorithm 2 (transfer learning), compared against DS2 in
+//! offline mode.
+//!
+//! Paper shapes: comparable iteration counts (Q11 equal, Q5 two more for
+//! AuTraScale), AuTraScale's terminal configuration saves ~13.5%
+//! parallelism on average (≈5.2% CPU, 6.2% memory), and its per-record
+//! latency is slightly better while DS2 does not optimize latency at all.
+
+use crate::{output, paper_config};
+use autrascale::{Algorithm1, ModelLibrary, ThroughputOptimizer, TransferLearner};
+use autrascale_baselines::{Ds2Config, Ds2Policy};
+use autrascale_flinkctl::FlinkCluster;
+use autrascale_metricsdb::Query;
+use autrascale_streamsim::{metrics as simmetrics, Simulation};
+use autrascale_workloads::{nexmark_q11, nexmark_q5, Workload};
+use serde::Serialize;
+
+/// Latency distribution summary of a terminal configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyDistribution {
+    /// Mean per-record processing latency, ms.
+    pub mean_ms: f64,
+    /// Median, ms.
+    pub p50_ms: f64,
+    /// 95th percentile, ms.
+    pub p95_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+}
+
+/// One method's result on one query.
+#[derive(Debug, Clone, Serialize)]
+pub struct TransferMethodResult {
+    /// "AuTraScale-transfer" or "DS2-offline".
+    pub method: String,
+    /// Iterations to terminate.
+    pub iterations: usize,
+    /// Terminal parallelism vector.
+    pub final_parallelism: Vec<u32>,
+    /// Σ parallelism (the resource-unit measure of Fig. 8a).
+    pub total_parallelism: u64,
+    /// Per-record latency at the terminal configuration (Fig. 8b).
+    pub latency: LatencyDistribution,
+    /// Estimated CPU cores in use (1 slot = 1 core, Fig. 8c).
+    pub cpu_cores: u64,
+    /// Estimated memory in GB (1 slot = 4 GB, Fig. 8c).
+    pub memory_gb: u64,
+}
+
+/// One query's block of the Fig. 8 report.
+#[derive(Debug, Clone, Serialize)]
+pub struct TransferQueryResult {
+    /// "Nexmark-Q5" or "Nexmark-Q11".
+    pub query: String,
+    /// The pre-training rate, records/s.
+    pub old_rate: f64,
+    /// The evaluation rate, records/s.
+    pub new_rate: f64,
+    /// Latency target, ms.
+    pub target_latency_ms: f64,
+    /// AuTraScale-transfer and DS2-offline results.
+    pub methods: Vec<TransferMethodResult>,
+}
+
+/// The full Fig. 8 report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8Report {
+    /// Per-query blocks.
+    pub queries: Vec<TransferQueryResult>,
+    /// Mean parallelism saving of AuTraScale vs DS2 (paper: 13.5%).
+    pub avg_parallelism_saving_pct: f64,
+    /// Mean CPU saving (paper: 5.2%).
+    pub avg_cpu_saving_pct: f64,
+    /// Mean memory saving (paper: 6.2%).
+    pub avg_memory_saving_pct: f64,
+}
+
+const MEMORY_GB_PER_SLOT: u64 = 4;
+
+fn latency_distribution(cluster: &FlinkCluster, window: f64) -> LatencyDistribution {
+    let store = cluster.simulation().store();
+    let now = cluster.now();
+    let from = (now - window).max(0.0);
+    let points: Vec<_> = store
+        .select(&Query::new(simmetrics::PROCESSING_LATENCY_MS, from, now))
+        .into_iter()
+        .flat_map(|(_, pts)| pts)
+        .collect();
+    let pct = |q: f64| autrascale_metricsdb::percentile(&points, q).unwrap_or(0.0);
+    LatencyDistribution {
+        mean_ms: autrascale_metricsdb::mean(&points).unwrap_or(0.0),
+        p50_ms: pct(50.0),
+        p95_ms: pct(95.0),
+        p99_ms: pct(99.0),
+    }
+}
+
+fn method_result(
+    method: &str,
+    iterations: usize,
+    parallelism: Vec<u32>,
+    cluster: &FlinkCluster,
+) -> TransferMethodResult {
+    let total: u64 = parallelism.iter().map(|&p| u64::from(p)).sum();
+    TransferMethodResult {
+        method: method.into(),
+        iterations,
+        total_parallelism: total,
+        latency: latency_distribution(cluster, 150.0),
+        cpu_cores: total,
+        memory_gb: total * MEMORY_GB_PER_SLOT,
+        final_parallelism: parallelism,
+    }
+}
+
+/// Drains any backlog the reconfiguration phases accumulated so the
+/// terminal configuration's latency reflects IT, not its predecessors
+/// (the paper measures per-record latency at the terminal configuration
+/// of each method). Bounded.
+fn settle(cluster: &mut FlinkCluster, rate: f64) {
+    for _ in 0..30 {
+        if cluster.simulation().kafka_lag() <= rate {
+            break;
+        }
+        cluster.run_for(120.0);
+    }
+    cluster.run_for(150.0);
+}
+
+/// Runs one query's transfer experiment.
+///
+/// Following §V-D's protocol: the benefit model for the OLD rate is
+/// trained in advance; both methods are then evaluated on a deployment
+/// receiving the NEW rate, starting from the old rate's base
+/// configuration (the state a running job would be in when its input
+/// rate changes).
+pub fn run_query(
+    workload: &Workload,
+    old_rate: f64,
+    new_rate: f64,
+    seed: u64,
+) -> TransferQueryResult {
+    let config = paper_config(workload, seed);
+
+    // --- Pre-training at the old rate (shared by both methods' setup). ---
+    let (library, old_base) = {
+        let sim = Simulation::new(workload.config(old_rate, seed)).expect("valid workload");
+        let mut cluster = FlinkCluster::new(sim);
+        let thr_old = ThroughputOptimizer::new(&config)
+            .run(&mut cluster)
+            .expect("old-rate throughput optimization");
+        let alg1 = Algorithm1::new(&config, thr_old.final_parallelism.clone(), workload.p_max());
+        let trained = alg1.run(&mut cluster, Vec::new()).expect("old-rate Algorithm 1");
+        let mut library = ModelLibrary::new();
+        library.insert(old_rate, trained.dataset);
+        (library, thr_old.final_parallelism)
+    };
+
+    // --- AuTraScale: throughput optimization + Algorithm 2 at new rate. ---
+    let autrascale = {
+        let sim = Simulation::new(workload.config(new_rate, seed)).expect("valid workload");
+        let mut cluster = FlinkCluster::new(sim);
+        cluster.submit(&old_base).expect("old base is valid");
+        cluster.run_for(60.0); // one policy interval until detection
+
+        let thr_new = ThroughputOptimizer::new(&config)
+            .run(&mut cluster)
+            .expect("new-rate throughput optimization");
+        settle(&mut cluster, new_rate);
+        let tl = TransferLearner::new(&config, thr_new.final_parallelism.clone(), workload.p_max());
+        let prior = library.closest(new_rate).expect("library has the old model").clone();
+        let outcome = tl.run(&mut cluster, &prior, Vec::new()).expect("Algorithm 2 runs");
+        settle(&mut cluster, new_rate);
+        method_result(
+            "AuTraScale-transfer",
+            outcome.iterations,
+            outcome.final_parallelism,
+            &cluster,
+        )
+    };
+
+    // --- DS2 offline at the new rate, from the same starting state. ---
+    let ds2 = {
+        let sim = Simulation::new(workload.config(new_rate, seed + 1)).expect("valid workload");
+        let mut cluster = FlinkCluster::new(sim);
+        cluster.submit(&old_base).expect("old base is valid");
+        cluster.run_for(60.0);
+        let policy = Ds2Policy::new(Ds2Config {
+            policy_running_time: config.policy_running_time,
+            ..Default::default()
+        });
+        let outcome = policy.run(&mut cluster).expect("DS2 runs");
+        settle(&mut cluster, new_rate);
+        method_result("DS2-offline", outcome.iterations, outcome.final_parallelism, &cluster)
+    };
+
+    TransferQueryResult {
+        query: workload.name.to_string(),
+        old_rate,
+        new_rate,
+        target_latency_ms: workload.target_latency_ms,
+        methods: vec![autrascale, ds2],
+    }
+}
+
+/// Runs both queries (parallel threads) and aggregates savings.
+pub fn run(seed: u64) -> Fig8Report {
+    let q5 = nexmark_q5();
+    let q11 = nexmark_q11();
+    let queries: Vec<TransferQueryResult> = std::thread::scope(|scope| {
+        let h5 = scope.spawn(|| run_query(&q5, 20_000.0, 30_000.0, seed));
+        let h11 = scope.spawn(|| run_query(&q11, 80_000.0, 100_000.0, seed + 100));
+        vec![h5.join().expect("q5 thread"), h11.join().expect("q11 thread")]
+    });
+
+    let savings: Vec<(f64, f64, f64)> = queries
+        .iter()
+        .map(|q| {
+            let autra = &q.methods[0];
+            let ds2 = &q.methods[1];
+            let pct = |a: u64, b: u64| {
+                if b == 0 {
+                    0.0
+                } else {
+                    (1.0 - a as f64 / b as f64) * 100.0
+                }
+            };
+            (
+                pct(autra.total_parallelism, ds2.total_parallelism),
+                pct(autra.cpu_cores, ds2.cpu_cores),
+                pct(autra.memory_gb, ds2.memory_gb),
+            )
+        })
+        .collect();
+    let n = savings.len() as f64;
+    let report = Fig8Report {
+        avg_parallelism_saving_pct: savings.iter().map(|s| s.0).sum::<f64>() / n,
+        avg_cpu_saving_pct: savings.iter().map(|s| s.1).sum::<f64>() / n,
+        avg_memory_saving_pct: savings.iter().map(|s| s.2).sum::<f64>() / n,
+        queries,
+    };
+
+    let dir = output::results_dir();
+    output::write_csv(
+        &dir.join("fig8_transfer.csv"),
+        &[
+            "query", "method", "iterations", "final_parallelism", "total_parallelism",
+            "latency_mean_ms", "latency_p50_ms", "latency_p95_ms", "latency_p99_ms",
+            "cpu_cores", "memory_gb",
+        ],
+        report.queries.iter().flat_map(|q| {
+            q.methods.iter().map(move |m| {
+                vec![
+                    q.query.clone(),
+                    m.method.clone(),
+                    m.iterations.to_string(),
+                    output::fmt_parallelism(&m.final_parallelism).replace(", ", ";"),
+                    m.total_parallelism.to_string(),
+                    format!("{:.1}", m.latency.mean_ms),
+                    format!("{:.1}", m.latency.p50_ms),
+                    format!("{:.1}", m.latency.p95_ms),
+                    format!("{:.1}", m.latency.p99_ms),
+                    m.cpu_cores.to_string(),
+                    m.memory_gb.to_string(),
+                ]
+            })
+        }),
+    )
+    .expect("write fig8 csv");
+    output::write_json(&dir.join("fig8.json"), &report).expect("write fig8 json");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_distribution_orders_percentiles() {
+        let w = nexmark_q11();
+        let sim = Simulation::new(w.config(50_000.0, 3)).unwrap();
+        let mut cluster = FlinkCluster::new(sim);
+        cluster.submit(&[1, 6]).unwrap();
+        cluster.run_for(200.0);
+        let d = latency_distribution(&cluster, 150.0);
+        assert!(d.p50_ms <= d.p95_ms);
+        assert!(d.p95_ms <= d.p99_ms);
+        assert!(d.mean_ms > 0.0);
+    }
+}

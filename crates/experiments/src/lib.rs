@@ -1,0 +1,54 @@
+//! Experiment harness: one module per table/figure of the paper's
+//! evaluation (§II case studies and §V), plus shared output plumbing.
+//!
+//! Every module exposes a `run(...) -> Report` function returning a
+//! serializable report and, via [`output`], writes CSV artifacts under
+//! `results/`. The `autrascale-experiments` binary wires them to
+//! subcommands:
+//!
+//! ```text
+//! cargo run -p autrascale-experiments --release -- fig1
+//! cargo run -p autrascale-experiments --release -- all
+//! ```
+//!
+//! | Subcommand   | Paper artifact | Module |
+//! |---|---|---|
+//! | `fig1`       | Fig. 1 (CASE 1: fixed parallelism, rising rate) | [`fig1`] |
+//! | `fig2`       | Fig. 2 (CASE 2: fixed rate, rising parallelism) | [`fig2`] |
+//! | `fig5a`      | Fig. 5(a) throughput optimization, 4 workloads  | [`fig5`] |
+//! | `fig5b`      | Fig. 5(b) Yahoo iteration trace                 | [`fig5`] |
+//! | `elasticity` | Tables II & III + Figs. 6 & 7                   | [`elasticity`] |
+//! | `fig8`       | Fig. 8 transfer learning vs DS2                 | [`fig8`] |
+//! | `table4`     | Table IV algorithm overhead                     | [`table4`] |
+//! | `bootstrap`  | §V-C's "more samples, fewer iterations" claim   | [`bootstrap_sweep`] |
+
+pub mod bootstrap_sweep;
+pub mod elasticity;
+pub mod fig1;
+pub mod fig2;
+pub mod fig5;
+pub mod fig8;
+pub mod output;
+pub mod table4;
+
+use autrascale::AuTraScaleConfig;
+use autrascale_workloads::Workload;
+
+/// The controller configuration used by every §V experiment: the paper's
+/// targets with a 10:1 policy-running-time : restart-downtime ratio
+/// (the paper used 5–10 min policy running times against ~30 s restarts).
+pub fn paper_config(workload: &Workload, seed: u64) -> AuTraScaleConfig {
+    AuTraScaleConfig {
+        target_latency_ms: workload.target_latency_ms,
+        policy_running_time: 300.0,
+        policy_interval: 60.0,
+        // Threshold 0.9 as in §V-C: α=0.5, w=0.25 ⇒ 0.5 + 0.5/1.25 = 0.9.
+        alpha: 0.5,
+        over_allocation_ratio: 0.25,
+        // Yahoo's 5-operator space up to P_max = 40 needs a larger budget
+        // than the 25-iteration default.
+        max_bo_iters: 40,
+        seed,
+        ..Default::default()
+    }
+}

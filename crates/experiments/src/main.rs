@@ -1,0 +1,284 @@
+//! `autrascale-experiments` — regenerate every table and figure of the
+//! paper's evaluation.
+//!
+//! ```text
+//! autrascale-experiments <fig1|fig2|fig5a|fig5b|elasticity|fig8|table4|all> [seed]
+//! ```
+//!
+//! Artifacts land in `results/` (override with `AUTRASCALE_RESULTS_DIR`);
+//! a markdown summary prints to stdout.
+
+use autrascale_experiments::{
+    bootstrap_sweep, elasticity, fig1, fig2, fig5, fig8, output, table4,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    let seed: u64 = args
+        .get(2)
+        .map(|s| s.parse().expect("seed must be an unsigned integer"))
+        .unwrap_or(42);
+
+    match which {
+        "fig1" => run_fig1(seed),
+        "fig2" => run_fig2(seed),
+        "fig5a" => run_fig5a(seed),
+        "fig5b" => run_fig5b(seed),
+        "elasticity" => run_elasticity(seed),
+        "fig8" => run_fig8(seed),
+        "table4" => run_table4(seed),
+        "bootstrap" => run_bootstrap_sweep(seed),
+        "all" => {
+            run_fig1(seed);
+            run_fig2(seed);
+            run_fig5a(seed);
+            run_fig5b(seed);
+            run_elasticity(seed);
+            run_fig8(seed);
+            run_table4(seed);
+            run_bootstrap_sweep(seed);
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            eprintln!(
+                "usage: autrascale-experiments <fig1|fig2|fig5a|fig5b|elasticity|fig8|table4|bootstrap|all> [seed]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_fig1(seed: u64) {
+    println!("## Fig. 1 — CASE 1: fixed parallelism, rising input rate\n");
+    let report = fig1::run(3000.0, seed);
+    let rows: Vec<Vec<String>> = report
+        .series
+        .iter()
+        .step_by(30)
+        .map(|p| {
+            vec![
+                output::fmt1(p.minute),
+                output::fmt_rate(p.input_rate),
+                output::fmt_rate(p.throughput),
+                format!("{:.0}", p.kafka_lag),
+                p.event_time_latency_ms
+                    .map(output::fmt1)
+                    .unwrap_or_else(|| "∞".into()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        output::markdown_table(
+            &["minute", "input", "throughput", "kafka lag", "event latency (ms)"],
+            &rows
+        )
+    );
+    println!(
+        "Plateau throughput ≈ {} (paper: ~250k); final lag {:.0} records.\n",
+        output::fmt_rate(report.plateau_throughput),
+        report.final_lag
+    );
+}
+
+fn run_fig2(seed: u64) {
+    println!("## Fig. 2 — CASE 2: fixed 300k rate, parallelism 1–6\n");
+    let report = fig2::run(900.0, seed);
+    let rows: Vec<Vec<String>> = report
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.parallelism.to_string(),
+                output::fmt_rate(p.throughput),
+                output::fmt1(p.processing_latency_ms),
+                format!("{:.0}", p.kafka_lag),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        output::markdown_table(&["parallelism", "throughput", "latency (ms)", "kafka lag"], &rows)
+    );
+}
+
+fn run_fig5a(seed: u64) {
+    println!("## Fig. 5(a) — throughput optimization across workloads\n");
+    let report = fig5::run_fig5a(seed);
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                output::fmt_rate(r.input_rate),
+                r.iterations.to_string(),
+                output::fmt_parallelism(&r.final_parallelism),
+                output::fmt_rate(r.final_throughput),
+                if r.reached_input_rate { "yes".into() } else { "no (capped)".into() },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        output::markdown_table(
+            &["workload", "input rate", "iterations", "terminal parallelism", "throughput", "reached rate"],
+            &rows
+        )
+    );
+}
+
+fn run_fig5b(seed: u64) {
+    println!("## Fig. 5(b) — Yahoo throughput-optimization trace\n");
+    let report = fig5::run_fig5b(seed);
+    let rows: Vec<Vec<String>> = report
+        .steps
+        .iter()
+        .enumerate()
+        .map(|(i, (k, t))| {
+            vec![
+                format!("p{}", i + 1),
+                output::fmt_parallelism(k),
+                output::fmt_rate(*t),
+            ]
+        })
+        .collect();
+    println!("{}", output::markdown_table(&["step", "parallelism", "throughput"], &rows));
+    println!(
+        "Selected {} at {}; max uniform parallelism gives only {} (input rate {}) — the Redis cap holds.\n",
+        output::fmt_parallelism(&report.final_parallelism),
+        output::fmt_rate(report.final_throughput),
+        output::fmt_rate(report.max_uniform_throughput),
+        output::fmt_rate(report.input_rate),
+    );
+}
+
+fn run_elasticity(seed: u64) {
+    println!("## Tables II & III + Figs. 6 & 7 — elasticity at a steady rate\n");
+    let report = elasticity::run(seed);
+    for block in &report.scenarios {
+        println!(
+            "### {} — {:?} (target latency {} ms, rate {})\n",
+            block.workload,
+            block.scenario,
+            block.target_latency_ms,
+            output::fmt_rate(block.input_rate)
+        );
+        let rows: Vec<Vec<String>> = block
+            .methods
+            .iter()
+            .map(|m| {
+                vec![
+                    m.method.clone(),
+                    m.iterations.to_string(),
+                    output::fmt_parallelism(&m.final_parallelism),
+                    m.total_parallelism.to_string(),
+                    output::fmt1(m.final_latency_ms),
+                    output::fmt_rate(m.final_throughput),
+                    m.meets_qos.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            output::markdown_table(
+                &["method", "iterations", "terminal parallelism", "Σp", "latency (ms)", "throughput", "meets QoS"],
+                &rows
+            )
+        );
+    }
+    println!(
+        "Resource saving vs DRS — scale-down: {:.1}% (paper 66.6%), scale-up: {:.1}% (paper 36.7%).\n",
+        report.scale_down_saving_pct, report.scale_up_saving_pct
+    );
+}
+
+fn run_fig8(seed: u64) {
+    println!("## Fig. 8 — transfer learning vs DS2 at a changed rate\n");
+    let report = fig8::run(seed);
+    for q in &report.queries {
+        println!(
+            "### {} — {} → {} (target latency {} ms)\n",
+            q.query,
+            output::fmt_rate(q.old_rate),
+            output::fmt_rate(q.new_rate),
+            q.target_latency_ms
+        );
+        let rows: Vec<Vec<String>> = q
+            .methods
+            .iter()
+            .map(|m| {
+                vec![
+                    m.method.clone(),
+                    m.iterations.to_string(),
+                    output::fmt_parallelism(&m.final_parallelism),
+                    m.total_parallelism.to_string(),
+                    output::fmt1(m.latency.mean_ms),
+                    output::fmt1(m.latency.p99_ms),
+                    m.cpu_cores.to_string(),
+                    m.memory_gb.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            output::markdown_table(
+                &["method", "iterations", "terminal parallelism", "Σp", "mean lat (ms)", "p99 lat (ms)", "CPU cores", "mem (GB)"],
+                &rows
+            )
+        );
+    }
+    println!(
+        "Average savings vs DS2 — parallelism {:.1}% (paper 13.5%), CPU {:.1}% (paper 5.2%), memory {:.1}% (paper 6.2%).\n",
+        report.avg_parallelism_saving_pct, report.avg_cpu_saving_pct, report.avg_memory_saving_pct
+    );
+}
+
+fn run_bootstrap_sweep(seed: u64) {
+    println!("## Bootstrap-size sweep — \"the more train samples, the fewer iterations\"\n");
+    let report = bootstrap_sweep::run(seed);
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.bootstrap_m.to_string(),
+                r.bootstrap_samples.to_string(),
+                output::fmt1(r.bo_iterations),
+                output::fmt1(r.total_evaluations),
+                output::fmt1(r.total_parallelism),
+                output::fmt1(r.final_latency_ms),
+                format!("{:.2}", r.qos_success_rate),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        output::markdown_table(
+            &["M", "bootstrap evals", "mean BO iters", "mean total evals", "mean Σp", "mean latency (ms)", "QoS success"],
+            &rows
+        )
+    );
+}
+
+fn run_table4(seed: u64) {
+    println!("## Table IV — algorithm overhead (seconds of CPU time)\n");
+    let report = table4::run(seed);
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.operators.to_string(),
+                format!("{:.4}", r.alg1_train_s),
+                format!("{:.6}", r.alg1_use_s),
+                format!("{:.4}", r.alg2_s),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        output::markdown_table(&["operators", "Alg1_train (s)", "Alg1_use (s)", "Alg2 (s)"], &rows)
+    );
+}

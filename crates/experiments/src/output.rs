@@ -1,0 +1,102 @@
+//! Result artifacts: CSV files under `results/` and markdown tables on
+//! stdout.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Resolves (and creates) the results directory. Honors
+/// `AUTRASCALE_RESULTS_DIR`, defaulting to `./results`.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("AUTRASCALE_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    fs::create_dir_all(&dir).expect("cannot create results directory");
+    dir
+}
+
+/// Writes a CSV file with a header row and stringified records.
+pub fn write_csv(
+    path: &Path,
+    header: &[&str],
+    rows: impl IntoIterator<Item = Vec<String>>,
+) -> std::io::Result<()> {
+    let mut file = fs::File::create(path)?;
+    writeln!(file, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(file, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Serializes any report to pretty JSON next to the CSVs.
+pub fn write_json<T: serde::Serialize>(path: &Path, report: &T) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(report).expect("report serializes");
+    fs::write(path, json)
+}
+
+/// Renders a markdown table to a string.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&header.join(" | "));
+    out.push_str(" |\n|");
+    for _ in header {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Compact formatting for parallelism vectors: `(3, 4, 12, 10)`.
+pub fn fmt_parallelism(k: &[u32]) -> String {
+    let inner: Vec<String> = k.iter().map(u32::to_string).collect();
+    format!("({})", inner.join(", "))
+}
+
+/// Rounds to one decimal for table display.
+pub fn fmt1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Thousands-friendly rate display (`350.0k`).
+pub fn fmt_rate(v: f64) -> String {
+    format!("{:.1}k", v / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_shape() {
+        let md = markdown_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert!(md.starts_with("| a | b |\n|---|---|\n"));
+        assert!(md.contains("| 3 | 4 |"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_parallelism(&[3, 4, 12, 10]), "(3, 4, 12, 10)");
+        assert_eq!(fmt1(1.25), "1.2");
+        assert_eq!(fmt_rate(350_000.0), "350.0k");
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("autrascale_test_csv");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_csv(&path, &["x", "y"], vec![vec!["1".into(), "2".into()]]).unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x,y\n1,2\n");
+    }
+}

@@ -1,0 +1,199 @@
+//! Table IV — CPU overhead of the algorithms vs. operator count (§V-E).
+//!
+//! Three measurements per operator count N ∈ {2, 4, 6, 8, 10}:
+//!
+//! * **Alg1_train** — fitting the Gaussian-process surrogate on the
+//!   current training set (the per-iteration model update);
+//! * **Alg1_use** — recommending a configuration from an already-fitted
+//!   model (the paper reports < 1 ms);
+//! * **Alg2** — one transfer-learning computation: residual fit +
+//!   bootstrap-set predictions + a recommendation.
+//!
+//! All measurements are pure CPU (no cluster), timed with
+//! `std::time::Instant` over several repetitions. Expected shape: linear
+//! growth in N, Alg1_use orders of magnitude cheaper than the fits.
+
+use crate::output;
+use autrascale_bayesopt::{bootstrap_set, expected_improvement, BayesOpt, BoOptions, SearchSpace};
+use autrascale_gp::{fit_auto, FitOptions, GaussianProcess};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Timing row for one operator count.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table4Row {
+    /// Number of operators N.
+    pub operators: usize,
+    /// Surrogate fit time, seconds (Alg1_train).
+    pub alg1_train_s: f64,
+    /// Recommendation time from a fitted model, seconds (Alg1_use).
+    pub alg1_use_s: f64,
+    /// One transfer-learning computation, seconds (Alg2).
+    pub alg2_s: f64,
+}
+
+/// The Table IV report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table4Report {
+    /// One row per operator count.
+    pub rows: Vec<Table4Row>,
+}
+
+/// A synthetic scored dataset over `[1, p_max]^n` mimicking a benefit
+/// model: high scores near a hidden lean optimum.
+fn synthetic_dataset(
+    n: usize,
+    samples: usize,
+    p_max: u32,
+    rng: &mut StdRng,
+) -> Vec<(Vec<u32>, f64)> {
+    (0..samples)
+        .map(|_| {
+            let k: Vec<u32> = (0..n).map(|_| rng.gen_range(1..=p_max)).collect();
+            let mean = k.iter().map(|&v| f64::from(v)).sum::<f64>() / n as f64;
+            let score = 1.0 / (1.0 + (mean - 4.0).abs() / 4.0) + rng.gen_range(-0.02..0.02);
+            (k, score)
+        })
+        .collect()
+}
+
+fn features(dataset: &[(Vec<u32>, f64)]) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let x = dataset
+        .iter()
+        .map(|(k, _)| k.iter().map(|&v| f64::from(v)).collect())
+        .collect();
+    let y = dataset.iter().map(|(_, s)| *s).collect();
+    (x, y)
+}
+
+fn fit(dataset: &[(Vec<u32>, f64)], seed: u64) -> GaussianProcess {
+    let (x, y) = features(dataset);
+    fit_auto(x, y, &FitOptions { seed, restarts: 3, ..Default::default() })
+        .expect("synthetic dataset fits")
+}
+
+/// Median wall time of `f` over `reps` runs, seconds.
+fn time_median(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Runs the Table IV overhead sweep.
+pub fn run(seed: u64) -> Table4Report {
+    let p_max = 20u32;
+    let samples = 20usize;
+    let reps = 5usize;
+    let mut rows = Vec::new();
+
+    for n in [2usize, 4, 6, 8, 10] {
+        let mut rng = StdRng::seed_from_u64(seed + n as u64);
+        let dataset = synthetic_dataset(n, samples, p_max, &mut rng);
+
+        // Alg1_train: the per-iteration surrogate refit.
+        let alg1_train_s = time_median(reps, || {
+            let _ = fit(&dataset, seed);
+        });
+
+        // Alg1_use: EI ranking against an already-fitted model.
+        let gp = fit(&dataset, seed);
+        let space = SearchSpace::new(vec![1; n], vec![p_max; n]).expect("valid space");
+        let f_best = gp.best_observed();
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        let candidates: Vec<Vec<u32>> = (0..256).map(|_| space.sample(&mut rng2)).collect();
+        let alg1_use_s = time_median(reps, || {
+            let mut best = f64::NEG_INFINITY;
+            for c in &candidates {
+                let f: Vec<f64> = c.iter().map(|&v| f64::from(v)).collect();
+                best = best.max(expected_improvement(&gp, &f, f_best, 0.01));
+            }
+            std::hint::black_box(best);
+        });
+
+        // Alg2: residual fit + bootstrap predictions + recommendation.
+        let new_rate_samples = synthetic_dataset(n, 4, p_max, &mut rng);
+        let alg2_s = time_median(reps, || {
+            // Residual dataset against the prior model.
+            let residual: Vec<(Vec<u32>, f64)> = new_rate_samples
+                .iter()
+                .map(|(k, s)| {
+                    let f: Vec<f64> = k.iter().map(|&v| f64::from(v)).collect();
+                    (k.clone(), s - gp.predict(&f).mean)
+                })
+                .collect();
+            let res_gp = fit(&residual, seed + 1);
+            // Predictions over the bootstrap design.
+            let design = bootstrap_set(&vec![2; n], p_max, 5);
+            let mut d_predict: Vec<(Vec<u32>, f64)> = new_rate_samples.clone();
+            for x in design.all() {
+                let f: Vec<f64> = x.iter().map(|&v| f64::from(v)).collect();
+                d_predict.push((x, gp.predict(&f).mean + res_gp.predict(&f).mean));
+            }
+            // Recommendation on the augmented set.
+            let mut bo = BayesOpt::new(
+                space.clone(),
+                BoOptions { sampled_candidates: 256, ..Default::default() },
+            );
+            for (k, s) in &d_predict {
+                bo.observe(k.clone(), *s);
+            }
+            let _ = std::hint::black_box(bo.suggest());
+        });
+
+        rows.push(Table4Row { operators: n, alg1_train_s, alg1_use_s, alg2_s });
+    }
+
+    let report = Table4Report { rows };
+    let dir = output::results_dir();
+    output::write_csv(
+        &dir.join("table4_overhead.csv"),
+        &["operators", "alg1_train_s", "alg1_use_s", "alg2_s"],
+        report.rows.iter().map(|r| {
+            vec![
+                r.operators.to_string(),
+                format!("{:.4}", r.alg1_train_s),
+                format!("{:.6}", r.alg1_use_s),
+                format!("{:.4}", r.alg2_s),
+            ]
+        }),
+    )
+    .expect("write table4 csv");
+    output::write_json(&dir.join("table4.json"), &report).expect("write table4 json");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_shapes_match_table4() {
+        let report = run(42);
+        assert_eq!(report.rows.len(), 5);
+        for row in &report.rows {
+            // Alg1_use is far cheaper than the fits (paper: <1 ms vs tens
+            // of ms).
+            assert!(row.alg1_use_s < row.alg1_train_s, "{row:?}");
+            assert!(row.alg1_use_s < 0.05, "{row:?}");
+            // Fit and transfer stay well under a second — "not enough to
+            // affect the QoS of the job".
+            assert!(row.alg1_train_s < 5.0, "{row:?}");
+            assert!(row.alg2_s < 5.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn synthetic_dataset_is_reproducible() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        assert_eq!(synthetic_dataset(3, 5, 10, &mut a), synthetic_dataset(3, 5, 10, &mut b));
+    }
+}

@@ -1,0 +1,274 @@
+//! The job-control client.
+
+use crate::metrics_view::{JobMetrics, OperatorMetrics};
+use autrascale_metricsdb::{aggregate, Query};
+use autrascale_streamsim::{metrics, SimError, Simulation};
+
+/// Coarse job state, as Flink's REST API reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Submitted but never deployed.
+    Created,
+    /// Processing records.
+    Running,
+    /// Stopped with a savepoint, waiting for the restart to complete.
+    Restarting,
+}
+
+/// A handle on the simulated cluster exposing the control-plane surface
+/// the paper's System Scheduler and Metric Aggregator need.
+pub struct FlinkCluster {
+    sim: Simulation,
+    submitted: bool,
+}
+
+impl FlinkCluster {
+    /// Wraps a simulation.
+    pub fn new(sim: Simulation) -> Self {
+        Self { sim, submitted: false }
+    }
+
+    /// Submits the job with its initial parallelism (starts immediately).
+    pub fn submit(&mut self, parallelism: &[u32]) -> Result<(), SimError> {
+        self.sim.deploy(parallelism)?;
+        self.submitted = true;
+        Ok(())
+    }
+
+    /// Stop-with-savepoint + restart with a new parallelism vector. The
+    /// job is down for the simulator's configured restart downtime.
+    pub fn rescale(&mut self, parallelism: &[u32]) -> Result<(), SimError> {
+        if !self.submitted {
+            return Err(SimError::NotDeployed);
+        }
+        self.sim.deploy(parallelism)
+    }
+
+    /// Current job status.
+    pub fn status(&self) -> JobStatus {
+        if !self.submitted {
+            JobStatus::Created
+        } else if self.sim.in_downtime() {
+            JobStatus::Restarting
+        } else {
+            JobStatus::Running
+        }
+    }
+
+    /// Lets wall-clock advance by `secs` of simulation time.
+    pub fn run_for(&mut self, secs: f64) {
+        self.sim.run_for(secs);
+    }
+
+    /// Current simulation time, seconds.
+    pub fn now(&self) -> f64 {
+        self.sim.now()
+    }
+
+    /// Currently deployed parallelism vector.
+    pub fn parallelism(&self) -> &[u32] {
+        self.sim.parallelism()
+    }
+
+    /// Direct access to the underlying simulation (experiments need to
+    /// swap rate profiles; a real deployment would restart the producer).
+    pub fn simulation_mut(&mut self) -> &mut Simulation {
+        &mut self.sim
+    }
+
+    /// Read-only access to the underlying simulation.
+    pub fn simulation(&self) -> &Simulation {
+        &self.sim
+    }
+
+    /// Aggregated metrics over the trailing `window_secs`. Returns `None`
+    /// until at least one metric emission falls inside the window.
+    ///
+    /// This is the Metric Aggregator: it sums true/observed rates across
+    /// each operator's subtask series and averages job-level series.
+    pub fn metrics_over(&self, window_secs: f64) -> Option<JobMetrics> {
+        let to = self.sim.now();
+        let from = (to - window_secs).max(0.0);
+        let store = self.sim.store();
+
+        let job_mean = |name: &str| -> Option<f64> {
+            let results = store.select(&Query::new(name, from, to));
+            let points: Vec<_> = results.into_iter().flat_map(|(_, pts)| pts).collect();
+            aggregate::mean(&points)
+        };
+        let job_last = |name: &str| -> Option<f64> {
+            store
+                .select(&Query::new(name, from, to))
+                .into_iter()
+                .flat_map(|(_, pts)| pts)
+                .last()
+                .map(|p| p.value)
+        };
+
+        let throughput = job_mean(metrics::JOB_THROUGHPUT)?;
+        let producer_rate = job_mean(metrics::PRODUCER_RATE)?;
+        let sink_rate = job_mean(metrics::SINK_RATE).unwrap_or(0.0);
+        let kafka_lag = job_last(metrics::KAFKA_LAG).unwrap_or(0.0);
+        let kafka_lag_start = store
+            .select(&Query::new(metrics::KAFKA_LAG, from, to))
+            .into_iter()
+            .flat_map(|(_, pts)| pts)
+            .next()
+            .map(|p| p.value)
+            .unwrap_or(kafka_lag);
+        let kafka_lag_delta = kafka_lag - kafka_lag_start;
+        let processing_latency_ms = job_mean(metrics::PROCESSING_LATENCY_MS).unwrap_or(0.0);
+        let event_time_latency_ms = job_mean(metrics::EVENT_TIME_LATENCY_MS);
+
+        let job = self.sim.job();
+        let parallelism = self.sim.parallelism();
+        let mut operators = Vec::with_capacity(job.len());
+        for (i, op) in job.operators().iter().enumerate() {
+            let p = parallelism[i];
+            // Per-subtask series: only subtasks of the CURRENT incarnation
+            // (0..p) count; series from a previous, larger parallelism may
+            // still hold points inside the window.
+            let mut sum_true = 0.0;
+            let mut sum_observed = 0.0;
+            let mut counted = 0u32;
+            for subtask in 0..p as usize {
+                let tkey =
+                    metrics::instance_key(metrics::TRUE_PROCESSING_RATE, &op.name, subtask);
+                let okey =
+                    metrics::instance_key(metrics::OBSERVED_PROCESSING_RATE, &op.name, subtask);
+                if let (Some(t), Some(o)) = (
+                    store.window_mean(&tkey, from, to),
+                    store.window_mean(&okey, from, to),
+                ) {
+                    sum_true += t;
+                    sum_observed += o;
+                    counted += 1;
+                }
+            }
+            if counted == 0 {
+                return None; // window predates this operator's metrics
+            }
+            let input_key = metrics::operator_key(metrics::OPERATOR_INPUT_RATE, &op.name);
+            let output_key = metrics::operator_key(metrics::OPERATOR_OUTPUT_RATE, &op.name);
+            let input_rate = store.window_mean(&input_key, from, to).unwrap_or(0.0);
+            let output_rate = store.window_mean(&output_key, from, to).unwrap_or(0.0);
+
+            // Scale subtask sums up to the full parallelism when some
+            // subtasks lacked points (can only happen right after a
+            // rescale mid-window).
+            let scale = p as f64 / counted as f64;
+            operators.push(OperatorMetrics {
+                name: op.name.clone(),
+                parallelism: p,
+                true_rate_avg: sum_true / counted as f64,
+                true_rate_total: sum_true * scale,
+                observed_rate_avg: sum_observed / counted as f64,
+                observed_rate_total: sum_observed * scale,
+                input_rate,
+                output_rate,
+            });
+        }
+
+        Some(JobMetrics {
+            window: (from, to),
+            producer_rate,
+            throughput,
+            sink_rate,
+            kafka_lag,
+            kafka_lag_delta,
+            processing_latency_ms,
+            event_time_latency_ms,
+            operators,
+            edges: job.edges().to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autrascale_streamsim::{
+        ClusterSpec, JobGraph, OperatorSpec, RateProfile, SimulationConfig,
+    };
+
+    fn cluster(rate: f64) -> FlinkCluster {
+        let job = JobGraph::linear(vec![
+            OperatorSpec::source("Source", 50_000.0),
+            OperatorSpec::transform("Map", 30_000.0, 1.0),
+            OperatorSpec::sink("Sink", 60_000.0),
+        ])
+        .unwrap();
+        let config = SimulationConfig {
+            cluster: ClusterSpec::paper_cluster(),
+            job,
+            profile: RateProfile::constant(rate),
+            seed: 21,
+            ..Default::default()
+        };
+        FlinkCluster::new(Simulation::new(config).unwrap())
+    }
+
+    #[test]
+    fn status_lifecycle() {
+        let mut fc = cluster(10_000.0);
+        assert_eq!(fc.status(), JobStatus::Created);
+        assert!(matches!(fc.rescale(&[1, 1, 1]), Err(SimError::NotDeployed)));
+        fc.submit(&[1, 1, 1]).unwrap();
+        assert_eq!(fc.status(), JobStatus::Running);
+        fc.run_for(30.0);
+        fc.rescale(&[1, 2, 1]).unwrap();
+        assert_eq!(fc.status(), JobStatus::Restarting);
+        fc.run_for(60.0);
+        assert_eq!(fc.status(), JobStatus::Running);
+        assert_eq!(fc.parallelism(), &[1, 2, 1]);
+    }
+
+    #[test]
+    fn metrics_none_before_data() {
+        let mut fc = cluster(10_000.0);
+        fc.submit(&[1, 1, 1]).unwrap();
+        assert!(fc.metrics_over(10.0).is_none());
+        fc.run_for(15.0);
+        assert!(fc.metrics_over(10.0).is_some());
+    }
+
+    #[test]
+    fn aggregator_sums_across_subtasks() {
+        let mut fc = cluster(40_000.0);
+        fc.submit(&[1, 3, 1]).unwrap();
+        fc.run_for(60.0);
+        let m = fc.metrics_over(30.0).unwrap();
+        let map = m.operator("Map").unwrap();
+        assert_eq!(map.parallelism, 3);
+        // Total ≈ 3 × the per-instance average.
+        assert!((map.true_rate_total - 3.0 * map.true_rate_avg).abs() < 1e-6);
+        // True rate total should be near 3 × 30k modulo contention.
+        assert!(map.true_rate_total > 60_000.0, "{}", map.true_rate_total);
+        // Throughput keeps up with the producer.
+        assert!(m.meets_rate(0.1), "throughput {} rate {}", m.throughput, m.producer_rate);
+    }
+
+    #[test]
+    fn observed_below_true_when_idle() {
+        let mut fc = cluster(5_000.0);
+        fc.submit(&[1, 1, 1]).unwrap();
+        fc.run_for(60.0);
+        let m = fc.metrics_over(30.0).unwrap();
+        let map = m.operator("Map").unwrap();
+        assert!(map.observed_rate_total < map.true_rate_total / 2.0);
+    }
+
+    #[test]
+    fn rescale_down_uses_current_subtasks_only() {
+        let mut fc = cluster(20_000.0);
+        fc.submit(&[1, 4, 1]).unwrap();
+        fc.run_for(60.0);
+        fc.rescale(&[1, 1, 1]).unwrap();
+        fc.run_for(60.0);
+        let m = fc.metrics_over(20.0).unwrap();
+        let map = m.operator("Map").unwrap();
+        assert_eq!(map.parallelism, 1);
+        // Total must reflect 1 instance, not the old 4.
+        assert!(map.true_rate_total < 40_000.0, "{}", map.true_rate_total);
+    }
+}

@@ -1,0 +1,121 @@
+//! The control-plane abstraction scaling policies are written against.
+
+use crate::client::{FlinkCluster, JobStatus};
+use crate::metrics_view::JobMetrics;
+
+/// What a scaling policy (AuTraScale, DS2, DRS, …) needs from the cluster:
+/// deploy configurations, let time pass, read aggregated metrics.
+///
+/// [`FlinkCluster`] implements this over the simulator; a production
+/// implementation would speak Flink's REST API. Policies written against
+/// this trait are substrate-agnostic.
+pub trait JobControl {
+    /// Number of operators in the job (arity of parallelism vectors).
+    fn num_operators(&self) -> usize;
+
+    /// Per-operator parallelism ceiling.
+    fn max_parallelism(&self) -> u32;
+
+    /// Deploys a parallelism vector — initial submission if the job is
+    /// not running, stop-with-savepoint + restart otherwise.
+    fn deploy(&mut self, parallelism: &[u32]) -> Result<(), String>;
+
+    /// Lets `secs` of (simulation) time pass.
+    fn advance(&mut self, secs: f64);
+
+    /// Aggregated metrics over the trailing `window_secs`.
+    fn metrics(&self, window_secs: f64) -> Option<JobMetrics>;
+
+    /// Currently deployed parallelism vector (empty before submission).
+    fn current_parallelism(&self) -> Vec<u32>;
+
+    /// Current time, seconds.
+    fn now(&self) -> f64;
+}
+
+impl JobControl for FlinkCluster {
+    fn num_operators(&self) -> usize {
+        self.simulation().job().len()
+    }
+
+    fn max_parallelism(&self) -> u32 {
+        self.simulation().cluster().max_parallelism
+    }
+
+    fn deploy(&mut self, parallelism: &[u32]) -> Result<(), String> {
+        let result = if self.status() == JobStatus::Created {
+            self.submit(parallelism)
+        } else {
+            self.rescale(parallelism)
+        };
+        result.map_err(|e| e.to_string())
+    }
+
+    fn advance(&mut self, secs: f64) {
+        self.run_for(secs);
+    }
+
+    fn metrics(&self, window_secs: f64) -> Option<JobMetrics> {
+        self.metrics_over(window_secs)
+    }
+
+    fn current_parallelism(&self) -> Vec<u32> {
+        self.parallelism().to_vec()
+    }
+
+    fn now(&self) -> f64 {
+        FlinkCluster::now(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autrascale_streamsim::{
+        ClusterSpec, JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
+    };
+
+    fn control() -> FlinkCluster {
+        let job = JobGraph::linear(vec![
+            OperatorSpec::source("Source", 20_000.0),
+            OperatorSpec::sink("Sink", 20_000.0),
+        ])
+        .unwrap();
+        let config = SimulationConfig {
+            cluster: ClusterSpec::paper_cluster(),
+            job,
+            profile: RateProfile::constant(5_000.0),
+            seed: 1,
+            ..Default::default()
+        };
+        FlinkCluster::new(Simulation::new(config).unwrap())
+    }
+
+    #[test]
+    fn deploy_submits_then_rescales() {
+        let mut fc = control();
+        assert_eq!(fc.num_operators(), 2);
+        assert_eq!(fc.max_parallelism(), 50);
+        JobControl::deploy(&mut fc, &[1, 1]).unwrap();
+        assert_eq!(fc.status(), JobStatus::Running);
+        JobControl::deploy(&mut fc, &[2, 2]).unwrap();
+        assert_eq!(fc.status(), JobStatus::Restarting);
+        assert_eq!(fc.current_parallelism(), vec![2, 2]);
+    }
+
+    #[test]
+    fn deploy_error_is_stringified() {
+        let mut fc = control();
+        let err = JobControl::deploy(&mut fc, &[1]).unwrap_err();
+        assert!(err.contains("arity"), "{err}");
+    }
+
+    #[test]
+    fn advance_and_metrics_flow() {
+        let mut fc = control();
+        JobControl::deploy(&mut fc, &[1, 1]).unwrap();
+        fc.advance(30.0);
+        assert!((JobControl::now(&fc) - 30.0).abs() < 0.2);
+        assert!(fc.metrics(10.0).is_some());
+    }
+}

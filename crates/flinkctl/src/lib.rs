@@ -1,0 +1,26 @@
+//! A typed job-control facade over the cluster simulator — the stand-in
+//! for Flink's REST API plus the paper's Metric Aggregator (§IV).
+//!
+//! The paper's controller talks to the cluster through exactly three
+//! surfaces, all modeled here:
+//!
+//! 1. **job control** — submit, stop-with-savepoint, restart with a new
+//!    parallelism vector ([`FlinkCluster::rescale`]);
+//! 2. **job status** — running / restarting ([`FlinkCluster::status`]);
+//! 3. **aggregated metrics** — windowed per-operator true/observed rates,
+//!    input/output rates, throughput, latency and Kafka lag
+//!    ([`FlinkCluster::metrics_over`]), which is what the Metric
+//!    Aggregator computes from the raw time-series before handing it to
+//!    the Scaling Manager.
+//!
+//! The repro note for this paper says "REST control possible" — this crate
+//! is that control plane, minus HTTP: every method corresponds 1:1 to a
+//! REST endpoint the real implementation would call.
+
+mod client;
+mod control;
+mod metrics_view;
+
+pub use client::{FlinkCluster, JobStatus};
+pub use control::JobControl;
+pub use metrics_view::{JobMetrics, OperatorMetrics};

@@ -1,0 +1,151 @@
+//! Aggregated metric views — what the Metric Aggregator hands to the
+//! Scaling Manager.
+
+use serde::{Deserialize, Serialize};
+
+/// Windowed aggregate metrics for one operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorMetrics {
+    /// Operator name.
+    pub name: String,
+    /// Parallelism at the end of the window.
+    pub parallelism: u32,
+    /// Mean per-instance true processing rate `v̄_i` (paper Eq. 2).
+    pub true_rate_avg: f64,
+    /// Total true processing rate `v*_i = Σ instances` — the Metric
+    /// Aggregator's "total processing rate of all instances" (§IV).
+    pub true_rate_total: f64,
+    /// Mean per-instance observed processing rate (includes idle/blocked
+    /// time — the metric DRS-observed runs on).
+    pub observed_rate_avg: f64,
+    /// Total observed processing rate.
+    pub observed_rate_total: f64,
+    /// Total input rate `λ*_i` (records/s arriving from upstream).
+    pub input_rate: f64,
+    /// Total output rate `o*_i`.
+    pub output_rate: f64,
+}
+
+/// Windowed aggregate metrics for the whole job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// Window `[from, to]` in simulation seconds.
+    pub window: (f64, f64),
+    /// External producer rate v₀ (records/s written to Kafka).
+    pub producer_rate: f64,
+    /// Records/s the sources pulled from Kafka — the job throughput the
+    /// paper plots against the input rate.
+    pub throughput: f64,
+    /// Records/s completed at the sinks.
+    pub sink_rate: f64,
+    /// Kafka consumer lag at the end of the window, records.
+    pub kafka_lag: f64,
+    /// Lag change across the window (end − start), records. Positive
+    /// values mean the job is falling behind even if throughput looks
+    /// close to the input rate.
+    pub kafka_lag_delta: f64,
+    /// Mean in-job processing latency over the window, ms.
+    pub processing_latency_ms: f64,
+    /// Mean event-time latency over the window, ms (`None` while the job
+    /// is stalled with unbounded pending time).
+    pub event_time_latency_ms: Option<f64>,
+    /// Per-operator aggregates in topological order.
+    pub operators: Vec<OperatorMetrics>,
+    /// DAG edges as `(from, to)` indices into `operators` — policies use
+    /// them to propagate target rates through branching topologies.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl JobMetrics {
+    /// Looks up an operator's aggregates by name.
+    pub fn operator(&self, name: &str) -> Option<&OperatorMetrics> {
+        self.operators.iter().find(|o| o.name == name)
+    }
+
+    /// Indices of operator `i`'s predecessors. Empty for sources. When the
+    /// edge list is missing (hand-built metrics), operator `i − 1` is
+    /// assumed (linear chain).
+    pub fn predecessors(&self, i: usize) -> Vec<usize> {
+        if self.edges.is_empty() {
+            if i == 0 { Vec::new() } else { vec![i - 1] }
+        } else {
+            self.edges.iter().filter(|(_, t)| *t == i).map(|(f, _)| *f).collect()
+        }
+    }
+
+    /// The current parallelism vector in topological order.
+    pub fn parallelism(&self) -> Vec<u32> {
+        self.operators.iter().map(|o| o.parallelism).collect()
+    }
+
+    /// `true` when throughput keeps up with the producer within
+    /// `tolerance` (relative).
+    pub fn meets_rate(&self, tolerance: f64) -> bool {
+        if self.producer_rate <= 0.0 {
+            return true;
+        }
+        self.throughput >= self.producer_rate * (1.0 - tolerance)
+    }
+
+    /// The full "throughput caught up" criterion: rate within tolerance
+    /// AND the Kafka lag is not growing (shrinking, or below one second's
+    /// worth of data). A configuration whose capacity sits between
+    /// `(1 − tolerance)·v₀` and `v₀` passes the naive rate check while
+    /// its backlog quietly diverges — this catches that.
+    pub fn keeping_up(&self, tolerance: f64) -> bool {
+        if !self.meets_rate(tolerance) {
+            return false;
+        }
+        let window_len = (self.window.1 - self.window.0).max(1.0);
+        
+        self.kafka_lag <= self.producer_rate.max(1.0)
+            || self.kafka_lag_delta <= 0.01 * self.producer_rate * window_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> JobMetrics {
+        JobMetrics {
+            window: (0.0, 10.0),
+            producer_rate: 1000.0,
+            throughput: 990.0,
+            sink_rate: 990.0,
+            kafka_lag: 10.0,
+            kafka_lag_delta: -1.0,
+            processing_latency_ms: 50.0,
+            event_time_latency_ms: Some(60.0),
+            operators: vec![OperatorMetrics {
+                name: "Map".into(),
+                parallelism: 3,
+                true_rate_avg: 400.0,
+                true_rate_total: 1200.0,
+                observed_rate_avg: 330.0,
+                observed_rate_total: 990.0,
+                input_rate: 990.0,
+                output_rate: 990.0,
+            }],
+            edges: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn operator_lookup() {
+        let m = metrics();
+        assert!(m.operator("Map").is_some());
+        assert!(m.operator("Nope").is_none());
+        assert_eq!(m.parallelism(), vec![3]);
+    }
+
+    #[test]
+    fn meets_rate_with_tolerance() {
+        let m = metrics();
+        assert!(m.meets_rate(0.05));
+        assert!(!m.meets_rate(0.001));
+        let mut idle = metrics();
+        idle.producer_rate = 0.0;
+        assert!(idle.meets_rate(0.0));
+    }
+}

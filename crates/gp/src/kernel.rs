@@ -1,0 +1,186 @@
+//! Covariance kernels for the Gaussian-process surrogate.
+//!
+//! The paper uses a Matérn covariance kernel (§III-E, "Surrogate Model");
+//! this module provides Matérn 3/2, Matérn 5/2 and the squared-exponential
+//! (RBF) kernel so that the kernel choice can be ablated
+//! (`bench ablate_kernel` in DESIGN.md §3). Lengthscales may be isotropic
+//! (one scale for all input dimensions) or ARD (one per dimension).
+
+/// The kernel family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Squared exponential: `σ² exp(-r²/2)` with `r` the scaled distance.
+    Rbf,
+    /// Matérn ν=3/2: `σ² (1 + √3 r) exp(-√3 r)`.
+    Matern32,
+    /// Matérn ν=5/2: `σ² (1 + √5 r + 5r²/3) exp(-√5 r)` — the paper's
+    /// default.
+    Matern52,
+}
+
+/// A stationary covariance kernel with signal variance and lengthscales.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    kind: KernelKind,
+    /// One entry for isotropic kernels, `d` entries for ARD.
+    lengthscales: Vec<f64>,
+    signal_variance: f64,
+}
+
+impl Kernel {
+    /// An isotropic kernel: one lengthscale shared by all input dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lengthscale` or `signal_variance` is not positive.
+    pub fn isotropic(kind: KernelKind, lengthscale: f64, signal_variance: f64) -> Self {
+        assert!(lengthscale > 0.0, "lengthscale must be positive");
+        assert!(signal_variance > 0.0, "signal variance must be positive");
+        Self { kind, lengthscales: vec![lengthscale], signal_variance }
+    }
+
+    /// An ARD kernel with one lengthscale per input dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lengthscale or the signal variance is not positive, or
+    /// if `lengthscales` is empty.
+    pub fn ard(kind: KernelKind, lengthscales: Vec<f64>, signal_variance: f64) -> Self {
+        assert!(!lengthscales.is_empty(), "need at least one lengthscale");
+        assert!(
+            lengthscales.iter().all(|&l| l > 0.0),
+            "lengthscales must be positive"
+        );
+        assert!(signal_variance > 0.0, "signal variance must be positive");
+        Self { kind, lengthscales, signal_variance }
+    }
+
+    /// The kernel family.
+    pub fn kind(&self) -> KernelKind {
+        self.kind
+    }
+
+    /// The lengthscales (length 1 for isotropic kernels).
+    pub fn lengthscales(&self) -> &[f64] {
+        &self.lengthscales
+    }
+
+    /// The signal variance `σ²` (the kernel value at distance zero).
+    pub fn signal_variance(&self) -> f64 {
+        self.signal_variance
+    }
+
+    /// Scaled Euclidean distance `r = ‖(a-b)/ℓ‖`.
+    fn scaled_distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "kernel input dimension mismatch");
+        let mut sum = 0.0;
+        for (i, (ai, bi)) in a.iter().zip(b).enumerate() {
+            let l = if self.lengthscales.len() == 1 {
+                self.lengthscales[0]
+            } else {
+                self.lengthscales[i]
+            };
+            let d = (ai - bi) / l;
+            sum += d * d;
+        }
+        sum.sqrt()
+    }
+
+    /// Evaluates `k(a, b)`.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        let r = self.scaled_distance(a, b);
+        let unit = match self.kind {
+            KernelKind::Rbf => (-0.5 * r * r).exp(),
+            KernelKind::Matern32 => {
+                let s = 3.0_f64.sqrt() * r;
+                (1.0 + s) * (-s).exp()
+            }
+            KernelKind::Matern52 => {
+                let s = 5.0_f64.sqrt() * r;
+                (1.0 + s + s * s / 3.0) * (-s).exp()
+            }
+        };
+        self.signal_variance * unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_at_zero_distance_is_signal_variance() {
+        for kind in [KernelKind::Rbf, KernelKind::Matern32, KernelKind::Matern52] {
+            let k = Kernel::isotropic(kind, 2.0, 1.7);
+            let x = [1.0, -3.0];
+            assert!((k.eval(&x, &x) - 1.7).abs() < 1e-15, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn decays_with_distance() {
+        for kind in [KernelKind::Rbf, KernelKind::Matern32, KernelKind::Matern52] {
+            let k = Kernel::isotropic(kind, 1.0, 1.0);
+            let near = k.eval(&[0.0], &[0.5]);
+            let far = k.eval(&[0.0], &[3.0]);
+            assert!(near > far, "{kind:?}: {near} !> {far}");
+            assert!(far > 0.0);
+        }
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let k = Kernel::isotropic(KernelKind::Matern52, 0.7, 2.0);
+        let a = [1.0, 2.0, 3.0];
+        let b = [-1.0, 0.5, 2.0];
+        assert_eq!(k.eval(&a, &b), k.eval(&b, &a));
+    }
+
+    #[test]
+    fn rbf_matches_closed_form() {
+        let k = Kernel::isotropic(KernelKind::Rbf, 2.0, 1.0);
+        // r = 1/2 ⇒ k = exp(-1/8).
+        let v = k.eval(&[0.0], &[1.0]);
+        assert!((v - (-0.125_f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn matern52_known_value() {
+        let k = Kernel::isotropic(KernelKind::Matern52, 1.0, 1.0);
+        let r: f64 = 1.0;
+        let s = 5.0_f64.sqrt() * r;
+        let expected = (1.0 + s + s * s / 3.0) * (-s).exp();
+        assert!((k.eval(&[0.0], &[1.0]) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ard_weights_dimensions_differently() {
+        let k = Kernel::ard(KernelKind::Rbf, vec![1.0, 100.0], 1.0);
+        // A move along the long-lengthscale axis barely changes the kernel.
+        let base = [0.0, 0.0];
+        let along_short = k.eval(&base, &[1.0, 0.0]);
+        let along_long = k.eval(&base, &[0.0, 1.0]);
+        assert!(along_long > along_short);
+    }
+
+    #[test]
+    fn lengthscale_controls_smoothness() {
+        let tight = Kernel::isotropic(KernelKind::Matern52, 0.5, 1.0);
+        let loose = Kernel::isotropic(KernelKind::Matern52, 5.0, 1.0);
+        let a = [0.0];
+        let b = [1.0];
+        assert!(loose.eval(&a, &b) > tight.eval(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "lengthscale must be positive")]
+    fn rejects_nonpositive_lengthscale() {
+        let _ = Kernel::isotropic(KernelKind::Rbf, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "signal variance must be positive")]
+    fn rejects_nonpositive_variance() {
+        let _ = Kernel::isotropic(KernelKind::Rbf, 1.0, -1.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Gaussian-process regression for the AuTraScale surrogate model.
+//!
+//! AuTraScale (§III-E of the paper) models the relationship between a
+//! parallelism vector and the benefit score with a Gaussian process using a
+//! Matérn covariance kernel, chosen over alternatives like random forests
+//! for its extrapolation quality. The published Rust GP crates are thin
+//! (DESIGN.md §4), so this crate implements the full stack from scratch:
+//!
+//! * [`kernel`] — Matérn 3/2, Matérn 5/2 and RBF kernels, with optional
+//!   per-dimension (ARD) lengthscales;
+//! * [`GaussianProcess`] — exact GP regression with observation noise,
+//!   target normalization, Cholesky-based training and O(n) prediction;
+//! * [`fit_auto`] — marginal-likelihood hyperparameter optimization via
+//!   multi-start Nelder–Mead (implemented in [`neldermead`]);
+//! * [`stats`] — the standard-normal PDF/CDF needed by the
+//!   expected-improvement acquisition in `autrascale-bayesopt`.
+//!
+//! # Example
+//!
+//! ```
+//! use autrascale_gp::{GaussianProcess, GpConfig, Kernel, KernelKind};
+//!
+//! // Noisy samples of f(x) = x².
+//! let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 3.0]).collect();
+//! let y: Vec<f64> = x.iter().map(|v| v[0] * v[0]).collect();
+//! let config = GpConfig {
+//!     kernel: Kernel::isotropic(KernelKind::Matern52, 1.0, 1.0),
+//!     noise_variance: 1e-6,
+//!     normalize_y: true,
+//! };
+//! let gp = GaussianProcess::fit(x, y, config).unwrap();
+//! let p = gp.predict(&[1.0]);
+//! assert!((p.mean - 1.0).abs() < 0.1);
+//! ```
+
+mod fit;
+mod gaussian_process;
+pub mod kernel;
+pub mod neldermead;
+pub mod sparse;
+pub mod stats;
+
+pub use fit::{fit_auto, FitOptions};
+pub use sparse::{fit_subset, select_subset};
+pub use gaussian_process::{GaussianProcess, GpConfig, GpError, Prediction};
+pub use kernel::{Kernel, KernelKind};

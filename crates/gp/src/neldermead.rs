@@ -1,0 +1,211 @@
+//! Derivative-free Nelder–Mead simplex minimization.
+//!
+//! Used to maximize the GP log marginal likelihood over log-hyperparameters
+//! (lengthscales, signal variance, noise). The search space is tiny (2–4
+//! dimensions) and the objective is cheap relative to a cluster
+//! reconfiguration, so a robust derivative-free method beats implementing
+//! kernel gradients.
+
+/// Options for [`minimize`].
+#[derive(Debug, Clone, Copy)]
+pub struct NelderMeadOptions {
+    /// Maximum number of objective evaluations.
+    pub max_evals: usize,
+    /// Convergence threshold on the simplex objective spread.
+    pub f_tol: f64,
+    /// Initial simplex edge length relative to each coordinate.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        Self { max_evals: 400, f_tol: 1e-8, initial_step: 0.5 }
+    }
+}
+
+/// Result of a [`minimize`] run.
+#[derive(Debug, Clone)]
+pub struct NelderMeadResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Number of objective evaluations consumed.
+    pub evals: usize,
+}
+
+/// Minimizes `f` starting from `x0` with the standard Nelder–Mead moves
+/// (reflection, expansion, outside/inside contraction, shrink).
+///
+/// Non-finite objective values are treated as `+∞`, which lets callers
+/// reject invalid hyperparameter regions by returning NaN.
+pub fn minimize(
+    f: impl Fn(&[f64]) -> f64,
+    x0: &[f64],
+    options: NelderMeadOptions,
+) -> NelderMeadResult {
+    const ALPHA: f64 = 1.0; // reflection
+    const GAMMA: f64 = 2.0; // expansion
+    const RHO: f64 = 0.5; // contraction
+    const SIGMA: f64 = 0.5; // shrink
+
+    let n = x0.len();
+    assert!(n > 0, "minimize: empty start point");
+    let mut evals = 0usize;
+    let eval = |x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(x);
+        if v.is_finite() {
+            v
+        } else {
+            f64::INFINITY
+        }
+    };
+
+    // Initial simplex: x0 plus a perturbation along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let fx0 = eval(x0, &mut evals);
+    simplex.push((x0.to_vec(), fx0));
+    for i in 0..n {
+        let mut xi = x0.to_vec();
+        let step = if xi[i].abs() > 1e-12 {
+            options.initial_step * xi[i].abs()
+        } else {
+            options.initial_step
+        };
+        xi[i] += step;
+        let fxi = eval(&xi, &mut evals);
+        simplex.push((xi, fxi));
+    }
+
+    while evals < options.max_evals {
+        simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let best = simplex[0].1;
+        let worst = simplex[n].1;
+        if (worst - best).abs() <= options.f_tol * (1.0 + best.abs()) {
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; n];
+        for (x, _) in simplex.iter().take(n) {
+            for (ci, xi) in centroid.iter_mut().zip(x) {
+                *ci += xi / n as f64;
+            }
+        }
+
+        let xw = simplex[n].0.clone();
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(&xw)
+            .map(|(c, w)| c + ALPHA * (c - w))
+            .collect();
+        let fr = eval(&reflect, &mut evals);
+
+        if fr < simplex[0].1 {
+            // Try to expand further in the same direction.
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(&reflect)
+                .map(|(c, r)| c + GAMMA * (r - c))
+                .collect();
+            let fe = eval(&expand, &mut evals);
+            simplex[n] = if fe < fr { (expand, fe) } else { (reflect, fr) };
+        } else if fr < simplex[n - 1].1 {
+            simplex[n] = (reflect, fr);
+        } else {
+            // Contract, from whichever side is better.
+            let (toward, f_toward) = if fr < simplex[n].1 {
+                (&reflect, fr)
+            } else {
+                (&xw, simplex[n].1)
+            };
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(toward)
+                .map(|(c, t)| c + RHO * (t - c))
+                .collect();
+            let fc = eval(&contract, &mut evals);
+            if fc < f_toward {
+                simplex[n] = (contract, fc);
+            } else {
+                // Shrink everything toward the best vertex.
+                let x_best = simplex[0].0.clone();
+                for (x, fx) in simplex.iter_mut().skip(1) {
+                    for (xi, bi) in x.iter_mut().zip(&x_best) {
+                        *xi = bi + SIGMA * (*xi - bi);
+                    }
+                    *fx = eval(x, &mut evals);
+                }
+            }
+        }
+    }
+
+    simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let (x, fx) = simplex.swap_remove(0);
+    NelderMeadResult { x, fx, evals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let r = minimize(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            NelderMeadOptions::default(),
+        );
+        assert!((r.x[0] - 3.0).abs() < 1e-3, "{:?}", r.x);
+        assert!((r.x[1] + 1.0).abs() < 1e-3, "{:?}", r.x);
+        assert!(r.fx < 1e-5);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        let rosen = |x: &[f64]| {
+            100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2)
+        };
+        let r = minimize(
+            rosen,
+            &[-1.2, 1.0],
+            NelderMeadOptions { max_evals: 4000, f_tol: 1e-12, initial_step: 0.5 },
+        );
+        assert!(r.fx < 1e-4, "fx = {}", r.fx);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let r = minimize(
+            |x| x[0] * x[0],
+            &[10.0],
+            NelderMeadOptions { max_evals: 10, ..Default::default() },
+        );
+        // Budget may be exceeded only by the in-flight iteration's evals.
+        assert!(r.evals <= 14, "evals = {}", r.evals);
+    }
+
+    #[test]
+    fn handles_nan_regions() {
+        // Objective undefined for x < 0; minimum at x = 1.
+        let r = minimize(
+            |x| {
+                if x[0] < 0.0 {
+                    f64::NAN
+                } else {
+                    (x[0] - 1.0).powi(2)
+                }
+            },
+            &[4.0],
+            NelderMeadOptions::default(),
+        );
+        assert!((r.x[0] - 1.0).abs() < 1e-3, "{:?}", r.x);
+    }
+
+    #[test]
+    fn one_dimensional_works() {
+        let r = minimize(|x| (x[0] - 0.25).abs(), &[5.0], NelderMeadOptions::default());
+        assert!((r.x[0] - 0.25).abs() < 1e-3);
+    }
+}

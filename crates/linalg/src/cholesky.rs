@@ -1,0 +1,229 @@
+//! Cholesky factorization with jitter escalation for near-singular SPD
+//! matrices, plus the triangular solves the Gaussian process needs.
+
+use crate::matrix::Matrix;
+use std::fmt;
+
+/// Failure modes of [`Cholesky::decompose`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CholeskyError {
+    /// The input matrix was not square.
+    NotSquare,
+    /// The matrix stayed non-positive-definite even after the maximum jitter
+    /// was added to its diagonal.
+    NotPositiveDefinite,
+}
+
+impl fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CholeskyError::NotSquare => write!(f, "matrix is not square"),
+            CholeskyError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite (even with max jitter)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Lower-triangular Cholesky factor `L` with `L Lᵀ = A + jitter·I`.
+///
+/// Gram matrices of Gaussian-process kernels become numerically
+/// semi-definite when two training inputs are close (which happens
+/// constantly in Bayesian optimization, where the loop re-samples near the
+/// incumbent). `decompose` therefore escalates a diagonal jitter from
+/// [`Cholesky::INITIAL_JITTER`] by factors of 10 up to
+/// [`Cholesky::MAX_JITTER`] until the factorization succeeds, and records
+/// the jitter that was required.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    factor: Matrix,
+    jitter: f64,
+}
+
+impl Cholesky {
+    /// First jitter magnitude tried when the raw factorization fails.
+    pub const INITIAL_JITTER: f64 = 1e-10;
+    /// Largest jitter tried before giving up.
+    pub const MAX_JITTER: f64 = 1e-4;
+
+    /// Factorizes an SPD matrix, escalating jitter if needed.
+    pub fn decompose(a: &Matrix) -> Result<Self, CholeskyError> {
+        if !a.is_square() {
+            return Err(CholeskyError::NotSquare);
+        }
+        if let Some(factor) = try_factor(a) {
+            return Ok(Self { factor, jitter: 0.0 });
+        }
+        let mut jitter = Self::INITIAL_JITTER;
+        while jitter <= Self::MAX_JITTER {
+            let mut jittered = a.clone();
+            jittered.add_diagonal(jitter);
+            if let Some(factor) = try_factor(&jittered) {
+                return Ok(Self { factor, jitter });
+            }
+            jitter *= 10.0;
+        }
+        Err(CholeskyError::NotPositiveDefinite)
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.factor
+    }
+
+    /// Diagonal jitter that had to be added for the factorization to
+    /// succeed (`0.0` when the matrix was well-conditioned).
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.factor.rows()
+    }
+
+    /// Solves `A x = b` via the two triangular solves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let y = self.solve_lower(b);
+        self.solve_upper(&y)
+    }
+
+    /// Forward substitution: solves `L y = b`.
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "solve_lower: dimension mismatch");
+        let l = &self.factor;
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for (j, yj) in y.iter().enumerate().take(i) {
+                sum -= l[(i, j)] * yj;
+            }
+            y[i] = sum / l[(i, i)];
+        }
+        y
+    }
+
+    /// Back substitution: solves `Lᵀ x = y`.
+    pub fn solve_upper(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(y.len(), n, "solve_upper: dimension mismatch");
+        let l = &self.factor;
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= l[(j, i)] * x[j];
+            }
+            x[i] = sum / l[(i, i)];
+        }
+        x
+    }
+
+    /// `log |A|` computed from the factor diagonal: `2 Σ log L_ii`.
+    pub fn log_determinant(&self) -> f64 {
+        (0..self.dim()).map(|i| self.factor[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// One factorization attempt; `None` when a non-positive pivot appears.
+fn try_factor(a: &Matrix) -> Option<Matrix> {
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return None;
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Some(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 3.0, 0.4], &[0.6, 0.4, 2.0]])
+    }
+
+    #[test]
+    fn factor_reconstructs_input() {
+        let a = spd3();
+        let chol = Cholesky::decompose(&a).unwrap();
+        let l = chol.factor();
+        let rebuilt = l.matmul(&l.transpose());
+        assert!(rebuilt.max_abs_diff(&a).unwrap() < 1e-12);
+        assert_eq!(chol.jitter(), 0.0);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = [1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let x = Cholesky::decompose(&a).unwrap().solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn log_determinant_matches_manual_2x2() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        // det = 12 - 4 = 8.
+        let chol = Cholesky::decompose(&a).unwrap();
+        assert!((chol.log_determinant() - 8.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn not_square_is_error() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(CholeskyError::NotSquare)
+        ));
+    }
+
+    #[test]
+    fn negative_definite_is_error() {
+        let a = Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, -1.0]]);
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(CholeskyError::NotPositiveDefinite)
+        ));
+    }
+
+    #[test]
+    fn semidefinite_succeeds_with_jitter() {
+        // Rank-1 matrix: vvᵀ with v = (1, 1) is PSD but singular.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let chol = Cholesky::decompose(&a).unwrap();
+        assert!(chol.jitter() > 0.0);
+        assert!(chol.jitter() <= Cholesky::MAX_JITTER);
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let chol = Cholesky::decompose(&Matrix::identity(4)).unwrap();
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(chol.solve(&b), b.to_vec());
+        assert!((chol.log_determinant()).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,33 @@
+//! Dense linear-algebra kernels for the AuTraScale reproduction.
+//!
+//! The Gaussian-process surrogate in `autrascale-gp` needs exactly three
+//! things from a linear-algebra layer: a dense row-major matrix, a Cholesky
+//! factorization of symmetric positive-definite (SPD) Gram matrices that is
+//! robust to near-singularity (via jitter escalation), and triangular solves.
+//! The published GP/BO crates are thin (see DESIGN.md §4), so this crate
+//! implements those kernels from scratch with a small, well-tested surface
+//! rather than pulling in a large dependency.
+//!
+//! All storage is `f64` and row-major. Matrices here are small (the Bayesian
+//! optimization loop trains on tens of samples), so the implementation
+//! favours clarity and numerical robustness over blocking/SIMD.
+//!
+//! # Example
+//!
+//! ```
+//! use autrascale_linalg::{Matrix, Cholesky};
+//!
+//! // Solve the SPD system A x = b.
+//! let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+//! let chol = Cholesky::decompose(&a).unwrap();
+//! let x = chol.solve(&[2.0, 1.0]);
+//! assert!((4.0 * x[0] + 2.0 * x[1] - 2.0).abs() < 1e-12);
+//! ```
+
+mod cholesky;
+mod matrix;
+mod vector;
+
+pub use cholesky::{Cholesky, CholeskyError};
+pub use matrix::Matrix;
+pub use vector::{axpy, dot, l2_norm, linf_distance, mean, scale, variance};

@@ -1,0 +1,107 @@
+//! Small vector helpers shared across the GP and controller crates.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn l2_norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Maximum absolute component-wise distance between two slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn linf_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "linf_distance: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+/// In-place `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place scalar multiply.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Population variance; `0.0` for slices shorter than two elements.
+pub fn variance(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(l2_norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 3.0], &mut y);
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert!((variance(&[2.0, 4.0]) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn linf() {
+        assert_eq!(linf_distance(&[0.0, 1.0], &[0.5, -1.0]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the linear-algebra kernels: factorization and
+//! solve invariants on randomly generated SPD systems.
+
+use autrascale_linalg::{dot, l2_norm, Cholesky, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a random `n × n` matrix `B` with entries in [-1, 1]; `B Bᵀ + εI`
+/// is then SPD by construction.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| {
+        let b = Matrix::from_vec(n, n, data);
+        let mut a = b.matmul(&b.transpose());
+        a.add_diagonal(0.1);
+        a
+    })
+}
+
+proptest! {
+    #[test]
+    fn cholesky_reconstructs(a in (1usize..8).prop_flat_map(spd_matrix)) {
+        let chol = Cholesky::decompose(&a).unwrap();
+        let l = chol.factor();
+        let rebuilt = l.matmul(&l.transpose());
+        // Allow for the jitter the decomposition may have added.
+        let tol = 1e-9 + chol.jitter() * 2.0;
+        prop_assert!(rebuilt.max_abs_diff(&a).unwrap() <= tol);
+    }
+
+    #[test]
+    fn solve_satisfies_system(
+        (a, x) in (1usize..8).prop_flat_map(|n| {
+            (spd_matrix(n), proptest::collection::vec(-10.0f64..10.0, n))
+        })
+    ) {
+        let b = a.matvec(&x);
+        let solved = Cholesky::decompose(&a).unwrap().solve(&b);
+        let residual = a.matvec(&solved);
+        for (r, t) in residual.iter().zip(&b) {
+            prop_assert!((r - t).abs() < 1e-6, "residual {r} target {t}");
+        }
+    }
+
+    #[test]
+    fn factor_is_lower_triangular(a in (2usize..8).prop_flat_map(spd_matrix)) {
+        let chol = Cholesky::decompose(&a).unwrap();
+        let l = chol.factor();
+        for i in 0..l.rows() {
+            for j in (i + 1)..l.cols() {
+                prop_assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn log_det_is_finite_for_spd(a in (1usize..8).prop_flat_map(spd_matrix)) {
+        let chol = Cholesky::decompose(&a).unwrap();
+        prop_assert!(chol.log_determinant().is_finite());
+    }
+
+    #[test]
+    fn transpose_preserves_matvec_adjoint(
+        (m, x, y) in (1usize..6, 1usize..6).prop_flat_map(|(r, c)| {
+            (
+                proptest::collection::vec(-5.0f64..5.0, r * c)
+                    .prop_map(move |d| Matrix::from_vec(r, c, d)),
+                proptest::collection::vec(-5.0f64..5.0, c),
+                proptest::collection::vec(-5.0f64..5.0, r),
+            )
+        })
+    ) {
+        // <A x, y> == <x, Aᵀ y>
+        let lhs = dot(&m.matvec(&x), &y);
+        let rhs = dot(&x, &m.transpose().matvec(&y));
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn cauchy_schwarz(
+        (a, b) in (1usize..16).prop_flat_map(|n| {
+            (
+                proptest::collection::vec(-10.0f64..10.0, n),
+                proptest::collection::vec(-10.0f64..10.0, n),
+            )
+        })
+    ) {
+        let lhs = dot(&a, &b).abs();
+        let rhs = l2_norm(&a) * l2_norm(&b);
+        prop_assert!(lhs <= rhs + 1e-9);
+    }
+}

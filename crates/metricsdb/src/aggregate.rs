@@ -1,0 +1,149 @@
+//! Reducers over windows of data points.
+
+use crate::series::DataPoint;
+
+/// Arithmetic mean of the values; `None` for an empty window.
+pub fn mean(points: &[DataPoint]) -> Option<f64> {
+    if points.is_empty() {
+        return None;
+    }
+    Some(points.iter().map(|p| p.value).sum::<f64>() / points.len() as f64)
+}
+
+/// Minimum value; `None` for an empty window.
+pub fn min(points: &[DataPoint]) -> Option<f64> {
+    points.iter().map(|p| p.value).min_by(f64::total_cmp)
+}
+
+/// Maximum value; `None` for an empty window.
+pub fn max(points: &[DataPoint]) -> Option<f64> {
+    points.iter().map(|p| p.value).max_by(f64::total_cmp)
+}
+
+/// Percentile in `[0, 100]` with linear interpolation between order
+/// statistics (the "linear" / type-7 method used by numpy and Prometheus).
+/// `None` for an empty window.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 100]`.
+pub fn percentile(points: &[DataPoint], q: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&q), "percentile out of range: {q}");
+    if points.is_empty() {
+        return None;
+    }
+    let mut values: Vec<f64> = points.iter().map(|p| p.value).collect();
+    values.sort_by(f64::total_cmp);
+    let rank = q / 100.0 * (values.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Some(values[lo])
+    } else {
+        let frac = rank - lo as f64;
+        Some(values[lo] * (1.0 - frac) + values[hi] * frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(values: &[f64]) -> Vec<DataPoint> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| DataPoint { time: i as f64, value: v })
+            .collect()
+    }
+
+    #[test]
+    fn empty_window_gives_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let p = pts(&[3.0, 1.0, 2.0]);
+        assert_eq!(mean(&p), Some(2.0));
+        assert_eq!(min(&p), Some(1.0));
+        assert_eq!(max(&p), Some(3.0));
+    }
+
+    #[test]
+    fn percentile_median_interpolates() {
+        let p = pts(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(percentile(&p, 50.0), Some(2.5));
+        assert_eq!(percentile(&p, 0.0), Some(1.0));
+        assert_eq!(percentile(&p, 100.0), Some(4.0));
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let p = pts(&[9.0, 1.0, 5.0]);
+        assert_eq!(percentile(&p, 50.0), Some(5.0));
+    }
+
+    #[test]
+    fn p99_of_uniform_ramp() {
+        let values: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let p = pts(&values);
+        assert_eq!(percentile(&p, 99.0), Some(99.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_bad_q() {
+        let _ = percentile(&pts(&[1.0]), 101.0);
+    }
+}
+
+/// Average rate of change over the window: `(vₙ − v₀) / (tₙ − t₀)` per
+/// second. `None` for fewer than two points or a zero-length window.
+/// This is how trend metrics (e.g. Kafka lag growth) are derived.
+pub fn derivative(points: &[DataPoint]) -> Option<f64> {
+    let first = points.first()?;
+    let last = points.last()?;
+    let dt = last.time - first.time;
+    if dt <= 0.0 {
+        return None;
+    }
+    Some((last.value - first.value) / dt)
+}
+
+#[cfg(test)]
+mod derivative_tests {
+    use super::*;
+
+    #[test]
+    fn derivative_of_linear_ramp() {
+        let points: Vec<DataPoint> = (0..10)
+            .map(|i| DataPoint { time: i as f64, value: 3.0 * i as f64 + 1.0 })
+            .collect();
+        assert!((derivative(&points).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivative_needs_two_distinct_times() {
+        assert_eq!(derivative(&[]), None);
+        let single = [DataPoint { time: 1.0, value: 5.0 }];
+        assert_eq!(derivative(&single), None);
+        let same_t = [
+            DataPoint { time: 1.0, value: 5.0 },
+            DataPoint { time: 1.0, value: 9.0 },
+        ];
+        assert_eq!(derivative(&same_t), None);
+    }
+
+    #[test]
+    fn derivative_sign_tracks_trend() {
+        let falling = [
+            DataPoint { time: 0.0, value: 10.0 },
+            DataPoint { time: 5.0, value: 0.0 },
+        ];
+        assert!(derivative(&falling).unwrap() < 0.0);
+    }
+}

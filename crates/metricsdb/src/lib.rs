@@ -1,0 +1,38 @@
+//! An in-memory tagged time-series store — the InfluxDB/Prometheus stand-in.
+//!
+//! The paper's Monitor module stores Flink and Kafka metrics in a
+//! third-party time-series database and the Analyze module reads windowed
+//! aggregates back (§IV). The controller only ever consumes *aggregates
+//! over recent windows*, so this crate provides exactly that surface:
+//!
+//! * [`MetricStore`] — a concurrent map of tagged series
+//!   (`name{tag=value,…} → [(t, v)]`);
+//! * [`Query`] — time-window selection with tag filters;
+//! * [`aggregate`] — mean / min / max / last / percentile reducers.
+//!
+//! Writes are monotone in time per series (simulation time only moves
+//! forward); out-of-order writes are rejected rather than silently
+//! reordered, which catches simulator bugs early.
+//!
+//! # Example
+//!
+//! ```
+//! use autrascale_metricsdb::{MetricStore, SeriesKey};
+//!
+//! let store = MetricStore::new();
+//! let key = SeriesKey::new("task_true_processing_rate")
+//!     .tag("operator", "FlatMap")
+//!     .tag("subtask", "0");
+//! store.append(&key, 1.0, 52_000.0).unwrap();
+//! store.append(&key, 2.0, 54_000.0).unwrap();
+//! let mean = store.window_mean(&key, 0.0, 10.0).unwrap();
+//! assert!((mean - 53_000.0).abs() < 1e-9);
+//! ```
+
+pub mod aggregate;
+mod series;
+mod store;
+
+pub use aggregate::{derivative, max, mean, min, percentile};
+pub use series::{DataPoint, Series};
+pub use store::{AppendError, MetricStore, Query, SeriesKey};

@@ -1,0 +1,206 @@
+//! A single time-ordered series of (timestamp, value) points.
+
+use serde::{Deserialize, Serialize};
+
+/// One observation in a series. Timestamps are simulation seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataPoint {
+    /// Simulation time in seconds.
+    pub time: f64,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// A time-ordered vector of points. Appends must be monotone in time.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Series {
+    points: Vec<DataPoint>,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point; returns `false` (and drops the point) if its
+    /// timestamp is older than the last one.
+    pub fn push(&mut self, time: f64, value: f64) -> bool {
+        if let Some(last) = self.points.last() {
+            if time < last.time {
+                return false;
+            }
+        }
+        self.points.push(DataPoint { time, value });
+        true
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All points.
+    pub fn points(&self) -> &[DataPoint] {
+        &self.points
+    }
+
+    /// The most recent point.
+    pub fn last(&self) -> Option<DataPoint> {
+        self.points.last().copied()
+    }
+
+    /// Values with `from <= t <= to`, using binary search on the sorted
+    /// timestamps.
+    pub fn window(&self, from: f64, to: f64) -> &[DataPoint] {
+        if from > to || self.points.is_empty() {
+            return &[];
+        }
+        let start = self.points.partition_point(|p| p.time < from);
+        let end = self.points.partition_point(|p| p.time <= to);
+        &self.points[start..end]
+    }
+
+    /// Drops every point strictly older than `horizon` (retention).
+    /// Returns the number of points removed.
+    pub fn retain_from(&mut self, horizon: f64) -> usize {
+        let cut = self.points.partition_point(|p| p.time < horizon);
+        self.points.drain(..cut);
+        cut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_monotone_only() {
+        let mut s = Series::new();
+        assert!(s.push(1.0, 10.0));
+        assert!(s.push(1.0, 11.0)); // equal timestamps allowed
+        assert!(s.push(2.0, 12.0));
+        assert!(!s.push(0.5, 13.0));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn window_bounds_are_inclusive() {
+        let mut s = Series::new();
+        for i in 0..10 {
+            s.push(i as f64, i as f64);
+        }
+        let w = s.window(2.0, 5.0);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0].time, 2.0);
+        assert_eq!(w[3].time, 5.0);
+    }
+
+    #[test]
+    fn window_empty_cases() {
+        let s = Series::new();
+        assert!(s.window(0.0, 1.0).is_empty());
+        let mut s = Series::new();
+        s.push(5.0, 1.0);
+        assert!(s.window(6.0, 7.0).is_empty());
+        assert!(s.window(3.0, 2.0).is_empty());
+    }
+
+    #[test]
+    fn retention_drops_old_points() {
+        let mut s = Series::new();
+        for i in 0..10 {
+            s.push(i as f64, 0.0);
+        }
+        assert_eq!(s.retain_from(4.0), 4);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.points()[0].time, 4.0);
+    }
+
+    #[test]
+    fn last_returns_newest() {
+        let mut s = Series::new();
+        s.push(1.0, 5.0);
+        s.push(2.0, 7.0);
+        assert_eq!(s.last().unwrap().value, 7.0);
+    }
+}
+
+impl Series {
+    /// Downsamples into fixed `bucket_secs` buckets, one mean point per
+    /// non-empty bucket (timestamped at the bucket start). Used for
+    /// plotting and long-horizon summaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_secs` is not positive.
+    pub fn downsample(&self, bucket_secs: f64) -> Vec<DataPoint> {
+        assert!(bucket_secs > 0.0, "bucket size must be positive");
+        let mut out: Vec<DataPoint> = Vec::new();
+        let mut bucket_start = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for p in self.points() {
+            let start = (p.time / bucket_secs).floor() * bucket_secs;
+            if start != bucket_start {
+                if count > 0 {
+                    out.push(DataPoint { time: bucket_start, value: sum / count as f64 });
+                }
+                bucket_start = start;
+                sum = 0.0;
+                count = 0;
+            }
+            sum += p.value;
+            count += 1;
+        }
+        if count > 0 {
+            out.push(DataPoint { time: bucket_start, value: sum / count as f64 });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod downsample_tests {
+    use super::*;
+
+    #[test]
+    fn downsample_means_per_bucket() {
+        let mut s = Series::new();
+        for i in 0..10 {
+            s.push(i as f64, i as f64); // values 0..9 at t 0..9
+        }
+        let d = s.downsample(5.0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].time, 0.0);
+        assert!((d[0].value - 2.0).abs() < 1e-12); // mean of 0..=4
+        assert_eq!(d[1].time, 5.0);
+        assert!((d[1].value - 7.0).abs() < 1e-12); // mean of 5..=9
+    }
+
+    #[test]
+    fn downsample_skips_empty_buckets() {
+        let mut s = Series::new();
+        s.push(0.0, 1.0);
+        s.push(100.0, 3.0);
+        let d = s.downsample(10.0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[1].time, 100.0);
+    }
+
+    #[test]
+    fn downsample_empty_series() {
+        assert!(Series::new().downsample(1.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn downsample_rejects_zero_bucket() {
+        let _ = Series::new().downsample(0.0);
+    }
+}

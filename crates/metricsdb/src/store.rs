@@ -1,0 +1,293 @@
+//! The concurrent tagged-series store.
+
+use crate::aggregate;
+use crate::series::{DataPoint, Series};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies one series: a metric name plus sorted tags, e.g.
+/// `task_true_processing_rate{operator="FlatMap",subtask="0"}`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SeriesKey {
+    name: String,
+    tags: BTreeMap<String, String>,
+}
+
+impl SeriesKey {
+    /// A key with no tags.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), tags: BTreeMap::new() }
+    }
+
+    /// Adds (or replaces) a tag, builder-style.
+    pub fn tag(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.tags.insert(key.into(), value.into());
+        self
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Tag value lookup.
+    pub fn tag_value(&self, key: &str) -> Option<&str> {
+        self.tags.get(key).map(String::as_str)
+    }
+
+    /// `true` iff this key has every tag in `filter` with equal values.
+    pub fn matches_tags(&self, filter: &BTreeMap<String, String>) -> bool {
+        filter.iter().all(|(k, v)| self.tags.get(k) == Some(v))
+    }
+}
+
+impl fmt::Display for SeriesKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.tags.is_empty() {
+            write!(f, "{{")?;
+            for (i, (k, v)) in self.tags.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{k}=\"{v}\"")?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A window query over one metric name with optional tag filters.
+#[derive(Debug, Clone)]
+pub struct Query {
+    name: String,
+    tags: BTreeMap<String, String>,
+    from: f64,
+    to: f64,
+}
+
+impl Query {
+    /// Query over `[from, to]` for metric `name`.
+    pub fn new(name: impl Into<String>, from: f64, to: f64) -> Self {
+        Self { name: name.into(), tags: BTreeMap::new(), from, to }
+    }
+
+    /// Restricts to series carrying this tag value.
+    pub fn tag(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.tags.insert(key.into(), value.into());
+        self
+    }
+}
+
+/// Errors when appending to the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendError {
+    /// The point's timestamp precedes the series' newest point.
+    OutOfOrder,
+    /// The value was NaN or infinite.
+    NonFiniteValue,
+}
+
+impl fmt::Display for AppendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppendError::OutOfOrder => write!(f, "out-of-order timestamp"),
+            AppendError::NonFiniteValue => write!(f, "non-finite value"),
+        }
+    }
+}
+
+impl std::error::Error for AppendError {}
+
+/// The store: a lock-protected map of series. Metric emission happens on
+/// the simulator thread while experiment harnesses read concurrently, so
+/// interior mutability with a `parking_lot::RwLock` keeps the API `&self`.
+#[derive(Debug, Default)]
+pub struct MetricStore {
+    series: RwLock<BTreeMap<SeriesKey, Series>>,
+}
+
+impl MetricStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one observation.
+    pub fn append(&self, key: &SeriesKey, time: f64, value: f64) -> Result<(), AppendError> {
+        if !value.is_finite() {
+            return Err(AppendError::NonFiniteValue);
+        }
+        let mut guard = self.series.write();
+        let series = guard.entry(key.clone()).or_default();
+        if series.push(time, value) {
+            Ok(())
+        } else {
+            Err(AppendError::OutOfOrder)
+        }
+    }
+
+    /// Number of distinct series.
+    pub fn series_count(&self) -> usize {
+        self.series.read().len()
+    }
+
+    /// All keys for a metric name.
+    pub fn keys_for(&self, name: &str) -> Vec<SeriesKey> {
+        self.series
+            .read()
+            .keys()
+            .filter(|k| k.name() == name)
+            .cloned()
+            .collect()
+    }
+
+    /// Runs a query, returning each matching series' window.
+    pub fn select(&self, query: &Query) -> Vec<(SeriesKey, Vec<DataPoint>)> {
+        self.series
+            .read()
+            .iter()
+            .filter(|(k, _)| k.name() == query.name && k.matches_tags(&query.tags))
+            .map(|(k, s)| (k.clone(), s.window(query.from, query.to).to_vec()))
+            .collect()
+    }
+
+    /// Latest point of one exact series.
+    pub fn last(&self, key: &SeriesKey) -> Option<DataPoint> {
+        self.series.read().get(key).and_then(Series::last)
+    }
+
+    /// Mean of one exact series over a window; `None` when empty.
+    pub fn window_mean(&self, key: &SeriesKey, from: f64, to: f64) -> Option<f64> {
+        let guard = self.series.read();
+        guard.get(key).and_then(|s| aggregate::mean(s.window(from, to)))
+    }
+
+    /// Percentile of one exact series over a window; `None` when empty.
+    pub fn window_percentile(&self, key: &SeriesKey, from: f64, to: f64, q: f64) -> Option<f64> {
+        let guard = self.series.read();
+        guard.get(key).and_then(|s| aggregate::percentile(s.window(from, to), q))
+    }
+
+    /// Per-series window means for every series of a metric matching the
+    /// query tags. Used by the Metric Aggregator to e.g. sum the true rate
+    /// across the subtasks of an operator.
+    pub fn grouped_window_mean(&self, query: &Query) -> Vec<(SeriesKey, f64)> {
+        self.select(query)
+            .into_iter()
+            .filter_map(|(k, pts)| aggregate::mean(&pts).map(|m| (k, m)))
+            .collect()
+    }
+
+    /// Drops points older than `horizon` from every series, returning the
+    /// total number of points removed.
+    pub fn apply_retention(&self, horizon: f64) -> usize {
+        self.series
+            .write()
+            .values_mut()
+            .map(|s| s.retain_from(horizon))
+            .sum()
+    }
+
+    /// Removes all series (a new job run starts with a clean slate).
+    pub fn clear(&self) {
+        self.series.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_like_prometheus() {
+        let k = SeriesKey::new("rate").tag("op", "Map").tag("subtask", "1");
+        assert_eq!(k.to_string(), "rate{op=\"Map\",subtask=\"1\"}");
+        assert_eq!(SeriesKey::new("up").to_string(), "up");
+    }
+
+    #[test]
+    fn append_and_query_roundtrip() {
+        let store = MetricStore::new();
+        let k = SeriesKey::new("latency").tag("job", "wc");
+        store.append(&k, 1.0, 100.0).unwrap();
+        store.append(&k, 2.0, 200.0).unwrap();
+        let results = store.select(&Query::new("latency", 0.0, 10.0));
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].1.len(), 2);
+    }
+
+    #[test]
+    fn rejects_out_of_order_and_nonfinite() {
+        let store = MetricStore::new();
+        let k = SeriesKey::new("m");
+        store.append(&k, 5.0, 1.0).unwrap();
+        assert_eq!(store.append(&k, 4.0, 1.0), Err(AppendError::OutOfOrder));
+        assert_eq!(store.append(&k, 6.0, f64::NAN), Err(AppendError::NonFiniteValue));
+    }
+
+    #[test]
+    fn tag_filter_selects_subset() {
+        let store = MetricStore::new();
+        for sub in 0..3 {
+            let k = SeriesKey::new("rate").tag("op", "Map").tag("subtask", sub.to_string());
+            store.append(&k, 1.0, sub as f64).unwrap();
+        }
+        let k2 = SeriesKey::new("rate").tag("op", "Sink").tag("subtask", "0");
+        store.append(&k2, 1.0, 99.0).unwrap();
+
+        let only_map = store.select(&Query::new("rate", 0.0, 2.0).tag("op", "Map"));
+        assert_eq!(only_map.len(), 3);
+        let all = store.select(&Query::new("rate", 0.0, 2.0));
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn grouped_window_mean_per_series() {
+        let store = MetricStore::new();
+        for sub in 0..2 {
+            let k = SeriesKey::new("rate").tag("subtask", sub.to_string());
+            store.append(&k, 1.0, 10.0 * (sub + 1) as f64).unwrap();
+            store.append(&k, 2.0, 20.0 * (sub + 1) as f64).unwrap();
+        }
+        let means = store.grouped_window_mean(&Query::new("rate", 0.0, 3.0));
+        assert_eq!(means.len(), 2);
+        let total: f64 = means.iter().map(|(_, m)| m).sum();
+        assert!((total - (15.0 + 30.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retention_and_clear() {
+        let store = MetricStore::new();
+        let k = SeriesKey::new("m");
+        for i in 0..10 {
+            store.append(&k, i as f64, 0.0).unwrap();
+        }
+        assert_eq!(store.apply_retention(5.0), 5);
+        store.clear();
+        assert_eq!(store.series_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_points() {
+        use std::sync::Arc;
+        let store = Arc::new(MetricStore::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    let k = SeriesKey::new("m").tag("writer", t.to_string());
+                    for i in 0..1000 {
+                        store.append(&k, i as f64, i as f64).unwrap();
+                    }
+                });
+            }
+        });
+        let results = store.select(&Query::new("m", 0.0, 1e9));
+        assert_eq!(results.len(), 4);
+        assert!(results.iter().all(|(_, pts)| pts.len() == 1000));
+    }
+}

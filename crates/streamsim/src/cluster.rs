@@ -1,0 +1,307 @@
+//! The cluster: machines with cores, instance placement, and the CPU
+//! interference model.
+
+use serde::{Deserialize, Serialize};
+
+/// One physical machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Number of CPU cores.
+    pub cores: u32,
+}
+
+/// The cluster of task-manager machines.
+///
+/// Flink slots isolate managed memory but **not** CPU (paper §III-A), so
+/// instances co-located on a machine contend for cores. The interference
+/// model: with `m` instances on a machine of `c` cores, each instance's
+/// service rate is multiplied by
+///
+/// ```text
+/// f(m, c) = 1 / (1 + γ·max(0, m − c) / c)        (hard over-subscription)
+///           × 1 / (1 + η·(m − 1) / c)            (shared-resource drag)
+/// ```
+///
+/// The first factor bites only when instances outnumber cores; the second
+/// models memory-bandwidth/cache contention that grows smoothly with
+/// co-location and keeps throughput-vs-parallelism concave even below the
+/// core count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// The machines available to task managers.
+    pub machines: Vec<MachineSpec>,
+    /// Over-subscription penalty γ.
+    pub oversubscription_coeff: f64,
+    /// Smooth contention penalty η.
+    pub contention_coeff: f64,
+    /// Maximum parallelism per operator the cluster supports (the paper's
+    /// `P_max`, bounded by available slots).
+    pub max_parallelism: u32,
+}
+
+impl ClusterSpec {
+    /// The paper's testbed: 3 × 20-core task-manager machines (the fourth
+    /// R740xd hosts Kafka/Zookeeper and takes no operator instances).
+    pub fn paper_cluster() -> Self {
+        Self {
+            machines: vec![MachineSpec { cores: 20 }; 3],
+            oversubscription_coeff: 1.0,
+            contention_coeff: 0.05,
+            max_parallelism: 50,
+        }
+    }
+
+    /// A uniform cluster of `n` machines with `cores` cores each.
+    pub fn uniform(n: usize, cores: u32, max_parallelism: u32) -> Self {
+        Self {
+            machines: vec![MachineSpec { cores }; n],
+            oversubscription_coeff: 1.0,
+            contention_coeff: 0.05,
+            max_parallelism,
+        }
+    }
+
+    /// Total cores across machines.
+    pub fn total_cores(&self) -> u32 {
+        self.machines.iter().map(|m| m.cores).sum()
+    }
+
+    /// Interference multiplier for an instance on machine `machine` given
+    /// the per-machine instance counts.
+    pub fn interference_factor(&self, machine: usize, instances_on: &[u32]) -> f64 {
+        let m = instances_on[machine] as f64;
+        let c = self.machines[machine].cores as f64;
+        if m <= 0.0 {
+            return 1.0;
+        }
+        let over = (m - c).max(0.0) / c;
+        let drag = (m - 1.0).max(0.0) / c;
+        1.0 / (1.0 + self.oversubscription_coeff * over)
+            / (1.0 + self.contention_coeff * drag)
+    }
+}
+
+/// Assignment of operator instances to machines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// `machine_of[op][instance]` — machine index per instance.
+    machine_of: Vec<Vec<usize>>,
+    /// Number of instances per machine.
+    instances_on: Vec<u32>,
+}
+
+impl Placement {
+    /// Places `parallelism[i]` instances of each operator onto the least
+    /// loaded machine in turn (deterministic: ties go to the lowest
+    /// index). This mirrors Flink's spread-out slot allocation.
+    pub fn spread(cluster: &ClusterSpec, parallelism: &[u32]) -> Self {
+        let mut instances_on = vec![0u32; cluster.machines.len()];
+        let mut machine_of = Vec::with_capacity(parallelism.len());
+        for &p in parallelism {
+            let mut per_op = Vec::with_capacity(p as usize);
+            for _ in 0..p {
+                // Least relative load; ties to the lowest machine index.
+                let target = (0..instances_on.len())
+                    .min_by(|&a, &b| {
+                        let la = instances_on[a] as f64 / cluster.machines[a].cores as f64;
+                        let lb = instances_on[b] as f64 / cluster.machines[b].cores as f64;
+                        la.total_cmp(&lb).then(a.cmp(&b))
+                    })
+                    .expect("cluster has at least one machine");
+                instances_on[target] += 1;
+                per_op.push(target);
+            }
+            machine_of.push(per_op);
+        }
+        Self { machine_of, instances_on }
+    }
+
+    /// Machine hosting instance `inst` of operator `op`.
+    pub fn machine(&self, op: usize, inst: usize) -> usize {
+        self.machine_of[op][inst]
+    }
+
+    /// Instance counts per machine.
+    pub fn instances_on(&self) -> &[u32] {
+        &self.instances_on
+    }
+
+    /// Total instances placed.
+    pub fn total_instances(&self) -> u32 {
+        self.instances_on.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_shape() {
+        let c = ClusterSpec::paper_cluster();
+        assert_eq!(c.machines.len(), 3);
+        assert_eq!(c.total_cores(), 60);
+    }
+
+    #[test]
+    fn interference_is_one_when_alone() {
+        let c = ClusterSpec::uniform(1, 8, 10);
+        assert_eq!(c.interference_factor(0, &[1]), 1.0);
+        assert_eq!(c.interference_factor(0, &[0]), 1.0);
+    }
+
+    #[test]
+    fn interference_decreases_with_load() {
+        let c = ClusterSpec::uniform(1, 8, 10);
+        let f4 = c.interference_factor(0, &[4]);
+        let f8 = c.interference_factor(0, &[8]);
+        let f16 = c.interference_factor(0, &[16]);
+        assert!(f4 > f8, "{f4} !> {f8}");
+        assert!(f8 > f16, "{f8} !> {f16}");
+        assert!(f16 > 0.0);
+    }
+
+    #[test]
+    fn oversubscription_penalty_kicks_in_past_cores() {
+        let mut c = ClusterSpec::uniform(1, 8, 10);
+        c.contention_coeff = 0.0; // isolate the over-subscription term
+        let at_cores = c.interference_factor(0, &[8]);
+        let double = c.interference_factor(0, &[16]);
+        assert_eq!(at_cores, 1.0);
+        assert!((double - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spread_balances_across_machines() {
+        let c = ClusterSpec::uniform(3, 10, 50);
+        let p = Placement::spread(&c, &[3, 3, 3]);
+        assert_eq!(p.total_instances(), 9);
+        // Perfectly balanced: 3 instances per machine.
+        assert_eq!(p.instances_on(), &[3, 3, 3]);
+    }
+
+    #[test]
+    fn spread_respects_heterogeneous_cores() {
+        let c = ClusterSpec {
+            machines: vec![MachineSpec { cores: 30 }, MachineSpec { cores: 10 }],
+            oversubscription_coeff: 1.0,
+            contention_coeff: 0.05,
+            max_parallelism: 50,
+        };
+        let p = Placement::spread(&c, &[8]);
+        // The 30-core machine should absorb ~3/4 of instances.
+        assert!(p.instances_on()[0] > p.instances_on()[1]);
+    }
+
+    #[test]
+    fn spread_is_deterministic() {
+        let c = ClusterSpec::paper_cluster();
+        let a = Placement::spread(&c, &[4, 7, 2, 1]);
+        let b = Placement::spread(&c, &[4, 7, 2, 1]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn machine_lookup_is_consistent() {
+        let c = ClusterSpec::uniform(2, 4, 10);
+        let p = Placement::spread(&c, &[2, 2]);
+        let mut counts = vec![0u32; 2];
+        for op in 0..2 {
+            for inst in 0..2 {
+                counts[p.machine(op, inst)] += 1;
+            }
+        }
+        assert_eq!(counts, p.instances_on());
+    }
+}
+
+/// Shared per-machine instance counts for co-located jobs.
+///
+/// The paper's motivation (§I) is precisely that *co-running jobs
+/// interfere*: queueing models calibrated per job miss the contention
+/// added by neighbors. Multiple [`crate::Simulation`]s register against
+/// one `SharedMachineRegistry`; each publishes its per-machine instance
+/// counts on every (re)deploy, and every job's interference factor is
+/// computed from the TOTAL occupancy.
+///
+/// Jobs only interact through deploy-time count changes, so co-located
+/// simulations may be stepped in any order without a lockstep
+/// coordinator.
+#[derive(Debug, Default)]
+pub struct SharedMachineRegistry {
+    counts: parking_lot::Mutex<Vec<u32>>,
+}
+
+impl SharedMachineRegistry {
+    /// A registry for a cluster with `machines` machines.
+    pub fn new(machines: usize) -> Self {
+        Self { counts: parking_lot::Mutex::new(vec![0; machines]) }
+    }
+
+    /// Replaces one job's contribution: subtracts `old`, adds `new`.
+    /// Slices may be empty (job not deployed / being torn down).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-empty slice's length differs from the machine
+    /// count, or if subtraction would underflow (double-release).
+    pub fn replace(&self, old: &[u32], new: &[u32]) {
+        let mut counts = self.counts.lock();
+        if !old.is_empty() {
+            assert_eq!(old.len(), counts.len(), "machine count mismatch");
+            for (c, o) in counts.iter_mut().zip(old) {
+                *c = c.checked_sub(*o).expect("registry underflow: double release");
+            }
+        }
+        if !new.is_empty() {
+            assert_eq!(new.len(), counts.len(), "machine count mismatch");
+            for (c, n) in counts.iter_mut().zip(new) {
+                *c += n;
+            }
+        }
+    }
+
+    /// Current total per-machine instance counts across all jobs.
+    pub fn snapshot(&self) -> Vec<u32> {
+        self.counts.lock().clone()
+    }
+
+    /// Total instances across machines and jobs.
+    pub fn total_instances(&self) -> u32 {
+        self.counts.lock().iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod shared_tests {
+    use super::*;
+
+    #[test]
+    fn replace_accumulates_and_releases() {
+        let reg = SharedMachineRegistry::new(3);
+        reg.replace(&[], &[2, 0, 1]);
+        reg.replace(&[], &[1, 1, 1]); // a second job
+        assert_eq!(reg.snapshot(), vec![3, 1, 2]);
+        reg.replace(&[2, 0, 1], &[0, 4, 0]); // first job rescales
+        assert_eq!(reg.snapshot(), vec![1, 5, 1]);
+        reg.replace(&[1, 1, 1], &[]); // second job leaves
+        assert_eq!(reg.snapshot(), vec![0, 4, 0]);
+        assert_eq!(reg.total_instances(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_panics() {
+        let reg = SharedMachineRegistry::new(1);
+        reg.replace(&[], &[1]);
+        reg.replace(&[1], &[]);
+        reg.replace(&[1], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "machine count mismatch")]
+    fn wrong_arity_panics() {
+        let reg = SharedMachineRegistry::new(2);
+        reg.replace(&[], &[1, 2, 3]);
+    }
+}

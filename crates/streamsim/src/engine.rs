@@ -1,0 +1,1185 @@
+//! The fluid/tick simulation engine.
+//!
+//! Each tick (default 100 ms) moves fluid record mass producer → Kafka →
+//! source → operators → sink. Operators are processed in **forward
+//! topological order** with same-tick consumption: an operator emits into
+//! its successors' queues before the successors run, so sustained flow is
+//! never artificially capped by buffer capacity. Backpressure emerges
+//! from occupancy: a bottleneck operator's queue sits full, so upstream
+//! emission each tick is limited to exactly what the bottleneck drained.
+//!
+//! Per-instance effective service rate:
+//!
+//! ```text
+//! eff = base_rate × 1/(1 + σ·(p−1)) × interference(machine) × noise
+//! ```
+//!
+//! capped so the operator aggregate respects any external limit (Redis).
+//! Queues are bounded by a fixed per-operator buffer pool; overflow
+//! backpressure ultimately parks records in Kafka as consumer lag.
+
+use crate::cluster::{ClusterSpec, Placement};
+use crate::kafka::Kafka;
+use crate::metrics;
+use crate::noise::GaussianNoise;
+use crate::rate::RateProfile;
+use crate::topology::JobGraph;
+use autrascale_metricsdb::MetricStore;
+use std::fmt;
+use std::sync::Arc;
+
+/// Configuration of a [`Simulation`].
+#[derive(Debug, Clone)]
+pub struct SimulationConfig {
+    /// The machines and interference model.
+    pub cluster: ClusterSpec,
+    /// The job topology.
+    pub job: JobGraph,
+    /// External producer rate profile.
+    pub profile: RateProfile,
+    /// Tick length in seconds.
+    pub dt: f64,
+    /// Seconds between metric emissions into the store.
+    pub metric_interval: f64,
+    /// Savepoint + restart downtime for a redeploy, seconds (paper §IV
+    /// Execute: stop → savepoint → restart).
+    pub restart_downtime: f64,
+    /// Input-buffer pool per operator, records. Fixed per operator (not
+    /// scaled by parallelism): Flink's floating network buffers form a
+    /// shared pool, so an operator's maximum queue-induced wait
+    /// `cap / capacity` SHRINKS as instances are added — which is exactly
+    /// the paper's Observation 2.2 (latency falls with parallelism while
+    /// under-provisioned).
+    pub queue_capacity_per_operator: f64,
+    /// Multiplicative noise std on per-instance service rates.
+    pub rate_noise_std: f64,
+    /// Kafka topic retention, seconds: unconsumed records older than this
+    /// are dropped (0 disables). Real clusters always run with finite
+    /// retention; it also bounds how long a deep backlog can poison the
+    /// QoS measurements of later configurations.
+    pub kafka_retention_secs: f64,
+    /// Co-location: when set, this job publishes its per-machine instance
+    /// counts into the shared registry and computes CPU interference from
+    /// the TOTAL occupancy (its own + every co-located job's).
+    pub shared_machines: Option<std::sync::Arc<crate::cluster::SharedMachineRegistry>>,
+    /// RNG seed (runs are replayable).
+    pub seed: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        Self {
+            cluster: ClusterSpec::paper_cluster(),
+            job: JobGraph::linear(vec![
+                crate::topology::OperatorSpec::source("Source", 100_000.0),
+                crate::topology::OperatorSpec::sink("Sink", 100_000.0),
+            ])
+            .expect("default topology is valid"),
+            profile: RateProfile::constant(10_000.0),
+            dt: 0.1,
+            metric_interval: 1.0,
+            restart_downtime: 30.0,
+            queue_capacity_per_operator: 20_000.0,
+            rate_noise_std: 0.03,
+            kafka_retention_secs: 600.0,
+            shared_machines: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Errors from driving the simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A parallelism vector had the wrong number of operators.
+    ArityMismatch { expected: usize, got: usize },
+    /// A parallelism value was 0 or above the cluster's `max_parallelism`.
+    ParallelismOutOfRange { operator: String, value: u32, max: u32 },
+    /// The simulation was stepped before the first deploy.
+    NotDeployed,
+    /// Invalid configuration (non-positive dt or metric interval).
+    BadConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ArityMismatch { expected, got } => {
+                write!(f, "parallelism arity {got}, job has {expected} operators")
+            }
+            SimError::ParallelismOutOfRange { operator, value, max } => {
+                write!(f, "parallelism {value} for {operator:?} outside [1, {max}]")
+            }
+            SimError::NotDeployed => write!(f, "job has not been deployed"),
+            SimError::BadConfig(msg) => write!(f, "bad config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Point-in-time view of one operator (averaged over the last metric
+/// window).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorSnapshot {
+    /// Operator name.
+    pub name: String,
+    /// Deployed parallelism.
+    pub parallelism: u32,
+    /// Records/s arriving from upstream (λ_i).
+    pub input_rate: f64,
+    /// Records/s emitted downstream (o_i).
+    pub output_rate: f64,
+    /// Records waiting in the operator's input buffers.
+    pub queue: f64,
+    /// Mean per-instance true processing rate (paper Eq. 2).
+    pub true_rate_per_instance: f64,
+    /// Mean per-instance observed processing rate.
+    pub observed_rate_per_instance: f64,
+    /// Aggregate capability (Σ per-instance true rates).
+    pub capacity: f64,
+}
+
+/// Point-in-time view of the whole job (averaged over the last completed
+/// metric window).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSnapshot {
+    /// Simulation time, seconds.
+    pub time: f64,
+    /// `false` during savepoint/restart downtime.
+    pub running: bool,
+    /// Deployed parallelism vector.
+    pub parallelism: Vec<u32>,
+    /// Records/s the sources pulled from Kafka — the paper's "throughput".
+    pub source_consumption_rate: f64,
+    /// Records/s completed at the sinks (sink-record units).
+    pub sink_rate: f64,
+    /// External producer rate v₀.
+    pub producer_rate: f64,
+    /// Kafka consumer lag, records.
+    pub kafka_lag: f64,
+    /// Average in-job processing latency, ms.
+    pub processing_latency_ms: f64,
+    /// Event-time latency (Kafka pending + processing), ms; `None` while
+    /// the job is stalled with lag (unbounded).
+    pub event_time_latency_ms: Option<f64>,
+    /// Per-operator views in topological order.
+    pub per_operator: Vec<OperatorSnapshot>,
+}
+
+/// Per-metric-window accumulators.
+#[derive(Debug, Clone)]
+struct WindowAccum {
+    start: f64,
+    processed: Vec<f64>,
+    busy_time: Vec<f64>,
+    input: Vec<f64>,
+    output: Vec<f64>,
+    consumed_from_kafka: f64,
+    produced_to_kafka: f64,
+    sink_completed: f64,
+    proc_latency_sum: f64,
+    event_latency_sum: f64,
+    event_latency_ticks: f64,
+    ticks: f64,
+    queue_sum: Vec<f64>,
+    capacity_sum: Vec<f64>,
+}
+
+impl WindowAccum {
+    fn new(n: usize, start: f64) -> Self {
+        Self {
+            start,
+            processed: vec![0.0; n],
+            busy_time: vec![0.0; n],
+            input: vec![0.0; n],
+            output: vec![0.0; n],
+            consumed_from_kafka: 0.0,
+            produced_to_kafka: 0.0,
+            sink_completed: 0.0,
+            proc_latency_sum: 0.0,
+            event_latency_sum: 0.0,
+            event_latency_ticks: 0.0,
+            ticks: 0.0,
+            queue_sum: vec![0.0; n],
+            capacity_sum: vec![0.0; n],
+        }
+    }
+}
+
+/// A transient performance fault: one operator's service rate is
+/// multiplied by `factor` until simulation time `until`.
+#[derive(Debug, Clone, Copy)]
+struct Slowdown {
+    operator: usize,
+    factor: f64,
+    until: f64,
+}
+
+/// The simulated cluster + job. See the crate docs for the model.
+pub struct Simulation {
+    config: SimulationConfig,
+    store: Arc<MetricStore>,
+    kafka: Kafka,
+    noise: GaussianNoise,
+    time: f64,
+    deployed: bool,
+    parallelism: Vec<u32>,
+    placement: Placement,
+    /// Per-operator total queued records (instances are symmetric).
+    queues: Vec<f64>,
+    /// While `Some(t)`, the job is down until simulation time `t`.
+    downtime_until: Option<f64>,
+    accum: WindowAccum,
+    last_snapshot: SimSnapshot,
+    /// Number of deploys performed (the first is free, §V "initial
+    /// parallelism"; later ones cost `restart_downtime`).
+    deploy_count: u32,
+    /// Active transient faults (pruned as they expire).
+    slowdowns: Vec<Slowdown>,
+}
+
+impl Simulation {
+    /// Builds a simulation; call [`deploy`](Self::deploy) before stepping.
+    pub fn new(config: SimulationConfig) -> Result<Self, SimError> {
+        if config.dt <= 0.0 {
+            return Err(SimError::BadConfig("dt must be positive".into()));
+        }
+        if config.metric_interval < config.dt {
+            return Err(SimError::BadConfig(
+                "metric_interval must be at least dt".into(),
+            ));
+        }
+        let n = config.job.len();
+        let placement = Placement::spread(&config.cluster, &vec![0; n]);
+        let snapshot = SimSnapshot {
+            time: 0.0,
+            running: false,
+            parallelism: vec![0; n],
+            source_consumption_rate: 0.0,
+            sink_rate: 0.0,
+            producer_rate: 0.0,
+            kafka_lag: 0.0,
+            processing_latency_ms: 0.0,
+            event_time_latency_ms: Some(0.0),
+            per_operator: Vec::new(),
+        };
+        Ok(Self {
+            store: Arc::new(MetricStore::new()),
+            kafka: Kafka::new(),
+            noise: GaussianNoise::new(config.seed),
+            time: 0.0,
+            deployed: false,
+            parallelism: vec![0; n],
+            placement,
+            queues: vec![0.0; n],
+            downtime_until: None,
+            accum: WindowAccum::new(n, 0.0),
+            last_snapshot: snapshot,
+            deploy_count: 0,
+            slowdowns: Vec::new(),
+            config,
+        })
+    }
+
+    /// (Re)deploys the job with a new parallelism vector.
+    ///
+    /// The first deploy is the job submission and starts immediately;
+    /// every later deploy stops the job, takes a savepoint (in-flight
+    /// buffered records return to Kafka, since offsets are committed at
+    /// checkpoints) and restarts after `restart_downtime` seconds.
+    pub fn deploy(&mut self, parallelism: &[u32]) -> Result<(), SimError> {
+        let n = self.config.job.len();
+        if parallelism.len() != n {
+            return Err(SimError::ArityMismatch { expected: n, got: parallelism.len() });
+        }
+        let max = self.config.cluster.max_parallelism;
+        for (op, &p) in self.config.job.operators().iter().zip(parallelism) {
+            if p == 0 || p > max {
+                return Err(SimError::ParallelismOutOfRange {
+                    operator: op.name.clone(),
+                    value: p,
+                    max,
+                });
+            }
+        }
+
+        // In-flight records return to Kafka (re-read from committed offsets).
+        let inflight: f64 = self.queues.iter().sum();
+        if inflight > 0.0 {
+            self.kafka.produce(inflight / self.config.dt, self.config.dt, self.time);
+        }
+        self.queues = vec![0.0; n];
+        self.parallelism = parallelism.to_vec();
+        let old_counts = self.placement.instances_on().to_vec();
+        self.placement = Placement::spread(&self.config.cluster, parallelism);
+        if let Some(registry) = &self.config.shared_machines {
+            registry.replace(&old_counts, self.placement.instances_on());
+        }
+        if self.deployed {
+            self.downtime_until = Some(self.time + self.config.restart_downtime);
+        }
+        self.deployed = true;
+        self.deploy_count += 1;
+        Ok(())
+    }
+
+    /// Advances one tick.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        if !self.deployed {
+            return Err(SimError::NotDeployed);
+        }
+        let dt = self.config.dt;
+        let n = self.config.job.len();
+
+        // Producer always runs; retention expires stale records.
+        let producer_rate = self.config.profile.rate_at(self.time);
+        self.kafka.produce(producer_rate, dt, self.time);
+        self.kafka.expire(self.time, self.config.kafka_retention_secs);
+        self.accum.produced_to_kafka += producer_rate * dt;
+
+        let in_downtime = match self.downtime_until {
+            Some(t) if self.time < t => true,
+            Some(_) => {
+                self.downtime_until = None;
+                false
+            }
+            None => false,
+        };
+
+        if !in_downtime {
+            self.process_tick(dt, n);
+        } else {
+            // Latency accounting still ticks: processing latency is
+            // undefined (no records complete), event latency unbounded.
+            self.accum.ticks += 1.0;
+        }
+
+        self.time += dt;
+
+        // Emit at metric boundaries.
+        if self.time - self.accum.start >= self.config.metric_interval - 1e-9 {
+            self.emit_window(!in_downtime);
+        }
+        Ok(())
+    }
+
+    /// Runs for `secs` of simulation time.
+    pub fn run_for(&mut self, secs: f64) {
+        let steps = (secs / self.config.dt).round() as u64;
+        for _ in 0..steps {
+            self.step().expect("simulation must be deployed before run_for");
+        }
+    }
+
+    fn process_tick(&mut self, dt: f64, n: usize) {
+        let job = &self.config.job;
+        let cluster = &self.config.cluster;
+        // Interference sees the TOTAL machine occupancy: co-located jobs
+        // contribute through the shared registry.
+        let instances_on = match &self.config.shared_machines {
+            Some(registry) => registry.snapshot(),
+            None => self.placement.instances_on().to_vec(),
+        };
+
+        // Prune expired faults, then compute per-operator aggregate
+        // capacity and mean per-instance rate.
+        let now = self.time;
+        self.slowdowns.retain(|f| f.until > now);
+        let mut capacity = vec![0.0; n];
+        #[allow(clippy::needless_range_loop)] // index i spans 4 parallel vecs
+        for i in 0..n {
+            let op = &job.operators()[i];
+            let p = self.parallelism[i];
+            let sync = 1.0 / (1.0 + op.sync_coeff * (p.saturating_sub(1)) as f64);
+            let fault: f64 = self
+                .slowdowns
+                .iter()
+                .filter(|f| f.operator == i)
+                .map(|f| f.factor)
+                .product();
+            let mut total = 0.0;
+            for inst in 0..p as usize {
+                let machine = self.placement.machine(i, inst);
+                let interference = cluster.interference_factor(machine, &instances_on);
+                let noise = self.noise.factor(self.config.rate_noise_std);
+                total += op.base_rate * sync * interference * noise * fault;
+            }
+            if let Some(limit) = op.external_limit {
+                total = total.min(limit * fault);
+            }
+            capacity[i] = total;
+        }
+
+        // Queue capacities.
+        let queue_cap: Vec<f64> = vec![self.config.queue_capacity_per_operator; n];
+
+        // Forward topological order with same-tick consumption: operator
+        // `i` emits into its successors' queues before those successors
+        // process, so a record can traverse the whole pipeline within one
+        // tick and sustained flow is not capped by queue capacity.
+        // Backpressure still works: a bottleneck's queue stays full, so
+        // its free space each tick equals exactly what it drained.
+        let mut consumed_this_tick = 0.0;
+        for i in 0..n {
+            let op = &job.operators()[i];
+            let successors = job.successors(i);
+
+            // How much output the successors can absorb (in units of THIS
+            // operator's output records): current free space plus what the
+            // successor will drain this tick. A successor that ends up
+            // blocked by ITS downstream may overshoot capacity by at most
+            // one tick's worth — tolerated (no records are dropped) and
+            // corrected next tick when its free space reads zero.
+            let out_allowance = if successors.is_empty() {
+                f64::INFINITY
+            } else {
+                successors
+                    .iter()
+                    .map(|&s| {
+                        (queue_cap[s] - self.queues[s] + capacity[s] * dt).max(0.0)
+                    })
+                    .fold(f64::INFINITY, f64::min)
+                    / op.selectivity
+            };
+
+            let can_process = capacity[i] * dt;
+            let processed = if op.is_source() {
+                let want = can_process.min(out_allowance);
+                let got = self.kafka.consume(want, dt);
+                consumed_this_tick += got;
+                got
+            } else {
+                let avail = self.queues[i];
+                let processed = avail.min(can_process).min(out_allowance);
+                self.queues[i] -= processed;
+                processed
+            };
+
+            for &s in &successors {
+                let emitted = processed * op.selectivity;
+                self.queues[s] += emitted;
+                self.accum.input[s] += emitted;
+            }
+            if op.is_sink() || successors.is_empty() {
+                self.accum.sink_completed += processed;
+            }
+
+            self.accum.processed[i] += processed;
+            // Busy time: the fraction of the tick the instances spent
+            // actually processing (Eq. 2's T_u), aggregated over instances.
+            if capacity[i] > 0.0 {
+                self.accum.busy_time[i] +=
+                    processed / capacity[i] * self.parallelism[i] as f64;
+            }
+            self.accum.output[i] += processed * op.selectivity;
+            self.accum.queue_sum[i] += self.queues[i];
+            self.accum.capacity_sum[i] += capacity[i];
+        }
+        self.accum.consumed_from_kafka += consumed_this_tick;
+        if let Some(src) = job.sources().first() {
+            self.accum.input[*src] += consumed_this_tick;
+        }
+
+        // Latency estimate for this tick.
+        let mut proc_ms = 0.0;
+        #[allow(clippy::needless_range_loop)] // index i spans parallel vecs
+        for i in 0..n {
+            let op = &job.operators()[i];
+            let p = self.parallelism[i] as f64;
+            let wait_ms = if capacity[i] > 1e-9 {
+                self.queues[i] / capacity[i] * 1000.0
+            } else {
+                0.0
+            };
+            proc_ms += wait_ms
+                + op.base_latency_ms
+                + op.window_delay_ms()
+                + op.comm_cost_ms * (p - 1.0).max(0.0);
+        }
+        self.accum.proc_latency_sum += proc_ms;
+        self.accum.ticks += 1.0;
+
+        // Event-time latency: pending time in Kafka + processing latency.
+        let consumption_rate = consumed_this_tick / dt;
+        if consumption_rate > 1e-9 || self.kafka.lag() <= 1e-9 {
+            let pending_ms = if consumption_rate > 1e-9 {
+                self.kafka.lag() / consumption_rate * 1000.0
+            } else {
+                0.0
+            };
+            self.accum.event_latency_sum += pending_ms + proc_ms;
+            self.accum.event_latency_ticks += 1.0;
+        }
+    }
+
+    /// Emits the accumulated window into the store and refreshes
+    /// [`snapshot`](Self::snapshot).
+    fn emit_window(&mut self, running: bool) {
+        let n = self.config.job.len();
+        let window = (self.time - self.accum.start).max(self.config.dt);
+        let t = self.time;
+        let store = &self.store;
+
+        let mut per_operator = Vec::with_capacity(n);
+        #[allow(clippy::needless_range_loop)] // index i spans several accumulators
+        for i in 0..n {
+            let op = &self.config.job.operators()[i];
+            let p = self.parallelism[i].max(1);
+            let processed = self.accum.processed[i];
+            let busy = self.accum.busy_time[i];
+            let ticks = self.accum.ticks.max(1.0);
+
+            // Paper Eq. 2: v = R / T_u, per instance (instances symmetric).
+            let true_rate_inst = if busy > 1e-9 {
+                processed / busy
+            } else {
+                // Fully idle: capability is the average available capacity.
+                self.accum.capacity_sum[i] / ticks / p as f64
+            };
+            let observed_rate_inst = processed / window / p as f64;
+            let input_rate = self.accum.input[i] / window;
+            let output_rate = self.accum.output[i] / window;
+            let queue = self.accum.queue_sum[i] / ticks;
+            let op_capacity = self.accum.capacity_sum[i] / ticks;
+
+            for inst in 0..p as usize {
+                metrics::emit(
+                    store,
+                    &metrics::instance_key(metrics::TRUE_PROCESSING_RATE, &op.name, inst),
+                    t,
+                    true_rate_inst,
+                );
+                metrics::emit(
+                    store,
+                    &metrics::instance_key(metrics::OBSERVED_PROCESSING_RATE, &op.name, inst),
+                    t,
+                    observed_rate_inst,
+                );
+            }
+            metrics::emit(
+                store,
+                &metrics::operator_key(metrics::OPERATOR_INPUT_RATE, &op.name),
+                t,
+                input_rate,
+            );
+            metrics::emit(
+                store,
+                &metrics::operator_key(metrics::OPERATOR_OUTPUT_RATE, &op.name),
+                t,
+                output_rate,
+            );
+            metrics::emit(
+                store,
+                &metrics::operator_key(metrics::OPERATOR_QUEUE_SIZE, &op.name),
+                t,
+                queue,
+            );
+
+            per_operator.push(OperatorSnapshot {
+                name: op.name.clone(),
+                parallelism: self.parallelism[i],
+                input_rate,
+                output_rate,
+                queue,
+                true_rate_per_instance: true_rate_inst,
+                observed_rate_per_instance: observed_rate_inst,
+                capacity: op_capacity,
+            });
+        }
+
+        let source_rate = self.accum.consumed_from_kafka / window;
+        let sink_rate = self.accum.sink_completed / window;
+        let producer_rate = self.accum.produced_to_kafka / window;
+        let proc_latency = if self.accum.ticks > 0.0 && running {
+            self.accum.proc_latency_sum / self.accum.ticks.max(1.0)
+        } else {
+            0.0
+        };
+        let event_latency = if self.accum.event_latency_ticks > 0.0 {
+            Some(self.accum.event_latency_sum / self.accum.event_latency_ticks)
+        } else {
+            None
+        };
+
+        metrics::emit(store, &metrics::job_key(metrics::JOB_THROUGHPUT), t, source_rate);
+        metrics::emit(store, &metrics::job_key(metrics::SINK_RATE), t, sink_rate);
+        metrics::emit(store, &metrics::job_key(metrics::PRODUCER_RATE), t, producer_rate);
+        metrics::emit(store, &metrics::job_key(metrics::KAFKA_LAG), t, self.kafka.lag());
+        metrics::emit(
+            store,
+            &metrics::job_key(metrics::PROCESSING_LATENCY_MS),
+            t,
+            proc_latency,
+        );
+        if let Some(e) = event_latency {
+            metrics::emit(store, &metrics::job_key(metrics::EVENT_TIME_LATENCY_MS), t, e);
+        }
+        metrics::emit(
+            store,
+            &metrics::job_key(metrics::JOB_RUNNING),
+            t,
+            if running { 1.0 } else { 0.0 },
+        );
+
+        self.last_snapshot = SimSnapshot {
+            time: t,
+            running,
+            parallelism: self.parallelism.clone(),
+            source_consumption_rate: source_rate,
+            sink_rate,
+            producer_rate,
+            kafka_lag: self.kafka.lag(),
+            processing_latency_ms: proc_latency,
+            event_time_latency_ms: event_latency,
+            per_operator,
+        };
+        self.accum = WindowAccum::new(n, t);
+    }
+
+    /// The most recently completed metric window's view of the job.
+    pub fn snapshot(&self) -> SimSnapshot {
+        self.last_snapshot.clone()
+    }
+
+    /// Current simulation time, seconds.
+    pub fn now(&self) -> f64 {
+        self.time
+    }
+
+    /// The metric store backing this simulation.
+    pub fn store(&self) -> Arc<MetricStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// Deployed parallelism vector.
+    pub fn parallelism(&self) -> &[u32] {
+        &self.parallelism
+    }
+
+    /// The job topology.
+    pub fn job(&self) -> &JobGraph {
+        &self.config.job
+    }
+
+    /// The cluster spec.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.config.cluster
+    }
+
+    /// Current external input rate v₀.
+    pub fn input_rate(&self) -> f64 {
+        self.config.profile.rate_at(self.time)
+    }
+
+    /// Replaces the producer rate profile (rate-change experiments).
+    pub fn set_profile(&mut self, profile: RateProfile) {
+        self.config.profile = profile;
+    }
+
+    /// Current Kafka consumer lag, records.
+    pub fn kafka_lag(&self) -> f64 {
+        self.kafka.lag()
+    }
+
+    /// Total records dropped by Kafka retention so far.
+    pub fn kafka_expired(&self) -> f64 {
+        self.kafka.expired_total()
+    }
+
+    /// `true` while the job is in savepoint/restart downtime.
+    pub fn in_downtime(&self) -> bool {
+        matches!(self.downtime_until, Some(t) if self.time < t)
+    }
+
+    /// Number of deploys so far (including the initial submission).
+    pub fn deploy_count(&self) -> u32 {
+        self.deploy_count
+    }
+
+    /// Injects a transient fault: operator `operator`'s service rate is
+    /// multiplied by `factor` (< 1 slows it down) for `duration_secs`.
+    /// Faults stack multiplicatively; restarts do not clear them (the
+    /// slow disk / noisy neighbor is still there after a redeploy).
+    pub fn inject_slowdown(
+        &mut self,
+        operator: usize,
+        factor: f64,
+        duration_secs: f64,
+    ) -> Result<(), SimError> {
+        if operator >= self.config.job.len() {
+            return Err(SimError::BadConfig(format!(
+                "operator index {operator} out of range"
+            )));
+        }
+        if factor <= 0.0 || factor.is_nan() || !duration_secs.is_finite() || duration_secs <= 0.0 {
+            return Err(SimError::BadConfig(
+                "slowdown needs factor > 0 and positive duration".into(),
+            ));
+        }
+        self.slowdowns.push(Slowdown {
+            operator,
+            factor,
+            until: self.time + duration_secs,
+        });
+        Ok(())
+    }
+
+    /// Number of currently active transient faults.
+    pub fn active_faults(&self) -> usize {
+        self.slowdowns.len()
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        // A co-located job releases its machine occupancy when it goes
+        // away, so neighbors stop paying interference for it.
+        if let Some(registry) = &self.config.shared_machines {
+            registry.replace(self.placement.instances_on(), &[]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::OperatorSpec;
+
+    fn small_job() -> JobGraph {
+        JobGraph::linear(vec![
+            OperatorSpec::source("Source", 50_000.0),
+            OperatorSpec::transform("Map", 30_000.0, 1.0),
+            OperatorSpec::sink("Sink", 60_000.0),
+        ])
+        .unwrap()
+    }
+
+    fn config(rate: f64) -> SimulationConfig {
+        SimulationConfig {
+            cluster: ClusterSpec::paper_cluster(),
+            job: small_job(),
+            profile: RateProfile::constant(rate),
+            seed: 11,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn step_before_deploy_errors() {
+        let mut sim = Simulation::new(config(1000.0)).unwrap();
+        assert_eq!(sim.step(), Err(SimError::NotDeployed));
+    }
+
+    #[test]
+    fn deploy_validates_arity_and_range() {
+        let mut sim = Simulation::new(config(1000.0)).unwrap();
+        assert!(matches!(
+            sim.deploy(&[1, 1]),
+            Err(SimError::ArityMismatch { expected: 3, got: 2 })
+        ));
+        assert!(matches!(
+            sim.deploy(&[1, 0, 1]),
+            Err(SimError::ParallelismOutOfRange { .. })
+        ));
+        assert!(matches!(
+            sim.deploy(&[1, 99, 1]),
+            Err(SimError::ParallelismOutOfRange { .. })
+        ));
+        assert!(sim.deploy(&[1, 1, 1]).is_ok());
+    }
+
+    #[test]
+    fn underprovisioned_job_accumulates_lag() {
+        // Input 40k but Map can only do ~30k with p=1.
+        let mut sim = Simulation::new(config(40_000.0)).unwrap();
+        sim.deploy(&[1, 1, 1]).unwrap();
+        sim.run_for(120.0);
+        let snap = sim.snapshot();
+        assert!(snap.kafka_lag > 100_000.0, "lag {}", snap.kafka_lag);
+        // Throughput pinned near Map's capacity, not the input rate.
+        assert!(
+            snap.source_consumption_rate < 35_000.0,
+            "consumption {}",
+            snap.source_consumption_rate
+        );
+        assert!(snap.source_consumption_rate > 25_000.0);
+    }
+
+    #[test]
+    fn provisioned_job_keeps_up() {
+        let mut sim = Simulation::new(config(40_000.0)).unwrap();
+        sim.deploy(&[1, 3, 1]).unwrap();
+        sim.run_for(120.0);
+        let snap = sim.snapshot();
+        assert!(snap.kafka_lag < 10_000.0, "lag {}", snap.kafka_lag);
+        assert!(
+            (snap.source_consumption_rate - 40_000.0).abs() < 3_000.0,
+            "consumption {}",
+            snap.source_consumption_rate
+        );
+    }
+
+    #[test]
+    fn throughput_scales_sublinearly_with_parallelism() {
+        // Saturating input: measure capacity at p = 1, 2, 4.
+        let mut rates = Vec::new();
+        for p in [1u32, 2, 4] {
+            let mut sim = Simulation::new(config(200_000.0)).unwrap();
+            sim.deploy(&[2, p, 2]).unwrap();
+            sim.run_for(120.0);
+            rates.push(sim.snapshot().source_consumption_rate);
+        }
+        assert!(rates[1] > rates[0] * 1.2, "{rates:?}");
+        assert!(rates[2] > rates[1], "{rates:?}");
+        // Sub-linear: doubling p must not double throughput.
+        assert!(rates[1] < rates[0] * 2.0, "{rates:?}");
+        assert!(rates[2] < rates[1] * 2.0, "{rates:?}");
+    }
+
+    #[test]
+    fn true_rate_exceeds_observed_when_underutilized() {
+        // Input far below capacity: operators are mostly idle, so the
+        // observed rate is low but the true rate reflects capability.
+        let mut sim = Simulation::new(config(5_000.0)).unwrap();
+        sim.deploy(&[1, 1, 1]).unwrap();
+        sim.run_for(60.0);
+        let snap = sim.snapshot();
+        let map = &snap.per_operator[1];
+        assert!(
+            map.true_rate_per_instance > map.observed_rate_per_instance * 2.0,
+            "true {} observed {}",
+            map.true_rate_per_instance,
+            map.observed_rate_per_instance
+        );
+        // True rate should approximate the base capability (30k ± noise &
+        // contention).
+        assert!(map.true_rate_per_instance > 20_000.0);
+    }
+
+    #[test]
+    fn redeploy_causes_downtime_and_lag_spike() {
+        let mut sim = Simulation::new(config(30_000.0)).unwrap();
+        sim.deploy(&[1, 2, 1]).unwrap();
+        sim.run_for(60.0);
+        let lag_before = sim.snapshot().kafka_lag;
+        sim.deploy(&[1, 3, 1]).unwrap();
+        assert!(sim.in_downtime());
+        sim.run_for(10.0); // inside the 30 s downtime window
+        assert!(sim.in_downtime());
+        let lag_during = sim.kafka_lag();
+        assert!(lag_during > lag_before + 100_000.0, "{lag_during} vs {lag_before}");
+        sim.run_for(120.0);
+        assert!(!sim.in_downtime());
+        // Catches up eventually (3 Maps ≈ 80k capacity > 30k input).
+        assert!(sim.kafka_lag() < lag_during);
+    }
+
+    #[test]
+    fn first_deploy_is_immediate() {
+        let mut sim = Simulation::new(config(1000.0)).unwrap();
+        sim.deploy(&[1, 1, 1]).unwrap();
+        assert!(!sim.in_downtime());
+    }
+
+    #[test]
+    fn latency_grows_with_underprovisioning() {
+        let mut under = Simulation::new(config(40_000.0)).unwrap();
+        under.deploy(&[1, 1, 1]).unwrap();
+        under.run_for(120.0);
+        let mut ok = Simulation::new(config(40_000.0)).unwrap();
+        ok.deploy(&[1, 3, 1]).unwrap();
+        ok.run_for(120.0);
+        let lat_under = under.snapshot().processing_latency_ms;
+        let lat_ok = ok.snapshot().processing_latency_ms;
+        assert!(lat_under > lat_ok, "{lat_under} !> {lat_ok}");
+        // Event-time latency diverges much harder for the laggy job.
+        let evt_under = under.snapshot().event_time_latency_ms.unwrap_or(f64::MAX);
+        let evt_ok = ok.snapshot().event_time_latency_ms.unwrap();
+        assert!(evt_under > 5.0 * evt_ok, "{evt_under} vs {evt_ok}");
+    }
+
+    #[test]
+    fn excess_parallelism_raises_latency_via_comm_cost() {
+        let measure = |p: u32| {
+            let mut sim = Simulation::new(config(10_000.0)).unwrap();
+            sim.deploy(&[1, p, 1]).unwrap();
+            sim.run_for(60.0);
+            sim.snapshot().processing_latency_ms
+        };
+        // Low rate: queues are empty either way, so comm cost dominates.
+        assert!(measure(20) > measure(1));
+    }
+
+    #[test]
+    fn external_limit_caps_throughput() {
+        let mut job_ops = vec![
+            OperatorSpec::source("Source", 50_000.0),
+            OperatorSpec::transform("Map", 30_000.0, 1.0),
+            OperatorSpec::sink("Sink", 60_000.0).with_external_limit(8_000.0),
+        ];
+        job_ops[1].base_rate = 50_000.0;
+        let job = JobGraph::linear(job_ops).unwrap();
+        let cfg = SimulationConfig {
+            job,
+            profile: RateProfile::constant(40_000.0),
+            seed: 3,
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(cfg).unwrap();
+        sim.deploy(&[4, 4, 8]).unwrap();
+        sim.run_for(120.0);
+        let snap = sim.snapshot();
+        // No matter the parallelism, sink limit gates the whole pipeline.
+        assert!(snap.source_consumption_rate < 10_000.0, "{}", snap.source_consumption_rate);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut sim = Simulation::new(config(35_000.0)).unwrap();
+            sim.deploy(&[1, 2, 1]).unwrap();
+            sim.run_for(60.0);
+            let s = sim.snapshot();
+            (s.kafka_lag, s.source_consumption_rate, s.processing_latency_ms)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.0.to_bits(), b.0.to_bits());
+        assert_eq!(a.1.to_bits(), b.1.to_bits());
+        assert_eq!(a.2.to_bits(), b.2.to_bits());
+    }
+
+    #[test]
+    fn metrics_reach_the_store() {
+        let mut sim = Simulation::new(config(20_000.0)).unwrap();
+        sim.deploy(&[1, 1, 1]).unwrap();
+        sim.run_for(30.0);
+        let store = sim.store();
+        let key = metrics::instance_key(metrics::TRUE_PROCESSING_RATE, "Map", 0);
+        assert!(store.last(&key).is_some());
+        let lag_key = metrics::job_key(metrics::KAFKA_LAG);
+        assert!(store.last(&lag_key).is_some());
+    }
+
+    #[test]
+    fn selectivity_multiplies_flow() {
+        let job = JobGraph::linear(vec![
+            OperatorSpec::source("Source", 50_000.0),
+            OperatorSpec::transform("FlatMap", 40_000.0, 2.0),
+            OperatorSpec::sink("Sink", 200_000.0),
+        ])
+        .unwrap();
+        let cfg = SimulationConfig {
+            job,
+            profile: RateProfile::constant(10_000.0),
+            seed: 5,
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(cfg).unwrap();
+        sim.deploy(&[1, 1, 1]).unwrap();
+        sim.run_for(60.0);
+        let snap = sim.snapshot();
+        let flatmap = &snap.per_operator[1];
+        // Output rate ≈ 2 × input rate.
+        assert!(
+            (flatmap.output_rate - 2.0 * flatmap.input_rate).abs() < 0.2 * flatmap.input_rate,
+            "in {} out {}",
+            flatmap.input_rate,
+            flatmap.output_rate
+        );
+    }
+
+    #[test]
+    fn run_for_advances_clock() {
+        let mut sim = Simulation::new(config(1000.0)).unwrap();
+        sim.deploy(&[1, 1, 1]).unwrap();
+        sim.run_for(12.5);
+        assert!((sim.now() - 12.5).abs() < 0.2);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::topology::OperatorSpec;
+
+    fn sim(rate: f64) -> Simulation {
+        let job = JobGraph::linear(vec![
+            OperatorSpec::source("Source", 40_000.0),
+            OperatorSpec::transform("Map", 20_000.0, 1.0),
+            OperatorSpec::sink("Sink", 40_000.0),
+        ])
+        .unwrap();
+        Simulation::new(SimulationConfig {
+            job,
+            profile: RateProfile::constant(rate),
+            seed: 77,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn slowdown_reduces_throughput_then_expires() {
+        let mut s = sim(15_000.0);
+        s.deploy(&[1, 1, 1]).unwrap();
+        s.run_for(60.0);
+        let healthy = s.snapshot().source_consumption_rate;
+        assert!(healthy > 14_000.0, "{healthy}");
+
+        // Map at 25% capacity for 120 s: 5k < 15k input.
+        s.inject_slowdown(1, 0.25, 120.0).unwrap();
+        s.run_for(60.0);
+        let degraded = s.snapshot().source_consumption_rate;
+        assert!(degraded < 7_000.0, "{degraded}");
+        assert_eq!(s.active_faults(), 1);
+
+        // After expiry the job recovers (and drains the fault's backlog).
+        s.run_for(120.0);
+        assert_eq!(s.active_faults(), 0);
+        s.run_for(120.0);
+        let recovered = s.snapshot().source_consumption_rate;
+        assert!(recovered > 14_000.0, "{recovered}");
+    }
+
+    #[test]
+    fn faults_stack_multiplicatively() {
+        let mut s = sim(15_000.0);
+        s.deploy(&[1, 1, 1]).unwrap();
+        s.inject_slowdown(1, 0.5, 300.0).unwrap();
+        s.inject_slowdown(1, 0.5, 300.0).unwrap();
+        s.run_for(60.0);
+        // 20k × 0.25 = 5k effective.
+        let snap = s.snapshot();
+        assert!(snap.source_consumption_rate < 7_000.0, "{}", snap.source_consumption_rate);
+    }
+
+    #[test]
+    fn slowdown_survives_redeploy() {
+        let mut s = sim(15_000.0);
+        s.deploy(&[1, 1, 1]).unwrap();
+        s.inject_slowdown(1, 0.25, 1_000.0).unwrap();
+        s.deploy(&[1, 2, 1]).unwrap();
+        assert_eq!(s.active_faults(), 1);
+        s.run_for(120.0);
+        // Two instances at 25% ≈ 10k < 15k: still degraded.
+        assert!(s.snapshot().source_consumption_rate < 12_000.0);
+    }
+
+    #[test]
+    fn invalid_injections_rejected() {
+        let mut s = sim(1_000.0);
+        s.deploy(&[1, 1, 1]).unwrap();
+        assert!(s.inject_slowdown(9, 0.5, 10.0).is_err());
+        assert!(s.inject_slowdown(1, 0.0, 10.0).is_err());
+        assert!(s.inject_slowdown(1, -1.0, 10.0).is_err());
+        assert!(s.inject_slowdown(1, 0.5, 0.0).is_err());
+    }
+}
+
+#[cfg(test)]
+mod colocation_tests {
+    use super::*;
+    use crate::cluster::SharedMachineRegistry;
+    use crate::topology::OperatorSpec;
+    use std::sync::Arc;
+
+    fn job() -> JobGraph {
+        JobGraph::linear(vec![
+            OperatorSpec::source("Source", 30_000.0),
+            OperatorSpec::transform("Work", 10_000.0, 1.0),
+            OperatorSpec::sink("Sink", 30_000.0),
+        ])
+        .unwrap()
+    }
+
+    fn colocated(
+        registry: &Arc<SharedMachineRegistry>,
+        rate: f64,
+        seed: u64,
+    ) -> Simulation {
+        // A small 2-machine / 4-core cluster so neighbors bite quickly.
+        let cluster = ClusterSpec::uniform(2, 4, 30);
+        Simulation::new(SimulationConfig {
+            cluster,
+            job: job(),
+            profile: RateProfile::constant(rate),
+            shared_machines: Some(Arc::clone(registry)),
+            seed,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn neighbor_occupancy_degrades_capacity() {
+        let registry = Arc::new(SharedMachineRegistry::new(2));
+        let mut job_a = colocated(&registry, 9_000.0, 1);
+        job_a.deploy(&[1, 1, 1]).unwrap();
+        job_a.run_for(60.0);
+        let alone = job_a.snapshot().per_operator[1].true_rate_per_instance;
+
+        // A fat neighbor floods both machines.
+        let mut job_b = colocated(&registry, 1_000.0, 2);
+        job_b.deploy(&[10, 10, 10]).unwrap();
+        assert_eq!(registry.total_instances(), 33);
+        job_a.run_for(60.0);
+        let crowded = job_a.snapshot().per_operator[1].true_rate_per_instance;
+        assert!(
+            crowded < alone * 0.55,
+            "neighbor should degrade capacity: alone {alone}, crowded {crowded}"
+        );
+
+        // Neighbor leaves: capacity recovers.
+        drop(job_b);
+        assert_eq!(registry.total_instances(), 3);
+        job_a.run_for(60.0);
+        let recovered = job_a.snapshot().per_operator[1].true_rate_per_instance;
+        assert!(recovered > alone * 0.9, "alone {alone}, recovered {recovered}");
+    }
+
+    #[test]
+    fn rescale_updates_shared_counts_exactly() {
+        let registry = Arc::new(SharedMachineRegistry::new(2));
+        let mut sim = colocated(&registry, 1_000.0, 3);
+        sim.deploy(&[1, 2, 1]).unwrap();
+        assert_eq!(registry.total_instances(), 4);
+        sim.deploy(&[2, 4, 2]).unwrap();
+        assert_eq!(registry.total_instances(), 8);
+        sim.deploy(&[1, 1, 1]).unwrap();
+        assert_eq!(registry.total_instances(), 3);
+        drop(sim);
+        assert_eq!(registry.total_instances(), 0);
+    }
+
+    #[test]
+    fn solo_job_with_registry_matches_without() {
+        // One job alone in the registry behaves identically to the
+        // unshared path (totals equal its own placement).
+        let registry = Arc::new(SharedMachineRegistry::new(2));
+        let mut shared = colocated(&registry, 9_000.0, 4);
+        shared.deploy(&[1, 1, 1]).unwrap();
+        shared.run_for(60.0);
+
+        let cluster = ClusterSpec::uniform(2, 4, 30);
+        let mut solo = Simulation::new(SimulationConfig {
+            cluster,
+            job: job(),
+            profile: RateProfile::constant(9_000.0),
+            seed: 4,
+            ..Default::default()
+        })
+        .unwrap();
+        solo.deploy(&[1, 1, 1]).unwrap();
+        solo.run_for(60.0);
+
+        let a = shared.snapshot();
+        let b = solo.snapshot();
+        assert_eq!(
+            a.source_consumption_rate.to_bits(),
+            b.source_consumption_rate.to_bits()
+        );
+        assert_eq!(a.processing_latency_ms.to_bits(), b.processing_latency_ms.to_bits());
+    }
+}

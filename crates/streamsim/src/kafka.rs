@@ -1,0 +1,246 @@
+//! The Kafka stand-in: a partitioned log with producer rate, consumer
+//! lag, and **finite retention**.
+//!
+//! Records are fluid (fractional counts are fine at the tick
+//! granularity) and are aged in FIFO buckets: the producer appends
+//! `rate(t)·dt` records per tick, consumers pop from the oldest bucket,
+//! and records older than the retention are dropped (`expired_total`) —
+//! exactly like a real Kafka topic with a time-based retention policy.
+//! The unconsumed remainder is the consumer lag the paper plots in
+//! Fig. 1(b); the pending (event-time) delay of newly consumed records is
+//! approximated by Little's law: `lag / consumption_rate`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One age bucket of records.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Bucket {
+    /// Production time of the records in this bucket.
+    time: f64,
+    /// Remaining unconsumed records.
+    amount: f64,
+}
+
+/// The external partitioned log feeding the job's source operators.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Kafka {
+    /// FIFO of unconsumed record buckets, oldest first.
+    buckets: VecDeque<Bucket>,
+    /// Unconsumed records (kept in sync with the bucket sum).
+    lag: f64,
+    /// Total records produced since the start.
+    produced_total: f64,
+    /// Total records consumed since the start.
+    consumed_total: f64,
+    /// Total records dropped by retention.
+    expired_total: f64,
+    /// Consumption rate over the last completed tick (records/s).
+    last_consumption_rate: f64,
+}
+
+impl Kafka {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self {
+            buckets: VecDeque::new(),
+            lag: 0.0,
+            produced_total: 0.0,
+            consumed_total: 0.0,
+            expired_total: 0.0,
+            last_consumption_rate: 0.0,
+        }
+    }
+
+    /// Producer appends `rate · dt` records at time `now`.
+    pub fn produce(&mut self, rate: f64, dt: f64, now: f64) {
+        let records = (rate * dt).max(0.0);
+        if records > 0.0 {
+            self.buckets.push_back(Bucket { time: now, amount: records });
+            self.lag += records;
+            self.produced_total += records;
+        }
+    }
+
+    /// Consumers take up to `want` records (oldest first); returns what
+    /// was actually available. `dt` is the tick length, used to track the
+    /// consumption rate.
+    pub fn consume(&mut self, want: f64, dt: f64) -> f64 {
+        let mut remaining = want.max(0.0).min(self.lag);
+        let taken = remaining;
+        while remaining > 0.0 {
+            let Some(front) = self.buckets.front_mut() else { break };
+            if front.amount <= remaining {
+                remaining -= front.amount;
+                self.buckets.pop_front();
+            } else {
+                front.amount -= remaining;
+                remaining = 0.0;
+            }
+        }
+        self.lag -= taken;
+        self.consumed_total += taken;
+        self.last_consumption_rate = if dt > 0.0 { taken / dt } else { 0.0 };
+        taken
+    }
+
+    /// Drops records older than `retention_secs` (no-op for non-positive
+    /// retention). Returns the number of records expired.
+    pub fn expire(&mut self, now: f64, retention_secs: f64) -> f64 {
+        if retention_secs <= 0.0 {
+            return 0.0;
+        }
+        let horizon = now - retention_secs;
+        let mut dropped = 0.0;
+        while let Some(front) = self.buckets.front() {
+            if front.time < horizon {
+                dropped += front.amount;
+                self.buckets.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.lag -= dropped;
+        self.expired_total += dropped;
+        dropped
+    }
+
+    /// Current consumer lag in records.
+    pub fn lag(&self) -> f64 {
+        self.lag
+    }
+
+    /// Total records produced.
+    pub fn produced_total(&self) -> f64 {
+        self.produced_total
+    }
+
+    /// Total records consumed.
+    pub fn consumed_total(&self) -> f64 {
+        self.consumed_total
+    }
+
+    /// Total records dropped by retention.
+    pub fn expired_total(&self) -> f64 {
+        self.expired_total
+    }
+
+    /// Consumption rate over the last tick (records/s).
+    pub fn consumption_rate(&self) -> f64 {
+        self.last_consumption_rate
+    }
+
+    /// Estimated pending time (seconds) of a record entering the job now:
+    /// Little's law on the lag queue. `None` while nothing is being
+    /// consumed (e.g. during a restart) — the pending time is unbounded,
+    /// not zero.
+    pub fn pending_time(&self) -> Option<f64> {
+        if self.last_consumption_rate > 1e-9 {
+            Some(self.lag / self.last_consumption_rate)
+        } else if self.lag <= 1e-9 {
+            Some(0.0)
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for Kafka {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produce_then_consume_conserves_records() {
+        let mut k = Kafka::new();
+        k.produce(1000.0, 1.0, 0.0);
+        assert_eq!(k.lag(), 1000.0);
+        let got = k.consume(400.0, 1.0);
+        assert_eq!(got, 400.0);
+        assert_eq!(k.lag(), 600.0);
+        assert_eq!(k.produced_total(), 1000.0);
+        assert_eq!(k.consumed_total(), 400.0);
+    }
+
+    #[test]
+    fn cannot_consume_more_than_lag() {
+        let mut k = Kafka::new();
+        k.produce(100.0, 1.0, 0.0);
+        let got = k.consume(500.0, 1.0);
+        assert_eq!(got, 100.0);
+        assert_eq!(k.lag(), 0.0);
+    }
+
+    #[test]
+    fn lag_grows_when_underprovisioned() {
+        let mut k = Kafka::new();
+        for i in 0..10 {
+            k.produce(300.0, 1.0, i as f64);
+            k.consume(250.0, 1.0);
+        }
+        assert!((k.lag() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn consumption_is_fifo() {
+        let mut k = Kafka::new();
+        k.produce(100.0, 1.0, 0.0);
+        k.produce(100.0, 1.0, 1.0);
+        k.consume(150.0, 1.0);
+        // The first bucket is fully gone; 50 remain from t=1.
+        assert!((k.lag() - 50.0).abs() < 1e-9);
+        // Expiring up to t=0 drops nothing (remaining records are younger).
+        assert_eq!(k.expire(10.0, 9.5), 0.0);
+        assert!((k.lag() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retention_expires_old_records() {
+        let mut k = Kafka::new();
+        k.produce(100.0, 1.0, 0.0);
+        k.produce(100.0, 1.0, 50.0);
+        // At t=100 with 60 s retention, the t=0 bucket expires.
+        let dropped = k.expire(100.0, 60.0);
+        assert_eq!(dropped, 100.0);
+        assert_eq!(k.lag(), 100.0);
+        assert_eq!(k.expired_total(), 100.0);
+        // Non-positive retention is a no-op.
+        assert_eq!(k.expire(1000.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn pending_time_uses_littles_law() {
+        let mut k = Kafka::new();
+        k.produce(1000.0, 1.0, 0.0);
+        k.consume(200.0, 1.0); // consumption rate 200/s, lag 800
+        assert!((k.pending_time().unwrap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pending_time_none_when_stalled_with_lag() {
+        let mut k = Kafka::new();
+        k.produce(1000.0, 1.0, 0.0);
+        k.consume(0.0, 1.0);
+        assert_eq!(k.pending_time(), None);
+    }
+
+    #[test]
+    fn pending_time_zero_when_empty() {
+        let k = Kafka::new();
+        assert_eq!(k.pending_time(), Some(0.0));
+    }
+
+    #[test]
+    fn negative_inputs_are_clamped() {
+        let mut k = Kafka::new();
+        k.produce(-100.0, 1.0, 0.0);
+        assert_eq!(k.lag(), 0.0);
+        let got = k.consume(-5.0, 1.0);
+        assert_eq!(got, 0.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! A deterministic Flink + Kafka cluster simulator.
+//!
+//! This crate is the substrate substitution for the paper's physical
+//! testbed (DESIGN.md §1): a fluid/tick simulator of a streaming job — a
+//! DAG of operators whose instances are placed on machines with finite
+//! cores — fed by a Kafka-like partitioned log. It reproduces the
+//! phenomena the paper's controller exploits:
+//!
+//! * **sub-linear throughput scaling** — per-instance service rates shrink
+//!   with operator parallelism (synchronization) and with machine load
+//!   (CPU interference, since Flink slots share cores, §III-A);
+//! * **backpressure and lag** — bounded in-job queues push excess data
+//!   back into Kafka, where it accumulates as consumer lag;
+//! * **latency U-shape** — queueing delay falls with parallelism while
+//!   communication cost rises with it (paper Observation 2.2);
+//! * **the true-rate / observed-rate split** — the busy-time-based *true
+//!   processing rate* (paper Eq. 2) measures capability, the observed rate
+//!   measures what actually flowed;
+//! * **reconfiguration downtime** — a deploy stops the job, takes a
+//!   savepoint, and restarts with the new parallelism while lag grows.
+//!
+//! Everything stochastic draws from a seeded RNG, so runs are replayable.
+//!
+//! # Example
+//!
+//! ```
+//! use autrascale_streamsim::{
+//!     ClusterSpec, JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
+//! };
+//!
+//! let job = JobGraph::linear(vec![
+//!     OperatorSpec::source("Source", 100_000.0),
+//!     OperatorSpec::transform("Map", 80_000.0, 1.0),
+//!     OperatorSpec::sink("Sink", 120_000.0),
+//! ])
+//! .unwrap();
+//! let config = SimulationConfig {
+//!     cluster: ClusterSpec::paper_cluster(),
+//!     job,
+//!     profile: RateProfile::constant(50_000.0),
+//!     seed: 7,
+//!     ..Default::default()
+//! };
+//! let mut sim = Simulation::new(config).unwrap();
+//! sim.deploy(&[1, 1, 1]).unwrap();
+//! sim.run_for(120.0);
+//! let snap = sim.snapshot();
+//! assert!(snap.source_consumption_rate > 40_000.0);
+//! ```
+
+mod cluster;
+mod engine;
+mod kafka;
+pub mod metrics;
+mod noise;
+mod rate;
+mod topology;
+
+pub use cluster::{ClusterSpec, MachineSpec, Placement, SharedMachineRegistry};
+pub use engine::{SimError, SimSnapshot, Simulation, SimulationConfig};
+pub use kafka::Kafka;
+pub use noise::GaussianNoise;
+pub use rate::RateProfile;
+pub use rate::generators as rate_generators;
+pub use topology::{JobGraph, OperatorKind, OperatorSpec, TopologyError};

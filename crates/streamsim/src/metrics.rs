@@ -1,0 +1,84 @@
+//! Metric names and emission helpers.
+//!
+//! The simulator exposes the same metric surface the paper's Monitor
+//! module reads from Flink and Kafka (§IV and §V-E), including the new
+//! `trueProcessingRate` metric AuTraScale adds to Flink's metric group.
+
+use autrascale_metricsdb::{MetricStore, SeriesKey};
+
+/// Per-instance true processing rate (paper Eq. 2), records/s.
+/// Mirrors the Flink path `taskmanager_job_task_trueProcessingRate`.
+pub const TRUE_PROCESSING_RATE: &str = "taskmanager_job_task_trueProcessingRate";
+/// Per-instance observed processing rate (includes blocked/idle time).
+pub const OBSERVED_PROCESSING_RATE: &str = "taskmanager_job_task_observedProcessingRate";
+/// Per-operator total input rate λ_i (records/s arriving from upstream).
+pub const OPERATOR_INPUT_RATE: &str = "operator_numRecordsInPerSecond";
+/// Per-operator total output rate o_i (records/s emitted downstream).
+pub const OPERATOR_OUTPUT_RATE: &str = "operator_numRecordsOutPerSecond";
+/// Per-operator total queued records waiting in input buffers.
+pub const OPERATOR_QUEUE_SIZE: &str = "operator_inputQueueLength";
+/// Job throughput: records/s consumed from Kafka by the sources.
+pub const JOB_THROUGHPUT: &str = "job_sourceConsumptionRate";
+/// Records/s completed at the sinks (in sink-record units).
+pub const SINK_RATE: &str = "job_sinkRate";
+/// External producer rate v₀ (records/s written into Kafka).
+pub const PRODUCER_RATE: &str = "kafka_producerRate";
+/// Kafka consumer lag in records.
+pub const KAFKA_LAG: &str = "kafka_consumerLag";
+/// Average processing latency of records inside the job, ms.
+pub const PROCESSING_LATENCY_MS: &str = "job_processingLatencyMs";
+/// Event-time latency (Kafka pending time + processing latency), ms.
+pub const EVENT_TIME_LATENCY_MS: &str = "job_eventTimeLatencyMs";
+/// 1.0 while the job is running, 0.0 during savepoint/restart downtime.
+pub const JOB_RUNNING: &str = "job_running";
+
+/// Key for a per-instance metric.
+pub fn instance_key(metric: &str, operator: &str, subtask: usize) -> SeriesKey {
+    SeriesKey::new(metric)
+        .tag("operator", operator)
+        .tag("subtask", subtask.to_string())
+}
+
+/// Key for a per-operator metric.
+pub fn operator_key(metric: &str, operator: &str) -> SeriesKey {
+    SeriesKey::new(metric).tag("operator", operator)
+}
+
+/// Key for a job-level metric.
+pub fn job_key(metric: &str) -> SeriesKey {
+    SeriesKey::new(metric)
+}
+
+/// Appends a value, ignoring out-of-order rejections (which cannot happen
+/// from the single-threaded engine but keep emission infallible) and
+/// silently dropping non-finite values.
+pub fn emit(store: &MetricStore, key: &SeriesKey, time: f64, value: f64) {
+    if value.is_finite() {
+        let _ = store.append(key, time, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_builders_produce_expected_tags() {
+        let k = instance_key(TRUE_PROCESSING_RATE, "FlatMap", 3);
+        assert_eq!(k.tag_value("operator"), Some("FlatMap"));
+        assert_eq!(k.tag_value("subtask"), Some("3"));
+        let o = operator_key(OPERATOR_INPUT_RATE, "Sink");
+        assert_eq!(o.tag_value("operator"), Some("Sink"));
+        assert_eq!(o.tag_value("subtask"), None);
+    }
+
+    #[test]
+    fn emit_drops_nonfinite() {
+        let store = MetricStore::new();
+        let k = job_key(KAFKA_LAG);
+        emit(&store, &k, 1.0, f64::NAN);
+        assert_eq!(store.last(&k), None);
+        emit(&store, &k, 1.0, 5.0);
+        assert_eq!(store.last(&k).unwrap().value, 5.0);
+    }
+}

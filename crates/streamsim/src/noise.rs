@@ -1,0 +1,113 @@
+//! Deterministic Gaussian noise for service rates and measurements.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded Gaussian sampler (Box–Muller).
+///
+/// `rand` ships only uniform distributions without `rand_distr`; rather
+/// than pull another dependency for one function we implement Box–Muller
+/// directly (DESIGN.md §4 keeps the dependency list to the approved set).
+#[derive(Debug, Clone)]
+pub struct GaussianNoise {
+    rng: StdRng,
+    /// A spare deviate from the previous Box–Muller pair.
+    spare: Option<f64>,
+}
+
+impl GaussianNoise {
+    /// A sampler seeded for reproducibility.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), spare: None }
+    }
+
+    /// One standard normal deviate.
+    pub fn standard(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller: two uniforms → two independent normals.
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// A normal deviate with the given mean and standard deviation.
+    pub fn sample(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.standard()
+    }
+
+    /// A multiplicative noise factor `max(floor, 1 + std·z)` — used to
+    /// jitter service rates without ever making them non-positive.
+    pub fn factor(&mut self, std: f64) -> f64 {
+        (1.0 + std * self.standard()).max(0.05)
+    }
+
+    /// A uniform deviate in `[0, 1)` (for tie-breaking and subsampling).
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen_range(0.0..1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = GaussianNoise::new(42);
+        let mut b = GaussianNoise::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.standard().to_bits(), b.standard().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = GaussianNoise::new(1);
+        let mut b = GaussianNoise::new(2);
+        let same = (0..10).filter(|_| a.standard() == b.standard()).count();
+        assert!(same < 10);
+    }
+
+    #[test]
+    fn moments_are_approximately_standard() {
+        let mut g = GaussianNoise::new(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.standard()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn sample_shifts_and_scales() {
+        let mut g = GaussianNoise::new(9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn factor_is_positive() {
+        let mut g = GaussianNoise::new(3);
+        for _ in 0..10_000 {
+            let f = g.factor(0.5);
+            assert!(f > 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut g = GaussianNoise::new(4);
+        for _ in 0..1000 {
+            let u = g.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Input-rate profiles for the external producer.
+
+use serde::{Deserialize, Serialize};
+
+/// The producer's record rate as a function of simulation time.
+///
+/// Profiles cover the paper's experiment shapes: a constant rate
+/// (elasticity tests), a staircase (CASE 1's 100k→300k ramp), and
+/// arbitrary piecewise-constant segments (rate-change experiments for the
+/// transfer-learning evaluation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RateProfile {
+    /// A fixed rate.
+    Constant(f64),
+    /// `initial + floor(t / period) · step`, capped at `max`.
+    Staircase {
+        /// Rate during the first period.
+        initial: f64,
+        /// Increment applied at each period boundary.
+        step: f64,
+        /// Seconds between increments.
+        period: f64,
+        /// Upper bound on the rate.
+        max: f64,
+    },
+    /// Explicit `(start_time, rate)` change-points; the rate holds from a
+    /// change-point until the next. Must be sorted by time.
+    Piecewise(Vec<(f64, f64)>),
+}
+
+impl RateProfile {
+    /// A constant-rate profile.
+    pub fn constant(rate: f64) -> Self {
+        RateProfile::Constant(rate)
+    }
+
+    /// CASE 1's staircase: starts at `initial`, increases by `step` every
+    /// `period` seconds up to `max`.
+    pub fn staircase(initial: f64, step: f64, period: f64, max: f64) -> Self {
+        RateProfile::Staircase { initial, step, period, max }
+    }
+
+    /// Piecewise-constant from sorted `(start_time, rate)` change-points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or not sorted by time.
+    pub fn piecewise(points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "piecewise: need at least one change-point");
+        assert!(
+            points.windows(2).all(|w| w[0].0 <= w[1].0),
+            "piecewise: change-points must be sorted by time"
+        );
+        RateProfile::Piecewise(points)
+    }
+
+    /// The rate at simulation time `t` (records/s); never negative.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        let r = match self {
+            RateProfile::Constant(r) => *r,
+            RateProfile::Staircase { initial, step, period, max } => {
+                let steps = if *period > 0.0 { (t / period).floor() } else { 0.0 };
+                (initial + steps * step).min(*max)
+            }
+            RateProfile::Piecewise(points) => {
+                // Last change-point at or before t; before the first one,
+                // the first rate applies.
+                let mut rate = points[0].1;
+                for &(start, r) in points {
+                    if start <= t {
+                        rate = r;
+                    } else {
+                        break;
+                    }
+                }
+                rate
+            }
+        };
+        r.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let p = RateProfile::constant(5.0);
+        assert_eq!(p.rate_at(0.0), 5.0);
+        assert_eq!(p.rate_at(1e6), 5.0);
+    }
+
+    #[test]
+    fn staircase_steps_and_caps() {
+        // Paper CASE 1: 100k start, +50k every 600 s, capped at 300k.
+        let p = RateProfile::staircase(100_000.0, 50_000.0, 600.0, 300_000.0);
+        assert_eq!(p.rate_at(0.0), 100_000.0);
+        assert_eq!(p.rate_at(599.9), 100_000.0);
+        assert_eq!(p.rate_at(600.0), 150_000.0);
+        assert_eq!(p.rate_at(1800.0), 250_000.0);
+        assert_eq!(p.rate_at(2400.0), 300_000.0);
+        assert_eq!(p.rate_at(9999.0), 300_000.0);
+    }
+
+    #[test]
+    fn piecewise_holds_between_changepoints() {
+        let p = RateProfile::piecewise(vec![(0.0, 10.0), (100.0, 20.0), (200.0, 5.0)]);
+        assert_eq!(p.rate_at(0.0), 10.0);
+        assert_eq!(p.rate_at(99.9), 10.0);
+        assert_eq!(p.rate_at(100.0), 20.0);
+        assert_eq!(p.rate_at(250.0), 5.0);
+    }
+
+    #[test]
+    fn piecewise_before_first_point_uses_first_rate() {
+        let p = RateProfile::piecewise(vec![(50.0, 7.0)]);
+        assert_eq!(p.rate_at(0.0), 7.0);
+    }
+
+    #[test]
+    fn never_negative() {
+        let p = RateProfile::constant(-3.0);
+        assert_eq!(p.rate_at(0.0), 0.0);
+        let s = RateProfile::staircase(10.0, -20.0, 1.0, 100.0);
+        assert_eq!(s.rate_at(5.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn piecewise_rejects_unsorted() {
+        let _ = RateProfile::piecewise(vec![(10.0, 1.0), (5.0, 2.0)]);
+    }
+}
+
+/// Synthetic rate-profile generators for long-horizon experiments — the
+/// paper's premise is data that "arrives at a fast, and time-varying
+/// rate", and these produce the standard shapes as piecewise-constant
+/// profiles (so the engine needs no new machinery).
+pub mod generators {
+    use super::RateProfile;
+
+    /// A diurnal (sinusoidal) pattern: `base + amplitude·sin(2πt/period)`,
+    /// sampled every `step_secs` into a piecewise-constant profile over
+    /// one full period (the engine holds the last rate beyond it; pass a
+    /// longer `duration` via repeated periods if needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if amplitude exceeds base (rates would go negative), or if
+    /// period/step are not positive.
+    pub fn diurnal(base: f64, amplitude: f64, period: f64, step_secs: f64) -> RateProfile {
+        assert!(base > 0.0 && amplitude >= 0.0, "rates must be positive");
+        assert!(amplitude <= base, "amplitude must not exceed base");
+        assert!(period > 0.0 && step_secs > 0.0, "period/step must be positive");
+        let steps = (period / step_secs).ceil() as usize;
+        let points = (0..steps)
+            .map(|i| {
+                let t = i as f64 * step_secs;
+                let rate =
+                    base + amplitude * (2.0 * std::f64::consts::PI * t / period).sin();
+                (t, rate)
+            })
+            .collect();
+        RateProfile::piecewise(points)
+    }
+
+    /// A bursty pattern: `base` rate with bursts to `burst_rate` of length
+    /// `burst_len` every `burst_every` seconds, for `count` bursts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive timing parameters or bursts that overlap
+    /// (`burst_len >= burst_every`).
+    pub fn bursty(
+        base: f64,
+        burst_rate: f64,
+        burst_every: f64,
+        burst_len: f64,
+        count: usize,
+    ) -> RateProfile {
+        assert!(burst_every > 0.0 && burst_len > 0.0, "timings must be positive");
+        assert!(burst_len < burst_every, "bursts must not overlap");
+        let mut points = vec![(0.0, base)];
+        for i in 0..count {
+            let start = (i + 1) as f64 * burst_every;
+            points.push((start, burst_rate));
+            points.push((start + burst_len, base));
+        }
+        RateProfile::piecewise(points)
+    }
+
+    /// A bounded random walk: every `interval` seconds the rate moves by
+    /// a uniform step in `[-max_step, +max_step]`, clamped to
+    /// `[min, max]`. Deterministic given the seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid bounds or non-positive interval/duration.
+    pub fn random_walk(
+        seed: u64,
+        start: f64,
+        max_step: f64,
+        interval: f64,
+        duration: f64,
+        min: f64,
+        max: f64,
+    ) -> RateProfile {
+        assert!(min > 0.0 && min <= start && start <= max, "bad bounds");
+        assert!(interval > 0.0 && duration > 0.0, "interval/duration must be positive");
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rate = start;
+        let mut t = 0.0;
+        let mut points = Vec::new();
+        while t < duration {
+            points.push((t, rate));
+            rate = (rate + rng.gen_range(-max_step..=max_step)).clamp(min, max);
+            t += interval;
+        }
+        RateProfile::piecewise(points)
+    }
+}
+
+#[cfg(test)]
+mod generator_tests {
+    use super::generators::*;
+    use super::RateProfile;
+
+    #[test]
+    fn diurnal_oscillates_around_base() {
+        let p = diurnal(10_000.0, 5_000.0, 86_400.0, 600.0);
+        // Peak near t = period/4, trough near 3·period/4.
+        let peak = p.rate_at(21_600.0);
+        let trough = p.rate_at(64_800.0);
+        assert!(peak > 14_000.0, "peak {peak}");
+        assert!(trough < 6_000.0, "trough {trough}");
+        assert!((p.rate_at(0.0) - 10_000.0).abs() < 1_000.0);
+        // Never negative by construction.
+        let mut t = 0.0;
+        while t < 86_400.0 {
+            assert!(p.rate_at(t) >= 0.0);
+            t += 3_600.0;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn diurnal_rejects_negative_rates() {
+        let _ = diurnal(1_000.0, 2_000.0, 100.0, 10.0);
+    }
+
+    #[test]
+    fn bursty_alternates() {
+        let p = bursty(1_000.0, 9_000.0, 600.0, 60.0, 3);
+        assert_eq!(p.rate_at(0.0), 1_000.0);
+        assert_eq!(p.rate_at(630.0), 9_000.0); // inside burst 1
+        assert_eq!(p.rate_at(700.0), 1_000.0); // after burst 1
+        assert_eq!(p.rate_at(1_230.0), 9_000.0); // inside burst 2
+        assert_eq!(p.rate_at(99_999.0), 1_000.0); // after the last burst
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn bursty_rejects_overlap() {
+        let _ = bursty(1.0, 2.0, 10.0, 10.0, 1);
+    }
+
+    #[test]
+    fn random_walk_is_bounded_and_deterministic() {
+        let make = || random_walk(5, 10_000.0, 2_000.0, 300.0, 36_000.0, 5_000.0, 20_000.0);
+        let a = make();
+        let b = make();
+        let mut t = 0.0;
+        while t < 36_000.0 {
+            let r = a.rate_at(t);
+            assert!((5_000.0..=20_000.0).contains(&r), "{r} at {t}");
+            assert_eq!(r.to_bits(), b.rate_at(t).to_bits());
+            t += 150.0;
+        }
+        // It actually moves.
+        let RateProfile::Piecewise(points) = &a else { panic!() };
+        assert!(points.iter().any(|(_, r)| (r - 10_000.0).abs() > 500.0));
+    }
+}

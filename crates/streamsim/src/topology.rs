@@ -1,0 +1,445 @@
+//! Job topologies: operator specifications and the DAG connecting them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What kind of work an operator does. The kind decides its role in the
+/// dataflow (sources pull from Kafka, sinks terminate) and adds
+/// kind-specific latency (window operators hold records until emission).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OperatorKind {
+    /// Pulls records from the external log (Kafka).
+    Source,
+    /// Record-at-a-time transformation (map/flatMap/filter/keyBy-count…).
+    Transform,
+    /// A time window: records wait on average `emission_delay_ms` before
+    /// results are emitted (sliding windows ≈ slide/2, session windows ≈
+    /// gap timeout).
+    Window {
+        /// Mean extra residence time of a record inside the window state.
+        emission_delay_ms: f64,
+    },
+    /// Writes results to an external system.
+    Sink,
+}
+
+/// Static description of one operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorSpec {
+    /// Human-readable operator name (unique within a job).
+    pub name: String,
+    /// Role of the operator in the dataflow.
+    pub kind: OperatorKind,
+    /// Records/s one instance processes with no contention, no sync
+    /// overhead and no noise.
+    pub base_rate: f64,
+    /// Output records emitted per input record (WordCount's FlatMap > 1,
+    /// filters < 1).
+    pub selectivity: f64,
+    /// Synchronization penalty coefficient σ: one instance's effective
+    /// rate is divided by `1 + σ·(parallelism − 1)`, producing the paper's
+    /// sub-linear scaling (Observation 2.1).
+    pub sync_coeff: f64,
+    /// Per-parallelism communication latency cost in ms: the operator
+    /// contributes `comm_cost_ms · (parallelism − 1)` to record latency
+    /// (Observation 2.2's rising tail).
+    pub comm_cost_ms: f64,
+    /// Aggregate external rate cap across all instances (the Yahoo
+    /// benchmark's Redis-limited sink), if any.
+    pub external_limit: Option<f64>,
+    /// Baseline per-record service latency floor in ms (independent of
+    /// queueing).
+    pub base_latency_ms: f64,
+}
+
+impl OperatorSpec {
+    /// A source operator pulling up to `base_rate` records/s per instance.
+    pub fn source(name: impl Into<String>, base_rate: f64) -> Self {
+        Self::with_kind(name, OperatorKind::Source, base_rate, 1.0)
+    }
+
+    /// A record-at-a-time operator.
+    pub fn transform(name: impl Into<String>, base_rate: f64, selectivity: f64) -> Self {
+        Self::with_kind(name, OperatorKind::Transform, base_rate, selectivity)
+    }
+
+    /// A window operator with the given mean emission delay.
+    pub fn window(
+        name: impl Into<String>,
+        base_rate: f64,
+        selectivity: f64,
+        emission_delay_ms: f64,
+    ) -> Self {
+        Self::with_kind(name, OperatorKind::Window { emission_delay_ms }, base_rate, selectivity)
+    }
+
+    /// A sink operator.
+    pub fn sink(name: impl Into<String>, base_rate: f64) -> Self {
+        Self::with_kind(name, OperatorKind::Sink, base_rate, 1.0)
+    }
+
+    fn with_kind(
+        name: impl Into<String>,
+        kind: OperatorKind,
+        base_rate: f64,
+        selectivity: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            base_rate,
+            selectivity,
+            sync_coeff: 0.05,
+            comm_cost_ms: 2.0,
+            external_limit: None,
+            base_latency_ms: 1.0,
+        }
+    }
+
+    /// Builder: set the synchronization penalty coefficient.
+    pub fn with_sync_coeff(mut self, sync_coeff: f64) -> Self {
+        self.sync_coeff = sync_coeff;
+        self
+    }
+
+    /// Builder: set the per-parallelism communication latency cost.
+    pub fn with_comm_cost_ms(mut self, comm_cost_ms: f64) -> Self {
+        self.comm_cost_ms = comm_cost_ms;
+        self
+    }
+
+    /// Builder: cap the aggregate rate across all instances (external
+    /// dependency bottleneck, e.g. Redis).
+    pub fn with_external_limit(mut self, limit: f64) -> Self {
+        self.external_limit = Some(limit);
+        self
+    }
+
+    /// Builder: set the per-record base latency floor.
+    pub fn with_base_latency_ms(mut self, ms: f64) -> Self {
+        self.base_latency_ms = ms;
+        self
+    }
+
+    /// `true` for source operators.
+    pub fn is_source(&self) -> bool {
+        matches!(self.kind, OperatorKind::Source)
+    }
+
+    /// `true` for sink operators.
+    pub fn is_sink(&self) -> bool {
+        matches!(self.kind, OperatorKind::Sink)
+    }
+
+    /// Window emission delay in ms (0 for non-window operators).
+    pub fn window_delay_ms(&self) -> f64 {
+        match self.kind {
+            OperatorKind::Window { emission_delay_ms } => emission_delay_ms,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Topology validation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The operator list was empty.
+    Empty,
+    /// Two operators share a name.
+    DuplicateName(String),
+    /// An edge referenced an operator index that does not exist.
+    EdgeOutOfRange { from: usize, to: usize },
+    /// The edges contain a cycle (or a self-loop).
+    Cyclic,
+    /// The first operator (index 0) must be a source with no predecessors.
+    NoSource,
+    /// A non-source operator has no incoming edge, or a source has one.
+    Disconnected(String),
+    /// An operator spec has a non-positive base rate or selectivity.
+    InvalidSpec(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Empty => write!(f, "empty operator list"),
+            TopologyError::DuplicateName(n) => write!(f, "duplicate operator name {n:?}"),
+            TopologyError::EdgeOutOfRange { from, to } => {
+                write!(f, "edge ({from} -> {to}) out of range")
+            }
+            TopologyError::Cyclic => write!(f, "topology contains a cycle"),
+            TopologyError::NoSource => write!(f, "no source operator"),
+            TopologyError::Disconnected(n) => write!(f, "operator {n:?} is disconnected"),
+            TopologyError::InvalidSpec(n) => write!(f, "operator {n:?} has an invalid spec"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A validated DAG of operators.
+///
+/// Operators are stored in a topological order (sources first); edges are
+/// `(from, to)` index pairs into that order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobGraph {
+    operators: Vec<OperatorSpec>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl JobGraph {
+    /// Builds and validates a DAG.
+    pub fn new(
+        operators: Vec<OperatorSpec>,
+        edges: Vec<(usize, usize)>,
+    ) -> Result<Self, TopologyError> {
+        if operators.is_empty() {
+            return Err(TopologyError::Empty);
+        }
+        for (i, a) in operators.iter().enumerate() {
+            if a.base_rate <= 0.0 || a.selectivity <= 0.0 || a.sync_coeff < 0.0 {
+                return Err(TopologyError::InvalidSpec(a.name.clone()));
+            }
+            for b in operators.iter().skip(i + 1) {
+                if a.name == b.name {
+                    return Err(TopologyError::DuplicateName(a.name.clone()));
+                }
+            }
+        }
+        let n = operators.len();
+        for &(from, to) in &edges {
+            if from >= n || to >= n || from == to {
+                return Err(TopologyError::EdgeOutOfRange { from, to });
+            }
+        }
+
+        // Kahn's algorithm: verify acyclicity and compute a topo order.
+        let mut indegree = vec![0usize; n];
+        for &(_, to) in &edges {
+            indegree[to] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut indegree_mut = indegree.clone();
+        while let Some(i) = queue.pop() {
+            order.push(i);
+            for &(from, to) in &edges {
+                if from == i {
+                    indegree_mut[to] -= 1;
+                    if indegree_mut[to] == 0 {
+                        queue.push(to);
+                    }
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(TopologyError::Cyclic);
+        }
+
+        // Sources must have indegree 0 and exist; non-sources indegree > 0.
+        let mut has_source = false;
+        for (i, op) in operators.iter().enumerate() {
+            if op.is_source() {
+                has_source = true;
+                if indegree[i] != 0 {
+                    return Err(TopologyError::Disconnected(op.name.clone()));
+                }
+            } else if indegree[i] == 0 {
+                return Err(TopologyError::Disconnected(op.name.clone()));
+            }
+        }
+        if !has_source {
+            return Err(TopologyError::NoSource);
+        }
+
+        // Re-index operators into topological order so the engine can walk
+        // 0..n and always see predecessors first.
+        let mut position = vec![0usize; n];
+        for (pos, &old) in order.iter().enumerate() {
+            position[old] = pos;
+        }
+        let mut sorted_ops: Vec<Option<OperatorSpec>> = vec![None; n];
+        for (old, op) in operators.into_iter().enumerate() {
+            sorted_ops[position[old]] = Some(op);
+        }
+        let operators: Vec<OperatorSpec> = sorted_ops.into_iter().map(Option::unwrap).collect();
+        let edges: Vec<(usize, usize)> = edges
+            .into_iter()
+            .map(|(from, to)| (position[from], position[to]))
+            .collect();
+
+        Ok(Self { operators, edges })
+    }
+
+    /// A linear chain `ops[0] → ops[1] → …` (the WordCount shape).
+    pub fn linear(operators: Vec<OperatorSpec>) -> Result<Self, TopologyError> {
+        let edges = (1..operators.len()).map(|i| (i - 1, i)).collect();
+        Self::new(operators, edges)
+    }
+
+    /// The operators in topological order.
+    pub fn operators(&self) -> &[OperatorSpec] {
+        &self.operators
+    }
+
+    /// Number of operators `N`.
+    pub fn len(&self) -> usize {
+        self.operators.len()
+    }
+
+    /// `true` when the graph has no operators (never after validation).
+    pub fn is_empty(&self) -> bool {
+        self.operators.is_empty()
+    }
+
+    /// Edge list over topological indices.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Indices of the successors of operator `i`.
+    pub fn successors(&self, i: usize) -> Vec<usize> {
+        self.edges.iter().filter(|(f, _)| *f == i).map(|(_, t)| *t).collect()
+    }
+
+    /// Indices of the predecessors of operator `i`.
+    pub fn predecessors(&self, i: usize) -> Vec<usize> {
+        self.edges.iter().filter(|(_, t)| *t == i).map(|(f, _)| *f).collect()
+    }
+
+    /// Indices of all source operators.
+    pub fn sources(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.operators[i].is_source()).collect()
+    }
+
+    /// Index of an operator by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.operators.iter().position(|op| op.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain3() -> Vec<OperatorSpec> {
+        vec![
+            OperatorSpec::source("Source", 100.0),
+            OperatorSpec::transform("Map", 100.0, 1.0),
+            OperatorSpec::sink("Sink", 100.0),
+        ]
+    }
+
+    #[test]
+    fn linear_chain_builds() {
+        let g = JobGraph::linear(chain3()).unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.successors(0), vec![1]);
+        assert_eq!(g.predecessors(2), vec![1]);
+        assert_eq!(g.sources(), vec![0]);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(JobGraph::linear(vec![]), Err(TopologyError::Empty));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let ops = vec![
+            OperatorSpec::source("X", 1.0),
+            OperatorSpec::sink("X", 1.0),
+        ];
+        assert!(matches!(
+            JobGraph::linear(ops),
+            Err(TopologyError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_cycles_and_self_loops() {
+        let ops = chain3();
+        let cyclic = JobGraph::new(ops.clone(), vec![(0, 1), (1, 2), (2, 1)]);
+        assert_eq!(cyclic, Err(TopologyError::Cyclic));
+        let self_loop = JobGraph::new(ops, vec![(0, 1), (1, 1), (1, 2)]);
+        assert!(matches!(self_loop, Err(TopologyError::EdgeOutOfRange { .. })));
+    }
+
+    #[test]
+    fn rejects_edge_out_of_range() {
+        assert!(matches!(
+            JobGraph::new(chain3(), vec![(0, 7)]),
+            Err(TopologyError::EdgeOutOfRange { from: 0, to: 7 })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_source() {
+        let ops = vec![
+            OperatorSpec::transform("A", 1.0, 1.0),
+            OperatorSpec::sink("B", 1.0),
+        ];
+        let r = JobGraph::new(ops, vec![(0, 1)]);
+        assert!(matches!(r, Err(TopologyError::Disconnected(_)) | Err(TopologyError::NoSource)));
+    }
+
+    #[test]
+    fn rejects_disconnected_transform() {
+        let ops = vec![
+            OperatorSpec::source("S", 1.0),
+            OperatorSpec::transform("Orphan", 1.0, 1.0),
+            OperatorSpec::sink("K", 1.0),
+        ];
+        let r = JobGraph::new(ops, vec![(0, 2)]);
+        assert!(matches!(r, Err(TopologyError::Disconnected(n)) if n == "Orphan"));
+    }
+
+    #[test]
+    fn rejects_invalid_spec() {
+        let mut ops = chain3();
+        ops[1].base_rate = 0.0;
+        assert!(matches!(
+            JobGraph::linear(ops),
+            Err(TopologyError::InvalidSpec(n)) if n == "Map"
+        ));
+    }
+
+    #[test]
+    fn diamond_topology_is_topologically_sorted() {
+        // Build intentionally out of order: sink first.
+        let ops = vec![
+            OperatorSpec::sink("Sink", 1.0),
+            OperatorSpec::source("Source", 1.0),
+            OperatorSpec::transform("Left", 1.0, 1.0),
+            OperatorSpec::transform("Right", 1.0, 1.0),
+        ];
+        // Source -> Left -> Sink, Source -> Right -> Sink.
+        let g = JobGraph::new(ops, vec![(1, 2), (1, 3), (2, 0), (3, 0)]).unwrap();
+        // Source must be first after sorting, sink last.
+        assert!(g.operators()[0].is_source());
+        assert!(g.operators()[g.len() - 1].is_sink());
+        // Every edge goes forward in topological order.
+        assert!(g.edges().iter().all(|(f, t)| f < t));
+        assert_eq!(g.predecessors(g.index_of("Sink").unwrap()).len(), 2);
+    }
+
+    #[test]
+    fn window_delay_accessor() {
+        let w = OperatorSpec::window("W", 10.0, 1.0, 250.0);
+        assert_eq!(w.window_delay_ms(), 250.0);
+        assert_eq!(OperatorSpec::sink("S", 1.0).window_delay_ms(), 0.0);
+    }
+
+    #[test]
+    fn builder_methods_apply() {
+        let op = OperatorSpec::transform("T", 10.0, 2.0)
+            .with_sync_coeff(0.3)
+            .with_comm_cost_ms(7.0)
+            .with_external_limit(123.0)
+            .with_base_latency_ms(4.0);
+        assert_eq!(op.sync_coeff, 0.3);
+        assert_eq!(op.comm_cost_ms, 7.0);
+        assert_eq!(op.external_limit, Some(123.0));
+        assert_eq!(op.base_latency_ms, 4.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for simulator invariants: conservation laws,
+//! backpressure bounds and metric sanity over randomized topologies,
+//! rates and parallelism vectors.
+
+use autrascale_streamsim::{
+    JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random linear topology of 2–5 operators with varied
+/// service rates and selectivities.
+fn topology() -> impl Strategy<Value = JobGraph> {
+    (2usize..=5).prop_flat_map(|n| {
+        let middle = proptest::collection::vec(
+            (5_000.0f64..50_000.0, 0.5f64..2.0),
+            n.saturating_sub(2),
+        );
+        (Just(n), 10_000.0f64..80_000.0, middle, 10_000.0f64..80_000.0).prop_map(
+            |(_, src_rate, middles, sink_rate)| {
+                let mut ops = vec![OperatorSpec::source("Source", src_rate)];
+                for (i, (rate, sel)) in middles.into_iter().enumerate() {
+                    ops.push(OperatorSpec::transform(format!("Op{i}"), rate, sel));
+                }
+                ops.push(OperatorSpec::sink("Sink", sink_rate));
+                JobGraph::linear(ops).expect("generated topology is valid")
+            },
+        )
+    })
+}
+
+fn run_sim(
+    job: JobGraph,
+    rate: f64,
+    parallelism: Vec<u32>,
+    seed: u64,
+    secs: f64,
+) -> Simulation {
+    let mut sim = Simulation::new(SimulationConfig {
+        job,
+        profile: RateProfile::constant(rate),
+        seed,
+        ..Default::default()
+    })
+    .expect("valid config");
+    sim.deploy(&parallelism).expect("valid parallelism");
+    sim.run_for(secs);
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Records are conserved: everything produced is consumed, expired,
+    /// or still lagging in Kafka.
+    #[test]
+    fn kafka_conservation(
+        job in topology(),
+        rate in 1_000.0f64..40_000.0,
+        seed in 0u64..1000,
+    ) {
+        let n = job.len();
+        let sim = run_sim(job, rate, vec![1; n], seed, 120.0);
+        let produced = rate * sim.now();
+        // consumed_total is internal; reconstruct via lag + expired:
+        // produced − lag − expired = consumed ≥ 0, and no category exceeds
+        // production.
+        let lag = sim.kafka_lag();
+        let expired = sim.kafka_expired();
+        prop_assert!(lag >= -1e-6);
+        prop_assert!(expired >= 0.0);
+        prop_assert!(lag + expired <= produced * 1.001 + 1.0,
+            "lag {lag} + expired {expired} vs produced {produced}");
+    }
+
+    /// Throughput never exceeds the producer rate at steady state by more
+    /// than the initial transient allows (no record creation).
+    #[test]
+    fn no_record_creation(
+        job in topology(),
+        rate in 1_000.0f64..30_000.0,
+        p in 1u32..6,
+        seed in 0u64..1000,
+    ) {
+        let n = job.len();
+        let sim = run_sim(job, rate, vec![p; n], seed, 180.0);
+        let snap = sim.snapshot();
+        // Consumption can only come from what was produced.
+        prop_assert!(
+            snap.source_consumption_rate <= rate * 1.05 + 1.0,
+            "consumption {} vs producer {rate}",
+            snap.source_consumption_rate
+        );
+    }
+
+    /// Queues and latency stay non-negative and finite; lag is bounded by
+    /// production.
+    #[test]
+    fn metrics_are_sane(
+        job in topology(),
+        rate in 1_000.0f64..60_000.0,
+        p in 1u32..5,
+        seed in 0u64..1000,
+    ) {
+        let n = job.len();
+        let sim = run_sim(job, rate, vec![p; n], seed, 90.0);
+        let snap = sim.snapshot();
+        prop_assert!(snap.processing_latency_ms >= 0.0);
+        prop_assert!(snap.processing_latency_ms.is_finite());
+        prop_assert!(snap.kafka_lag >= 0.0);
+        for op in &snap.per_operator {
+            prop_assert!(op.queue >= 0.0, "{op:?}");
+            prop_assert!(op.true_rate_per_instance >= 0.0, "{op:?}");
+            prop_assert!(op.observed_rate_per_instance >= 0.0, "{op:?}");
+            // Observed flow cannot exceed capability (both per instance).
+            prop_assert!(
+                op.observed_rate_per_instance <= op.true_rate_per_instance * 1.3 + 1.0,
+                "{op:?}"
+            );
+        }
+    }
+
+    /// More parallelism never reduces steady throughput (monotone
+    /// capacity, modulo noise and interference at small scales).
+    #[test]
+    fn capacity_is_weakly_monotone(
+        rate in 20_000.0f64..50_000.0,
+        seed in 0u64..100,
+    ) {
+        let job = || JobGraph::linear(vec![
+            OperatorSpec::source("Source", 60_000.0),
+            OperatorSpec::transform("Work", 8_000.0, 1.0).with_sync_coeff(0.02),
+            OperatorSpec::sink("Sink", 60_000.0),
+        ]).unwrap();
+        let lo = run_sim(job(), rate, vec![1, 2, 1], seed, 120.0)
+            .snapshot().source_consumption_rate;
+        let hi = run_sim(job(), rate, vec![1, 6, 1], seed, 120.0)
+            .snapshot().source_consumption_rate;
+        prop_assert!(hi >= lo * 0.95, "hi {hi} lo {lo}");
+    }
+
+    /// Determinism as a property: any run replays bit-identically.
+    #[test]
+    fn any_run_is_replayable(
+        job in topology(),
+        rate in 1_000.0f64..30_000.0,
+        seed in 0u64..1000,
+    ) {
+        let n = job.len();
+        let a = run_sim(job.clone(), rate, vec![1; n], seed, 60.0).snapshot();
+        let b = run_sim(job, rate, vec![1; n], seed, 60.0).snapshot();
+        prop_assert_eq!(a.kafka_lag.to_bits(), b.kafka_lag.to_bits());
+        prop_assert_eq!(
+            a.source_consumption_rate.to_bits(),
+            b.source_consumption_rate.to_bits()
+        );
+        prop_assert_eq!(
+            a.processing_latency_ms.to_bits(),
+            b.processing_latency_ms.to_bits()
+        );
+    }
+}

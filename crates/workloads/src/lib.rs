@@ -1,0 +1,345 @@
+//! The paper's evaluation workloads (§V-A), calibrated so the simulator
+//! reproduces the published shapes.
+//!
+//! | Workload | DAG | Paper facts we calibrate against |
+//! |---|---|---|
+//! | WordCount | Source→FlatMap→Count→Sink | p=1 ⇒ ~150k rec/s, p=2 ⇒ ~250k, p=3 ⇒ ~275k (Fig. 2); terminal throughput-optimal parallelism ≈ (3,4,12,10) at 350k (Fig. 5a) |
+//! | Yahoo streaming | Source→Parse→Filter→Join→RedisSink | sink throughput capped by Redis; terminal ≈ (40,1,1,1,40) at 60k input with throughput stuck below target (Fig. 5a/5b) |
+//! | Nexmark Q5 | Source→SlidingWindow | terminal ≈ (1, 18) at 30k (Fig. 5a) |
+//! | Nexmark Q11 | Source→SessionWindow | terminal ≈ (1, 11) at 100k (Fig. 5a) |
+//!
+//! Derivation of the WordCount service rates (all rates records/s per
+//! instance, sync penalty `1/(1+σ(p−1))`): FlatMap base 150k/σ=0.2 gives
+//! aggregate 150k/250k/321k at p=1/2/3 — the paper's concave curve. Count
+//! and Sink are keyed aggregations whose strong sync penalty (σ≈0.5)
+//! makes 12 and 10 instances necessary at 350k×1.7 words/s even though
+//! two instances suffice at 250k — matching both Fig. 2 and Fig. 5a
+//! simultaneously (see DESIGN.md).
+
+use autrascale_streamsim::{
+    ClusterSpec, JobGraph, OperatorSpec, RateProfile, SimulationConfig,
+};
+
+/// A named, fully calibrated workload: topology + cluster + QoS targets.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload name as used in the paper's tables.
+    pub name: &'static str,
+    /// The operator DAG.
+    pub job: JobGraph,
+    /// The cluster it runs on (machines + `P_max`).
+    pub cluster: ClusterSpec,
+    /// The default experiment input rate, records/s.
+    pub input_rate: f64,
+    /// The latency target `l_t` used in the elasticity experiments, ms.
+    pub target_latency_ms: f64,
+}
+
+impl Workload {
+    /// Simulation config with a constant input rate.
+    pub fn config(&self, rate: f64, seed: u64) -> SimulationConfig {
+        self.config_with_profile(RateProfile::constant(rate), seed)
+    }
+
+    /// Simulation config with the workload's default rate.
+    pub fn default_config(&self, seed: u64) -> SimulationConfig {
+        self.config(self.input_rate, seed)
+    }
+
+    /// Simulation config with an arbitrary rate profile.
+    pub fn config_with_profile(&self, profile: RateProfile, seed: u64) -> SimulationConfig {
+        SimulationConfig {
+            cluster: self.cluster.clone(),
+            job: self.job.clone(),
+            profile,
+            seed,
+            // 10 s savepoint+restart against 300 s policy running times —
+            // the paper's ~20:1 ratio (5–10 min policies, ~30 s restarts).
+            restart_downtime: 10.0,
+            ..Default::default()
+        }
+    }
+
+    /// Number of operators.
+    pub fn num_operators(&self) -> usize {
+        self.job.len()
+    }
+
+    /// The cluster's per-operator parallelism ceiling `P_max`.
+    pub fn p_max(&self) -> u32 {
+        self.cluster.max_parallelism
+    }
+}
+
+/// WordCount streaming job (linear DAG; Kafka lines → words → counts).
+pub fn wordcount() -> Workload {
+    let job = JobGraph::linear(vec![
+        OperatorSpec::source("Source", 155_000.0)
+            .with_sync_coeff(0.05)
+            .with_comm_cost_ms(2.0)
+            .with_base_latency_ms(1.0),
+        OperatorSpec::transform("FlatMap", 150_000.0, 1.7)
+            .with_sync_coeff(0.2)
+            .with_comm_cost_ms(3.0)
+            .with_base_latency_ms(2.0),
+        OperatorSpec::transform("Count", 290_000.0, 1.0)
+            .with_sync_coeff(0.35)
+            .with_comm_cost_ms(3.0)
+            .with_base_latency_ms(5.0),
+        OperatorSpec::sink("Sink", 280_000.0)
+            .with_sync_coeff(0.35)
+            .with_comm_cost_ms(2.0)
+            .with_base_latency_ms(2.0),
+    ])
+    .expect("WordCount topology is valid");
+    Workload {
+        name: "WordCount",
+        job,
+        cluster: ClusterSpec::paper_cluster(),
+        input_rate: 350_000.0,
+        target_latency_ms: 180.0,
+    }
+}
+
+/// Yahoo Streaming Benchmark (extended version; advertisement events with
+/// a Redis-backed windowed sink that caps throughput).
+pub fn yahoo() -> Workload {
+    let mut cluster = ClusterSpec::paper_cluster();
+    cluster.max_parallelism = 40;
+    let job = JobGraph::linear(vec![
+        OperatorSpec::source("Source", 1_600.0)
+            .with_sync_coeff(0.0)
+            .with_comm_cost_ms(0.5)
+            .with_base_latency_ms(2.0),
+        OperatorSpec::transform("Parse", 80_000.0, 1.0)
+            .with_sync_coeff(0.05)
+            .with_comm_cost_ms(1.0)
+            .with_base_latency_ms(2.0),
+        OperatorSpec::transform("Filter", 90_000.0, 0.35)
+            .with_sync_coeff(0.05)
+            .with_comm_cost_ms(1.0)
+            .with_base_latency_ms(1.0),
+        OperatorSpec::transform("Join", 40_000.0, 1.0)
+            .with_sync_coeff(0.05)
+            .with_comm_cost_ms(1.0)
+            .with_base_latency_ms(3.0),
+        OperatorSpec::sink("RedisSink", 1_500.0)
+            .with_sync_coeff(0.0)
+            // Redis read/write bandwidth: ~14k sink-records/s ≈ 40k
+            // source-records/s — the Fig. 5(b) ceiling.
+            .with_external_limit(14_000.0)
+            .with_comm_cost_ms(0.5)
+            .with_base_latency_ms(5.0),
+    ])
+    .expect("Yahoo topology is valid");
+    Workload {
+        name: "Yahoo",
+        job,
+        cluster,
+        input_rate: 60_000.0,
+        target_latency_ms: 300.0,
+    }
+}
+
+/// Nexmark Query 5 (hot items over a sliding window).
+pub fn nexmark_q5() -> Workload {
+    let mut cluster = ClusterSpec::paper_cluster();
+    cluster.max_parallelism = 25;
+    let job = JobGraph::linear(vec![
+        OperatorSpec::source("Source", 35_000.0)
+            .with_sync_coeff(0.02)
+            .with_comm_cost_ms(1.0)
+            .with_base_latency_ms(1.0),
+        OperatorSpec::window("SlidingWindow", 2_200.0, 0.1, 250.0)
+            .with_sync_coeff(0.02)
+            .with_comm_cost_ms(1.0)
+            .with_base_latency_ms(5.0),
+    ])
+    .expect("Q5 topology is valid");
+    Workload {
+        name: "Nexmark-Q5",
+        job,
+        cluster,
+        input_rate: 30_000.0,
+        target_latency_ms: 500.0,
+    }
+}
+
+/// Nexmark Query 11 (user sessions via a session window).
+pub fn nexmark_q11() -> Workload {
+    let mut cluster = ClusterSpec::paper_cluster();
+    cluster.max_parallelism = 25;
+    let job = JobGraph::linear(vec![
+        OperatorSpec::source("Source", 120_000.0)
+            .with_sync_coeff(0.02)
+            .with_comm_cost_ms(0.5)
+            .with_base_latency_ms(1.0),
+        OperatorSpec::window("SessionWindow", 11_000.0, 0.2, 60.0)
+            .with_sync_coeff(0.03)
+            .with_comm_cost_ms(0.5)
+            .with_base_latency_ms(3.0),
+    ])
+    .expect("Q11 topology is valid");
+    Workload {
+        name: "Nexmark-Q11",
+        job,
+        cluster,
+        input_rate: 100_000.0,
+        target_latency_ms: 150.0,
+    }
+}
+
+/// All four paper workloads in the order of Fig. 5(a).
+pub fn all_paper_workloads() -> Vec<Workload> {
+    vec![wordcount(), yahoo(), nexmark_q5(), nexmark_q11()]
+}
+
+/// A synthetic linear chain of `n` identical operators — used by the
+/// Table IV overhead experiment, which sweeps the operator count.
+pub fn synthetic_chain(n: usize) -> Workload {
+    assert!(n >= 2, "synthetic_chain: need at least source + sink");
+    let mut ops = Vec::with_capacity(n);
+    ops.push(OperatorSpec::source("Op0", 50_000.0).with_sync_coeff(0.05));
+    for i in 1..n - 1 {
+        ops.push(
+            OperatorSpec::transform(format!("Op{i}"), 40_000.0, 1.0).with_sync_coeff(0.1),
+        );
+    }
+    ops.push(OperatorSpec::sink(format!("Op{}", n - 1), 50_000.0).with_sync_coeff(0.05));
+    Workload {
+        name: "Synthetic",
+        job: JobGraph::linear(ops).expect("synthetic chain is valid"),
+        cluster: ClusterSpec::paper_cluster(),
+        input_rate: 30_000.0,
+        target_latency_ms: 250.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autrascale_streamsim::Simulation;
+
+    #[test]
+    fn all_workloads_build_valid_topologies() {
+        for w in all_paper_workloads() {
+            assert!(w.num_operators() >= 2, "{}", w.name);
+            assert!(w.p_max() > 0);
+            assert!(w.input_rate > 0.0);
+        }
+    }
+
+    #[test]
+    fn wordcount_case2_throughput_shape() {
+        // Fig. 2: uniform parallelism 1, 2, 3 at 300k ⇒ ~150k / ~250k /
+        // ~275k. We assert the shape: concave, ~150k at p=1, 230–280k at
+        // p=2, and p=3 above p=2.
+        let w = wordcount();
+        let mut rates = Vec::new();
+        for p in 1..=3u32 {
+            let mut sim = Simulation::new(w.config(300_000.0, 42)).unwrap();
+            sim.deploy(&[p; 4]).unwrap();
+            sim.run_for(180.0);
+            rates.push(sim.snapshot().source_consumption_rate);
+        }
+        assert!((rates[0] - 150_000.0).abs() < 20_000.0, "p=1: {rates:?}");
+        assert!(rates[1] > 230_000.0 && rates[1] < 280_000.0, "p=2: {rates:?}");
+        assert!(rates[2] > rates[1], "p=3: {rates:?}");
+        // Concavity: the second step gains less than the first.
+        assert!(rates[2] - rates[1] < rates[1] - rates[0], "{rates:?}");
+    }
+
+    #[test]
+    fn wordcount_meets_350k_at_paper_parallelism() {
+        let w = wordcount();
+        let mut sim = Simulation::new(w.default_config(7)).unwrap();
+        // Approximately the paper's throughput-optimal configuration.
+        sim.deploy(&[3, 4, 14, 11]).unwrap();
+        sim.run_for(240.0);
+        let snap = sim.snapshot();
+        assert!(
+            snap.source_consumption_rate > 330_000.0,
+            "consumption {}",
+            snap.source_consumption_rate
+        );
+    }
+
+    #[test]
+    fn yahoo_is_redis_capped() {
+        let w = yahoo();
+        let mut sim = Simulation::new(w.default_config(9)).unwrap();
+        sim.deploy(&[40, 1, 1, 1, 40]).unwrap();
+        sim.run_for(240.0);
+        let snap = sim.snapshot();
+        // Throughput far below the 60k input: the Redis limit gates it.
+        assert!(
+            snap.source_consumption_rate < 45_000.0,
+            "consumption {}",
+            snap.source_consumption_rate
+        );
+        assert!(snap.source_consumption_rate > 25_000.0);
+        // And more parallelism does NOT help (Fig. 5b's p5/p6 flats).
+        let mut bigger = Simulation::new(w.default_config(9)).unwrap();
+        bigger.deploy(&[40, 40, 40, 40, 40]).unwrap();
+        bigger.run_for(240.0);
+        let b = bigger.snapshot().source_consumption_rate;
+        assert!(b < snap.source_consumption_rate * 1.15, "{b}");
+    }
+
+    #[test]
+    fn q5_keeps_up_near_paper_parallelism() {
+        let w = nexmark_q5();
+        let mut sim = Simulation::new(w.default_config(3)).unwrap();
+        sim.deploy(&[1, 18]).unwrap();
+        sim.run_for(240.0);
+        let snap = sim.snapshot();
+        assert!(
+            (snap.source_consumption_rate - 30_000.0).abs() < 3_000.0,
+            "consumption {}",
+            snap.source_consumption_rate
+        );
+    }
+
+    #[test]
+    fn q11_keeps_up_near_paper_parallelism() {
+        let w = nexmark_q11();
+        let mut sim = Simulation::new(w.default_config(3)).unwrap();
+        sim.deploy(&[1, 12]).unwrap();
+        sim.run_for(240.0);
+        let snap = sim.snapshot();
+        assert!(
+            (snap.source_consumption_rate - 100_000.0).abs() < 10_000.0,
+            "consumption {}",
+            snap.source_consumption_rate
+        );
+    }
+
+    #[test]
+    fn q5_latency_reflects_window_delay() {
+        let w = nexmark_q5();
+        let mut sim = Simulation::new(w.default_config(5)).unwrap();
+        sim.deploy(&[2, 20]).unwrap();
+        sim.run_for(240.0);
+        let lat = sim.snapshot().processing_latency_ms;
+        assert!(lat < w.target_latency_ms, "latency {lat}");
+        // Sliding window delay dominates: at least 250 ms.
+        assert!(lat > 250.0, "latency {lat}");
+    }
+
+    #[test]
+    fn synthetic_chain_sizes() {
+        for n in [2usize, 4, 6, 8, 10] {
+            let w = synthetic_chain(n);
+            assert_eq!(w.num_operators(), n);
+            let mut sim = Simulation::new(w.config(10_000.0, 1)).unwrap();
+            sim.deploy(&vec![1; n]).unwrap();
+            sim.run_for(30.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn synthetic_chain_rejects_tiny() {
+        let _ = synthetic_chain(1);
+    }
+}

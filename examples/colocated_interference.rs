@@ -1,0 +1,106 @@
+//! Co-located jobs and interference-aware scaling.
+//!
+//! The paper's motivation (§I): queueing models lose accuracy when jobs
+//! co-run and contend for CPU, while AuTraScale's Gaussian process is
+//! trained on data that already contains the interference. This example
+//! runs two jobs against one shared cluster: job A is auto-scaled, then a
+//! noisy neighbor B arrives and floods the machines. A's capacity drops,
+//! QoS breaks, and the controller re-scales A *under interference* — the
+//! new model is trained on contended measurements.
+//!
+//! ```text
+//! cargo run --example colocated_interference --release
+//! ```
+
+use autrascale::{AuTraScaleConfig, MapeController};
+use autrascale_flinkctl::FlinkCluster;
+use autrascale_streamsim::{
+    ClusterSpec, JobGraph, OperatorSpec, RateProfile, SharedMachineRegistry, Simulation,
+    SimulationConfig,
+};
+use std::sync::Arc;
+
+fn job() -> JobGraph {
+    JobGraph::linear(vec![
+        OperatorSpec::source("Source", 30_000.0),
+        OperatorSpec::transform("Work", 9_000.0, 1.0).with_sync_coeff(0.03),
+        OperatorSpec::sink("Sink", 30_000.0),
+    ])
+    .expect("valid topology")
+}
+
+fn colocated(
+    registry: &Arc<SharedMachineRegistry>,
+    rate: f64,
+    seed: u64,
+) -> Simulation {
+    Simulation::new(SimulationConfig {
+        cluster: ClusterSpec::uniform(3, 8, 40),
+        job: job(),
+        profile: RateProfile::constant(rate),
+        shared_machines: Some(Arc::clone(registry)),
+        restart_downtime: 10.0,
+        seed,
+        ..Default::default()
+    })
+    .expect("valid simulation")
+}
+
+fn main() {
+    let registry = Arc::new(SharedMachineRegistry::new(3));
+
+    // Job A: the one we auto-scale.
+    let mut a = FlinkCluster::new(colocated(&registry, 15_000.0, 1));
+    a.submit(&[1, 2, 1]).expect("submit A");
+    a.run_for(60.0);
+
+    let config = AuTraScaleConfig {
+        target_latency_ms: 150.0,
+        policy_running_time: 120.0,
+        ..Default::default()
+    };
+    let mut controller = MapeController::new(config);
+    println!("scaling job A alone on the cluster …");
+    controller.activate(&mut a).expect("first activation");
+    a.run_for(180.0);
+    report("A alone", &a, &registry);
+
+    // Job B arrives: 3 operators × 12 instances = 36 instances on 24 cores.
+    println!("\nnoisy neighbor B arrives (36 instances on 24 cores) …");
+    let mut b = FlinkCluster::new(colocated(&registry, 1_000.0, 2));
+    b.submit(&[12, 12, 12]).expect("submit B");
+    a.run_for(240.0);
+    report("A crowded", &a, &registry);
+
+    // The controller re-scales A under interference.
+    println!("\nnext controller activation for A …");
+    controller.activate(&mut a).expect("recovery activation");
+    a.run_for(400.0);
+    report("A re-scaled", &a, &registry);
+
+    // B leaves again; A is now over-provisioned and the next activation
+    // would scale it back down (left as an exercise — rerun with a longer
+    // horizon to watch it happen).
+    drop(b);
+    println!(
+        "\nB left the cluster ({} instances remain registered)",
+        registry.total_instances()
+    );
+}
+
+fn report(phase: &str, cluster: &FlinkCluster, registry: &Arc<SharedMachineRegistry>) {
+    let Some(m) = cluster.metrics_over(120.0) else {
+        println!("[{phase}] no metrics yet");
+        return;
+    };
+    println!(
+        "[{phase}] parallelism {:?}, cluster occupancy {} instances — \
+         throughput {:.0}/{:.0} records/s, latency {:.1} ms, keeping up: {}",
+        cluster.parallelism(),
+        registry.total_instances(),
+        m.throughput,
+        m.producer_rate,
+        m.processing_latency_ms,
+        m.keeping_up(0.05),
+    );
+}

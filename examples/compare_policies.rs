@@ -1,0 +1,127 @@
+//! Side-by-side comparison of AuTraScale, DS2 and DRS on one job.
+//!
+//! All three policies auto-scale the same under-provisioned pipeline at
+//! the same input rate, through the identical control-plane trait. The
+//! output mirrors the paper's Tables II/III row format.
+//!
+//! ```text
+//! cargo run --example compare_policies --release
+//! ```
+
+use autrascale::{Algorithm1, AuTraScaleConfig, ThroughputOptimizer};
+use autrascale_baselines::{DrsConfig, DrsPolicy, Ds2Config, Ds2Policy, RateMetric};
+use autrascale_flinkctl::FlinkCluster;
+use autrascale_streamsim::{
+    JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
+};
+
+const RATE: f64 = 25_000.0;
+const TARGET_LATENCY_MS: f64 = 150.0;
+
+fn pipeline() -> JobGraph {
+    JobGraph::linear(vec![
+        OperatorSpec::source("Source", 30_000.0),
+        OperatorSpec::transform("Parse", 15_000.0, 1.0).with_sync_coeff(0.08),
+        OperatorSpec::transform("Aggregate", 9_000.0, 0.5)
+            .with_sync_coeff(0.1)
+            .with_comm_cost_ms(3.0),
+        OperatorSpec::sink("Sink", 20_000.0),
+    ])
+    .expect("valid topology")
+}
+
+fn fresh_cluster(seed: u64) -> FlinkCluster {
+    let sim = Simulation::new(SimulationConfig {
+        job: pipeline(),
+        profile: RateProfile::constant(RATE),
+        seed,
+        restart_downtime: 10.0,
+        ..Default::default()
+    })
+    .expect("valid simulation");
+    let mut cluster = FlinkCluster::new(sim);
+    cluster.submit(&[1, 1, 1, 1]).expect("initial submission");
+    cluster.run_for(60.0);
+    cluster
+}
+
+/// Measures the terminal configuration at steady state: waits (bounded)
+/// for the backlog accumulated during each policy's search to drain, so
+/// the reported latencies describe the CONFIGURATIONS, not the search
+/// paths that led to them.
+fn steady(cluster: &mut FlinkCluster) -> (f64, f64) {
+    for _ in 0..30 {
+        if cluster.simulation().kafka_lag() <= RATE {
+            break;
+        }
+        cluster.run_for(120.0);
+    }
+    cluster.run_for(400.0);
+    let m = cluster.metrics_over(120.0).expect("metrics");
+    (m.processing_latency_ms, m.throughput)
+}
+
+fn main() {
+    println!(
+        "policy comparison @ {RATE:.0} records/s, latency target {TARGET_LATENCY_MS:.0} ms\n"
+    );
+    println!("| method | iterations | parallelism | Σp | latency (ms) | throughput |");
+    println!("|---|---|---|---|---|---|");
+
+    // AuTraScale: throughput optimization, then Algorithm 1.
+    {
+        let mut cluster = fresh_cluster(1);
+        let config = AuTraScaleConfig {
+            target_latency_ms: TARGET_LATENCY_MS,
+            policy_running_time: 180.0,
+            ..Default::default()
+        };
+        let thr = ThroughputOptimizer::new(&config).run(&mut cluster).expect("throughput");
+        let alg1 = Algorithm1::new(&config, thr.final_parallelism.clone(), 50);
+        let outcome = alg1.run(&mut cluster, Vec::new()).expect("Algorithm 1");
+        let (latency, throughput) = steady(&mut cluster);
+        print_row(
+            "AuTraScale",
+            thr.iterations + outcome.bootstrap_samples + outcome.iterations,
+            &outcome.final_parallelism,
+            latency,
+            throughput,
+        );
+    }
+
+    // DS2.
+    {
+        let mut cluster = fresh_cluster(2);
+        let outcome = Ds2Policy::new(Ds2Config {
+            policy_running_time: 180.0,
+            ..Default::default()
+        })
+        .run(&mut cluster)
+        .expect("DS2");
+        let (latency, throughput) = steady(&mut cluster);
+        print_row("DS2", outcome.iterations, &outcome.final_parallelism, latency, throughput);
+    }
+
+    // DRS, both metric variants.
+    for (label, metric) in [("DRS-true", RateMetric::True), ("DRS-observed", RateMetric::Observed)]
+    {
+        let mut cluster = fresh_cluster(3);
+        let outcome = DrsPolicy::new(DrsConfig {
+            target_latency_ms: TARGET_LATENCY_MS,
+            rate_metric: metric,
+            policy_running_time: 180.0,
+            max_iters: 8,
+        })
+        .run(&mut cluster)
+        .expect("DRS");
+        let (latency, throughput) = steady(&mut cluster);
+        print_row(label, outcome.iterations, &outcome.final_parallelism, latency, throughput);
+    }
+}
+
+fn print_row(method: &str, iterations: usize, parallelism: &[u32], latency: f64, throughput: f64) {
+    let total: u32 = parallelism.iter().sum();
+    println!(
+        "| {method} | {iterations} | {parallelism:?} | {total} | {latency:.1} | {throughput:.0} |"
+    );
+}

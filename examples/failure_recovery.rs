@@ -1,0 +1,78 @@
+//! Fault injection and automatic recovery.
+//!
+//! Degrades one operator to 35% of its capacity mid-run (a noisy
+//! neighbor, a failing disk) and shows the MAPE controller detecting the
+//! QoS violation at its next activation and re-scaling the job against
+//! the degraded rates.
+//!
+//! ```text
+//! cargo run --example failure_recovery --release
+//! ```
+
+use autrascale::{AuTraScaleConfig, MapeController};
+use autrascale_flinkctl::FlinkCluster;
+use autrascale_streamsim::{
+    JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
+};
+
+fn main() {
+    let job = JobGraph::linear(vec![
+        OperatorSpec::source("Source", 30_000.0),
+        OperatorSpec::transform("Parse", 9_000.0, 1.0).with_sync_coeff(0.04),
+        OperatorSpec::sink("Sink", 25_000.0),
+    ])
+    .expect("valid topology");
+    let sim = Simulation::new(SimulationConfig {
+        job,
+        profile: RateProfile::constant(15_000.0),
+        seed: 99,
+        restart_downtime: 10.0,
+        ..Default::default()
+    })
+    .expect("valid simulation");
+    let mut cluster = FlinkCluster::new(sim);
+    cluster.submit(&[1, 2, 1]).expect("initial submission");
+    cluster.run_for(60.0);
+
+    let config = AuTraScaleConfig {
+        target_latency_ms: 150.0,
+        policy_running_time: 120.0,
+        ..Default::default()
+    };
+    let mut controller = MapeController::new(config);
+
+    println!("establishing the baseline configuration …");
+    controller.activate(&mut cluster).expect("first activation");
+    cluster.run_for(180.0);
+    report("healthy", &cluster);
+
+    println!("\ninjecting a fault: Parse degraded to 35% capacity …");
+    cluster
+        .simulation_mut()
+        .inject_slowdown(1, 0.35, 1.0e9)
+        .expect("valid injection");
+    cluster.run_for(240.0);
+    report("degraded", &cluster);
+
+    println!("\nnext controller activation …");
+    controller.activate(&mut cluster).expect("recovery activation");
+    cluster.run_for(400.0);
+    report("recovered", &cluster);
+}
+
+fn report(phase: &str, cluster: &FlinkCluster) {
+    let Some(m) = cluster.metrics_over(120.0) else {
+        println!("[{phase}] no metrics yet");
+        return;
+    };
+    println!(
+        "[{phase}] parallelism {:?} — throughput {:.0}/{:.0} records/s, \
+         latency {:.1} ms, lag {:.0}, keeping up: {}",
+        cluster.parallelism(),
+        m.throughput,
+        m.producer_rate,
+        m.processing_latency_ms,
+        m.kafka_lag,
+        m.keeping_up(0.05),
+    );
+}

@@ -1,0 +1,69 @@
+//! Quickstart: auto-scale a small streaming job with AuTraScale.
+//!
+//! Builds a three-operator pipeline on the simulated cluster, finds the
+//! throughput-optimal base configuration (paper Eq. 3), then runs
+//! Algorithm 1 (Bayesian optimization) to meet a latency target with
+//! minimal parallelism.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use autrascale::{Algorithm1, AuTraScaleConfig, ThroughputOptimizer};
+use autrascale_flinkctl::{FlinkCluster, JobControl};
+use autrascale_streamsim::{
+    JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
+};
+
+fn main() {
+    // A Source → Map → Sink pipeline where Map is the bottleneck.
+    let job = JobGraph::linear(vec![
+        OperatorSpec::source("Source", 40_000.0),
+        OperatorSpec::transform("Map", 12_000.0, 1.0).with_sync_coeff(0.05),
+        OperatorSpec::sink("Sink", 50_000.0),
+    ])
+    .expect("valid topology");
+
+    let sim = Simulation::new(SimulationConfig {
+        job,
+        profile: RateProfile::constant(30_000.0),
+        seed: 7,
+        restart_downtime: 10.0,
+        ..Default::default()
+    })
+    .expect("valid simulation config");
+    let mut cluster = FlinkCluster::new(sim);
+
+    let config = AuTraScaleConfig {
+        target_latency_ms: 150.0,
+        policy_running_time: 120.0,
+        ..Default::default()
+    };
+
+    // Phase 1: make throughput catch up with the 30k records/s input.
+    let thr = ThroughputOptimizer::new(&config)
+        .run(&mut cluster)
+        .expect("throughput optimization");
+    println!(
+        "throughput-optimal base k' = {:?} ({:.0} records/s in {} iterations)",
+        thr.final_parallelism, thr.final_throughput, thr.iterations
+    );
+
+    // Phase 2: meet the latency target without over-provisioning.
+    let alg1 = Algorithm1::new(&config, thr.final_parallelism, cluster.max_parallelism());
+    let outcome = alg1.run(&mut cluster, Vec::new()).expect("Algorithm 1");
+    println!(
+        "final configuration {:?}: latency {:.1} ms (target {:.0}), score {:.3}, QoS met: {}",
+        outcome.final_parallelism,
+        outcome.final_latency_ms,
+        config.target_latency_ms,
+        outcome.final_score,
+        outcome.meets_qos,
+    );
+    for record in &outcome.history {
+        println!(
+            "  {:?} -> latency {:.1} ms, score {:.3} [{:?}]",
+            record.parallelism, record.latency_ms, record.score, record.phase
+        );
+    }
+}

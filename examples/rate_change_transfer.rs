@@ -1,0 +1,65 @@
+//! Transfer learning across input rates (paper §III-F / §V-D).
+//!
+//! Trains a benefit model for Nexmark Query 11 at 80k records/s, then
+//! transfers it to 100k records/s with Algorithm 2 and compares the
+//! number of real samples against training from scratch.
+//!
+//! ```text
+//! cargo run --example rate_change_transfer --release
+//! ```
+
+use autrascale::{Algorithm1, ModelLibrary, ThroughputOptimizer, TransferLearner};
+use autrascale_flinkctl::FlinkCluster;
+use autrascale_streamsim::Simulation;
+use autrascale_workloads::nexmark_q11;
+
+fn main() {
+    let workload = nexmark_q11();
+    let config = autrascale::AuTraScaleConfig {
+        target_latency_ms: workload.target_latency_ms,
+        policy_running_time: 300.0,
+        ..Default::default()
+    };
+
+    // Phase 1: train the benefit model at the old rate (80k records/s).
+    println!("training the benefit model at 80k records/s …");
+    let sim = Simulation::new(workload.config(80_000.0, 11)).expect("valid workload");
+    let mut cluster = FlinkCluster::new(sim);
+    let thr = ThroughputOptimizer::new(&config).run(&mut cluster).expect("throughput phase");
+    let alg1 = Algorithm1::new(&config, thr.final_parallelism.clone(), workload.p_max());
+    let trained = alg1.run(&mut cluster, Vec::new()).expect("Algorithm 1");
+    println!(
+        "  model trained: {} samples, terminal {:?}",
+        trained.dataset.len(),
+        trained.final_parallelism
+    );
+    let mut library = ModelLibrary::new();
+    library.insert(80_000.0, trained.dataset);
+
+    // Phase 2: the rate becomes 100k — transfer instead of retraining.
+    println!("rate changed to 100k records/s — running Algorithm 2 …");
+    let sim = Simulation::new(workload.config(100_000.0, 12)).expect("valid workload");
+    let mut cluster = FlinkCluster::new(sim);
+    cluster.submit(&thr.final_parallelism).expect("old base valid");
+    cluster.run_for(60.0);
+
+    let thr_new =
+        ThroughputOptimizer::new(&config).run(&mut cluster).expect("throughput phase");
+    let prior = library.closest(100_000.0).expect("model stored").clone();
+    let tl = TransferLearner::new(&config, thr_new.final_parallelism, workload.p_max());
+    let outcome = tl.run(&mut cluster, &prior, Vec::new()).expect("Algorithm 2");
+
+    println!(
+        "transfer terminated after {} real sample(s): {:?}, latency {:.1} ms \
+         (target {:.0} ms), QoS met: {}",
+        outcome.iterations,
+        outcome.final_parallelism,
+        outcome.final_latency_ms,
+        workload.target_latency_ms,
+        outcome.meets_qos,
+    );
+    println!(
+        "for comparison, training from scratch at 80k took {} cluster evaluations",
+        trained.history.len()
+    );
+}

@@ -1,0 +1,71 @@
+//! The paper's WordCount job under the full MAPE controller.
+//!
+//! Submits WordCount under-provisioned at 350k records/s and lets the
+//! AuTraScale controller (Monitor → Analyze → Plan → Execute) establish
+//! the benefit model: throughput optimization first, then Bayesian
+//! optimization to the latency target, as in §V-B/§V-C.
+//!
+//! ```text
+//! cargo run --example wordcount_autoscale --release
+//! ```
+
+use autrascale::{AuTraScaleConfig, ControllerEvent, MapeController};
+use autrascale_flinkctl::FlinkCluster;
+use autrascale_streamsim::Simulation;
+use autrascale_workloads::wordcount;
+
+fn main() {
+    let workload = wordcount();
+    let sim = Simulation::new(workload.default_config(42)).expect("valid workload");
+    let mut cluster = FlinkCluster::new(sim);
+    cluster.submit(&[1, 1, 1, 1]).expect("initial submission");
+    cluster.run_for(60.0);
+
+    let config = AuTraScaleConfig {
+        target_latency_ms: workload.target_latency_ms,
+        policy_running_time: 300.0,
+        policy_interval: 60.0,
+        ..Default::default()
+    };
+    let mut controller = MapeController::new(config);
+
+    println!("activating the AuTraScale controller on WordCount @ 350k records/s …");
+    let events = controller.activate(&mut cluster).expect("controller activation");
+    for event in &events {
+        match event {
+            ControllerEvent::ThroughputOptimized(outcome) => {
+                println!(
+                    "[plan] throughput optimization: k' = {:?} in {} iterations ({:.0} records/s)",
+                    outcome.final_parallelism, outcome.iterations, outcome.final_throughput
+                );
+            }
+            ControllerEvent::SteadyRateOptimized(outcome) => {
+                println!(
+                    "[plan] Algorithm 1: {:?} after {} bootstrap + {} BO iterations — \
+                     latency {:.1} ms, score {:.3}, QoS met: {}",
+                    outcome.final_parallelism,
+                    outcome.bootstrap_samples,
+                    outcome.iterations,
+                    outcome.final_latency_ms,
+                    outcome.final_score,
+                    outcome.meets_qos
+                );
+            }
+            other => println!("[event] {other:?}"),
+        }
+    }
+
+    // Observe the steady state the controller left behind.
+    cluster.run_for(300.0);
+    let metrics = cluster.metrics_over(120.0).expect("metrics available");
+    println!(
+        "steady state: parallelism {:?}, throughput {:.0}/{:.0} records/s, \
+         latency {:.1} ms, lag {:.0} records",
+        cluster.parallelism(),
+        metrics.throughput,
+        metrics.producer_rate,
+        metrics.processing_latency_ms,
+        metrics.kafka_lag,
+    );
+    println!("model library now holds {} benefit model(s)", controller.library().len());
+}

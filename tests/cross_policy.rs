@@ -1,0 +1,176 @@
+//! Cross-policy integration: AuTraScale and the baselines drive identical
+//! clusters through the same `JobControl` trait, and the paper's
+//! comparative claims hold as invariants.
+
+use autrascale::{Algorithm1, AuTraScaleConfig, ThroughputOptimizer};
+use autrascale_baselines::{DrsConfig, DrsPolicy, Ds2Config, Ds2Policy, RateMetric};
+use autrascale_flinkctl::FlinkCluster;
+use autrascale_streamsim::{
+    JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
+};
+
+const RATE: f64 = 20_000.0;
+const TARGET_MS: f64 = 140.0;
+
+fn job() -> JobGraph {
+    JobGraph::linear(vec![
+        OperatorSpec::source("Source", 25_000.0),
+        OperatorSpec::transform("Work", 6_000.0, 1.0)
+            .with_sync_coeff(0.04)
+            .with_comm_cost_ms(2.5),
+        OperatorSpec::sink("Sink", 30_000.0),
+    ])
+    .unwrap()
+}
+
+fn fresh(seed: u64) -> FlinkCluster {
+    let sim = Simulation::new(SimulationConfig {
+        job: job(),
+        profile: RateProfile::constant(RATE),
+        seed,
+        restart_downtime: 5.0,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut fc = FlinkCluster::new(sim);
+    fc.submit(&[1, 1, 1]).unwrap();
+    fc.run_for(60.0);
+    fc
+}
+
+fn steady_latency(cluster: &mut FlinkCluster) -> (f64, f64) {
+    cluster.run_for(400.0);
+    let m = cluster.metrics_over(120.0).unwrap();
+    (m.processing_latency_ms, m.throughput)
+}
+
+#[test]
+fn every_policy_scales_the_bottleneck() {
+    // All three policies must identify Work as the operator to scale.
+    let cfg = AuTraScaleConfig {
+        target_latency_ms: TARGET_MS,
+        policy_running_time: 120.0,
+        bootstrap_m: 3,
+        max_bo_iters: 12,
+        ..Default::default()
+    };
+
+    let mut c1 = fresh(10);
+    let thr = ThroughputOptimizer::new(&cfg).run(&mut c1).unwrap();
+    let alg1 = Algorithm1::new(&cfg, thr.final_parallelism.clone(), 50);
+    let autra = alg1.run(&mut c1, Vec::new()).unwrap();
+    assert!(autra.final_parallelism[1] >= 4, "AuTraScale {:?}", autra.final_parallelism);
+
+    let mut c2 = fresh(11);
+    let ds2 = Ds2Policy::new(Ds2Config { policy_running_time: 120.0, ..Default::default() })
+        .run(&mut c2)
+        .unwrap();
+    assert!(ds2.final_parallelism[1] >= 4, "DS2 {:?}", ds2.final_parallelism);
+
+    let mut c3 = fresh(12);
+    let drs = DrsPolicy::new(DrsConfig {
+        target_latency_ms: TARGET_MS,
+        rate_metric: RateMetric::True,
+        policy_running_time: 120.0,
+        max_iters: 8,
+    })
+    .run(&mut c3)
+    .unwrap();
+    assert!(drs.final_parallelism[1] >= 4, "DRS {:?}", drs.final_parallelism);
+}
+
+#[test]
+fn autrascale_meets_latency_where_ds2_does_not_try() {
+    let cfg = AuTraScaleConfig {
+        target_latency_ms: TARGET_MS,
+        policy_running_time: 120.0,
+        bootstrap_m: 3,
+        max_bo_iters: 12,
+        ..Default::default()
+    };
+    let mut c1 = fresh(20);
+    let thr = ThroughputOptimizer::new(&cfg).run(&mut c1).unwrap();
+    let alg1 = Algorithm1::new(&cfg, thr.final_parallelism, 50);
+    let autra = alg1.run(&mut c1, Vec::new()).unwrap();
+    let (autra_latency, autra_tp) = steady_latency(&mut c1);
+
+    let mut c2 = fresh(21);
+    let _ = Ds2Policy::new(Ds2Config { policy_running_time: 120.0, ..Default::default() })
+        .run(&mut c2)
+        .unwrap();
+    let (_, ds2_tp) = steady_latency(&mut c2);
+
+    // AuTraScale commits to the latency target; DS2 only to throughput.
+    assert!(autra.meets_qos, "{autra:?}");
+    assert!(autra_latency <= TARGET_MS * 1.15, "steady latency {autra_latency}");
+    // Both keep up with the rate.
+    assert!(autra_tp >= RATE * 0.93, "{autra_tp}");
+    assert!(ds2_tp >= RATE * 0.93, "{ds2_tp}");
+}
+
+#[test]
+fn drs_observed_uses_at_least_as_much_as_drs_true() {
+    let total = |v: &[u32]| v.iter().map(|&p| u64::from(p)).sum::<u64>();
+    let run = |metric: RateMetric, seed: u64| {
+        let mut fc = fresh(seed);
+        DrsPolicy::new(DrsConfig {
+            target_latency_ms: TARGET_MS,
+            rate_metric: metric,
+            policy_running_time: 120.0,
+            max_iters: 8,
+        })
+        .run(&mut fc)
+        .unwrap()
+    };
+    let with_true = run(RateMetric::True, 30);
+    let with_observed = run(RateMetric::Observed, 30);
+    assert!(
+        total(&with_observed.final_parallelism) >= total(&with_true.final_parallelism),
+        "observed {:?} vs true {:?}",
+        with_observed.final_parallelism,
+        with_true.final_parallelism
+    );
+}
+
+#[test]
+fn external_cap_separates_autrascale_from_ds2_termination() {
+    // A Redis-like cap: AuTraScale's throughput phase stops via the
+    // repeated-recommendation condition; DS2 burns its whole budget.
+    let capped = JobGraph::linear(vec![
+        OperatorSpec::source("Source", 25_000.0),
+        OperatorSpec::sink("Sink", 1_500.0).with_external_limit(6_000.0),
+    ])
+    .unwrap();
+    let build = |seed| {
+        let sim = Simulation::new(SimulationConfig {
+            job: capped.clone(),
+            profile: RateProfile::constant(15_000.0),
+            seed,
+            restart_downtime: 5.0,
+            ..Default::default()
+        })
+        .unwrap();
+        FlinkCluster::new(sim)
+    };
+
+    let cfg = AuTraScaleConfig {
+        policy_running_time: 120.0,
+        max_throughput_iters: 8,
+        ..Default::default()
+    };
+    let mut c1 = build(40);
+    let autra = ThroughputOptimizer::new(&cfg).run(&mut c1).unwrap();
+    assert!(!autra.reached_input_rate);
+    assert!(autra.iterations < 8, "terminated early, got {}", autra.iterations);
+
+    let mut c2 = build(41);
+    let ds2 = Ds2Policy::new(Ds2Config {
+        policy_running_time: 120.0,
+        max_iters: 8,
+        ..Default::default()
+    })
+    .run(&mut c2)
+    .unwrap();
+    assert!(!ds2.converged);
+    assert_eq!(ds2.iterations, 8, "DS2 has no early-out on capped jobs");
+}

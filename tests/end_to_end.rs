@@ -1,0 +1,293 @@
+//! End-to-end integration: the full AuTraScale pipeline (throughput
+//! optimization → bootstrap → Algorithm 1 → model library → Algorithm 2)
+//! against the simulated cluster, spanning every crate in the workspace.
+
+use autrascale::{
+    Algorithm1, AuTraScaleConfig, ModelLibrary, ThroughputOptimizer, TransferLearner,
+};
+use autrascale_flinkctl::{FlinkCluster, JobControl, JobStatus};
+use autrascale_streamsim::{
+    JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
+};
+
+fn pipeline() -> JobGraph {
+    JobGraph::linear(vec![
+        OperatorSpec::source("Source", 30_000.0),
+        OperatorSpec::transform("Map", 8_000.0, 1.0).with_sync_coeff(0.05),
+        OperatorSpec::sink("Sink", 7_000.0)
+            .with_sync_coeff(0.03)
+            .with_comm_cost_ms(3.0),
+    ])
+    .unwrap()
+}
+
+fn cluster_at(rate: f64, seed: u64) -> FlinkCluster {
+    let sim = Simulation::new(SimulationConfig {
+        job: pipeline(),
+        profile: RateProfile::constant(rate),
+        seed,
+        restart_downtime: 5.0,
+        ..Default::default()
+    })
+    .unwrap();
+    FlinkCluster::new(sim)
+}
+
+fn config() -> AuTraScaleConfig {
+    AuTraScaleConfig {
+        target_latency_ms: 150.0,
+        policy_running_time: 120.0,
+        bootstrap_m: 3,
+        max_bo_iters: 15,
+        n_num: 4,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn full_pipeline_meets_qos_from_cold_start() {
+    let mut cluster = cluster_at(18_000.0, 1);
+    let cfg = config();
+
+    // Phase 1: throughput.
+    let thr = ThroughputOptimizer::new(&cfg).run(&mut cluster).unwrap();
+    assert!(thr.reached_input_rate, "{thr:?}");
+    // Map needs ≥ 3 at 8k/instance for 18k; Sink ≥ 3 at 7k.
+    assert!(thr.final_parallelism[1] >= 3, "{:?}", thr.final_parallelism);
+    assert!(thr.final_parallelism[2] >= 3, "{:?}", thr.final_parallelism);
+
+    // Phase 2: Algorithm 1 to the latency target.
+    let alg1 = Algorithm1::new(&cfg, thr.final_parallelism.clone(), cluster.max_parallelism());
+    let outcome = alg1.run(&mut cluster, Vec::new()).unwrap();
+    assert!(outcome.meets_qos, "{outcome:?}");
+    assert!(outcome.final_latency_ms <= cfg.target_latency_ms);
+    assert!(alg1.space().contains(&outcome.final_parallelism));
+
+    // The cluster is actually running the reported configuration.
+    assert_eq!(cluster.status(), JobStatus::Running);
+    assert_eq!(cluster.parallelism(), outcome.final_parallelism.as_slice());
+
+    // Steady state after the controller walks away.
+    cluster.run_for(300.0);
+    let metrics = cluster.metrics_over(100.0).unwrap();
+    assert!(metrics.keeping_up(0.05), "{metrics:?}");
+    assert!(metrics.processing_latency_ms <= cfg.target_latency_ms * 1.2);
+}
+
+#[test]
+fn model_transfers_to_a_higher_rate() {
+    let cfg = config();
+
+    // Train at 12k.
+    let mut cluster = cluster_at(12_000.0, 2);
+    let thr = ThroughputOptimizer::new(&cfg).run(&mut cluster).unwrap();
+    let alg1 = Algorithm1::new(&cfg, thr.final_parallelism.clone(), cluster.max_parallelism());
+    let trained = alg1.run(&mut cluster, Vec::new()).unwrap();
+    assert!(trained.dataset.len() >= 4, "enough samples to transfer from");
+    let mut library = ModelLibrary::new();
+    library.insert(12_000.0, trained.dataset);
+
+    // Transfer to 18k on a fresh deployment.
+    let mut cluster = cluster_at(18_000.0, 3);
+    cluster.submit(&thr.final_parallelism).unwrap();
+    cluster.run_for(60.0);
+    let thr_new = ThroughputOptimizer::new(&cfg).run(&mut cluster).unwrap();
+    let tl = TransferLearner::new(&cfg, thr_new.final_parallelism, cluster.max_parallelism());
+    let prior = library.closest(18_000.0).unwrap().clone();
+    let outcome = tl.run(&mut cluster, &prior, Vec::new()).unwrap();
+
+    // Transfer must converge within its budget and leave a valid config.
+    assert!(tl.algorithm1().space().contains(&outcome.final_parallelism));
+    // Real iterations should be far fewer than a cold-start bootstrap +
+    // BO run (the whole point of Algorithm 2).
+    assert!(
+        outcome.iterations <= cfg.n_num + cfg.max_bo_iters,
+        "{}",
+        outcome.iterations
+    );
+}
+
+#[test]
+fn controller_survives_a_rate_drop() {
+    // Scale-down via the full controller: rate falls 18k → 9k.
+    use autrascale::{ControllerEvent, MapeController};
+    let sim = Simulation::new(SimulationConfig {
+        job: pipeline(),
+        profile: RateProfile::piecewise(vec![(0.0, 18_000.0), (4_000.0, 9_000.0)]),
+        seed: 4,
+        restart_downtime: 5.0,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut cluster = FlinkCluster::new(sim);
+    cluster.submit(&[1, 3, 3]).unwrap();
+    cluster.run_for(60.0);
+
+    let mut controller = MapeController::new(config());
+    let first = controller.activate(&mut cluster).unwrap();
+    assert!(first
+        .iter()
+        .any(|e| matches!(e, ControllerEvent::SteadyRateOptimized(_))));
+    let parallelism_at_18k: u32 = cluster.parallelism().iter().sum();
+
+    // Move past the drop and reactivate.
+    while cluster.now() < 4_100.0 {
+        cluster.run_for(120.0);
+    }
+    let events = controller.activate(&mut cluster).unwrap();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::RateChangeDetected { .. })),
+        "{events:?}"
+    );
+    assert_eq!(controller.library().len(), 2);
+
+    // The job should end up leaner at the lower rate.
+    let parallelism_at_9k: u32 = cluster.parallelism().iter().sum();
+    assert!(
+        parallelism_at_9k <= parallelism_at_18k,
+        "{parallelism_at_9k} > {parallelism_at_18k}"
+    );
+}
+
+#[test]
+fn controller_recovers_from_operator_degradation() {
+    // Failure injection: Map degrades to 40% capacity mid-run. The next
+    // controller activation must detect the QoS violation and re-run
+    // Algorithm 1, ending with a configuration that keeps up again.
+    use autrascale::MapeController;
+
+    let mut cluster = cluster_at(15_000.0, 9);
+    cluster.submit(&[1, 2, 3]).unwrap();
+    cluster.run_for(60.0);
+    let mut controller = MapeController::new(config());
+    controller.activate(&mut cluster).unwrap();
+    cluster.run_for(120.0);
+    let before = cluster.metrics_over(60.0).unwrap();
+    assert!(before.keeping_up(0.05), "healthy baseline expected");
+
+    // Degrade Map for a long stretch (the fault outlives the recovery).
+    cluster
+        .simulation_mut()
+        .inject_slowdown(1, 0.4, 1_000_000.0)
+        .unwrap();
+    cluster.run_for(180.0);
+    let degraded = cluster.metrics_over(60.0).unwrap();
+    assert!(
+        !degraded.keeping_up(0.05) || degraded.processing_latency_ms > config().target_latency_ms,
+        "fault should violate QoS: {degraded:?}"
+    );
+
+    // Recovery: the controller scales Map up against the degraded rate.
+    let map_before: u32 = cluster.parallelism()[1];
+    controller.activate(&mut cluster).unwrap();
+    cluster.run_for(400.0);
+    let after = cluster.metrics_over(120.0).unwrap();
+    assert!(after.keeping_up(0.05), "controller must restore throughput: {after:?}");
+    assert!(
+        cluster.parallelism()[1] > map_before,
+        "Map should have been scaled up: {:?}",
+        cluster.parallelism()
+    );
+}
+
+#[test]
+fn throughput_optimizer_handles_branching_dags() {
+    // Diamond: Source fans out to two branches whose outputs both feed a
+    // join sink. The sink's target input is the SUM of both branches
+    // (each successor receives the full upstream output), so Eq. 3 must
+    // provision it for ~2× the source rate.
+    let ops = vec![
+        OperatorSpec::source("Source", 30_000.0),
+        OperatorSpec::transform("Left", 12_000.0, 1.0).with_sync_coeff(0.02),
+        OperatorSpec::transform("Right", 12_000.0, 1.0).with_sync_coeff(0.02),
+        OperatorSpec::sink("Join", 9_000.0).with_sync_coeff(0.02),
+    ];
+    let job = JobGraph::new(ops, vec![(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+    let sim = Simulation::new(SimulationConfig {
+        job,
+        profile: RateProfile::constant(10_000.0),
+        seed: 17,
+        restart_downtime: 5.0,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut cluster = FlinkCluster::new(sim);
+    let outcome = ThroughputOptimizer::new(&config()).run(&mut cluster).unwrap();
+    assert!(outcome.reached_input_rate, "{outcome:?}");
+
+    let join_index = cluster
+        .simulation()
+        .job()
+        .index_of("Join")
+        .expect("Join exists");
+    // Join sees ~20k records/s at ~9k per instance ⇒ at least 3.
+    assert!(
+        outcome.final_parallelism[join_index] >= 3,
+        "join under-provisioned: {:?}",
+        outcome.final_parallelism
+    );
+    // Each branch sees ~10k at 12k per instance ⇒ 1 suffices.
+    for name in ["Left", "Right"] {
+        let i = cluster.simulation().job().index_of(name).unwrap();
+        assert!(
+            outcome.final_parallelism[i] <= 2,
+            "{name} over-provisioned: {:?}",
+            outcome.final_parallelism
+        );
+    }
+}
+
+#[test]
+fn rate_aware_warm_start_kicks_in_after_two_models() {
+    // §VII future work: with use_rate_aware_warm_start and ≥ 2 stored
+    // models, a rate change is handled by the joint (k, rate) model
+    // instead of Algorithm 2.
+    use autrascale::{ControllerEvent, MapeController};
+    let sim = Simulation::new(SimulationConfig {
+        job: pipeline(),
+        profile: RateProfile::piecewise(vec![
+            (0.0, 10_000.0),
+            (4_000.0, 16_000.0),
+            (9_000.0, 13_000.0),
+        ]),
+        seed: 23,
+        restart_downtime: 5.0,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut cluster = FlinkCluster::new(sim);
+    cluster.submit(&[1, 2, 2]).unwrap();
+    cluster.run_for(60.0);
+
+    let cfg = AuTraScaleConfig { use_rate_aware_warm_start: true, ..config() };
+    let mut controller = MapeController::new(cfg);
+
+    // Model 1 at 10k (cold start), model 2 at 16k (Algorithm 2: only one
+    // model exists so far, the joint model needs two).
+    controller.activate(&mut cluster).unwrap();
+    while cluster.now() < 4_100.0 {
+        cluster.run_for(120.0);
+    }
+    let second = controller.activate(&mut cluster).unwrap();
+    assert!(
+        second.iter().any(|e| matches!(e, ControllerEvent::Transferred(_))),
+        "second rate uses Algorithm 2: {second:?}"
+    );
+    assert_eq!(controller.library().len(), 2);
+
+    // Third rate (13k, between the trained ones): the joint model takes
+    // over and interpolates.
+    while cluster.now() < 9_100.0 {
+        cluster.run_for(120.0);
+    }
+    let third = controller.activate(&mut cluster).unwrap();
+    assert!(
+        third
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::RateAwareWarmStarted(_))),
+        "third rate should use the joint model: {third:?}"
+    );
+    assert_eq!(controller.library().len(), 3);
+}

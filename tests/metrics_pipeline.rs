@@ -1,0 +1,147 @@
+//! Metrics-pipeline integration: values emitted by the simulator flow
+//! through the time-series store and the flinkctl aggregator unchanged in
+//! meaning — conservation laws and unit consistency across crate
+//! boundaries.
+
+use autrascale_flinkctl::FlinkCluster;
+use autrascale_metricsdb::Query;
+use autrascale_streamsim::{
+    metrics, JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
+};
+
+fn cluster(rate: f64, seed: u64) -> FlinkCluster {
+    let job = JobGraph::linear(vec![
+        OperatorSpec::source("Source", 30_000.0),
+        OperatorSpec::transform("Split", 20_000.0, 2.0),
+        OperatorSpec::transform("Filter", 50_000.0, 0.5),
+        OperatorSpec::sink("Sink", 40_000.0),
+    ])
+    .unwrap();
+    let sim = Simulation::new(SimulationConfig {
+        job,
+        profile: RateProfile::constant(rate),
+        seed,
+        ..Default::default()
+    })
+    .unwrap();
+    FlinkCluster::new(sim)
+}
+
+#[test]
+fn flow_conservation_through_selectivities() {
+    let mut fc = cluster(10_000.0, 1);
+    fc.submit(&[1, 1, 1, 1]).unwrap();
+    fc.run_for(180.0);
+    let m = fc.metrics_over(60.0).unwrap();
+
+    let split = m.operator("Split").unwrap();
+    let filter = m.operator("Filter").unwrap();
+    let sink = m.operator("Sink").unwrap();
+
+    // Split doubles, Filter halves: sink input ≈ source input.
+    assert!(
+        (split.output_rate - 2.0 * split.input_rate).abs() < 0.1 * split.input_rate,
+        "split in {} out {}",
+        split.input_rate,
+        split.output_rate
+    );
+    assert!(
+        (filter.output_rate - 0.5 * filter.input_rate).abs() < 0.1 * filter.input_rate,
+        "filter in {} out {}",
+        filter.input_rate,
+        filter.output_rate
+    );
+    // Each operator's input is its predecessor's output.
+    assert!(
+        (filter.input_rate - split.output_rate).abs() < 0.05 * split.output_rate,
+        "{} vs {}",
+        filter.input_rate,
+        split.output_rate
+    );
+    assert!(
+        (sink.input_rate - filter.output_rate).abs() < 0.05 * filter.output_rate.max(1.0)
+    );
+    // End to end: sink rate ≈ producer rate (steady state, selectivity 1).
+    assert!((m.sink_rate - m.producer_rate).abs() < 0.1 * m.producer_rate);
+}
+
+#[test]
+fn aggregator_matches_raw_store_contents() {
+    let mut fc = cluster(10_000.0, 2);
+    fc.submit(&[1, 2, 1, 1]).unwrap();
+    fc.run_for(120.0);
+    let m = fc.metrics_over(60.0).unwrap();
+    let store = fc.simulation().store();
+    let (from, to) = m.window;
+
+    // Throughput aggregate equals the mean of the raw series.
+    let raw: Vec<f64> = store
+        .select(&Query::new(metrics::JOB_THROUGHPUT, from, to))
+        .into_iter()
+        .flat_map(|(_, pts)| pts)
+        .map(|p| p.value)
+        .collect();
+    let mean = raw.iter().sum::<f64>() / raw.len() as f64;
+    assert!((m.throughput - mean).abs() < 1e-9);
+
+    // Per-operator totals equal subtask sums from the raw store.
+    let split = m.operator("Split").unwrap();
+    let mut sum = 0.0;
+    for subtask in 0..2 {
+        let key = metrics::instance_key(metrics::TRUE_PROCESSING_RATE, "Split", subtask);
+        sum += store.window_mean(&key, from, to).unwrap();
+    }
+    assert!((split.true_rate_total - sum).abs() < 1e-9);
+}
+
+#[test]
+fn records_are_conserved_through_kafka() {
+    let mut fc = cluster(8_000.0, 3);
+    fc.submit(&[1, 1, 1, 1]).unwrap();
+    fc.run_for(300.0);
+    let sim = fc.simulation();
+    // produced = consumed + lag (within a tick of slack).
+    let produced = 8_000.0 * sim.now();
+    let lag = sim.kafka_lag();
+    let m = fc.metrics_over(250.0).unwrap();
+    let consumed_estimate = m.throughput * sim.now();
+    assert!(
+        (produced - (consumed_estimate + lag)).abs() < produced * 0.05,
+        "produced {produced}, consumed≈{consumed_estimate}, lag {lag}"
+    );
+}
+
+#[test]
+fn true_rate_is_capability_not_flow() {
+    // At 20% utilization the observed rate tracks the flow while the true
+    // rate tracks the capability — the paper's core metric distinction.
+    let mut fc = cluster(4_000.0, 4);
+    fc.submit(&[1, 1, 1, 1]).unwrap();
+    fc.run_for(180.0);
+    let m = fc.metrics_over(60.0).unwrap();
+    let split = m.operator("Split").unwrap();
+    // Observed ≈ 4k (the flow), true ≈ 20k (the capability).
+    assert!(
+        split.observed_rate_total < 6_000.0,
+        "observed {}",
+        split.observed_rate_total
+    );
+    assert!(split.true_rate_total > 15_000.0, "true {}", split.true_rate_total);
+}
+
+#[test]
+fn event_time_latency_includes_pending() {
+    // Under-provision so Kafka accumulates: event-time latency must
+    // exceed processing latency by the pending time.
+    let mut fc = cluster(25_000.0, 5);
+    fc.submit(&[1, 1, 1, 1]).unwrap();
+    fc.run_for(300.0);
+    let m = fc.metrics_over(60.0).unwrap();
+    let event = m.event_time_latency_ms.expect("job is consuming");
+    assert!(
+        event > m.processing_latency_ms * 3.0,
+        "event {event} vs processing {}",
+        m.processing_latency_ms
+    );
+    assert!(m.kafka_lag > 100_000.0);
+}
