@@ -271,9 +271,7 @@ impl DrsPolicy {
 mod tests {
     use super::*;
     use autrascale_flinkctl::FlinkCluster;
-    use autrascale_streamsim::{
-        JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
-    };
+    use autrascale_streamsim::{JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig};
 
     fn job() -> JobGraph {
         JobGraph::linear(vec![
@@ -307,7 +305,9 @@ mod tests {
     #[test]
     fn drs_true_meets_latency() {
         let mut fc = cluster(20_000.0, 1);
-        let outcome = DrsPolicy::new(config(RateMetric::True)).run(&mut fc).unwrap();
+        let outcome = DrsPolicy::new(config(RateMetric::True))
+            .run(&mut fc)
+            .unwrap();
         assert!(outcome.meets_latency, "{outcome:?}");
         // Needs at least the stability minimum on Map (20k / 8k ⇒ ≥ 3).
         assert!(outcome.final_parallelism[1] >= 3);
@@ -316,9 +316,13 @@ mod tests {
     #[test]
     fn drs_observed_overprovisions_relative_to_true() {
         let mut fc_obs = cluster(20_000.0, 2);
-        let obs = DrsPolicy::new(config(RateMetric::Observed)).run(&mut fc_obs).unwrap();
+        let obs = DrsPolicy::new(config(RateMetric::Observed))
+            .run(&mut fc_obs)
+            .unwrap();
         let mut fc_true = cluster(20_000.0, 2);
-        let tru = DrsPolicy::new(config(RateMetric::True)).run(&mut fc_true).unwrap();
+        let tru = DrsPolicy::new(config(RateMetric::True))
+            .run(&mut fc_true)
+            .unwrap();
         let total = |v: &[u32]| v.iter().map(|&p| u64::from(p)).sum::<u64>();
         // Observed μ is deflated by idle time ⇒ more instances demanded.
         assert!(

@@ -34,7 +34,11 @@ pub struct Ds2Config {
 
 impl Default for Ds2Config {
     fn default() -> Self {
-        Self { policy_running_time: 120.0, rate_tolerance: 0.05, max_iters: 10 }
+        Self {
+            policy_running_time: 120.0,
+            rate_tolerance: 0.05,
+            max_iters: 10,
+        }
     }
 }
 
@@ -166,9 +170,7 @@ impl Ds2Policy {
 mod tests {
     use super::*;
     use autrascale_flinkctl::FlinkCluster;
-    use autrascale_streamsim::{
-        JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
-    };
+    use autrascale_streamsim::{JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig};
 
     fn cluster(job: JobGraph, rate: f64, seed: u64) -> FlinkCluster {
         let config = SimulationConfig {
@@ -222,12 +224,19 @@ mod tests {
         ])
         .unwrap();
         let mut fc = cluster(job, 20_000.0, 3);
-        let cfg = Ds2Config { max_iters: 6, ..Default::default() };
+        let cfg = Ds2Config {
+            max_iters: 6,
+            ..Default::default()
+        };
         let outcome = Ds2Policy::new(cfg).run(&mut fc).unwrap();
         assert!(!outcome.converged);
         assert_eq!(outcome.iterations, 6);
         // Parallelism pushed toward the ceiling by the loop.
-        assert!(outcome.final_parallelism[1] >= 10, "{:?}", outcome.final_parallelism);
+        assert!(
+            outcome.final_parallelism[1] >= 10,
+            "{:?}",
+            outcome.final_parallelism
+        );
     }
 
     #[test]

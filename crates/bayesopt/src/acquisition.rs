@@ -11,7 +11,7 @@
 //! high-uncertainty regions.
 
 use autrascale_gp::stats::{normal_cdf, normal_pdf};
-use autrascale_gp::GaussianProcess;
+use autrascale_gp::{GaussianProcess, PredictScratch};
 
 /// Expected improvement of a candidate over the incumbent `f_best`, with
 /// exploration parameter `xi` (paper Eq. 5–7).
@@ -19,7 +19,20 @@ use autrascale_gp::GaussianProcess;
 /// Returns `0.0` where the posterior is deterministic (σ = 0), exactly as
 /// the paper's piecewise definition states.
 pub fn expected_improvement(gp: &GaussianProcess, candidate: &[f64], f_best: f64, xi: f64) -> f64 {
-    let p = gp.predict(candidate);
+    expected_improvement_with(gp, candidate, f_best, xi, &mut PredictScratch::default())
+}
+
+/// [`expected_improvement`] reusing caller-owned prediction buffers —
+/// bit-identical results, no per-call allocation. This is what the
+/// candidate-scoring hot loop in [`crate::BayesOpt`] uses.
+pub fn expected_improvement_with(
+    gp: &GaussianProcess,
+    candidate: &[f64],
+    f_best: f64,
+    xi: f64,
+    scratch: &mut PredictScratch,
+) -> f64 {
+    let p = gp.predict_with(candidate, scratch);
     if p.std <= 0.0 {
         return 0.0;
     }
@@ -108,7 +121,17 @@ mod tests {
 /// an ablation alternative to the paper's EI (DESIGN.md §3); larger `β`
 /// explores more.
 pub fn upper_confidence_bound(gp: &GaussianProcess, candidate: &[f64], beta: f64) -> f64 {
-    let p = gp.predict(candidate);
+    upper_confidence_bound_with(gp, candidate, beta, &mut PredictScratch::default())
+}
+
+/// [`upper_confidence_bound`] reusing caller-owned prediction buffers.
+pub fn upper_confidence_bound_with(
+    gp: &GaussianProcess,
+    candidate: &[f64],
+    beta: f64,
+    scratch: &mut PredictScratch,
+) -> f64 {
+    let p = gp.predict_with(candidate, scratch);
     p.mean + beta * p.std
 }
 
@@ -120,11 +143,7 @@ pub fn upper_confidence_bound(gp: &GaussianProcess, candidate: &[f64], beta: f64
 /// ranking thousands of discrete candidates the marginal approximation is
 /// the standard cheap surrogate. Randomness comes from the caller's
 /// seeded RNG so runs stay replayable.
-pub fn thompson_sample(
-    gp: &GaussianProcess,
-    candidate: &[f64],
-    rng: &mut impl rand::Rng,
-) -> f64 {
+pub fn thompson_sample(gp: &GaussianProcess, candidate: &[f64], rng: &mut impl rand::Rng) -> f64 {
     let p = gp.predict(candidate);
     // Box–Muller on two uniforms (no rand_distr dependency).
     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
@@ -178,8 +197,10 @@ mod acquisition_variant_tests {
         // Many draws average near the mean.
         let mut rng = StdRng::seed_from_u64(3);
         let n = 4000;
-        let avg: f64 =
-            (0..n).map(|_| thompson_sample(&gp, &q, &mut rng)).sum::<f64>() / n as f64;
+        let avg: f64 = (0..n)
+            .map(|_| thompson_sample(&gp, &q, &mut rng))
+            .sum::<f64>()
+            / n as f64;
         let mean = gp.predict(&q).mean;
         let std = gp.predict(&q).std;
         assert!((avg - mean).abs() < 4.0 * std / (n as f64).sqrt() + 1e-3);

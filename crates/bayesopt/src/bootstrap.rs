@@ -59,7 +59,11 @@ pub fn bootstrap_set(base: &[u32], p_max: u32, m: usize) -> BootstrapDesign {
     // surrogate must know its true value, and the job is already running
     // it after throughput optimization — the sample is nearly free.
     let mut uniform = Vec::with_capacity(m + 1);
-    uniform.push(base.iter().map(|&b| b.clamp(1, p_max)).collect::<Vec<u32>>());
+    uniform.push(
+        base.iter()
+            .map(|&b| b.clamp(1, p_max))
+            .collect::<Vec<u32>>(),
+    );
 
     // Family 1: parallelism shared by all operators, swept from k_max to
     // p_max over m samples ("divide the remaining parallelism into M-1
@@ -90,7 +94,10 @@ pub fn bootstrap_set(base: &[u32], p_max: u32, m: usize) -> BootstrapDesign {
     // Also drop one-hot samples already present in the uniform family.
     one_hot_max.retain(|s| !uniform.contains(s));
 
-    BootstrapDesign { uniform, one_hot_max }
+    BootstrapDesign {
+        uniform,
+        one_hot_max,
+    }
 }
 
 /// Order-preserving dedup.

@@ -33,12 +33,24 @@ pub mod bootstrap;
 mod optimizer;
 mod space;
 
-pub use acquisition::{expected_improvement, thompson_sample, upper_confidence_bound};
+pub use acquisition::{
+    expected_improvement, expected_improvement_with, thompson_sample, upper_confidence_bound,
+    upper_confidence_bound_with,
+};
 pub use bootstrap::{bootstrap_set, BootstrapDesign};
 pub use optimizer::{Acquisition, BayesOpt, BoError, BoOptions};
 pub use space::SearchSpace;
 
 /// Converts a parallelism vector to the `f64` feature vector the GP sees.
 pub fn to_features(k: &[u32]) -> Vec<f64> {
-    k.iter().map(|&v| v as f64).collect()
+    let mut out = Vec::new();
+    write_features(k, &mut out);
+    out
+}
+
+/// [`to_features`] into a caller-owned buffer, so candidate-scoring loops
+/// can convert thousands of vectors without allocating per candidate.
+pub fn write_features(k: &[u32], out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(k.iter().map(|&v| v as f64));
 }

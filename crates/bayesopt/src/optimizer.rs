@@ -9,13 +9,19 @@
 //! best candidates otherwise, so suggestion cost stays bounded for
 //! high-arity DAGs.
 
-use crate::acquisition::{expected_improvement, thompson_sample, upper_confidence_bound};
+use crate::acquisition::{expected_improvement_with, thompson_sample, upper_confidence_bound_with};
 use crate::space::SearchSpace;
-use crate::to_features;
-use autrascale_gp::{fit_subset, FitOptions, GaussianProcess};
+use crate::{to_features, write_features};
+use autrascale_gp::{fit_subset, FitOptions, GaussianProcess, PredictScratch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
+use std::collections::HashSet;
 use std::fmt;
+
+/// Below this many candidates the scoring loop stays serial — rayon's
+/// dispatch overhead would outweigh the per-candidate GP prediction.
+const PAR_SCORING_THRESHOLD: usize = 64;
 
 /// Which acquisition function ranks candidates.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,7 +95,10 @@ impl fmt::Display for BoError {
             BoError::NoObservations => write!(f, "no observations yet"),
             BoError::SurrogateFit(e) => write!(f, "surrogate fit failed: {e}"),
             BoError::ArityMismatch { expected, got } => {
-                write!(f, "configuration arity {got}, space has {expected} operators")
+                write!(
+                    f,
+                    "configuration arity {got}, space has {expected} operators"
+                )
             }
         }
     }
@@ -111,7 +120,12 @@ impl BayesOpt {
     /// Creates an optimizer with no observations.
     pub fn new(space: SearchSpace, options: BoOptions) -> Self {
         let rng = StdRng::seed_from_u64(options.seed);
-        Self { space, options, observations: Vec::new(), rng }
+        Self {
+            space,
+            options,
+            observations: Vec::new(),
+            rng,
+        }
     }
 
     /// Records a scored configuration. Re-observing a configuration is
@@ -148,7 +162,11 @@ impl BayesOpt {
         if self.observations.is_empty() {
             return Err(BoError::NoObservations);
         }
-        let x: Vec<Vec<f64>> = self.observations.iter().map(|(k, _)| to_features(k)).collect();
+        let x: Vec<Vec<f64>> = self
+            .observations
+            .iter()
+            .map(|(k, _)| to_features(k))
+            .collect();
         let y: Vec<f64> = self.observations.iter().map(|(_, s)| *s).collect();
         fit_subset(x, y, self.options.max_surrogate_points, &self.options.fit)
             .map_err(|e| BoError::SurrogateFit(e.to_string()))
@@ -164,31 +182,131 @@ impl BayesOpt {
     /// Like [`suggest`](Self::suggest) but with a caller-provided surrogate
     /// (used by the transfer-learning path, where the surrogate combines a
     /// prior model with a residual model).
+    ///
+    /// EI and UCB candidate scoring runs in parallel (rayon) above
+    /// [`PAR_SCORING_THRESHOLD`] candidates; the winner is picked by a
+    /// serial index-ordered scan with the same comparison and tie-break as
+    /// the serial loop, so the suggestion is identical either way.
+    /// Thompson sampling consumes the loop's seeded RNG per candidate and
+    /// therefore always scores serially, keeping runs replayable.
     pub fn suggest_with(&mut self, gp: &GaussianProcess) -> Vec<u32> {
         let f_best = self
             .observations
             .iter()
             .map(|(_, s)| *s)
             .fold(f64::NEG_INFINITY, f64::max);
-        let f_best = if f_best.is_finite() { f_best } else { gp.best_observed() };
+        let f_best = if f_best.is_finite() {
+            f_best
+        } else {
+            gp.best_observed()
+        };
 
-        let mut candidates = self.candidates();
-        // Rank by the configured acquisition. Thompson draws use the
-        // loop's seeded RNG, so suggestions stay replayable.
+        match self.options.acquisition {
+            Acquisition::Thompson => self.suggest_thompson(gp, f_best),
+            Acquisition::ExpectedImprovement | Acquisition::Ucb { .. } => {
+                let candidates = self.candidates();
+                let parallel = candidates.len() >= PAR_SCORING_THRESHOLD;
+                self.suggest_ranked(gp, f_best, candidates, parallel)
+            }
+        }
+    }
+
+    /// Deterministic-acquisition path (EI / UCB): score every candidate
+    /// (in parallel when `parallel`), then select serially in index order.
+    fn suggest_ranked(
+        &mut self,
+        gp: &GaussianProcess,
+        f_best: f64,
+        mut candidates: Vec<Vec<u32>>,
+        parallel: bool,
+    ) -> Vec<u32> {
         let xi = self.options.xi;
         let acquisition = self.options.acquisition;
-        let rng = &mut self.rng;
-        let mut score = move |k: &[u32]| match acquisition {
-            Acquisition::ExpectedImprovement => {
-                expected_improvement(gp, &to_features(k), f_best, xi)
+        let score = |scratch: &mut PredictScratch, feats: &mut Vec<f64>, k: &[u32]| -> f64 {
+            write_features(k, feats);
+            match acquisition {
+                Acquisition::ExpectedImprovement => {
+                    expected_improvement_with(gp, feats, f_best, xi, scratch)
+                }
+                Acquisition::Ucb { beta } => {
+                    // Shift so "no better than the incumbent" maps near zero,
+                    // keeping the flat-landscape fallback meaningful.
+                    upper_confidence_bound_with(gp, feats, beta, scratch) - f_best
+                }
+                Acquisition::Thompson => unreachable!("Thompson uses the serial path"),
             }
-            Acquisition::Ucb { beta } => {
-                // Shift so "no better than the incumbent" maps near zero,
-                // keeping the flat-landscape fallback meaningful.
-                upper_confidence_bound(gp, &to_features(k), beta) - f_best
-            }
-            Acquisition::Thompson => thompson_sample(gp, &to_features(k), rng) - f_best,
         };
+
+        let mut scratch = PredictScratch::default();
+        let mut feats = Vec::new();
+        let mut best_k;
+        let mut best_ei;
+        if candidates.is_empty() {
+            best_k = self.space.lower().to_vec();
+            best_ei = score(&mut scratch, &mut feats, &best_k);
+        } else {
+            let scores: Vec<f64> = if parallel {
+                candidates
+                    .par_iter()
+                    .map_init(
+                        || (PredictScratch::default(), Vec::new()),
+                        |(scratch, feats), k| score(scratch, feats, k),
+                    )
+                    .collect()
+            } else {
+                candidates
+                    .iter()
+                    .map(|k| score(&mut scratch, &mut feats, k))
+                    .collect()
+            };
+            // Serial argmax replicating the sequential fold: start from the
+            // last candidate, scan the rest in order, replace on strictly
+            // better score or equal score with the cheaper configuration.
+            let mut best = candidates.len() - 1;
+            for i in 0..candidates.len() - 1 {
+                if scores[i] > scores[best]
+                    || (scores[i] == scores[best] && tie_break(&candidates[i], &candidates[best]))
+                {
+                    best = i;
+                }
+            }
+            best_ei = scores[best];
+            best_k = candidates.swap_remove(best);
+        }
+
+        // Local ±1 refinement around the winner (serial: the neighbor set
+        // is tiny and each round depends on the previous winner).
+        for _ in 0..self.options.local_refinement_rounds {
+            let mut improved = false;
+            for neighbor in self.space.neighbors(&best_k) {
+                let ei = score(&mut scratch, &mut feats, &neighbor);
+                if ei > best_ei {
+                    best_ei = ei;
+                    best_k = neighbor;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+
+        // If EI is flat zero everywhere (degenerate surrogate), prefer an
+        // unobserved configuration so the loop still explores.
+        if best_ei <= 0.0 {
+            if let Some(unseen) = self.first_unseen() {
+                return unseen;
+            }
+        }
+        best_k
+    }
+
+    /// Thompson-sampling path: serial by construction — each candidate
+    /// consumes draws from the loop's seeded RNG in a fixed order.
+    fn suggest_thompson(&mut self, gp: &GaussianProcess, f_best: f64) -> Vec<u32> {
+        let mut candidates = self.candidates();
+        let rng = &mut self.rng;
+        let mut score = move |k: &[u32]| thompson_sample(gp, &to_features(k), rng) - f_best;
 
         let mut best_k = candidates
             .pop()
@@ -218,8 +336,6 @@ impl BayesOpt {
             }
         }
 
-        // If EI is flat zero everywhere (degenerate surrogate), prefer an
-        // unobserved configuration so the loop still explores.
         if best_ei <= 0.0 {
             if let Some(unseen) = self.first_unseen() {
                 return unseen;
@@ -248,8 +364,14 @@ impl BayesOpt {
     /// been observed yet.
     fn first_unseen(&mut self) -> Option<Vec<u32>> {
         let candidates = self.candidates();
-        let seen: Vec<&Vec<u32>> = self.observations.iter().map(|(k, _)| k).collect();
-        candidates.into_iter().find(|k| !seen.contains(&k))
+        let seen: HashSet<&[u32]> = self
+            .observations
+            .iter()
+            .map(|(k, _)| k.as_slice())
+            .collect();
+        candidates
+            .into_iter()
+            .find(|k| !seen.contains(k.as_slice()))
     }
 }
 
@@ -343,7 +465,10 @@ mod tests {
         let space = SearchSpace::new(vec![1; 5], vec![50; 5]).unwrap();
         let mut bo = BayesOpt::new(
             space,
-            BoOptions { sampled_candidates: 128, ..Default::default() },
+            BoOptions {
+                sampled_candidates: 128,
+                ..Default::default()
+            },
         );
         bo.observe(vec![1; 5], 0.1);
         bo.observe(vec![50; 5], 0.4);
@@ -359,6 +484,58 @@ mod tests {
         let space = SearchSpace::new(vec![1, 1], vec![4, 4]).unwrap();
         let mut bo = BayesOpt::new(space, BoOptions::default());
         bo.observe(vec![1], 0.5);
+    }
+
+    #[test]
+    fn parallel_and_serial_scoring_pick_identical_configuration() {
+        // 10³ = 1000 candidates — well above PAR_SCORING_THRESHOLD, and the
+        // space enumerates deterministically (no RNG involved), so the two
+        // paths see the same candidate list.
+        let hidden3 = |k: &[u32]| {
+            let d0 = k[0] as f64 - 6.0;
+            let d1 = k[1] as f64 - 3.0;
+            let d2 = k[2] as f64 - 8.0;
+            1.0 - 0.02 * (d0 * d0 + d1 * d1 + d2 * d2)
+        };
+        for acquisition in [
+            Acquisition::ExpectedImprovement,
+            Acquisition::Ucb { beta: 1.5 },
+        ] {
+            let make = || {
+                let space = SearchSpace::new(vec![1, 1, 1], vec![10, 10, 10]).unwrap();
+                let mut bo = BayesOpt::new(
+                    space,
+                    BoOptions {
+                        acquisition,
+                        ..Default::default()
+                    },
+                );
+                for k in [
+                    [1u32, 1, 1],
+                    [10, 10, 10],
+                    [1, 10, 1],
+                    [10, 1, 10],
+                    [5, 5, 5],
+                    [3, 7, 2],
+                ] {
+                    bo.observe(k.to_vec(), hidden3(&k));
+                }
+                bo
+            };
+            let mut bo_par = make();
+            let mut bo_ser = make();
+            let gp = bo_par.fit_surrogate().unwrap();
+            let f_best = bo_par
+                .observations()
+                .iter()
+                .map(|(_, s)| *s)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let candidates = bo_par.candidates();
+            assert!(candidates.len() >= PAR_SCORING_THRESHOLD);
+            let picked_par = bo_par.suggest_ranked(&gp, f_best, candidates.clone(), true);
+            let picked_ser = bo_ser.suggest_ranked(&gp, f_best, candidates, false);
+            assert_eq!(picked_par, picked_ser, "{acquisition:?}");
+        }
     }
 
     #[test]
@@ -382,7 +559,13 @@ mod acquisition_dispatch_tests {
 
     fn run_with(acquisition: Acquisition) -> f64 {
         let space = SearchSpace::new(vec![1, 1], vec![8, 8]).unwrap();
-        let mut bo = BayesOpt::new(space, BoOptions { acquisition, ..Default::default() });
+        let mut bo = BayesOpt::new(
+            space,
+            BoOptions {
+                acquisition,
+                ..Default::default()
+            },
+        );
         for k in [[1u32, 1], [8, 8], [1, 8], [8, 1], [4, 4]] {
             bo.observe(k.to_vec(), hidden(&k));
         }
@@ -418,7 +601,10 @@ mod sparse_surrogate_tests {
         let space = SearchSpace::new(vec![1], vec![64]).unwrap();
         let mut bo = BayesOpt::new(
             space,
-            BoOptions { max_surrogate_points: 10, ..Default::default() },
+            BoOptions {
+                max_surrogate_points: 10,
+                ..Default::default()
+            },
         );
         for k in 1..=64u32 {
             bo.observe(vec![k], 1.0 / (1.0 + (k as f64 - 20.0).abs()));

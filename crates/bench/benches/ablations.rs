@@ -18,9 +18,7 @@
 use autrascale_bayesopt::{bootstrap_set, Acquisition, BayesOpt, BoOptions, SearchSpace};
 use autrascale_flinkctl::{FlinkCluster, JobControl};
 use autrascale_gp::{fit_auto, FitOptions, KernelKind};
-use autrascale_streamsim::{
-    JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
-};
+use autrascale_streamsim::{JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -56,7 +54,11 @@ fn ablate_kernel(c: &mut Criterion) {
                 let gp = fit_auto(
                     x.clone(),
                     y.clone(),
-                    &FitOptions { kind, restarts: 2, ..Default::default() },
+                    &FitOptions {
+                        kind,
+                        restarts: 2,
+                        ..Default::default()
+                    },
                 )
                 .unwrap();
                 black_box(gp.predict(&[2.0, 6.0]))
@@ -79,7 +81,14 @@ fn bo_to_optimum_with(
     seed_samples: &[(Vec<u32>, f64)],
 ) -> usize {
     let space = SearchSpace::new(vec![1, 1], vec![16, 16]).unwrap();
-    let mut bo = BayesOpt::new(space, BoOptions { acquisition, xi, ..Default::default() });
+    let mut bo = BayesOpt::new(
+        space,
+        BoOptions {
+            acquisition,
+            xi,
+            ..Default::default()
+        },
+    );
     for (k, s) in seed_samples {
         bo.observe(k.clone(), *s);
     }
@@ -137,8 +146,9 @@ fn ablate_bootstrap(c: &mut Criterion) {
 
 fn ablate_transfer(c: &mut Criterion) {
     // Old-rate objective: optimum at (2, 4); new rate shifts it to (2, 6).
-    let old_objective =
-        |k: &[u32]| 1.0 / (1.0 + 0.25 * (k[0] as f64 - 2.0).abs() + 0.1 * (k[1] as f64 - 4.0).abs());
+    let old_objective = |k: &[u32]| {
+        1.0 / (1.0 + 0.25 * (k[0] as f64 - 2.0).abs() + 0.1 * (k[1] as f64 - 4.0).abs())
+    };
     let prior: Vec<(Vec<u32>, f64)> = bootstrap_set(&[2, 2], 16, 5)
         .all()
         .into_iter()
@@ -189,7 +199,11 @@ fn ablate_truerate(c: &mut Criterion) {
             let mut next = Vec::new();
             let mut target = m.producer_rate;
             for op in &m.operators {
-                let v = if observed { op.observed_rate_avg } else { op.true_rate_avg };
+                let v = if observed {
+                    op.observed_rate_avg
+                } else {
+                    op.true_rate_avg
+                };
                 next.push(((target / v.max(1e-9)).ceil() as u32).clamp(1, 50));
                 target *= if op.observed_rate_total > 1e-9 {
                     op.output_rate / op.observed_rate_total

@@ -1,0 +1,122 @@
+//! Surrogate hot-path benches: the per-`suggest` cost that bounds how fast
+//! the Algorithm 1 loop can iterate.
+//!
+//! | bench group | what it measures |
+//! |---|---|
+//! | `bo_suggest` | full suggest: fit_auto + candidate scoring (50 obs × 2048 sampled candidates) |
+//! | `gp_fit_auto` | multi-start marginal-likelihood fit alone |
+//! | `gram_build` | one Gram build: direct `kernel.eval` vs the distance cache |
+//!
+//! Medians from this harness are recorded in `BENCH_bo_suggest.json` at the
+//! repo root whenever the hot path changes.
+
+use autrascale_bayesopt::{BayesOpt, BoOptions, SearchSpace};
+use autrascale_gp::{fit_auto, FitOptions, Kernel, KernelKind, PairwiseSqDists};
+use autrascale_linalg::Matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Deterministic pseudo-random observation history over `[1, 32]^dim`.
+fn history(n: usize, dim: usize) -> Vec<(Vec<u32>, f64)> {
+    let mut state = 0x243F6A8885A308D3u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    (0..n)
+        .map(|_| {
+            let k: Vec<u32> = (0..dim).map(|_| 1 + (next() % 32) as u32).collect();
+            let mean = k.iter().map(|&v| v as f64).sum::<f64>() / dim as f64;
+            let s = 1.0 / (1.0 + (mean - 11.0).abs() / 6.0) + ((next() % 1000) as f64) * 1e-5;
+            (k, s)
+        })
+        .collect()
+}
+
+fn features(hist: &[(Vec<u32>, f64)]) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let x = hist
+        .iter()
+        .map(|(k, _)| k.iter().map(|&v| v as f64).collect())
+        .collect();
+    let y = hist.iter().map(|(_, s)| *s).collect();
+    (x, y)
+}
+
+/// Full suggest on a sampling-mode space: surrogate fit + 2048-candidate
+/// acquisition maximization.
+fn bench_bo_suggest(c: &mut Criterion) {
+    let dim = 4;
+    let hist = history(50, dim);
+    let space = SearchSpace::new(vec![1; dim], vec![32; dim]).unwrap();
+    c.bench_function("bo_suggest/50obs_2048cand", |b| {
+        b.iter(|| {
+            let mut bo = BayesOpt::new(space.clone(), BoOptions::default());
+            for (k, s) in &hist {
+                bo.observe(k.clone(), *s);
+            }
+            black_box(bo.suggest().unwrap())
+        })
+    });
+
+    // Scoring alone, on a pre-fitted surrogate (the transfer-learning path
+    // calls this directly with a combined model).
+    let (x, y) = features(&hist);
+    let gp = fit_auto(x, y, &FitOptions::default()).unwrap();
+    c.bench_function("bo_suggest/scoring_only_2048cand", |b| {
+        let mut bo = BayesOpt::new(space.clone(), BoOptions::default());
+        for (k, s) in &hist {
+            bo.observe(k.clone(), *s);
+        }
+        b.iter(|| black_box(bo.suggest_with(&gp)))
+    });
+}
+
+/// Multi-start Nelder–Mead hyperparameter fit: ~10³ LML evaluations, each
+/// one Gram rebuild + Cholesky.
+fn bench_gp_fit_auto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_fit_auto");
+    for &n in &[25usize, 50] {
+        let (x, y) = features(&history(n, 4));
+        group.bench_with_input(BenchmarkId::new("obs", n), &n, |b, _| {
+            b.iter(|| black_box(fit_auto(x.clone(), y.clone(), &FitOptions::default()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// One noisy Gram build at n = 100: direct kernel evaluation vs rescaling
+/// the cached pairwise distances.
+fn bench_gram_build(c: &mut Criterion) {
+    let (x, _) = features(&history(100, 4));
+    let kernel = Kernel::isotropic(KernelKind::Matern52, 3.0, 1.0);
+    let noise = 1e-4;
+    let mut group = c.benchmark_group("gram_build");
+    group.bench_function("direct_eval_n100", |b| {
+        b.iter(|| {
+            let mut g = Matrix::from_fn(x.len(), x.len(), |i, j| kernel.eval(&x[i], &x[j]));
+            g.add_diagonal(noise);
+            black_box(g)
+        })
+    });
+    let dists = PairwiseSqDists::new(&x, false);
+    group.bench_function("distance_cached_n100", |b| {
+        b.iter(|| black_box(dists.gram(&kernel, noise)))
+    });
+    group.bench_function("cache_plus_build_n100", |b| {
+        b.iter(|| {
+            let d = PairwiseSqDists::new(&x, false);
+            black_box(d.gram(&kernel, noise))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    hotpath,
+    bench_bo_suggest,
+    bench_gp_fit_auto,
+    bench_gram_build
+);
+criterion_main!(hotpath);

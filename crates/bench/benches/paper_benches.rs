@@ -11,14 +11,12 @@
 //! | `fig8_transfer` | Fig. 8 — one Algorithm 2 residual-transfer computation |
 //! | `table4_overhead` | Table IV — surrogate fit / recommend vs operator count |
 
-use autrascale::{Algorithm1, AuTraScaleConfig, ThroughputOptimizer};
 use autrascale::algorithm1::SamplePhase;
+use autrascale::{Algorithm1, AuTraScaleConfig, ThroughputOptimizer};
 use autrascale_bayesopt::{BayesOpt, BoOptions, SearchSpace};
 use autrascale_flinkctl::FlinkCluster;
 use autrascale_gp::{fit_auto, FitOptions};
-use autrascale_streamsim::{
-    JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
-};
+use autrascale_streamsim::{JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig};
 use autrascale_workloads::{synthetic_chain, wordcount};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -60,8 +58,7 @@ fn bench_fig1_case1(c: &mut Criterion) {
     c.bench_function("fig1_case1/simulate_120s", |b| {
         b.iter(|| {
             let profile = RateProfile::staircase(100_000.0, 50_000.0, 30.0, 300_000.0);
-            let mut sim =
-                Simulation::new(workload.config_with_profile(profile, 1)).unwrap();
+            let mut sim = Simulation::new(workload.config_with_profile(profile, 1)).unwrap();
             sim.deploy(&[2, 2, 2, 2]).unwrap();
             sim.run_for(120.0);
             black_box(sim.snapshot())
@@ -115,9 +112,7 @@ fn bench_tables23_elasticity_step(c: &mut Criterion) {
 /// fit + recommendation), pure CPU.
 fn bench_fig8_transfer(c: &mut Criterion) {
     // A prior model trained on synthetic scores.
-    let prior_x: Vec<Vec<f64>> = (1..=20u32)
-        .map(|k| vec![1.0, k as f64])
-        .collect();
+    let prior_x: Vec<Vec<f64>> = (1..=20u32).map(|k| vec![1.0, k as f64]).collect();
     let prior_y: Vec<f64> = prior_x
         .iter()
         .map(|v| 1.0 / (1.0 + (v[1] - 6.0).abs() / 5.0))
@@ -175,11 +170,7 @@ fn bench_table4_overhead(c: &mut Criterion) {
         let y: Vec<f64> = dataset.iter().map(|(_, s)| *s).collect();
 
         group.bench_with_input(BenchmarkId::new("alg1_train", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(
-                    fit_auto(x.clone(), y.clone(), &FitOptions::default()).unwrap(),
-                )
-            })
+            b.iter(|| black_box(fit_auto(x.clone(), y.clone(), &FitOptions::default()).unwrap()))
         });
 
         let gp = fit_auto(x.clone(), y.clone(), &FitOptions::default()).unwrap();

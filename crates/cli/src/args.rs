@@ -157,12 +157,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                             .parse()
                             .map_err(|_| ParseError(format!("bad --seed {value:?}")))?
                     }
-                    "--latency-target" => {
-                        options.latency_target = Some(parse_number(flag, value)?)
-                    }
-                    "--report-interval" => {
-                        options.report_interval = parse_number(flag, value)?
-                    }
+                    "--latency-target" => options.latency_target = Some(parse_number(flag, value)?),
+                    "--report-interval" => options.report_interval = parse_number(flag, value)?,
                     "--csv" => options.csv = Some(value.to_string()),
                     other => return Err(ParseError(format!("unknown flag {other:?}"))),
                 }
@@ -215,12 +211,9 @@ fn parse_policy(value: &str) -> Result<Policy, ParseError> {
         "drs-observed" => Ok(Policy::DrsObserved),
         other => {
             if let Some(rest) = other.strip_prefix("static:") {
-                let parallelism: Result<Vec<u32>, _> =
-                    rest.split(',').map(str::parse).collect();
+                let parallelism: Result<Vec<u32>, _> = rest.split(',').map(str::parse).collect();
                 match parallelism {
-                    Ok(p) if !p.is_empty() && p.iter().all(|&v| v > 0) => {
-                        Ok(Policy::Static(p))
-                    }
+                    Ok(p) if !p.is_empty() && p.iter().all(|&v| v > 0) => Ok(Policy::Static(p)),
                     _ => Err(ParseError(format!(
                         "bad static parallelism {rest:?} (want e.g. static:1,2,1)"
                     ))),

@@ -23,7 +23,10 @@ fn workload_by_name(name: &str) -> Result<Workload, String> {
 
 /// `autrasctl workloads`
 pub fn list_workloads() {
-    println!("{:<12} {:>10} {:>12} {:>8} {:>10}", "name", "operators", "rate (r/s)", "P_max", "l_t (ms)");
+    println!(
+        "{:<12} {:>10} {:>12} {:>8} {:>10}",
+        "name", "operators", "rate (r/s)", "P_max", "l_t (ms)"
+    );
     for w in autrascale_workloads::all_paper_workloads() {
         println!(
             "{:<12} {:>10} {:>12.0} {:>8} {:>10.0}",
@@ -127,7 +130,9 @@ pub fn simulate(options: &SimulateOptions) -> Result<(), String> {
         Policy::AuTraScale => {
             cluster.run_for(60.0);
             let mut controller = MapeController::new(config.clone());
-            controller.activate(&mut cluster).map_err(|e| e.to_string())?;
+            controller
+                .activate(&mut cluster)
+                .map_err(|e| e.to_string())?;
         }
         Policy::Ds2 => {
             let policy = Ds2Policy::new(Ds2Config {
@@ -227,9 +232,12 @@ fn parse_profile(spec: &str) -> Result<RateProfile, String> {
         ("staircase", [init, step, period, max]) => {
             Ok(RateProfile::staircase(*init, *step, *period, *max))
         }
-        ("diurnal", [base, amplitude, period]) => {
-            Ok(rate_generators::diurnal(*base, *amplitude, *period, period / 48.0))
-        }
+        ("diurnal", [base, amplitude, period]) => Ok(rate_generators::diurnal(
+            *base,
+            *amplitude,
+            *period,
+            period / 48.0,
+        )),
         ("bursty", [base, burst, every, len, count]) => Ok(rate_generators::bursty(
             *base,
             *burst,
@@ -245,8 +253,11 @@ fn parse_profile(spec: &str) -> Result<RateProfile, String> {
 
 fn write_csv(path: &str, rows: &[TimelineRow]) -> Result<(), String> {
     let mut file = std::fs::File::create(path).map_err(|e| e.to_string())?;
-    writeln!(file, "minute,parallelism,throughput,input_rate,latency_ms,kafka_lag")
-        .map_err(|e| e.to_string())?;
+    writeln!(
+        file,
+        "minute,parallelism,throughput,input_rate,latency_ms,kafka_lag"
+    )
+    .map_err(|e| e.to_string())?;
     for r in rows {
         let parallelism: Vec<String> = r.parallelism.iter().map(u32::to_string).collect();
         writeln!(

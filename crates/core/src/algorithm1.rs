@@ -91,9 +91,13 @@ impl Algorithm1 {
             !base.is_empty() && base.iter().all(|&b| b > 0),
             "base configuration must be non-empty with positive parallelism"
         );
-        let space = SearchSpace::from_base(&base, p_max)
-            .expect("validated base always yields a space");
-        Self { config: config.clone(), base, space }
+        let space =
+            SearchSpace::from_base(&base, p_max).expect("validated base always yields a space");
+        Self {
+            config: config.clone(),
+            base,
+            space,
+        }
     }
 
     /// The search space `[k', P_max]`.
@@ -112,7 +116,11 @@ impl Algorithm1 {
             self.space.clone(),
             BoOptions {
                 xi: self.config.xi,
-                fit: FitOptions { seed: self.config.seed, restarts: 3, ..Default::default() },
+                fit: FitOptions {
+                    seed: self.config.seed,
+                    restarts: 3,
+                    ..Default::default()
+                },
                 seed: self.config.seed,
                 ..Default::default()
             },
@@ -198,7 +206,11 @@ impl Algorithm1 {
         &self,
         cluster: &mut impl JobControl,
     ) -> Result<Vec<IterationRecord>, String> {
-        let design = bootstrap_set(&self.base, cluster.max_parallelism(), self.config.bootstrap_m);
+        let design = bootstrap_set(
+            &self.base,
+            cluster.max_parallelism(),
+            self.config.bootstrap_m,
+        );
         let mut records = Vec::with_capacity(design.len());
         for sample in design.all() {
             let sample = self.space.clamp(&sample);
@@ -327,9 +339,7 @@ impl Algorithm1 {
 mod tests {
     use super::*;
     use autrascale_flinkctl::FlinkCluster;
-    use autrascale_streamsim::{
-        JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
-    };
+    use autrascale_streamsim::{JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig};
 
     /// A 2-op job where latency falls with parallelism up to a point and
     /// comm cost rises beyond it.
@@ -367,7 +377,9 @@ mod tests {
         let mut fc = test_cluster(10_000.0, 1);
         fc.submit(&[1, 2]).unwrap();
         let alg = Algorithm1::new(&fast_config(), vec![1, 2], 50);
-        let rec = alg.evaluate(&mut fc, &[1, 2], SamplePhase::Bootstrap).unwrap();
+        let rec = alg
+            .evaluate(&mut fc, &[1, 2], SamplePhase::Bootstrap)
+            .unwrap();
         assert!(rec.latency_ms > 0.0);
         assert!(rec.score > 0.0 && rec.score <= 1.0);
         assert_eq!(rec.phase, SamplePhase::Bootstrap);
@@ -395,7 +407,11 @@ mod tests {
         assert!(outcome.final_latency_ms <= 120.0);
         // Should not balloon to P_max: score punishes over-provisioning.
         let total: u32 = outcome.final_parallelism.iter().sum();
-        assert!(total <= 10, "over-provisioned: {:?}", outcome.final_parallelism);
+        assert!(
+            total <= 10,
+            "over-provisioned: {:?}",
+            outcome.final_parallelism
+        );
     }
 
     #[test]
@@ -417,11 +433,7 @@ mod tests {
     #[test]
     fn recommend_only_is_pure() {
         let alg = Algorithm1::new(&fast_config(), vec![1, 2], 12);
-        let dataset = vec![
-            (vec![1, 2], 0.8),
-            (vec![12, 12], 0.4),
-            (vec![6, 6], 0.6),
-        ];
+        let dataset = vec![(vec![1, 2], 0.8), (vec![12, 12], 0.4), (vec![6, 6], 0.6)];
         let k = alg.recommend_only(&dataset).unwrap();
         assert!(alg.space().contains(&k));
     }
@@ -451,9 +463,15 @@ mod tests {
             edges: Vec::new(),
         };
         assert!(alg.meets_requirements(&good, &metrics));
-        let slow = IterationRecord { latency_ms: 500.0, ..good.clone() };
+        let slow = IterationRecord {
+            latency_ms: 500.0,
+            ..good.clone()
+        };
         assert!(!alg.meets_requirements(&slow, &metrics));
-        let wasteful = IterationRecord { score: 0.2, ..good.clone() };
+        let wasteful = IterationRecord {
+            score: 0.2,
+            ..good.clone()
+        };
         assert!(!alg.meets_requirements(&wasteful, &metrics));
         // Lag growing fast: throughput check fails even with good latency.
         let lagging_metrics = JobMetrics {

@@ -62,7 +62,12 @@ pub struct MapeController {
 impl MapeController {
     /// A controller with an empty model library.
     pub fn new(config: AuTraScaleConfig) -> Self {
-        Self { config, library: ModelLibrary::new(), current_rate: None, base: None }
+        Self {
+            config,
+            library: ModelLibrary::new(),
+            current_rate: None,
+            base: None,
+        }
     }
 
     /// The model library (one benefit model per steady rate seen).
@@ -100,37 +105,36 @@ impl MapeController {
                 events.push(ControllerEvent::SteadyRateOptimized(result));
             }
             Some(current) if rate_changed(current, rate, self.config.rate_change_threshold) => {
-                events.push(ControllerEvent::RateChangeDetected { old: current, new: rate });
+                events.push(ControllerEvent::RateChangeDetected {
+                    old: current,
+                    new: rate,
+                });
                 let (base, outcome) = self.optimize_throughput(cluster)?;
                 events.push(ControllerEvent::ThroughputOptimized(outcome));
 
                 // Preferred path when enabled and enough models exist:
                 // warm-start Algorithm 1 from the joint rate-aware model.
-                let rate_aware_dataset = if self.config.use_rate_aware_warm_start
-                    && self.library.len() >= 2
-                {
-                    RateAwareModel::fit(&self.library, self.config.seed)
-                        .ok()
-                        .map(|model| {
-                            model.warm_start_dataset(
-                                &base,
-                                cluster.max_parallelism(),
-                                self.config.bootstrap_m,
-                                rate,
-                            )
-                        })
-                } else {
-                    None
-                };
+                let rate_aware_dataset =
+                    if self.config.use_rate_aware_warm_start && self.library.len() >= 2 {
+                        RateAwareModel::fit(&self.library, self.config.seed)
+                            .ok()
+                            .map(|model| {
+                                model.warm_start_dataset(
+                                    &base,
+                                    cluster.max_parallelism(),
+                                    self.config.bootstrap_m,
+                                    rate,
+                                )
+                            })
+                    } else {
+                        None
+                    };
 
                 let prior = self.library.closest(rate).cloned();
                 let result = match (rate_aware_dataset, prior) {
                     (Some(dataset), _) => {
-                        let alg1 = Algorithm1::new(
-                            &self.config,
-                            base.clone(),
-                            cluster.max_parallelism(),
-                        );
+                        let alg1 =
+                            Algorithm1::new(&self.config, base.clone(), cluster.max_parallelism());
                         let r = alg1.run(cluster, dataset)?;
                         events.push(ControllerEvent::RateAwareWarmStarted(r.clone()));
                         r
@@ -146,11 +150,8 @@ impl MapeController {
                         r
                     }
                     (None, None) => {
-                        let alg1 = Algorithm1::new(
-                            &self.config,
-                            base.clone(),
-                            cluster.max_parallelism(),
-                        );
+                        let alg1 =
+                            Algorithm1::new(&self.config, base.clone(), cluster.max_parallelism());
                         let r = alg1.run(cluster, Vec::new())?;
                         events.push(ControllerEvent::SteadyRateOptimized(r.clone()));
                         r
@@ -162,8 +163,7 @@ impl MapeController {
             }
             Some(_) => {
                 // Steady rate: intervene only on QoS violation or lag.
-                let qos_violated = metrics.processing_latency_ms
-                    > self.config.target_latency_ms
+                let qos_violated = metrics.processing_latency_ms > self.config.target_latency_ms
                     || !metrics.meets_rate(self.config.rate_tolerance);
                 if qos_violated {
                     let base = self
@@ -175,8 +175,7 @@ impl MapeController {
                         .closest(rate)
                         .map(|m| m.dataset.clone())
                         .unwrap_or_default();
-                    let alg1 =
-                        Algorithm1::new(&self.config, base, cluster.max_parallelism());
+                    let alg1 = Algorithm1::new(&self.config, base, cluster.max_parallelism());
                     let result = alg1.run(cluster, dataset)?;
                     self.library.insert(rate, result.dataset.clone());
                     events.push(ControllerEvent::SteadyRateOptimized(result));
@@ -224,14 +223,14 @@ fn rate_changed(old: f64, new: f64, threshold: f64) -> bool {
 mod tests {
     use super::*;
     use autrascale_flinkctl::FlinkCluster;
-    use autrascale_streamsim::{
-        JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
-    };
+    use autrascale_streamsim::{JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig};
 
     fn cluster_with(profile: RateProfile, seed: u64) -> FlinkCluster {
         let job = JobGraph::linear(vec![
             OperatorSpec::source("Source", 30_000.0),
-            OperatorSpec::sink("Sink", 5_000.0).with_sync_coeff(0.02).with_comm_cost_ms(3.0),
+            OperatorSpec::sink("Sink", 5_000.0)
+                .with_sync_coeff(0.02)
+                .with_comm_cost_ms(3.0),
         ])
         .unwrap();
         let config = SimulationConfig {
@@ -285,7 +284,9 @@ mod tests {
         fc.run_for(120.0);
         let events = ctrl.activate(&mut fc).unwrap();
         assert!(
-            events.iter().any(|e| matches!(e, ControllerEvent::NoActionNeeded)),
+            events
+                .iter()
+                .any(|e| matches!(e, ControllerEvent::NoActionNeeded)),
             "{events:?}"
         );
     }
@@ -313,7 +314,9 @@ mod tests {
             "{events:?}"
         );
         assert!(
-            events.iter().any(|e| matches!(e, ControllerEvent::Transferred(_))),
+            events
+                .iter()
+                .any(|e| matches!(e, ControllerEvent::Transferred(_))),
             "{events:?}"
         );
         assert_eq!(ctrl.library().len(), 2);

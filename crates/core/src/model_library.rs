@@ -29,7 +29,14 @@ impl BenefitModel {
             .map(|(k, _)| k.iter().map(|&v| v as f64).collect())
             .collect();
         let y: Vec<f64> = self.dataset.iter().map(|(_, s)| *s).collect();
-        fit_auto(x, y, &FitOptions { seed, ..Default::default() })
+        fit_auto(
+            x,
+            y,
+            &FitOptions {
+                seed,
+                ..Default::default()
+            },
+        )
     }
 
     /// Leave-one-out RMSE of the fitted model — the measurable form of
@@ -150,7 +157,10 @@ mod tests {
 
     #[test]
     fn model_fits_a_gp() {
-        let model = BenefitModel { rate: 1.0, dataset: sample_dataset() };
+        let model = BenefitModel {
+            rate: 1.0,
+            dataset: sample_dataset(),
+        };
         let gp = model.fit(7).unwrap();
         // Prediction near a training point tracks its score.
         let p = gp.predict(&[1.0, 2.0]);

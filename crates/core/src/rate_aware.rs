@@ -71,7 +71,11 @@ impl RateAwareModel {
             .next()
             .ok_or(RateAwareError::EmptyLibrary)?;
         let rate_scale = models.iter().map(|m| m.rate).sum::<f64>() / models.len() as f64;
-        let rate_scale = if rate_scale.abs() > 1e-9 { rate_scale } else { 1.0 };
+        let rate_scale = if rate_scale.abs() > 1e-9 {
+            rate_scale
+        } else {
+            1.0
+        };
 
         let mut x = Vec::new();
         let mut y = Vec::new();
@@ -95,10 +99,19 @@ impl RateAwareModel {
         let gp = fit_auto(
             x,
             y,
-            &FitOptions { ard: true, restarts: 3, seed, ..Default::default() },
+            &FitOptions {
+                ard: true,
+                restarts: 3,
+                seed,
+                ..Default::default()
+            },
         )
         .map_err(|e| RateAwareError::Fit(e.to_string()))?;
-        Ok(Self { gp, rate_scale, operators })
+        Ok(Self {
+            gp,
+            rate_scale,
+            operators,
+        })
     }
 
     /// Posterior prediction of the benefit score for configuration `k`
@@ -208,7 +221,10 @@ mod tests {
             })
             .unwrap();
         assert!((1..=3).contains(&best_8k), "8k optimum ~2, got {best_8k}");
-        assert!((3..=5).contains(&best_16k), "16k optimum ~4, got {best_16k}");
+        assert!(
+            (3..=5).contains(&best_16k),
+            "16k optimum ~4, got {best_16k}"
+        );
     }
 
     #[test]
@@ -225,7 +241,10 @@ mod tests {
                     .total_cmp(&model.predict(&[1, b], 12_000.0).mean)
             })
             .unwrap();
-        assert!((2..=4).contains(&best_12k), "12k optimum ~3, got {best_12k}");
+        assert!(
+            (2..=4).contains(&best_12k),
+            "12k optimum ~3, got {best_12k}"
+        );
     }
 
     #[test]

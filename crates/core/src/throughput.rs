@@ -62,7 +62,9 @@ pub struct ThroughputOptimizer {
 impl ThroughputOptimizer {
     /// Builds an optimizer with the given controller configuration.
     pub fn new(config: &AuTraScaleConfig) -> Self {
-        Self { config: config.clone() }
+        Self {
+            config: config.clone(),
+        }
     }
 
     /// Runs the full loop starting from the currently deployed
@@ -214,9 +216,7 @@ fn observed_selectivity(op: &autrascale_flinkctl::OperatorMetrics) -> f64 {
 mod tests {
     use super::*;
     use autrascale_flinkctl::FlinkCluster;
-    use autrascale_streamsim::{
-        JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
-    };
+    use autrascale_streamsim::{JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig};
 
     fn cluster(job: JobGraph, rate: f64, seed: u64) -> FlinkCluster {
         let config = SimulationConfig {
@@ -245,10 +245,16 @@ mod tests {
         ])
         .unwrap();
         let mut fc = cluster(job, 30_000.0, 1);
-        let outcome = ThroughputOptimizer::new(&fast_config()).run(&mut fc).unwrap();
+        let outcome = ThroughputOptimizer::new(&fast_config())
+            .run(&mut fc)
+            .unwrap();
         assert!(outcome.reached_input_rate, "{outcome:?}");
         // Map needs ~3 instances for 30k at 12k each.
-        assert!(outcome.final_parallelism[1] >= 3, "{:?}", outcome.final_parallelism);
+        assert!(
+            outcome.final_parallelism[1] >= 3,
+            "{:?}",
+            outcome.final_parallelism
+        );
         // Source and sink stay lean.
         assert_eq!(outcome.final_parallelism[0], 1);
         assert!(outcome.iterations <= 5, "iterations {}", outcome.iterations);
@@ -271,8 +277,16 @@ mod tests {
         assert!(!outcome.reached_input_rate);
         assert!(outcome.iterations <= cfg.max_throughput_iters);
         // Throughput pinned near the 5k cap.
-        assert!(outcome.final_throughput < 7_000.0, "{}", outcome.final_throughput);
-        assert!(outcome.final_throughput > 3_000.0, "{}", outcome.final_throughput);
+        assert!(
+            outcome.final_throughput < 7_000.0,
+            "{}",
+            outcome.final_throughput
+        );
+        assert!(
+            outcome.final_throughput > 3_000.0,
+            "{}",
+            outcome.final_throughput
+        );
     }
 
     #[test]
@@ -287,8 +301,14 @@ mod tests {
         ])
         .unwrap();
         let mut fc = cluster(job, 20_000.0, 3);
-        let outcome = ThroughputOptimizer::new(&fast_config()).run(&mut fc).unwrap();
-        let winner_total: u64 = outcome.final_parallelism.iter().map(|&p| u64::from(p)).sum();
+        let outcome = ThroughputOptimizer::new(&fast_config())
+            .run(&mut fc)
+            .unwrap();
+        let winner_total: u64 = outcome
+            .final_parallelism
+            .iter()
+            .map(|&p| u64::from(p))
+            .sum();
         for step in &outcome.history {
             let total: u64 = step.parallelism.iter().map(|&p| u64::from(p)).sum();
             let dominates = step.throughput >= outcome.final_throughput && total < winner_total;
@@ -305,7 +325,9 @@ mod tests {
         .unwrap();
         let mut fc = cluster(job, 10_000.0, 4);
         fc.submit(&[1, 1]).unwrap();
-        let outcome = ThroughputOptimizer::new(&fast_config()).run(&mut fc).unwrap();
+        let outcome = ThroughputOptimizer::new(&fast_config())
+            .run(&mut fc)
+            .unwrap();
         assert!(outcome.reached_input_rate);
         assert_eq!(outcome.iterations, 1);
         assert_eq!(outcome.final_parallelism, vec![1, 1]);
@@ -321,7 +343,9 @@ mod tests {
         // 200k input with 1k/instance operators: unbounded recommendation
         // would be 200; P_max (50) must clamp it.
         let mut fc = cluster(job, 200_000.0, 5);
-        let outcome = ThroughputOptimizer::new(&fast_config()).run(&mut fc).unwrap();
+        let outcome = ThroughputOptimizer::new(&fast_config())
+            .run(&mut fc)
+            .unwrap();
         assert!(outcome.final_parallelism.iter().all(|&p| p <= 50));
     }
 
@@ -336,9 +360,15 @@ mod tests {
         ])
         .unwrap();
         let mut fc = cluster(job, 20_000.0, 6);
-        let outcome = ThroughputOptimizer::new(&fast_config()).run(&mut fc).unwrap();
+        let outcome = ThroughputOptimizer::new(&fast_config())
+            .run(&mut fc)
+            .unwrap();
         assert!(outcome.reached_input_rate, "{outcome:?}");
         // Sink sees 40k records/s at 10k per instance ⇒ ≥ 4.
-        assert!(outcome.final_parallelism[2] >= 4, "{:?}", outcome.final_parallelism);
+        assert!(
+            outcome.final_parallelism[2] >= 4,
+            "{:?}",
+            outcome.final_parallelism
+        );
     }
 }

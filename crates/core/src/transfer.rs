@@ -64,11 +64,9 @@ impl TransferLearner {
         // measure the base configuration first (it must be deployed anyway
         // after throughput optimization).
         if d_c.is_empty() {
-            let record = self.algorithm1.evaluate(
-                cluster,
-                self.algorithm1.base(),
-                SamplePhase::BoStep,
-            )?;
+            let record =
+                self.algorithm1
+                    .evaluate(cluster, self.algorithm1.base(), SamplePhase::BoStep)?;
             d_c.push((record.parallelism.clone(), record.score));
             history.push(record.clone());
             num += 1;
@@ -153,7 +151,11 @@ impl TransferLearner {
         fit_auto(
             x,
             y,
-            &FitOptions { seed: self.config.seed, restarts: 2, ..Default::default() },
+            &FitOptions {
+                seed: self.config.seed,
+                restarts: 2,
+                ..Default::default()
+            },
         )
         .map_err(|e| e.to_string())
     }
@@ -184,9 +186,7 @@ impl TransferLearner {
 mod tests {
     use super::*;
     use autrascale_flinkctl::FlinkCluster;
-    use autrascale_streamsim::{
-        JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
-    };
+    use autrascale_streamsim::{JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig};
 
     fn job() -> JobGraph {
         JobGraph::linear(vec![
@@ -226,7 +226,10 @@ mod tests {
         fc.submit(&[1, 3]).unwrap();
         let alg = Algorithm1::new(&config(), vec![1, 3], 12);
         let outcome = alg.run(&mut fc, Vec::new()).unwrap();
-        BenefitModel { rate: 8_000.0, dataset: outcome.dataset }
+        BenefitModel {
+            rate: 8_000.0,
+            dataset: outcome.dataset,
+        }
     }
 
     #[test]
@@ -282,7 +285,10 @@ mod tests {
         };
         let mut fc = cluster_at(12_000.0, 13);
         fc.submit(&[1, 4]).unwrap();
-        let cfg = AuTraScaleConfig { n_num: 2, ..config() };
+        let cfg = AuTraScaleConfig {
+            n_num: 2,
+            ..config()
+        };
         let tl = TransferLearner::new(&cfg, vec![1, 4], 12);
         let outcome = tl.run(&mut fc, &prior, Vec::new()).unwrap();
         // Whatever path it takes, the result must be within the space and

@@ -14,8 +14,7 @@ fn parallelism_pair() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
             .prop_map(|(base, extra)| {
                 // current_i = base_i + extra_i keeps current ≥ base, the
                 // Algorithm 1 search-space invariant.
-                let current: Vec<u32> =
-                    base.iter().zip(&extra).map(|(b, e)| b + e).collect();
+                let current: Vec<u32> = base.iter().zip(&extra).map(|(b, e)| b + e).collect();
                 (base, current)
             })
     })

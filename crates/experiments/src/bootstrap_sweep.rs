@@ -64,18 +64,16 @@ pub fn run(seed: u64) -> BootstrapSweepReport {
                     let mut latency = 0.0;
                     let mut met = 0usize;
                     for &run_seed in &seeds {
-                        let sim = Simulation::new(w.default_config(run_seed))
-                            .expect("valid workload");
+                        let sim =
+                            Simulation::new(w.default_config(run_seed)).expect("valid workload");
                         let mut cluster = FlinkCluster::new(sim);
                         let mut config = paper_config(&w, run_seed);
                         config.bootstrap_m = m;
                         let thr = ThroughputOptimizer::new(&config)
                             .run(&mut cluster)
                             .expect("throughput phase");
-                        let alg1 =
-                            Algorithm1::new(&config, thr.final_parallelism, w.p_max());
-                        let outcome =
-                            alg1.run(&mut cluster, Vec::new()).expect("Algorithm 1");
+                        let alg1 = Algorithm1::new(&config, thr.final_parallelism, w.p_max());
+                        let outcome = alg1.run(&mut cluster, Vec::new()).expect("Algorithm 1");
                         boot = outcome.bootstrap_samples;
                         iters += outcome.iterations as f64;
                         total_p += outcome
@@ -99,7 +97,10 @@ pub fn run(seed: u64) -> BootstrapSweepReport {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep thread"))
+            .collect()
     });
 
     let report = BootstrapSweepReport { rows };
@@ -107,8 +108,13 @@ pub fn run(seed: u64) -> BootstrapSweepReport {
     output::write_csv(
         &dir.join("bootstrap_sweep.csv"),
         &[
-            "bootstrap_m", "bootstrap_samples", "bo_iterations", "total_evaluations",
-            "total_parallelism", "final_latency_ms", "qos_success_rate",
+            "bootstrap_m",
+            "bootstrap_samples",
+            "bo_iterations",
+            "total_evaluations",
+            "total_parallelism",
+            "final_latency_ms",
+            "qos_success_rate",
         ],
         report.rows.iter().map(|r| {
             vec![

@@ -125,10 +125,7 @@ fn fresh_cluster(workload: &Workload, scenario: Scenario, seed: u64) -> FlinkClu
 /// Steady-state verdict: settle the terminal configuration, then measure
 /// latency, throughput and lag trend over a clean window. All methods are
 /// judged by this same yardstick (Fig. 6 plots these latencies).
-fn steady_verdict(
-    cluster: &mut FlinkCluster,
-    workload: &Workload,
-) -> (f64, f64, bool) {
+fn steady_verdict(cluster: &mut FlinkCluster, workload: &Workload) -> (f64, f64, bool) {
     cluster.run_for(600.0);
     let Some(m) = cluster.metrics_over(150.0) else {
         return (f64::INFINITY, 0.0, false);
@@ -144,7 +141,9 @@ fn run_autrascale(workload: &Workload, scenario: Scenario, seed: u64) -> MethodR
         .run(&mut cluster)
         .expect("throughput optimization runs");
     let alg1 = Algorithm1::new(&config, thr.final_parallelism.clone(), workload.p_max());
-    let outcome = alg1.run(&mut cluster, Vec::new()).expect("Algorithm 1 runs");
+    let outcome = alg1
+        .run(&mut cluster, Vec::new())
+        .expect("Algorithm 1 runs");
     let (latency, throughput, meets) = steady_verdict(&mut cluster, workload);
     MethodResult {
         method: "AuTraScale".into(),
@@ -157,12 +156,7 @@ fn run_autrascale(workload: &Workload, scenario: Scenario, seed: u64) -> MethodR
     }
 }
 
-fn run_drs(
-    workload: &Workload,
-    scenario: Scenario,
-    metric: RateMetric,
-    seed: u64,
-) -> MethodResult {
+fn run_drs(workload: &Workload, scenario: Scenario, metric: RateMetric, seed: u64) -> MethodResult {
     let mut cluster = fresh_cluster(workload, scenario, seed);
     let drs = DrsPolicy::new(DrsConfig {
         target_latency_ms: workload.target_latency_ms,
@@ -190,8 +184,7 @@ fn run_scenario(workload: &Workload, scenario: Scenario, seed: u64) -> ScenarioR
     let methods: Vec<MethodResult> = std::thread::scope(|scope| {
         let a = scope.spawn(move || run_autrascale(workload, scenario, seed));
         let dt = scope.spawn(move || run_drs(workload, scenario, RateMetric::True, seed + 1));
-        let dobs =
-            scope.spawn(move || run_drs(workload, scenario, RateMetric::Observed, seed + 2));
+        let dobs = scope.spawn(move || run_drs(workload, scenario, RateMetric::Observed, seed + 2));
         vec![
             a.join().expect("autrascale thread"),
             dt.join().expect("drs-true thread"),
@@ -241,7 +234,10 @@ pub fn run(seed: u64) -> ElasticityReport {
         .map(|(w, s, sd)| scope.spawn(move || run_scenario(w, s, sd)))
         .into_iter()
         .collect();
-        handles.into_iter().map(|h| h.join().expect("scenario thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scenario thread"))
+            .collect()
     });
 
     let mean = |scenario: Scenario| {
@@ -262,8 +258,15 @@ pub fn run(seed: u64) -> ElasticityReport {
     output::write_csv(
         &dir.join("elasticity_tables_2_3.csv"),
         &[
-            "workload", "scenario", "method", "iterations", "final_parallelism",
-            "total_parallelism", "latency_ms", "throughput", "meets_qos",
+            "workload",
+            "scenario",
+            "method",
+            "iterations",
+            "final_parallelism",
+            "total_parallelism",
+            "latency_ms",
+            "throughput",
+            "meets_qos",
         ],
         report.scenarios.iter().flat_map(|b| {
             b.methods.iter().map(move |m| {

@@ -45,8 +45,8 @@ pub fn run(duration_secs: f64, seed: u64) -> Fig1Report {
     let w = wordcount();
     // 100k start, +50k per 10 min, capped at 300k.
     let profile = RateProfile::staircase(100_000.0, 50_000.0, 600.0, 300_000.0);
-    let mut sim = Simulation::new(w.config_with_profile(profile, seed))
-        .expect("valid workload config");
+    let mut sim =
+        Simulation::new(w.config_with_profile(profile, seed)).expect("valid workload config");
     sim.deploy(&[2, 2, 2, 2]).expect("parallelism 2 is valid");
 
     let sample_interval = 10.0;
@@ -80,7 +80,14 @@ pub fn run(duration_secs: f64, seed: u64) -> Fig1Report {
     let dir = output::results_dir();
     output::write_csv(
         &dir.join("fig1_case1.csv"),
-        &["minute", "input_rate", "throughput", "kafka_lag", "proc_latency_ms", "event_latency_ms"],
+        &[
+            "minute",
+            "input_rate",
+            "throughput",
+            "kafka_lag",
+            "proc_latency_ms",
+            "event_latency_ms",
+        ],
         report.series.iter().map(|p| {
             vec![
                 format!("{:.2}", p.minute),

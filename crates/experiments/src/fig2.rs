@@ -52,7 +52,10 @@ pub fn run(run_secs: f64, seed: u64) -> Fig2Report {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("sub-test thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sub-test thread"))
+            .collect()
     });
     points.sort_by_key(|p| p.parallelism);
 
@@ -88,7 +91,11 @@ mod tests {
         assert!(t[1] < t[0] * 2.0, "{t:?}");
         assert!(t[2] >= t[1], "{t:?}");
         // Observation 2.2: latency improves from p=1 to mid-range…
-        let l: Vec<f64> = report.points.iter().map(|p| p.processing_latency_ms).collect();
+        let l: Vec<f64> = report
+            .points
+            .iter()
+            .map(|p| p.processing_latency_ms)
+            .collect();
         let l_min = l.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(l[0] > l_min, "{l:?}");
         // …and the provisioned tail (p≥4) is not monotonically improving:

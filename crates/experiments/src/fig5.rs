@@ -64,14 +64,24 @@ pub fn run_fig5a(seed: u64) -> Fig5aReport {
             .iter()
             .map(|w| scope.spawn(move || optimize(w, seed)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("workload thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("workload thread"))
+            .collect()
     });
 
     let report = Fig5aReport { rows };
     let dir = output::results_dir();
     output::write_csv(
         &dir.join("fig5a_throughput_optimization.csv"),
-        &["workload", "input_rate", "iterations", "final_parallelism", "final_throughput", "reached"],
+        &[
+            "workload",
+            "input_rate",
+            "iterations",
+            "final_parallelism",
+            "final_throughput",
+            "reached",
+        ],
         report.rows.iter().map(|r| {
             vec![
                 r.workload.clone(),
@@ -172,7 +182,10 @@ mod tests {
     #[test]
     fn yahoo_trace_is_capped() {
         let report = run_fig5b(13);
-        assert!(report.final_throughput < report.input_rate * 0.8, "{report:?}");
+        assert!(
+            report.final_throughput < report.input_rate * 0.8,
+            "{report:?}"
+        );
         // Max uniform parallelism doesn't break the Redis ceiling.
         assert!(
             report.max_uniform_throughput < report.final_throughput * 1.25,

@@ -155,7 +155,9 @@ pub fn run_query(
             .run(&mut cluster)
             .expect("old-rate throughput optimization");
         let alg1 = Algorithm1::new(&config, thr_old.final_parallelism.clone(), workload.p_max());
-        let trained = alg1.run(&mut cluster, Vec::new()).expect("old-rate Algorithm 1");
+        let trained = alg1
+            .run(&mut cluster, Vec::new())
+            .expect("old-rate Algorithm 1");
         let mut library = ModelLibrary::new();
         library.insert(old_rate, trained.dataset);
         (library, thr_old.final_parallelism)
@@ -173,8 +175,13 @@ pub fn run_query(
             .expect("new-rate throughput optimization");
         settle(&mut cluster, new_rate);
         let tl = TransferLearner::new(&config, thr_new.final_parallelism.clone(), workload.p_max());
-        let prior = library.closest(new_rate).expect("library has the old model").clone();
-        let outcome = tl.run(&mut cluster, &prior, Vec::new()).expect("Algorithm 2 runs");
+        let prior = library
+            .closest(new_rate)
+            .expect("library has the old model")
+            .clone();
+        let outcome = tl
+            .run(&mut cluster, &prior, Vec::new())
+            .expect("Algorithm 2 runs");
         settle(&mut cluster, new_rate);
         method_result(
             "AuTraScale-transfer",
@@ -196,7 +203,12 @@ pub fn run_query(
         });
         let outcome = policy.run(&mut cluster).expect("DS2 runs");
         settle(&mut cluster, new_rate);
-        method_result("DS2-offline", outcome.iterations, outcome.final_parallelism, &cluster)
+        method_result(
+            "DS2-offline",
+            outcome.iterations,
+            outcome.final_parallelism,
+            &cluster,
+        )
     };
 
     TransferQueryResult {
@@ -215,7 +227,10 @@ pub fn run(seed: u64) -> Fig8Report {
     let queries: Vec<TransferQueryResult> = std::thread::scope(|scope| {
         let h5 = scope.spawn(|| run_query(&q5, 20_000.0, 30_000.0, seed));
         let h11 = scope.spawn(|| run_query(&q11, 80_000.0, 100_000.0, seed + 100));
-        vec![h5.join().expect("q5 thread"), h11.join().expect("q11 thread")]
+        vec![
+            h5.join().expect("q5 thread"),
+            h11.join().expect("q11 thread"),
+        ]
     });
 
     let savings: Vec<(f64, f64, f64)> = queries
@@ -249,9 +264,17 @@ pub fn run(seed: u64) -> Fig8Report {
     output::write_csv(
         &dir.join("fig8_transfer.csv"),
         &[
-            "query", "method", "iterations", "final_parallelism", "total_parallelism",
-            "latency_mean_ms", "latency_p50_ms", "latency_p95_ms", "latency_p99_ms",
-            "cpu_cores", "memory_gb",
+            "query",
+            "method",
+            "iterations",
+            "final_parallelism",
+            "total_parallelism",
+            "latency_mean_ms",
+            "latency_p50_ms",
+            "latency_p95_ms",
+            "latency_p99_ms",
+            "cpu_cores",
+            "memory_gb",
         ],
         report.queries.iter().flat_map(|q| {
             q.methods.iter().map(move |m| {

@@ -8,9 +8,7 @@
 //! Artifacts land in `results/` (override with `AUTRASCALE_RESULTS_DIR`);
 //! a markdown summary prints to stdout.
 
-use autrascale_experiments::{
-    bootstrap_sweep, elasticity, fig1, fig2, fig5, fig8, output, table4,
-};
+use autrascale_experiments::{bootstrap_sweep, elasticity, fig1, fig2, fig5, fig8, output, table4};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -71,7 +69,13 @@ fn run_fig1(seed: u64) {
     println!(
         "{}",
         output::markdown_table(
-            &["minute", "input", "throughput", "kafka lag", "event latency (ms)"],
+            &[
+                "minute",
+                "input",
+                "throughput",
+                "kafka lag",
+                "event latency (ms)"
+            ],
             &rows
         )
     );
@@ -99,7 +103,10 @@ fn run_fig2(seed: u64) {
         .collect();
     println!(
         "{}",
-        output::markdown_table(&["parallelism", "throughput", "latency (ms)", "kafka lag"], &rows)
+        output::markdown_table(
+            &["parallelism", "throughput", "latency (ms)", "kafka lag"],
+            &rows
+        )
     );
 }
 
@@ -116,14 +123,25 @@ fn run_fig5a(seed: u64) {
                 r.iterations.to_string(),
                 output::fmt_parallelism(&r.final_parallelism),
                 output::fmt_rate(r.final_throughput),
-                if r.reached_input_rate { "yes".into() } else { "no (capped)".into() },
+                if r.reached_input_rate {
+                    "yes".into()
+                } else {
+                    "no (capped)".into()
+                },
             ]
         })
         .collect();
     println!(
         "{}",
         output::markdown_table(
-            &["workload", "input rate", "iterations", "terminal parallelism", "throughput", "reached rate"],
+            &[
+                "workload",
+                "input rate",
+                "iterations",
+                "terminal parallelism",
+                "throughput",
+                "reached rate"
+            ],
             &rows
         )
     );
@@ -144,7 +162,10 @@ fn run_fig5b(seed: u64) {
             ]
         })
         .collect();
-    println!("{}", output::markdown_table(&["step", "parallelism", "throughput"], &rows));
+    println!(
+        "{}",
+        output::markdown_table(&["step", "parallelism", "throughput"], &rows)
+    );
     println!(
         "Selected {} at {}; max uniform parallelism gives only {} (input rate {}) — the Redis cap holds.\n",
         output::fmt_parallelism(&report.final_parallelism),
@@ -183,7 +204,15 @@ fn run_elasticity(seed: u64) {
         println!(
             "{}",
             output::markdown_table(
-                &["method", "iterations", "terminal parallelism", "Σp", "latency (ms)", "throughput", "meets QoS"],
+                &[
+                    "method",
+                    "iterations",
+                    "terminal parallelism",
+                    "Σp",
+                    "latency (ms)",
+                    "throughput",
+                    "meets QoS"
+                ],
                 &rows
             )
         );
@@ -224,7 +253,16 @@ fn run_fig8(seed: u64) {
         println!(
             "{}",
             output::markdown_table(
-                &["method", "iterations", "terminal parallelism", "Σp", "mean lat (ms)", "p99 lat (ms)", "CPU cores", "mem (GB)"],
+                &[
+                    "method",
+                    "iterations",
+                    "terminal parallelism",
+                    "Σp",
+                    "mean lat (ms)",
+                    "p99 lat (ms)",
+                    "CPU cores",
+                    "mem (GB)"
+                ],
                 &rows
             )
         );
@@ -256,7 +294,15 @@ fn run_bootstrap_sweep(seed: u64) {
     println!(
         "{}",
         output::markdown_table(
-            &["M", "bootstrap evals", "mean BO iters", "mean total evals", "mean Σp", "mean latency (ms)", "QoS success"],
+            &[
+                "M",
+                "bootstrap evals",
+                "mean BO iters",
+                "mean total evals",
+                "mean Σp",
+                "mean latency (ms)",
+                "QoS success"
+            ],
             &rows
         )
     );
@@ -279,6 +325,9 @@ fn run_table4(seed: u64) {
         .collect();
     println!(
         "{}",
-        output::markdown_table(&["operators", "Alg1_train (s)", "Alg1_use (s)", "Alg2 (s)"], &rows)
+        output::markdown_table(
+            &["operators", "Alg1_train (s)", "Alg1_use (s)", "Alg2 (s)"],
+            &rows
+        )
     );
 }

@@ -70,8 +70,16 @@ fn features(dataset: &[(Vec<u32>, f64)]) -> (Vec<Vec<f64>>, Vec<f64>) {
 
 fn fit(dataset: &[(Vec<u32>, f64)], seed: u64) -> GaussianProcess {
     let (x, y) = features(dataset);
-    fit_auto(x, y, &FitOptions { seed, restarts: 3, ..Default::default() })
-        .expect("synthetic dataset fits")
+    fit_auto(
+        x,
+        y,
+        &FitOptions {
+            seed,
+            restarts: 3,
+            ..Default::default()
+        },
+    )
+    .expect("synthetic dataset fits")
 }
 
 /// Median wall time of `f` over `reps` runs, seconds.
@@ -140,7 +148,10 @@ pub fn run(seed: u64) -> Table4Report {
             // Recommendation on the augmented set.
             let mut bo = BayesOpt::new(
                 space.clone(),
-                BoOptions { sampled_candidates: 256, ..Default::default() },
+                BoOptions {
+                    sampled_candidates: 256,
+                    ..Default::default()
+                },
             );
             for (k, s) in &d_predict {
                 bo.observe(k.clone(), *s);
@@ -148,7 +159,12 @@ pub fn run(seed: u64) -> Table4Report {
             let _ = std::hint::black_box(bo.suggest());
         });
 
-        rows.push(Table4Row { operators: n, alg1_train_s, alg1_use_s, alg2_s });
+        rows.push(Table4Row {
+            operators: n,
+            alg1_train_s,
+            alg1_use_s,
+            alg2_s,
+        });
     }
 
     let report = Table4Report { rows };
@@ -194,6 +210,9 @@ mod tests {
     fn synthetic_dataset_is_reproducible() {
         let mut a = StdRng::seed_from_u64(1);
         let mut b = StdRng::seed_from_u64(1);
-        assert_eq!(synthetic_dataset(3, 5, 10, &mut a), synthetic_dataset(3, 5, 10, &mut b));
+        assert_eq!(
+            synthetic_dataset(3, 5, 10, &mut a),
+            synthetic_dataset(3, 5, 10, &mut b)
+        );
     }
 }

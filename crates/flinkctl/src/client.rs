@@ -25,7 +25,10 @@ pub struct FlinkCluster {
 impl FlinkCluster {
     /// Wraps a simulation.
     pub fn new(sim: Simulation) -> Self {
-        Self { sim, submitted: false }
+        Self {
+            sim,
+            submitted: false,
+        }
     }
 
     /// Submits the job with its initial parallelism (starts immediately).
@@ -132,8 +135,7 @@ impl FlinkCluster {
             let mut sum_observed = 0.0;
             let mut counted = 0u32;
             for subtask in 0..p as usize {
-                let tkey =
-                    metrics::instance_key(metrics::TRUE_PROCESSING_RATE, &op.name, subtask);
+                let tkey = metrics::instance_key(metrics::TRUE_PROCESSING_RATE, &op.name, subtask);
                 let okey =
                     metrics::instance_key(metrics::OBSERVED_PROCESSING_RATE, &op.name, subtask);
                 if let (Some(t), Some(o)) = (
@@ -245,7 +247,12 @@ mod tests {
         // True rate total should be near 3 × 30k modulo contention.
         assert!(map.true_rate_total > 60_000.0, "{}", map.true_rate_total);
         // Throughput keeps up with the producer.
-        assert!(m.meets_rate(0.1), "throughput {} rate {}", m.throughput, m.producer_rate);
+        assert!(
+            m.meets_rate(0.1),
+            "throughput {} rate {}",
+            m.throughput,
+            m.producer_rate
+        );
     }
 
     #[test]

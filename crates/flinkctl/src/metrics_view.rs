@@ -67,9 +67,17 @@ impl JobMetrics {
     /// assumed (linear chain).
     pub fn predecessors(&self, i: usize) -> Vec<usize> {
         if self.edges.is_empty() {
-            if i == 0 { Vec::new() } else { vec![i - 1] }
+            if i == 0 {
+                Vec::new()
+            } else {
+                vec![i - 1]
+            }
         } else {
-            self.edges.iter().filter(|(_, t)| *t == i).map(|(f, _)| *f).collect()
+            self.edges
+                .iter()
+                .filter(|(_, t)| *t == i)
+                .map(|(f, _)| *f)
+                .collect()
         }
     }
 
@@ -97,7 +105,7 @@ impl JobMetrics {
             return false;
         }
         let window_len = (self.window.1 - self.window.0).max(1.0);
-        
+
         self.kafka_lag <= self.producer_rate.max(1.0)
             || self.kafka_lag_delta <= 0.01 * self.producer_rate * window_len
     }

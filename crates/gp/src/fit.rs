@@ -5,12 +5,26 @@
 //! whose log marginal likelihood is highest. Multi-start matters: the LML
 //! surface of small training sets is multi-modal (a "fit everything as
 //! noise" mode competes with the interpolating mode).
+//!
+//! Two properties keep the search fast without changing its result:
+//!
+//! * every LML evaluation rebuilds the Gram matrix from a
+//!   [`PairwiseSqDists`] cache computed once per training set — O(n²)
+//!   rescaling per evaluation instead of O(n²·d) kernel evaluations (the
+//!   kernels are stationary; see the invariant note in [`crate::kernel`]);
+//! * the independent Nelder–Mead restarts run in parallel via `rayon`.
+//!   Each restart is deterministic given its start point and the winner is
+//!   chosen by scanning results in start order, so the fitted model is
+//!   identical to the serial search.
 
 use crate::gaussian_process::{GaussianProcess, GpConfig, GpError};
+use crate::gram::PairwiseSqDists;
 use crate::kernel::{Kernel, KernelKind};
 use crate::neldermead::{minimize, NelderMeadOptions};
+use autrascale_linalg::Cholesky;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// Options for [`fit_auto`].
 #[derive(Debug, Clone)]
@@ -58,13 +72,39 @@ pub fn fit_auto(
         return Err(GpError::EmptyTrainingSet);
     }
     let dim = x[0].len();
+    if x.len() != y.len() || x.iter().any(|xi| xi.len() != dim) || y.iter().any(|v| !v.is_finite())
+    {
+        // Invalid inputs fail every candidate; delegate to `fit` for the
+        // precise error (LengthMismatch / RaggedInputs / NonFiniteTarget).
+        return GaussianProcess::fit(
+            x,
+            y,
+            GpConfig {
+                kernel: Kernel::isotropic(options.kind, 1.0, 1.0),
+                noise_variance: 1e-4,
+                normalize_y: true,
+            },
+        );
+    }
+    let n = x.len();
     let n_ls = if options.ard { dim } else { 1 };
 
     // Heuristic initial lengthscale: the median coordinate span.
     let span = input_span(&x).max(1e-3);
     let init_ls = (span / 2.0).max(1e-3);
 
-    let build = |params: &[f64]| -> Option<GpConfig> {
+    // Loop invariants of the LML objective, hoisted out of the ~10³
+    // evaluations a fit performs: the target normalization (the same
+    // formulas `GaussianProcess::fit` applies with `normalize_y`) and the
+    // hyperparameter-independent pairwise distances.
+    let y_mean = autrascale_linalg::mean(&y);
+    let y_sd = autrascale_linalg::variance(&y).sqrt();
+    let y_std = if y_sd > 1e-12 { y_sd } else { 1.0 };
+    let y_norm: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+    let dists = PairwiseSqDists::new(&x, options.ard && dim > 1);
+    let log_2pi_term = 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+
+    let build = |params: &[f64]| -> Option<(Kernel, f64)> {
         let ls: Vec<f64> = params[..n_ls].iter().map(|p| p.exp()).collect();
         let sig = params[n_ls].exp();
         let noise = params[n_ls + 1].exp().max(options.min_noise_variance);
@@ -79,15 +119,24 @@ pub fn fit_auto(
         } else {
             Kernel::isotropic(options.kind, ls[0], sig)
         };
-        Some(GpConfig { kernel, noise_variance: noise, normalize_y: true })
+        Some((kernel, noise))
     };
 
+    // Negative LML of the candidate hyperparameters, computed exactly as
+    // `GaussianProcess::fit` would (bit-identical Gram, factorization and
+    // likelihood) but without cloning or revalidating the training data.
     let objective = |params: &[f64]| -> f64 {
-        let Some(cfg) = build(params) else { return f64::NAN };
-        match GaussianProcess::fit(x.clone(), y.clone(), cfg) {
-            Ok(gp) => -gp.log_marginal_likelihood(),
-            Err(_) => f64::NAN,
-        }
+        let Some((kernel, noise)) = build(params) else {
+            return f64::NAN;
+        };
+        let gram = dists.gram(&kernel, noise);
+        let Ok(chol) = Cholesky::decompose(&gram) else {
+            return f64::NAN;
+        };
+        let alpha = chol.solve(&y_norm);
+        let data_fit: f64 = y_norm.iter().zip(&alpha).map(|(a, b)| a * b).sum();
+        let lml = -0.5 * data_fit - 0.5 * chol.log_determinant() - log_2pi_term;
+        -lml
     };
 
     let mut starts: Vec<Vec<f64>> = Vec::with_capacity(options.restarts + 1);
@@ -111,24 +160,40 @@ pub fn fit_auto(
         ..Default::default()
     };
 
-    let mut best: Option<GaussianProcess> = None;
-    for start in &starts {
-        let result = minimize(objective, start, nm_opts);
-        if let Some(cfg) = build(&result.x) {
-            if let Ok(gp) = GaussianProcess::fit(x.clone(), y.clone(), cfg) {
-                let better = best
-                    .as_ref()
-                    .map(|b| gp.log_marginal_likelihood() > b.log_marginal_likelihood())
-                    .unwrap_or(true);
-                if better {
-                    best = Some(gp);
-                }
-            }
+    // Restarts are independent; run them in parallel. `collect` preserves
+    // start order, and the winner scan below is serial, so the outcome
+    // matches the sequential loop exactly.
+    let objective = &objective;
+    let results: Vec<_> = starts
+        .par_iter()
+        .map(|start| minimize(objective, start, nm_opts))
+        .collect();
+
+    // A non-NaN objective value means the candidate built and factorized;
+    // smaller fx ⇔ larger LML. First valid result wins ties (start order).
+    let mut best: Option<(usize, f64)> = None;
+    for (i, r) in results.iter().enumerate() {
+        if r.fx.is_nan() {
+            continue;
+        }
+        if best.map(|(_, fx)| r.fx < fx).unwrap_or(true) {
+            best = Some((i, r.fx));
         }
     }
 
     match best {
-        Some(gp) => Ok(gp),
+        Some((idx, _)) => {
+            let (kernel, noise) = build(&results[idx].x).expect("winning candidate re-validates");
+            GaussianProcess::fit(
+                x,
+                y,
+                GpConfig {
+                    kernel,
+                    noise_variance: noise,
+                    normalize_y: true,
+                },
+            )
+        }
         // Every optimized candidate failed; fall back to the heuristic.
         None => GaussianProcess::fit(
             x,
@@ -177,16 +242,10 @@ mod tests {
     fn fitted_lml_not_worse_than_default_config() {
         let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = x.iter().map(|v| 0.1 * v[0] * v[0]).collect();
-        let default_gp = GaussianProcess::fit(
-            x.clone(),
-            y.clone(),
-            GpConfig::paper_default(1.0),
-        )
-        .unwrap();
+        let default_gp =
+            GaussianProcess::fit(x.clone(), y.clone(), GpConfig::paper_default(1.0)).unwrap();
         let fitted = fit_auto(x, y, &FitOptions::default()).unwrap();
-        assert!(
-            fitted.log_marginal_likelihood() >= default_gp.log_marginal_likelihood() - 1e-9
-        );
+        assert!(fitted.log_marginal_likelihood() >= default_gp.log_marginal_likelihood() - 1e-9);
     }
 
     #[test]
@@ -202,6 +261,32 @@ mod tests {
     }
 
     #[test]
+    fn objective_lml_matches_refit_lml_bitwise() {
+        // The cached-distance objective must report exactly the likelihood
+        // the returned model ends up with — the winner is selected by
+        // objective value but refit through `GaussianProcess::fit`.
+        let x: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![i as f64 * 0.3, (i % 3) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| (v[0]).sin() + 0.2 * v[1]).collect();
+        for ard in [false, true] {
+            let opts = FitOptions {
+                ard,
+                restarts: 2,
+                ..Default::default()
+            };
+            let gp = fit_auto(x.clone(), y.clone(), &opts).unwrap();
+            // Refit with the fitted hyperparameters through the plain path.
+            let refit = GaussianProcess::fit(x.clone(), y.clone(), gp.config().clone()).unwrap();
+            assert_eq!(
+                gp.log_marginal_likelihood().to_bits(),
+                refit.log_marginal_likelihood().to_bits(),
+                "ard={ard}"
+            );
+        }
+    }
+
+    #[test]
     fn ard_fits_multidim_inputs() {
         // f depends on dim 0 only; ARD should still fit fine.
         let mut x = Vec::new();
@@ -212,7 +297,11 @@ mod tests {
                 y.push(i as f64 * 0.5);
             }
         }
-        let opts = FitOptions { ard: true, restarts: 2, ..Default::default() };
+        let opts = FitOptions {
+            ard: true,
+            restarts: 2,
+            ..Default::default()
+        };
         let gp = fit_auto(x, y, &opts).unwrap();
         let p = gp.predict(&[2.0, 3.5]);
         assert!((p.mean - 1.0).abs() < 0.3, "mean {}", p.mean);
@@ -223,6 +312,26 @@ mod tests {
         assert!(matches!(
             fit_auto(vec![], vec![], &FitOptions::default()),
             Err(GpError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn invalid_inputs_error_precisely() {
+        assert!(matches!(
+            fit_auto(vec![vec![0.0]], vec![1.0, 2.0], &FitOptions::default()),
+            Err(GpError::LengthMismatch { x: 1, y: 2 })
+        ));
+        assert!(matches!(
+            fit_auto(
+                vec![vec![0.0], vec![0.0, 1.0]],
+                vec![1.0, 2.0],
+                &FitOptions::default()
+            ),
+            Err(GpError::RaggedInputs)
+        ));
+        assert!(matches!(
+            fit_auto(vec![vec![0.0]], vec![f64::NAN], &FitOptions::default()),
+            Err(GpError::NonFiniteTarget)
         ));
     }
 

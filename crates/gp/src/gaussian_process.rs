@@ -28,11 +28,7 @@ impl GpConfig {
     /// targets.
     pub fn paper_default(dim_hint: f64) -> Self {
         Self {
-            kernel: Kernel::isotropic(
-                crate::kernel::KernelKind::Matern52,
-                dim_hint.max(1e-3),
-                1.0,
-            ),
+            kernel: Kernel::isotropic(crate::kernel::KernelKind::Matern52, dim_hint.max(1e-3), 1.0),
             noise_variance: 1e-4,
             normalize_y: true,
         }
@@ -80,6 +76,21 @@ pub struct Prediction {
     pub std: f64,
 }
 
+/// Reusable buffers for repeated prediction without per-query allocation.
+///
+/// Candidate scoring in `autrascale-bayesopt` calls the GP thousands of
+/// times per `suggest`; routing those calls through
+/// [`GaussianProcess::predict_with`] with one scratch per worker keeps the
+/// hot loop allocation-free. A default-constructed scratch works for any
+/// GP — buffers are grown on first use.
+#[derive(Debug, Clone, Default)]
+pub struct PredictScratch {
+    /// Cross-covariance vector `k* = k(X, x)`.
+    k_star: Vec<f64>,
+    /// Whitened cross-covariance `v = L⁻¹ k*`.
+    v: Vec<f64>,
+}
+
 /// A trained exact Gaussian-process regressor.
 #[derive(Debug, Clone)]
 pub struct GaussianProcess {
@@ -103,7 +114,10 @@ impl GaussianProcess {
             return Err(GpError::EmptyTrainingSet);
         }
         if x.len() != y.len() {
-            return Err(GpError::LengthMismatch { x: x.len(), y: y.len() });
+            return Err(GpError::LengthMismatch {
+                x: x.len(),
+                y: y.len(),
+            });
         }
         let dim = x[0].len();
         if x.iter().any(|xi| xi.len() != dim) {
@@ -155,23 +169,61 @@ impl GaussianProcess {
     /// Panics if `query` has a different dimensionality than the training
     /// inputs.
     pub fn predict(&self, query: &[f64]) -> Prediction {
+        self.predict_with(query, &mut PredictScratch::default())
+    }
+
+    /// [`Self::predict`] reusing caller-owned buffers: zero allocations
+    /// once `scratch` has been warmed by a first call against this GP.
+    ///
+    /// Produces bit-identical results to `predict` — it *is* the
+    /// implementation behind it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` has a different dimensionality than the training
+    /// inputs.
+    pub fn predict_with(&self, query: &[f64], scratch: &mut PredictScratch) -> Prediction {
         assert_eq!(
             query.len(),
             self.x[0].len(),
             "query dimensionality differs from training inputs"
         );
-        let k_star: Vec<f64> = self.x.iter().map(|xi| self.config.kernel.eval(xi, query)).collect();
-        let mean_norm: f64 = k_star.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
+        scratch.k_star.clear();
+        scratch
+            .k_star
+            .extend(self.x.iter().map(|xi| self.config.kernel.eval(xi, query)));
+        let mean_norm: f64 = scratch
+            .k_star
+            .iter()
+            .zip(&self.alpha)
+            .map(|(a, b)| a * b)
+            .sum();
 
         // var = k(x,x) - vᵀv with v = L⁻¹ k*.
-        let v = self.chol.solve_lower(&k_star);
+        self.chol.solve_lower_into(&scratch.k_star, &mut scratch.v);
         let prior_var = self.config.kernel.eval(query, query);
-        let var_norm = (prior_var - v.iter().map(|vi| vi * vi).sum::<f64>()).max(0.0);
+        let var_norm = (prior_var - scratch.v.iter().map(|vi| vi * vi).sum::<f64>()).max(0.0);
 
         Prediction {
             mean: mean_norm * self.y_std + self.y_mean,
             std: var_norm.sqrt() * self.y_std,
         }
+    }
+
+    /// Posterior predictions at many query points, sharing one scratch
+    /// allocation across the batch. Equivalent to (and bit-identical with)
+    /// calling [`Self::predict`] per query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query has a different dimensionality than the
+    /// training inputs.
+    pub fn predict_batch(&self, queries: &[Vec<f64>]) -> Vec<Prediction> {
+        let mut scratch = PredictScratch::default();
+        queries
+            .iter()
+            .map(|q| self.predict_with(q, &mut scratch))
+            .collect()
     }
 
     /// Log marginal likelihood of the (normalized) training targets.
@@ -237,7 +289,11 @@ mod tests {
         for (xi, yi) in x.iter().zip(&y) {
             let p = gp.predict(xi);
             assert!((p.mean - yi).abs() < 1e-3, "at {xi:?}: {} vs {yi}", p.mean);
-            assert!(p.std < 0.05, "training-point std should be tiny, got {}", p.std);
+            assert!(
+                p.std < 0.05,
+                "training-point std should be tiny, got {}",
+                p.std
+            );
         }
     }
 
@@ -257,7 +313,11 @@ mod tests {
         let y = vec![2.0, 4.0];
         let gp = GaussianProcess::fit(x, y, config()).unwrap();
         let p = gp.predict(&[100.0]);
-        assert!((p.mean - 3.0).abs() < 1e-6, "should revert to mean 3, got {}", p.mean);
+        assert!(
+            (p.mean - 3.0).abs() < 1e-6,
+            "should revert to mean 3, got {}",
+            p.mean
+        );
     }
 
     #[test]
@@ -312,7 +372,9 @@ mod tests {
     fn higher_noise_means_smoother_fit() {
         let x: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
         // Alternating targets — pure noise.
-        let y: Vec<f64> = (0..8).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = (0..8)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let mut noisy_cfg = config();
         noisy_cfg.noise_variance = 10.0;
         let smooth = GaussianProcess::fit(x.clone(), y.clone(), noisy_cfg).unwrap();
@@ -340,10 +402,35 @@ mod tests {
     }
 
     #[test]
+    fn predict_batch_matches_scalar_predict_bitwise() {
+        let x: Vec<Vec<f64>> = (0..15)
+            .map(|i| vec![i as f64 * 0.4, (i % 4) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| (v[0] * 0.9).sin() + 0.1 * v[1]).collect();
+        let gp = GaussianProcess::fit(x, y, GpConfig::paper_default(1.0)).unwrap();
+        let queries: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64 * 0.17, (i % 5) as f64 * 0.5])
+            .collect();
+        let batch = gp.predict_batch(&queries);
+        let mut scratch = PredictScratch::default();
+        for (q, b) in queries.iter().zip(&batch) {
+            let p = gp.predict(q);
+            assert_eq!(p.mean.to_bits(), b.mean.to_bits());
+            assert_eq!(p.std.to_bits(), b.std.to_bits());
+            let pw = gp.predict_with(q, &mut scratch);
+            assert_eq!(pw.mean.to_bits(), b.mean.to_bits());
+            assert_eq!(pw.std.to_bits(), b.std.to_bits());
+        }
+    }
+
+    #[test]
     fn predict_panics_on_dim_mismatch() {
-        let gp =
-            GaussianProcess::fit(vec![vec![0.0, 1.0]], vec![1.0], GpConfig::paper_default(1.0))
-                .unwrap();
+        let gp = GaussianProcess::fit(
+            vec![vec![0.0, 1.0]],
+            vec![1.0],
+            GpConfig::paper_default(1.0),
+        )
+        .unwrap();
         let result = std::panic::catch_unwind(|| gp.predict(&[0.0]));
         assert!(result.is_err());
     }
@@ -360,17 +447,14 @@ impl GaussianProcess {
     /// of the model will gradually increase as the training data
     /// increases" made measurable.
     pub fn loo_residuals(&self) -> Vec<f64> {
-        let n = self.len();
-        // [K⁻¹]_{ii}: solve K z = e_i column by column (n is tens at most).
-        let mut residuals = Vec::with_capacity(n);
-        for i in 0..n {
-            let mut e = vec![0.0; n];
-            e[i] = 1.0;
-            let z = self.chol.solve(&e);
-            let kinv_ii = z[i].max(1e-300);
-            residuals.push(self.alpha[i] / kinv_ii * self.y_std);
-        }
-        residuals
+        // [K⁻¹]_{ii} for all i in one O(n³/6) pass over L⁻¹ — replaces the
+        // former O(n³) per-index unit-vector solves.
+        let kinv_diag = self.chol.inverse_diagonal();
+        self.alpha
+            .iter()
+            .zip(&kinv_diag)
+            .map(|(alpha_i, kinv_ii)| alpha_i / kinv_ii.max(1e-300) * self.y_std)
+            .collect()
     }
 
     /// Root-mean-square leave-one-out error in the original target scale.
@@ -470,8 +554,11 @@ impl GaussianProcess {
         let mut means = Vec::with_capacity(m);
         let mut whitened: Vec<Vec<f64>> = Vec::with_capacity(m);
         for q in queries {
-            let k_star: Vec<f64> =
-                self.x.iter().map(|xi| self.config.kernel.eval(xi, q)).collect();
+            let k_star: Vec<f64> = self
+                .x
+                .iter()
+                .map(|xi| self.config.kernel.eval(xi, q))
+                .collect();
             let mean_norm: f64 = k_star.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
             means.push(mean_norm * self.y_std + self.y_mean);
             whitened.push(self.chol.solve_lower(&k_star));
@@ -481,8 +568,11 @@ impl GaussianProcess {
         let scale = self.y_std * self.y_std;
         let cov = autrascale_linalg::Matrix::from_fn(m, m, |i, j| {
             let prior = self.config.kernel.eval(&queries[i], &queries[j]);
-            let reduction: f64 =
-                whitened[i].iter().zip(&whitened[j]).map(|(a, b)| a * b).sum();
+            let reduction: f64 = whitened[i]
+                .iter()
+                .zip(&whitened[j])
+                .map(|(a, b)| a * b)
+                .sum();
             (prior - reduction) * scale
         });
         (means, cov)
@@ -501,8 +591,7 @@ impl GaussianProcess {
         assert_eq!(z.len(), queries.len(), "need one deviate per query");
         let (means, cov) = self.predict_joint(queries);
         // Jitter-robust factorization of the (PSD) posterior covariance.
-        let chol = Cholesky::decompose(&cov)
-            .expect("posterior covariance is PSD up to jitter");
+        let chol = Cholesky::decompose(&cov).expect("posterior covariance is PSD up to jitter");
         let l = chol.factor();
         means
             .iter()
@@ -570,13 +659,18 @@ mod joint_tests {
     fn joint_sample_is_deterministic_and_smooth() {
         let gp = gp();
         let queries: Vec<Vec<f64>> = (0..20).map(|i| vec![6.0 + i as f64 * 0.1]).collect();
-        let z: Vec<f64> = (0..20).map(|i| ((i * 37 % 11) as f64 - 5.0) / 3.0).collect();
+        let z: Vec<f64> = (0..20)
+            .map(|i| ((i * 37 % 11) as f64 - 5.0) / 3.0)
+            .collect();
         let a = gp.sample_joint(&queries, &z);
         let b = gp.sample_joint(&queries, &z);
         assert_eq!(a, b);
         // A correlated sample is smooth: adjacent values differ far less
         // than independent marginal draws would.
-        let max_jump = a.windows(2).map(|w| (w[1] - w[0]).abs()).fold(0.0, f64::max);
+        let max_jump = a
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .fold(0.0, f64::max);
         let sigma = gp.predict(&queries[10]).std;
         assert!(max_jump < sigma, "jump {max_jump} vs sigma {sigma}");
     }

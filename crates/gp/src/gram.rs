@@ -1,0 +1,255 @@
+//! Distance-cached Gram matrix construction.
+//!
+//! All kernels in [`crate::kernel`] are stationary (see the invariant note
+//! there), so the unscaled pairwise squared distances between training
+//! inputs never change while hyperparameters are being searched.
+//! [`PairwiseSqDists`] computes them once — the total `Σ_d Δ_d²` for
+//! isotropic kernels, plus per-dimension `Δ_d²` matrices when an ARD
+//! kernel needs independent rescaling — and [`PairwiseSqDists::gram`]
+//! turns them into a Gram matrix for any hyperparameter setting with
+//! O(n²) work instead of O(n²·d) kernel evaluations. Only the strict
+//! lower triangle is evaluated (the matrix is symmetric and the diagonal
+//! is `σ² + noise` exactly), which also halves the `exp` calls that
+//! dominate a Matérn Gram build.
+
+use crate::kernel::Kernel;
+use autrascale_linalg::Matrix;
+
+/// Hyperparameter-independent pairwise squared distances of a training set.
+#[derive(Debug, Clone)]
+pub struct PairwiseSqDists {
+    n: usize,
+    /// `Σ_d (x_i[d] − x_j[d])²`, flattened row-major n×n.
+    total: Vec<f64>,
+    /// `(x_i[d] − x_j[d])²` per dimension, each flattened n×n. Built only
+    /// when requested (ARD kernels need per-dimension rescaling).
+    per_dim: Option<Vec<Vec<f64>>>,
+}
+
+impl PairwiseSqDists {
+    /// Precomputes pairwise squared distances for `x`.
+    ///
+    /// With `per_dim`, the per-dimension difference matrices required by
+    /// ARD (multi-lengthscale) kernels are kept as well; isotropic-only
+    /// callers should pass `false` to stay at O(n²) memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or ragged.
+    pub fn new(x: &[Vec<f64>], per_dim: bool) -> Self {
+        assert!(!x.is_empty(), "PairwiseSqDists: empty training set");
+        let n = x.len();
+        let dim = x[0].len();
+        assert!(
+            x.iter().all(|xi| xi.len() == dim),
+            "PairwiseSqDists: ragged inputs"
+        );
+
+        let mut total = vec![0.0; n * n];
+        let mut dims = if per_dim {
+            vec![vec![0.0; n * n]; dim]
+        } else {
+            Vec::new()
+        };
+        for i in 0..n {
+            for j in 0..i {
+                // Accumulate dimension-ascending, matching Kernel::eval's
+                // canonical order so both Gram paths agree bit for bit.
+                let mut sum = 0.0;
+                for (d, (a, b)) in x[i].iter().zip(&x[j]).enumerate() {
+                    let delta = a - b;
+                    let d2 = delta * delta;
+                    sum += d2;
+                    if per_dim {
+                        dims[d][i * n + j] = d2;
+                        dims[d][j * n + i] = d2;
+                    }
+                }
+                total[i * n + j] = sum;
+                total[j * n + i] = sum;
+            }
+        }
+        Self {
+            n,
+            total,
+            per_dim: per_dim.then_some(dims),
+        }
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the cache holds no points (never constructible; kept for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `true` when per-dimension matrices were cached (ARD-capable).
+    pub fn has_per_dim(&self) -> bool {
+        self.per_dim.is_some()
+    }
+
+    /// Builds the noisy Gram matrix `K + noise·I` for `kernel` from the
+    /// cached distances: O(n²) rescaling + kernel profile, no input access.
+    ///
+    /// The result is bit-identical to evaluating
+    /// `kernel.eval(&x[i], &x[j])` entry-wise and adding `noise` to the
+    /// diagonal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is ARD (more than one lengthscale) but the cache
+    /// was built without per-dimension matrices, or if the ARD
+    /// dimensionality differs from the cached inputs.
+    pub fn gram(&self, kernel: &Kernel, noise: f64) -> Matrix {
+        let n = self.n;
+        let mut out = vec![0.0; n * n];
+        let n_ls = kernel.lengthscales().len();
+        if n_ls == 1 {
+            let inv = kernel.inv_sq_lengthscale(0);
+            for i in 0..n {
+                for j in 0..i {
+                    let v = kernel.eval_from_sqdist(self.total[i * n + j] * inv);
+                    out[i * n + j] = v;
+                    out[j * n + i] = v;
+                }
+            }
+        } else {
+            let dims = self
+                .per_dim
+                .as_ref()
+                .expect("ARD Gram build requires a per-dimension distance cache");
+            assert_eq!(
+                dims.len(),
+                n_ls,
+                "ARD lengthscale count differs from cached input dimensionality"
+            );
+            let inv: Vec<f64> = (0..n_ls).map(|d| kernel.inv_sq_lengthscale(d)).collect();
+            for i in 0..n {
+                for j in 0..i {
+                    let mut r2 = 0.0;
+                    for (dmat, inv_d) in dims.iter().zip(&inv) {
+                        r2 += dmat[i * n + j] * inv_d;
+                    }
+                    let v = kernel.eval_from_sqdist(r2);
+                    out[i * n + j] = v;
+                    out[j * n + i] = v;
+                }
+            }
+        }
+        // k(x, x) = σ²·1 exactly for every stationary kernel here.
+        let diag = kernel.signal_variance() + noise;
+        for i in 0..n {
+            out[i * n + i] = diag;
+        }
+        Matrix::from_vec(n, n, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelKind;
+
+    /// Deterministic pseudo-random stream (keeps the test free of external
+    /// RNG dependencies).
+    struct Lcg(u64);
+    impl Lcg {
+        fn next_f64(&mut self, lo: f64, hi: f64) -> f64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lo + ((self.0 >> 11) as f64 / (1u64 << 53) as f64) * (hi - lo)
+        }
+    }
+
+    fn random_inputs(rng: &mut Lcg, n: usize, dim: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.next_f64(-5.0, 5.0)).collect())
+            .collect()
+    }
+
+    fn direct_gram(x: &[Vec<f64>], kernel: &Kernel, noise: f64) -> Matrix {
+        let mut g = Matrix::from_fn(x.len(), x.len(), |i, j| kernel.eval(&x[i], &x[j]));
+        g.add_diagonal(noise);
+        g
+    }
+
+    #[test]
+    fn cached_gram_matches_direct_eval_all_kernels() {
+        let mut rng = Lcg(0x9E3779B9);
+        for kind in [KernelKind::Rbf, KernelKind::Matern32, KernelKind::Matern52] {
+            for dim in [1usize, 3] {
+                let x = random_inputs(&mut rng, 12, dim);
+                let dists = PairwiseSqDists::new(&x, true);
+
+                // Isotropic.
+                let iso = Kernel::isotropic(kind, rng.next_f64(0.1, 4.0), rng.next_f64(0.2, 3.0));
+                let cached = dists.gram(&iso, 1e-4);
+                let direct = direct_gram(&x, &iso, 1e-4);
+                let diff = cached.max_abs_diff(&direct).unwrap();
+                assert!(diff < 1e-12, "{kind:?} iso dim {dim}: diff {diff}");
+
+                // ARD.
+                let ls: Vec<f64> = (0..dim).map(|_| rng.next_f64(0.1, 4.0)).collect();
+                let ard = Kernel::ard(kind, ls, rng.next_f64(0.2, 3.0));
+                let cached = dists.gram(&ard, 1e-6);
+                let direct = direct_gram(&x, &ard, 1e-6);
+                let diff = cached.max_abs_diff(&direct).unwrap();
+                assert!(diff < 1e-12, "{kind:?} ard dim {dim}: diff {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn off_diagonal_entries_are_bit_identical() {
+        let mut rng = Lcg(42);
+        let x = random_inputs(&mut rng, 8, 2);
+        let dists = PairwiseSqDists::new(&x, false);
+        let k = Kernel::isotropic(KernelKind::Matern52, 1.3, 2.0);
+        let cached = dists.gram(&k, 0.0);
+        for i in 0..8 {
+            for j in 0..8 {
+                if i != j {
+                    assert_eq!(
+                        cached[(i, j)].to_bits(),
+                        k.eval(&x[i], &x[j]).to_bits(),
+                        "entry ({i}, {j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn iso_cache_suffices_for_single_lengthscale_ard() {
+        // An "ARD" kernel with one lengthscale is isotropic; the total-only
+        // cache must serve it.
+        let mut rng = Lcg(7);
+        let x = random_inputs(&mut rng, 6, 1);
+        let dists = PairwiseSqDists::new(&x, false);
+        let k = Kernel::ard(KernelKind::Rbf, vec![0.8], 1.0);
+        let g = dists.gram(&k, 1e-3);
+        let d = direct_gram(&x, &k, 1e-3);
+        assert!(g.max_abs_diff(&d).unwrap() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-dimension distance cache")]
+    fn ard_without_per_dim_cache_panics() {
+        let x = vec![vec![0.0, 1.0], vec![2.0, 3.0]];
+        let dists = PairwiseSqDists::new(&x, false);
+        let k = Kernel::ard(KernelKind::Rbf, vec![1.0, 2.0], 1.0);
+        let _ = dists.gram(&k, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_inputs_panic() {
+        let _ = PairwiseSqDists::new(&[vec![0.0], vec![1.0, 2.0]], false);
+    }
+}

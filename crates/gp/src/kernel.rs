@@ -5,6 +5,23 @@
 //! (RBF) kernel so that the kernel choice can be ablated
 //! (`bench ablate_kernel` in DESIGN.md §3). Lengthscales may be isotropic
 //! (one scale for all input dimensions) or ARD (one per dimension).
+//!
+//! # The distance-cache invariant (stationary kernels only)
+//!
+//! Every kernel here is **stationary**: `k(a, b)` depends on the inputs
+//! only through the scaled squared distance
+//! `r² = Σ_d (a_d − b_d)² / ℓ_d²`. The *unscaled* per-dimension squared
+//! differences `(a_d − b_d)²` are therefore independent of all
+//! hyperparameters, and hyperparameter search can compute them **once**
+//! per training set and rebuild the Gram matrix for each candidate
+//! `(ℓ, σ², σ_n²)` by rescaling — O(n²) per evaluation instead of
+//! O(n²·d) kernel evaluations (see `crate::gram::PairwiseSqDists`). The
+//! split lives in [`Kernel::eval_from_sqdist`], which maps an
+//! already-scaled `r²` to a covariance; [`Kernel::eval`] is exactly
+//! `eval_from_sqdist` composed with the same scaling, so the cached and
+//! direct paths agree bit for bit. Any future **non-stationary** kernel
+//! (e.g. one with input-dependent variance) must not be routed through
+//! the distance cache.
 
 /// The kernel family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +53,11 @@ impl Kernel {
     pub fn isotropic(kind: KernelKind, lengthscale: f64, signal_variance: f64) -> Self {
         assert!(lengthscale > 0.0, "lengthscale must be positive");
         assert!(signal_variance > 0.0, "signal variance must be positive");
-        Self { kind, lengthscales: vec![lengthscale], signal_variance }
+        Self {
+            kind,
+            lengthscales: vec![lengthscale],
+            signal_variance,
+        }
     }
 
     /// An ARD kernel with one lengthscale per input dimension.
@@ -52,7 +73,11 @@ impl Kernel {
             "lengthscales must be positive"
         );
         assert!(signal_variance > 0.0, "signal variance must be positive");
-        Self { kind, lengthscales, signal_variance }
+        Self {
+            kind,
+            lengthscales,
+            signal_variance,
+        }
     }
 
     /// The kernel family.
@@ -70,25 +95,53 @@ impl Kernel {
         self.signal_variance
     }
 
-    /// Scaled Euclidean distance `r = ‖(a-b)/ℓ‖`.
-    fn scaled_distance(&self, a: &[f64], b: &[f64]) -> f64 {
+    /// Scaled squared Euclidean distance `r² = Σ_d (a_d−b_d)²/ℓ_d²`.
+    ///
+    /// This is the canonical scaling used by both the direct and the
+    /// distance-cached Gram paths: squared differences are accumulated
+    /// unscaled (dimension-ascending) and multiplied by the reciprocal
+    /// squared lengthscale, so `eval` and `eval_from_sqdist` over cached
+    /// distances produce bit-identical covariances.
+    fn scaled_sqdist(&self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len(), "kernel input dimension mismatch");
-        let mut sum = 0.0;
-        for (i, (ai, bi)) in a.iter().zip(b).enumerate() {
-            let l = if self.lengthscales.len() == 1 {
-                self.lengthscales[0]
-            } else {
-                self.lengthscales[i]
-            };
-            let d = (ai - bi) / l;
-            sum += d * d;
+        if self.lengthscales.len() == 1 {
+            let mut sum = 0.0;
+            for (ai, bi) in a.iter().zip(b) {
+                let d = ai - bi;
+                sum += d * d;
+            }
+            sum * self.inv_sq_lengthscale(0)
+        } else {
+            let mut sum = 0.0;
+            for (i, (ai, bi)) in a.iter().zip(b).enumerate() {
+                let d = ai - bi;
+                sum += (d * d) * self.inv_sq_lengthscale(i);
+            }
+            sum
         }
-        sum.sqrt()
+    }
+
+    /// `1/ℓ_i²`, the per-dimension distance rescaling factor.
+    pub(crate) fn inv_sq_lengthscale(&self, i: usize) -> f64 {
+        let l = self.lengthscales[i];
+        1.0 / (l * l)
     }
 
     /// Evaluates `k(a, b)`.
     pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
-        let r = self.scaled_distance(a, b);
+        self.eval_from_sqdist(self.scaled_sqdist(a, b))
+    }
+
+    /// Evaluates the kernel from an already-scaled squared distance
+    /// `r² = Σ_d (a_d−b_d)²/ℓ_d²`.
+    ///
+    /// This is the hyperparameter-dependent half of the stationary-kernel
+    /// split documented in the module docs: callers that cache unscaled
+    /// pairwise squared distances (see `crate::gram::PairwiseSqDists`)
+    /// rescale them per hyperparameter setting and finish the evaluation
+    /// here, skipping the O(d) difference loop entirely.
+    pub fn eval_from_sqdist(&self, r2: f64) -> f64 {
+        let r = r2.sqrt();
         let unit = match self.kind {
             KernelKind::Rbf => (-0.5 * r * r).exp(),
             KernelKind::Matern32 => {

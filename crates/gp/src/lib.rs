@@ -35,12 +35,14 @@
 
 mod fit;
 mod gaussian_process;
+pub mod gram;
 pub mod kernel;
 pub mod neldermead;
 pub mod sparse;
 pub mod stats;
 
 pub use fit::{fit_auto, FitOptions};
-pub use sparse::{fit_subset, select_subset};
-pub use gaussian_process::{GaussianProcess, GpConfig, GpError, Prediction};
+pub use gaussian_process::{GaussianProcess, GpConfig, GpError, PredictScratch, Prediction};
+pub use gram::PairwiseSqDists;
 pub use kernel::{Kernel, KernelKind};
+pub use sparse::{fit_subset, select_subset};

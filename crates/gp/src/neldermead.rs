@@ -19,7 +19,11 @@ pub struct NelderMeadOptions {
 
 impl Default for NelderMeadOptions {
     fn default() -> Self {
-        Self { max_evals: 400, f_tol: 1e-8, initial_step: 0.5 }
+        Self {
+            max_evals: 400,
+            f_tol: 1e-8,
+            initial_step: 0.5,
+        }
     }
 }
 
@@ -164,13 +168,15 @@ mod tests {
 
     #[test]
     fn minimizes_rosenbrock_2d() {
-        let rosen = |x: &[f64]| {
-            100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2)
-        };
+        let rosen = |x: &[f64]| 100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2);
         let r = minimize(
             rosen,
             &[-1.2, 1.0],
-            NelderMeadOptions { max_evals: 4000, f_tol: 1e-12, initial_step: 0.5 },
+            NelderMeadOptions {
+                max_evals: 4000,
+                f_tol: 1e-12,
+                initial_step: 0.5,
+            },
         );
         assert!(r.fx < 1e-4, "fx = {}", r.fx);
     }
@@ -180,7 +186,10 @@ mod tests {
         let r = minimize(
             |x| x[0] * x[0],
             &[10.0],
-            NelderMeadOptions { max_evals: 10, ..Default::default() },
+            NelderMeadOptions {
+                max_evals: 10,
+                ..Default::default()
+            },
         );
         // Budget may be exceeded only by the in-flight iteration's evals.
         assert!(r.evals <= 14, "evals = {}", r.evals);
@@ -205,7 +214,11 @@ mod tests {
 
     #[test]
     fn one_dimensional_works() {
-        let r = minimize(|x| (x[0] - 0.25).abs(), &[5.0], NelderMeadOptions::default());
+        let r = minimize(
+            |x| (x[0] - 0.25).abs(),
+            &[5.0],
+            NelderMeadOptions::default(),
+        );
         assert!((r.x[0] - 0.25).abs() < 1e-3);
     }
 }

@@ -32,9 +32,8 @@ pub fn select_subset(x: &[Vec<f64>], y: &[f64], m: usize) -> Vec<usize> {
         .map(|(i, _)| i)
         .unwrap_or(0);
 
-    let dist2 = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum()
-    };
+    let dist2 =
+        |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum() };
 
     let mut selected = vec![incumbent];
     // min squared distance from each point to the selected set.
@@ -110,7 +109,10 @@ mod tests {
     #[test]
     fn subset_fit_approximates_full_fit() {
         let (x, y) = smooth_data(60);
-        let opts = FitOptions { restarts: 2, ..Default::default() };
+        let opts = FitOptions {
+            restarts: 2,
+            ..Default::default()
+        };
         let full = fit_auto(x.clone(), y.clone(), &opts).unwrap();
         let sparse = fit_subset(x, y, 15, &opts).unwrap();
         assert_eq!(sparse.len(), 15);
@@ -131,7 +133,10 @@ mod tests {
         // Not a benchmark, just the complexity sanity check: the sparse
         // model really holds fewer points.
         let (x, y) = smooth_data(120);
-        let opts = FitOptions { restarts: 1, ..Default::default() };
+        let opts = FitOptions {
+            restarts: 1,
+            ..Default::default()
+        };
         let sparse = fit_subset(x, y, 20, &opts).unwrap();
         assert_eq!(sparse.len(), 20);
     }

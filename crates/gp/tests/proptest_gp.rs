@@ -1,6 +1,7 @@
 //! Property-based tests for Gaussian-process invariants.
 
-use autrascale_gp::{GaussianProcess, GpConfig, Kernel, KernelKind};
+use autrascale_gp::{GaussianProcess, GpConfig, Kernel, KernelKind, PairwiseSqDists};
+use autrascale_linalg::Matrix;
 use proptest::prelude::*;
 
 fn any_kind() -> impl Strategy<Value = KernelKind> {
@@ -14,10 +15,7 @@ fn any_kind() -> impl Strategy<Value = KernelKind> {
 fn training_set() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
     (2usize..10).prop_flat_map(|n| {
         (
-            proptest::collection::vec(
-                proptest::collection::vec(-5.0f64..5.0, 2),
-                n,
-            ),
+            proptest::collection::vec(proptest::collection::vec(-5.0f64..5.0, 2), n),
             proptest::collection::vec(-10.0f64..10.0, n),
         )
     })
@@ -87,6 +85,33 @@ proptest! {
             let p = gp.predict(xi);
             prop_assert!((p.mean - yi).abs() < 1e-2, "{} vs {yi}", p.mean);
         }
+    }
+
+    /// The distance-cached Gram build (`PairwiseSqDists::gram`) agrees with
+    /// direct entry-wise `kernel.eval` to 1e-12 for every kernel family,
+    /// isotropic and ARD alike. This is the invariant that lets `fit_auto`
+    /// rescale cached distances instead of re-evaluating the kernel.
+    #[test]
+    fn cached_gram_matches_direct_eval(
+        x in proptest::collection::vec(proptest::collection::vec(-5.0f64..5.0, 3), 2usize..12),
+        kind in any_kind(),
+        ls in proptest::collection::vec(0.1f64..5.0, 3),
+        sig in 0.2f64..3.0,
+        ard in any::<bool>(),
+        noise in 1e-6f64..1e-2,
+    ) {
+        let kernel = if ard {
+            Kernel::ard(kind, ls, sig)
+        } else {
+            Kernel::isotropic(kind, ls[0], sig)
+        };
+        let dists = PairwiseSqDists::new(&x, true);
+        let cached = dists.gram(&kernel, noise);
+        let n = x.len();
+        let mut direct = Matrix::from_fn(n, n, |i, j| kernel.eval(&x[i], &x[j]));
+        direct.add_diagonal(noise);
+        let diff = cached.max_abs_diff(&direct).unwrap();
+        prop_assert!(diff < 1e-12, "max |cached - direct| = {diff}");
     }
 
     /// Predictions are invariant to the order of training samples.

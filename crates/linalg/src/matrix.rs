@@ -18,7 +18,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -43,7 +47,11 @@ impl Matrix {
             assert_eq!(row.len(), cols, "from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major buffer.

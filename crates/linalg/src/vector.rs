@@ -22,7 +22,10 @@ pub fn l2_norm(a: &[f64]) -> f64 {
 /// Panics if the slices differ in length.
 pub fn linf_distance(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "linf_distance: length mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 /// In-place `y += alpha * x`.

@@ -53,7 +53,10 @@ mod tests {
         values
             .iter()
             .enumerate()
-            .map(|(i, &v)| DataPoint { time: i as f64, value: v })
+            .map(|(i, &v)| DataPoint {
+                time: i as f64,
+                value: v,
+            })
             .collect()
     }
 
@@ -121,7 +124,10 @@ mod derivative_tests {
     #[test]
     fn derivative_of_linear_ramp() {
         let points: Vec<DataPoint> = (0..10)
-            .map(|i| DataPoint { time: i as f64, value: 3.0 * i as f64 + 1.0 })
+            .map(|i| DataPoint {
+                time: i as f64,
+                value: 3.0 * i as f64 + 1.0,
+            })
             .collect();
         assert!((derivative(&points).unwrap() - 3.0).abs() < 1e-12);
     }
@@ -129,11 +135,20 @@ mod derivative_tests {
     #[test]
     fn derivative_needs_two_distinct_times() {
         assert_eq!(derivative(&[]), None);
-        let single = [DataPoint { time: 1.0, value: 5.0 }];
+        let single = [DataPoint {
+            time: 1.0,
+            value: 5.0,
+        }];
         assert_eq!(derivative(&single), None);
         let same_t = [
-            DataPoint { time: 1.0, value: 5.0 },
-            DataPoint { time: 1.0, value: 9.0 },
+            DataPoint {
+                time: 1.0,
+                value: 5.0,
+            },
+            DataPoint {
+                time: 1.0,
+                value: 9.0,
+            },
         ];
         assert_eq!(derivative(&same_t), None);
     }
@@ -141,8 +156,14 @@ mod derivative_tests {
     #[test]
     fn derivative_sign_tracks_trend() {
         let falling = [
-            DataPoint { time: 0.0, value: 10.0 },
-            DataPoint { time: 5.0, value: 0.0 },
+            DataPoint {
+                time: 0.0,
+                value: 10.0,
+            },
+            DataPoint {
+                time: 5.0,
+                value: 0.0,
+            },
         ];
         assert!(derivative(&falling).unwrap() < 0.0);
     }

@@ -149,7 +149,10 @@ impl Series {
             let start = (p.time / bucket_secs).floor() * bucket_secs;
             if start != bucket_start {
                 if count > 0 {
-                    out.push(DataPoint { time: bucket_start, value: sum / count as f64 });
+                    out.push(DataPoint {
+                        time: bucket_start,
+                        value: sum / count as f64,
+                    });
                 }
                 bucket_start = start;
                 sum = 0.0;
@@ -159,7 +162,10 @@ impl Series {
             count += 1;
         }
         if count > 0 {
-            out.push(DataPoint { time: bucket_start, value: sum / count as f64 });
+            out.push(DataPoint {
+                time: bucket_start,
+                value: sum / count as f64,
+            });
         }
         out
     }

@@ -18,7 +18,10 @@ pub struct SeriesKey {
 impl SeriesKey {
     /// A key with no tags.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), tags: BTreeMap::new() }
+        Self {
+            name: name.into(),
+            tags: BTreeMap::new(),
+        }
     }
 
     /// Adds (or replaces) a tag, builder-style.
@@ -72,7 +75,12 @@ pub struct Query {
 impl Query {
     /// Query over `[from, to]` for metric `name`.
     pub fn new(name: impl Into<String>, from: f64, to: f64) -> Self {
-        Self { name: name.into(), tags: BTreeMap::new(), from, to }
+        Self {
+            name: name.into(),
+            tags: BTreeMap::new(),
+            from,
+            to,
+        }
     }
 
     /// Restricts to series carrying this tag value.
@@ -163,13 +171,17 @@ impl MetricStore {
     /// Mean of one exact series over a window; `None` when empty.
     pub fn window_mean(&self, key: &SeriesKey, from: f64, to: f64) -> Option<f64> {
         let guard = self.series.read();
-        guard.get(key).and_then(|s| aggregate::mean(s.window(from, to)))
+        guard
+            .get(key)
+            .and_then(|s| aggregate::mean(s.window(from, to)))
     }
 
     /// Percentile of one exact series over a window; `None` when empty.
     pub fn window_percentile(&self, key: &SeriesKey, from: f64, to: f64, q: f64) -> Option<f64> {
         let guard = self.series.read();
-        guard.get(key).and_then(|s| aggregate::percentile(s.window(from, to), q))
+        guard
+            .get(key)
+            .and_then(|s| aggregate::percentile(s.window(from, to), q))
     }
 
     /// Per-series window means for every series of a metric matching the
@@ -226,14 +238,19 @@ mod tests {
         let k = SeriesKey::new("m");
         store.append(&k, 5.0, 1.0).unwrap();
         assert_eq!(store.append(&k, 4.0, 1.0), Err(AppendError::OutOfOrder));
-        assert_eq!(store.append(&k, 6.0, f64::NAN), Err(AppendError::NonFiniteValue));
+        assert_eq!(
+            store.append(&k, 6.0, f64::NAN),
+            Err(AppendError::NonFiniteValue)
+        );
     }
 
     #[test]
     fn tag_filter_selects_subset() {
         let store = MetricStore::new();
         for sub in 0..3 {
-            let k = SeriesKey::new("rate").tag("op", "Map").tag("subtask", sub.to_string());
+            let k = SeriesKey::new("rate")
+                .tag("op", "Map")
+                .tag("subtask", sub.to_string());
             store.append(&k, 1.0, sub as f64).unwrap();
         }
         let k2 = SeriesKey::new("rate").tag("op", "Sink").tag("subtask", "0");

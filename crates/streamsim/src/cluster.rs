@@ -76,8 +76,7 @@ impl ClusterSpec {
         }
         let over = (m - c).max(0.0) / c;
         let drag = (m - 1.0).max(0.0) / c;
-        1.0 / (1.0 + self.oversubscription_coeff * over)
-            / (1.0 + self.contention_coeff * drag)
+        1.0 / (1.0 + self.oversubscription_coeff * over) / (1.0 + self.contention_coeff * drag)
     }
 }
 
@@ -113,7 +112,10 @@ impl Placement {
             }
             machine_of.push(per_op);
         }
-        Self { machine_of, instances_on }
+        Self {
+            machine_of,
+            instances_on,
+        }
     }
 
     /// Machine hosting instance `inst` of operator `op`.
@@ -235,7 +237,9 @@ pub struct SharedMachineRegistry {
 impl SharedMachineRegistry {
     /// A registry for a cluster with `machines` machines.
     pub fn new(machines: usize) -> Self {
-        Self { counts: parking_lot::Mutex::new(vec![0; machines]) }
+        Self {
+            counts: parking_lot::Mutex::new(vec![0; machines]),
+        }
     }
 
     /// Replaces one job's contribution: subtracts `old`, adds `new`.
@@ -250,7 +254,9 @@ impl SharedMachineRegistry {
         if !old.is_empty() {
             assert_eq!(old.len(), counts.len(), "machine count mismatch");
             for (c, o) in counts.iter_mut().zip(old) {
-                *c = c.checked_sub(*o).expect("registry underflow: double release");
+                *c = c
+                    .checked_sub(*o)
+                    .expect("registry underflow: double release");
             }
         }
         if !new.is_empty() {

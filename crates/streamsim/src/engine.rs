@@ -94,7 +94,11 @@ pub enum SimError {
     /// A parallelism vector had the wrong number of operators.
     ArityMismatch { expected: usize, got: usize },
     /// A parallelism value was 0 or above the cluster's `max_parallelism`.
-    ParallelismOutOfRange { operator: String, value: u32, max: u32 },
+    ParallelismOutOfRange {
+        operator: String,
+        value: u32,
+        max: u32,
+    },
     /// The simulation was stepped before the first deploy.
     NotDeployed,
     /// Invalid configuration (non-positive dt or metric interval).
@@ -107,7 +111,11 @@ impl fmt::Display for SimError {
             SimError::ArityMismatch { expected, got } => {
                 write!(f, "parallelism arity {got}, job has {expected} operators")
             }
-            SimError::ParallelismOutOfRange { operator, value, max } => {
+            SimError::ParallelismOutOfRange {
+                operator,
+                value,
+                max,
+            } => {
                 write!(f, "parallelism {value} for {operator:?} outside [1, {max}]")
             }
             SimError::NotDeployed => write!(f, "job has not been deployed"),
@@ -291,7 +299,10 @@ impl Simulation {
     pub fn deploy(&mut self, parallelism: &[u32]) -> Result<(), SimError> {
         let n = self.config.job.len();
         if parallelism.len() != n {
-            return Err(SimError::ArityMismatch { expected: n, got: parallelism.len() });
+            return Err(SimError::ArityMismatch {
+                expected: n,
+                got: parallelism.len(),
+            });
         }
         let max = self.config.cluster.max_parallelism;
         for (op, &p) in self.config.job.operators().iter().zip(parallelism) {
@@ -307,7 +318,8 @@ impl Simulation {
         // In-flight records return to Kafka (re-read from committed offsets).
         let inflight: f64 = self.queues.iter().sum();
         if inflight > 0.0 {
-            self.kafka.produce(inflight / self.config.dt, self.config.dt, self.time);
+            self.kafka
+                .produce(inflight / self.config.dt, self.config.dt, self.time);
         }
         self.queues = vec![0.0; n];
         self.parallelism = parallelism.to_vec();
@@ -335,7 +347,8 @@ impl Simulation {
         // Producer always runs; retention expires stale records.
         let producer_rate = self.config.profile.rate_at(self.time);
         self.kafka.produce(producer_rate, dt, self.time);
-        self.kafka.expire(self.time, self.config.kafka_retention_secs);
+        self.kafka
+            .expire(self.time, self.config.kafka_retention_secs);
         self.accum.produced_to_kafka += producer_rate * dt;
 
         let in_downtime = match self.downtime_until {
@@ -368,7 +381,8 @@ impl Simulation {
     pub fn run_for(&mut self, secs: f64) {
         let steps = (secs / self.config.dt).round() as u64;
         for _ in 0..steps {
-            self.step().expect("simulation must be deployed before run_for");
+            self.step()
+                .expect("simulation must be deployed before run_for");
         }
     }
 
@@ -436,9 +450,7 @@ impl Simulation {
             } else {
                 successors
                     .iter()
-                    .map(|&s| {
-                        (queue_cap[s] - self.queues[s] + capacity[s] * dt).max(0.0)
-                    })
+                    .map(|&s| (queue_cap[s] - self.queues[s] + capacity[s] * dt).max(0.0))
                     .fold(f64::INFINITY, f64::min)
                     / op.selectivity
             };
@@ -469,8 +481,7 @@ impl Simulation {
             // Busy time: the fraction of the tick the instances spent
             // actually processing (Eq. 2's T_u), aggregated over instances.
             if capacity[i] > 0.0 {
-                self.accum.busy_time[i] +=
-                    processed / capacity[i] * self.parallelism[i] as f64;
+                self.accum.busy_time[i] += processed / capacity[i] * self.parallelism[i] as f64;
             }
             self.accum.output[i] += processed * op.selectivity;
             self.accum.queue_sum[i] += self.queues[i];
@@ -602,10 +613,25 @@ impl Simulation {
             None
         };
 
-        metrics::emit(store, &metrics::job_key(metrics::JOB_THROUGHPUT), t, source_rate);
+        metrics::emit(
+            store,
+            &metrics::job_key(metrics::JOB_THROUGHPUT),
+            t,
+            source_rate,
+        );
         metrics::emit(store, &metrics::job_key(metrics::SINK_RATE), t, sink_rate);
-        metrics::emit(store, &metrics::job_key(metrics::PRODUCER_RATE), t, producer_rate);
-        metrics::emit(store, &metrics::job_key(metrics::KAFKA_LAG), t, self.kafka.lag());
+        metrics::emit(
+            store,
+            &metrics::job_key(metrics::PRODUCER_RATE),
+            t,
+            producer_rate,
+        );
+        metrics::emit(
+            store,
+            &metrics::job_key(metrics::KAFKA_LAG),
+            t,
+            self.kafka.lag(),
+        );
         metrics::emit(
             store,
             &metrics::job_key(metrics::PROCESSING_LATENCY_MS),
@@ -613,7 +639,12 @@ impl Simulation {
             proc_latency,
         );
         if let Some(e) = event_latency {
-            metrics::emit(store, &metrics::job_key(metrics::EVENT_TIME_LATENCY_MS), t, e);
+            metrics::emit(
+                store,
+                &metrics::job_key(metrics::EVENT_TIME_LATENCY_MS),
+                t,
+                e,
+            );
         }
         metrics::emit(
             store,
@@ -776,7 +807,10 @@ mod tests {
         let mut sim = Simulation::new(config(1000.0)).unwrap();
         assert!(matches!(
             sim.deploy(&[1, 1]),
-            Err(SimError::ArityMismatch { expected: 3, got: 2 })
+            Err(SimError::ArityMismatch {
+                expected: 3,
+                got: 2
+            })
         ));
         assert!(matches!(
             sim.deploy(&[1, 0, 1]),
@@ -868,7 +902,10 @@ mod tests {
         sim.run_for(10.0); // inside the 30 s downtime window
         assert!(sim.in_downtime());
         let lag_during = sim.kafka_lag();
-        assert!(lag_during > lag_before + 100_000.0, "{lag_during} vs {lag_before}");
+        assert!(
+            lag_during > lag_before + 100_000.0,
+            "{lag_during} vs {lag_before}"
+        );
         sim.run_for(120.0);
         assert!(!sim.in_downtime());
         // Catches up eventually (3 Maps ≈ 80k capacity > 30k input).
@@ -931,7 +968,11 @@ mod tests {
         sim.run_for(120.0);
         let snap = sim.snapshot();
         // No matter the parallelism, sink limit gates the whole pipeline.
-        assert!(snap.source_consumption_rate < 10_000.0, "{}", snap.source_consumption_rate);
+        assert!(
+            snap.source_consumption_rate < 10_000.0,
+            "{}",
+            snap.source_consumption_rate
+        );
     }
 
     #[test]
@@ -941,7 +982,11 @@ mod tests {
             sim.deploy(&[1, 2, 1]).unwrap();
             sim.run_for(60.0);
             let s = sim.snapshot();
-            (s.kafka_lag, s.source_consumption_rate, s.processing_latency_ms)
+            (
+                s.kafka_lag,
+                s.source_consumption_rate,
+                s.processing_latency_ms,
+            )
         };
         let a = run();
         let b = run();
@@ -1052,7 +1097,11 @@ mod fault_tests {
         s.run_for(60.0);
         // 20k × 0.25 = 5k effective.
         let snap = s.snapshot();
-        assert!(snap.source_consumption_rate < 7_000.0, "{}", snap.source_consumption_rate);
+        assert!(
+            snap.source_consumption_rate < 7_000.0,
+            "{}",
+            snap.source_consumption_rate
+        );
     }
 
     #[test]
@@ -1094,11 +1143,7 @@ mod colocation_tests {
         .unwrap()
     }
 
-    fn colocated(
-        registry: &Arc<SharedMachineRegistry>,
-        rate: f64,
-        seed: u64,
-    ) -> Simulation {
+    fn colocated(registry: &Arc<SharedMachineRegistry>, rate: f64, seed: u64) -> Simulation {
         // A small 2-machine / 4-core cluster so neighbors bite quickly.
         let cluster = ClusterSpec::uniform(2, 4, 30);
         Simulation::new(SimulationConfig {
@@ -1136,7 +1181,10 @@ mod colocation_tests {
         assert_eq!(registry.total_instances(), 3);
         job_a.run_for(60.0);
         let recovered = job_a.snapshot().per_operator[1].true_rate_per_instance;
-        assert!(recovered > alone * 0.9, "alone {alone}, recovered {recovered}");
+        assert!(
+            recovered > alone * 0.9,
+            "alone {alone}, recovered {recovered}"
+        );
     }
 
     #[test]
@@ -1180,6 +1228,9 @@ mod colocation_tests {
             a.source_consumption_rate.to_bits(),
             b.source_consumption_rate.to_bits()
         );
-        assert_eq!(a.processing_latency_ms.to_bits(), b.processing_latency_ms.to_bits());
+        assert_eq!(
+            a.processing_latency_ms.to_bits(),
+            b.processing_latency_ms.to_bits()
+        );
     }
 }

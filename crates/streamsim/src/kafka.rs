@@ -56,7 +56,10 @@ impl Kafka {
     pub fn produce(&mut self, rate: f64, dt: f64, now: f64) {
         let records = (rate * dt).max(0.0);
         if records > 0.0 {
-            self.buckets.push_back(Bucket { time: now, amount: records });
+            self.buckets.push_back(Bucket {
+                time: now,
+                amount: records,
+            });
             self.lag += records;
             self.produced_total += records;
         }
@@ -69,7 +72,9 @@ impl Kafka {
         let mut remaining = want.max(0.0).min(self.lag);
         let taken = remaining;
         while remaining > 0.0 {
-            let Some(front) = self.buckets.front_mut() else { break };
+            let Some(front) = self.buckets.front_mut() else {
+                break;
+            };
             if front.amount <= remaining {
                 remaining -= front.amount;
                 self.buckets.pop_front();

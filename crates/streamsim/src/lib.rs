@@ -60,6 +60,6 @@ pub use cluster::{ClusterSpec, MachineSpec, Placement, SharedMachineRegistry};
 pub use engine::{SimError, SimSnapshot, Simulation, SimulationConfig};
 pub use kafka::Kafka;
 pub use noise::GaussianNoise;
-pub use rate::RateProfile;
 pub use rate::generators as rate_generators;
+pub use rate::RateProfile;
 pub use topology::{JobGraph, OperatorKind, OperatorSpec, TopologyError};

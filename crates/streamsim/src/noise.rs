@@ -18,7 +18,10 @@ pub struct GaussianNoise {
 impl GaussianNoise {
     /// A sampler seeded for reproducibility.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), spare: None }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
     }
 
     /// One standard normal deviate.

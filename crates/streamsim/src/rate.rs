@@ -37,7 +37,12 @@ impl RateProfile {
     /// CASE 1's staircase: starts at `initial`, increases by `step` every
     /// `period` seconds up to `max`.
     pub fn staircase(initial: f64, step: f64, period: f64, max: f64) -> Self {
-        RateProfile::Staircase { initial, step, period, max }
+        RateProfile::Staircase {
+            initial,
+            step,
+            period,
+            max,
+        }
     }
 
     /// Piecewise-constant from sorted `(start_time, rate)` change-points.
@@ -46,7 +51,10 @@ impl RateProfile {
     ///
     /// Panics if `points` is empty or not sorted by time.
     pub fn piecewise(points: Vec<(f64, f64)>) -> Self {
-        assert!(!points.is_empty(), "piecewise: need at least one change-point");
+        assert!(
+            !points.is_empty(),
+            "piecewise: need at least one change-point"
+        );
         assert!(
             points.windows(2).all(|w| w[0].0 <= w[1].0),
             "piecewise: change-points must be sorted by time"
@@ -58,8 +66,17 @@ impl RateProfile {
     pub fn rate_at(&self, t: f64) -> f64 {
         let r = match self {
             RateProfile::Constant(r) => *r,
-            RateProfile::Staircase { initial, step, period, max } => {
-                let steps = if *period > 0.0 { (t / period).floor() } else { 0.0 };
+            RateProfile::Staircase {
+                initial,
+                step,
+                period,
+                max,
+            } => {
+                let steps = if *period > 0.0 {
+                    (t / period).floor()
+                } else {
+                    0.0
+                };
                 (initial + steps * step).min(*max)
             }
             RateProfile::Piecewise(points) => {
@@ -152,13 +169,15 @@ pub mod generators {
     pub fn diurnal(base: f64, amplitude: f64, period: f64, step_secs: f64) -> RateProfile {
         assert!(base > 0.0 && amplitude >= 0.0, "rates must be positive");
         assert!(amplitude <= base, "amplitude must not exceed base");
-        assert!(period > 0.0 && step_secs > 0.0, "period/step must be positive");
+        assert!(
+            period > 0.0 && step_secs > 0.0,
+            "period/step must be positive"
+        );
         let steps = (period / step_secs).ceil() as usize;
         let points = (0..steps)
             .map(|i| {
                 let t = i as f64 * step_secs;
-                let rate =
-                    base + amplitude * (2.0 * std::f64::consts::PI * t / period).sin();
+                let rate = base + amplitude * (2.0 * std::f64::consts::PI * t / period).sin();
                 (t, rate)
             })
             .collect();
@@ -179,7 +198,10 @@ pub mod generators {
         burst_len: f64,
         count: usize,
     ) -> RateProfile {
-        assert!(burst_every > 0.0 && burst_len > 0.0, "timings must be positive");
+        assert!(
+            burst_every > 0.0 && burst_len > 0.0,
+            "timings must be positive"
+        );
         assert!(burst_len < burst_every, "bursts must not overlap");
         let mut points = vec![(0.0, base)];
         for i in 0..count {
@@ -207,7 +229,10 @@ pub mod generators {
         max: f64,
     ) -> RateProfile {
         assert!(min > 0.0 && min <= start && start <= max, "bad bounds");
-        assert!(interval > 0.0 && duration > 0.0, "interval/duration must be positive");
+        assert!(
+            interval > 0.0 && duration > 0.0,
+            "interval/duration must be positive"
+        );
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut rate = start;
@@ -279,7 +304,9 @@ mod generator_tests {
             t += 150.0;
         }
         // It actually moves.
-        let RateProfile::Piecewise(points) = &a else { panic!() };
+        let RateProfile::Piecewise(points) = &a else {
+            panic!()
+        };
         assert!(points.iter().any(|(_, r)| (r - 10_000.0).abs() > 500.0));
     }
 }

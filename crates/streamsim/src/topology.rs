@@ -70,7 +70,12 @@ impl OperatorSpec {
         selectivity: f64,
         emission_delay_ms: f64,
     ) -> Self {
-        Self::with_kind(name, OperatorKind::Window { emission_delay_ms }, base_rate, selectivity)
+        Self::with_kind(
+            name,
+            OperatorKind::Window { emission_delay_ms },
+            base_rate,
+            selectivity,
+        )
     }
 
     /// A sink operator.
@@ -299,17 +304,27 @@ impl JobGraph {
 
     /// Indices of the successors of operator `i`.
     pub fn successors(&self, i: usize) -> Vec<usize> {
-        self.edges.iter().filter(|(f, _)| *f == i).map(|(_, t)| *t).collect()
+        self.edges
+            .iter()
+            .filter(|(f, _)| *f == i)
+            .map(|(_, t)| *t)
+            .collect()
     }
 
     /// Indices of the predecessors of operator `i`.
     pub fn predecessors(&self, i: usize) -> Vec<usize> {
-        self.edges.iter().filter(|(_, t)| *t == i).map(|(f, _)| *f).collect()
+        self.edges
+            .iter()
+            .filter(|(_, t)| *t == i)
+            .map(|(f, _)| *f)
+            .collect()
     }
 
     /// Indices of all source operators.
     pub fn sources(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.operators[i].is_source()).collect()
+        (0..self.len())
+            .filter(|&i| self.operators[i].is_source())
+            .collect()
     }
 
     /// Index of an operator by name.
@@ -346,10 +361,7 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_names() {
-        let ops = vec![
-            OperatorSpec::source("X", 1.0),
-            OperatorSpec::sink("X", 1.0),
-        ];
+        let ops = vec![OperatorSpec::source("X", 1.0), OperatorSpec::sink("X", 1.0)];
         assert!(matches!(
             JobGraph::linear(ops),
             Err(TopologyError::DuplicateName(_))
@@ -362,7 +374,10 @@ mod tests {
         let cyclic = JobGraph::new(ops.clone(), vec![(0, 1), (1, 2), (2, 1)]);
         assert_eq!(cyclic, Err(TopologyError::Cyclic));
         let self_loop = JobGraph::new(ops, vec![(0, 1), (1, 1), (1, 2)]);
-        assert!(matches!(self_loop, Err(TopologyError::EdgeOutOfRange { .. })));
+        assert!(matches!(
+            self_loop,
+            Err(TopologyError::EdgeOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -380,7 +395,10 @@ mod tests {
             OperatorSpec::sink("B", 1.0),
         ];
         let r = JobGraph::new(ops, vec![(0, 1)]);
-        assert!(matches!(r, Err(TopologyError::Disconnected(_)) | Err(TopologyError::NoSource)));
+        assert!(matches!(
+            r,
+            Err(TopologyError::Disconnected(_)) | Err(TopologyError::NoSource)
+        ));
     }
 
     #[test]

@@ -2,39 +2,33 @@
 //! backpressure bounds and metric sanity over randomized topologies,
 //! rates and parallelism vectors.
 
-use autrascale_streamsim::{
-    JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
-};
+use autrascale_streamsim::{JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig};
 use proptest::prelude::*;
 
 /// Strategy: a random linear topology of 2–5 operators with varied
 /// service rates and selectivities.
 fn topology() -> impl Strategy<Value = JobGraph> {
     (2usize..=5).prop_flat_map(|n| {
-        let middle = proptest::collection::vec(
-            (5_000.0f64..50_000.0, 0.5f64..2.0),
-            n.saturating_sub(2),
-        );
-        (Just(n), 10_000.0f64..80_000.0, middle, 10_000.0f64..80_000.0).prop_map(
-            |(_, src_rate, middles, sink_rate)| {
+        let middle =
+            proptest::collection::vec((5_000.0f64..50_000.0, 0.5f64..2.0), n.saturating_sub(2));
+        (
+            Just(n),
+            10_000.0f64..80_000.0,
+            middle,
+            10_000.0f64..80_000.0,
+        )
+            .prop_map(|(_, src_rate, middles, sink_rate)| {
                 let mut ops = vec![OperatorSpec::source("Source", src_rate)];
                 for (i, (rate, sel)) in middles.into_iter().enumerate() {
                     ops.push(OperatorSpec::transform(format!("Op{i}"), rate, sel));
                 }
                 ops.push(OperatorSpec::sink("Sink", sink_rate));
                 JobGraph::linear(ops).expect("generated topology is valid")
-            },
-        )
+            })
     })
 }
 
-fn run_sim(
-    job: JobGraph,
-    rate: f64,
-    parallelism: Vec<u32>,
-    seed: u64,
-    secs: f64,
-) -> Simulation {
+fn run_sim(job: JobGraph, rate: f64, parallelism: Vec<u32>, seed: u64, secs: f64) -> Simulation {
     let mut sim = Simulation::new(SimulationConfig {
         job,
         profile: RateProfile::constant(rate),

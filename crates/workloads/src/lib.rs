@@ -16,9 +16,7 @@
 //! two instances suffice at 250k — matching both Fig. 2 and Fig. 5a
 //! simultaneously (see DESIGN.md).
 
-use autrascale_streamsim::{
-    ClusterSpec, JobGraph, OperatorSpec, RateProfile, SimulationConfig,
-};
+use autrascale_streamsim::{ClusterSpec, JobGraph, OperatorSpec, RateProfile, SimulationConfig};
 
 /// A named, fully calibrated workload: topology + cluster + QoS targets.
 #[derive(Debug, Clone)]
@@ -201,9 +199,7 @@ pub fn synthetic_chain(n: usize) -> Workload {
     let mut ops = Vec::with_capacity(n);
     ops.push(OperatorSpec::source("Op0", 50_000.0).with_sync_coeff(0.05));
     for i in 1..n - 1 {
-        ops.push(
-            OperatorSpec::transform(format!("Op{i}"), 40_000.0, 1.0).with_sync_coeff(0.1),
-        );
+        ops.push(OperatorSpec::transform(format!("Op{i}"), 40_000.0, 1.0).with_sync_coeff(0.1));
     }
     ops.push(OperatorSpec::sink(format!("Op{}", n - 1), 50_000.0).with_sync_coeff(0.05));
     Workload {
@@ -243,7 +239,10 @@ mod tests {
             rates.push(sim.snapshot().source_consumption_rate);
         }
         assert!((rates[0] - 150_000.0).abs() < 20_000.0, "p=1: {rates:?}");
-        assert!(rates[1] > 230_000.0 && rates[1] < 280_000.0, "p=2: {rates:?}");
+        assert!(
+            rates[1] > 230_000.0 && rates[1] < 280_000.0,
+            "p=2: {rates:?}"
+        );
         assert!(rates[2] > rates[1], "p=3: {rates:?}");
         // Concavity: the second step gains less than the first.
         assert!(rates[2] - rates[1] < rates[1] - rates[0], "{rates:?}");

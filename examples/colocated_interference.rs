@@ -29,11 +29,7 @@ fn job() -> JobGraph {
     .expect("valid topology")
 }
 
-fn colocated(
-    registry: &Arc<SharedMachineRegistry>,
-    rate: f64,
-    seed: u64,
-) -> Simulation {
+fn colocated(registry: &Arc<SharedMachineRegistry>, rate: f64, seed: u64) -> Simulation {
     Simulation::new(SimulationConfig {
         cluster: ClusterSpec::uniform(3, 8, 40),
         job: job(),

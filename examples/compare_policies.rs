@@ -11,9 +11,7 @@
 use autrascale::{Algorithm1, AuTraScaleConfig, ThroughputOptimizer};
 use autrascale_baselines::{DrsConfig, DrsPolicy, Ds2Config, Ds2Policy, RateMetric};
 use autrascale_flinkctl::FlinkCluster;
-use autrascale_streamsim::{
-    JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
-};
+use autrascale_streamsim::{JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig};
 
 const RATE: f64 = 25_000.0;
 const TARGET_LATENCY_MS: f64 = 150.0;
@@ -62,9 +60,7 @@ fn steady(cluster: &mut FlinkCluster) -> (f64, f64) {
 }
 
 fn main() {
-    println!(
-        "policy comparison @ {RATE:.0} records/s, latency target {TARGET_LATENCY_MS:.0} ms\n"
-    );
+    println!("policy comparison @ {RATE:.0} records/s, latency target {TARGET_LATENCY_MS:.0} ms\n");
     println!("| method | iterations | parallelism | Σp | latency (ms) | throughput |");
     println!("|---|---|---|---|---|---|");
 
@@ -76,7 +72,9 @@ fn main() {
             policy_running_time: 180.0,
             ..Default::default()
         };
-        let thr = ThroughputOptimizer::new(&config).run(&mut cluster).expect("throughput");
+        let thr = ThroughputOptimizer::new(&config)
+            .run(&mut cluster)
+            .expect("throughput");
         let alg1 = Algorithm1::new(&config, thr.final_parallelism.clone(), 50);
         let outcome = alg1.run(&mut cluster, Vec::new()).expect("Algorithm 1");
         let (latency, throughput) = steady(&mut cluster);
@@ -99,12 +97,20 @@ fn main() {
         .run(&mut cluster)
         .expect("DS2");
         let (latency, throughput) = steady(&mut cluster);
-        print_row("DS2", outcome.iterations, &outcome.final_parallelism, latency, throughput);
+        print_row(
+            "DS2",
+            outcome.iterations,
+            &outcome.final_parallelism,
+            latency,
+            throughput,
+        );
     }
 
     // DRS, both metric variants.
-    for (label, metric) in [("DRS-true", RateMetric::True), ("DRS-observed", RateMetric::Observed)]
-    {
+    for (label, metric) in [
+        ("DRS-true", RateMetric::True),
+        ("DRS-observed", RateMetric::Observed),
+    ] {
         let mut cluster = fresh_cluster(3);
         let outcome = DrsPolicy::new(DrsConfig {
             target_latency_ms: TARGET_LATENCY_MS,
@@ -115,7 +121,13 @@ fn main() {
         .run(&mut cluster)
         .expect("DRS");
         let (latency, throughput) = steady(&mut cluster);
-        print_row(label, outcome.iterations, &outcome.final_parallelism, latency, throughput);
+        print_row(
+            label,
+            outcome.iterations,
+            &outcome.final_parallelism,
+            latency,
+            throughput,
+        );
     }
 }
 

@@ -11,9 +11,7 @@
 
 use autrascale::{AuTraScaleConfig, MapeController};
 use autrascale_flinkctl::FlinkCluster;
-use autrascale_streamsim::{
-    JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
-};
+use autrascale_streamsim::{JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig};
 
 fn main() {
     let job = JobGraph::linear(vec![
@@ -55,7 +53,9 @@ fn main() {
     report("degraded", &cluster);
 
     println!("\nnext controller activation …");
-    controller.activate(&mut cluster).expect("recovery activation");
+    controller
+        .activate(&mut cluster)
+        .expect("recovery activation");
     cluster.run_for(400.0);
     report("recovered", &cluster);
 }

@@ -11,9 +11,7 @@
 
 use autrascale::{Algorithm1, AuTraScaleConfig, ThroughputOptimizer};
 use autrascale_flinkctl::{FlinkCluster, JobControl};
-use autrascale_streamsim::{
-    JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
-};
+use autrascale_streamsim::{JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig};
 
 fn main() {
     // A Source → Map → Sink pipeline where Map is the bottleneck.

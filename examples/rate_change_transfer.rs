@@ -25,7 +25,9 @@ fn main() {
     println!("training the benefit model at 80k records/s …");
     let sim = Simulation::new(workload.config(80_000.0, 11)).expect("valid workload");
     let mut cluster = FlinkCluster::new(sim);
-    let thr = ThroughputOptimizer::new(&config).run(&mut cluster).expect("throughput phase");
+    let thr = ThroughputOptimizer::new(&config)
+        .run(&mut cluster)
+        .expect("throughput phase");
     let alg1 = Algorithm1::new(&config, thr.final_parallelism.clone(), workload.p_max());
     let trained = alg1.run(&mut cluster, Vec::new()).expect("Algorithm 1");
     println!(
@@ -40,14 +42,19 @@ fn main() {
     println!("rate changed to 100k records/s — running Algorithm 2 …");
     let sim = Simulation::new(workload.config(100_000.0, 12)).expect("valid workload");
     let mut cluster = FlinkCluster::new(sim);
-    cluster.submit(&thr.final_parallelism).expect("old base valid");
+    cluster
+        .submit(&thr.final_parallelism)
+        .expect("old base valid");
     cluster.run_for(60.0);
 
-    let thr_new =
-        ThroughputOptimizer::new(&config).run(&mut cluster).expect("throughput phase");
+    let thr_new = ThroughputOptimizer::new(&config)
+        .run(&mut cluster)
+        .expect("throughput phase");
     let prior = library.closest(100_000.0).expect("model stored").clone();
     let tl = TransferLearner::new(&config, thr_new.final_parallelism, workload.p_max());
-    let outcome = tl.run(&mut cluster, &prior, Vec::new()).expect("Algorithm 2");
+    let outcome = tl
+        .run(&mut cluster, &prior, Vec::new())
+        .expect("Algorithm 2");
 
     println!(
         "transfer terminated after {} real sample(s): {:?}, latency {:.1} ms \

@@ -30,7 +30,9 @@ fn main() {
     let mut controller = MapeController::new(config);
 
     println!("activating the AuTraScale controller on WordCount @ 350k records/s …");
-    let events = controller.activate(&mut cluster).expect("controller activation");
+    let events = controller
+        .activate(&mut cluster)
+        .expect("controller activation");
     for event in &events {
         match event {
             ControllerEvent::ThroughputOptimized(outcome) => {
@@ -67,5 +69,8 @@ fn main() {
         metrics.processing_latency_ms,
         metrics.kafka_lag,
     );
-    println!("model library now holds {} benefit model(s)", controller.library().len());
+    println!(
+        "model library now holds {} benefit model(s)",
+        controller.library().len()
+    );
 }

@@ -5,9 +5,7 @@
 use autrascale::{Algorithm1, AuTraScaleConfig, ThroughputOptimizer};
 use autrascale_baselines::{DrsConfig, DrsPolicy, Ds2Config, Ds2Policy, RateMetric};
 use autrascale_flinkctl::FlinkCluster;
-use autrascale_streamsim::{
-    JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
-};
+use autrascale_streamsim::{JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig};
 
 const RATE: f64 = 20_000.0;
 const TARGET_MS: f64 = 140.0;
@@ -59,13 +57,24 @@ fn every_policy_scales_the_bottleneck() {
     let thr = ThroughputOptimizer::new(&cfg).run(&mut c1).unwrap();
     let alg1 = Algorithm1::new(&cfg, thr.final_parallelism.clone(), 50);
     let autra = alg1.run(&mut c1, Vec::new()).unwrap();
-    assert!(autra.final_parallelism[1] >= 4, "AuTraScale {:?}", autra.final_parallelism);
+    assert!(
+        autra.final_parallelism[1] >= 4,
+        "AuTraScale {:?}",
+        autra.final_parallelism
+    );
 
     let mut c2 = fresh(11);
-    let ds2 = Ds2Policy::new(Ds2Config { policy_running_time: 120.0, ..Default::default() })
-        .run(&mut c2)
-        .unwrap();
-    assert!(ds2.final_parallelism[1] >= 4, "DS2 {:?}", ds2.final_parallelism);
+    let ds2 = Ds2Policy::new(Ds2Config {
+        policy_running_time: 120.0,
+        ..Default::default()
+    })
+    .run(&mut c2)
+    .unwrap();
+    assert!(
+        ds2.final_parallelism[1] >= 4,
+        "DS2 {:?}",
+        ds2.final_parallelism
+    );
 
     let mut c3 = fresh(12);
     let drs = DrsPolicy::new(DrsConfig {
@@ -76,7 +85,11 @@ fn every_policy_scales_the_bottleneck() {
     })
     .run(&mut c3)
     .unwrap();
-    assert!(drs.final_parallelism[1] >= 4, "DRS {:?}", drs.final_parallelism);
+    assert!(
+        drs.final_parallelism[1] >= 4,
+        "DRS {:?}",
+        drs.final_parallelism
+    );
 }
 
 #[test]
@@ -95,14 +108,20 @@ fn autrascale_meets_latency_where_ds2_does_not_try() {
     let (autra_latency, autra_tp) = steady_latency(&mut c1);
 
     let mut c2 = fresh(21);
-    let _ = Ds2Policy::new(Ds2Config { policy_running_time: 120.0, ..Default::default() })
-        .run(&mut c2)
-        .unwrap();
+    let _ = Ds2Policy::new(Ds2Config {
+        policy_running_time: 120.0,
+        ..Default::default()
+    })
+    .run(&mut c2)
+    .unwrap();
     let (_, ds2_tp) = steady_latency(&mut c2);
 
     // AuTraScale commits to the latency target; DS2 only to throughput.
     assert!(autra.meets_qos, "{autra:?}");
-    assert!(autra_latency <= TARGET_MS * 1.15, "steady latency {autra_latency}");
+    assert!(
+        autra_latency <= TARGET_MS * 1.15,
+        "steady latency {autra_latency}"
+    );
     // Both keep up with the rate.
     assert!(autra_tp >= RATE * 0.93, "{autra_tp}");
     assert!(ds2_tp >= RATE * 0.93, "{ds2_tp}");
@@ -161,7 +180,11 @@ fn external_cap_separates_autrascale_from_ds2_termination() {
     let mut c1 = build(40);
     let autra = ThroughputOptimizer::new(&cfg).run(&mut c1).unwrap();
     assert!(!autra.reached_input_rate);
-    assert!(autra.iterations < 8, "terminated early, got {}", autra.iterations);
+    assert!(
+        autra.iterations < 8,
+        "terminated early, got {}",
+        autra.iterations
+    );
 
     let mut c2 = build(41);
     let ds2 = Ds2Policy::new(Ds2Config {

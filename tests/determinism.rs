@@ -4,9 +4,7 @@
 
 use autrascale::{Algorithm1, AuTraScaleConfig, ThroughputOptimizer};
 use autrascale_flinkctl::FlinkCluster;
-use autrascale_streamsim::{
-    JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
-};
+use autrascale_streamsim::{JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig};
 
 fn job() -> JobGraph {
     JobGraph::linear(vec![

@@ -6,9 +6,7 @@ use autrascale::{
     Algorithm1, AuTraScaleConfig, ModelLibrary, ThroughputOptimizer, TransferLearner,
 };
 use autrascale_flinkctl::{FlinkCluster, JobControl, JobStatus};
-use autrascale_streamsim::{
-    JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
-};
+use autrascale_streamsim::{JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig};
 
 fn pipeline() -> JobGraph {
     JobGraph::linear(vec![
@@ -57,7 +55,11 @@ fn full_pipeline_meets_qos_from_cold_start() {
     assert!(thr.final_parallelism[2] >= 3, "{:?}", thr.final_parallelism);
 
     // Phase 2: Algorithm 1 to the latency target.
-    let alg1 = Algorithm1::new(&cfg, thr.final_parallelism.clone(), cluster.max_parallelism());
+    let alg1 = Algorithm1::new(
+        &cfg,
+        thr.final_parallelism.clone(),
+        cluster.max_parallelism(),
+    );
     let outcome = alg1.run(&mut cluster, Vec::new()).unwrap();
     assert!(outcome.meets_qos, "{outcome:?}");
     assert!(outcome.final_latency_ms <= cfg.target_latency_ms);
@@ -81,9 +83,16 @@ fn model_transfers_to_a_higher_rate() {
     // Train at 12k.
     let mut cluster = cluster_at(12_000.0, 2);
     let thr = ThroughputOptimizer::new(&cfg).run(&mut cluster).unwrap();
-    let alg1 = Algorithm1::new(&cfg, thr.final_parallelism.clone(), cluster.max_parallelism());
+    let alg1 = Algorithm1::new(
+        &cfg,
+        thr.final_parallelism.clone(),
+        cluster.max_parallelism(),
+    );
     let trained = alg1.run(&mut cluster, Vec::new()).unwrap();
-    assert!(trained.dataset.len() >= 4, "enough samples to transfer from");
+    assert!(
+        trained.dataset.len() >= 4,
+        "enough samples to transfer from"
+    );
     let mut library = ModelLibrary::new();
     library.insert(12_000.0, trained.dataset);
 
@@ -184,7 +193,10 @@ fn controller_recovers_from_operator_degradation() {
     controller.activate(&mut cluster).unwrap();
     cluster.run_for(400.0);
     let after = cluster.metrics_over(120.0).unwrap();
-    assert!(after.keeping_up(0.05), "controller must restore throughput: {after:?}");
+    assert!(
+        after.keeping_up(0.05),
+        "controller must restore throughput: {after:?}"
+    );
     assert!(
         cluster.parallelism()[1] > map_before,
         "Map should have been scaled up: {:?}",
@@ -214,7 +226,9 @@ fn throughput_optimizer_handles_branching_dags() {
     })
     .unwrap();
     let mut cluster = FlinkCluster::new(sim);
-    let outcome = ThroughputOptimizer::new(&config()).run(&mut cluster).unwrap();
+    let outcome = ThroughputOptimizer::new(&config())
+        .run(&mut cluster)
+        .unwrap();
     assert!(outcome.reached_input_rate, "{outcome:?}");
 
     let join_index = cluster
@@ -261,7 +275,10 @@ fn rate_aware_warm_start_kicks_in_after_two_models() {
     cluster.submit(&[1, 2, 2]).unwrap();
     cluster.run_for(60.0);
 
-    let cfg = AuTraScaleConfig { use_rate_aware_warm_start: true, ..config() };
+    let cfg = AuTraScaleConfig {
+        use_rate_aware_warm_start: true,
+        ..config()
+    };
     let mut controller = MapeController::new(cfg);
 
     // Model 1 at 10k (cold start), model 2 at 16k (Algorithm 2: only one
@@ -272,7 +289,9 @@ fn rate_aware_warm_start_kicks_in_after_two_models() {
     }
     let second = controller.activate(&mut cluster).unwrap();
     assert!(
-        second.iter().any(|e| matches!(e, ControllerEvent::Transferred(_))),
+        second
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::Transferred(_))),
         "second rate uses Algorithm 2: {second:?}"
     );
     assert_eq!(controller.library().len(), 2);

@@ -5,9 +5,7 @@
 use autrascale::{AuTraScaleConfig, ControllerEvent, MapeController};
 use autrascale_flinkctl::FlinkCluster;
 use autrascale_streamsim::rate_generators as generators;
-use autrascale_streamsim::{
-    JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
-};
+use autrascale_streamsim::{JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig};
 
 fn pipeline() -> JobGraph {
     JobGraph::linear(vec![
@@ -31,7 +29,11 @@ fn controller_config() -> AuTraScaleConfig {
     }
 }
 
-fn soak(profile: RateProfile, seed: u64, hours: f64) -> (MapeController, FlinkCluster, Vec<ControllerEvent>) {
+fn soak(
+    profile: RateProfile,
+    seed: u64,
+    hours: f64,
+) -> (MapeController, FlinkCluster, Vec<ControllerEvent>) {
     let sim = Simulation::new(SimulationConfig {
         job: pipeline(),
         profile,
@@ -96,8 +98,15 @@ fn bursty_traffic_recovers_between_bursts() {
 
 #[test]
 fn random_walk_rates_never_wedge_the_controller() {
-    let profile =
-        generators::random_walk(9, 12_000.0, 3_000.0, 1_800.0, 4.0 * 3600.0, 6_000.0, 24_000.0);
+    let profile = generators::random_walk(
+        9,
+        12_000.0,
+        3_000.0,
+        1_800.0,
+        4.0 * 3600.0,
+        6_000.0,
+        24_000.0,
+    );
     let (controller, mut cluster, events) = soak(profile, 33, 4.0);
     // The controller stayed live the whole run (activations never error;
     // soak() would have panicked otherwise) and kept learning.

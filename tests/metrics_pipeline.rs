@@ -58,9 +58,7 @@ fn flow_conservation_through_selectivities() {
         filter.input_rate,
         split.output_rate
     );
-    assert!(
-        (sink.input_rate - filter.output_rate).abs() < 0.05 * filter.output_rate.max(1.0)
-    );
+    assert!((sink.input_rate - filter.output_rate).abs() < 0.05 * filter.output_rate.max(1.0));
     // End to end: sink rate ≈ producer rate (steady state, selectivity 1).
     assert!((m.sink_rate - m.producer_rate).abs() < 0.1 * m.producer_rate);
 }
@@ -126,7 +124,11 @@ fn true_rate_is_capability_not_flow() {
         "observed {}",
         split.observed_rate_total
     );
-    assert!(split.true_rate_total > 15_000.0, "true {}", split.true_rate_total);
+    assert!(
+        split.true_rate_total > 15_000.0,
+        "true {}",
+        split.true_rate_total
+    );
 }
 
 #[test]
