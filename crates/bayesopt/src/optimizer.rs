@@ -12,7 +12,9 @@
 use crate::acquisition::{expected_improvement_with, thompson_sample, upper_confidence_bound_with};
 use crate::space::SearchSpace;
 use crate::{to_features, write_features};
-use autrascale_gp::{fit_subset, FitOptions, GaussianProcess, PredictScratch};
+use autrascale_gp::{
+    fit_auto_warm, fit_subset, FitOptions, GaussianProcess, PredictScratch, WarmStart,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -59,6 +61,25 @@ pub struct BoOptions {
     /// O(m³) instead of O(n³); the paper's §VII "reduce the training
     /// costs").
     pub max_surrogate_points: usize,
+    /// Hyperparameter-refit period of the incremental observe→suggest
+    /// path. `1` (the default) reproduces the paper's Algorithm 1
+    /// exactly: a full `fit_auto` before every suggestion. With `k > 1`,
+    /// the hyperparameter search runs only once `k` new observations have
+    /// accumulated (warm-started from the previous optimum; see
+    /// [`WarmStart`]); in between, [`BayesOpt::observe`] extends the
+    /// cached surrogate with a rank-1 Cholesky append — O(n²) instead of
+    /// O(n³)·restarts per iteration, with predictions bit-identical to a
+    /// from-scratch refit at the same hyperparameters.
+    pub refit_every: usize,
+    /// Per-observation log-marginal-likelihood degradation a warm-started
+    /// hyperparameter fit may show before escalating to the full
+    /// multi-start search.
+    pub warm_lml_tolerance: f64,
+    /// Test/diagnostic mode: keep the incremental path's exact refit
+    /// schedule but rebuild the surrogate from scratch instead of rank-1
+    /// updates. The parity suite compares this against the default
+    /// incremental path; production code leaves it `false`.
+    pub force_full_refit: bool,
     /// Seed for candidate sampling.
     pub seed: u64,
 }
@@ -73,6 +94,9 @@ impl Default for BoOptions {
             local_refinement_rounds: 3,
             fit: FitOptions::default(),
             max_surrogate_points: 200,
+            refit_every: 1,
+            warm_lml_tolerance: 0.25,
+            force_full_refit: false,
             seed: 0xB0,
         }
     }
@@ -106,6 +130,20 @@ impl fmt::Display for BoError {
 
 impl std::error::Error for BoError {}
 
+/// Cached surrogate of the incremental observe→suggest path.
+#[derive(Debug, Clone)]
+struct SurrogateState {
+    gp: GaussianProcess,
+    /// `observations.len()` at the last hyperparameter fit — the refit
+    /// schedule counts new observations from here.
+    hyperfit_len: usize,
+    /// The model can no longer be extended in place (a rank-1 append
+    /// failed, e.g. on a duplicate configuration); the next suggest
+    /// rebuilds it from scratch at the same hyperparameters, where the
+    /// full jitter-escalation ladder runs.
+    dirty: bool,
+}
+
 /// Bayesian optimizer over a [`SearchSpace`] of parallelism vectors,
 /// maximizing an externally observed score.
 #[derive(Debug, Clone)]
@@ -113,6 +151,7 @@ pub struct BayesOpt {
     space: SearchSpace,
     options: BoOptions,
     observations: Vec<(Vec<u32>, f64)>,
+    surrogate: Option<SurrogateState>,
     rng: StdRng,
 }
 
@@ -124,6 +163,7 @@ impl BayesOpt {
             space,
             options,
             observations: Vec::new(),
+            surrogate: None,
             rng,
         }
     }
@@ -131,12 +171,53 @@ impl BayesOpt {
     /// Records a scored configuration. Re-observing a configuration is
     /// allowed (streaming QoS is noisy); both samples are kept.
     ///
+    /// On the incremental path (`refit_every > 1`) this also folds the new
+    /// sample into the cached surrogate with a rank-1 Cholesky append —
+    /// O(n²), hyperparameters unchanged. Appends that would make the Gram
+    /// matrix singular (duplicate configurations at low noise) mark the
+    /// cache dirty instead; the next [`suggest`](Self::suggest) rebuilds
+    /// it through the jittered full-refit fallback.
+    ///
     /// # Panics
     ///
     /// Panics if `k` has the wrong arity for the space.
     pub fn observe(&mut self, k: Vec<u32>, score: f64) {
         assert_eq!(k.len(), self.space.dim(), "observe: arity mismatch");
         self.observations.push((k, score));
+        if self.incremental_active() {
+            self.extend_cached_surrogate();
+        } else {
+            self.surrogate = None;
+        }
+    }
+
+    /// `true` while the incremental path owns the surrogate: a refit
+    /// period is configured and the training set is still below the
+    /// sparsification cap (beyond it, subset-of-data refits take over and
+    /// rank-1 appends no longer apply).
+    fn incremental_active(&self) -> bool {
+        self.options.refit_every > 1 && self.observations.len() <= self.options.max_surrogate_points
+    }
+
+    /// Folds the newest observation into the cached surrogate, flagging
+    /// the cache dirty when the append cannot be done in place.
+    fn extend_cached_surrogate(&mut self) {
+        if self.options.force_full_refit {
+            // Parity mode: the surrogate is synced from scratch on the
+            // next suggest instead.
+            return;
+        }
+        let Some(state) = &mut self.surrogate else {
+            return;
+        };
+        if state.dirty || state.gp.len() + 1 != self.observations.len() {
+            state.dirty = true;
+            return;
+        }
+        let (k, score) = self.observations.last().expect("just pushed");
+        if state.gp.extend_observation(to_features(k), *score).is_err() {
+            state.dirty = true;
+        }
     }
 
     /// All observations so far.
@@ -157,25 +238,97 @@ impl BayesOpt {
         &self.space
     }
 
-    /// Fits the surrogate on the current observations.
+    /// Fits the surrogate on the current observations from scratch
+    /// (hyperparameters re-optimized; farthest-point sparsification past
+    /// the cap). This is the legacy Algorithm 1 path — the incremental
+    /// schedule lives in [`surrogate`](Self::surrogate).
     pub fn fit_surrogate(&self) -> Result<GaussianProcess, BoError> {
         if self.observations.is_empty() {
             return Err(BoError::NoObservations);
         }
-        let x: Vec<Vec<f64>> = self
+        let (x, y) = self.training_data();
+        fit_subset(x, y, self.options.max_surrogate_points, &self.options.fit)
+            .map_err(|e| BoError::SurrogateFit(e.to_string()))
+    }
+
+    /// Observation features/targets in insertion order.
+    fn training_data(&self) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x = self
             .observations
             .iter()
             .map(|(k, _)| to_features(k))
             .collect();
-        let y: Vec<f64> = self.observations.iter().map(|(_, s)| *s).collect();
-        fit_subset(x, y, self.options.max_surrogate_points, &self.options.fit)
-            .map_err(|e| BoError::SurrogateFit(e.to_string()))
+        let y = self.observations.iter().map(|(_, s)| *s).collect();
+        (x, y)
+    }
+
+    /// The surrogate the next [`suggest`](Self::suggest) will score with,
+    /// fitting or updating as the incremental policy dictates:
+    ///
+    /// * `refit_every == 1` (default) or past the sparsification cap —
+    ///   a fresh [`fit_surrogate`](Self::fit_surrogate) every call;
+    /// * otherwise the cached model is first *synced* to all observations
+    ///   at its current hyperparameters (already done by `observe`'s
+    ///   rank-1 appends unless the cache is dirty or
+    ///   [`BoOptions::force_full_refit`] is set, in which case it refits
+    ///   from scratch at the same fixed hyperparameters — bit-identical
+    ///   either way), then a warm-started hyperparameter fit runs iff
+    ///   `refit_every` new observations have accumulated.
+    pub fn surrogate(&mut self) -> Result<GaussianProcess, BoError> {
+        if self.observations.is_empty() {
+            return Err(BoError::NoObservations);
+        }
+        if !self.incremental_active() {
+            self.surrogate = None;
+            return self.fit_surrogate();
+        }
+        let n = self.observations.len();
+
+        // Sync the cached model to n observations at fixed hyperparameters.
+        if let Some(state) = &self.surrogate {
+            if state.dirty || state.gp.len() != n {
+                let config = state.gp.config().clone();
+                let (x, y) = self.training_data();
+                match GaussianProcess::fit(x, y, config) {
+                    Ok(gp) => {
+                        let state = self.surrogate.as_mut().expect("checked above");
+                        state.gp = gp;
+                        state.dirty = false;
+                    }
+                    // Not factorizable even with full jitter escalation:
+                    // drop the cache and let the hyperparameter search
+                    // below pick a config that is.
+                    Err(_) => self.surrogate = None,
+                }
+            }
+        }
+
+        let hyperfit_due = match &self.surrogate {
+            None => true,
+            Some(state) => n >= state.hyperfit_len + self.options.refit_every,
+        };
+        if hyperfit_due {
+            let warm = self
+                .surrogate
+                .as_ref()
+                .map(|s| WarmStart::from_model(&s.gp, self.options.warm_lml_tolerance));
+            let (x, y) = self.training_data();
+            let gp = fit_auto_warm(x, y, &self.options.fit, warm.as_ref())
+                .map_err(|e| BoError::SurrogateFit(e.to_string()))?;
+            self.surrogate = Some(SurrogateState {
+                gp: gp.clone(),
+                hyperfit_len: n,
+                dirty: false,
+            });
+            return Ok(gp);
+        }
+        Ok(self.surrogate.as_ref().expect("synced above").gp.clone())
     }
 
     /// Suggests the next configuration to evaluate: the EI maximizer over
     /// the candidate set, preferring configurations not yet observed.
     pub fn suggest(&mut self) -> Result<Vec<u32>, BoError> {
-        let gp = self.fit_surrogate()?;
+        let gp = self.surrogate()?;
         Ok(self.suggest_with(&gp))
     }
 
@@ -589,6 +742,170 @@ mod acquisition_dispatch_tests {
         let a = run_with(Acquisition::Thompson);
         let b = run_with(Acquisition::Thompson);
         assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+#[cfg(test)]
+mod incremental_tests {
+    use super::*;
+
+    fn hidden(k: &[u32]) -> f64 {
+        let d0 = k[0] as f64 - 4.0;
+        let d1 = k[1] as f64 - 2.0;
+        1.0 - 0.05 * (d0 * d0 + d1 * d1)
+    }
+
+    fn bo_with(options: BoOptions) -> BayesOpt {
+        let space = SearchSpace::new(vec![1, 1], vec![8, 8]).unwrap();
+        let mut bo = BayesOpt::new(space, options);
+        for k in [[1u32, 1], [8, 8], [1, 8], [8, 1], [4, 4]] {
+            bo.observe(k.to_vec(), hidden(&k));
+        }
+        bo
+    }
+
+    /// Default options with the incremental path enabled.
+    fn incremental_options(force_full_refit: bool) -> BoOptions {
+        BoOptions {
+            refit_every: 4,
+            force_full_refit,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn incremental_matches_forced_full_refit_bitwise() {
+        let mut fast = bo_with(incremental_options(false));
+        let mut slow = bo_with(incremental_options(true));
+        for step in 0..12 {
+            let a = fast.surrogate().unwrap();
+            let b = slow.surrogate().unwrap();
+            assert_eq!(
+                a.log_marginal_likelihood().to_bits(),
+                b.log_marginal_likelihood().to_bits(),
+                "step {step}"
+            );
+            let ka = fast.suggest_with(&a);
+            let kb = slow.suggest_with(&b);
+            assert_eq!(ka, kb, "step {step}");
+            let s = hidden(&ka);
+            fast.observe(ka, s);
+            slow.observe(kb, s);
+        }
+    }
+
+    #[test]
+    fn incremental_path_still_converges() {
+        let mut bo = bo_with(incremental_options(false));
+        for _ in 0..12 {
+            let k = bo.suggest().unwrap();
+            let s = hidden(&k);
+            bo.observe(k, s);
+        }
+        let (best_k, best_s) = bo.best().unwrap();
+        assert!(best_s > 0.97, "best score {best_s} at {best_k:?}");
+    }
+
+    #[test]
+    fn hyperparameters_fixed_between_scheduled_refits() {
+        let mut bo = bo_with(incremental_options(false));
+        let first = bo.surrogate().unwrap();
+        let cfg = first.config().clone();
+        // Within the refit period the cached hyperparameters must not move.
+        for k in [[2u32, 2], [3, 3], [5, 2]] {
+            bo.observe(k.to_vec(), hidden(&k));
+            let gp = bo.surrogate().unwrap();
+            if bo.observations().len() < 5 + bo.options.refit_every {
+                assert_eq!(
+                    gp.config().noise_variance.to_bits(),
+                    cfg.noise_variance.to_bits()
+                );
+                assert_eq!(
+                    gp.config().kernel.signal_variance().to_bits(),
+                    cfg.kernel.signal_variance().to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_observation_routes_through_full_refit_fallback() {
+        // Regression: appending a duplicate configuration makes the
+        // bordered Gram singular — the rank-1 append must be refused and
+        // the next suggest must recover via the jittered from-scratch
+        // refit instead of panicking or corrupting the surrogate.
+        let fit = FitOptions {
+            min_noise_variance: 1e-12, // leave the Gram as singular as possible
+            ..Default::default()
+        };
+        let mut bo = bo_with(BoOptions {
+            refit_every: 8,
+            fit,
+            ..Default::default()
+        });
+        let _ = bo.surrogate().unwrap(); // prime the cache
+        for _ in 0..3 {
+            bo.observe(vec![4, 4], hidden(&[4, 4])); // exact duplicates
+        }
+        let gp = bo.surrogate().unwrap();
+        assert_eq!(gp.len(), bo.observations().len());
+        assert!(gp.log_marginal_likelihood().is_finite());
+        let k = bo.suggest().unwrap();
+        assert!(bo.space().contains(&k));
+        // And the duplicate-laden incremental run still matches parity
+        // with the forced-full path.
+        let mut forced = bo_with(BoOptions {
+            refit_every: 8,
+            force_full_refit: true,
+            fit: FitOptions {
+                min_noise_variance: 1e-12,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let _ = forced.surrogate().unwrap();
+        for _ in 0..3 {
+            forced.observe(vec![4, 4], hidden(&[4, 4]));
+        }
+        let gp_forced = forced.surrogate().unwrap();
+        assert_eq!(
+            gp.log_marginal_likelihood().to_bits(),
+            gp_forced.log_marginal_likelihood().to_bits()
+        );
+        assert_eq!(bo.suggest().unwrap(), forced.suggest().unwrap());
+    }
+
+    #[test]
+    fn refit_every_one_is_legacy_path() {
+        // The default must reproduce the seed behavior: surrogate() is
+        // exactly fit_surrogate() on every call.
+        let mut bo = bo_with(BoOptions::default());
+        let a = bo.surrogate().unwrap();
+        let b = bo.fit_surrogate().unwrap();
+        assert_eq!(
+            a.log_marginal_likelihood().to_bits(),
+            b.log_marginal_likelihood().to_bits()
+        );
+    }
+
+    #[test]
+    fn crossing_sparsification_cap_leaves_incremental_mode() {
+        let space = SearchSpace::new(vec![1], vec![64]).unwrap();
+        let mut bo = BayesOpt::new(
+            space,
+            BoOptions {
+                refit_every: 4,
+                max_surrogate_points: 10,
+                ..Default::default()
+            },
+        );
+        for k in 1..=20u32 {
+            bo.observe(vec![k], 1.0 / (1.0 + (k as f64 - 7.0).abs()));
+        }
+        let gp = bo.surrogate().unwrap();
+        assert_eq!(gp.len(), 10, "sparsified past the cap");
+        let k = bo.suggest().unwrap();
+        assert!(bo.space().contains(&k));
     }
 }
 

@@ -1,0 +1,144 @@
+//! Recorded-trace parity: the incremental observe→suggest path must be
+//! indistinguishable from forced full refits over a whole Algorithm 1 run.
+//!
+//! The incremental optimizer runs a 40-step seeded loop first, recording
+//! every suggestion and score. A second optimizer with
+//! `force_full_refit` — identical schedule, but every surrogate is
+//! rebuilt from scratch — then replays the recorded observations and must
+//! reproduce the recorded suggestion at every step, with posterior
+//! mean/variance agreeing within 1e-8 (the models are in fact
+//! bit-identical; the tolerance is the contract, the bit equality the
+//! implementation).
+//!
+//! Everything is relative between the two runs — no environment-dependent
+//! constants — so the test pins the equivalence, not one RNG's arithmetic.
+
+use autrascale_bayesopt::{BayesOpt, BoOptions, SearchSpace};
+use autrascale_gp::FitOptions;
+
+const STEPS: usize = 40;
+
+/// Deterministic noisy-bowl objective over a 2-operator space.
+fn objective(k: &[u32], step: usize) -> f64 {
+    let d0 = k[0] as f64 - 5.0;
+    let d1 = k[1] as f64 - 3.0;
+    // Deterministic "noise" so duplicate configurations get distinct
+    // scores, as streaming QoS measurements would.
+    let wobble = ((step * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
+    1.0 - 0.04 * (d0 * d0 + d1 * d1) + 0.01 * wobble
+}
+
+fn options(force_full_refit: bool) -> BoOptions {
+    BoOptions {
+        refit_every: 5,
+        force_full_refit,
+        // Keep hyperfits cheap: the trace covers 40 surrogate updates.
+        fit: FitOptions {
+            restarts: 2,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn seeded(force_full_refit: bool) -> BayesOpt {
+    // 8×8 = 64 ≤ max_enumeration: candidates enumerate deterministically,
+    // so no sampling RNG is involved in either run.
+    let space = SearchSpace::new(vec![1, 1], vec![8, 8]).unwrap();
+    let mut bo = BayesOpt::new(space, options(force_full_refit));
+    for k in [[1u32, 1], [8, 8], [1, 8], [8, 1], [4, 4]] {
+        bo.observe(k.to_vec(), objective(&k, 0));
+    }
+    bo
+}
+
+#[test]
+fn incremental_run_matches_forced_full_refit_replay() {
+    // Phase 1: drive the incremental optimizer, recording the trace.
+    let mut fast = seeded(false);
+    let mut trace: Vec<(Vec<u32>, f64)> = Vec::with_capacity(STEPS);
+    let mut fast_models = Vec::with_capacity(STEPS);
+    for step in 1..=STEPS {
+        let gp = fast.surrogate().expect("surrogate fit");
+        let k = fast.suggest_with(&gp);
+        let s = objective(&k, step);
+        fast.observe(k.clone(), s);
+        trace.push((k, s));
+        fast_models.push(gp);
+    }
+
+    // Phase 2: replay the recorded trace through the forced-full optimizer.
+    let mut slow = seeded(true);
+    let probes: Vec<Vec<f64>> = (1..=8)
+        .flat_map(|a| [vec![a as f64, 2.0], vec![a as f64, 6.5]])
+        .collect();
+    for (step, (recorded_k, recorded_s)) in trace.iter().enumerate() {
+        let gp = slow.surrogate().expect("surrogate fit");
+        let suggested = slow.suggest_with(&gp);
+        assert_eq!(
+            &suggested, recorded_k,
+            "step {step}: forced-full suggestion diverged from the recorded trace"
+        );
+
+        // Posterior parity at every step, across the whole probe grid.
+        let fast_gp = &fast_models[step];
+        assert_eq!(fast_gp.len(), gp.len(), "step {step}: training set size");
+        for q in &probes {
+            let pf = fast_gp.predict(q);
+            let ps = gp.predict(q);
+            assert!(
+                (pf.mean - ps.mean).abs() <= 1e-8,
+                "step {step} at {q:?}: mean {} vs {}",
+                pf.mean,
+                ps.mean
+            );
+            let vf = pf.std * pf.std;
+            let vs = ps.std * ps.std;
+            assert!(
+                (vf - vs).abs() <= 1e-8,
+                "step {step} at {q:?}: variance {vf} vs {vs}"
+            );
+            // The implementation promises more than the tolerance: the
+            // two paths are bit-identical.
+            assert_eq!(pf.mean.to_bits(), ps.mean.to_bits(), "step {step} {q:?}");
+            assert_eq!(pf.std.to_bits(), ps.std.to_bits(), "step {step} {q:?}");
+        }
+
+        slow.observe(recorded_k.clone(), *recorded_s);
+    }
+
+    // Both optimizers saw identical histories end to end.
+    assert_eq!(fast.observations(), slow.observations());
+}
+
+#[test]
+fn legacy_schedule_is_unaffected_by_parity_knobs() {
+    // refit_every = 1 ignores force_full_refit entirely: both are the
+    // seed's fit-every-suggest behavior.
+    let run = |force: bool| {
+        let space = SearchSpace::new(vec![1, 1], vec![6, 6]).unwrap();
+        let mut bo = BayesOpt::new(
+            space,
+            BoOptions {
+                force_full_refit: force,
+                fit: FitOptions {
+                    restarts: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        for k in [[1u32, 1], [6, 6], [3, 3]] {
+            bo.observe(k.to_vec(), objective(&k, 0));
+        }
+        let mut out = Vec::new();
+        for step in 1..=6 {
+            let k = bo.suggest().unwrap();
+            let s = objective(&k, step);
+            bo.observe(k.clone(), s);
+            out.push(k);
+        }
+        out
+    };
+    assert_eq!(run(false), run(true));
+}

@@ -4,6 +4,7 @@
 //! | bench group | what it measures |
 //! |---|---|
 //! | `bo_suggest` | full suggest: fit_auto + candidate scoring (50 obs × 2048 sampled candidates) |
+//! | `observe_then_suggest` | one steady-state observe→suggest cycle at n = 128: incremental rank-1 path vs full refit |
 //! | `gp_fit_auto` | multi-start marginal-likelihood fit alone |
 //! | `gram_build` | one Gram build: direct `kernel.eval` vs the distance cache |
 //!
@@ -73,6 +74,51 @@ fn bench_bo_suggest(c: &mut Criterion) {
     });
 }
 
+/// One steady-state observe→suggest cycle at n = 128: the incremental
+/// path (rank-1 Cholesky append + cached hyperparameters, O(n²)) against
+/// the legacy refit path (full multi-start `fit_auto` per suggest, O(n³)
+/// per restart). Both optimizers are primed with 128 observations and a
+/// fitted surrogate; the measured iteration folds in one new observation
+/// and asks for the next configuration.
+fn bench_observe_then_suggest(c: &mut Criterion) {
+    let dim = 4;
+    let n = 128;
+    let space = SearchSpace::new(vec![1; dim], vec![32; dim]).unwrap();
+    let hist = history(n + 1, dim);
+    let (seed_hist, next_obs) = hist.split_at(n);
+    let next_obs = &next_obs[0];
+
+    let mut group = c.benchmark_group("observe_then_suggest");
+    let cases = [
+        (
+            "incremental_n128",
+            BoOptions {
+                // Mid-period: the measured iteration extends the cached
+                // surrogate instead of re-running the hyperparameter fit.
+                refit_every: 64,
+                ..Default::default()
+            },
+        ),
+        ("full_refit_n128", BoOptions::default()),
+    ];
+    for (name, opts) in cases {
+        let mut seeded = BayesOpt::new(space.clone(), opts);
+        for (k, s) in seed_hist {
+            seeded.observe(k.clone(), *s);
+        }
+        // Prime the cached surrogate so the measurement starts mid-period.
+        seeded.surrogate().unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut bo = seeded.clone();
+                bo.observe(next_obs.0.clone(), next_obs.1);
+                black_box(bo.suggest().unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Multi-start Nelder–Mead hyperparameter fit: ~10³ LML evaluations, each
 /// one Gram rebuild + Cholesky.
 fn bench_gp_fit_auto(c: &mut Criterion) {
@@ -116,6 +162,7 @@ fn bench_gram_build(c: &mut Criterion) {
 criterion_group!(
     hotpath,
     bench_bo_suggest,
+    bench_observe_then_suggest,
     bench_gp_fit_auto,
     bench_gram_build
 );

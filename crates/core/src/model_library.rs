@@ -7,7 +7,7 @@
 //! whose rate is closest to the new one (Algorithm 2 consumes it as
 //! `M_{c−1}`).
 
-use autrascale_gp::{fit_auto, FitOptions, GaussianProcess, GpError};
+use autrascale_gp::{fit_auto_with_cache, FitOptions, GaussianProcess, GpError, PairwiseSqDists};
 use serde::{Deserialize, Serialize};
 
 /// One stored benefit model: the input rate it was trained at plus its
@@ -21,22 +21,44 @@ pub struct BenefitModel {
 }
 
 impl BenefitModel {
-    /// Fits the Gaussian process for this model's dataset.
-    pub fn fit(&self, seed: u64) -> Result<GaussianProcess, GpError> {
-        let x: Vec<Vec<f64>> = self
-            .dataset
+    /// The dataset's parallelism vectors as GP feature vectors, in order.
+    pub fn features(&self) -> Vec<Vec<f64>> {
+        self.dataset
             .iter()
             .map(|(k, _)| k.iter().map(|&v| v as f64).collect())
-            .collect();
+            .collect()
+    }
+
+    /// Fits the Gaussian process for this model's dataset.
+    pub fn fit(&self, seed: u64) -> Result<GaussianProcess, GpError> {
+        self.fit_cached(seed).map(|(gp, _)| gp)
+    }
+
+    /// Fits the Gaussian process and also returns the pairwise-distance
+    /// cache built from the dataset's features, so callers that go on to
+    /// refit models over the same inputs — Algorithm 2 seeds its residual
+    /// model's cache from the prior fit when it starts from the prior's
+    /// own sample set — reuse it instead of recomputing distances.
+    pub fn fit_cached(&self, seed: u64) -> Result<(GaussianProcess, PairwiseSqDists), GpError> {
+        if self.dataset.is_empty() {
+            return Err(GpError::EmptyTrainingSet);
+        }
+        let x = self.features();
+        if x.iter().any(|xi| xi.len() != x[0].len()) {
+            return Err(GpError::RaggedInputs);
+        }
         let y: Vec<f64> = self.dataset.iter().map(|(_, s)| *s).collect();
-        fit_auto(
+        let dists = PairwiseSqDists::new(&x, false);
+        let gp = fit_auto_with_cache(
             x,
             y,
             &FitOptions {
                 seed,
                 ..Default::default()
             },
-        )
+            dists.clone(),
+        )?;
+        Ok((gp, dists))
     }
 
     /// Leave-one-out RMSE of the fitted model — the measurable form of
@@ -165,6 +187,77 @@ mod tests {
         // Prediction near a training point tracks its score.
         let p = gp.predict(&[1.0, 2.0]);
         assert!((p.mean - 0.9).abs() < 0.2, "mean {}", p.mean);
+    }
+
+    #[test]
+    fn closest_picks_nearest_of_many_and_first_on_ties() {
+        let mut lib = ModelLibrary::new();
+        for rate in [10_000.0, 40_000.0, 90_000.0] {
+            lib.insert(rate, sample_dataset());
+        }
+        assert_eq!(lib.closest(9_000.0).unwrap().rate, 10_000.0);
+        assert_eq!(lib.closest(64_000.0).unwrap().rate, 40_000.0);
+        assert_eq!(lib.closest(1e9).unwrap().rate, 90_000.0);
+        // Exactly equidistant: min_by keeps the earliest-inserted model.
+        assert_eq!(lib.closest(25_000.0).unwrap().rate, 10_000.0);
+    }
+
+    #[test]
+    fn features_cast_parallelism_in_order() {
+        let model = BenefitModel {
+            rate: 1.0,
+            dataset: sample_dataset(),
+        };
+        assert_eq!(
+            model.features(),
+            vec![vec![1.0, 2.0], vec![2.0, 4.0], vec![4.0, 8.0]]
+        );
+    }
+
+    #[test]
+    fn fit_cached_matches_fit_bitwise_and_returns_matching_cache() {
+        let model = BenefitModel {
+            rate: 1.0,
+            dataset: vec![
+                (vec![1, 2], 0.9),
+                (vec![2, 4], 0.7),
+                (vec![4, 8], 0.5),
+                (vec![6, 6], 0.6),
+                (vec![3, 1], 0.8),
+            ],
+        };
+        let plain = model.fit(7).unwrap();
+        let (cached, dists) = model.fit_cached(7).unwrap();
+        assert_eq!(
+            plain.log_marginal_likelihood().to_bits(),
+            cached.log_marginal_likelihood().to_bits()
+        );
+        assert_eq!(dists.len(), model.dataset.len());
+        let p = plain.predict(&[2.0, 3.0]);
+        let c = cached.predict(&[2.0, 3.0]);
+        assert_eq!(p.mean.to_bits(), c.mean.to_bits());
+        assert_eq!(p.std.to_bits(), c.std.to_bits());
+    }
+
+    #[test]
+    fn fit_cached_rejects_degenerate_datasets() {
+        let empty = BenefitModel {
+            rate: 1.0,
+            dataset: vec![],
+        };
+        assert!(matches!(
+            empty.fit_cached(7),
+            Err(autrascale_gp::GpError::EmptyTrainingSet)
+        ));
+        let ragged = BenefitModel {
+            rate: 1.0,
+            dataset: vec![(vec![1, 2], 0.9), (vec![3], 0.5)],
+        };
+        assert!(matches!(
+            ragged.fit_cached(7),
+            Err(autrascale_gp::GpError::RaggedInputs)
+        ));
+        assert!(ragged.fit(7).is_err());
     }
 }
 

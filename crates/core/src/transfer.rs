@@ -19,7 +19,12 @@ use crate::config::AuTraScaleConfig;
 use crate::model_library::BenefitModel;
 use autrascale_bayesopt::bootstrap_set;
 use autrascale_flinkctl::JobControl;
-use autrascale_gp::{fit_auto, FitOptions, GaussianProcess};
+use autrascale_gp::{fit_auto_with_cache, FitOptions, GaussianProcess, PairwiseSqDists, SqDistRow};
+
+/// A parallelism vector as GP features.
+fn features_of(k: &[u32]) -> Vec<f64> {
+    k.iter().map(|&v| v as f64).collect()
+}
 
 /// Algorithm 2 runner.
 #[derive(Debug, Clone)]
@@ -54,7 +59,9 @@ impl TransferLearner {
         prior: &BenefitModel,
         initial_real: Vec<(Vec<u32>, f64)>,
     ) -> Result<ElasticityOutcome, String> {
-        let prior_gp = prior.fit(self.config.seed).map_err(|e| e.to_string())?;
+        let (prior_gp, prior_dists) = prior
+            .fit_cached(self.config.seed)
+            .map_err(|e| e.to_string())?;
 
         let mut d_c: Vec<(Vec<u32>, f64)> = initial_real;
         let mut history: Vec<IterationRecord> = Vec::new();
@@ -79,9 +86,28 @@ impl TransferLearner {
             }
         }
 
+        // Residual training set, maintained incrementally: the loop refits
+        // the residual model on the same inputs plus one new row each
+        // iteration, so the pairwise-distance cache is extended with
+        // `push_row` instead of being rebuilt (ROADMAP "reuse the
+        // PairwiseSqDists cache across the model library"). When `D_c`
+        // starts as the prior's own sample set, the prior fit's cache is
+        // reused outright.
+        let mut resid_x: Vec<Vec<f64>> = d_c.iter().map(|(k, _)| features_of(k)).collect();
+        let mut resid_y: Vec<f64> = d_c
+            .iter()
+            .zip(&resid_x)
+            .map(|((_, s), f)| s - prior_gp.predict(f).mean)
+            .collect();
+        let mut resid_dists = if resid_x == prior.features() {
+            prior_dists
+        } else {
+            PairwiseSqDists::new(&resid_x, false)
+        };
+
         loop {
             // Residual model on the real samples (Algorithm 2, lines 2–5).
-            let residual_gp = self.fit_residual(&prior_gp, &d_c)?;
+            let residual_gp = self.fit_residual(&resid_x, &resid_y, &resid_dists)?;
 
             // Estimated scores for the bootstrap design (lines 6–13).
             let design = bootstrap_set(
@@ -109,6 +135,10 @@ impl TransferLearner {
 
             // One Algorithm 1 step on the augmented set (line 14).
             let record = self.algorithm1.step_with_dataset(cluster, &d_predict)?;
+            let features = features_of(&record.parallelism);
+            resid_dists.push_row(&SqDistRow::new(&resid_x, &features, false));
+            resid_y.push(record.score - prior_gp.predict(&features).mean);
+            resid_x.push(features);
             d_c.push((record.parallelism.clone(), record.score));
             history.push(record.clone());
             num += 1;
@@ -133,29 +163,23 @@ impl TransferLearner {
         }
     }
 
-    /// Fits the residual GP `M'_c` over `{(k, s − μ_{c−1}(k))}`.
+    /// Fits the residual GP `M'_c` over `{(k, s − μ_{c−1}(k))}`, reusing
+    /// the caller's incrementally-extended pairwise-distance cache.
     fn fit_residual(
         &self,
-        prior_gp: &GaussianProcess,
-        d_c: &[(Vec<u32>, f64)],
+        resid_x: &[Vec<f64>],
+        resid_y: &[f64],
+        dists: &PairwiseSqDists,
     ) -> Result<GaussianProcess, String> {
-        let x: Vec<Vec<f64>> = d_c
-            .iter()
-            .map(|(k, _)| k.iter().map(|&v| v as f64).collect())
-            .collect();
-        let y: Vec<f64> = d_c
-            .iter()
-            .zip(&x)
-            .map(|((_, s), features)| s - prior_gp.predict(features).mean)
-            .collect();
-        fit_auto(
-            x,
-            y,
+        fit_auto_with_cache(
+            resid_x.to_vec(),
+            resid_y.to_vec(),
             &FitOptions {
                 seed: self.config.seed,
                 restarts: 2,
                 ..Default::default()
             },
+            dists.clone(),
         )
         .map_err(|e| e.to_string())
     }
@@ -269,6 +293,100 @@ mod tests {
         if outcome.iterations > 1 {
             assert!(predicted > 0);
         }
+    }
+
+    #[test]
+    fn residual_fit_on_shared_cache_matches_plain_fit_bitwise() {
+        // `fit_residual` consumes a caller-maintained distance cache; the
+        // result must be bit-identical to fitting from scratch on the same
+        // residual data, whether the cache was built fresh or extended one
+        // row at a time with `push_row`.
+        let tl = TransferLearner::new(&config(), vec![1, 4], 12);
+        let x: Vec<Vec<f64>> = vec![
+            vec![1.0, 4.0],
+            vec![2.0, 5.0],
+            vec![4.0, 4.0],
+            vec![6.0, 8.0],
+        ];
+        let y = vec![0.1, -0.05, 0.2, -0.15];
+
+        let mut grown = autrascale_gp::PairwiseSqDists::new(&x[..2], false);
+        for i in 2..x.len() {
+            grown.push_row(&autrascale_gp::SqDistRow::new(&x[..i], &x[i], false));
+        }
+        let fresh = autrascale_gp::PairwiseSqDists::new(&x, false);
+
+        let from_grown = tl.fit_residual(&x, &y, &grown).unwrap();
+        let from_fresh = tl.fit_residual(&x, &y, &fresh).unwrap();
+        let scratch = autrascale_gp::fit_auto(
+            x.clone(),
+            y.clone(),
+            &FitOptions {
+                seed: config().seed,
+                restarts: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        for gp in [&from_grown, &from_fresh] {
+            assert_eq!(
+                gp.log_marginal_likelihood().to_bits(),
+                scratch.log_marginal_likelihood().to_bits()
+            );
+            for q in [[1.5, 4.5], [5.0, 6.0], [8.0, 2.0]] {
+                let a = gp.predict(&q);
+                let b = scratch.predict(&q);
+                assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+                assert_eq!(a.std.to_bits(), b.std.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn prior_cache_is_reused_when_seeded_with_prior_samples() {
+        // When `D_c` starts as exactly the prior's own sample set, the
+        // residual cache is seeded from `fit_cached`'s — the run must still
+        // behave correctly (converge or fall back within the space).
+        let prior = trained_prior();
+        let initial: Vec<(Vec<u32>, f64)> = prior.dataset.clone();
+        let mut fc = cluster_at(12_000.0, 14);
+        fc.submit(&[1, 4]).unwrap();
+        let tl = TransferLearner::new(&config(), vec![1, 4], 12);
+        let outcome = tl.run(&mut fc, &prior, initial).unwrap();
+        assert!(tl.algorithm1().space().contains(&outcome.final_parallelism));
+        // The seeded samples are part of the final dataset.
+        assert!(outcome.dataset.len() >= prior.dataset.len());
+    }
+
+    #[test]
+    fn switches_to_algorithm1_when_qos_is_unreachable_early() {
+        // An impossible latency target: transfer iterations can never meet
+        // QoS, so after exactly `n_num` real samples Algorithm 2 must hand
+        // over to Algorithm 1 (paper lines 17–19) instead of looping.
+        let prior = trained_prior();
+        let mut fc = cluster_at(12_000.0, 15);
+        fc.submit(&[1, 4]).unwrap();
+        let cfg = AuTraScaleConfig {
+            target_latency_ms: 1e-6,
+            n_num: 2,
+            max_bo_iters: 3,
+            ..config()
+        };
+        let tl = TransferLearner::new(&cfg, vec![1, 4], 12);
+        let outcome = tl.run(&mut fc, &prior, Vec::new()).unwrap();
+        // Never met QoS, and iterations include both the transfer steps
+        // and the Algorithm 1 fallback budget.
+        assert!(!outcome.meets_qos);
+        assert!(outcome.iterations >= cfg.n_num);
+        assert!(tl.algorithm1().space().contains(&outcome.final_parallelism));
+        // The fallback ran real Algorithm 1 steps after the handover.
+        let real_steps = outcome
+            .history
+            .iter()
+            .filter(|r| r.phase != SamplePhase::Predicted)
+            .count();
+        assert!(real_steps > cfg.n_num, "fallback produced no real steps");
     }
 
     #[test]

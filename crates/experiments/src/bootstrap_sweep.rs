@@ -12,7 +12,7 @@
 
 use crate::{output, paper_config};
 use autrascale::{Algorithm1, ThroughputOptimizer};
-use autrascale_flinkctl::{FlinkCluster, JobControl};
+use autrascale_flinkctl::FlinkCluster;
 use autrascale_streamsim::Simulation;
 use autrascale_workloads::wordcount;
 use serde::Serialize;

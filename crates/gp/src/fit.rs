@@ -56,6 +56,38 @@ impl Default for FitOptions {
     }
 }
 
+/// Warm-start seed for [`fit_auto_warm`]: the previous optimum's
+/// log-hyperparameters plus the likelihood level they achieved, so a
+/// single Nelder–Mead run from the old optimum can replace the full
+/// multi-start search — escalating back to it only when the warm result's
+/// per-observation log marginal likelihood degrades past the tolerance.
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    /// `[ln ℓ₁ … ln ℓ_d, ln σ², ln σ_n²]` of the previous optimum.
+    params: Vec<f64>,
+    /// Per-observation LML the previous model achieved (normalizing by n
+    /// keeps the threshold meaningful while the training set grows).
+    prev_lml_per_obs: f64,
+    /// Maximum tolerated per-observation LML degradation before the full
+    /// multi-start search runs.
+    max_degradation: f64,
+}
+
+impl WarmStart {
+    /// Extracts a warm start from a fitted model.
+    pub fn from_model(gp: &GaussianProcess, max_degradation: f64) -> Self {
+        let kernel = &gp.config().kernel;
+        let mut params: Vec<f64> = kernel.lengthscales().iter().map(|l| l.ln()).collect();
+        params.push(kernel.signal_variance().ln());
+        params.push(gp.config().noise_variance.ln());
+        Self {
+            params,
+            prev_lml_per_obs: gp.log_marginal_likelihood() / gp.len() as f64,
+            max_degradation,
+        }
+    }
+}
+
 /// Fits a GP with hyperparameters chosen by maximizing the log marginal
 /// likelihood.
 ///
@@ -67,6 +99,52 @@ pub fn fit_auto(
     x: Vec<Vec<f64>>,
     y: Vec<f64>,
     options: &FitOptions,
+) -> Result<GaussianProcess, GpError> {
+    fit_impl(x, y, options, None, None)
+}
+
+/// [`fit_auto`] with an optional warm start from a previous optimum.
+///
+/// With `Some(warm)`, one Nelder–Mead run from the previous optimum is
+/// tried first; its result is accepted if the per-observation LML has not
+/// degraded past the warm start's tolerance, turning the usual
+/// `restarts + 1` searches into one. On degradation (or a failed warm
+/// run) the full multi-start search runs with the warm parameters as an
+/// extra start, so the result is never worse than the warm candidate.
+/// `fit_auto_warm(x, y, o, None)` is bit-identical to `fit_auto`.
+///
+/// A warm start whose dimensionality does not match `options` (e.g. the
+/// `ard` flag changed between fits) is ignored.
+pub fn fit_auto_warm(
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    options: &FitOptions,
+    warm: Option<&WarmStart>,
+) -> Result<GaussianProcess, GpError> {
+    fit_impl(x, y, options, warm, None)
+}
+
+/// [`fit_auto`] reusing a precomputed distance cache (must be built from
+/// exactly `x`, with per-dimension matrices when `options.ard` and the
+/// inputs are multi-dimensional). Bit-identical to `fit_auto`, minus the
+/// O(n²·d) distance pass — the refit-heavy paths in `autrascale-core`
+/// (Algorithm 2 residual models) extend one cache incrementally instead
+/// of rebuilding it per refit.
+pub fn fit_auto_with_cache(
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    options: &FitOptions,
+    cache: PairwiseSqDists,
+) -> Result<GaussianProcess, GpError> {
+    fit_impl(x, y, options, None, Some(cache))
+}
+
+fn fit_impl(
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    options: &FitOptions,
+    warm: Option<&WarmStart>,
+    cache: Option<PairwiseSqDists>,
 ) -> Result<GaussianProcess, GpError> {
     if x.is_empty() {
         return Err(GpError::EmptyTrainingSet);
@@ -101,7 +179,18 @@ pub fn fit_auto(
     let y_sd = autrascale_linalg::variance(&y).sqrt();
     let y_std = if y_sd > 1e-12 { y_sd } else { 1.0 };
     let y_norm: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
-    let dists = PairwiseSqDists::new(&x, options.ard && dim > 1);
+    let needs_per_dim = options.ard && dim > 1;
+    let dists = match cache {
+        Some(c) => {
+            assert_eq!(c.len(), n, "fit_auto_with_cache: cache length mismatch");
+            assert!(
+                !needs_per_dim || c.has_per_dim(),
+                "fit_auto_with_cache: ARD fit needs a per-dimension cache"
+            );
+            c
+        }
+        None => PairwiseSqDists::new(&x, needs_per_dim),
+    };
     let log_2pi_term = 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
 
     let build = |params: &[f64]| -> Option<(Kernel, f64)> {
@@ -139,11 +228,41 @@ pub fn fit_auto(
         -lml
     };
 
-    let mut starts: Vec<Vec<f64>> = Vec::with_capacity(options.restarts + 1);
+    let nm_opts = NelderMeadOptions {
+        max_evals: options.max_evals_per_restart,
+        ..Default::default()
+    };
+
+    // Warm-start fast path: one Nelder–Mead run from the previous optimum.
+    // Accepted when the likelihood level holds up; otherwise the warm
+    // parameters join the multi-start pool below so the full search can
+    // only improve on them.
+    let warm = warm.filter(|w| w.params.len() == n_ls + 2);
+    if let Some(w) = warm {
+        let r = minimize(objective, &w.params, nm_opts);
+        if !r.fx.is_nan() && -r.fx / n as f64 >= w.prev_lml_per_obs - w.max_degradation {
+            let (kernel, noise) = build(&r.x).expect("non-NaN objective implies a valid candidate");
+            return GaussianProcess::fit_with_dists(
+                x,
+                y,
+                GpConfig {
+                    kernel,
+                    noise_variance: noise,
+                    normalize_y: true,
+                },
+                dists,
+            );
+        }
+    }
+
+    let mut starts: Vec<Vec<f64>> = Vec::with_capacity(options.restarts + 2);
     let mut deterministic = vec![init_ls.ln(); n_ls];
     deterministic.push(0.0); // signal variance 1 (targets are normalized)
     deterministic.push((1e-3_f64).ln());
     starts.push(deterministic);
+    if let Some(w) = warm {
+        starts.push(w.params.clone());
+    }
 
     let mut rng = StdRng::seed_from_u64(options.seed);
     for _ in 0..options.restarts {
@@ -154,11 +273,6 @@ pub fn fit_auto(
         s.push(rng.gen_range(-12.0..-2.0));
         starts.push(s);
     }
-
-    let nm_opts = NelderMeadOptions {
-        max_evals: options.max_evals_per_restart,
-        ..Default::default()
-    };
 
     // Restarts are independent; run them in parallel. `collect` preserves
     // start order, and the winner scan below is serial, so the outcome
@@ -184,7 +298,7 @@ pub fn fit_auto(
     match best {
         Some((idx, _)) => {
             let (kernel, noise) = build(&results[idx].x).expect("winning candidate re-validates");
-            GaussianProcess::fit(
+            GaussianProcess::fit_with_dists(
                 x,
                 y,
                 GpConfig {
@@ -192,10 +306,11 @@ pub fn fit_auto(
                     noise_variance: noise,
                     normalize_y: true,
                 },
+                dists,
             )
         }
         // Every optimized candidate failed; fall back to the heuristic.
-        None => GaussianProcess::fit(
+        None => GaussianProcess::fit_with_dists(
             x,
             y,
             GpConfig {
@@ -203,6 +318,7 @@ pub fn fit_auto(
                 noise_variance: 1e-4,
                 normalize_y: true,
             },
+            dists,
         ),
     }
 }
@@ -339,5 +455,127 @@ mod tests {
     fn single_sample_fits() {
         let gp = fit_auto(vec![vec![2.0]], vec![7.0], &FitOptions::default()).unwrap();
         assert!((gp.predict(&[2.0]).mean - 7.0).abs() < 1e-6);
+    }
+
+    fn wave_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 * 0.35]).collect();
+        let y: Vec<f64> = x.iter().map(|v| (v[0] * 0.8).sin()).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn fit_auto_warm_without_warm_start_is_fit_auto_bitwise() {
+        let (x, y) = wave_data(12);
+        let opts = FitOptions::default();
+        let a = fit_auto(x.clone(), y.clone(), &opts).unwrap();
+        let b = fit_auto_warm(x, y, &opts, None).unwrap();
+        assert_eq!(
+            a.log_marginal_likelihood().to_bits(),
+            b.log_marginal_likelihood().to_bits()
+        );
+    }
+
+    #[test]
+    fn warm_start_holds_likelihood_level() {
+        // Fit on a prefix, then warm-fit the grown set: the warm result
+        // may take the single-NM fast path, but its likelihood must stay
+        // within the tolerance of the full multi-start search.
+        let (x, y) = wave_data(16);
+        let opts = FitOptions::default();
+        let prev = fit_auto(x[..14].to_vec(), y[..14].to_vec(), &opts).unwrap();
+        let warm = WarmStart::from_model(&prev, 0.25);
+        let warm_fit = fit_auto_warm(x.clone(), y.clone(), &opts, Some(&warm)).unwrap();
+        let full_fit = fit_auto(x, y, &opts).unwrap();
+        let per_obs_gap = (full_fit.log_marginal_likelihood() - warm_fit.log_marginal_likelihood())
+            / full_fit.len() as f64;
+        assert!(per_obs_gap <= 0.25 + 1e-9, "gap {per_obs_gap}");
+        assert!(warm_fit.log_marginal_likelihood().is_finite());
+    }
+
+    #[test]
+    fn warm_start_is_deterministic() {
+        let (x, y) = wave_data(14);
+        let opts = FitOptions::default();
+        let prev = fit_auto(x[..10].to_vec(), y[..10].to_vec(), &opts).unwrap();
+        let warm = WarmStart::from_model(&prev, 0.25);
+        let a = fit_auto_warm(x.clone(), y.clone(), &opts, Some(&warm)).unwrap();
+        let b = fit_auto_warm(x, y, &opts, Some(&warm)).unwrap();
+        assert_eq!(
+            a.log_marginal_likelihood().to_bits(),
+            b.log_marginal_likelihood().to_bits()
+        );
+    }
+
+    #[test]
+    fn degraded_warm_start_escalates_to_full_search() {
+        // A warm start demanding an unattainable likelihood level (and
+        // seeded with absurd hyperparameters) must fall back to the
+        // multi-start search — with the warm params as an extra start, the
+        // result can only match or beat plain fit_auto.
+        let (x, y) = wave_data(12);
+        let opts = FitOptions::default();
+        let warm = WarmStart {
+            params: vec![(1e5_f64).ln(), (1e5_f64).ln(), (1e2_f64).ln()],
+            prev_lml_per_obs: f64::INFINITY,
+            max_degradation: 0.0,
+        };
+        let escalated = fit_auto_warm(x.clone(), y.clone(), &opts, Some(&warm)).unwrap();
+        let plain = fit_auto(x, y, &opts).unwrap();
+        assert!(
+            escalated.log_marginal_likelihood() >= plain.log_marginal_likelihood() - 1e-9,
+            "escalated {} vs plain {}",
+            escalated.log_marginal_likelihood(),
+            plain.log_marginal_likelihood()
+        );
+    }
+
+    #[test]
+    fn mismatched_warm_start_dimensionality_is_ignored() {
+        // ard=false expects 3 params; a 4-param warm start (from an ARD
+        // fit) must be ignored, reducing to plain fit_auto.
+        let (x, y) = wave_data(10);
+        let opts = FitOptions::default();
+        let warm = WarmStart {
+            params: vec![0.0, 0.0, 0.0, -3.0],
+            prev_lml_per_obs: -1.0,
+            max_degradation: 0.25,
+        };
+        let a = fit_auto_warm(x.clone(), y.clone(), &opts, Some(&warm)).unwrap();
+        let b = fit_auto(x, y, &opts).unwrap();
+        assert_eq!(
+            a.log_marginal_likelihood().to_bits(),
+            b.log_marginal_likelihood().to_bits()
+        );
+    }
+
+    #[test]
+    fn fit_auto_with_cache_matches_fit_auto_bitwise() {
+        let x: Vec<Vec<f64>> = (0..11)
+            .map(|i| vec![i as f64 * 0.4, (i % 3) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| v[0].sin() - 0.1 * v[1]).collect();
+        for ard in [false, true] {
+            let opts = FitOptions {
+                ard,
+                restarts: 2,
+                ..Default::default()
+            };
+            let cache = PairwiseSqDists::new(&x, ard);
+            let a = fit_auto(x.clone(), y.clone(), &opts).unwrap();
+            let b = fit_auto_with_cache(x.clone(), y.clone(), &opts, cache).unwrap();
+            assert_eq!(
+                a.log_marginal_likelihood().to_bits(),
+                b.log_marginal_likelihood().to_bits(),
+                "ard={ard}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cache length mismatch")]
+    fn stale_cache_panics() {
+        let (x, y) = wave_data(8);
+        let cache = PairwiseSqDists::new(&x[..6], false);
+        let _ = fit_auto_with_cache(x, y, &FitOptions::default(), cache);
     }
 }

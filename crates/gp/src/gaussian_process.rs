@@ -8,8 +8,9 @@
 //! scores AuTraScale trains on live in [0, 1], while residual models
 //! (Algorithm 2) can be centered anywhere.
 
+use crate::gram::{PairwiseSqDists, SqDistRow};
 use crate::kernel::Kernel;
-use autrascale_linalg::{Cholesky, CholeskyError, Matrix};
+use autrascale_linalg::{Cholesky, CholeskyError};
 use std::fmt;
 
 /// Configuration of a [`GaussianProcess`].
@@ -102,6 +103,9 @@ pub struct GaussianProcess {
     y_raw: Vec<f64>,
     y_mean: f64,
     y_std: f64,
+    /// Pairwise squared distances of `x`, kept so the model can be
+    /// extended one observation at a time without an O(n²·d) recompute.
+    dists: PairwiseSqDists,
     chol: Cholesky,
     alpha: Vec<f64>,
     log_marginal_likelihood: f64,
@@ -110,6 +114,31 @@ pub struct GaussianProcess {
 impl GaussianProcess {
     /// Trains a GP on `(x, y)` with the given configuration.
     pub fn fit(x: Vec<Vec<f64>>, y: Vec<f64>, config: GpConfig) -> Result<Self, GpError> {
+        Self::fit_impl(x, y, config, None)
+    }
+
+    /// Like [`fit`](Self::fit) but reusing a precomputed distance cache,
+    /// skipping the O(n²·d) distance pass. Bit-identical to `fit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dists` was not built from exactly `x` (length mismatch)
+    /// or lacks per-dimension matrices while `config.kernel` is ARD.
+    pub fn fit_with_dists(
+        x: Vec<Vec<f64>>,
+        y: Vec<f64>,
+        config: GpConfig,
+        dists: PairwiseSqDists,
+    ) -> Result<Self, GpError> {
+        Self::fit_impl(x, y, config, Some(dists))
+    }
+
+    fn fit_impl(
+        x: Vec<Vec<f64>>,
+        y: Vec<f64>,
+        config: GpConfig,
+        dists: Option<PairwiseSqDists>,
+    ) -> Result<Self, GpError> {
         if x.is_empty() {
             return Err(GpError::EmptyTrainingSet);
         }
@@ -138,8 +167,21 @@ impl GaussianProcess {
         let y_norm: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
 
         let n = x.len();
-        let mut gram = Matrix::from_fn(n, n, |i, j| config.kernel.eval(&x[i], &x[j]));
-        gram.add_diagonal(config.noise_variance.max(0.0));
+        let ard = config.kernel.lengthscales().len() > 1;
+        let dists = match dists {
+            Some(d) => {
+                assert_eq!(d.len(), n, "fit_with_dists: cache length mismatch");
+                assert!(
+                    !ard || d.has_per_dim(),
+                    "fit_with_dists: ARD kernel needs a per-dimension cache"
+                );
+                d
+            }
+            None => PairwiseSqDists::new(&x, ard),
+        };
+        // Bit-identical to evaluating `kernel.eval` entry-wise and adding
+        // the noise diagonal (the invariant `gram` documents and tests).
+        let gram = dists.gram(&config.kernel, config.noise_variance.max(0.0));
         let chol = Cholesky::decompose(&gram).map_err(GpError::SingularKernelMatrix)?;
         let alpha = chol.solve(&y_norm);
 
@@ -156,10 +198,74 @@ impl GaussianProcess {
             y_raw: y,
             y_mean,
             y_std,
+            dists,
             chol,
             alpha,
             log_marginal_likelihood: lml,
         })
+    }
+
+    /// Appends one observation in O(n²) with hyperparameters held fixed:
+    /// the cached distances gain a row, the Cholesky factor is extended by
+    /// [`Cholesky::rank1_append`], and the normalization, `α` and log
+    /// marginal likelihood are recomputed with exactly the arithmetic
+    /// [`fit`](Self::fit) uses — so a successful extension is
+    /// bit-identical to refitting from scratch on the extended training
+    /// set with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// `self` is left unchanged on every error:
+    ///
+    /// * [`GpError::RaggedInputs`] — `x_new` has the wrong dimensionality;
+    /// * [`GpError::NonFiniteTarget`] — `y_new` is NaN or infinite;
+    /// * [`GpError::SingularKernelMatrix`] — the bordered Gram matrix
+    ///   needs more jitter than the current factor carries (typically
+    ///   `x_new` duplicates a training input at low noise). Recover by
+    ///   refitting from scratch via `fit`, whose jitter escalation runs
+    ///   the full ladder.
+    pub fn extend_observation(&mut self, x_new: Vec<f64>, y_new: f64) -> Result<(), GpError> {
+        if x_new.len() != self.x[0].len() {
+            return Err(GpError::RaggedInputs);
+        }
+        if !y_new.is_finite() {
+            return Err(GpError::NonFiniteTarget);
+        }
+
+        let row = SqDistRow::new(&self.x, &x_new, self.dists.has_per_dim());
+        let col = row.kernel_column(&self.config.kernel);
+        let diag = self.config.kernel.signal_variance() + self.config.noise_variance.max(0.0);
+        let chol = self
+            .chol
+            .rank1_append(&col, diag)
+            .map_err(GpError::SingularKernelMatrix)?;
+
+        // Factor extended — commit the new point.
+        self.dists.push_row(&row);
+        self.x.push(x_new);
+        self.y_raw.push(y_new);
+        let (y_mean, y_std) = if self.config.normalize_y {
+            let m = autrascale_linalg::mean(&self.y_raw);
+            let s = autrascale_linalg::variance(&self.y_raw).sqrt();
+            (m, if s > 1e-12 { s } else { 1.0 })
+        } else {
+            (0.0, 1.0)
+        };
+        self.y_mean = y_mean;
+        self.y_std = y_std;
+        self.y_norm = self.y_raw.iter().map(|v| (v - y_mean) / y_std).collect();
+        self.alpha = chol.solve(&self.y_norm);
+        let data_fit: f64 = self
+            .y_norm
+            .iter()
+            .zip(&self.alpha)
+            .map(|(a, b)| a * b)
+            .sum();
+        self.log_marginal_likelihood = -0.5 * data_fit
+            - 0.5 * chol.log_determinant()
+            - 0.5 * self.x.len() as f64 * (2.0 * std::f64::consts::PI).ln();
+        self.chol = chol;
+        Ok(())
     }
 
     /// Posterior prediction at a query point.
@@ -421,6 +527,138 @@ mod tests {
             assert_eq!(pw.mean.to_bits(), b.mean.to_bits());
             assert_eq!(pw.std.to_bits(), b.std.to_bits());
         }
+    }
+
+    /// Asserts two GPs are bitwise-identical observables: LML plus
+    /// mean/std at a probe grid.
+    fn assert_models_identical(a: &GaussianProcess, b: &GaussianProcess, probes: &[Vec<f64>]) {
+        assert_eq!(
+            a.log_marginal_likelihood().to_bits(),
+            b.log_marginal_likelihood().to_bits(),
+            "lml {} vs {}",
+            a.log_marginal_likelihood(),
+            b.log_marginal_likelihood()
+        );
+        for q in probes {
+            let pa = a.predict(q);
+            let pb = b.predict(q);
+            assert_eq!(pa.mean.to_bits(), pb.mean.to_bits(), "mean at {q:?}");
+            assert_eq!(pa.std.to_bits(), pb.std.to_bits(), "std at {q:?}");
+        }
+    }
+
+    #[test]
+    fn extend_observation_matches_full_refit_bitwise() {
+        let mut x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * 0.7]).collect();
+        let mut y: Vec<f64> = x.iter().map(|v| (v[0] * 0.5).sin()).collect();
+        let mut gp = GaussianProcess::fit(x.clone(), y.clone(), config()).unwrap();
+        let probes: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.41 - 1.0]).collect();
+        // Grow one point at a time; every intermediate model must equal a
+        // from-scratch fit bit for bit.
+        for step in 0..5 {
+            let x_new = vec![7.3 + step as f64 * 0.9];
+            let y_new = (x_new[0] * 0.5).sin() + 0.01 * step as f64;
+            gp.extend_observation(x_new.clone(), y_new).unwrap();
+            x.push(x_new);
+            y.push(y_new);
+            let scratch = GaussianProcess::fit(x.clone(), y.clone(), config()).unwrap();
+            assert_eq!(gp.len(), scratch.len());
+            assert_models_identical(&gp, &scratch, &probes);
+        }
+    }
+
+    #[test]
+    fn extend_observation_matches_full_refit_ard_and_unnormalized() {
+        let mut x: Vec<Vec<f64>> = (0..8)
+            .map(|i| vec![i as f64 * 0.5, (i % 3) as f64])
+            .collect();
+        let mut y: Vec<f64> = x.iter().map(|v| v[0].cos() + 0.3 * v[1]).collect();
+        let cfg = GpConfig {
+            kernel: Kernel::ard(KernelKind::Rbf, vec![1.1, 2.3], 1.4),
+            noise_variance: 1e-5,
+            normalize_y: false,
+        };
+        let mut gp = GaussianProcess::fit(x.clone(), y.clone(), cfg.clone()).unwrap();
+        let probes = vec![vec![0.3, 0.5], vec![2.7, 1.9], vec![5.0, 0.0]];
+        for step in 0..3 {
+            let x_new = vec![4.1 + step as f64, 1.5];
+            let y_new = x_new[0].cos() + 0.3 * x_new[1];
+            gp.extend_observation(x_new.clone(), y_new).unwrap();
+            x.push(x_new);
+            y.push(y_new);
+            let scratch = GaussianProcess::fit(x.clone(), y.clone(), cfg.clone()).unwrap();
+            assert_models_identical(&gp, &scratch, &probes);
+        }
+    }
+
+    #[test]
+    fn extend_observation_on_jittered_factor_matches_full_refit() {
+        // Duplicate inputs in the original fit force jitter > 0; extending
+        // that factor must carry the jitter and still agree with a
+        // from-scratch refit on the extended set.
+        let cfg = GpConfig {
+            noise_variance: 0.0,
+            ..config()
+        };
+        let x = vec![vec![1.0], vec![1.0], vec![3.0]];
+        let y = vec![0.5, 0.5, 0.9];
+        let mut gp = GaussianProcess::fit(x.clone(), y.clone(), cfg.clone()).unwrap();
+        gp.extend_observation(vec![5.0], 0.2).unwrap();
+        let mut x2 = x;
+        x2.push(vec![5.0]);
+        let mut y2 = y;
+        y2.push(0.2);
+        let scratch = GaussianProcess::fit(x2, y2, cfg).unwrap();
+        assert_models_identical(&gp, &scratch, &[vec![0.0], vec![2.0], vec![4.5]]);
+    }
+
+    #[test]
+    fn extend_observation_duplicate_input_errors_and_leaves_model_intact() {
+        let cfg = GpConfig {
+            noise_variance: 0.0,
+            ..config()
+        };
+        let x = vec![vec![0.0], vec![2.0], vec![4.0]];
+        let y = vec![0.1, 0.7, 0.3];
+        let mut gp = GaussianProcess::fit(x, y, cfg).unwrap();
+        let before_lml = gp.log_marginal_likelihood();
+        let before_p = gp.predict(&[1.0]);
+        // An exact duplicate of a training input with zero noise makes the
+        // bordered Gram singular at the carried jitter.
+        let err = gp.extend_observation(vec![2.0], 0.7).unwrap_err();
+        assert!(matches!(err, GpError::SingularKernelMatrix(_)), "{err:?}");
+        assert_eq!(gp.len(), 3, "failed extension must not grow the model");
+        assert_eq!(gp.log_marginal_likelihood().to_bits(), before_lml.to_bits());
+        let after_p = gp.predict(&[1.0]);
+        assert_eq!(before_p.mean.to_bits(), after_p.mean.to_bits());
+    }
+
+    #[test]
+    fn extend_observation_validates_inputs() {
+        let mut gp =
+            GaussianProcess::fit(vec![vec![0.0], vec![1.0]], vec![0.0, 1.0], config()).unwrap();
+        assert!(matches!(
+            gp.extend_observation(vec![0.5, 0.5], 1.0),
+            Err(GpError::RaggedInputs)
+        ));
+        assert!(matches!(
+            gp.extend_observation(vec![0.5], f64::NAN),
+            Err(GpError::NonFiniteTarget)
+        ));
+        assert_eq!(gp.len(), 2);
+    }
+
+    #[test]
+    fn fit_with_dists_matches_fit_bitwise() {
+        let x: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![i as f64 * 0.3, (i % 4) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| v[0].sin() + 0.2 * v[1]).collect();
+        let cfg = GpConfig::paper_default(1.0);
+        let dists = crate::gram::PairwiseSqDists::new(&x, false);
+        let a = GaussianProcess::fit(x.clone(), y.clone(), cfg.clone()).unwrap();
+        let b = GaussianProcess::fit_with_dists(x, y, cfg, dists).unwrap();
+        assert_models_identical(&a, &b, &[vec![0.7, 1.1], vec![2.0, 3.0]]);
     }
 
     #[test]

@@ -15,6 +15,109 @@
 use crate::kernel::Kernel;
 use autrascale_linalg::Matrix;
 
+/// Squared distances from one new point to an existing training set — the
+/// unit [`PairwiseSqDists::push_row`] appends when a surrogate grows by a
+/// single observation (the incremental observe path).
+#[derive(Debug, Clone)]
+pub struct SqDistRow {
+    /// `Σ_d (x_j[d] − x_new[d])²` for each existing point `j`.
+    total: Vec<f64>,
+    /// `(x_j[d] − x_new[d])²` per dimension; present iff the target cache
+    /// keeps per-dimension matrices.
+    per_dim: Option<Vec<Vec<f64>>>,
+}
+
+impl SqDistRow {
+    /// Distances from `x_new` to every point of `x`, accumulated in the
+    /// same dimension-ascending order as [`PairwiseSqDists::new`] so the
+    /// appended cache is bit-identical to one rebuilt from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or `x_new` has a different dimensionality.
+    pub fn new(x: &[Vec<f64>], x_new: &[f64], per_dim: bool) -> Self {
+        assert!(!x.is_empty(), "SqDistRow: empty training set");
+        let dim = x_new.len();
+        assert!(
+            x.iter().all(|xi| xi.len() == dim),
+            "SqDistRow: dimensionality mismatch"
+        );
+        let n = x.len();
+        let mut total = Vec::with_capacity(n);
+        let mut dims = if per_dim {
+            vec![vec![0.0; n]; dim]
+        } else {
+            Vec::new()
+        };
+        for (j, xj) in x.iter().enumerate() {
+            let mut sum = 0.0;
+            for (d, (a, b)) in xj.iter().zip(x_new).enumerate() {
+                let delta = a - b;
+                let d2 = delta * delta;
+                sum += d2;
+                if per_dim {
+                    dims[d][j] = d2;
+                }
+            }
+            total.push(sum);
+        }
+        Self {
+            total,
+            per_dim: per_dim.then_some(dims),
+        }
+    }
+
+    /// Number of existing points the row measures against.
+    pub fn len(&self) -> usize {
+        self.total.len()
+    }
+
+    /// `true` when the row is empty (never constructible; API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.total.is_empty()
+    }
+
+    /// The kernel cross-covariance column `k(x_j, x_new)` for all existing
+    /// `j`, computed with exactly the arithmetic [`PairwiseSqDists::gram`]
+    /// uses — so it is bit-identical to the off-diagonal border of the Gram
+    /// matrix a from-scratch rebuild over the extended inputs would produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is ARD but the row was built without
+    /// per-dimension distances, or the ARD dimensionality differs.
+    pub fn kernel_column(&self, kernel: &Kernel) -> Vec<f64> {
+        let n_ls = kernel.lengthscales().len();
+        if n_ls == 1 {
+            let inv = kernel.inv_sq_lengthscale(0);
+            self.total
+                .iter()
+                .map(|&d2| kernel.eval_from_sqdist(d2 * inv))
+                .collect()
+        } else {
+            let dims = self
+                .per_dim
+                .as_ref()
+                .expect("ARD kernel column requires a per-dimension distance row");
+            assert_eq!(
+                dims.len(),
+                n_ls,
+                "ARD lengthscale count differs from row dimensionality"
+            );
+            let inv: Vec<f64> = (0..n_ls).map(|d| kernel.inv_sq_lengthscale(d)).collect();
+            (0..self.total.len())
+                .map(|j| {
+                    let mut r2 = 0.0;
+                    for (dmat, inv_d) in dims.iter().zip(&inv) {
+                        r2 += dmat[j] * inv_d;
+                    }
+                    kernel.eval_from_sqdist(r2)
+                })
+                .collect()
+        }
+    }
+}
+
 /// Hyperparameter-independent pairwise squared distances of a training set.
 #[derive(Debug, Clone)]
 pub struct PairwiseSqDists {
@@ -90,6 +193,52 @@ impl PairwiseSqDists {
     /// `true` when per-dimension matrices were cached (ARD-capable).
     pub fn has_per_dim(&self) -> bool {
         self.per_dim.is_some()
+    }
+
+    /// Appends one point to the cache in O(n·d): the result is
+    /// bit-identical to rebuilding [`PairwiseSqDists::new`] over the
+    /// extended input set (existing entries are copied verbatim; the new
+    /// row/column comes from `row`, which accumulates in the same
+    /// canonical order).
+    ///
+    /// The flattened n×n buffers are re-laid-out to (n+1)×(n+1), so the
+    /// append itself is O(n²) memory traffic — still far below the O(n³)
+    /// refactorization it enables callers to skip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` measures against a different number of points than
+    /// the cache holds, or its per-dimension presence/shape differs.
+    pub fn push_row(&mut self, row: &SqDistRow) {
+        let n = self.n;
+        assert_eq!(row.total.len(), n, "push_row: row length mismatch");
+        assert_eq!(
+            row.per_dim.is_some(),
+            self.per_dim.is_some(),
+            "push_row: per-dimension presence mismatch"
+        );
+        let m = n + 1;
+        let grow = |flat: &[f64], border: &[f64]| -> Vec<f64> {
+            let mut out = vec![0.0; m * m];
+            for i in 0..n {
+                out[i * m..i * m + n].copy_from_slice(&flat[i * n..i * n + n]);
+                out[i * m + n] = border[i];
+                out[n * m + i] = border[i];
+            }
+            out
+        };
+        self.total = grow(&self.total, &row.total);
+        if let (Some(dims), Some(row_dims)) = (&mut self.per_dim, &row.per_dim) {
+            assert_eq!(
+                dims.len(),
+                row_dims.len(),
+                "push_row: per-dimension count mismatch"
+            );
+            for (dmat, drow) in dims.iter_mut().zip(row_dims) {
+                *dmat = grow(dmat, drow);
+            }
+        }
+        self.n = m;
     }
 
     /// Builds the noisy Gram matrix `K + noise·I` for `kernel` from the
@@ -251,5 +400,89 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_inputs_panic() {
         let _ = PairwiseSqDists::new(&[vec![0.0], vec![1.0, 2.0]], false);
+    }
+
+    #[test]
+    fn push_row_matches_from_scratch_cache_bitwise() {
+        let mut rng = Lcg(0xA11CE);
+        for per_dim in [false, true] {
+            for dim in [1usize, 3] {
+                let mut x = random_inputs(&mut rng, 9, dim);
+                let mut dists = PairwiseSqDists::new(&x, per_dim);
+                // Grow by three points, one at a time.
+                for _ in 0..3 {
+                    let x_new: Vec<f64> = (0..dim).map(|_| rng.next_f64(-5.0, 5.0)).collect();
+                    let row = SqDistRow::new(&x, &x_new, per_dim);
+                    assert_eq!(row.len(), x.len());
+                    dists.push_row(&row);
+                    x.push(x_new);
+                }
+                let scratch = PairwiseSqDists::new(&x, per_dim);
+                assert_eq!(dists.len(), scratch.len());
+                let k = Kernel::isotropic(KernelKind::Matern52, 1.1, 1.7);
+                let a = dists.gram(&k, 1e-4);
+                let b = scratch.gram(&k, 1e-4);
+                for i in 0..x.len() {
+                    for j in 0..x.len() {
+                        assert_eq!(
+                            a[(i, j)].to_bits(),
+                            b[(i, j)].to_bits(),
+                            "per_dim={per_dim} dim={dim} entry ({i}, {j})"
+                        );
+                    }
+                }
+                if per_dim && dim > 1 {
+                    let ls: Vec<f64> = (0..dim).map(|_| rng.next_f64(0.3, 2.0)).collect();
+                    let ard = Kernel::ard(KernelKind::Rbf, ls, 1.0);
+                    let a = dists.gram(&ard, 1e-6);
+                    let b = scratch.gram(&ard, 1e-6);
+                    assert!(a.max_abs_diff(&b).unwrap() == 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_column_matches_gram_border_bitwise() {
+        let mut rng = Lcg(0xC0FFEE);
+        for dim in [1usize, 2] {
+            let mut x = random_inputs(&mut rng, 7, dim);
+            let x_new: Vec<f64> = (0..dim).map(|_| rng.next_f64(-5.0, 5.0)).collect();
+            let row = SqDistRow::new(&x, &x_new, true);
+            x.push(x_new);
+            let full = PairwiseSqDists::new(&x, true);
+            for kernel in [
+                Kernel::isotropic(KernelKind::Matern32, 0.9, 2.2),
+                Kernel::ard(KernelKind::Rbf, vec![0.7; dim], 1.3),
+            ] {
+                let col = row.kernel_column(&kernel);
+                let gram = full.gram(&kernel, 1e-3);
+                for (j, cj) in col.iter().enumerate() {
+                    assert_eq!(
+                        cj.to_bits(),
+                        gram[(7, j)].to_bits(),
+                        "dim={dim} kernel={kernel:?} entry {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row length mismatch")]
+    fn push_row_length_mismatch_panics() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let mut dists = PairwiseSqDists::new(&x, false);
+        let row = SqDistRow::new(&x[..2], &[0.5], false);
+        dists.push_row(&row);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-dimension presence mismatch")]
+    fn push_row_per_dim_mismatch_panics() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let mut dists = PairwiseSqDists::new(&x, true);
+        let row = SqDistRow::new(&x, &[0.5], false);
+        dists.push_row(&row);
     }
 }

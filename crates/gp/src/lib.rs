@@ -41,8 +41,8 @@ pub mod neldermead;
 pub mod sparse;
 pub mod stats;
 
-pub use fit::{fit_auto, FitOptions};
+pub use fit::{fit_auto, fit_auto_warm, fit_auto_with_cache, FitOptions, WarmStart};
 pub use gaussian_process::{GaussianProcess, GpConfig, GpError, PredictScratch, Prediction};
-pub use gram::PairwiseSqDists;
+pub use gram::{PairwiseSqDists, SqDistRow};
 pub use kernel::{Kernel, KernelKind};
 pub use sparse::{fit_subset, select_subset};

@@ -173,6 +173,60 @@ impl Cholesky {
         (0..n).map(|i| l[i * n + i].ln()).sum::<f64>() * 2.0
     }
 
+    /// Extends the factor of an n×n matrix `A` to the factor of the
+    /// (n+1)×(n+1) bordered matrix `[[A, k], [kᵀ, d]]` in O(n²): one
+    /// forward solve `y = L⁻¹ k` for the new row plus the downdated pivot
+    /// `√(d + jitter − yᵀy)`.
+    ///
+    /// The carried jitter is applied to the new diagonal entry exactly as
+    /// [`decompose`](Self::decompose) would apply it to the bordered
+    /// matrix, and the new row/pivot arithmetic replays `try_factor`'s
+    /// last-row operations term for term — so when the append succeeds,
+    /// the result is bit-identical to `Cholesky::decompose` of the
+    /// bordered matrix (whose jitter escalation stops at the same level:
+    /// the leading n×n rows alone determine every earlier failure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CholeskyError::NotPositiveDefinite`] when the downdated
+    /// pivot is non-positive (or non-finite) — i.e. the bordered matrix
+    /// needs *more* jitter than this factor carries, which happens when
+    /// the new column nearly duplicates an existing one. `self` is
+    /// unchanged; callers should refactorize the bordered matrix from
+    /// scratch so the usual jitter escalation can run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col.len() != self.dim()`.
+    pub fn rank1_append(&self, col: &[f64], diag: f64) -> Result<Self, CholeskyError> {
+        let n = self.dim();
+        assert_eq!(col.len(), n, "rank1_append: column dimension mismatch");
+        // New off-diagonal row: y_j = (k_j − Σ_{m<j} L_{n,m} L_{j,m}) / L_{jj},
+        // which is exactly the forward solve L y = k.
+        let y = self.solve_lower(col);
+        // Downdate guard: the new pivot² must stay strictly positive after
+        // subtracting the solved row, matching try_factor's check.
+        let mut sum = diag + self.jitter;
+        for yi in &y {
+            sum -= yi * yi;
+        }
+        if sum <= 0.0 || !sum.is_finite() {
+            return Err(CholeskyError::NotPositiveDefinite);
+        }
+        let m = n + 1;
+        let old = self.factor.as_slice();
+        let mut l = vec![0.0; m * m];
+        for i in 0..n {
+            l[i * m..i * m + n].copy_from_slice(&old[i * n..i * n + n]);
+        }
+        l[n * m..n * m + n].copy_from_slice(&y);
+        l[n * m + n] = sum.sqrt();
+        Ok(Self {
+            factor: Matrix::from_vec(m, m, l),
+            jitter: self.jitter,
+        })
+    }
+
     /// The diagonal of `A⁻¹`, computed in one pass from `L⁻¹`:
     /// `[A⁻¹]_{ii} = Σ_{j≥i} (L⁻¹)_{ji}²` (column `i` of `L⁻¹` is the
     /// forward solve of the unit vector `e_i`, restricted to the trailing
@@ -338,6 +392,115 @@ mod tests {
         let chol = Cholesky::decompose(&a).unwrap();
         assert!(chol.jitter() > 0.0);
         assert!(chol.jitter() <= Cholesky::MAX_JITTER);
+    }
+
+    /// The bordered matrix `[[A, k], [kᵀ, d]]`.
+    fn bordered(a: &Matrix, col: &[f64], diag: f64) -> Matrix {
+        let n = a.rows();
+        Matrix::from_fn(n + 1, n + 1, |i, j| match (i == n, j == n) {
+            (false, false) => a[(i, j)],
+            (false, true) => col[i],
+            (true, false) => col[j],
+            (true, true) => diag,
+        })
+    }
+
+    #[test]
+    fn rank1_append_matches_from_scratch_factor_bitwise() {
+        let a = spd3();
+        let col = [0.9, -0.3, 0.5];
+        let diag = 3.0;
+        let base = Cholesky::decompose(&a).unwrap();
+        let extended = base.rank1_append(&col, diag).unwrap();
+        let scratch = Cholesky::decompose(&bordered(&a, &col, diag)).unwrap();
+        assert_eq!(extended.jitter(), scratch.jitter());
+        assert_eq!(extended.dim(), 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(
+                    extended.factor()[(i, j)].to_bits(),
+                    scratch.factor()[(i, j)].to_bits(),
+                    "entry ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank1_append_reconstructs_bordered_matrix() {
+        let a = spd3();
+        let col = [0.2, 1.1, -0.4];
+        let diag = 5.0;
+        let ext = Cholesky::decompose(&a)
+            .unwrap()
+            .rank1_append(&col, diag)
+            .unwrap();
+        let l = ext.factor();
+        let rebuilt = l.matmul(&l.transpose());
+        assert!(rebuilt.max_abs_diff(&bordered(&a, &col, diag)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn rank1_append_solves_like_bordered_factor() {
+        let a = spd3();
+        let col = [0.7, 0.1, 0.3];
+        let ext = Cholesky::decompose(&a)
+            .unwrap()
+            .rank1_append(&col, 2.5)
+            .unwrap();
+        let b = bordered(&a, &col, 2.5);
+        let x_true = [0.5, -1.0, 2.0, 0.25];
+        let rhs = b.matvec(&x_true);
+        for (xi, ti) in ext.solve(&rhs).iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn rank1_append_duplicate_column_is_rejected() {
+        // Appending a copy of training column 0 makes the bordered matrix
+        // singular: the downdated pivot collapses to ~0 and the guard must
+        // refuse rather than emit a garbage factor.
+        let a = spd3();
+        let base = Cholesky::decompose(&a).unwrap();
+        let col = [a[(0, 0)], a[(0, 1)], a[(0, 2)]];
+        assert!(matches!(
+            base.rank1_append(&col, a[(0, 0)]),
+            Err(CholeskyError::NotPositiveDefinite)
+        ));
+        // The base factor is untouched and still usable.
+        assert_eq!(base.dim(), 3);
+    }
+
+    #[test]
+    fn rank1_append_carries_jitter_and_matches_scratch() {
+        // PSD-singular base: decompose succeeds only with jitter. Appending
+        // an orthogonal-ish column must reuse that jitter and stay
+        // bit-identical to factoring the bordered matrix from scratch.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let base = Cholesky::decompose(&a).unwrap();
+        assert!(base.jitter() > 0.0);
+        let col = [0.1, 0.1];
+        let ext = base.rank1_append(&col, 2.0).unwrap();
+        assert_eq!(ext.jitter(), base.jitter());
+        let scratch = Cholesky::decompose(&bordered(&a, &col, 2.0)).unwrap();
+        assert_eq!(scratch.jitter(), base.jitter());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(
+                    ext.factor()[(i, j)].to_bits(),
+                    scratch.factor()[(i, j)].to_bits(),
+                    "entry ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rank1_append_wrong_length_panics() {
+        let base = Cholesky::decompose(&spd3()).unwrap();
+        let _ = base.rank1_append(&[1.0], 1.0);
     }
 
     #[test]

@@ -15,6 +15,17 @@ fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
     })
 }
 
+/// `A` bordered with a new column `col` and diagonal entry `diag`.
+fn bordered_matrix(a: &Matrix, col: &[f64], diag: f64) -> Matrix {
+    let n = a.rows();
+    Matrix::from_fn(n + 1, n + 1, |i, j| match (i == n, j == n) {
+        (false, false) => a[(i, j)],
+        (true, false) => col[j],
+        (false, true) => col[i],
+        (true, true) => diag,
+    })
+}
+
 proptest! {
     #[test]
     fn cholesky_reconstructs(a in (1usize..8).prop_flat_map(spd_matrix)) {
@@ -72,6 +83,77 @@ proptest! {
         let lhs = dot(&m.matvec(&x), &y);
         let rhs = dot(&x, &m.transpose().matvec(&y));
         prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn rank1_append_matches_bordered_factor(
+        (a, col, diag) in (1usize..8).prop_flat_map(|n| {
+            (
+                spd_matrix(n),
+                // Small enough that colᵀ A⁻¹ col < diag for every generated
+                // A (λ_min ≥ 0.1), so the appended pivot is always positive.
+                proptest::collection::vec(-0.1f64..0.1, n),
+                2.0f64..6.0,
+            )
+        })
+    ) {
+        // Border A with (col, diag). The diagonal dominates the column, so
+        // the appended pivot is positive and rank1_append must succeed and
+        // agree with factoring the bordered matrix from scratch.
+        let n = a.rows();
+        let bordered = bordered_matrix(&a, &col, diag);
+        let base = Cholesky::decompose(&a).unwrap();
+        let appended = base.rank1_append(&col, diag).unwrap();
+        let scratch = Cholesky::decompose(&bordered).unwrap();
+        prop_assert_eq!(appended.dim(), n + 1);
+        prop_assert!(
+            appended
+                .factor()
+                .max_abs_diff(scratch.factor())
+                .unwrap()
+                <= 1e-10,
+            "appended factor diverged from scratch factor"
+        );
+        // And the appended factor really factors the bordered matrix.
+        let l = appended.factor();
+        let rebuilt = l.matmul(&l.transpose());
+        let tol = 1e-9 + appended.jitter() * 2.0;
+        prop_assert!(rebuilt.max_abs_diff(&bordered).unwrap() <= tol);
+    }
+
+    #[test]
+    fn rank1_append_jitter_fallback_agrees_with_full_decompose(
+        (a, scale) in (2usize..6).prop_flat_map(|n| (spd_matrix(n), 0.9f64..1.1))
+    ) {
+        // Duplicate the last row/column of A (scaled ~1): the bordered
+        // matrix is singular or near-singular, so the append either fails —
+        // in which case a full decompose with escalating jitter must still
+        // succeed (the caller's fallback path) — or succeeds with a factor
+        // matching the from-scratch bordered factorization.
+        let n = a.rows();
+        let col: Vec<f64> = (0..n).map(|j| a[(n - 1, j)] * scale).collect();
+        let diag = a[(n - 1, n - 1)] * scale * scale;
+        let bordered = bordered_matrix(&a, &col, diag);
+        let base = Cholesky::decompose(&a).unwrap();
+        match base.rank1_append(&col, diag) {
+            Ok(appended) => {
+                let scratch = Cholesky::decompose(&bordered).unwrap();
+                prop_assert!(
+                    appended
+                        .factor()
+                        .max_abs_diff(scratch.factor())
+                        .unwrap()
+                        <= 1e-10
+                );
+            }
+            Err(_) => {
+                // Fallback: from-scratch decomposition bumps the jitter
+                // past the carried level and still factors the matrix.
+                let scratch = Cholesky::decompose(&bordered).unwrap();
+                prop_assert!(scratch.log_determinant().is_finite());
+                prop_assert!(scratch.jitter() >= base.jitter());
+            }
+        }
     }
 
     #[test]
