@@ -12,7 +12,7 @@
 //! repo root whenever the hot path changes.
 
 use autrascale_bayesopt::{BayesOpt, BoOptions, SearchSpace};
-use autrascale_gp::{fit_auto, FitOptions, Kernel, KernelKind, PairwiseSqDists};
+use autrascale_gp::{fit_auto, FitMethod, FitOptions, Kernel, KernelKind, PairwiseSqDists};
 use autrascale_linalg::Matrix;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -119,15 +119,28 @@ fn bench_observe_then_suggest(c: &mut Criterion) {
     group.finish();
 }
 
-/// Multi-start Nelder–Mead hyperparameter fit: ~10³ LML evaluations, each
-/// one Gram rebuild + Cholesky.
+/// Multi-start marginal-likelihood fit, engine × training-set size: the
+/// analytic-gradient L-BFGS engine converges in a few dozen
+/// value-and-gradient evaluations per restart where the Nelder–Mead
+/// simplex spends its full ~200-evaluation budget, so the gap widens with
+/// n (each evaluation is an O(n³) factorization).
 fn bench_gp_fit_auto(c: &mut Criterion) {
     let mut group = c.benchmark_group("gp_fit_auto");
-    for &n in &[25usize, 50] {
+    group.sample_size(10);
+    for &n in &[25usize, 50, 128] {
         let (x, y) = features(&history(n, 4));
-        group.bench_with_input(BenchmarkId::new("obs", n), &n, |b, _| {
-            b.iter(|| black_box(fit_auto(x.clone(), y.clone(), &FitOptions::default()).unwrap()))
-        });
+        for (name, method) in [
+            ("lbfgs", FitMethod::Lbfgs),
+            ("neldermead", FitMethod::NelderMead),
+        ] {
+            let opts = FitOptions {
+                method,
+                ..Default::default()
+            };
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| black_box(fit_auto(x.clone(), y.clone(), &opts).unwrap()))
+            });
+        }
     }
     group.finish();
 }

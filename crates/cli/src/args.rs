@@ -213,7 +213,18 @@ fn parse_policy(value: &str) -> Result<Policy, ParseError> {
             if let Some(rest) = other.strip_prefix("static:") {
                 let parallelism: Result<Vec<u32>, _> = rest.split(',').map(str::parse).collect();
                 match parallelism {
-                    Ok(p) if !p.is_empty() && p.iter().all(|&v| v > 0) => Ok(Policy::Static(p)),
+                    Ok(p) if !p.is_empty() => {
+                        // A zero would submit an operator with no instances;
+                        // name the offending position so a long list is easy
+                        // to fix.
+                        if let Some(i) = p.iter().position(|&v| v == 0) {
+                            Err(ParseError(format!(
+                                "static parallelism for operator {i} must be >= 1 (got 0 in {rest:?})"
+                            )))
+                        } else {
+                            Ok(Policy::Static(p))
+                        }
+                    }
                     _ => Err(ParseError(format!(
                         "bad static parallelism {rest:?} (want e.g. static:1,2,1)"
                     ))),
@@ -284,6 +295,31 @@ mod tests {
         assert!(parse_policy("static:0,1").is_err());
         assert!(parse_policy("static:").is_err());
         assert!(parse_policy("magic").is_err());
+    }
+
+    #[test]
+    fn zero_static_parallelism_names_the_operator() {
+        // A zero is rejected with an error that points at the offending
+        // position, not the generic malformed-list message.
+        let err = parse_policy("static:2,0,3").unwrap_err();
+        assert!(
+            err.0.contains("operator 1") && err.0.contains(">= 1"),
+            "unexpected message: {}",
+            err.0
+        );
+        let err = parse_policy("static:0").unwrap_err();
+        assert!(
+            err.0.contains("operator 0"),
+            "unexpected message: {}",
+            err.0
+        );
+        // Non-numeric entries still get the malformed-list message.
+        let err = parse_policy("static:1,x").unwrap_err();
+        assert!(
+            err.0.contains("bad static parallelism"),
+            "unexpected message: {}",
+            err.0
+        );
     }
 
     #[test]

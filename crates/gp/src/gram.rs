@@ -296,6 +296,85 @@ impl PairwiseSqDists {
         }
         Matrix::from_vec(n, n, out)
     }
+
+    /// Weighted-trace sums for the analytic log-marginal-likelihood
+    /// gradient: given a symmetric weight matrix `w` (in practice
+    /// `½(ααᵀ − K⁻¹)`, so that each sum is `½·tr(W·∂K/∂θ)` directly),
+    /// returns
+    ///
+    /// * one entry per log-lengthscale: `Σ_ij w_ij · ∂K_ij/∂ln ℓ_d` —
+    ///   isotropic kernels get a single entry, ARD kernels one per input
+    ///   dimension;
+    /// * the log-signal-variance sum `Σ_ij w_ij · ∂K_ij/∂ln σ² =
+    ///   Σ_ij w_ij K_ij` (noise excluded: the Gram diagonal's `σ²` part
+    ///   scales with `ln σ²` but the `noise` part does not).
+    ///
+    /// The chain rule through the distance cache is
+    /// `∂K_ij/∂ln ℓ_d = (∂k/∂r²)·(−2·Δ²_d,ij/ℓ_d²)` — one O(n²·d) pass
+    /// over the cached unscaled distances, on top of the O(n³)
+    /// factorization the caller already paid for `α` and `K⁻¹`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not n×n, or if `kernel` is ARD but the cache has
+    /// no per-dimension matrices (same contract as [`gram`](Self::gram)).
+    pub fn lml_kernel_gradients(&self, kernel: &Kernel, w: &Matrix) -> (Vec<f64>, f64) {
+        let n = self.n;
+        assert!(
+            w.rows() == n && w.cols() == n,
+            "lml_kernel_gradients: weight matrix shape mismatch"
+        );
+        let n_ls = kernel.lengthscales().len();
+        let mut g_ls = vec![0.0; n_ls];
+        let mut g_sig = 0.0;
+        if n_ls == 1 {
+            let inv = kernel.inv_sq_lengthscale(0);
+            for i in 0..n {
+                for j in 0..i {
+                    let r2 = self.total[i * n + j] * inv;
+                    let (k, dk) = kernel.eval_with_grad_from_sqdist(r2);
+                    // Off-diagonal entries appear twice in the symmetric sum.
+                    let w2 = 2.0 * w[(i, j)];
+                    // ∂r²/∂ln ℓ = −2r² for a shared lengthscale.
+                    g_ls[0] += w2 * dk * (-2.0 * r2);
+                    g_sig += w2 * k;
+                }
+            }
+        } else {
+            let dims = self
+                .per_dim
+                .as_ref()
+                .expect("ARD gradient requires a per-dimension distance cache");
+            assert_eq!(
+                dims.len(),
+                n_ls,
+                "ARD lengthscale count differs from cached input dimensionality"
+            );
+            let inv: Vec<f64> = (0..n_ls).map(|d| kernel.inv_sq_lengthscale(d)).collect();
+            for i in 0..n {
+                for j in 0..i {
+                    let mut r2 = 0.0;
+                    for (dmat, inv_d) in dims.iter().zip(&inv) {
+                        r2 += dmat[i * n + j] * inv_d;
+                    }
+                    let (k, dk) = kernel.eval_with_grad_from_sqdist(r2);
+                    let w2 = 2.0 * w[(i, j)];
+                    for ((g, dmat), inv_d) in g_ls.iter_mut().zip(dims).zip(&inv) {
+                        // ∂r²/∂ln ℓ_d = −2·Δ²_d/ℓ_d².
+                        *g += w2 * dk * (-2.0 * dmat[i * n + j] * inv_d);
+                    }
+                    g_sig += w2 * k;
+                }
+            }
+        }
+        // Diagonal: K_ii's kernel part is exactly σ² (distance zero), so it
+        // contributes to the signal-variance trace but not the lengthscales.
+        let sv = kernel.signal_variance();
+        for i in 0..n {
+            g_sig += w[(i, i)] * sv;
+        }
+        (g_ls, g_sig)
+    }
 }
 
 #[cfg(test)]

@@ -155,6 +155,47 @@ impl Kernel {
         };
         self.signal_variance * unit
     }
+
+    /// Evaluates the kernel and its derivative with respect to the scaled
+    /// squared distance: returns `(k(r²), ∂k/∂r²)`.
+    ///
+    /// The derivative is what analytic log-marginal-likelihood gradients
+    /// chain through: for any log-hyperparameter θ that only rescales
+    /// distances, `∂k/∂θ = (∂k/∂r²)·(∂r²/∂θ)`. Writing `s = √(ν)·r`:
+    ///
+    /// * RBF: `k = σ²e^{−r²/2}` ⇒ `∂k/∂r² = −k/2`;
+    /// * Matérn 3/2: `k = σ²(1+s)e^{−s}` ⇒ `∂k/∂r² = −(3/2)·σ²·e^{−s}`;
+    /// * Matérn 5/2: `k = σ²(1+s+s²/3)e^{−s}` ⇒
+    ///   `∂k/∂r² = −(5/6)·σ²·(1+s)·e^{−s}`.
+    ///
+    /// All three are finite at `r² = 0` (the Matérn forms cancel the
+    /// `1/√r²` of `∂s/∂r²` analytically), so no limiting is needed. The
+    /// value component uses the same arithmetic as
+    /// [`eval_from_sqdist`](Self::eval_from_sqdist) and is bit-identical
+    /// to it.
+    pub fn eval_with_grad_from_sqdist(&self, r2: f64) -> (f64, f64) {
+        let sv = self.signal_variance;
+        let r = r2.sqrt();
+        match self.kind {
+            KernelKind::Rbf => {
+                let k = sv * (-0.5 * r * r).exp();
+                (k, -0.5 * k)
+            }
+            KernelKind::Matern32 => {
+                let s = 3.0_f64.sqrt() * r;
+                let e = (-s).exp();
+                (sv * ((1.0 + s) * e), -1.5 * sv * e)
+            }
+            KernelKind::Matern52 => {
+                let s = 5.0_f64.sqrt() * r;
+                let e = (-s).exp();
+                (
+                    sv * ((1.0 + s + s * s / 3.0) * e),
+                    -(5.0 / 6.0) * sv * (1.0 + s) * e,
+                )
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +264,50 @@ mod tests {
         let a = [0.0];
         let b = [1.0];
         assert!(loose.eval(&a, &b) > tight.eval(&a, &b));
+    }
+
+    #[test]
+    fn grad_value_component_is_bit_identical_to_eval() {
+        for kind in [KernelKind::Rbf, KernelKind::Matern32, KernelKind::Matern52] {
+            let k = Kernel::isotropic(kind, 0.8, 2.3);
+            for r2 in [0.0, 1e-8, 0.3, 1.0, 7.5, 40.0] {
+                let (v, _) = k.eval_with_grad_from_sqdist(r2);
+                assert_eq!(
+                    v.to_bits(),
+                    k.eval_from_sqdist(r2).to_bits(),
+                    "{kind:?} r2={r2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_matches_central_finite_difference() {
+        for kind in [KernelKind::Rbf, KernelKind::Matern32, KernelKind::Matern52] {
+            let k = Kernel::isotropic(kind, 1.0, 1.7);
+            for r2 in [0.05, 0.4, 1.3, 6.0, 20.0] {
+                let (_, dk) = k.eval_with_grad_from_sqdist(r2);
+                let h = 1e-6 * r2.max(1.0);
+                let fd = (k.eval_from_sqdist(r2 + h) - k.eval_from_sqdist(r2 - h)) / (2.0 * h);
+                assert!(
+                    (dk - fd).abs() <= 1e-6 * (1.0 + fd.abs()),
+                    "{kind:?} r2={r2}: analytic {dk} vs fd {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_is_finite_and_negative_at_zero_distance() {
+        // The Matérn chain rule has a 1/√r² factor that must cancel
+        // analytically; the derivative at r² = 0 is finite and strictly
+        // negative (covariance decays with distance).
+        for kind in [KernelKind::Rbf, KernelKind::Matern32, KernelKind::Matern52] {
+            let k = Kernel::isotropic(kind, 1.4, 2.0);
+            let (v, dk) = k.eval_with_grad_from_sqdist(0.0);
+            assert_eq!(v, 2.0, "{kind:?}");
+            assert!(dk.is_finite() && dk < 0.0, "{kind:?}: {dk}");
+        }
     }
 
     #[test]

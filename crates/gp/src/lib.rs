@@ -10,8 +10,10 @@
 //!   per-dimension (ARD) lengthscales;
 //! * [`GaussianProcess`] — exact GP regression with observation noise,
 //!   target normalization, Cholesky-based training and O(n) prediction;
-//! * [`fit_auto`] — marginal-likelihood hyperparameter optimization via
-//!   multi-start Nelder–Mead (implemented in [`neldermead`]);
+//! * [`fit_auto`] — marginal-likelihood hyperparameter optimization with
+//!   analytic gradients: multi-start L-BFGS by default, with a
+//!   derivative-free Nelder–Mead engine (implemented in [`neldermead`])
+//!   selectable per fit and used as the per-start fallback;
 //! * [`stats`] — the standard-normal PDF/CDF needed by the
 //!   expected-improvement acquisition in `autrascale-bayesopt`.
 //!
@@ -41,7 +43,10 @@ pub mod neldermead;
 pub mod sparse;
 pub mod stats;
 
-pub use fit::{fit_auto, fit_auto_warm, fit_auto_with_cache, FitOptions, WarmStart};
+pub use fit::{
+    fit_auto, fit_auto_warm, fit_auto_with_cache, lml_value_and_gradient, FitMethod, FitOptions,
+    WarmStart,
+};
 pub use gaussian_process::{GaussianProcess, GpConfig, GpError, PredictScratch, Prediction};
 pub use gram::{PairwiseSqDists, SqDistRow};
 pub use kernel::{Kernel, KernelKind};

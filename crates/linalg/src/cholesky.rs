@@ -258,6 +258,60 @@ impl Cholesky {
         }
         diag
     }
+
+    /// The full inverse `A⁻¹ = L⁻ᵀ L⁻¹`, computed by forward-solving the
+    /// columns of `L⁻¹` (the same trailing-subsystem walk as
+    /// [`inverse_diagonal`](Self::inverse_diagonal)) and accumulating the
+    /// symmetric product `[A⁻¹]_{ij} = Σ_{k ≥ max(i,j)} (L⁻¹)_{ki} (L⁻¹)_{kj}`.
+    ///
+    /// O(n³) like the factorization itself — the analytic log-marginal-
+    /// likelihood gradient needs the whole inverse once per gradient
+    /// evaluation (for `tr(K⁻¹ ∂K/∂θ)`), not just its diagonal.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        let l = self.factor.as_slice();
+        // L⁻¹ row by row: row_j = (e_j − Σ_{k<j} L_{jk}·row_k) / L_{jj}.
+        // Every inner loop is an axpy over the contiguous prefix
+        // row_k[..=k], so the whole triangular inversion streams row-major
+        // like `try_factor` does (a stride-n column walk here dominates
+        // the gradient evaluations that call this once per step).
+        let mut linv = vec![0.0; n * n];
+        for j in 0..n {
+            let (done, rest) = linv.split_at_mut(j * n);
+            let row_j = &mut rest[..j + 1];
+            for (k, &ljk) in l[j * n..j * n + j].iter().enumerate() {
+                let row_k = &done[k * n..k * n + k + 1];
+                for (r, v) in row_j[..k + 1].iter_mut().zip(row_k) {
+                    *r -= ljk * v;
+                }
+            }
+            let inv_diag = 1.0 / l[j * n + j];
+            for r in row_j[..j].iter_mut() {
+                *r *= inv_diag;
+            }
+            row_j[j] = inv_diag;
+        }
+        // A⁻¹ = L⁻ᵀ L⁻¹ as a sum of row outer products: row k of L⁻¹
+        // contributes row_k[i]·row_k[j] to every (i, j) with i, j ≤ k —
+        // again contiguous in the inner loop.
+        let mut inv = vec![0.0; n * n];
+        for k in 0..n {
+            let row_k = &linv[k * n..k * n + k + 1];
+            for i in 0..=k {
+                let v = row_k[i];
+                let out = &mut inv[i * n..i * n + i + 1];
+                for (o, w) in out.iter_mut().zip(&row_k[..i + 1]) {
+                    *o += v * w;
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..i {
+                inv[j * n + i] = inv[i * n + j];
+            }
+        }
+        Matrix::from_vec(n, n, inv)
+    }
 }
 
 /// One factorization attempt; `None` when a non-positive pivot appears.
@@ -364,6 +418,39 @@ mod tests {
                 diag[i],
                 z[i]
             );
+        }
+    }
+
+    #[test]
+    fn inverse_matches_unit_vector_solves() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 2.0, 0.6, 0.1],
+            &[2.0, 3.0, 0.4, 0.2],
+            &[0.6, 0.4, 2.0, 0.3],
+            &[0.1, 0.2, 0.3, 1.5],
+        ]);
+        let chol = Cholesky::decompose(&a).unwrap();
+        let inv = chol.inverse();
+        for i in 0..4 {
+            let mut e = vec![0.0; 4];
+            e[i] = 1.0;
+            let z = chol.solve(&e);
+            for j in 0..4 {
+                assert!(
+                    (inv[(j, i)] - z[j]).abs() < 1e-12,
+                    "entry ({j}, {i}): {} vs {}",
+                    inv[(j, i)],
+                    z[j]
+                );
+            }
+        }
+        // Symmetric, and its diagonal agrees with the one-pass routine.
+        let diag = chol.inverse_diagonal();
+        for i in 0..4 {
+            assert!((inv[(i, i)] - diag[i]).abs() < 1e-14);
+            for j in 0..4 {
+                assert_eq!(inv[(i, j)].to_bits(), inv[(j, i)].to_bits());
+            }
         }
     }
 

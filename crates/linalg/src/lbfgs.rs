@@ -1,0 +1,411 @@
+//! Limited-memory BFGS minimization (two-loop recursion, Armijo
+//! backtracking line search).
+//!
+//! Built for the Gaussian-process hyperparameter fit in `autrascale-gp`:
+//! once the Gram matrix is Cholesky-factored, the log-marginal-likelihood
+//! gradient is one extra O(n³) pass, so a gradient method replaces the
+//! ~10³ Nelder–Mead simplex evaluations per fit with a few dozen
+//! value-and-gradient evaluations. The search space stays tiny (2–6
+//! log-hyperparameters), which is why the compact two-loop recursion —
+//! O(m·d) per direction, no Hessian storage — is a better fit than a full
+//! BFGS matrix.
+//!
+//! The objective contract matches `autrascale-gp`'s Nelder–Mead usage:
+//! returning a non-finite value (or writing a non-finite gradient) marks
+//! the point invalid. Unlike Nelder–Mead — which can walk around NaN
+//! regions — a gradient method cannot recover from an invalid *initial*
+//! point, so [`minimize`] reports failure (`None`) and lets the caller
+//! fall back to a derivative-free search.
+
+/// Options for [`minimize`].
+#[derive(Debug, Clone, Copy)]
+pub struct LbfgsOptions {
+    /// Maximum number of value-and-gradient evaluations.
+    pub max_evals: usize,
+    /// Number of curvature pairs kept for the two-loop recursion.
+    pub memory: usize,
+    /// Convergence threshold on the gradient infinity norm.
+    pub grad_tol: f64,
+    /// Convergence threshold on the relative objective decrease per
+    /// accepted step.
+    pub f_tol: f64,
+    /// Cap on the proposed step's infinity norm (before line search).
+    /// Infinite by default; callers whose variables have a known natural
+    /// scale (e.g. log-hyperparameters) can bound it so a badly scaled
+    /// quasi-Newton direction cannot propose an absurd jump that the line
+    /// search then spends several evaluations walking back.
+    pub max_step: f64,
+}
+
+impl Default for LbfgsOptions {
+    fn default() -> Self {
+        Self {
+            max_evals: 200,
+            memory: 8,
+            grad_tol: 1e-6,
+            f_tol: 1e-9,
+            max_step: f64::INFINITY,
+        }
+    }
+}
+
+/// Result of a successful [`minimize`] run.
+#[derive(Debug, Clone)]
+pub struct LbfgsResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x` (always finite).
+    pub fx: f64,
+    /// Number of value-and-gradient evaluations consumed.
+    pub evals: usize,
+}
+
+/// Sufficient-decrease constant for the Armijo condition.
+const ARMIJO_C1: f64 = 1e-4;
+/// Curvature constant for the weak Wolfe condition.
+const WOLFE_C2: f64 = 0.9;
+/// Maximum trial steps per line search.
+const MAX_LINE_ITERS: usize = 40;
+/// Relative curvature threshold below which an (s, y) pair is discarded.
+const CURVATURE_EPS: f64 = 1e-12;
+/// Displacement norm of the first (steepest-descent) trial step when the
+/// gradient is large.
+const FIRST_STEP_NORM: f64 = 0.1;
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Minimizes `f` from `x0` with L-BFGS. `f` evaluates the objective at its
+/// first argument and writes the gradient into its second (same length).
+///
+/// Returns `None` when the initial evaluation is non-finite (value or any
+/// gradient entry) — the caller should fall back to a derivative-free
+/// method. Otherwise returns the best point reached, which is `x0` itself
+/// if no line search ever finds sufficient decrease.
+///
+/// Steps that land on non-finite values are rejected by the backtracking
+/// line search exactly like steps that fail the Armijo test, so NaN
+/// regions of the objective shrink the step rather than poisoning the
+/// iterate — the same rejection contract the Nelder–Mead search uses.
+///
+/// # Panics
+///
+/// Panics if `x0` is empty.
+pub fn minimize<F>(mut f: F, x0: &[f64], options: &LbfgsOptions) -> Option<LbfgsResult>
+where
+    F: FnMut(&[f64], &mut [f64]) -> f64,
+{
+    let n = x0.len();
+    assert!(n > 0, "minimize: empty start point");
+    let memory = options.memory.max(1);
+
+    let mut x = x0.to_vec();
+    let mut g = vec![0.0; n];
+    let mut evals = 1usize;
+    let mut fx = f(&x, &mut g);
+    if !fx.is_finite() || g.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+
+    // Curvature history, oldest first: (s, y, 1/sᵀy).
+    let mut pairs: Vec<(Vec<f64>, Vec<f64>, f64)> = Vec::with_capacity(memory);
+    let mut x_new = vec![0.0; n];
+    let mut g_new = vec![0.0; n];
+    let mut small_decreases = 0usize;
+    let mut barren_retry = false;
+
+    while evals < options.max_evals {
+        if g.iter().all(|v| v.abs() <= options.grad_tol) {
+            break;
+        }
+
+        // Two-loop recursion: d = -H·g with H₀ = γ·I scaled from the most
+        // recent curvature pair.
+        let mut d: Vec<f64> = g.iter().map(|v| -v).collect();
+        let mut alphas = vec![0.0; pairs.len()];
+        for (idx, (s, yv, rho)) in pairs.iter().enumerate().rev() {
+            let a = rho * dot(s, &d);
+            alphas[idx] = a;
+            for (di, yi) in d.iter_mut().zip(yv) {
+                *di -= a * yi;
+            }
+        }
+        if let Some((s, yv, _)) = pairs.last() {
+            let yy = dot(yv, yv);
+            if yy > 0.0 {
+                let gamma = dot(s, yv) / yy;
+                for di in d.iter_mut() {
+                    *di *= gamma;
+                }
+            }
+        }
+        for (idx, (s, yv, rho)) in pairs.iter().enumerate() {
+            let beta = rho * dot(yv, &d);
+            let a = alphas[idx];
+            for (di, si) in d.iter_mut().zip(s) {
+                *di += (a - beta) * si;
+            }
+        }
+
+        // Descent safeguard: a corrupted history can propose an ascent (or
+        // non-finite) direction; reset to steepest descent.
+        let mut dg = dot(&d, &g);
+        if !dg.is_finite() || dg >= 0.0 {
+            pairs.clear();
+            for (di, gi) in d.iter_mut().zip(&g) {
+                *di = -gi;
+            }
+            dg = -dot(&g, &g);
+        }
+        // Without curvature history the direction is raw steepest descent,
+        // whose natural scale is the gradient magnitude — a unit step can
+        // overshoot by orders of magnitude and waste the whole line search
+        // recovering. Normalize the first trial to a short, safe step; the
+        // line search's expansion branch doubles it back up cheaply when
+        // the objective turns out to be mild.
+        if pairs.is_empty() {
+            let gnorm = (-dg).sqrt();
+            if gnorm > FIRST_STEP_NORM {
+                let scale = FIRST_STEP_NORM / gnorm;
+                for di in d.iter_mut() {
+                    *di *= scale;
+                }
+                dg *= scale;
+            }
+        }
+        // Step cap: bound the unit-step displacement so a badly scaled
+        // direction cannot jump further than the caller's declared scale.
+        let d_inf = d.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        if d_inf > options.max_step {
+            let scale = options.max_step / d_inf;
+            for di in d.iter_mut() {
+                *di *= scale;
+            }
+            dg *= scale;
+        }
+
+        // Weak-Wolfe line search by bracketing bisection: sufficient
+        // decrease (Armijo) plus the curvature condition `gᵀd ≥ c₂·g₀ᵀd`.
+        // Armijo-only backtracking is not enough for L-BFGS — it happily
+        // accepts steps with `sᵀy < 0`, whose pairs must be discarded, and
+        // a frozen curvature history degenerates into a badly scaled
+        // crawl. The curvature condition guarantees `sᵀy > 0` on accept.
+        let fx_prev = fx;
+        let mut lo = 0.0_f64;
+        let mut hi = f64::INFINITY;
+        let mut t = 1.0_f64;
+        let mut accepted = false;
+        // Best Armijo-satisfying point, kept as a fallback when the
+        // curvature condition cannot be met within the iteration cap.
+        let mut fallback: Option<(Vec<f64>, Vec<f64>, f64)> = None;
+        let mut f_acc = fx;
+        for _ in 0..MAX_LINE_ITERS {
+            if evals >= options.max_evals {
+                break;
+            }
+            for ((xn, xi), di) in x_new.iter_mut().zip(&x).zip(&d) {
+                *xn = xi + t * di;
+            }
+            evals += 1;
+            let f_new = f(&x_new, &mut g_new);
+            let finite = f_new.is_finite() && g_new.iter().all(|v| v.is_finite());
+            if !finite || f_new > fx_prev + ARMIJO_C1 * t * dg {
+                // Too long (or invalid): shrink toward the bracket floor,
+                // preferring the minimizer of the quadratic through
+                // (0, fx_prev) with slope dg and (t, f_new) over plain
+                // bisection — it usually lands in one trial.
+                hi = t;
+                let mut t_next = 0.5 * (lo + hi);
+                if finite {
+                    let denom = 2.0 * (f_new - fx_prev - dg * t);
+                    if denom > 0.0 {
+                        let t_q = -dg * t * t / denom;
+                        let width = hi - lo;
+                        if t_q.is_finite() {
+                            t_next = t_q.clamp(lo + 0.1 * width, hi - 0.1 * width);
+                        }
+                    }
+                }
+                t = t_next;
+            } else if dot(&g_new, &d) < WOLFE_C2 * dg {
+                // Decrease is fine but the slope is still steep: the
+                // minimizer along d lies further out.
+                if fallback
+                    .as_ref()
+                    .map(|(_, _, ff)| f_new < *ff)
+                    .unwrap_or(true)
+                {
+                    fallback = Some((x_new.clone(), g_new.clone(), f_new));
+                }
+                lo = t;
+                t = if hi.is_finite() {
+                    0.5 * (lo + hi)
+                } else {
+                    2.0 * t
+                };
+            } else {
+                f_acc = f_new;
+                accepted = true;
+                break;
+            }
+        }
+
+        if accepted {
+            // Wolfe accept: store the curvature pair (the curvature
+            // condition makes sᵀy > 0, up to the numerical threshold).
+            let s: Vec<f64> = x_new.iter().zip(&x).map(|(a, b)| a - b).collect();
+            let yv: Vec<f64> = g_new.iter().zip(&g).map(|(a, b)| a - b).collect();
+            let sy = dot(&s, &yv);
+            if sy > CURVATURE_EPS * dot(&yv, &yv).max(1.0) {
+                if pairs.len() == memory {
+                    pairs.remove(0);
+                }
+                pairs.push((s, yv, 1.0 / sy));
+            }
+            std::mem::swap(&mut x, &mut x_new);
+            std::mem::swap(&mut g, &mut g_new);
+            fx = f_acc;
+        } else if let Some((xf, gf, ff)) = fallback {
+            // Armijo progress but no curvature within the cap: advance to
+            // the best decrease found, storing no pair (sᵀy may be ≤ 0).
+            x = xf;
+            g = gf;
+            fx = ff;
+        } else {
+            if pairs.is_empty() || barren_retry {
+                // Even steepest descent found no decrease: converged to
+                // line-search precision.
+                break;
+            }
+            // Retry the iteration once with a fresh (steepest-descent)
+            // model; a second barren search in a row means we're done, not
+            // badly scaled.
+            barren_retry = true;
+            pairs.clear();
+            continue;
+        }
+        barren_retry = false;
+
+        // A single tiny decrease can just be a heavily backtracked step
+        // (e.g. skirting a NaN region); stop only when progress stalls on
+        // consecutive iterations.
+        if (fx_prev - fx).abs() <= options.f_tol * (1.0 + fx.abs()) {
+            small_decreases += 1;
+            if small_decreases >= 2 {
+                break;
+            }
+        } else {
+            small_decreases = 0;
+        }
+    }
+
+    Some(LbfgsResult { x, fx, evals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic(x: &[f64], g: &mut [f64]) -> f64 {
+        g[0] = 2.0 * (x[0] - 3.0);
+        g[1] = 2.0 * (x[1] + 1.0);
+        (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2)
+    }
+
+    #[test]
+    fn minimizes_quadratic() {
+        let r = minimize(quadratic, &[0.0, 0.0], &LbfgsOptions::default()).unwrap();
+        assert!((r.x[0] - 3.0).abs() < 1e-8, "{:?}", r.x);
+        assert!((r.x[1] + 1.0).abs() < 1e-8, "{:?}", r.x);
+        assert!(r.fx < 1e-14);
+        // A gradient method should need far fewer evaluations than the
+        // ~100+ a simplex search spends here.
+        assert!(r.evals < 30, "evals = {}", r.evals);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        let rosen = |x: &[f64], g: &mut [f64]| {
+            let (a, b) = (x[0], x[1]);
+            g[0] = -400.0 * a * (b - a * a) - 2.0 * (1.0 - a);
+            g[1] = 200.0 * (b - a * a);
+            100.0 * (b - a * a).powi(2) + (1.0 - a).powi(2)
+        };
+        let r = minimize(
+            rosen,
+            &[-1.2, 1.0],
+            &LbfgsOptions {
+                max_evals: 400,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(r.fx < 1e-8, "fx = {}", r.fx);
+        assert!((r.x[0] - 1.0).abs() < 1e-3, "{:?}", r.x);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let r = minimize(
+            quadratic,
+            &[100.0, -50.0],
+            &LbfgsOptions {
+                max_evals: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(r.evals <= 5, "evals = {}", r.evals);
+    }
+
+    #[test]
+    fn non_finite_start_reports_failure() {
+        let f = |_x: &[f64], g: &mut [f64]| {
+            g[0] = f64::NAN;
+            f64::NAN
+        };
+        assert!(minimize(f, &[1.0], &LbfgsOptions::default()).is_none());
+        // Finite value but NaN gradient is just as unusable.
+        let f = |_x: &[f64], g: &mut [f64]| {
+            g[0] = f64::NAN;
+            1.0
+        };
+        assert!(minimize(f, &[1.0], &LbfgsOptions::default()).is_none());
+    }
+
+    #[test]
+    fn backtracks_around_nan_region() {
+        // Objective undefined for x ≤ 0; minimum at x = 1 approached from
+        // the right. The line search must shrink steps that overshoot into
+        // the invalid region instead of accepting them.
+        let f = |x: &[f64], g: &mut [f64]| {
+            if x[0] <= 0.0 {
+                g[0] = f64::NAN;
+                return f64::NAN;
+            }
+            g[0] = 2.0 * (x[0] - 1.0) - 0.01 / x[0];
+            (x[0] - 1.0).powi(2) - 0.01 * x[0].ln()
+        };
+        let r = minimize(f, &[4.0], &LbfgsOptions::default()).unwrap();
+        assert!(r.x[0] > 0.0);
+        assert!((r.x[0] - 1.0).abs() < 0.1, "{:?}", r.x);
+    }
+
+    #[test]
+    fn already_optimal_start_converges_immediately() {
+        let r = minimize(quadratic, &[3.0, -1.0], &LbfgsOptions::default()).unwrap();
+        assert_eq!(r.evals, 1);
+        assert_eq!(r.x, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn one_dimensional_works() {
+        let f = |x: &[f64], g: &mut [f64]| {
+            g[0] = 4.0 * (x[0] - 0.25).powi(3);
+            (x[0] - 0.25).powi(4)
+        };
+        let r = minimize(f, &[5.0], &LbfgsOptions::default()).unwrap();
+        assert!((r.x[0] - 0.25).abs() < 1e-2, "{:?}", r.x);
+    }
+}

@@ -25,6 +25,7 @@
 //! ```
 
 mod cholesky;
+pub mod lbfgs;
 mod matrix;
 mod vector;
 

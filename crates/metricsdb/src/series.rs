@@ -24,8 +24,16 @@ impl Series {
     }
 
     /// Appends a point; returns `false` (and drops the point) if its
-    /// timestamp is older than the last one.
+    /// timestamp is non-finite or older than the last one.
+    ///
+    /// Rejecting NaN/∞ timestamps here protects the sortedness invariant
+    /// that [`Series::window`] and [`Series::retain_from`] binary-search
+    /// on — a NaN compares false against everything, so it would slip
+    /// past the monotonicity check and corrupt every later query.
     pub fn push(&mut self, time: f64, value: f64) -> bool {
+        if !time.is_finite() {
+            return false;
+        }
         if let Some(last) = self.points.last() {
             if time < last.time {
                 return false;
@@ -120,6 +128,20 @@ mod tests {
         assert_eq!(s.retain_from(4.0), 4);
         assert_eq!(s.len(), 6);
         assert_eq!(s.points()[0].time, 4.0);
+    }
+
+    #[test]
+    fn non_finite_timestamps_rejected() {
+        let mut s = Series::new();
+        assert!(s.push(1.0, 10.0));
+        assert!(!s.push(f64::NAN, 11.0));
+        assert!(!s.push(f64::INFINITY, 12.0));
+        assert!(!s.push(f64::NEG_INFINITY, 13.0));
+        assert_eq!(s.len(), 1);
+        // The series stays queryable: a NaN timestamp would have poisoned
+        // the partition_point binary searches behind window/retain_from.
+        assert!(s.push(2.0, 14.0));
+        assert_eq!(s.window(0.0, 3.0).len(), 2);
     }
 
     #[test]

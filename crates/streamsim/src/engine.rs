@@ -743,9 +743,11 @@ impl Simulation {
                 "operator index {operator} out of range"
             )));
         }
-        if factor <= 0.0 || factor.is_nan() || !duration_secs.is_finite() || duration_secs <= 0.0 {
+        if !(factor > 0.0 && factor.is_finite() && duration_secs.is_finite())
+            || duration_secs <= 0.0
+        {
             return Err(SimError::BadConfig(
-                "slowdown needs factor > 0 and positive duration".into(),
+                "slowdown needs a finite factor > 0 and positive duration".into(),
             ));
         }
         self.slowdowns.push(Slowdown {
@@ -1124,6 +1126,18 @@ mod fault_tests {
         assert!(s.inject_slowdown(1, 0.0, 10.0).is_err());
         assert!(s.inject_slowdown(1, -1.0, 10.0).is_err());
         assert!(s.inject_slowdown(1, 0.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn non_finite_slowdown_factor_rejected() {
+        // An infinite factor used to pass the NaN-only check and register
+        // a fault that "speeds up" the operator without bound.
+        let mut s = sim(1_000.0);
+        s.deploy(&[1, 1, 1]).unwrap();
+        assert!(s.inject_slowdown(1, f64::INFINITY, 10.0).is_err());
+        assert!(s.inject_slowdown(1, f64::NEG_INFINITY, 10.0).is_err());
+        assert!(s.inject_slowdown(1, f64::NAN, 10.0).is_err());
+        assert_eq!(s.active_faults(), 0);
     }
 }
 
