@@ -9,24 +9,33 @@
 //! ξ trades global search against local refinement: larger ξ discounts the
 //! incumbent more aggressively, pushing the maximizer toward
 //! high-uncertainty regions.
+//!
+//! All acquisitions are generic over [`Surrogate`], so the same scoring
+//! code serves the exact GP and the FITC sparse surrogate past the
+//! sparsification threshold.
 
 use autrascale_gp::stats::{normal_cdf, normal_pdf};
-use autrascale_gp::{GaussianProcess, PredictScratch};
+use autrascale_gp::{PredictScratch, Surrogate};
 
 /// Expected improvement of a candidate over the incumbent `f_best`, with
 /// exploration parameter `xi` (paper Eq. 5–7).
 ///
 /// Returns `0.0` where the posterior is deterministic (σ = 0), exactly as
 /// the paper's piecewise definition states.
-pub fn expected_improvement(gp: &GaussianProcess, candidate: &[f64], f_best: f64, xi: f64) -> f64 {
+pub fn expected_improvement<S: Surrogate + ?Sized>(
+    gp: &S,
+    candidate: &[f64],
+    f_best: f64,
+    xi: f64,
+) -> f64 {
     expected_improvement_with(gp, candidate, f_best, xi, &mut PredictScratch::default())
 }
 
 /// [`expected_improvement`] reusing caller-owned prediction buffers —
 /// bit-identical results, no per-call allocation. This is what the
 /// candidate-scoring hot loop in [`crate::BayesOpt`] uses.
-pub fn expected_improvement_with(
-    gp: &GaussianProcess,
+pub fn expected_improvement_with<S: Surrogate + ?Sized>(
+    gp: &S,
     candidate: &[f64],
     f_best: f64,
     xi: f64,
@@ -44,7 +53,7 @@ pub fn expected_improvement_with(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use autrascale_gp::{GpConfig, Kernel, KernelKind};
+    use autrascale_gp::{GaussianProcess, GpConfig, Kernel, KernelKind};
 
     fn toy_gp() -> GaussianProcess {
         let x = vec![vec![0.0], vec![2.0], vec![4.0]];
@@ -120,13 +129,13 @@ mod tests {
 /// A simpler optimism-in-the-face-of-uncertainty acquisition, provided as
 /// an ablation alternative to the paper's EI (DESIGN.md §3); larger `β`
 /// explores more.
-pub fn upper_confidence_bound(gp: &GaussianProcess, candidate: &[f64], beta: f64) -> f64 {
+pub fn upper_confidence_bound<S: Surrogate + ?Sized>(gp: &S, candidate: &[f64], beta: f64) -> f64 {
     upper_confidence_bound_with(gp, candidate, beta, &mut PredictScratch::default())
 }
 
 /// [`upper_confidence_bound`] reusing caller-owned prediction buffers.
-pub fn upper_confidence_bound_with(
-    gp: &GaussianProcess,
+pub fn upper_confidence_bound_with<S: Surrogate + ?Sized>(
+    gp: &S,
     candidate: &[f64],
     beta: f64,
     scratch: &mut PredictScratch,
@@ -143,7 +152,11 @@ pub fn upper_confidence_bound_with(
 /// ranking thousands of discrete candidates the marginal approximation is
 /// the standard cheap surrogate. Randomness comes from the caller's
 /// seeded RNG so runs stay replayable.
-pub fn thompson_sample(gp: &GaussianProcess, candidate: &[f64], rng: &mut impl rand::Rng) -> f64 {
+pub fn thompson_sample<S: Surrogate + ?Sized>(
+    gp: &S,
+    candidate: &[f64],
+    rng: &mut impl rand::Rng,
+) -> f64 {
     let p = gp.predict(candidate);
     // Box–Muller on two uniforms (no rand_distr dependency).
     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
@@ -155,7 +168,7 @@ pub fn thompson_sample(gp: &GaussianProcess, candidate: &[f64], rng: &mut impl r
 #[cfg(test)]
 mod acquisition_variant_tests {
     use super::*;
-    use autrascale_gp::{GpConfig, Kernel, KernelKind};
+    use autrascale_gp::{GaussianProcess, GpConfig, Kernel, KernelKind};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -37,6 +37,7 @@ pub use acquisition::{
     expected_improvement, expected_improvement_with, thompson_sample, upper_confidence_bound,
     upper_confidence_bound_with,
 };
+pub use autrascale_gp::{FitcSurrogate, SparseStrategy, Surrogate};
 pub use bootstrap::{bootstrap_set, BootstrapDesign};
 pub use optimizer::{Acquisition, BayesOpt, BoError, BoOptions};
 pub use space::SearchSpace;

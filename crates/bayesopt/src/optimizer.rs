@@ -13,7 +13,8 @@ use crate::acquisition::{expected_improvement_with, thompson_sample, upper_confi
 use crate::space::SearchSpace;
 use crate::{to_features, write_features};
 use autrascale_gp::{
-    fit_auto_warm, fit_subset, FitOptions, GaussianProcess, PredictScratch, WarmStart,
+    fit_auto_warm, fit_fitc, fit_subset, FitOptions, FitcSurrogate, GaussianProcess,
+    PredictScratch, SparseStrategy, Surrogate, WarmStart,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -61,6 +62,15 @@ pub struct BoOptions {
     /// O(m³) instead of O(n³); the paper's §VII "reduce the training
     /// costs").
     pub max_surrogate_points: usize,
+    /// Which sparse approximation takes over past
+    /// [`max_surrogate_points`](Self::max_surrogate_points):
+    /// [`SparseStrategy::SubsetOfData`] (the default) trains an exact GP
+    /// on a farthest-point subset and discards the rest, while
+    /// [`SparseStrategy::Fitc`] keeps every observation in the likelihood
+    /// through an inducing-point low-rank factorization (O(n·m²) instead
+    /// of O(m³) on a subset, but no observation is thrown away). Below
+    /// the cap both strategies run the same exact GP.
+    pub sparse_strategy: SparseStrategy,
     /// Hyperparameter-refit period of the incremental observe→suggest
     /// path. `1` (the default) reproduces the paper's Algorithm 1
     /// exactly: a full `fit_auto` before every suggestion. With `k > 1`,
@@ -94,6 +104,7 @@ impl Default for BoOptions {
             local_refinement_rounds: 3,
             fit: FitOptions::default(),
             max_surrogate_points: 200,
+            sparse_strategy: SparseStrategy::SubsetOfData,
             refit_every: 1,
             warm_lml_tolerance: 0.25,
             force_full_refit: false,
@@ -327,9 +338,33 @@ impl BayesOpt {
 
     /// Suggests the next configuration to evaluate: the EI maximizer over
     /// the candidate set, preferring configurations not yet observed.
+    ///
+    /// Past [`BoOptions::max_surrogate_points`] the surrogate engine is
+    /// chosen by [`BoOptions::sparse_strategy`]; below the cap (and for
+    /// the default subset-of-data strategy at any size) this is the exact
+    /// GP path, unchanged.
     pub fn suggest(&mut self) -> Result<Vec<u32>, BoError> {
+        if self.options.sparse_strategy == SparseStrategy::Fitc
+            && self.observations.len() > self.options.max_surrogate_points
+        {
+            let fitc = self.fit_fitc_surrogate()?;
+            return Ok(self.suggest_with(&fitc));
+        }
         let gp = self.surrogate()?;
         Ok(self.suggest_with(&gp))
+    }
+
+    /// Fits a FITC inducing-point surrogate on the full observation
+    /// history, with inducing sites picked by the same incumbent-seeded
+    /// farthest-point selection as the subset-of-data path and
+    /// hyperparameters tuned against the FITC marginal likelihood.
+    pub fn fit_fitc_surrogate(&self) -> Result<FitcSurrogate, BoError> {
+        if self.observations.is_empty() {
+            return Err(BoError::NoObservations);
+        }
+        let (x, y) = self.training_data();
+        fit_fitc(x, y, self.options.max_surrogate_points, &self.options.fit)
+            .map_err(|e| BoError::SurrogateFit(e.to_string()))
     }
 
     /// Like [`suggest`](Self::suggest) but with a caller-provided surrogate
@@ -342,7 +377,7 @@ impl BayesOpt {
     /// the serial loop, so the suggestion is identical either way.
     /// Thompson sampling consumes the loop's seeded RNG per candidate and
     /// therefore always scores serially, keeping runs replayable.
-    pub fn suggest_with(&mut self, gp: &GaussianProcess) -> Vec<u32> {
+    pub fn suggest_with<S: Surrogate + Sync>(&mut self, gp: &S) -> Vec<u32> {
         let f_best = self
             .observations
             .iter()
@@ -366,9 +401,9 @@ impl BayesOpt {
 
     /// Deterministic-acquisition path (EI / UCB): score every candidate
     /// (in parallel when `parallel`), then select serially in index order.
-    fn suggest_ranked(
+    fn suggest_ranked<S: Surrogate + Sync>(
         &mut self,
-        gp: &GaussianProcess,
+        gp: &S,
         f_best: f64,
         mut candidates: Vec<Vec<u32>>,
         parallel: bool,
@@ -456,7 +491,7 @@ impl BayesOpt {
 
     /// Thompson-sampling path: serial by construction — each candidate
     /// consumes draws from the loop's seeded RNG in a fixed order.
-    fn suggest_thompson(&mut self, gp: &GaussianProcess, f_best: f64) -> Vec<u32> {
+    fn suggest_thompson<S: Surrogate>(&mut self, gp: &S, f_best: f64) -> Vec<u32> {
         let mut candidates = self.candidates();
         let rng = &mut self.rng;
         let mut score = move |k: &[u32]| thompson_sample(gp, &to_features(k), rng) - f_best;
@@ -931,5 +966,61 @@ mod sparse_surrogate_tests {
         // The loop still works end to end.
         let k = bo.suggest().unwrap();
         assert!(bo.space().contains(&k));
+    }
+
+    #[test]
+    fn fitc_strategy_keeps_every_observation_past_the_cap() {
+        let space = SearchSpace::new(vec![1], vec![64]).unwrap();
+        let mut bo = BayesOpt::new(
+            space,
+            BoOptions {
+                max_surrogate_points: 10,
+                sparse_strategy: SparseStrategy::Fitc,
+                ..Default::default()
+            },
+        );
+        for k in 1..=40u32 {
+            bo.observe(vec![k], 1.0 / (1.0 + (k as f64 - 20.0).abs()));
+        }
+        let fitc = bo.fit_fitc_surrogate().unwrap();
+        assert_eq!(fitc.len(), 40, "all observations stay in the likelihood");
+        assert_eq!(fitc.inducing_len(), 10, "inducing set capped at m");
+        // suggest() dispatches to the FITC engine and still proposes
+        // an in-space configuration.
+        let k = bo.suggest().unwrap();
+        assert!(bo.space().contains(&k));
+    }
+
+    #[test]
+    fn fitc_strategy_below_cap_matches_default_path_bitwise() {
+        let observe = |bo: &mut BayesOpt| {
+            for k in 1..=8u32 {
+                bo.observe(vec![k], (k as f64 * 0.7).sin());
+            }
+        };
+        let space = SearchSpace::new(vec![1], vec![64]).unwrap();
+        let mut default_bo = BayesOpt::new(space.clone(), BoOptions::default());
+        let mut fitc_bo = BayesOpt::new(
+            space,
+            BoOptions {
+                sparse_strategy: SparseStrategy::Fitc,
+                ..Default::default()
+            },
+        );
+        observe(&mut default_bo);
+        observe(&mut fitc_bo);
+        // Below max_surrogate_points the FITC strategy never engages, so
+        // the suggestion is the exact-GP one, bit for bit.
+        assert_eq!(default_bo.suggest().unwrap(), fitc_bo.suggest().unwrap());
+    }
+
+    #[test]
+    fn fitc_fit_without_observations_is_an_error() {
+        let space = SearchSpace::new(vec![1], vec![8]).unwrap();
+        let bo = BayesOpt::new(space, BoOptions::default());
+        assert_eq!(
+            bo.fit_fitc_surrogate().unwrap_err(),
+            BoError::NoObservations
+        );
     }
 }

@@ -1,0 +1,196 @@
+//! Long-horizon sparse-surrogate regression: a 300-observation trace
+//! drives the optimizer across the `max_surrogate_points` boundary, so the
+//! exact→sparse engine handoff happens mid-run for both sparse strategies.
+//!
+//! Pinned here:
+//!
+//! * suggestions stay inside the search space and every acquisition score
+//!   stays finite on both sides of the handoff, for the subset-of-data
+//!   default and the FITC strategy alike;
+//! * at n = 300 observations and m = 64 inducing/subset points, FITC
+//!   (which keeps all 300 observations in the likelihood) predicts
+//!   held-out configurations at least as well as subset-of-data (which
+//!   discards all but 64);
+//! * the default options and an explicitly-spelled
+//!   `SparseStrategy::SubsetOfData` are the same code path, bit for bit —
+//!   adding the strategy knob must not perturb existing behaviour.
+
+use autrascale_bayesopt::{
+    expected_improvement, to_features, BayesOpt, BoOptions, SearchSpace, SparseStrategy, Surrogate,
+};
+use autrascale_gp::{fit_fitc, fit_subset, FitOptions};
+
+/// Observations in the trace; well past `CAP` so most of the run is sparse.
+const HORIZON: usize = 300;
+/// Sparsification cap: the engine handoff happens at observation CAP + 1.
+const CAP: usize = 64;
+
+/// The noise-free benefit surface the trace samples.
+fn smooth(k: &[u32]) -> f64 {
+    let d0 = k[0] as f64 - 20.0;
+    let d1 = k[1] as f64 - 9.0;
+    1.0 - 0.003 * (d0 * d0 + d1 * d1)
+}
+
+/// Deterministic smooth objective with a reproducible wobble, so repeated
+/// configurations get distinct scores as streaming QoS measurements would.
+fn objective(k: &[u32], step: usize) -> f64 {
+    let wobble = ((step.wrapping_mul(2654435761)) % 1000) as f64 / 1000.0 - 0.5;
+    smooth(k) + 0.05 * wobble
+}
+
+/// The recorded trace: a seeded LCG walk over the 32×32 space.
+fn trace() -> Vec<(Vec<u32>, f64)> {
+    let mut state = 0x243F_6A88_85A3_08D3_u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    (0..HORIZON)
+        .map(|step| {
+            let k = vec![next() % 32 + 1, next() % 32 + 1];
+            let score = objective(&k, step);
+            (k, score)
+        })
+        .collect()
+}
+
+fn options(strategy: SparseStrategy) -> BoOptions {
+    BoOptions {
+        max_surrogate_points: CAP,
+        sparse_strategy: strategy,
+        // Keep hyperfits cheap: the trace fits at several checkpoints.
+        fit: FitOptions {
+            restarts: 2,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn space() -> SearchSpace {
+    SearchSpace::new(vec![1, 1], vec![32, 32]).unwrap()
+}
+
+/// Replays the trace, suggesting at checkpoints straddling the handoff and
+/// asserting every suggestion is in-space and every EI score finite.
+fn run_checkpointed(strategy: SparseStrategy) {
+    let checkpoints = [CAP - 4, CAP + 1, 150, HORIZON];
+    let mut bo = BayesOpt::new(space(), options(strategy));
+    for (step, (k, score)) in trace().into_iter().enumerate() {
+        bo.observe(k, score);
+        if !checkpoints.contains(&(step + 1)) {
+            continue;
+        }
+        let suggestion = bo.suggest().expect("suggest across the handoff");
+        assert!(
+            bo.space().contains(&suggestion),
+            "{strategy:?} at n = {}: suggestion {suggestion:?} out of space",
+            step + 1
+        );
+        // Score the full candidate grid through the same engine suggest()
+        // used: no acquisition value may go non-finite past the handoff.
+        let f_best = bo
+            .observations()
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let assert_finite_ei = |surrogate: &dyn Surrogate| {
+            for k0 in (1..=32u32).step_by(3) {
+                for k1 in (1..=32u32).step_by(3) {
+                    let ei = expected_improvement(surrogate, &to_features(&[k0, k1]), f_best, 0.01);
+                    assert!(
+                        ei.is_finite(),
+                        "{strategy:?} at n = {}: EI({k0}, {k1}) = {ei}",
+                        step + 1
+                    );
+                }
+            }
+        };
+        if strategy == SparseStrategy::Fitc && step + 1 > CAP {
+            assert_finite_ei(&bo.fit_fitc_surrogate().unwrap());
+        } else {
+            assert_finite_ei(&bo.fit_surrogate().unwrap());
+        }
+    }
+}
+
+#[test]
+fn subset_of_data_survives_the_long_horizon() {
+    run_checkpointed(SparseStrategy::SubsetOfData);
+}
+
+#[test]
+fn fitc_survives_the_long_horizon() {
+    run_checkpointed(SparseStrategy::Fitc);
+}
+
+#[test]
+fn fitc_held_out_rmse_beats_subset_of_data_at_the_same_budget() {
+    let trace = trace();
+    let x: Vec<Vec<f64>> = trace.iter().map(|(k, _)| to_features(k)).collect();
+    let y: Vec<f64> = trace.iter().map(|(_, s)| *s).collect();
+    let fit = FitOptions {
+        restarts: 2,
+        ..Default::default()
+    };
+
+    let fitc = fit_fitc(x.clone(), y, CAP, &fit).unwrap();
+    let subset = {
+        let y: Vec<f64> = trace.iter().map(|(_, s)| *s).collect();
+        fit_subset(x, y, CAP, &fit).unwrap()
+    };
+    assert_eq!(fitc.len(), HORIZON, "FITC keeps the whole trace");
+    assert_eq!(subset.len(), CAP, "subset-of-data discards down to the cap");
+
+    // Held-out grid: configurations never fed to either model, scored
+    // against the noise-free surface — the error a model's *mean* makes,
+    // which is exactly where keeping all 300 noisy observations (FITC)
+    // instead of 64 (subset-of-data) should pay off.
+    let rmse = |model: &dyn Surrogate| -> f64 {
+        let mut sq = 0.0;
+        let mut count = 0;
+        for k0 in (2..=32u32).step_by(4) {
+            for k1 in (2..=32u32).step_by(4) {
+                let err = model.predict(&to_features(&[k0, k1])).mean - smooth(&[k0, k1]);
+                sq += err * err;
+                count += 1;
+            }
+        }
+        (sq / count as f64).sqrt()
+    };
+    let fitc_rmse = rmse(&fitc);
+    let subset_rmse = rmse(&subset);
+    assert!(
+        fitc_rmse <= subset_rmse,
+        "FITC held-out RMSE {fitc_rmse} worse than subset-of-data {subset_rmse}"
+    );
+}
+
+#[test]
+fn explicit_subset_strategy_is_bit_identical_to_the_default() {
+    let mut default_bo = BayesOpt::new(space(), BoOptions::default());
+    let mut explicit_bo = BayesOpt::new(
+        space(),
+        BoOptions {
+            sparse_strategy: SparseStrategy::SubsetOfData,
+            ..Default::default()
+        },
+    );
+    for (k, score) in trace() {
+        default_bo.observe(k.clone(), score);
+        explicit_bo.observe(k, score);
+    }
+    assert_eq!(
+        default_bo.suggest().unwrap(),
+        explicit_bo.suggest().unwrap()
+    );
+    let a = default_bo.fit_surrogate().unwrap();
+    let b = explicit_bo.fit_surrogate().unwrap();
+    assert_eq!(
+        a.log_marginal_likelihood().to_bits(),
+        b.log_marginal_likelihood().to_bits()
+    );
+}

@@ -5,13 +5,14 @@
 //! |---|---|
 //! | `bo_suggest` | full suggest: fit_auto + candidate scoring (50 obs × 2048 sampled candidates) |
 //! | `observe_then_suggest` | one steady-state observe→suggest cycle at n = 128: incremental rank-1 path vs full refit |
+//! | `sparse_suggest` | suggest past the sparsification cap (n = 300, m = 64): FITC vs subset-of-data vs exact |
 //! | `gp_fit_auto` | multi-start marginal-likelihood fit alone |
 //! | `gram_build` | one Gram build: direct `kernel.eval` vs the distance cache |
 //!
 //! Medians from this harness are recorded in `BENCH_bo_suggest.json` at the
 //! repo root whenever the hot path changes.
 
-use autrascale_bayesopt::{BayesOpt, BoOptions, SearchSpace};
+use autrascale_bayesopt::{BayesOpt, BoOptions, SearchSpace, SparseStrategy};
 use autrascale_gp::{fit_auto, FitMethod, FitOptions, Kernel, KernelKind, PairwiseSqDists};
 use autrascale_linalg::Matrix;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -119,6 +120,60 @@ fn bench_observe_then_suggest(c: &mut Criterion) {
     group.finish();
 }
 
+/// Suggest at n = 300 observations with a 64-point sparsification budget,
+/// one case per surrogate engine: `fitc` keeps all 300 observations in a
+/// low-rank likelihood, `subset_of_data` trains an exact GP on 64
+/// farthest-point survivors, and `exact` (cap lifted to usize::MAX) is the
+/// unsparsified O(n³) reference. The contract in `BENCH_bo_suggest.json`:
+/// the FITC median stays within 2× of the subset-of-data median.
+fn bench_sparse_suggest(c: &mut Criterion) {
+    let dim = 4;
+    let n = 300;
+    let m = 64;
+    let space = SearchSpace::new(vec![1; dim], vec![32; dim]).unwrap();
+    let hist = history(n, dim);
+
+    let mut group = c.benchmark_group("sparse_suggest");
+    group.sample_size(10);
+    let cases = [
+        (
+            "fitc_n300_m64",
+            BoOptions {
+                max_surrogate_points: m,
+                sparse_strategy: SparseStrategy::Fitc,
+                ..Default::default()
+            },
+        ),
+        (
+            "subset_n300_m64",
+            BoOptions {
+                max_surrogate_points: m,
+                ..Default::default()
+            },
+        ),
+        (
+            "exact_n300",
+            BoOptions {
+                max_surrogate_points: usize::MAX,
+                ..Default::default()
+            },
+        ),
+    ];
+    for (name, opts) in cases {
+        let mut seeded = BayesOpt::new(space.clone(), opts);
+        for (k, s) in &hist {
+            seeded.observe(k.clone(), *s);
+        }
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut bo = seeded.clone();
+                black_box(bo.suggest().unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Multi-start marginal-likelihood fit, engine × training-set size: the
 /// analytic-gradient L-BFGS engine converges in a few dozen
 /// value-and-gradient evaluations per restart where the Nelder–Mead
@@ -176,6 +231,7 @@ criterion_group!(
     hotpath,
     bench_bo_suggest,
     bench_observe_then_suggest,
+    bench_sparse_suggest,
     bench_gp_fit_auto,
     bench_gram_build
 );

@@ -11,10 +11,11 @@
 //! on.
 
 use crate::{output, paper_config};
-use autrascale::{Algorithm1, ThroughputOptimizer};
+use autrascale::{Algorithm1, AuTraScaleConfig, ThroughputOptimizer};
 use autrascale_flinkctl::FlinkCluster;
 use autrascale_streamsim::Simulation;
-use autrascale_workloads::wordcount;
+use autrascale_workloads::{wordcount, Workload};
+use rayon::prelude::*;
 use serde::Serialize;
 
 /// One sweep point, averaged over several seeds (BO is stochastic; a
@@ -44,64 +45,116 @@ pub struct BootstrapSweepReport {
     pub rows: Vec<SweepRow>,
 }
 
+/// What one `(M, seed)` simulator run contributes to its sweep row.
+struct RunPoint {
+    bootstrap_samples: usize,
+    iterations: f64,
+    total_parallelism: f64,
+    final_latency_ms: f64,
+    meets_qos: bool,
+}
+
+/// Runs one `(M, seed)` point of the sweep end to end (simulator →
+/// throughput phase → Algorithm 1). Each point owns its simulation and
+/// cluster, so points are independent and safe to run concurrently.
+fn run_point(
+    w: &Workload,
+    m: usize,
+    run_seed: u64,
+    tweak: &dyn Fn(&mut AuTraScaleConfig),
+) -> RunPoint {
+    let sim = Simulation::new(w.default_config(run_seed)).expect("valid workload");
+    let mut cluster = FlinkCluster::new(sim);
+    let mut config = paper_config(w, run_seed);
+    config.bootstrap_m = m;
+    tweak(&mut config);
+    let thr = ThroughputOptimizer::new(&config)
+        .run(&mut cluster)
+        .expect("throughput phase");
+    let alg1 = Algorithm1::new(&config, thr.final_parallelism, w.p_max());
+    let outcome = alg1.run(&mut cluster, Vec::new()).expect("Algorithm 1");
+    RunPoint {
+        bootstrap_samples: outcome.bootstrap_samples,
+        iterations: outcome.iterations as f64,
+        total_parallelism: outcome
+            .final_parallelism
+            .iter()
+            .map(|&p| f64::from(p))
+            .sum::<f64>(),
+        final_latency_ms: outcome.final_latency_ms,
+        meets_qos: outcome.meets_qos,
+    }
+}
+
+/// Runs every `(M, seed)` point — in parallel over the flattened pair list
+/// when `parallel` — then aggregates per M with a serial pass in seed
+/// order. Aggregation order is fixed regardless of execution order (rayon
+/// `collect` preserves input order), so parallel and serial sweeps produce
+/// byte-identical rows.
+fn sweep_rows(
+    w: &Workload,
+    ms: &[usize],
+    seeds: &[u64],
+    parallel: bool,
+    tweak: &dyn Fn(&mut AuTraScaleConfig),
+) -> Vec<SweepRow> {
+    let pairs: Vec<(usize, u64)> = ms
+        .iter()
+        .flat_map(|&m| seeds.iter().map(move |&s| (m, s)))
+        .collect();
+    let points: Vec<RunPoint> = if parallel {
+        pairs
+            .par_iter()
+            .map(|&(m, s)| run_point(w, m, s, tweak))
+            .collect()
+    } else {
+        pairs
+            .iter()
+            .map(|&(m, s)| run_point(w, m, s, tweak))
+            .collect()
+    };
+    let n = seeds.len() as f64;
+    ms.iter()
+        .zip(points.chunks(seeds.len()))
+        .map(|(&m, chunk)| {
+            let mut iters = 0.0;
+            let mut total_p = 0.0;
+            let mut latency = 0.0;
+            let mut met = 0usize;
+            for p in chunk {
+                iters += p.iterations;
+                total_p += p.total_parallelism;
+                latency += p.final_latency_ms;
+                met += usize::from(p.meets_qos);
+            }
+            // Bootstrap-design size is seed-independent in practice; keep
+            // the last seed's count as the original serial loop did.
+            let boot = chunk.last().expect("at least one seed").bootstrap_samples;
+            SweepRow {
+                bootstrap_m: m,
+                bootstrap_samples: boot,
+                bo_iterations: iters / n,
+                total_evaluations: boot as f64 + iters / n,
+                total_parallelism: total_p / n,
+                final_latency_ms: latency / n,
+                qos_success_rate: met as f64 / n,
+            }
+        })
+        .collect()
+}
+
 /// Runs the sweep on WordCount at its paper rate, with a latency target
 /// tightened to 140 ms so the throughput-optimal base does NOT already
 /// satisfy QoS — the BO loop has real work to do at every M.
+///
+/// The `(M, seed)` grid runs on the rayon pool (12 independent simulator
+/// runs), with deterministic per-M aggregation.
 pub fn run(seed: u64) -> BootstrapSweepReport {
     let mut w = wordcount();
     w.target_latency_ms = 140.0;
     let ms = [2usize, 5, 10, 15];
     let seeds = [seed, seed + 1000, seed + 2000];
-    let rows: Vec<SweepRow> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ms
-            .iter()
-            .map(|&m| {
-                let w = w.clone();
-                scope.spawn(move || {
-                    let mut boot = 0usize;
-                    let mut iters = 0.0;
-                    let mut total_p = 0.0;
-                    let mut latency = 0.0;
-                    let mut met = 0usize;
-                    for &run_seed in &seeds {
-                        let sim =
-                            Simulation::new(w.default_config(run_seed)).expect("valid workload");
-                        let mut cluster = FlinkCluster::new(sim);
-                        let mut config = paper_config(&w, run_seed);
-                        config.bootstrap_m = m;
-                        let thr = ThroughputOptimizer::new(&config)
-                            .run(&mut cluster)
-                            .expect("throughput phase");
-                        let alg1 = Algorithm1::new(&config, thr.final_parallelism, w.p_max());
-                        let outcome = alg1.run(&mut cluster, Vec::new()).expect("Algorithm 1");
-                        boot = outcome.bootstrap_samples;
-                        iters += outcome.iterations as f64;
-                        total_p += outcome
-                            .final_parallelism
-                            .iter()
-                            .map(|&p| f64::from(p))
-                            .sum::<f64>();
-                        latency += outcome.final_latency_ms;
-                        met += usize::from(outcome.meets_qos);
-                    }
-                    let n = seeds.len() as f64;
-                    SweepRow {
-                        bootstrap_m: m,
-                        bootstrap_samples: boot,
-                        bo_iterations: iters / n,
-                        total_evaluations: boot as f64 + iters / n,
-                        total_parallelism: total_p / n,
-                        final_latency_ms: latency / n,
-                        qos_success_rate: met as f64 / n,
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep thread"))
-            .collect()
-    });
+    let rows = sweep_rows(&w, &ms, &seeds, true, &|_| {});
 
     let report = BootstrapSweepReport { rows };
     let dir = output::results_dir();
@@ -154,5 +207,31 @@ mod tests {
         assert!(outcome.bootstrap_samples >= 4);
         assert!(outcome.bootstrap_samples <= 1 + 3 + 4);
         assert!(outcome.iterations >= 1);
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        // A shrunken grid with capped BO iterations, so both passes stay
+        // fast; the equivalence claim is independent of grid size.
+        let mut w = wordcount();
+        w.target_latency_ms = 140.0;
+        let ms = [2usize, 3];
+        let seeds = [7u64, 1007];
+        let tweak = |config: &mut autrascale::AuTraScaleConfig| {
+            config.max_bo_iters = 4;
+            config.policy_running_time = 150.0;
+        };
+        let serial = sweep_rows(&w, &ms, &seeds, false, &tweak);
+        let parallel = sweep_rows(&w, &ms, &seeds, true, &tweak);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.bootstrap_m, p.bootstrap_m);
+            assert_eq!(s.bootstrap_samples, p.bootstrap_samples);
+            assert_eq!(s.bo_iterations.to_bits(), p.bo_iterations.to_bits());
+            assert_eq!(s.total_evaluations.to_bits(), p.total_evaluations.to_bits());
+            assert_eq!(s.total_parallelism.to_bits(), p.total_parallelism.to_bits());
+            assert_eq!(s.final_latency_ms.to_bits(), p.final_latency_ms.to_bits());
+            assert_eq!(s.qos_success_rate.to_bits(), p.qos_success_rate.to_bits());
+        }
     }
 }

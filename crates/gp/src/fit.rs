@@ -313,23 +313,9 @@ fn fit_impl(
         }
     }
 
-    let mut starts: Vec<Vec<f64>> = Vec::with_capacity(options.restarts + 2);
-    let mut deterministic = vec![init_ls.ln(); n_ls];
-    deterministic.push(0.0); // signal variance 1 (targets are normalized)
-    deterministic.push((1e-3_f64).ln());
-    starts.push(deterministic);
+    let mut starts = start_pool(n_ls, init_ls, options);
     if let Some(w) = warm {
-        starts.push(w.params.clone());
-    }
-
-    let mut rng = StdRng::seed_from_u64(options.seed);
-    for _ in 0..options.restarts {
-        let mut s: Vec<f64> = (0..n_ls)
-            .map(|_| (init_ls * rng.gen_range(0.1..10.0)).ln())
-            .collect();
-        s.push(rng.gen_range(-2.0..2.0));
-        s.push(rng.gen_range(-12.0..-2.0));
-        starts.push(s);
+        starts.insert(1, w.params.clone());
     }
 
     // Restarts are independent; run them in parallel. `collect` preserves
@@ -564,9 +550,36 @@ const DEDUP_RADIUS: f64 = 0.5;
 /// climbing *up* out of the exponentially flat tiny-noise valley is not.
 const NOISE_RESTART: f64 = -4.0;
 
+/// The shared multi-start pool: one deterministic start (span-scaled
+/// lengthscales, unit signal, small noise) followed by `options.restarts`
+/// seeded random starts. Both the exact-GP search ([`fit_auto`]) and the
+/// FITC search (`fit_fitc`) draw from this pool so the two engines explore
+/// the same basins for the same seed.
+pub(crate) fn start_pool(n_ls: usize, init_ls: f64, options: &FitOptions) -> Vec<Vec<f64>> {
+    let mut starts: Vec<Vec<f64>> = Vec::with_capacity(options.restarts + 2);
+    let mut deterministic = vec![init_ls.ln(); n_ls];
+    deterministic.push(0.0); // signal variance 1 (targets are normalized)
+    deterministic.push((1e-3_f64).ln());
+    starts.push(deterministic);
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    for _ in 0..options.restarts {
+        let mut s: Vec<f64> = (0..n_ls)
+            .map(|_| (init_ls * rng.gen_range(0.1..10.0)).ln())
+            .collect();
+        s.push(rng.gen_range(-2.0..2.0));
+        s.push(rng.gen_range(-12.0..-2.0));
+        starts.push(s);
+    }
+    starts
+}
+
 /// Decodes `[ln ℓ₁ … ln ℓ_d, ln σ², ln σ_n²]` into a kernel and noise
 /// variance, rejecting (`None`) hyperparameters outside the search bounds.
-fn build_candidate(params: &[f64], n_ls: usize, options: &FitOptions) -> Option<(Kernel, f64)> {
+pub(crate) fn build_candidate(
+    params: &[f64],
+    n_ls: usize,
+    options: &FitOptions,
+) -> Option<(Kernel, f64)> {
     let ls: Vec<f64> = params[..n_ls].iter().map(|p| p.exp()).collect();
     let sig = params[n_ls].exp();
     let noise = params[n_ls + 1].exp().max(options.min_noise_variance);
@@ -704,7 +717,7 @@ pub fn lml_value_and_gradient(
 
 /// Mean coordinate span of the inputs, used to scale the initial
 /// lengthscale guess.
-fn input_span(x: &[Vec<f64>]) -> f64 {
+pub(crate) fn input_span(x: &[Vec<f64>]) -> f64 {
     let dim = x[0].len();
     let mut total = 0.0;
     for d in 0..dim {

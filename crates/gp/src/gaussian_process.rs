@@ -47,6 +47,9 @@ pub enum GpError {
     RaggedInputs,
     /// A target value was NaN or infinite.
     NonFiniteTarget,
+    /// A sparse-surrogate routine was asked for an empty subset
+    /// (`m = 0` inducing/subset points).
+    EmptySubset,
     /// The Gram matrix could not be factorized even with maximum jitter.
     SingularKernelMatrix(CholeskyError),
 }
@@ -60,6 +63,9 @@ impl fmt::Display for GpError {
             }
             GpError::RaggedInputs => write!(f, "training inputs have inconsistent dimensions"),
             GpError::NonFiniteTarget => write!(f, "training target is NaN or infinite"),
+            GpError::EmptySubset => {
+                write!(f, "sparse selection needs at least one subset point")
+            }
             GpError::SingularKernelMatrix(e) => write!(f, "kernel matrix not factorizable: {e}"),
         }
     }
@@ -86,10 +92,43 @@ pub struct Prediction {
 /// GP — buffers are grown on first use.
 #[derive(Debug, Clone, Default)]
 pub struct PredictScratch {
-    /// Cross-covariance vector `k* = k(X, x)`.
-    k_star: Vec<f64>,
+    /// Cross-covariance vector `k* = k(X, x)` (inducing-point
+    /// cross-covariance for the sparse surrogate).
+    pub(crate) k_star: Vec<f64>,
     /// Whitened cross-covariance `v = L⁻¹ k*`.
-    v: Vec<f64>,
+    pub(crate) v: Vec<f64>,
+}
+
+/// The surrogate interface the Bayesian-optimization loop scores
+/// acquisition functions against: a posterior predictive and the incumbent.
+///
+/// Implemented by the exact [`GaussianProcess`] and the FITC
+/// inducing-point approximation ([`crate::FitcSurrogate`]), so candidate
+/// scoring is written once and switches engines past the sparsification
+/// threshold without touching the acquisition code.
+pub trait Surrogate {
+    /// Posterior mean/std at `query`, using caller-owned scratch buffers
+    /// so hot scoring loops stay allocation-free.
+    fn predict_with(&self, query: &[f64], scratch: &mut PredictScratch) -> Prediction;
+
+    /// The best (maximum) raw target value observed in training.
+    fn best_observed(&self) -> f64;
+
+    /// Allocating convenience wrapper around
+    /// [`predict_with`](Surrogate::predict_with).
+    fn predict(&self, query: &[f64]) -> Prediction {
+        self.predict_with(query, &mut PredictScratch::default())
+    }
+}
+
+impl Surrogate for GaussianProcess {
+    fn predict_with(&self, query: &[f64], scratch: &mut PredictScratch) -> Prediction {
+        GaussianProcess::predict_with(self, query, scratch)
+    }
+
+    fn best_observed(&self) -> f64 {
+        GaussianProcess::best_observed(self)
+    }
 }
 
 /// A trained exact Gaussian-process regressor.

@@ -297,6 +297,69 @@ impl PairwiseSqDists {
         Matrix::from_vec(n, n, out)
     }
 
+    /// Extracts the cache restricted to the points `idx` (an m×m cache
+    /// over `x[idx[0]], …, x[idx[m−1]]`) in O(m²·d) copies — no input
+    /// access, no re-subtraction, so every entry is bit-identical to a
+    /// [`PairwiseSqDists::new`] build over the selected points.
+    ///
+    /// This is how the FITC surrogate obtains its inducing-point Gram
+    /// `K_mm` from the full training cache after farthest-point selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn subset(&self, idx: &[usize]) -> PairwiseSqDists {
+        let n = self.n;
+        assert!(idx.iter().all(|&i| i < n), "subset: index out of range");
+        let m = idx.len();
+        let extract = |flat: &[f64]| -> Vec<f64> {
+            let mut out = vec![0.0; m * m];
+            for (a, &i) in idx.iter().enumerate() {
+                let src = &flat[i * n..i * n + n];
+                for (b, &j) in idx.iter().enumerate() {
+                    out[a * m + b] = src[j];
+                }
+            }
+            out
+        };
+        PairwiseSqDists {
+            n: m,
+            total: extract(&self.total),
+            per_dim: self
+                .per_dim
+                .as_ref()
+                .map(|dims| dims.iter().map(|d| extract(d)).collect()),
+        }
+    }
+
+    /// Extracts the m×n cross-distance block between the points `rows`
+    /// (e.g. FITC inducing sites) and the full training set, again as pure
+    /// copies of cached entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn cross(&self, rows: &[usize]) -> CrossSqDists {
+        let n = self.n;
+        assert!(rows.iter().all(|&i| i < n), "cross: index out of range");
+        let extract = |flat: &[f64]| -> Vec<f64> {
+            let mut out = Vec::with_capacity(rows.len() * n);
+            for &i in rows {
+                out.extend_from_slice(&flat[i * n..i * n + n]);
+            }
+            out
+        };
+        CrossSqDists {
+            rows: rows.len(),
+            cols: n,
+            total: extract(&self.total),
+            per_dim: self
+                .per_dim
+                .as_ref()
+                .map(|dims| dims.iter().map(|d| extract(d)).collect()),
+        }
+    }
+
     /// Weighted-trace sums for the analytic log-marginal-likelihood
     /// gradient: given a symmetric weight matrix `w` (in practice
     /// `½(ααᵀ − K⁻¹)`, so that each sum is `½·tr(W·∂K/∂θ)` directly),
@@ -374,6 +437,80 @@ impl PairwiseSqDists {
             g_sig += w[(i, i)] * sv;
         }
         (g_ls, g_sig)
+    }
+}
+
+/// Rectangular squared-distance block between a row set (e.g. inducing
+/// points) and a column set (the full training inputs), extracted from a
+/// [`PairwiseSqDists`] cache via [`PairwiseSqDists::cross`].
+///
+/// Like its square parent, it turns into a kernel matrix for any
+/// hyperparameter setting without touching the raw inputs — the FITC
+/// cross-Gram `K_mn` is rebuilt this way on every likelihood evaluation
+/// of the hyperparameter search.
+#[derive(Debug, Clone)]
+pub struct CrossSqDists {
+    rows: usize,
+    cols: usize,
+    /// `Σ_d (x_rows[a][d] − x[j][d])²`, flattened row-major rows×cols.
+    total: Vec<f64>,
+    /// Per-dimension `Δ_d²` blocks, present iff the parent cache kept them.
+    per_dim: Option<Vec<Vec<f64>>>,
+}
+
+impl CrossSqDists {
+    /// Number of row (inducing) points.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of column (training) points.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Builds the rows×cols kernel cross-covariance matrix for `kernel`.
+    ///
+    /// Every entry is bit-identical to `kernel.eval(&x[rows[a]], &x[j])`
+    /// (same canonical accumulation order as the parent cache; zero
+    /// distances evaluate to exactly `σ²` for every stationary kernel
+    /// here, so coincident row/column points need no special-casing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is ARD but the parent cache had no
+    /// per-dimension matrices, or the ARD dimensionality differs.
+    pub fn gram(&self, kernel: &Kernel) -> Matrix {
+        let (m, n) = (self.rows, self.cols);
+        let n_ls = kernel.lengthscales().len();
+        let out: Vec<f64> = if n_ls == 1 {
+            let inv = kernel.inv_sq_lengthscale(0);
+            self.total
+                .iter()
+                .map(|&d2| kernel.eval_from_sqdist(d2 * inv))
+                .collect()
+        } else {
+            let dims = self
+                .per_dim
+                .as_ref()
+                .expect("ARD cross-Gram build requires a per-dimension distance cache");
+            assert_eq!(
+                dims.len(),
+                n_ls,
+                "ARD lengthscale count differs from cached input dimensionality"
+            );
+            let inv: Vec<f64> = (0..n_ls).map(|d| kernel.inv_sq_lengthscale(d)).collect();
+            (0..m * n)
+                .map(|t| {
+                    let mut r2 = 0.0;
+                    for (dmat, inv_d) in dims.iter().zip(&inv) {
+                        r2 += dmat[t] * inv_d;
+                    }
+                    kernel.eval_from_sqdist(r2)
+                })
+                .collect()
+        };
+        Matrix::from_vec(m, n, out)
     }
 }
 
@@ -545,6 +682,100 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn subset_cache_matches_from_scratch_build_bitwise() {
+        let mut rng = Lcg(0x5B5E7);
+        for per_dim in [false, true] {
+            for dim in [1usize, 3] {
+                let x = random_inputs(&mut rng, 10, dim);
+                let full = PairwiseSqDists::new(&x, per_dim);
+                let idx = [7usize, 0, 3, 9];
+                let sub = full.subset(&idx);
+                let picked: Vec<Vec<f64>> = idx.iter().map(|&i| x[i].clone()).collect();
+                let scratch = PairwiseSqDists::new(&picked, per_dim);
+                assert_eq!(sub.len(), 4);
+                assert_eq!(sub.has_per_dim(), per_dim);
+                let k = Kernel::isotropic(KernelKind::Matern32, 1.4, 0.9);
+                let a = sub.gram(&k, 1e-5);
+                let b = scratch.gram(&k, 1e-5);
+                for i in 0..4 {
+                    for j in 0..4 {
+                        assert_eq!(
+                            a[(i, j)].to_bits(),
+                            b[(i, j)].to_bits(),
+                            "per_dim={per_dim} dim={dim} entry ({i}, {j})"
+                        );
+                    }
+                }
+                if per_dim && dim > 1 {
+                    let ls: Vec<f64> = (0..dim).map(|_| rng.next_f64(0.3, 2.0)).collect();
+                    let ard = Kernel::ard(KernelKind::Matern52, ls, 1.2);
+                    let a = sub.gram(&ard, 1e-6);
+                    let b = scratch.gram(&ard, 1e-6);
+                    assert!(a.max_abs_diff(&b).unwrap() == 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_gram_matches_direct_eval_bitwise() {
+        let mut rng = Lcg(0xC505);
+        for dim in [1usize, 2] {
+            let x = random_inputs(&mut rng, 9, dim);
+            let full = PairwiseSqDists::new(&x, true);
+            let idx = [4usize, 1, 8];
+            let cross = full.cross(&idx);
+            assert_eq!(cross.rows(), 3);
+            assert_eq!(cross.cols(), 9);
+            for kernel in [
+                Kernel::isotropic(KernelKind::Rbf, 1.2, 2.1),
+                Kernel::ard(KernelKind::Matern32, vec![0.8; dim], 1.1),
+            ] {
+                let g = cross.gram(&kernel);
+                for (a, &i) in idx.iter().enumerate() {
+                    for (j, xj) in x.iter().enumerate() {
+                        assert_eq!(
+                            g[(a, j)].to_bits(),
+                            kernel.eval(&x[i], xj).to_bits(),
+                            "dim={dim} kernel={kernel:?} entry ({a}, {j})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_gram_diagonal_entries_hit_signal_variance_exactly() {
+        // A coincident row/column pair has cached distance 0; the kernel
+        // profile must return σ² exactly there (K_mm's diagonal and the
+        // matching K_mn column agree), which FITC's Λ correction relies on.
+        let x = vec![vec![0.0, 1.0], vec![2.0, -1.0], vec![4.0, 3.0]];
+        let full = PairwiseSqDists::new(&x, false);
+        let cross = full.cross(&[2, 0]);
+        for kind in [KernelKind::Rbf, KernelKind::Matern32, KernelKind::Matern52] {
+            let k = Kernel::isotropic(kind, 1.7, 2.5);
+            let g = cross.gram(&k);
+            assert_eq!(g[(0, 2)].to_bits(), 2.5f64.to_bits(), "{kind:?}");
+            assert_eq!(g[(1, 0)].to_bits(), 2.5f64.to_bits(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn subset_index_out_of_range_panics() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let _ = PairwiseSqDists::new(&x, false).subset(&[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn cross_index_out_of_range_panics() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let _ = PairwiseSqDists::new(&x, false).cross(&[5]);
     }
 
     #[test]

@@ -47,7 +47,9 @@ pub use fit::{
     fit_auto, fit_auto_warm, fit_auto_with_cache, lml_value_and_gradient, FitMethod, FitOptions,
     WarmStart,
 };
-pub use gaussian_process::{GaussianProcess, GpConfig, GpError, PredictScratch, Prediction};
-pub use gram::{PairwiseSqDists, SqDistRow};
+pub use gaussian_process::{
+    GaussianProcess, GpConfig, GpError, PredictScratch, Prediction, Surrogate,
+};
+pub use gram::{CrossSqDists, PairwiseSqDists, SqDistRow};
 pub use kernel::{Kernel, KernelKind};
-pub use sparse::{fit_subset, select_subset};
+pub use sparse::{fit_fitc, fit_subset, select_subset, FitcSurrogate, SparseStrategy};

@@ -1,29 +1,78 @@
-//! Subset-of-data sparse fitting — the paper's §VII "reduce the training
-//! costs" direction.
+//! Sparse surrogates — the paper's §VII "reduce the training costs"
+//! direction.
 //!
 //! Exact GP training is O(n³); AuTraScale refits its surrogate every
 //! iteration and, long-running, a benefit model can accumulate hundreds
-//! of samples. The simplest principled sparsification is subset-of-data:
-//! select `m ≪ n` representative training points and fit exactly on
-//! those. Selection here is **farthest-point (max–min) sampling** — start
-//! from the best-scoring sample (the incumbent must stay in the model)
-//! and repeatedly add the point farthest from the current subset, which
-//! covers the input space with provably good dispersion.
+//! of samples. Two approximations live here, selected by
+//! [`SparseStrategy`]:
+//!
+//! * **Subset-of-data** ([`fit_subset`]): select `m ≪ n` representative
+//!   training points and fit exactly on those. Selection is
+//!   **farthest-point (max–min) sampling** — start from the best-scoring
+//!   sample (the incumbent must stay in the model) and repeatedly add the
+//!   point farthest from the current subset, which covers the input space
+//!   with provably good dispersion. Every non-selected observation is
+//!   discarded.
+//! * **FITC** ([`fit_fitc`] / [`FitcSurrogate`]): the fully independent
+//!   training conditional inducing-point approximation (Snelson &
+//!   Ghahramani 2006). The same farthest-point indices become *inducing
+//!   sites* `Z`, but all n observations stay in the likelihood through
+//!   the Nyström projection `Q = K_nm K_mm⁻¹ K_mn` with the per-point
+//!   diagonal correction
+//!   `Λ_ii = σ_n² + max(0, k(x_i,x_i) − Q_ii)`, giving the training
+//!   covariance `S = Λ + Q`. All algebra runs through the m×m Woodbury
+//!   factor `B = K_mm + K_mn Λ⁻¹ K_nm`
+//!   ([`autrascale_linalg::LowRankWoodbury`]), so fitting is O(n·m²) and
+//!   prediction O(m²) per query — the same complexity class as
+//!   subset-of-data, while the posterior mean is fed by every
+//!   observation. See DESIGN.md for the derivation.
 
-use crate::fit::{fit_auto, FitOptions};
-use crate::gaussian_process::{GaussianProcess, GpError};
+use crate::fit::{build_candidate, fit_auto, input_span, start_pool, FitMethod, FitOptions};
+use crate::gaussian_process::{
+    GaussianProcess, GpConfig, GpError, PredictScratch, Prediction, Surrogate,
+};
+use crate::gram::{CrossSqDists, PairwiseSqDists};
+use crate::kernel::Kernel;
+use crate::neldermead::{minimize, NelderMeadOptions};
+use autrascale_linalg::{lbfgs, Cholesky, CholeskyError, LowRankWoodbury};
+use rayon::prelude::*;
+
+/// Which sparse engine the surrogate switches to past its point cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SparseStrategy {
+    /// Exact GP on a farthest-point subset of the data (the historical
+    /// behaviour, and still the default): O(m³) fit, discards the n − m
+    /// non-selected observations.
+    #[default]
+    SubsetOfData,
+    /// FITC inducing-point approximation: O(n·m²) fit that keeps every
+    /// observation's information via the corrected Nyström likelihood.
+    Fitc,
+}
 
 /// Indices of `m` subset points chosen by farthest-point sampling,
 /// seeded with the index of the maximum target (the BO incumbent).
 ///
 /// Returns all indices when `m >= x.len()`.
-pub fn select_subset(x: &[Vec<f64>], y: &[f64], m: usize) -> Vec<usize> {
+///
+/// # Errors
+///
+/// * [`GpError::EmptySubset`] — `m == 0`;
+/// * [`GpError::LengthMismatch`] — `x` and `y` lengths differ.
+pub fn select_subset(x: &[Vec<f64>], y: &[f64], m: usize) -> Result<Vec<usize>, GpError> {
+    if m == 0 {
+        return Err(GpError::EmptySubset);
+    }
+    if x.len() != y.len() {
+        return Err(GpError::LengthMismatch {
+            x: x.len(),
+            y: y.len(),
+        });
+    }
     let n = x.len();
     if m >= n {
-        return (0..n).collect();
+        return Ok((0..n).collect());
     }
-    assert!(m >= 1, "need at least one subset point");
-    assert_eq!(x.len(), y.len(), "x/y length mismatch");
 
     let incumbent = y
         .iter()
@@ -51,7 +100,7 @@ pub fn select_subset(x: &[Vec<f64>], y: &[f64], m: usize) -> Vec<usize> {
     }
     selected.sort_unstable();
     selected.dedup();
-    selected
+    Ok(selected)
 }
 
 /// Fits a GP on at most `max_points` farthest-point-selected samples.
@@ -62,13 +111,497 @@ pub fn fit_subset(
     max_points: usize,
     options: &FitOptions,
 ) -> Result<GaussianProcess, GpError> {
-    if x.len() <= max_points {
+    if x.len() <= max_points && max_points > 0 {
         return fit_auto(x, y, options);
     }
-    let idx = select_subset(&x, &y, max_points);
+    let idx = select_subset(&x, &y, max_points)?;
     let xs: Vec<Vec<f64>> = idx.iter().map(|&i| x[i].clone()).collect();
     let ys: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
     fit_auto(xs, ys, options)
+}
+
+/// Floor on the FITC diagonal `Λ`, so a zero-noise configuration cannot
+/// divide by an exactly-cancelled correction at an inducing site.
+const LAMBDA_FLOOR: f64 = 1e-12;
+
+/// L-BFGS budget for the FITC-likelihood polish. Each evaluation costs
+/// `1 + (d + 2)` O(n·m²) factor builds (forward finite differences), so
+/// this is deliberately small: the polish starts from the inducing-subset
+/// optimum, which already sits in the right basin, and the budget is what
+/// keeps the whole FITC fit within the 2×-of-subset-of-data envelope
+/// benchmarked in BENCH_bo_suggest.json.
+const FITC_POLISH_EVALS: usize = 2;
+
+/// Nelder–Mead budget when the gradient polish fails (or the engine is
+/// [`FitMethod::NelderMead`]).
+const FITC_NM_EVALS: usize = 16;
+
+/// Restart cap for the exact inducing-subset fit that seeds the FITC
+/// hyperparameter search: the optimum only needs to land in the right
+/// basin (screening and the polish refine it), so the full restart budget
+/// of the subset-of-data path would be wasted here.
+const FITC_SEED_RESTARTS: usize = 1;
+
+/// Cap on the number of starts screened with a full FITC likelihood
+/// evaluation: the inducing-subset optimum plus the head of the shared
+/// [`fit_auto`] start pool.
+const FITC_SCREEN_STARTS: usize = 3;
+
+/// Forward-difference step (log-hyperparameter space) for the polish
+/// gradient.
+const FITC_FD_STEP: f64 = 1e-4;
+
+/// A trained FITC sparse Gaussian-process regressor.
+///
+/// Holds the m inducing inputs, the Woodbury factorization of the
+/// training covariance, and the representer weights `γ = B⁻¹K_mn Λ⁻¹ y`,
+/// so prediction is O(m·d) kernel evaluations plus two O(m²) triangular
+/// solves per query:
+///
+/// ```text
+/// μ(x*)  = k_*ᵀ γ
+/// σ²(x*) = k(x*,x*) − ‖L_A⁻¹k_*‖² + ‖L_B⁻¹k_*‖²
+/// ```
+///
+/// With `Z = X` (m = n) both collapse algebraically to the exact GP
+/// posterior — the property test suite pins that to 1e-6.
+#[derive(Debug, Clone)]
+pub struct FitcSurrogate {
+    kernel: Kernel,
+    noise_variance: f64,
+    /// Inducing inputs `Z` (farthest-point subset of the training inputs).
+    z: Vec<Vec<f64>>,
+    wood: LowRankWoodbury,
+    gamma: Vec<f64>,
+    y_mean: f64,
+    y_std: f64,
+    best_y: f64,
+    n: usize,
+    lml: f64,
+}
+
+impl FitcSurrogate {
+    /// Fits a FITC model with *fixed* hyperparameters on at most
+    /// `max_inducing` farthest-point inducing sites.
+    ///
+    /// This is the deterministic core [`fit_fitc`] calls once per
+    /// hyperparameter candidate; it is public so correctness tests can
+    /// compare against an exact [`GaussianProcess`] at identical
+    /// hyperparameters.
+    ///
+    /// # Errors
+    ///
+    /// Input validation mirrors [`GaussianProcess::fit`]
+    /// (empty/mismatched/ragged/non-finite), plus
+    /// [`GpError::EmptySubset`] for `max_inducing == 0` and
+    /// [`GpError::SingularKernelMatrix`] when the inducing Gram cannot be
+    /// factored.
+    pub fn fit(
+        x: Vec<Vec<f64>>,
+        y: Vec<f64>,
+        max_inducing: usize,
+        config: GpConfig,
+    ) -> Result<Self, GpError> {
+        validate_training_set(&x, &y)?;
+        if max_inducing == 0 {
+            return Err(GpError::EmptySubset);
+        }
+        let idx = select_subset(&x, &y, max_inducing.min(x.len()))?;
+        let (y_mean, y_std) = if config.normalize_y {
+            normalization(&y)
+        } else {
+            (0.0, 1.0)
+        };
+        let y_norm: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+        let needs_per_dim = config.kernel.lengthscales().len() > 1;
+        let dists = PairwiseSqDists::new(&x, needs_per_dim);
+        let sub = dists.subset(&idx);
+        let cross = dists.cross(&idx);
+        let noise = config.noise_variance.max(0.0);
+        let wood = fitc_factors(&sub, &cross, &config.kernel, noise)
+            .map_err(GpError::SingularKernelMatrix)?;
+        Ok(Self::assemble(
+            config.kernel,
+            noise,
+            &idx,
+            &x,
+            &y,
+            y_norm,
+            y_mean,
+            y_std,
+            wood,
+        ))
+    }
+
+    /// Builds the final model from an already-computed factorization.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        kernel: Kernel,
+        noise_variance: f64,
+        idx: &[usize],
+        x: &[Vec<f64>],
+        y: &[f64],
+        y_norm: Vec<f64>,
+        y_mean: f64,
+        y_std: f64,
+        wood: LowRankWoodbury,
+    ) -> Self {
+        let n = x.len();
+        let gamma = wood.representer_weights(&y_norm);
+        let log_2pi_term = 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+        let lml = -0.5 * wood.quad_form(&y_norm) - 0.5 * wood.log_determinant() - log_2pi_term;
+        let best_y = y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            kernel,
+            noise_variance,
+            z: idx.iter().map(|&i| x[i].clone()).collect(),
+            wood,
+            gamma,
+            y_mean,
+            y_std,
+            best_y,
+            n,
+            lml,
+        }
+    }
+
+    /// Number of training observations the likelihood saw (all of them —
+    /// unlike subset-of-data, nothing is discarded).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the model holds no observations (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of inducing sites m.
+    pub fn inducing_len(&self) -> usize {
+        self.z.len()
+    }
+
+    /// The inducing inputs `Z`.
+    pub fn inducing_inputs(&self) -> &[Vec<f64>] {
+        &self.z
+    }
+
+    /// The fitted kernel.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// The fitted observation-noise variance (normalized-target scale).
+    pub fn noise_variance(&self) -> f64 {
+        self.noise_variance
+    }
+
+    /// The FITC log marginal likelihood of the training set.
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        self.lml
+    }
+
+    /// The per-observation FITC diagonal
+    /// `Λ_ii = σ_n² + max(0, k_ii − Q_ii)` (normalized-target scale).
+    /// Every entry is ≥ the fitted noise variance — the noise floor the
+    /// property suite asserts.
+    pub fn lambda(&self) -> &[f64] {
+        self.wood.lambda()
+    }
+
+    /// Posterior mean/std at `query` using caller-owned scratch buffers
+    /// (see [`Surrogate::predict_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` has a different dimensionality than the training
+    /// inputs.
+    pub fn predict_with(&self, query: &[f64], scratch: &mut PredictScratch) -> Prediction {
+        assert_eq!(
+            query.len(),
+            self.z[0].len(),
+            "query dimensionality mismatch"
+        );
+        scratch.k_star.clear();
+        scratch
+            .k_star
+            .extend(self.z.iter().map(|zi| self.kernel.eval(zi, query)));
+        let mean_norm: f64 = scratch
+            .k_star
+            .iter()
+            .zip(&self.gamma)
+            .map(|(k, g)| k * g)
+            .sum();
+        // σ² = k** − ‖L_A⁻¹k*‖² + ‖L_B⁻¹k*‖²: the Nyström shrink toward
+        // zero, partially refilled by the uncertainty of the m-dimensional
+        // projection. The same scratch vector serves both solves.
+        self.wood
+            .chol_a()
+            .solve_lower_into(&scratch.k_star, &mut scratch.v);
+        let qa: f64 = scratch.v.iter().map(|v| v * v).sum();
+        self.wood
+            .chol_b()
+            .solve_lower_into(&scratch.k_star, &mut scratch.v);
+        let qb: f64 = scratch.v.iter().map(|v| v * v).sum();
+        let var_norm = (self.kernel.signal_variance() - qa + qb).max(0.0);
+        Prediction {
+            mean: mean_norm * self.y_std + self.y_mean,
+            std: var_norm.sqrt() * self.y_std,
+        }
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`predict_with`](Self::predict_with).
+    pub fn predict(&self, query: &[f64]) -> Prediction {
+        self.predict_with(query, &mut PredictScratch::default())
+    }
+
+    /// Best (maximum) raw target observed — over *all* n observations,
+    /// not just the inducing subset.
+    pub fn best_observed(&self) -> f64 {
+        self.best_y
+    }
+}
+
+impl Surrogate for FitcSurrogate {
+    fn predict_with(&self, query: &[f64], scratch: &mut PredictScratch) -> Prediction {
+        FitcSurrogate::predict_with(self, query, scratch)
+    }
+
+    fn best_observed(&self) -> f64 {
+        FitcSurrogate::best_observed(self)
+    }
+}
+
+/// Fits a FITC sparse GP with hyperparameter search, on at most
+/// `max_inducing` farthest-point inducing sites.
+///
+/// The search reuses the exact-fit machinery over the FITC marginal
+/// likelihood:
+///
+/// 1. the multi-start pool of [`fit_auto`] (same seeded starts) is
+///    screened with one FITC likelihood evaluation each, alongside the
+///    optimum of an exact [`fit_auto`] on the inducing subset (the
+///    subset-of-data fit, whose optimum is cheap and almost always in the
+///    right basin);
+/// 2. the best start is polished with the L-BFGS engine over the FITC
+///    negative log marginal likelihood (forward-difference gradients — Λ's
+///    clamp makes the surface only piecewise smooth, so the analytic
+///    exact-GP gradients don't transfer), falling back to Nelder–Mead when
+///    the gradient run fails or [`FitMethod::NelderMead`] is selected.
+///
+/// Deterministic for a fixed seed, like [`fit_auto`].
+///
+/// # Errors
+///
+/// Same surface as [`FitcSurrogate::fit`].
+pub fn fit_fitc(
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    max_inducing: usize,
+    options: &FitOptions,
+) -> Result<FitcSurrogate, GpError> {
+    validate_training_set(&x, &y)?;
+    if max_inducing == 0 {
+        return Err(GpError::EmptySubset);
+    }
+    let n = x.len();
+    let dim = x[0].len();
+    let n_ls = if options.ard { dim } else { 1 };
+    let idx = select_subset(&x, &y, max_inducing.min(n))?;
+
+    let (y_mean, y_std) = normalization(&y);
+    let y_norm: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+    let needs_per_dim = options.ard && dim > 1;
+    let dists = PairwiseSqDists::new(&x, needs_per_dim);
+    let sub = dists.subset(&idx);
+    let cross = dists.cross(&idx);
+    let log_2pi_term = 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+
+    // Negative FITC LML of a log-hyperparameter candidate.
+    let objective = |params: &[f64]| -> f64 {
+        let Some((kernel, noise)) = build_candidate(params, n_ls, options) else {
+            return f64::NAN;
+        };
+        let Ok(wood) = fitc_factors(&sub, &cross, &kernel, noise) else {
+            return f64::NAN;
+        };
+        0.5 * wood.quad_form(&y_norm) + 0.5 * wood.log_determinant() + log_2pi_term
+    };
+
+    // Start pool: the exact fit_auto optimum on the inducing subset first
+    // (ties in the screen scan resolve toward it), then the shared seeded
+    // multi-start pool.
+    let span = input_span(&x).max(1e-3);
+    let init_ls = (span / 2.0).max(1e-3);
+    let mut starts: Vec<Vec<f64>> = Vec::new();
+    let xs: Vec<Vec<f64>> = idx.iter().map(|&i| x[i].clone()).collect();
+    let ys: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+    let seed_options = FitOptions {
+        restarts: options.restarts.min(FITC_SEED_RESTARTS),
+        ..options.clone()
+    };
+    if let Ok(subset_model) = fit_auto(xs, ys, &seed_options) {
+        let cfg = subset_model.config();
+        let mut p: Vec<f64> = cfg.kernel.lengthscales().iter().map(|l| l.ln()).collect();
+        p.push(cfg.kernel.signal_variance().ln());
+        p.push(cfg.noise_variance.ln());
+        starts.push(p);
+    }
+    starts.extend(start_pool(n_ls, init_ls, options));
+    // Screening pays one O(n·m²) build per start, so cap the pool: the
+    // subset optimum plus the two deterministic starts cover the basins
+    // that matter in practice.
+    starts.truncate(FITC_SCREEN_STARTS);
+
+    // Screen: one O(n·m²) likelihood evaluation per start (independent, so
+    // parallel; `collect` preserves order and the scan below is serial).
+    let screened: Vec<f64> = starts.par_iter().map(|s| objective(s)).collect();
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &fx) in screened.iter().enumerate() {
+        if fx.is_finite() && best.is_none_or(|(_, b)| fx < b) {
+            best = Some((i, fx));
+        }
+    }
+
+    let winner = match best {
+        Some((i, screen_fx)) => {
+            let start = &starts[i];
+            // Polish with the configured engine over the FITC surface.
+            let fd_grad = |params: &[f64], grad: &mut [f64]| -> f64 {
+                let f0 = objective(params);
+                if !f0.is_finite() {
+                    grad.fill(f64::NAN);
+                    return f64::NAN;
+                }
+                let mut p = params.to_vec();
+                for (d, g) in grad.iter_mut().enumerate() {
+                    p[d] = params[d] + FITC_FD_STEP;
+                    let fp = objective(&p);
+                    p[d] = params[d];
+                    *g = if fp.is_finite() {
+                        (fp - f0) / FITC_FD_STEP
+                    } else {
+                        f64::NAN
+                    };
+                }
+                f0
+            };
+            let polished = match options.method {
+                FitMethod::Lbfgs => lbfgs::minimize(
+                    fd_grad,
+                    start,
+                    &lbfgs::LbfgsOptions {
+                        max_evals: FITC_POLISH_EVALS.min(options.max_evals_per_restart),
+                        max_step: 10.0,
+                        ..Default::default()
+                    },
+                )
+                .map(|r| (r.x, r.fx)),
+                FitMethod::NelderMead => None,
+            };
+            let (px, pfx) = polished.unwrap_or_else(|| {
+                let r = minimize(
+                    objective,
+                    start,
+                    NelderMeadOptions {
+                        max_evals: FITC_NM_EVALS.min(options.max_evals_per_restart),
+                        ..Default::default()
+                    },
+                );
+                (r.x, r.fx)
+            });
+            if pfx.is_finite() && pfx < screen_fx {
+                px
+            } else {
+                start.clone()
+            }
+        }
+        // Every start failed: heuristic fallback, mirroring fit_auto.
+        None => {
+            let mut p = vec![init_ls.ln(); n_ls];
+            p.push(0.0);
+            p.push((1e-4_f64).ln());
+            p
+        }
+    };
+
+    let (kernel, noise) = build_candidate(&winner, n_ls, options)
+        .unwrap_or((fallback_kernel(options, init_ls, n_ls), 1e-4));
+    let wood = fitc_factors(&sub, &cross, &kernel, noise).map_err(GpError::SingularKernelMatrix)?;
+    Ok(FitcSurrogate::assemble(
+        kernel, noise, &idx, &x, &y, y_norm, y_mean, y_std, wood,
+    ))
+}
+
+/// The heuristic kernel used when every candidate decode fails.
+fn fallback_kernel(options: &FitOptions, init_ls: f64, n_ls: usize) -> Kernel {
+    if options.ard {
+        Kernel::ard(options.kind, vec![init_ls; n_ls], 1.0)
+    } else {
+        Kernel::isotropic(options.kind, init_ls, 1.0)
+    }
+}
+
+/// Builds the FITC Woodbury factorization for one hyperparameter setting:
+/// `A = K_mm`, `U = K_mn`, `Λ = σ_n²·I + max(0, diag(K_nn − Q))`.
+///
+/// O(n·m²) + O(m³). Any jitter `A`'s factorization needs is inherited
+/// consistently (the model becomes FITC with a jittered `K_mm` — see
+/// [`LowRankWoodbury::with_factor`]).
+fn fitc_factors(
+    sub: &PairwiseSqDists,
+    cross: &CrossSqDists,
+    kernel: &Kernel,
+    noise: f64,
+) -> Result<LowRankWoodbury, CholeskyError> {
+    let k_mm = sub.gram(kernel, 0.0);
+    let chol_a = Cholesky::decompose(&k_mm)?;
+    let u = cross.gram(kernel);
+    // Q_ii = ‖L_A⁻¹ u_i‖², column by column via one batched solve.
+    let v = chol_a.solve_lower_matrix(&u);
+    let (m, n) = (u.rows(), u.cols());
+    let mut q = vec![0.0; n];
+    for k in 0..m {
+        for (qi, vv) in q.iter_mut().zip(v.row(k)) {
+            *qi += vv * vv;
+        }
+    }
+    let sv = kernel.signal_variance();
+    let lambda: Vec<f64> = q
+        .iter()
+        .map(|&qi| (noise + (sv - qi).max(0.0)).max(LAMBDA_FLOOR))
+        .collect();
+    LowRankWoodbury::with_factor(chol_a, u, lambda)
+}
+
+/// The shared input-validation gate ([`GaussianProcess::fit`]'s contract).
+fn validate_training_set(x: &[Vec<f64>], y: &[f64]) -> Result<(), GpError> {
+    if x.is_empty() {
+        return Err(GpError::EmptyTrainingSet);
+    }
+    if x.len() != y.len() {
+        return Err(GpError::LengthMismatch {
+            x: x.len(),
+            y: y.len(),
+        });
+    }
+    let dim = x[0].len();
+    if x.iter().any(|xi| xi.len() != dim) {
+        return Err(GpError::RaggedInputs);
+    }
+    if y.iter().any(|v| !v.is_finite()) {
+        return Err(GpError::NonFiniteTarget);
+    }
+    Ok(())
+}
+
+/// Target normalization, same formulas as `GaussianProcess::fit` with
+/// `normalize_y`.
+fn normalization(y: &[f64]) -> (f64, f64) {
+    let mean = autrascale_linalg::mean(y);
+    let sd = autrascale_linalg::variance(y).sqrt();
+    (mean, if sd > 1e-12 { sd } else { 1.0 })
 }
 
 #[cfg(test)]
@@ -90,7 +623,7 @@ mod tests {
             .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap();
-        let idx = select_subset(&x, &y, 8);
+        let idx = select_subset(&x, &y, 8).unwrap();
         assert_eq!(idx.len(), 8);
         assert!(idx.contains(&incumbent));
         // Dispersion: selected inputs span most of [0, 10).
@@ -103,7 +636,7 @@ mod tests {
     #[test]
     fn small_m_returns_everything_when_n_small() {
         let (x, y) = smooth_data(5);
-        assert_eq!(select_subset(&x, &y, 10), vec![0, 1, 2, 3, 4]);
+        assert_eq!(select_subset(&x, &y, 10).unwrap(), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
@@ -142,9 +675,130 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one")]
-    fn zero_subset_panics() {
+    fn zero_subset_is_an_error_not_a_panic() {
         let (x, y) = smooth_data(10);
-        let _ = select_subset(&x, &y, 0);
+        assert_eq!(select_subset(&x, &y, 0), Err(GpError::EmptySubset));
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error_not_a_panic() {
+        let (x, y) = smooth_data(10);
+        assert_eq!(
+            select_subset(&x, &y[..7], 4),
+            Err(GpError::LengthMismatch { x: 10, y: 7 })
+        );
+    }
+
+    #[test]
+    fn fit_subset_propagates_selection_errors() {
+        let (x, y) = smooth_data(10);
+        assert_eq!(
+            fit_subset(x.clone(), y.clone(), 0, &FitOptions::default()).unwrap_err(),
+            GpError::EmptySubset
+        );
+        let mut short = y;
+        short.truncate(7);
+        assert_eq!(
+            fit_subset(x, short, 4, &FitOptions::default()).unwrap_err(),
+            GpError::LengthMismatch { x: 10, y: 7 }
+        );
+    }
+
+    #[test]
+    fn fitc_keeps_all_observations_with_few_inducing_points() {
+        let (x, y) = smooth_data(80);
+        let fitc = fit_fitc(x, y, 12, &FitOptions::default()).unwrap();
+        assert_eq!(fitc.len(), 80);
+        assert_eq!(fitc.inducing_len(), 12);
+        assert!(fitc.log_marginal_likelihood().is_finite());
+        // The mean still tracks the generating function closely even
+        // though only 12 sites anchor the posterior.
+        let mut worst: f64 = 0.0;
+        let mut q = 0.25;
+        while q < 10.0 {
+            let p = fitc.predict(&[q]);
+            assert!(p.std.is_finite() && p.std >= 0.0);
+            worst = worst.max((p.mean - (q * 0.6).sin()).abs());
+            q += 0.5;
+        }
+        assert!(worst < 0.1, "worst deviation {worst}");
+    }
+
+    #[test]
+    fn fitc_beats_subset_of_data_in_sample_fit() {
+        // Same m, same data: FITC's likelihood sees all n observations, so
+        // its posterior mean should reconstruct the signal at least as
+        // well as an exact GP that discarded n − m of them.
+        let (x, y) = smooth_data(90);
+        let opts = FitOptions::default();
+        let fitc = fit_fitc(x.clone(), y.clone(), 10, &opts).unwrap();
+        let sod = fit_subset(x.clone(), y.clone(), 10, &opts).unwrap();
+        let rmse = |f: &dyn Fn(&[f64]) -> f64| -> f64 {
+            let se: f64 = x
+                .iter()
+                .zip(&y)
+                .map(|(xi, yi)| (f(xi) - yi) * (f(xi) - yi))
+                .sum();
+            (se / x.len() as f64).sqrt()
+        };
+        let fitc_rmse = rmse(&|q: &[f64]| fitc.predict(q).mean);
+        let sod_rmse = rmse(&|q: &[f64]| sod.predict(q).mean);
+        assert!(
+            fitc_rmse <= sod_rmse + 1e-9,
+            "FITC rmse {fitc_rmse} vs subset-of-data {sod_rmse}"
+        );
+    }
+
+    #[test]
+    fn fitc_lambda_respects_noise_floor() {
+        let (x, y) = smooth_data(40);
+        let fitc = fit_fitc(x, y, 8, &FitOptions::default()).unwrap();
+        let noise = fitc.noise_variance();
+        assert!(noise > 0.0);
+        assert_eq!(fitc.lambda().len(), 40);
+        for &l in fitc.lambda() {
+            assert!(l.is_finite() && l >= noise, "λ = {l} < noise {noise}");
+        }
+    }
+
+    #[test]
+    fn fitc_validation_errors_mirror_exact_fit() {
+        let opts = FitOptions::default();
+        assert_eq!(
+            fit_fitc(vec![], vec![], 4, &opts).unwrap_err(),
+            GpError::EmptyTrainingSet
+        );
+        assert_eq!(
+            fit_fitc(vec![vec![0.0], vec![1.0]], vec![0.0], 4, &opts).unwrap_err(),
+            GpError::LengthMismatch { x: 2, y: 1 }
+        );
+        assert_eq!(
+            fit_fitc(vec![vec![0.0], vec![1.0, 2.0]], vec![0.0, 1.0], 4, &opts).unwrap_err(),
+            GpError::RaggedInputs
+        );
+        assert_eq!(
+            fit_fitc(vec![vec![0.0], vec![1.0]], vec![0.0, f64::NAN], 4, &opts).unwrap_err(),
+            GpError::NonFiniteTarget
+        );
+        assert_eq!(
+            fit_fitc(vec![vec![0.0], vec![1.0]], vec![0.0, 1.0], 0, &opts).unwrap_err(),
+            GpError::EmptySubset
+        );
+    }
+
+    #[test]
+    fn fitc_is_deterministic_for_a_fixed_seed() {
+        let (x, y) = smooth_data(50);
+        let opts = FitOptions::default();
+        let a = fit_fitc(x.clone(), y.clone(), 9, &opts).unwrap();
+        let b = fit_fitc(x, y, 9, &opts).unwrap();
+        assert_eq!(
+            a.log_marginal_likelihood().to_bits(),
+            b.log_marginal_likelihood().to_bits()
+        );
+        let pa = a.predict(&[3.3]);
+        let pb = b.predict(&[3.3]);
+        assert_eq!(pa.mean.to_bits(), pb.mean.to_bits());
+        assert_eq!(pa.std.to_bits(), pb.std.to_bits());
     }
 }

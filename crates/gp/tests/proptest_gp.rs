@@ -1,8 +1,8 @@
 //! Property-based tests for Gaussian-process invariants.
 
 use autrascale_gp::{
-    fit_auto, lml_value_and_gradient, FitMethod, FitOptions, GaussianProcess, GpConfig, Kernel,
-    KernelKind, PairwiseSqDists,
+    fit_auto, lml_value_and_gradient, select_subset, FitMethod, FitOptions, FitcSurrogate,
+    GaussianProcess, GpConfig, Kernel, KernelKind, PairwiseSqDists,
 };
 use autrascale_linalg::Matrix;
 use proptest::prelude::*;
@@ -245,6 +245,152 @@ fn lbfgs_fit_matches_or_beats_nelder_mead_optimum() {
                 nm_fit.log_marginal_likelihood()
             );
         }
+    }
+}
+
+/// True iff no two entries are exactly equal (used to rule out ties that
+/// would make farthest-point selection order-dependent).
+fn all_distinct(vals: &[f64]) -> bool {
+    for i in 0..vals.len() {
+        for j in i + 1..vals.len() {
+            if vals[i] == vals[j] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Upper-triangle pairwise squared distances of a point set.
+fn pairwise_sq_dists(x: &[Vec<f64>]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for i in 0..x.len() {
+        for j in i + 1..x.len() {
+            out.push(x[i].iter().zip(&x[j]).map(|(a, b)| (a - b) * (a - b)).sum());
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `select_subset` returns strictly increasing in-range indices of the
+    /// requested size, and the incumbent (a maximizer of `y`) is always in
+    /// the subset — the property Algorithm 1 relies on so the sparse
+    /// surrogate never forgets the best configuration seen.
+    #[test]
+    fn select_subset_indices_are_unique_in_range_with_incumbent(
+        (x, y) in training_set(),
+        m in 1usize..12,
+    ) {
+        let n = x.len();
+        let idx = select_subset(&x, &y, m).unwrap();
+        prop_assert_eq!(idx.len(), m.min(n));
+        prop_assert!(idx.iter().all(|&i| i < n));
+        prop_assert!(idx.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+        let best = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(
+            idx.iter().any(|&i| y[i] == best),
+            "incumbent (y = {best}) missing from subset {idx:?}"
+        );
+    }
+
+    /// Reordering the training set does not change *which points* the
+    /// farthest-point selection keeps (ties excluded — with equal
+    /// distances or targets any order is a valid selection).
+    #[test]
+    fn select_subset_is_permutation_stable(
+        (x, y) in training_set(),
+        m in 1usize..12,
+    ) {
+        prop_assume!(all_distinct(&y));
+        prop_assume!(all_distinct(&pairwise_sq_dists(&x)));
+
+        let idx = select_subset(&x, &y, m).unwrap();
+        let mut rx = x.clone();
+        let mut ry = y.clone();
+        rx.reverse();
+        ry.reverse();
+        let ridx = select_subset(&rx, &ry, m).unwrap();
+
+        let mut picked: Vec<&Vec<f64>> = idx.iter().map(|&i| &x[i]).collect();
+        let mut rpicked: Vec<&Vec<f64>> = ridx.iter().map(|&i| &rx[i]).collect();
+        let by_coords = |a: &&Vec<f64>, b: &&Vec<f64>| a.partial_cmp(b).unwrap();
+        picked.sort_by(by_coords);
+        rpicked.sort_by(by_coords);
+        prop_assert_eq!(picked, rpicked);
+    }
+
+    /// With the inducing set equal to the full training set (m = n), FITC
+    /// is algebraically the exact GP: mean and standard deviation must
+    /// agree to 1e-6 for every kernel family, isotropic and ARD.
+    #[test]
+    fn fitc_with_all_inducing_points_matches_exact_gp(
+        n in 2usize..9,
+        kind in any_kind(),
+        ard in any::<bool>(),
+        spacing in 0.6f64..2.0,
+        ls in 0.3f64..1.5,
+        sig in 0.5f64..2.0,
+        noise in 1e-3f64..1e-1,
+        ys in proptest::collection::vec(-3.0f64..3.0, 9),
+        q in proptest::collection::vec(0.0f64..16.0, 2),
+    ) {
+        // Well-separated inputs keep the exact Gram comfortably
+        // factorizable, so no jitter perturbs the m = n identity.
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 * spacing, (i % 3) as f64 * spacing])
+            .collect();
+        let y = ys[..n].to_vec();
+        let kernel = if ard {
+            Kernel::ard(kind, vec![ls, ls * 1.3], sig)
+        } else {
+            Kernel::isotropic(kind, ls, sig)
+        };
+        let cfg = GpConfig { kernel, noise_variance: noise, normalize_y: true };
+        let exact = GaussianProcess::fit(x.clone(), y.clone(), cfg.clone()).unwrap();
+        let fitc = FitcSurrogate::fit(x, y, n, cfg).unwrap();
+        prop_assert_eq!(fitc.inducing_len(), n);
+
+        let pe = exact.predict(&q);
+        let pf = fitc.predict(&q);
+        prop_assert!(
+            (pe.mean - pf.mean).abs() < 1e-6,
+            "mean: exact {} vs fitc {}", pe.mean, pf.mean
+        );
+        prop_assert!(
+            (pe.std - pf.std).abs() < 1e-6,
+            "std: exact {} vs fitc {}", pe.std, pf.std
+        );
+    }
+
+    /// A genuinely sparse FITC model (m < n) on arbitrary data stays
+    /// numerically sane: predictions finite, variance non-negative, and
+    /// every per-point FITC diagonal entry at or above the noise floor.
+    #[test]
+    fn fitc_variance_is_finite_and_floored_by_noise(
+        (x, y) in training_set(),
+        kind in any_kind(),
+        ard in any::<bool>(),
+        m in 1usize..6,
+        noise in 1e-4f64..1e-1,
+        q in proptest::collection::vec(-6.0f64..6.0, 2),
+    ) {
+        let kernel = if ard {
+            Kernel::ard(kind, vec![1.0, 1.7], 1.0)
+        } else {
+            Kernel::isotropic(kind, 1.2, 1.0)
+        };
+        let cfg = GpConfig { kernel, noise_variance: noise, normalize_y: true };
+        let fitc = FitcSurrogate::fit(x, y, m, cfg).unwrap();
+        let p = fitc.predict(&q);
+        prop_assert!(p.mean.is_finite());
+        prop_assert!(p.std.is_finite() && p.std >= 0.0);
+        prop_assert!(
+            fitc.lambda().iter().all(|&l| l.is_finite() && l >= noise),
+            "Λ below the noise floor: {:?}", fitc.lambda()
+        );
     }
 }
 

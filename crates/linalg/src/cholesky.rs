@@ -135,6 +135,43 @@ impl Cholesky {
         }
     }
 
+    /// Forward substitution against every column of `b` at once: solves
+    /// `L Y = B` for an n×c right-hand-side matrix.
+    ///
+    /// Row-major over the flat buffer, so the inner update is an axpy of
+    /// one finished output row into the row being built — the same
+    /// streaming pattern as `try_factor`. This is the low-rank (FITC)
+    /// surrogate's workhorse: whitening the m×n cross-Gram `K_mn` costs
+    /// one call here instead of n strided per-column solves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows() != self.dim()`.
+    pub fn solve_lower_matrix(&self, b: &Matrix) -> Matrix {
+        let n = self.dim();
+        assert_eq!(b.rows(), n, "solve_lower_matrix: dimension mismatch");
+        let cols = b.cols();
+        let l = self.factor.as_slice();
+        let mut out = b.as_slice().to_vec();
+        for i in 0..n {
+            let (done, rest) = out.split_at_mut(i * cols);
+            let row_i = &mut rest[..cols];
+            for (k, &lik) in l[i * n..i * n + i].iter().enumerate() {
+                let row_k = &done[k * cols..k * cols + cols];
+                for (o, v) in row_i.iter_mut().zip(row_k) {
+                    *o -= lik * v;
+                }
+            }
+            // Divide (not multiply-by-reciprocal) so each column is
+            // bit-identical to a per-column `solve_lower` call.
+            let diag = l[i * n + i];
+            for o in row_i.iter_mut() {
+                *o /= diag;
+            }
+        }
+        Matrix::from_vec(n, cols, out)
+    }
+
     /// Back substitution: solves `Lᵀ x = y`.
     pub fn solve_upper(&self, y: &[f64]) -> Vec<f64> {
         let mut x = Vec::new();
@@ -588,6 +625,32 @@ mod tests {
     fn rank1_append_wrong_length_panics() {
         let base = Cholesky::decompose(&spd3()).unwrap();
         let _ = base.rank1_append(&[1.0], 1.0);
+    }
+
+    #[test]
+    fn solve_lower_matrix_matches_per_column_solves_bitwise() {
+        let a = spd3();
+        let chol = Cholesky::decompose(&a).unwrap();
+        let b = Matrix::from_rows(&[
+            &[0.3, -1.2, 2.5, 0.0],
+            &[1.7, 0.4, -0.9, 1.0],
+            &[-0.6, 2.2, 0.8, -3.5],
+        ]);
+        let solved = chol.solve_lower_matrix(&b);
+        for j in 0..b.cols() {
+            let col: Vec<f64> = (0..b.rows()).map(|i| b[(i, j)]).collect();
+            let y = chol.solve_lower(&col);
+            for i in 0..b.rows() {
+                assert_eq!(solved[(i, j)].to_bits(), y[i].to_bits(), "entry ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn solve_lower_matrix_wrong_rows_panics() {
+        let chol = Cholesky::decompose(&spd3()).unwrap();
+        let _ = chol.solve_lower_matrix(&Matrix::zeros(2, 4));
     }
 
     #[test]

@@ -28,7 +28,9 @@ mod cholesky;
 pub mod lbfgs;
 mod matrix;
 mod vector;
+mod woodbury;
 
 pub use cholesky::{Cholesky, CholeskyError};
 pub use matrix::Matrix;
 pub use vector::{axpy, dot, l2_norm, linf_distance, mean, scale, variance};
+pub use woodbury::LowRankWoodbury;
