@@ -8,13 +8,19 @@
 //! | `sparse_suggest` | suggest past the sparsification cap (n = 300, m = 64): FITC vs subset-of-data vs exact |
 //! | `gp_fit_auto` | multi-start marginal-likelihood fit alone |
 //! | `gram_build` | one Gram build: direct `kernel.eval` vs the distance cache |
+//! | `sim_step` | one steady-state simulator tick on a 16-operator 4-chain job, per engine |
+//! | `sim_run_for` | 100 000 simulated seconds of a quiescence-heavy diurnal trace: event engine (window fast-forward) vs tick engine |
 //!
-//! Medians from this harness are recorded in `BENCH_bo_suggest.json` at the
-//! repo root whenever the hot path changes.
+//! Medians from this harness are recorded in `BENCH_bo_suggest.json`
+//! (surrogate groups) and `BENCH_sim_events.json` (simulator groups, via
+//! `cargo run --release -p autrascale-bench --bin sim_events`) at the
+//! repo root whenever the respective hot path changes.
 
 use autrascale_bayesopt::{BayesOpt, BoOptions, SearchSpace, SparseStrategy};
+use autrascale_bench::sim_events::{diurnal_sim, FOUR_CHAIN_OPS};
 use autrascale_gp::{fit_auto, FitMethod, FitOptions, Kernel, KernelKind, PairwiseSqDists};
 use autrascale_linalg::Matrix;
+use autrascale_streamsim::EngineKind;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -227,12 +233,59 @@ fn bench_gram_build(c: &mut Criterion) {
     group.finish();
 }
 
+/// One steady-state tick on the 16-operator 4-chain job, per engine.
+/// Both engines share the phased tick core, so this isolates the
+/// per-tick bookkeeping cost (the event engine's win is in `sim_run_for`,
+/// not here).
+fn bench_sim_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_step");
+    for (label, engine) in [
+        ("event", EngineKind::EventDriven),
+        ("tick", EngineKind::Tick),
+    ] {
+        let mut sim = diurnal_sim(engine, 11);
+        sim.deploy(&[1u32; FOUR_CHAIN_OPS]).unwrap();
+        sim.run_for(60.0).unwrap();
+        group.bench_function(BenchmarkId::new("steady_16ops", label), |b| {
+            b.iter(|| {
+                sim.step().unwrap();
+                black_box(sim.now())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// 100k simulated seconds of the quiescence-heavy diurnal trace. The
+/// event engine fast-forwards steady metric windows (whole-window
+/// strides); the tick engine pays every 0.1 s tick.
+fn bench_sim_run_for(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_run_for");
+    group.sample_size(10);
+    for (label, engine) in [
+        ("event", EngineKind::EventDriven),
+        ("tick", EngineKind::Tick),
+    ] {
+        group.bench_function(BenchmarkId::new("diurnal_100ks_16ops", label), |b| {
+            b.iter(|| {
+                let mut sim = diurnal_sim(engine, 11);
+                sim.deploy(&[1u32; FOUR_CHAIN_OPS]).unwrap();
+                sim.run_for(100_000.0).unwrap();
+                black_box(sim.state_hash())
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     hotpath,
     bench_bo_suggest,
     bench_observe_then_suggest,
     bench_sparse_suggest,
     bench_gp_fit_auto,
-    bench_gram_build
+    bench_gram_build,
+    bench_sim_step,
+    bench_sim_run_for
 );
 criterion_main!(hotpath);

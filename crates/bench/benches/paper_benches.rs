@@ -60,7 +60,7 @@ fn bench_fig1_case1(c: &mut Criterion) {
             let profile = RateProfile::staircase(100_000.0, 50_000.0, 30.0, 300_000.0);
             let mut sim = Simulation::new(workload.config_with_profile(profile, 1)).unwrap();
             sim.deploy(&[2, 2, 2, 2]).unwrap();
-            sim.run_for(120.0);
+            sim.run_for(120.0).unwrap();
             black_box(sim.snapshot())
         })
     });
@@ -73,7 +73,7 @@ fn bench_fig2_case2(c: &mut Criterion) {
         b.iter(|| {
             let mut sim = Simulation::new(workload.config(300_000.0, 2)).unwrap();
             sim.deploy(&[3, 3, 3, 3]).unwrap();
-            sim.run_for(120.0);
+            sim.run_for(120.0).unwrap();
             black_box(sim.snapshot())
         })
     });

@@ -1,0 +1,94 @@
+//! Measures steady-state simulator throughput (events/s) for the
+//! event-driven and tick engines on the quiescence-heavy diurnal trace
+//! and prints a JSON summary; the medians are recorded in
+//! `BENCH_sim_events.json` at the repo root.
+//!
+//! Run with `cargo run --release -p autrascale-bench --bin sim_events
+//! [reps] [sim_seconds]` (defaults: 7 reps, 100 000 simulated seconds).
+//! One *event* is one operator-tick: `operators × simulated_ticks`, the
+//! unit of work the tick engine pays for every 0.1 s regardless of
+//! quiescence.
+
+use autrascale_bench::sim_events::{diurnal_sim, FOUR_CHAIN_OPS};
+use autrascale_streamsim::EngineKind;
+use std::time::Instant;
+
+struct Measurement {
+    wall_secs: Vec<f64>,
+    state_hash: u64,
+    ff_windows: u64,
+}
+
+fn measure(engine: EngineKind, reps: usize, sim_secs: f64) -> Measurement {
+    let mut wall_secs = Vec::with_capacity(reps);
+    let mut state_hash = 0;
+    let mut ff_windows = 0;
+    for rep in 0..reps {
+        let mut sim = diurnal_sim(engine, 11);
+        sim.deploy(&[1u32; FOUR_CHAIN_OPS]).expect("valid deploy");
+        let start = Instant::now();
+        sim.run_for(sim_secs).expect("finite duration");
+        wall_secs.push(start.elapsed().as_secs_f64());
+        if rep == 0 {
+            state_hash = sim.state_hash();
+            ff_windows = sim.fast_forwarded_windows();
+        } else {
+            assert_eq!(state_hash, sim.state_hash(), "non-deterministic run");
+        }
+    }
+    Measurement {
+        wall_secs,
+        state_hash,
+        ff_windows,
+    }
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    sorted[sorted.len() / 2]
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let reps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
+    let sim_secs: f64 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100_000.0);
+
+    let ticks = (sim_secs / 0.1).round();
+    let events = ticks * FOUR_CHAIN_OPS as f64;
+
+    // Interleave a warm-up rep of each engine, then measure.
+    measure(EngineKind::EventDriven, 1, sim_secs.min(10_000.0));
+    measure(EngineKind::Tick, 1, sim_secs.min(10_000.0));
+    let event = measure(EngineKind::EventDriven, reps, sim_secs);
+    let tick = measure(EngineKind::Tick, reps, sim_secs);
+
+    assert_eq!(
+        event.state_hash, tick.state_hash,
+        "engines must agree bit-for-bit on the benchmark trace"
+    );
+
+    let event_median = median(&event.wall_secs);
+    let tick_median = median(&tick.wall_secs);
+    println!("{{");
+    println!("  \"trace\": \"diurnal_100ks_16ops (4 disjoint chains, 600 s rate breakpoints, 10 s metric windows)\",");
+    println!("  \"simulated_seconds\": {sim_secs},");
+    println!("  \"simulated_events\": {events},");
+    println!("  \"reps\": {reps},");
+    println!("  \"event_engine\": {{");
+    println!("    \"median_wall_s\": {event_median:.4},");
+    println!("    \"events_per_s\": {:.0},", events / event_median);
+    println!("    \"fast_forwarded_windows\": {}", event.ff_windows);
+    println!("  }},");
+    println!("  \"tick_engine\": {{");
+    println!("    \"median_wall_s\": {tick_median:.4},");
+    println!("    \"events_per_s\": {:.0},", events / tick_median);
+    println!("    \"fast_forwarded_windows\": {}", tick.ff_windows);
+    println!("  }},");
+    println!("  \"speedup\": {:.2},", tick_median / event_median);
+    println!("  \"state_hash\": \"{:#018x}\"", event.state_hash);
+    println!("}}");
+}

@@ -10,3 +10,5 @@
 //! Run with `cargo bench -p autrascale-bench`. Full-scale experiment
 //! regeneration lives in the `autrascale-experiments` binary instead —
 //! Criterion is for cost, the binary is for shapes.
+
+pub mod sim_events;

@@ -1,0 +1,60 @@
+//! Shared fixture for the simulator-engine benchmarks: the 16-operator
+//! quiescence-heavy diurnal workload both the `sim_step`/`sim_run_for`
+//! criterion groups and the `sim_events` measurement binary run.
+//!
+//! The job is four disjoint source→map→filter→sink chains, so the
+//! topology splits into four regions (exercising the parallel region
+//! tick path) and carries four independent Kafka-consuming sources
+//! (exercising the multi-consumer steady-window replay). The rate
+//! profile is a diurnal sine sampled every 600 s: between breakpoints the
+//! producer rate is constant and the provisioned job settles into a
+//! bitwise fixed point within a couple of 10-second metric windows, which
+//! is exactly the regime the event engine's window fast-forward targets.
+
+use autrascale_streamsim::{
+    rate_generators, EngineKind, JobGraph, OperatorSpec, Simulation, SimulationConfig,
+};
+
+/// Operator count of the benchmark job (4 chains × 4 operators).
+pub const FOUR_CHAIN_OPS: usize = 16;
+
+/// Four disjoint source→map→filter→sink chains, 16 operators total.
+pub fn four_chain_job() -> JobGraph {
+    let mut ops = Vec::new();
+    let mut edges = Vec::new();
+    for chain in 0..4 {
+        let base = ops.len();
+        ops.push(OperatorSpec::source(format!("Src{chain}"), 60_000.0));
+        ops.push(OperatorSpec::transform(
+            format!("Map{chain}"),
+            45_000.0,
+            1.0,
+        ));
+        ops.push(OperatorSpec::transform(
+            format!("Filter{chain}"),
+            40_000.0,
+            0.8,
+        ));
+        ops.push(OperatorSpec::sink(format!("Sink{chain}"), 60_000.0));
+        edges.push((base, base + 1));
+        edges.push((base + 1, base + 2));
+        edges.push((base + 2, base + 3));
+    }
+    JobGraph::new(ops, edges).expect("four-chain job is a valid DAG")
+}
+
+/// The benchmark simulation: diurnal producer rate (base 15k ± 8k over a
+/// 24 h period, re-sampled every 600 s), 10-second metric windows, and
+/// the requested engine. Deploy with `&[1; FOUR_CHAIN_OPS]` — parallelism
+/// 1 everywhere keeps every chain provisioned at the diurnal peak.
+pub fn diurnal_sim(engine: EngineKind, seed: u64) -> Simulation {
+    Simulation::new(SimulationConfig {
+        job: four_chain_job(),
+        profile: rate_generators::diurnal(15_000.0, 8_000.0, 86_400.0, 600.0),
+        metric_interval: 10.0,
+        seed,
+        engine,
+        ..Default::default()
+    })
+    .expect("benchmark config is valid")
+}

@@ -52,10 +52,14 @@ pub fn run(duration_secs: f64, seed: u64) -> Fig1Report {
     let sample_interval = 10.0;
     let mut series = Vec::new();
     let mut elapsed = 0.0;
+    // One snapshot buffer refilled in place each sample — the hot
+    // sampling loop does no per-iteration allocation.
+    let mut snap = sim.snapshot();
     while elapsed < duration_secs {
-        sim.run_for(sample_interval);
+        sim.run_for(sample_interval)
+            .expect("finite sample interval");
         elapsed += sample_interval;
-        let snap = sim.snapshot();
+        sim.snapshot_into(&mut snap);
         series.push(Fig1Point {
             minute: snap.time / 60.0,
             input_rate: snap.producer_rate,
@@ -119,11 +123,11 @@ mod tests {
         let mut sim = Simulation::new(w.config_with_profile(profile, 5)).unwrap();
         sim.deploy(&[2, 2, 2, 2]).unwrap();
         // At 100k: keeps up.
-        sim.run_for(50.0);
+        sim.run_for(50.0).unwrap();
         let early = sim.snapshot();
         assert!(early.kafka_lag < 50_000.0, "lag {}", early.kafka_lag);
         // At 300k (t > 240 s): far over the ~250k capacity ⇒ lag grows.
-        sim.run_for(400.0);
+        sim.run_for(400.0).unwrap();
         let late = sim.snapshot();
         assert!(late.kafka_lag > 1_000_000.0, "lag {}", late.kafka_lag);
         assert!(late.source_consumption_rate < 280_000.0);

@@ -41,7 +41,7 @@ pub fn run(run_secs: f64, seed: u64) -> Fig2Report {
                     let mut sim = Simulation::new(w.config(300_000.0, seed + u64::from(p)))
                         .expect("valid workload config");
                     sim.deploy(&[p; 4]).expect("uniform parallelism is valid");
-                    sim.run_for(run_secs);
+                    sim.run_for(run_secs).expect("finite duration");
                     let snap = sim.snapshot();
                     Fig2Point {
                         parallelism: p,

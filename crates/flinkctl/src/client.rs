@@ -59,8 +59,15 @@ impl FlinkCluster {
     }
 
     /// Lets wall-clock advance by `secs` of simulation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is non-finite or negative; the simulator rejects
+    /// such durations and the control plane has no sensible fallback.
     pub fn run_for(&mut self, secs: f64) {
-        self.sim.run_for(secs);
+        self.sim
+            .run_for(secs)
+            .expect("run_for needs a finite, non-negative duration");
     }
 
     /// Current simulation time, seconds.

@@ -138,6 +138,23 @@ impl MetricStore {
         }
     }
 
+    /// Appends many observations to one series under a single lock
+    /// acquisition and key lookup. Non-finite values are skipped and
+    /// out-of-order points rejected per point, matching a loop of
+    /// [`append`](Self::append) calls that ignores errors. Returns the
+    /// number of points actually stored.
+    pub fn append_batch(&self, key: &SeriesKey, points: &[(f64, f64)]) -> usize {
+        if points.is_empty() {
+            return 0;
+        }
+        let mut guard = self.series.write();
+        let series = guard.entry(key.clone()).or_default();
+        points
+            .iter()
+            .filter(|&&(time, value)| value.is_finite() && series.push(time, value))
+            .count()
+    }
+
     /// Number of distinct series.
     pub fn series_count(&self) -> usize {
         self.series.read().len()
@@ -274,6 +291,33 @@ mod tests {
         assert_eq!(means.len(), 2);
         let total: f64 = means.iter().map(|(_, m)| m).sum();
         assert!((total - (15.0 + 30.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn append_batch_matches_append_loop() {
+        let batched = MetricStore::new();
+        let looped = MetricStore::new();
+        let k = SeriesKey::new("rate").tag("op", "Map");
+        let points = [(1.0, 10.0), (2.0, f64::NAN), (3.0, 30.0), (2.5, 99.0)];
+
+        let stored = batched.append_batch(&k, &points);
+        for &(t, v) in &points {
+            let _ = looped.append(&k, t, v);
+        }
+
+        // NaN skipped, out-of-order (2.5 after 3.0) rejected.
+        assert_eq!(stored, 2);
+        let a = batched.select(&Query::new("rate", 0.0, 10.0));
+        let b = looped.select(&Query::new("rate", 0.0, 10.0));
+        assert_eq!(a, b);
+        assert_eq!(a[0].1.len(), 2);
+    }
+
+    #[test]
+    fn append_batch_empty_is_noop() {
+        let store = MetricStore::new();
+        assert_eq!(store.append_batch(&SeriesKey::new("m"), &[]), 0);
+        assert_eq!(store.series_count(), 0);
     }
 
     #[test]

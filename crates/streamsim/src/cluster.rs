@@ -232,6 +232,10 @@ mod tests {
 #[derive(Debug, Default)]
 pub struct SharedMachineRegistry {
     counts: parking_lot::Mutex<Vec<u32>>,
+    /// Bumped on every [`replace`](Self::replace); lets simulations skip
+    /// re-reading occupancy (and re-deriving capacities) when nothing
+    /// co-located has redeployed since their last look.
+    version: std::sync::atomic::AtomicU64,
 }
 
 impl SharedMachineRegistry {
@@ -239,7 +243,14 @@ impl SharedMachineRegistry {
     pub fn new(machines: usize) -> Self {
         Self {
             counts: parking_lot::Mutex::new(vec![0; machines]),
+            version: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Monotone counter incremented whenever any job's contribution
+    /// changes. Equal versions guarantee identical occupancy snapshots.
+    pub fn version(&self) -> u64 {
+        self.version.load(std::sync::atomic::Ordering::Acquire)
     }
 
     /// Replaces one job's contribution: subtracts `old`, adds `new`.
@@ -251,6 +262,8 @@ impl SharedMachineRegistry {
     /// count, or if subtraction would underflow (double-release).
     pub fn replace(&self, old: &[u32], new: &[u32]) {
         let mut counts = self.counts.lock();
+        self.version
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
         if !old.is_empty() {
             assert_eq!(old.len(), counts.len(), "machine count mismatch");
             for (c, o) in counts.iter_mut().zip(old) {
@@ -309,5 +322,16 @@ mod shared_tests {
     fn wrong_arity_panics() {
         let reg = SharedMachineRegistry::new(2);
         reg.replace(&[], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn version_bumps_on_every_replace() {
+        let reg = SharedMachineRegistry::new(2);
+        let v0 = reg.version();
+        reg.replace(&[], &[1, 0]);
+        let v1 = reg.version();
+        assert!(v1 > v0);
+        reg.replace(&[1, 0], &[0, 1]);
+        assert!(reg.version() > v1);
     }
 }

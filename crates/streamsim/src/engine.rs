@@ -1,14 +1,30 @@
-//! The fluid/tick simulation engine.
+//! The phased simulation engine.
 //!
 //! Each tick (default 100 ms) moves fluid record mass producer → Kafka →
-//! source → operators → sink. Operators are processed in **forward
-//! topological order** with same-tick consumption: an operator emits into
-//! its successors' queues before the successors run, so sustained flow is
-//! never artificially capped by buffer capacity. Backpressure emerges
-//! from occupancy: a bottleneck operator's queue sits full, so upstream
-//! emission each tick is limited to exactly what the bottleneck drained.
+//! source → operators → sink through four phases:
 //!
-//! Per-instance effective service rate:
+//! 1. **Pre-tick** — producer appends to Kafka, retention expires old
+//!    records, downtime is resolved, and per-operator capacity is
+//!    recomputed *only when an epoch event made it stale* (deploy, fault
+//!    injection/expiry, co-located registry change). Between epochs the
+//!    capacity vector — including its noise draw — is reused, so a
+//!    quiescent operator costs no RNG or interference work.
+//! 2. **Transport** — source operators pull from Kafka (serially, in
+//!    ascending index order, preserving FIFO lag attribution) and emit
+//!    into their successors' queues.
+//! 3. **Process** — non-source operators run in forward topological
+//!    order with same-tick consumption: an operator emits into its
+//!    successors' queues before the successors run, so sustained flow is
+//!    never artificially capped by buffer capacity. Operators in
+//!    different weakly-connected regions of the DAG never exchange
+//!    records, so multi-region jobs tick their regions in parallel
+//!    (rayon) and merge the per-region deltas in fixed region order —
+//!    the merged result is bitwise identical to a serial pass.
+//! 4. **Post-tick** — latency accounting, window accumulation, and
+//!    metric emission at window boundaries (buffered through a
+//!    [`MetricBatcher`] and flushed once per `run_for`/`step`).
+//!
+//! Per-instance effective service rate (unchanged from the tick model):
 //!
 //! ```text
 //! eff = base_rate × 1/(1 + σ·(p−1)) × interference(machine) × noise
@@ -17,16 +33,59 @@
 //! capped so the operator aggregate respects any external limit (Redis).
 //! Queues are bounded by a fixed per-operator buffer pool; overflow
 //! backpressure ultimately parks records in Kafka as consumer lag.
+//!
+//! # Event-driven fast-forward
+//!
+//! The default [`EngineKind::EventDriven`] engine additionally skips
+//! whole metric windows when the job is **quiescent**: the previous
+//! window was a bitwise fixed point (queues unchanged every tick, Kafka
+//! drained with exactly-zero lag, constant producer rate, no capacity
+//! epoch, no downtime) and an event heap of future wake-ups (fault
+//! expiries, downtime ends, rate-profile breakpoints) confirms nothing
+//! fires inside the next window. A skipped window replays the saved
+//! accumulator sums, advances the clock by the same sequential `+= dt`
+//! additions, and replays Kafka's steady totals — producing *bitwise*
+//! the metrics, snapshot, and [`state hash`](Simulation::state_hash) the
+//! tick-by-tick path would. [`EngineKind::Tick`] (the default under the
+//! `tick-engine` feature) runs the identical phased core without
+//! skipping, which is what makes cross-engine parity testable.
 
 use crate::cluster::{ClusterSpec, Placement};
+use crate::events::{EventKind, EventQueue};
+use crate::hash::StateHasher;
 use crate::kafka::Kafka;
-use crate::metrics;
+use crate::metrics::{self, MetricBatcher};
 use crate::noise::GaussianNoise;
 use crate::rate::RateProfile;
-use crate::topology::JobGraph;
+use crate::topology::{Adjacency, JobGraph, OperatorSpec};
 use autrascale_metricsdb::MetricStore;
 use std::fmt;
 use std::sync::Arc;
+
+/// Which driving loop advances the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Phased core + window-level quiescence skipping (the default).
+    EventDriven,
+    /// Phased core visiting every tick (the pre-event behaviour; default
+    /// when the `tick-engine` cargo feature is enabled).
+    Tick,
+}
+
+// Not derivable: the default variant depends on the `tick-engine` feature.
+#[allow(clippy::derivable_impls)]
+impl Default for EngineKind {
+    fn default() -> Self {
+        #[cfg(feature = "tick-engine")]
+        {
+            EngineKind::Tick
+        }
+        #[cfg(not(feature = "tick-engine"))]
+        {
+            EngineKind::EventDriven
+        }
+    }
+}
 
 /// Configuration of a [`Simulation`].
 #[derive(Debug, Clone)]
@@ -51,7 +110,9 @@ pub struct SimulationConfig {
     /// the paper's Observation 2.2 (latency falls with parallelism while
     /// under-provisioned).
     pub queue_capacity_per_operator: f64,
-    /// Multiplicative noise std on per-instance service rates.
+    /// Multiplicative noise std on per-instance service rates. Drawn
+    /// once per capacity epoch (deploy/fault/registry change), not per
+    /// tick, so a steady job's capability is constant between epochs.
     pub rate_noise_std: f64,
     /// Kafka topic retention, seconds: unconsumed records older than this
     /// are dropped (0 disables). Real clusters always run with finite
@@ -64,6 +125,8 @@ pub struct SimulationConfig {
     pub shared_machines: Option<std::sync::Arc<crate::cluster::SharedMachineRegistry>>,
     /// RNG seed (runs are replayable).
     pub seed: u64,
+    /// Which driving loop to use; see [`EngineKind`].
+    pub engine: EngineKind,
 }
 
 impl Default for SimulationConfig {
@@ -84,6 +147,7 @@ impl Default for SimulationConfig {
             kafka_retention_secs: 600.0,
             shared_machines: None,
             seed: 0,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -101,7 +165,8 @@ pub enum SimError {
     },
     /// The simulation was stepped before the first deploy.
     NotDeployed,
-    /// Invalid configuration (non-positive dt or metric interval).
+    /// Invalid configuration (non-positive dt or metric interval) or an
+    /// invalid argument such as a non-finite `run_for` duration.
     BadConfig(String),
 }
 
@@ -128,7 +193,7 @@ impl std::error::Error for SimError {}
 
 /// Point-in-time view of one operator (averaged over the last metric
 /// window).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct OperatorSnapshot {
     /// Operator name.
     pub name: String,
@@ -148,9 +213,51 @@ pub struct OperatorSnapshot {
     pub capacity: f64,
 }
 
+impl OperatorSnapshot {
+    fn empty() -> Self {
+        Self {
+            name: String::new(),
+            parallelism: 0,
+            input_rate: 0.0,
+            output_rate: 0.0,
+            queue: 0.0,
+            true_rate_per_instance: 0.0,
+            observed_rate_per_instance: 0.0,
+            capacity: 0.0,
+        }
+    }
+}
+
+impl Clone for OperatorSnapshot {
+    fn clone(&self) -> Self {
+        Self {
+            name: self.name.clone(),
+            parallelism: self.parallelism,
+            input_rate: self.input_rate,
+            output_rate: self.output_rate,
+            queue: self.queue,
+            true_rate_per_instance: self.true_rate_per_instance,
+            observed_rate_per_instance: self.observed_rate_per_instance,
+            capacity: self.capacity,
+        }
+    }
+
+    /// Reuses the destination's name buffer (allocation-free once warm).
+    fn clone_from(&mut self, source: &Self) {
+        self.name.clone_from(&source.name);
+        self.parallelism = source.parallelism;
+        self.input_rate = source.input_rate;
+        self.output_rate = source.output_rate;
+        self.queue = source.queue;
+        self.true_rate_per_instance = source.true_rate_per_instance;
+        self.observed_rate_per_instance = source.observed_rate_per_instance;
+        self.capacity = source.capacity;
+    }
+}
+
 /// Point-in-time view of the whole job (averaged over the last completed
 /// metric window).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct SimSnapshot {
     /// Simulation time, seconds.
     pub time: f64,
@@ -173,6 +280,53 @@ pub struct SimSnapshot {
     pub event_time_latency_ms: Option<f64>,
     /// Per-operator views in topological order.
     pub per_operator: Vec<OperatorSnapshot>,
+    /// Deterministic fold of the live engine state at this window
+    /// boundary (time, queues, capacities, Kafka counters, faults).
+    /// Bitwise-equal state produces equal hashes, so two runs — or the
+    /// event-driven and tick engines on one scenario — can be compared
+    /// exactly. `0` before the first window completes.
+    pub state_hash: u64,
+}
+
+impl Clone for SimSnapshot {
+    fn clone(&self) -> Self {
+        Self {
+            time: self.time,
+            running: self.running,
+            parallelism: self.parallelism.clone(),
+            source_consumption_rate: self.source_consumption_rate,
+            sink_rate: self.sink_rate,
+            producer_rate: self.producer_rate,
+            kafka_lag: self.kafka_lag,
+            processing_latency_ms: self.processing_latency_ms,
+            event_time_latency_ms: self.event_time_latency_ms,
+            per_operator: self.per_operator.clone(),
+            state_hash: self.state_hash,
+        }
+    }
+
+    /// Element-wise copy that reuses existing buffers; the hot path for
+    /// [`Simulation::snapshot_into`].
+    fn clone_from(&mut self, source: &Self) {
+        self.time = source.time;
+        self.running = source.running;
+        self.parallelism.clone_from(&source.parallelism);
+        self.source_consumption_rate = source.source_consumption_rate;
+        self.sink_rate = source.sink_rate;
+        self.producer_rate = source.producer_rate;
+        self.kafka_lag = source.kafka_lag;
+        self.processing_latency_ms = source.processing_latency_ms;
+        self.event_time_latency_ms = source.event_time_latency_ms;
+        self.state_hash = source.state_hash;
+        self.per_operator.truncate(source.per_operator.len());
+        let common = self.per_operator.len();
+        for (dst, src) in self.per_operator.iter_mut().zip(&source.per_operator) {
+            dst.clone_from(src);
+        }
+        for src in &source.per_operator[common..] {
+            self.per_operator.push(src.clone());
+        }
+    }
 }
 
 /// Per-metric-window accumulators.
@@ -213,6 +367,48 @@ impl WindowAccum {
             capacity_sum: vec![0.0; n],
         }
     }
+
+    /// Zeroes every accumulator in place for a window starting at `start`.
+    fn reset(&mut self, start: f64) {
+        self.start = start;
+        for v in [
+            &mut self.processed,
+            &mut self.busy_time,
+            &mut self.input,
+            &mut self.output,
+            &mut self.queue_sum,
+            &mut self.capacity_sum,
+        ] {
+            for x in v.iter_mut() {
+                *x = 0.0;
+            }
+        }
+        self.consumed_from_kafka = 0.0;
+        self.produced_to_kafka = 0.0;
+        self.sink_completed = 0.0;
+        self.proc_latency_sum = 0.0;
+        self.event_latency_sum = 0.0;
+        self.event_latency_ticks = 0.0;
+        self.ticks = 0.0;
+    }
+
+    /// Buffer-reusing copy of every field, including `start`.
+    fn copy_from(&mut self, other: &Self) {
+        self.start = other.start;
+        self.processed.clone_from(&other.processed);
+        self.busy_time.clone_from(&other.busy_time);
+        self.input.clone_from(&other.input);
+        self.output.clone_from(&other.output);
+        self.queue_sum.clone_from(&other.queue_sum);
+        self.capacity_sum.clone_from(&other.capacity_sum);
+        self.consumed_from_kafka = other.consumed_from_kafka;
+        self.produced_to_kafka = other.produced_to_kafka;
+        self.sink_completed = other.sink_completed;
+        self.proc_latency_sum = other.proc_latency_sum;
+        self.event_latency_sum = other.event_latency_sum;
+        self.event_latency_ticks = other.event_latency_ticks;
+        self.ticks = other.ticks;
+    }
 }
 
 /// A transient performance fault: one operator's service rate is
@@ -222,6 +418,102 @@ struct Slowdown {
     operator: usize,
     factor: f64,
     until: f64,
+}
+
+/// Dense [`MetricBatcher`] ids for every series the engine emits,
+/// registered at deploy time (the only time the key set changes).
+#[derive(Debug, Default)]
+struct EmitKeys {
+    true_rate: Vec<Vec<usize>>,
+    observed_rate: Vec<Vec<usize>>,
+    input_rate: Vec<usize>,
+    output_rate: Vec<usize>,
+    queue_size: Vec<usize>,
+    throughput: usize,
+    sink_rate: usize,
+    producer_rate: usize,
+    kafka_lag: usize,
+    proc_latency: usize,
+    event_latency: usize,
+    running: usize,
+}
+
+/// One region's tick deltas, computed against an immutable pre-phase
+/// queue view and merged serially in region order.
+struct RegionPass {
+    queue_new: Vec<f64>,
+    processed: Vec<f64>,
+    busy_add: Vec<f64>,
+    input_add: Vec<f64>,
+    output_add: Vec<f64>,
+    queue_sum_add: Vec<f64>,
+    cap_sum_add: Vec<f64>,
+    sink_add: f64,
+}
+
+/// Runs the process phase for the non-source members of one region.
+/// `members` ascend (a topological order within the region) and
+/// `local_of[s]` maps a member's global index to its slot in `members`.
+/// Same-tick consumption is preserved through the local queue copy `q`.
+#[allow(clippy::too_many_arguments)]
+fn region_pass(
+    ops: &[OperatorSpec],
+    adjacency: &Adjacency,
+    members: &[usize],
+    local_of: &[usize],
+    queues: &[f64],
+    capacity: &[f64],
+    parallelism: &[u32],
+    queue_cap: f64,
+    dt: f64,
+) -> RegionPass {
+    let m = members.len();
+    let mut q: Vec<f64> = members.iter().map(|&i| queues[i]).collect();
+    let mut pass = RegionPass {
+        queue_new: Vec::new(),
+        processed: vec![0.0; m],
+        busy_add: vec![0.0; m],
+        input_add: vec![0.0; m],
+        output_add: vec![0.0; m],
+        queue_sum_add: vec![0.0; m],
+        cap_sum_add: vec![0.0; m],
+        sink_add: 0.0,
+    };
+    for (k, &i) in members.iter().enumerate() {
+        let op = &ops[i];
+        let successors = adjacency.successors(i);
+        let out_allowance = if successors.is_empty() {
+            f64::INFINITY
+        } else {
+            successors
+                .iter()
+                .map(|&s| (queue_cap - q[local_of[s]] + capacity[s] * dt).max(0.0))
+                .fold(f64::INFINITY, f64::min)
+                / op.selectivity
+        };
+        let can_process = capacity[i] * dt;
+        let avail = q[k];
+        let processed = avail.min(can_process).min(out_allowance);
+        q[k] -= processed;
+        for &s in successors {
+            let emitted = processed * op.selectivity;
+            let sl = local_of[s];
+            q[sl] += emitted;
+            pass.input_add[sl] += emitted;
+        }
+        if op.is_sink() || successors.is_empty() {
+            pass.sink_add += processed;
+        }
+        pass.processed[k] = processed;
+        if capacity[i] > 0.0 {
+            pass.busy_add[k] = processed / capacity[i] * parallelism[i] as f64;
+        }
+        pass.output_add[k] = processed * op.selectivity;
+        pass.queue_sum_add[k] = q[k];
+        pass.cap_sum_add[k] = capacity[i];
+    }
+    pass.queue_new = q;
+    pass
 }
 
 /// The simulated cluster + job. See the crate docs for the model.
@@ -243,8 +535,62 @@ pub struct Simulation {
     /// Number of deploys performed (the first is free, §V "initial
     /// parallelism"; later ones cost `restart_downtime`).
     deploy_count: u32,
-    /// Active transient faults (pruned as they expire).
+    /// Active transient faults (pruned lazily when one expires).
     slowdowns: Vec<Slowdown>,
+
+    // ---- phased-engine state ----
+    /// CSR adjacency + region partition, built once from the job graph.
+    adjacency: Adjacency,
+    /// Source operator indices, ascending.
+    source_indices: Vec<usize>,
+    /// Non-source operator indices, ascending (forward topo order).
+    nonsource_indices: Vec<usize>,
+    /// Non-source members per region, each ascending.
+    nonsource_by_region: Vec<Vec<usize>>,
+    /// Global op index → slot in its region's non-source member list
+    /// (`usize::MAX` for sources).
+    nonsource_local_of: Vec<usize>,
+    /// Per-operator aggregate capacity for the current epoch.
+    capacity: Vec<f64>,
+    /// Per-operator queue-independent latency term for the current epoch:
+    /// `base_latency_ms + window_delay_ms + comm_cost_ms·(p−1)`.
+    latency_const: Vec<f64>,
+    /// Set by deploy/fault/registry changes; forces a capacity recompute
+    /// (and a fresh noise draw) on the next processing tick.
+    capacity_dirty: bool,
+    /// Shared-registry version the current capacity epoch was built from.
+    registry_version_seen: u64,
+    /// Producer rate memoised between profile breakpoints.
+    producer_rate_cache: f64,
+    producer_rate_valid_until: f64,
+    /// Future wake-ups (fault expiry, downtime end, rate breakpoints).
+    events: EventQueue,
+    batcher: MetricBatcher,
+    emit_keys: EmitKeys,
+    /// Scratch copy of `queues` for the per-tick fixed-point check.
+    queues_prev: Vec<f64>,
+    /// Whether every tick of the in-progress window has been a bitwise
+    /// fixed point so far.
+    cur_window_steady: bool,
+    /// Whether the last *completed* window was a fixed point throughout.
+    last_window_steady: bool,
+    /// Tick count of the last completed window.
+    last_window_ticks: f64,
+    /// First producer rate seen in the in-progress window.
+    window_first_rate: f64,
+    window_has_rate: bool,
+    /// Producer rate of the last completed window (valid when steady).
+    last_window_rate: f64,
+    /// Raw accumulator sums of the last steady window, replayed on skip.
+    steady_accum: WindowAccum,
+    /// Per-source Kafka consume amounts of one tick of the in-progress
+    /// window (recorded while it is still a fixed-point candidate).
+    window_takes: Vec<f64>,
+    /// Per-source Kafka consume amounts of one tick of the last steady
+    /// window, replayed bit-for-bit on skip.
+    last_window_takes: Vec<f64>,
+    /// Number of windows the event engine fast-forwarded.
+    ff_windows: u64,
 }
 
 impl Simulation {
@@ -260,6 +606,18 @@ impl Simulation {
         }
         let n = config.job.len();
         let placement = Placement::spread(&config.cluster, &vec![0; n]);
+        let adjacency = Adjacency::build(&config.job);
+        let source_indices = config.job.sources();
+        let nonsource_indices: Vec<usize> = (0..n)
+            .filter(|&i| !config.job.operators()[i].is_source())
+            .collect();
+        let mut nonsource_local_of = vec![usize::MAX; n];
+        let mut nonsource_by_region: Vec<Vec<usize>> = vec![Vec::new(); adjacency.regions().len()];
+        for &i in &nonsource_indices {
+            let region = adjacency.region_of(i);
+            nonsource_local_of[i] = nonsource_by_region[region].len();
+            nonsource_by_region[region].push(i);
+        }
         let snapshot = SimSnapshot {
             time: 0.0,
             running: false,
@@ -271,6 +629,7 @@ impl Simulation {
             processing_latency_ms: 0.0,
             event_time_latency_ms: Some(0.0),
             per_operator: Vec::new(),
+            state_hash: 0,
         };
         Ok(Self {
             store: Arc::new(MetricStore::new()),
@@ -286,6 +645,31 @@ impl Simulation {
             last_snapshot: snapshot,
             deploy_count: 0,
             slowdowns: Vec::new(),
+            adjacency,
+            source_indices,
+            nonsource_indices,
+            nonsource_by_region,
+            nonsource_local_of,
+            capacity: vec![0.0; n],
+            latency_const: vec![0.0; n],
+            capacity_dirty: true,
+            registry_version_seen: 0,
+            producer_rate_cache: 0.0,
+            producer_rate_valid_until: f64::NEG_INFINITY,
+            events: EventQueue::new(),
+            batcher: MetricBatcher::new(),
+            emit_keys: EmitKeys::default(),
+            queues_prev: vec![0.0; n],
+            cur_window_steady: true,
+            last_window_steady: false,
+            last_window_ticks: 0.0,
+            window_first_rate: 0.0,
+            window_has_rate: false,
+            last_window_rate: 0.0,
+            steady_accum: WindowAccum::new(n, 0.0),
+            window_takes: Vec::new(),
+            last_window_takes: Vec::new(),
+            ff_windows: 0,
             config,
         })
     }
@@ -329,81 +713,155 @@ impl Simulation {
             registry.replace(&old_counts, self.placement.instances_on());
         }
         if self.deployed {
-            self.downtime_until = Some(self.time + self.config.restart_downtime);
+            let end = self.time + self.config.restart_downtime;
+            self.downtime_until = Some(end);
+            self.events.push(end, EventKind::DowntimeEnd);
         }
         self.deployed = true;
         self.deploy_count += 1;
+        self.capacity_dirty = true;
+        self.cur_window_steady = false;
+        self.last_window_steady = false;
+        self.rebuild_emit_keys();
         Ok(())
     }
 
-    /// Advances one tick.
+    /// Flushes and re-registers every metric series for the current
+    /// parallelism (called on deploy, the only time the key set changes).
+    fn rebuild_emit_keys(&mut self) {
+        self.batcher.flush(&self.store);
+        self.batcher.clear();
+        let n = self.config.job.len();
+        self.emit_keys.true_rate.clear();
+        self.emit_keys.observed_rate.clear();
+        self.emit_keys.input_rate.clear();
+        self.emit_keys.output_rate.clear();
+        self.emit_keys.queue_size.clear();
+        for i in 0..n {
+            let name = self.config.job.operators()[i].name.clone();
+            let p = self.parallelism[i].max(1) as usize;
+            let mut true_ids = Vec::with_capacity(p);
+            let mut obs_ids = Vec::with_capacity(p);
+            for inst in 0..p {
+                true_ids.push(self.batcher.register(metrics::instance_key(
+                    metrics::TRUE_PROCESSING_RATE,
+                    &name,
+                    inst,
+                )));
+                obs_ids.push(self.batcher.register(metrics::instance_key(
+                    metrics::OBSERVED_PROCESSING_RATE,
+                    &name,
+                    inst,
+                )));
+            }
+            self.emit_keys.true_rate.push(true_ids);
+            self.emit_keys.observed_rate.push(obs_ids);
+            self.emit_keys.input_rate.push(
+                self.batcher
+                    .register(metrics::operator_key(metrics::OPERATOR_INPUT_RATE, &name)),
+            );
+            self.emit_keys.output_rate.push(
+                self.batcher
+                    .register(metrics::operator_key(metrics::OPERATOR_OUTPUT_RATE, &name)),
+            );
+            self.emit_keys.queue_size.push(
+                self.batcher
+                    .register(metrics::operator_key(metrics::OPERATOR_QUEUE_SIZE, &name)),
+            );
+        }
+        self.emit_keys.throughput = self
+            .batcher
+            .register(metrics::job_key(metrics::JOB_THROUGHPUT));
+        self.emit_keys.sink_rate = self.batcher.register(metrics::job_key(metrics::SINK_RATE));
+        self.emit_keys.producer_rate = self
+            .batcher
+            .register(metrics::job_key(metrics::PRODUCER_RATE));
+        self.emit_keys.kafka_lag = self.batcher.register(metrics::job_key(metrics::KAFKA_LAG));
+        self.emit_keys.proc_latency = self
+            .batcher
+            .register(metrics::job_key(metrics::PROCESSING_LATENCY_MS));
+        self.emit_keys.event_latency = self
+            .batcher
+            .register(metrics::job_key(metrics::EVENT_TIME_LATENCY_MS));
+        self.emit_keys.running = self
+            .batcher
+            .register(metrics::job_key(metrics::JOB_RUNNING));
+    }
+
+    /// Advances one tick and flushes buffered metrics.
     pub fn step(&mut self) -> Result<(), SimError> {
         if !self.deployed {
             return Err(SimError::NotDeployed);
         }
-        let dt = self.config.dt;
-        let n = self.config.job.len();
-
-        // Producer always runs; retention expires stale records.
-        let producer_rate = self.config.profile.rate_at(self.time);
-        self.kafka.produce(producer_rate, dt, self.time);
-        self.kafka
-            .expire(self.time, self.config.kafka_retention_secs);
-        self.accum.produced_to_kafka += producer_rate * dt;
-
-        let in_downtime = match self.downtime_until {
-            Some(t) if self.time < t => true,
-            Some(_) => {
-                self.downtime_until = None;
-                false
-            }
-            None => false,
-        };
-
-        if !in_downtime {
-            self.process_tick(dt, n);
-        } else {
-            // Latency accounting still ticks: processing latency is
-            // undefined (no records complete), event latency unbounded.
-            self.accum.ticks += 1.0;
-        }
-
-        self.time += dt;
-
-        // Emit at metric boundaries.
-        if self.time - self.accum.start >= self.config.metric_interval - 1e-9 {
-            self.emit_window(!in_downtime);
-        }
+        self.tick_core();
+        self.batcher.flush(&self.store);
         Ok(())
     }
 
     /// Runs for `secs` of simulation time.
-    pub fn run_for(&mut self, secs: f64) {
-        let steps = (secs / self.config.dt).round() as u64;
-        for _ in 0..steps {
-            self.step()
-                .expect("simulation must be deployed before run_for");
+    ///
+    /// Rejects non-finite or negative durations and requires a prior
+    /// [`deploy`](Self::deploy). Under [`EngineKind::EventDriven`],
+    /// quiescent metric windows are fast-forwarded without per-tick work.
+    pub fn run_for(&mut self, secs: f64) -> Result<(), SimError> {
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(SimError::BadConfig(format!(
+                "run_for needs a finite, non-negative duration, got {secs}"
+            )));
         }
+        if !self.deployed {
+            return Err(SimError::NotDeployed);
+        }
+        let mut steps = (secs / self.config.dt).round() as u64;
+        while steps > 0 {
+            if self.config.engine == EngineKind::EventDriven {
+                if let Some(skipped) = self.try_fast_forward(steps) {
+                    steps -= skipped;
+                    continue;
+                }
+            }
+            self.tick_core();
+            steps -= 1;
+        }
+        self.batcher.flush(&self.store);
+        Ok(())
     }
 
-    fn process_tick(&mut self, dt: f64, n: usize) {
-        let job = &self.config.job;
-        let cluster = &self.config.cluster;
-        // Interference sees the TOTAL machine occupancy: co-located jobs
-        // contribute through the shared registry.
-        let instances_on = match &self.config.shared_machines {
-            Some(registry) => registry.snapshot(),
+    /// The memoised producer rate at `self.time`, refreshed at profile
+    /// breakpoints. Sound because every [`RateProfile`] is
+    /// piecewise-constant, so the cached value is bitwise what
+    /// `rate_at` would return anywhere inside the validity interval.
+    fn producer_rate_now(&mut self) -> f64 {
+        if self.time >= self.producer_rate_valid_until {
+            self.producer_rate_cache = self.config.profile.rate_at(self.time);
+            match self.config.profile.next_change_after(self.time) {
+                Some(next) => {
+                    self.producer_rate_valid_until = next;
+                    self.events.push(next, EventKind::RateBreakpoint);
+                }
+                None => self.producer_rate_valid_until = f64::INFINITY,
+            }
+        }
+        self.producer_rate_cache
+    }
+
+    /// Recomputes per-operator capacity and the queue-independent latency
+    /// term for a new epoch. The per-instance noise draws happen here —
+    /// sequentially in (operator, instance) order — so both engines see
+    /// the identical RNG stream for the same epoch sequence.
+    fn recompute_capacity(&mut self) {
+        let n = self.config.job.len();
+        let instances_on: Vec<u32> = match &self.config.shared_machines {
+            Some(registry) => {
+                self.registry_version_seen = registry.version();
+                registry.snapshot()
+            }
             None => self.placement.instances_on().to_vec(),
         };
-
-        // Prune expired faults, then compute per-operator aggregate
-        // capacity and mean per-instance rate.
-        let now = self.time;
-        self.slowdowns.retain(|f| f.until > now);
-        let mut capacity = vec![0.0; n];
-        #[allow(clippy::needless_range_loop)] // index i spans 4 parallel vecs
+        let cluster = &self.config.cluster;
+        #[allow(clippy::needless_range_loop)] // index i spans parallel vecs
         for i in 0..n {
-            let op = &job.operators()[i];
+            let op = &self.config.job.operators()[i];
             let p = self.parallelism[i];
             let sync = 1.0 / (1.0 + op.sync_coeff * (p.saturating_sub(1)) as f64);
             let fault: f64 = self
@@ -422,91 +880,259 @@ impl Simulation {
             if let Some(limit) = op.external_limit {
                 total = total.min(limit * fault);
             }
-            capacity[i] = total;
+            self.capacity[i] = total;
+            let pf = p as f64;
+            self.latency_const[i] =
+                op.base_latency_ms + op.window_delay_ms() + op.comm_cost_ms * (pf - 1.0).max(0.0);
+        }
+    }
+
+    /// One tick of the phased core (shared by both engines).
+    fn tick_core(&mut self) {
+        let dt = self.config.dt;
+        let n = self.config.job.len();
+        let now = self.time;
+        self.events.discard_through(now);
+
+        // A window tick can only be a replayable fixed point if Kafka was
+        // already drained (with exactly-zero lag) when the tick began.
+        let kafka_clean_at_start =
+            self.kafka.is_drained() && self.kafka.lag().to_bits() == 0.0f64.to_bits();
+
+        // Phase 1: pre-tick. Producer always runs; retention expires
+        // stale records.
+        let producer_rate = self.producer_rate_now();
+        self.kafka.produce(producer_rate, dt, now);
+        self.kafka.expire(now, self.config.kafka_retention_secs);
+        self.accum.produced_to_kafka += producer_rate * dt;
+
+        if !self.window_has_rate {
+            self.window_first_rate = producer_rate;
+            self.window_has_rate = true;
+        } else if producer_rate.to_bits() != self.window_first_rate.to_bits() {
+            self.cur_window_steady = false;
         }
 
-        // Queue capacities.
-        let queue_cap: Vec<f64> = vec![self.config.queue_capacity_per_operator; n];
+        let in_downtime = match self.downtime_until {
+            Some(t) if self.time < t => true,
+            Some(_) => {
+                self.downtime_until = None;
+                false
+            }
+            None => false,
+        };
 
-        // Forward topological order with same-tick consumption: operator
-        // `i` emits into its successors' queues before those successors
-        // process, so a record can traverse the whole pipeline within one
-        // tick and sustained flow is not capped by queue capacity.
-        // Backpressure still works: a bottleneck's queue stays full, so
-        // its free space each tick equals exactly what it drained.
+        if !in_downtime {
+            // Epoch scan: recompute capacity only when something changed.
+            if self.slowdowns.iter().any(|f| f.until <= now) {
+                self.slowdowns.retain(|f| f.until > now);
+                self.capacity_dirty = true;
+            }
+            if let Some(registry) = &self.config.shared_machines {
+                if registry.version() != self.registry_version_seen {
+                    self.capacity_dirty = true;
+                }
+            }
+            if self.capacity_dirty {
+                self.recompute_capacity();
+                self.capacity_dirty = false;
+                self.cur_window_steady = false;
+                self.last_window_steady = false;
+            }
+            self.process_phases(dt, n, kafka_clean_at_start);
+        } else {
+            // Latency accounting still ticks: processing latency is
+            // undefined (no records complete), event latency unbounded.
+            self.accum.ticks += 1.0;
+            self.cur_window_steady = false;
+        }
+
+        self.time += dt;
+
+        // Emit at metric boundaries.
+        if self.time - self.accum.start >= self.config.metric_interval - 1e-9 {
+            self.emit_window(!in_downtime);
+        }
+    }
+
+    /// Phases 2–4: transport, process, and post-tick accounting.
+    fn process_phases(&mut self, dt: f64, n: usize, kafka_clean_at_start: bool) {
+        let track_steady = self.config.engine == EngineKind::EventDriven && self.cur_window_steady;
+        if track_steady {
+            self.queues_prev.clone_from(&self.queues);
+        }
+
+        // Phase 2: transport — sources pull from Kafka serially in
+        // ascending index order (preserves FIFO lag attribution) and emit
+        // into successor queues before the process phase runs.
         let mut consumed_this_tick = 0.0;
-        for i in 0..n {
-            let op = &job.operators()[i];
-            let successors = job.successors(i);
+        {
+            let ops = self.config.job.operators();
+            let adjacency = &self.adjacency;
+            let capacity = &self.capacity;
+            let parallelism = &self.parallelism;
+            let queue_cap = self.config.queue_capacity_per_operator;
+            let queues = &mut self.queues;
+            let accum = &mut self.accum;
+            let kafka = &mut self.kafka;
+            let window_takes = &mut self.window_takes;
+            if track_steady {
+                // Every tick of a steady window repeats the same takes
+                // bit-for-bit, so the latest tracked tick is a valid
+                // representative for replay.
+                window_takes.clear();
+            }
+            for &i in &self.source_indices {
+                let op = &ops[i];
+                let successors = adjacency.successors(i);
 
-            // How much output the successors can absorb (in units of THIS
-            // operator's output records): current free space plus what the
-            // successor will drain this tick. A successor that ends up
-            // blocked by ITS downstream may overshoot capacity by at most
-            // one tick's worth — tolerated (no records are dropped) and
-            // corrected next tick when its free space reads zero.
-            let out_allowance = if successors.is_empty() {
-                f64::INFINITY
-            } else {
-                successors
-                    .iter()
-                    .map(|&s| (queue_cap[s] - self.queues[s] + capacity[s] * dt).max(0.0))
-                    .fold(f64::INFINITY, f64::min)
-                    / op.selectivity
-            };
+                // How much output the successors can absorb (in units of
+                // THIS operator's output records): current free space plus
+                // what the successor will drain this tick. A successor that
+                // ends up blocked by ITS downstream may overshoot capacity
+                // by at most one tick's worth — tolerated (no records are
+                // dropped) and corrected next tick when its free space
+                // reads zero.
+                let out_allowance = if successors.is_empty() {
+                    f64::INFINITY
+                } else {
+                    successors
+                        .iter()
+                        .map(|&s| (queue_cap - queues[s] + capacity[s] * dt).max(0.0))
+                        .fold(f64::INFINITY, f64::min)
+                        / op.selectivity
+                };
 
-            let can_process = capacity[i] * dt;
-            let processed = if op.is_source() {
+                let can_process = capacity[i] * dt;
                 let want = can_process.min(out_allowance);
-                let got = self.kafka.consume(want, dt);
+                let got = kafka.consume(want, dt);
+                if track_steady {
+                    window_takes.push(got);
+                }
                 consumed_this_tick += got;
-                got
-            } else {
-                let avail = self.queues[i];
+
+                for &s in successors {
+                    let emitted = got * op.selectivity;
+                    queues[s] += emitted;
+                    accum.input[s] += emitted;
+                }
+                if op.is_sink() || successors.is_empty() {
+                    accum.sink_completed += got;
+                }
+
+                accum.processed[i] += got;
+                // Busy time: the fraction of the tick the instances spent
+                // actually processing (Eq. 2's T_u), over all instances.
+                if capacity[i] > 0.0 {
+                    accum.busy_time[i] += got / capacity[i] * parallelism[i] as f64;
+                }
+                accum.output[i] += got * op.selectivity;
+                accum.queue_sum[i] += queues[i];
+                accum.capacity_sum[i] += capacity[i];
+            }
+        }
+
+        // Phase 3: process — non-source operators in forward topological
+        // order with same-tick consumption. A single-region job (the
+        // common case) runs in place; independent regions run in
+        // parallel against an immutable queue view and merge their
+        // disjoint deltas in fixed region order, which is bitwise
+        // identical to the serial pass.
+        if self.adjacency.regions().len() == 1 {
+            let ops = self.config.job.operators();
+            let adjacency = &self.adjacency;
+            let capacity = &self.capacity;
+            let parallelism = &self.parallelism;
+            let queue_cap = self.config.queue_capacity_per_operator;
+            let queues = &mut self.queues;
+            let accum = &mut self.accum;
+            for &i in &self.nonsource_indices {
+                let op = &ops[i];
+                let successors = adjacency.successors(i);
+                let out_allowance = if successors.is_empty() {
+                    f64::INFINITY
+                } else {
+                    successors
+                        .iter()
+                        .map(|&s| (queue_cap - queues[s] + capacity[s] * dt).max(0.0))
+                        .fold(f64::INFINITY, f64::min)
+                        / op.selectivity
+                };
+                let can_process = capacity[i] * dt;
+                let avail = queues[i];
                 let processed = avail.min(can_process).min(out_allowance);
-                self.queues[i] -= processed;
-                processed
-            };
-
-            for &s in &successors {
-                let emitted = processed * op.selectivity;
-                self.queues[s] += emitted;
-                self.accum.input[s] += emitted;
+                queues[i] -= processed;
+                for &s in successors {
+                    let emitted = processed * op.selectivity;
+                    queues[s] += emitted;
+                    accum.input[s] += emitted;
+                }
+                if op.is_sink() || successors.is_empty() {
+                    accum.sink_completed += processed;
+                }
+                accum.processed[i] += processed;
+                if capacity[i] > 0.0 {
+                    accum.busy_time[i] += processed / capacity[i] * parallelism[i] as f64;
+                }
+                accum.output[i] += processed * op.selectivity;
+                accum.queue_sum[i] += queues[i];
+                accum.capacity_sum[i] += capacity[i];
             }
-            if op.is_sink() || successors.is_empty() {
-                self.accum.sink_completed += processed;
+        } else {
+            use rayon::prelude::*;
+            let ops = self.config.job.operators();
+            let adjacency = &self.adjacency;
+            let capacity = &self.capacity;
+            let parallelism = &self.parallelism;
+            let queue_cap = self.config.queue_capacity_per_operator;
+            let queues = &self.queues;
+            let local_of = &self.nonsource_local_of;
+            let passes: Vec<RegionPass> = self
+                .nonsource_by_region
+                .par_iter()
+                .map(|members| {
+                    region_pass(
+                        ops,
+                        adjacency,
+                        members,
+                        local_of,
+                        queues,
+                        capacity,
+                        parallelism,
+                        queue_cap,
+                        dt,
+                    )
+                })
+                .collect();
+            for (members, pass) in self.nonsource_by_region.iter().zip(&passes) {
+                for (k, &i) in members.iter().enumerate() {
+                    self.queues[i] = pass.queue_new[k];
+                    self.accum.processed[i] += pass.processed[k];
+                    self.accum.busy_time[i] += pass.busy_add[k];
+                    self.accum.input[i] += pass.input_add[k];
+                    self.accum.output[i] += pass.output_add[k];
+                    self.accum.queue_sum[i] += pass.queue_sum_add[k];
+                    self.accum.capacity_sum[i] += pass.cap_sum_add[k];
+                }
+                self.accum.sink_completed += pass.sink_add;
             }
-
-            self.accum.processed[i] += processed;
-            // Busy time: the fraction of the tick the instances spent
-            // actually processing (Eq. 2's T_u), aggregated over instances.
-            if capacity[i] > 0.0 {
-                self.accum.busy_time[i] += processed / capacity[i] * self.parallelism[i] as f64;
-            }
-            self.accum.output[i] += processed * op.selectivity;
-            self.accum.queue_sum[i] += self.queues[i];
-            self.accum.capacity_sum[i] += capacity[i];
         }
+
         self.accum.consumed_from_kafka += consumed_this_tick;
-        if let Some(src) = job.sources().first() {
-            self.accum.input[*src] += consumed_this_tick;
+        if let Some(&src) = self.source_indices.first() {
+            self.accum.input[src] += consumed_this_tick;
         }
 
-        // Latency estimate for this tick.
+        // Phase 4: latency estimate for this tick.
         let mut proc_ms = 0.0;
         #[allow(clippy::needless_range_loop)] // index i spans parallel vecs
         for i in 0..n {
-            let op = &job.operators()[i];
-            let p = self.parallelism[i] as f64;
-            let wait_ms = if capacity[i] > 1e-9 {
-                self.queues[i] / capacity[i] * 1000.0
+            let wait_ms = if self.capacity[i] > 1e-9 {
+                self.queues[i] / self.capacity[i] * 1000.0
             } else {
                 0.0
             };
-            proc_ms += wait_ms
-                + op.base_latency_ms
-                + op.window_delay_ms()
-                + op.comm_cost_ms * (p - 1.0).max(0.0);
+            proc_ms += wait_ms + self.latency_const[i];
         }
         self.accum.proc_latency_sum += proc_ms;
         self.accum.ticks += 1.0;
@@ -522,20 +1148,118 @@ impl Simulation {
             self.accum.event_latency_sum += pending_ms + proc_ms;
             self.accum.event_latency_ticks += 1.0;
         }
+
+        // Fixed-point check: the tick is replayable iff Kafka started
+        // clean and no queue bit moved.
+        if track_steady {
+            let queues_same = self
+                .queues
+                .iter()
+                .zip(&self.queues_prev)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            if !(kafka_clean_at_start && queues_same) {
+                self.cur_window_steady = false;
+            }
+        }
     }
 
-    /// Emits the accumulated window into the store and refreshes
-    /// [`snapshot`](Self::snapshot).
+    /// Attempts to skip one whole metric window without ticking.
+    ///
+    /// Sound when the previous window was a bitwise fixed point
+    /// throughout and nothing can change inside the next window: then
+    /// every tick of the next window is identical to a tick of the saved
+    /// window, so restoring the saved accumulator sums, replaying the
+    /// clock additions, and replaying Kafka's steady totals reproduces
+    /// the tick-by-tick result bit for bit. Returns the number of ticks
+    /// skipped, or `None` to fall back to honest ticking.
+    fn try_fast_forward(&mut self, steps_remaining: u64) -> Option<u64> {
+        if !(self.last_window_steady && self.cur_window_steady) {
+            return None;
+        }
+        if self.downtime_until.is_some() || self.capacity_dirty {
+            return None;
+        }
+        // Must sit exactly at a window boundary.
+        if self.accum.ticks != 0.0 || self.time.to_bits() != self.accum.start.to_bits() {
+            return None;
+        }
+        if !self.kafka.is_drained() || self.kafka.lag().to_bits() != 0.0f64.to_bits() {
+            return None;
+        }
+        // Catches set_profile swaps the event heap knows nothing about.
+        if self.config.profile.rate_at(self.time).to_bits() != self.last_window_rate.to_bits() {
+            return None;
+        }
+        if let Some(registry) = &self.config.shared_machines {
+            if registry.version() != self.registry_version_seen {
+                return None;
+            }
+        }
+
+        // Replay the clock to find the boundary and its tick count; the
+        // additions must be the same sequential `+= dt` the tick path
+        // would perform.
+        let dt = self.config.dt;
+        let start = self.accum.start;
+        let mut t = self.time;
+        let mut ticks: u64 = 0;
+        loop {
+            if ticks >= steps_remaining {
+                return None;
+            }
+            t += dt;
+            ticks += 1;
+            if t - start >= self.config.metric_interval - 1e-9 {
+                break;
+            }
+        }
+        if ticks as f64 != self.last_window_ticks {
+            return None;
+        }
+
+        // Nothing may fire inside the window (one tick of margin).
+        let guard = t + dt;
+        if let Some(next) = self.config.profile.next_change_after(self.time) {
+            if next <= guard {
+                return None;
+            }
+        }
+        if let Some(event_time) = self.events.peek_time() {
+            if event_time <= guard {
+                return None;
+            }
+        }
+
+        // Commit the skip.
+        self.time = t;
+        self.kafka
+            .replay_steady(self.last_window_rate, dt, ticks, &self.last_window_takes);
+        let window_start = self.accum.start;
+        self.accum.copy_from(&self.steady_accum);
+        self.accum.start = window_start;
+        self.window_first_rate = self.last_window_rate;
+        self.window_has_rate = true;
+        self.ff_windows += 1;
+        self.emit_window(true);
+        Some(ticks)
+    }
+
+    /// Emits the accumulated window into the batcher and refreshes
+    /// [`snapshot`](Self::snapshot) in place.
     fn emit_window(&mut self, running: bool) {
         let n = self.config.job.len();
         let window = (self.time - self.accum.start).max(self.config.dt);
         let t = self.time;
-        let store = &self.store;
 
-        let mut per_operator = Vec::with_capacity(n);
+        while self.last_snapshot.per_operator.len() < n {
+            self.last_snapshot
+                .per_operator
+                .push(OperatorSnapshot::empty());
+        }
+        self.last_snapshot.per_operator.truncate(n);
+
         #[allow(clippy::needless_range_loop)] // index i spans several accumulators
         for i in 0..n {
-            let op = &self.config.job.operators()[i];
             let p = self.parallelism[i].max(1);
             let processed = self.accum.processed[i];
             let busy = self.accum.busy_time[i];
@@ -555,48 +1279,26 @@ impl Simulation {
             let op_capacity = self.accum.capacity_sum[i] / ticks;
 
             for inst in 0..p as usize {
-                metrics::emit(
-                    store,
-                    &metrics::instance_key(metrics::TRUE_PROCESSING_RATE, &op.name, inst),
-                    t,
-                    true_rate_inst,
-                );
-                metrics::emit(
-                    store,
-                    &metrics::instance_key(metrics::OBSERVED_PROCESSING_RATE, &op.name, inst),
-                    t,
-                    observed_rate_inst,
-                );
+                self.batcher
+                    .push(self.emit_keys.true_rate[i][inst], t, true_rate_inst);
+                self.batcher
+                    .push(self.emit_keys.observed_rate[i][inst], t, observed_rate_inst);
             }
-            metrics::emit(
-                store,
-                &metrics::operator_key(metrics::OPERATOR_INPUT_RATE, &op.name),
-                t,
-                input_rate,
-            );
-            metrics::emit(
-                store,
-                &metrics::operator_key(metrics::OPERATOR_OUTPUT_RATE, &op.name),
-                t,
-                output_rate,
-            );
-            metrics::emit(
-                store,
-                &metrics::operator_key(metrics::OPERATOR_QUEUE_SIZE, &op.name),
-                t,
-                queue,
-            );
+            self.batcher
+                .push(self.emit_keys.input_rate[i], t, input_rate);
+            self.batcher
+                .push(self.emit_keys.output_rate[i], t, output_rate);
+            self.batcher.push(self.emit_keys.queue_size[i], t, queue);
 
-            per_operator.push(OperatorSnapshot {
-                name: op.name.clone(),
-                parallelism: self.parallelism[i],
-                input_rate,
-                output_rate,
-                queue,
-                true_rate_per_instance: true_rate_inst,
-                observed_rate_per_instance: observed_rate_inst,
-                capacity: op_capacity,
-            });
+            let snap = &mut self.last_snapshot.per_operator[i];
+            snap.name.clone_from(&self.config.job.operators()[i].name);
+            snap.parallelism = self.parallelism[i];
+            snap.input_rate = input_rate;
+            snap.output_rate = output_rate;
+            snap.queue = queue;
+            snap.true_rate_per_instance = true_rate_inst;
+            snap.observed_rate_per_instance = observed_rate_inst;
+            snap.capacity = op_capacity;
         }
 
         let source_rate = self.accum.consumed_from_kafka / window;
@@ -613,64 +1315,104 @@ impl Simulation {
             None
         };
 
-        metrics::emit(
-            store,
-            &metrics::job_key(metrics::JOB_THROUGHPUT),
-            t,
-            source_rate,
-        );
-        metrics::emit(store, &metrics::job_key(metrics::SINK_RATE), t, sink_rate);
-        metrics::emit(
-            store,
-            &metrics::job_key(metrics::PRODUCER_RATE),
-            t,
-            producer_rate,
-        );
-        metrics::emit(
-            store,
-            &metrics::job_key(metrics::KAFKA_LAG),
-            t,
-            self.kafka.lag(),
-        );
-        metrics::emit(
-            store,
-            &metrics::job_key(metrics::PROCESSING_LATENCY_MS),
-            t,
-            proc_latency,
-        );
+        self.batcher.push(self.emit_keys.throughput, t, source_rate);
+        self.batcher.push(self.emit_keys.sink_rate, t, sink_rate);
+        self.batcher
+            .push(self.emit_keys.producer_rate, t, producer_rate);
+        self.batcher
+            .push(self.emit_keys.kafka_lag, t, self.kafka.lag());
+        self.batcher
+            .push(self.emit_keys.proc_latency, t, proc_latency);
         if let Some(e) = event_latency {
-            metrics::emit(
-                store,
-                &metrics::job_key(metrics::EVENT_TIME_LATENCY_MS),
-                t,
-                e,
-            );
+            self.batcher.push(self.emit_keys.event_latency, t, e);
         }
-        metrics::emit(
-            store,
-            &metrics::job_key(metrics::JOB_RUNNING),
-            t,
-            if running { 1.0 } else { 0.0 },
-        );
+        self.batcher
+            .push(self.emit_keys.running, t, if running { 1.0 } else { 0.0 });
 
-        self.last_snapshot = SimSnapshot {
-            time: t,
-            running,
-            parallelism: self.parallelism.clone(),
-            source_consumption_rate: source_rate,
-            sink_rate,
-            producer_rate,
-            kafka_lag: self.kafka.lag(),
-            processing_latency_ms: proc_latency,
-            event_time_latency_ms: event_latency,
-            per_operator,
-        };
-        self.accum = WindowAccum::new(n, t);
+        self.last_snapshot.time = t;
+        self.last_snapshot.running = running;
+        self.last_snapshot.parallelism.clone_from(&self.parallelism);
+        self.last_snapshot.source_consumption_rate = source_rate;
+        self.last_snapshot.sink_rate = sink_rate;
+        self.last_snapshot.producer_rate = producer_rate;
+        self.last_snapshot.kafka_lag = self.kafka.lag();
+        self.last_snapshot.processing_latency_ms = proc_latency;
+        self.last_snapshot.event_time_latency_ms = event_latency;
+
+        // Steady-window bookkeeping for the fast-forward path.
+        self.last_window_steady = self.cur_window_steady && running;
+        self.last_window_ticks = self.accum.ticks;
+        self.last_window_rate = self.window_first_rate;
+        if self.last_window_steady {
+            self.steady_accum.copy_from(&self.accum);
+            self.last_window_takes.clone_from(&self.window_takes);
+        }
+        self.accum.reset(t);
+        self.cur_window_steady = true;
+        self.window_has_rate = false;
+        self.last_snapshot.state_hash = self.compute_state_hash();
+    }
+
+    /// Folds the live engine state into a deterministic `u64`; see
+    /// [`SimSnapshot::state_hash`].
+    fn compute_state_hash(&self) -> u64 {
+        let mut h = StateHasher::new();
+        h.write_f64(self.time);
+        h.write_bool(self.deployed);
+        h.write_u64(u64::from(self.deploy_count));
+        match self.downtime_until {
+            Some(t) => {
+                h.write_bool(true);
+                h.write_f64(t);
+            }
+            None => h.write_bool(false),
+        }
+        h.write_usize(self.parallelism.len());
+        for &p in &self.parallelism {
+            h.write_u64(u64::from(p));
+        }
+        h.write_f64_slice(&self.queues);
+        h.write_f64_slice(&self.capacity);
+        h.write_f64(self.kafka.lag());
+        h.write_f64(self.kafka.produced_total());
+        h.write_f64(self.kafka.consumed_total());
+        h.write_f64(self.kafka.expired_total());
+        h.write_f64(self.kafka.consumption_rate());
+        h.write_usize(self.slowdowns.len());
+        for s in &self.slowdowns {
+            h.write_usize(s.operator);
+            h.write_f64(s.factor);
+            h.write_f64(s.until);
+        }
+        h.write_f64(self.accum.start);
+        h.finish()
+    }
+
+    /// Deterministic hash of the current live state (not the snapshot's
+    /// cached value — this one reflects the state *right now*).
+    pub fn state_hash(&self) -> u64 {
+        self.compute_state_hash()
     }
 
     /// The most recently completed metric window's view of the job.
     pub fn snapshot(&self) -> SimSnapshot {
         self.last_snapshot.clone()
+    }
+
+    /// Allocation-free [`snapshot`](Self::snapshot): copies the last
+    /// window's view into `out`, reusing its buffers.
+    pub fn snapshot_into(&self, out: &mut SimSnapshot) {
+        out.clone_from(&self.last_snapshot);
+    }
+
+    /// Which driving loop this simulation uses.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.config.engine
+    }
+
+    /// Number of metric windows the event engine skipped wholesale.
+    pub fn fast_forwarded_windows(&self) -> u64 {
+        self.ff_windows
     }
 
     /// Current simulation time, seconds.
@@ -706,6 +1448,9 @@ impl Simulation {
     /// Replaces the producer rate profile (rate-change experiments).
     pub fn set_profile(&mut self, profile: RateProfile) {
         self.config.profile = profile;
+        self.producer_rate_valid_until = f64::NEG_INFINITY;
+        self.cur_window_steady = false;
+        self.last_window_steady = false;
     }
 
     /// Current Kafka consumer lag, records.
@@ -750,11 +1495,15 @@ impl Simulation {
                 "slowdown needs a finite factor > 0 and positive duration".into(),
             ));
         }
+        let until = self.time + duration_secs;
         self.slowdowns.push(Slowdown {
             operator,
             factor,
-            until: self.time + duration_secs,
+            until,
         });
+        self.events.push(until, EventKind::FaultExpiry);
+        self.capacity_dirty = true;
+        self.cur_window_steady = false;
         Ok(())
     }
 
@@ -766,6 +1515,8 @@ impl Simulation {
 
 impl Drop for Simulation {
     fn drop(&mut self) {
+        // Any buffered metrics still reach the store.
+        self.batcher.flush(&self.store);
         // A co-located job releases its machine occupancy when it goes
         // away, so neighbors stop paying interference for it.
         if let Some(registry) = &self.config.shared_machines {
@@ -830,7 +1581,7 @@ mod tests {
         // Input 40k but Map can only do ~30k with p=1.
         let mut sim = Simulation::new(config(40_000.0)).unwrap();
         sim.deploy(&[1, 1, 1]).unwrap();
-        sim.run_for(120.0);
+        sim.run_for(120.0).unwrap();
         let snap = sim.snapshot();
         assert!(snap.kafka_lag > 100_000.0, "lag {}", snap.kafka_lag);
         // Throughput pinned near Map's capacity, not the input rate.
@@ -846,7 +1597,7 @@ mod tests {
     fn provisioned_job_keeps_up() {
         let mut sim = Simulation::new(config(40_000.0)).unwrap();
         sim.deploy(&[1, 3, 1]).unwrap();
-        sim.run_for(120.0);
+        sim.run_for(120.0).unwrap();
         let snap = sim.snapshot();
         assert!(snap.kafka_lag < 10_000.0, "lag {}", snap.kafka_lag);
         assert!(
@@ -863,7 +1614,7 @@ mod tests {
         for p in [1u32, 2, 4] {
             let mut sim = Simulation::new(config(200_000.0)).unwrap();
             sim.deploy(&[2, p, 2]).unwrap();
-            sim.run_for(120.0);
+            sim.run_for(120.0).unwrap();
             rates.push(sim.snapshot().source_consumption_rate);
         }
         assert!(rates[1] > rates[0] * 1.2, "{rates:?}");
@@ -879,7 +1630,7 @@ mod tests {
         // observed rate is low but the true rate reflects capability.
         let mut sim = Simulation::new(config(5_000.0)).unwrap();
         sim.deploy(&[1, 1, 1]).unwrap();
-        sim.run_for(60.0);
+        sim.run_for(60.0).unwrap();
         let snap = sim.snapshot();
         let map = &snap.per_operator[1];
         assert!(
@@ -897,18 +1648,18 @@ mod tests {
     fn redeploy_causes_downtime_and_lag_spike() {
         let mut sim = Simulation::new(config(30_000.0)).unwrap();
         sim.deploy(&[1, 2, 1]).unwrap();
-        sim.run_for(60.0);
+        sim.run_for(60.0).unwrap();
         let lag_before = sim.snapshot().kafka_lag;
         sim.deploy(&[1, 3, 1]).unwrap();
         assert!(sim.in_downtime());
-        sim.run_for(10.0); // inside the 30 s downtime window
+        sim.run_for(10.0).unwrap(); // inside the 30 s downtime window
         assert!(sim.in_downtime());
         let lag_during = sim.kafka_lag();
         assert!(
             lag_during > lag_before + 100_000.0,
             "{lag_during} vs {lag_before}"
         );
-        sim.run_for(120.0);
+        sim.run_for(120.0).unwrap();
         assert!(!sim.in_downtime());
         // Catches up eventually (3 Maps ≈ 80k capacity > 30k input).
         assert!(sim.kafka_lag() < lag_during);
@@ -925,10 +1676,10 @@ mod tests {
     fn latency_grows_with_underprovisioning() {
         let mut under = Simulation::new(config(40_000.0)).unwrap();
         under.deploy(&[1, 1, 1]).unwrap();
-        under.run_for(120.0);
+        under.run_for(120.0).unwrap();
         let mut ok = Simulation::new(config(40_000.0)).unwrap();
         ok.deploy(&[1, 3, 1]).unwrap();
-        ok.run_for(120.0);
+        ok.run_for(120.0).unwrap();
         let lat_under = under.snapshot().processing_latency_ms;
         let lat_ok = ok.snapshot().processing_latency_ms;
         assert!(lat_under > lat_ok, "{lat_under} !> {lat_ok}");
@@ -943,7 +1694,7 @@ mod tests {
         let measure = |p: u32| {
             let mut sim = Simulation::new(config(10_000.0)).unwrap();
             sim.deploy(&[1, p, 1]).unwrap();
-            sim.run_for(60.0);
+            sim.run_for(60.0).unwrap();
             sim.snapshot().processing_latency_ms
         };
         // Low rate: queues are empty either way, so comm cost dominates.
@@ -967,7 +1718,7 @@ mod tests {
         };
         let mut sim = Simulation::new(cfg).unwrap();
         sim.deploy(&[4, 4, 8]).unwrap();
-        sim.run_for(120.0);
+        sim.run_for(120.0).unwrap();
         let snap = sim.snapshot();
         // No matter the parallelism, sink limit gates the whole pipeline.
         assert!(
@@ -982,12 +1733,13 @@ mod tests {
         let run = || {
             let mut sim = Simulation::new(config(35_000.0)).unwrap();
             sim.deploy(&[1, 2, 1]).unwrap();
-            sim.run_for(60.0);
+            sim.run_for(60.0).unwrap();
             let s = sim.snapshot();
             (
                 s.kafka_lag,
                 s.source_consumption_rate,
                 s.processing_latency_ms,
+                s.state_hash,
             )
         };
         let a = run();
@@ -995,13 +1747,14 @@ mod tests {
         assert_eq!(a.0.to_bits(), b.0.to_bits());
         assert_eq!(a.1.to_bits(), b.1.to_bits());
         assert_eq!(a.2.to_bits(), b.2.to_bits());
+        assert_eq!(a.3, b.3);
     }
 
     #[test]
     fn metrics_reach_the_store() {
         let mut sim = Simulation::new(config(20_000.0)).unwrap();
         sim.deploy(&[1, 1, 1]).unwrap();
-        sim.run_for(30.0);
+        sim.run_for(30.0).unwrap();
         let store = sim.store();
         let key = metrics::instance_key(metrics::TRUE_PROCESSING_RATE, "Map", 0);
         assert!(store.last(&key).is_some());
@@ -1025,7 +1778,7 @@ mod tests {
         };
         let mut sim = Simulation::new(cfg).unwrap();
         sim.deploy(&[1, 1, 1]).unwrap();
-        sim.run_for(60.0);
+        sim.run_for(60.0).unwrap();
         let snap = sim.snapshot();
         let flatmap = &snap.per_operator[1];
         // Output rate ≈ 2 × input rate.
@@ -1041,8 +1794,274 @@ mod tests {
     fn run_for_advances_clock() {
         let mut sim = Simulation::new(config(1000.0)).unwrap();
         sim.deploy(&[1, 1, 1]).unwrap();
-        sim.run_for(12.5);
+        sim.run_for(12.5).unwrap();
         assert!((sim.now() - 12.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn run_for_rejects_non_finite_and_negative_durations() {
+        let mut sim = Simulation::new(config(1000.0)).unwrap();
+        sim.deploy(&[1, 1, 1]).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            assert!(
+                matches!(sim.run_for(bad), Err(SimError::BadConfig(_))),
+                "duration {bad} must be rejected"
+            );
+        }
+        // The clock did not move and the simulation still works.
+        assert_eq!(sim.now(), 0.0);
+        sim.run_for(0.0).unwrap();
+        sim.run_for(5.0).unwrap();
+        assert!((sim.now() - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn run_for_before_deploy_errors() {
+        let mut sim = Simulation::new(config(1000.0)).unwrap();
+        assert_eq!(sim.run_for(10.0), Err(SimError::NotDeployed));
+    }
+
+    #[test]
+    fn snapshot_into_matches_snapshot() {
+        let mut sim = Simulation::new(config(20_000.0)).unwrap();
+        sim.deploy(&[1, 2, 1]).unwrap();
+        sim.run_for(30.0).unwrap();
+        let mut reused = SimSnapshot {
+            time: -1.0,
+            running: true,
+            parallelism: vec![9; 7],
+            source_consumption_rate: 0.0,
+            sink_rate: 0.0,
+            producer_rate: 0.0,
+            kafka_lag: 0.0,
+            processing_latency_ms: 0.0,
+            event_time_latency_ms: None,
+            per_operator: vec![OperatorSnapshot::empty(); 5],
+            state_hash: 0,
+        };
+        sim.snapshot_into(&mut reused);
+        assert_eq!(reused, sim.snapshot());
+        // A second fill after more simulated time also matches.
+        sim.run_for(30.0).unwrap();
+        sim.snapshot_into(&mut reused);
+        assert_eq!(reused, sim.snapshot());
+    }
+}
+
+#[cfg(test)]
+mod engine_parity_tests {
+    use super::*;
+    use crate::topology::OperatorSpec;
+
+    fn linear_job() -> JobGraph {
+        JobGraph::linear(vec![
+            OperatorSpec::source("Source", 50_000.0),
+            OperatorSpec::transform("Map", 30_000.0, 1.0),
+            OperatorSpec::sink("Sink", 60_000.0),
+        ])
+        .unwrap()
+    }
+
+    /// Two disjoint source→work→sink chains in one job graph, so the
+    /// adjacency splits into two regions and the parallel process phase
+    /// actually runs the multi-region path.
+    fn two_chain_job() -> JobGraph {
+        let ops = vec![
+            OperatorSpec::source("SrcA", 40_000.0),
+            OperatorSpec::transform("WorkA", 25_000.0, 1.0),
+            OperatorSpec::sink("SinkA", 50_000.0),
+            OperatorSpec::source("SrcB", 40_000.0),
+            OperatorSpec::transform("WorkB", 25_000.0, 1.5),
+            OperatorSpec::sink("SinkB", 80_000.0),
+        ];
+        JobGraph::new(ops, vec![(0, 1), (1, 2), (3, 4), (4, 5)]).unwrap()
+    }
+
+    fn sim_with(engine: EngineKind, job: JobGraph, profile: RateProfile, seed: u64) -> Simulation {
+        Simulation::new(SimulationConfig {
+            job,
+            profile,
+            seed,
+            engine,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    /// Runs the same eventful scenario on both engines and asserts the
+    /// whole trajectory (hash at every checkpoint plus final snapshot)
+    /// is bitwise identical.
+    fn assert_parity(
+        job: impl Fn() -> JobGraph,
+        profile: impl Fn() -> RateProfile,
+        seed: u64,
+        script: impl Fn(&mut Simulation) -> Vec<u64>,
+    ) {
+        let mut ev = sim_with(EngineKind::EventDriven, job(), profile(), seed);
+        let mut tk = sim_with(EngineKind::Tick, job(), profile(), seed);
+        let hashes_ev = script(&mut ev);
+        let hashes_tk = script(&mut tk);
+        assert_eq!(hashes_ev, hashes_tk, "state-hash trajectories diverged");
+        assert_eq!(ev.snapshot(), tk.snapshot(), "final snapshots diverged");
+        assert_eq!(ev.now().to_bits(), tk.now().to_bits());
+        assert_eq!(ev.kafka_lag().to_bits(), tk.kafka_lag().to_bits());
+    }
+
+    #[test]
+    fn engines_agree_on_steady_provisioned_trace() {
+        assert_parity(
+            linear_job,
+            || RateProfile::constant(10_000.0),
+            21,
+            |sim| {
+                let arity = sim.job().len();
+                sim.deploy(&vec![1u32; arity][..]).unwrap();
+                let mut hashes = Vec::new();
+                for _ in 0..10 {
+                    sim.run_for(60.0).unwrap();
+                    hashes.push(sim.state_hash());
+                }
+                hashes
+            },
+        );
+    }
+
+    #[test]
+    fn engines_agree_with_fault_mid_trace() {
+        assert_parity(
+            linear_job,
+            || RateProfile::constant(12_000.0),
+            22,
+            |sim| {
+                sim.deploy(&[1, 1, 1]).unwrap();
+                sim.run_for(90.0).unwrap();
+                let h0 = sim.state_hash();
+                sim.inject_slowdown(1, 0.3, 47.3).unwrap();
+                sim.run_for(30.0).unwrap();
+                let h1 = sim.state_hash();
+                // Past the expiry: the event engine must wake for it.
+                sim.run_for(120.0).unwrap();
+                vec![h0, h1, sim.state_hash()]
+            },
+        );
+    }
+
+    #[test]
+    fn engines_agree_across_rate_switches() {
+        let profile =
+            || RateProfile::piecewise(vec![(0.0, 8_000.0), (100.0, 20_000.0), (250.0, 5_000.0)]);
+        assert_parity(linear_job, profile, 23, |sim| {
+            sim.deploy(&[1, 1, 1]).unwrap();
+            let mut hashes = Vec::new();
+            for _ in 0..8 {
+                sim.run_for(50.0).unwrap();
+                hashes.push(sim.state_hash());
+            }
+            hashes
+        });
+    }
+
+    #[test]
+    fn engines_agree_through_redeploy_downtime() {
+        assert_parity(
+            linear_job,
+            || RateProfile::constant(15_000.0),
+            24,
+            |sim| {
+                sim.deploy(&[1, 1, 1]).unwrap();
+                sim.run_for(80.0).unwrap();
+                let h0 = sim.state_hash();
+                sim.deploy(&[1, 2, 1]).unwrap();
+                sim.run_for(10.0).unwrap(); // mid-downtime
+                let h1 = sim.state_hash();
+                sim.run_for(200.0).unwrap(); // through recovery
+                vec![h0, h1, sim.state_hash()]
+            },
+        );
+    }
+
+    #[test]
+    fn engines_agree_on_multi_region_job() {
+        assert_parity(
+            two_chain_job,
+            || RateProfile::constant(9_000.0),
+            25,
+            |sim| {
+                let a = sim.job().index_of("WorkA").unwrap();
+                let arity = sim.job().len();
+                sim.deploy(&vec![1u32; arity][..]).unwrap();
+                sim.run_for(120.0).unwrap();
+                let h0 = sim.state_hash();
+                sim.inject_slowdown(a, 0.4, 60.0).unwrap();
+                sim.run_for(180.0).unwrap();
+                vec![h0, sim.state_hash()]
+            },
+        );
+    }
+
+    #[test]
+    fn event_engine_fast_forwards_quiescent_windows() {
+        // Provisioned, constant rate: after warm-up every window is a
+        // fixed point and the event engine should skip nearly all of them.
+        let mut sim = sim_with(
+            EngineKind::EventDriven,
+            linear_job(),
+            RateProfile::constant(10_000.0),
+            26,
+        );
+        sim.deploy(&[1, 1, 1]).unwrap();
+        sim.run_for(600.0).unwrap();
+        let skipped = sim.fast_forwarded_windows();
+        // 600 s at metric_interval 5 s = 120 windows; warm-up plus the
+        // two-window steady confirmation costs a handful.
+        assert!(skipped > 100, "only {skipped} windows fast-forwarded");
+
+        let mut tick = sim_with(
+            EngineKind::Tick,
+            linear_job(),
+            RateProfile::constant(10_000.0),
+            26,
+        );
+        tick.deploy(&[1, 1, 1]).unwrap();
+        tick.run_for(600.0).unwrap();
+        assert_eq!(tick.fast_forwarded_windows(), 0);
+        assert_eq!(sim.state_hash(), tick.state_hash());
+        assert_eq!(sim.snapshot(), tick.snapshot());
+    }
+
+    #[test]
+    fn tick_engine_never_fast_forwards_and_default_tracks_feature() {
+        let sim = sim_with(
+            EngineKind::Tick,
+            linear_job(),
+            RateProfile::constant(1_000.0),
+            27,
+        );
+        assert_eq!(sim.engine_kind(), EngineKind::Tick);
+        #[cfg(feature = "tick-engine")]
+        assert_eq!(EngineKind::default(), EngineKind::Tick);
+        #[cfg(not(feature = "tick-engine"))]
+        assert_eq!(EngineKind::default(), EngineKind::EventDriven);
+    }
+
+    #[test]
+    fn set_profile_blocks_stale_fast_forward() {
+        // Swap the profile mid-run without touching deploy state; the
+        // event engine must not replay windows recorded under the old
+        // rate.
+        assert_parity(
+            linear_job,
+            || RateProfile::constant(8_000.0),
+            28,
+            |sim| {
+                sim.deploy(&[1, 1, 1]).unwrap();
+                sim.run_for(100.0).unwrap();
+                let h0 = sim.state_hash();
+                sim.set_profile(RateProfile::constant(16_000.0));
+                sim.run_for(100.0).unwrap();
+                vec![h0, sim.state_hash()]
+            },
+        );
     }
 }
 
@@ -1071,21 +2090,21 @@ mod fault_tests {
     fn slowdown_reduces_throughput_then_expires() {
         let mut s = sim(15_000.0);
         s.deploy(&[1, 1, 1]).unwrap();
-        s.run_for(60.0);
+        s.run_for(60.0).unwrap();
         let healthy = s.snapshot().source_consumption_rate;
         assert!(healthy > 14_000.0, "{healthy}");
 
         // Map at 25% capacity for 120 s: 5k < 15k input.
         s.inject_slowdown(1, 0.25, 120.0).unwrap();
-        s.run_for(60.0);
+        s.run_for(60.0).unwrap();
         let degraded = s.snapshot().source_consumption_rate;
         assert!(degraded < 7_000.0, "{degraded}");
         assert_eq!(s.active_faults(), 1);
 
         // After expiry the job recovers (and drains the fault's backlog).
-        s.run_for(120.0);
+        s.run_for(120.0).unwrap();
         assert_eq!(s.active_faults(), 0);
-        s.run_for(120.0);
+        s.run_for(120.0).unwrap();
         let recovered = s.snapshot().source_consumption_rate;
         assert!(recovered > 14_000.0, "{recovered}");
     }
@@ -1096,7 +2115,7 @@ mod fault_tests {
         s.deploy(&[1, 1, 1]).unwrap();
         s.inject_slowdown(1, 0.5, 300.0).unwrap();
         s.inject_slowdown(1, 0.5, 300.0).unwrap();
-        s.run_for(60.0);
+        s.run_for(60.0).unwrap();
         // 20k × 0.25 = 5k effective.
         let snap = s.snapshot();
         assert!(
@@ -1113,7 +2132,7 @@ mod fault_tests {
         s.inject_slowdown(1, 0.25, 1_000.0).unwrap();
         s.deploy(&[1, 2, 1]).unwrap();
         assert_eq!(s.active_faults(), 1);
-        s.run_for(120.0);
+        s.run_for(120.0).unwrap();
         // Two instances at 25% ≈ 10k < 15k: still degraded.
         assert!(s.snapshot().source_consumption_rate < 12_000.0);
     }
@@ -1176,14 +2195,14 @@ mod colocation_tests {
         let registry = Arc::new(SharedMachineRegistry::new(2));
         let mut job_a = colocated(&registry, 9_000.0, 1);
         job_a.deploy(&[1, 1, 1]).unwrap();
-        job_a.run_for(60.0);
+        job_a.run_for(60.0).unwrap();
         let alone = job_a.snapshot().per_operator[1].true_rate_per_instance;
 
         // A fat neighbor floods both machines.
         let mut job_b = colocated(&registry, 1_000.0, 2);
         job_b.deploy(&[10, 10, 10]).unwrap();
         assert_eq!(registry.total_instances(), 33);
-        job_a.run_for(60.0);
+        job_a.run_for(60.0).unwrap();
         let crowded = job_a.snapshot().per_operator[1].true_rate_per_instance;
         assert!(
             crowded < alone * 0.55,
@@ -1193,7 +2212,7 @@ mod colocation_tests {
         // Neighbor leaves: capacity recovers.
         drop(job_b);
         assert_eq!(registry.total_instances(), 3);
-        job_a.run_for(60.0);
+        job_a.run_for(60.0).unwrap();
         let recovered = job_a.snapshot().per_operator[1].true_rate_per_instance;
         assert!(
             recovered > alone * 0.9,
@@ -1222,7 +2241,7 @@ mod colocation_tests {
         let registry = Arc::new(SharedMachineRegistry::new(2));
         let mut shared = colocated(&registry, 9_000.0, 4);
         shared.deploy(&[1, 1, 1]).unwrap();
-        shared.run_for(60.0);
+        shared.run_for(60.0).unwrap();
 
         let cluster = ClusterSpec::uniform(2, 4, 30);
         let mut solo = Simulation::new(SimulationConfig {
@@ -1234,7 +2253,7 @@ mod colocation_tests {
         })
         .unwrap();
         solo.deploy(&[1, 1, 1]).unwrap();
-        solo.run_for(60.0);
+        solo.run_for(60.0).unwrap();
 
         let a = shared.snapshot();
         let b = solo.snapshot();
@@ -1246,5 +2265,6 @@ mod colocation_tests {
             a.processing_latency_ms.to_bits(),
             b.processing_latency_ms.to_bits()
         );
+        assert_eq!(a.state_hash, b.state_hash);
     }
 }

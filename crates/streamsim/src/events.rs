@@ -1,0 +1,190 @@
+//! The engine's event queue: a binary min-heap of future instants at
+//! which simulation behaviour *may* change.
+//!
+//! The event-driven engine advances time in variable strides (whole
+//! metric windows at once) whenever the job is quiescent. Doing that
+//! safely requires knowing that nothing is scheduled inside the stride:
+//! a fault expiring, a restart-downtime window ending, or the producer
+//! rate profile crossing a breakpoint. Those instants are pushed here as
+//! they become known and the engine peeks the earliest one before every
+//! skip.
+//!
+//! Entries are **conservative wake-up hints**, not authoritative state:
+//! superseded entries (a redeploy replacing an earlier downtime deadline,
+//! a breakpoint already crossed tick-by-tick) are left in the heap and
+//! discarded lazily once due. A stale entry can only make the engine
+//! fall back to honest tick-by-tick execution — never skip over a real
+//! change — so correctness needs only that every *real* future change has
+//! an entry at or before its instant.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What kind of change an event announces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A transient slowdown reaches its `until` deadline.
+    FaultExpiry,
+    /// Savepoint/restart downtime ends and processing resumes.
+    DowntimeEnd,
+    /// The producer rate profile may change value.
+    RateBreakpoint,
+}
+
+/// One scheduled instant.
+#[derive(Debug, Clone, Copy)]
+pub struct SimEvent {
+    /// Simulation time at which the change may take effect.
+    pub time: f64,
+    /// What changes.
+    pub kind: EventKind,
+}
+
+/// Min-heap wrapper: earliest event first. Times are totally ordered via
+/// `f64::total_cmp`; ties break on the kind so ordering is deterministic.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+}
+
+#[derive(Debug)]
+struct Entry(SimEvent);
+
+fn kind_rank(kind: EventKind) -> u8 {
+    match kind {
+        EventKind::FaultExpiry => 0,
+        EventKind::DowntimeEnd => 1,
+        EventKind::RateBreakpoint => 2,
+    }
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest time.
+        other
+            .0
+            .time
+            .total_cmp(&self.0.time)
+            .then_with(|| kind_rank(other.0.kind).cmp(&kind_rank(self.0.kind)))
+    }
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an event. Non-finite times are ignored (nothing at
+    /// infinity ever becomes due, and NaN would poison the ordering).
+    pub fn push(&mut self, time: f64, kind: EventKind) {
+        if time.is_finite() {
+            self.heap.push(Entry(SimEvent { time, kind }));
+        }
+    }
+
+    /// Earliest scheduled instant, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.0.time)
+    }
+
+    /// Pops every event with `time <= now` (already handled by the
+    /// tick-by-tick path) and returns how many were discarded.
+    pub fn discard_through(&mut self, now: f64) -> usize {
+        let mut dropped = 0;
+        while let Some(e) = self.heap.peek() {
+            if e.0.time <= now {
+                self.heap.pop();
+                dropped += 1;
+            } else {
+                break;
+            }
+        }
+        dropped
+    }
+
+    /// Number of pending entries (including stale ones).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earliest_first() {
+        let mut q = EventQueue::new();
+        q.push(30.0, EventKind::DowntimeEnd);
+        q.push(10.0, EventKind::FaultExpiry);
+        q.push(20.0, EventKind::RateBreakpoint);
+        assert_eq!(q.peek_time(), Some(10.0));
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn discard_through_pops_due_entries_only() {
+        let mut q = EventQueue::new();
+        q.push(1.0, EventKind::FaultExpiry);
+        q.push(2.0, EventKind::FaultExpiry);
+        q.push(5.0, EventKind::DowntimeEnd);
+        // Boundary is inclusive: an event AT `now` has already been seen
+        // by the tick that ran at `now`.
+        assert_eq!(q.discard_through(2.0), 2);
+        assert_eq!(q.peek_time(), Some(5.0));
+        assert_eq!(q.discard_through(2.0), 0);
+    }
+
+    #[test]
+    fn nonfinite_times_are_ignored() {
+        let mut q = EventQueue::new();
+        q.push(f64::INFINITY, EventKind::RateBreakpoint);
+        q.push(f64::NAN, EventKind::FaultExpiry);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_order_deterministically_by_kind() {
+        let mut q = EventQueue::new();
+        q.push(7.0, EventKind::RateBreakpoint);
+        q.push(7.0, EventKind::FaultExpiry);
+        assert_eq!(q.peek_time(), Some(7.0));
+        // Both due at once; both discarded.
+        assert_eq!(q.discard_through(7.0), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_the_queue() {
+        let mut q = EventQueue::new();
+        q.push(1.0, EventKind::FaultExpiry);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

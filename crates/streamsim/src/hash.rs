@@ -1,0 +1,145 @@
+//! A deterministic 64-bit state hash for simulator parity checks.
+//!
+//! The engine folds every piece of mutable simulation state (time, queue
+//! occupancies, Kafka counters, capacities, faults) into one `u64` so two
+//! runs — or the event-driven and tick engines on the same scenario — can
+//! be compared exactly without serializing full snapshots. Floats are
+//! hashed by their IEEE-754 bit patterns, so the hash distinguishes
+//! values down to the last ulp (and `0.0` from `-0.0`): equal hashes are
+//! evidence of *bitwise* identical state, not merely approximate
+//! agreement.
+//!
+//! The mixer is the splitmix64 finalizer, which is cheap, has full
+//! avalanche, and is endianness-independent (all inputs are folded as
+//! integers, never as byte buffers).
+
+/// The splitmix64 finalizer: full-avalanche 64-bit mixing.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// An order-sensitive 64-bit fold. Not a cryptographic hash — a
+/// determinism checksum.
+#[derive(Debug, Clone, Copy)]
+pub struct StateHasher(u64);
+
+impl StateHasher {
+    /// A fresh hasher with a fixed seed constant.
+    pub fn new() -> Self {
+        Self(0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Folds one 64-bit word. The golden-ratio increment keeps runs of
+    /// identical words from fixing the state.
+    #[inline]
+    pub fn write_u64(&mut self, x: u64) {
+        self.0 = mix64(self.0 ^ x).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    }
+
+    /// Folds a float by bit pattern (ulp-exact, sign-of-zero-exact).
+    #[inline]
+    pub fn write_f64(&mut self, x: f64) {
+        self.write_u64(x.to_bits());
+    }
+
+    /// Folds a `usize` (widened so 32- and 64-bit targets agree).
+    #[inline]
+    pub fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+
+    /// Folds a boolean as 0/1.
+    #[inline]
+    pub fn write_bool(&mut self, x: bool) {
+        self.write_u64(u64::from(x));
+    }
+
+    /// Folds every float in a slice, length first (so `[1.0]` and
+    /// `[1.0, 1.0]` cannot collide by concatenation).
+    pub fn write_f64_slice(&mut self, xs: &[f64]) {
+        self.write_usize(xs.len());
+        for &x in xs {
+            self.write_f64(x);
+        }
+    }
+
+    /// The folded digest.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        mix64(self.0)
+    }
+}
+
+impl Default for StateHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(values: &[f64]) -> u64 {
+        let mut h = StateHasher::new();
+        for &v in values {
+            h.write_f64(v);
+        }
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&[1.0, 2.0, 3.0]), hash_of(&[1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn order_sensitive() {
+        assert_ne!(hash_of(&[1.0, 2.0]), hash_of(&[2.0, 1.0]));
+    }
+
+    #[test]
+    fn distinguishes_signed_zero_and_ulps() {
+        assert_ne!(hash_of(&[0.0]), hash_of(&[-0.0]));
+        let x = 1.0f64;
+        let next = f64::from_bits(x.to_bits() + 1);
+        assert_ne!(hash_of(&[x]), hash_of(&[next]));
+    }
+
+    #[test]
+    fn slice_fold_is_length_prefixed() {
+        let mut a = StateHasher::new();
+        a.write_f64_slice(&[1.0]);
+        a.write_f64_slice(&[]);
+        let mut b = StateHasher::new();
+        b.write_f64_slice(&[]);
+        b.write_f64_slice(&[1.0]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn identical_word_runs_keep_mixing() {
+        // A fold that collapses on repeated inputs would make long queue
+        // vectors of equal values degenerate.
+        let mut h = StateHasher::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            h.write_u64(0);
+            assert!(seen.insert(h.finish()), "state cycled");
+        }
+    }
+
+    #[test]
+    fn mixed_type_writes_do_not_collide_trivially() {
+        let mut a = StateHasher::new();
+        a.write_bool(true);
+        let mut b = StateHasher::new();
+        b.write_usize(1);
+        // Same folded word → same hash; this documents that type tags are
+        // the CALLER's job (the engine folds a fixed field order).
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -110,6 +110,50 @@ impl Kafka {
         dropped
     }
 
+    /// Replays `ticks` steady-state ticks in which every produced record
+    /// is consumed in the same tick. `takes` is the per-consumer amount
+    /// returned by [`consume`](Self::consume) during one representative
+    /// tick of the steady window, in call order; steady state means every
+    /// tick repeats those exact values (and they sum to `rate · dt`, so
+    /// the per-tick bucket is fully popped). Per tick, `rate · dt` is
+    /// added to `produced_total` and each take to `consumed_total` as
+    /// individual sequential additions, so the totals are **bit-identical**
+    /// to running `produce` + one `consume` per take, tick by tick from an
+    /// empty log. The bucket queue and lag are untouched (produce pushes a
+    /// bucket, the consumes pop it; lag returns to exactly `0.0` because
+    /// the final take equals the remaining lag bit-for-bit).
+    ///
+    /// Callers must only use this when the log is drained — an empty
+    /// bucket queue with zero lag — otherwise the elided bucket churn
+    /// would have changed FIFO state.
+    pub fn replay_steady(&mut self, rate: f64, dt: f64, ticks: u64, takes: &[f64]) {
+        debug_assert!(
+            self.buckets.is_empty() && self.lag == 0.0,
+            "replay_steady requires a drained log"
+        );
+        let records = (rate * dt).max(0.0);
+        for _ in 0..ticks {
+            if records > 0.0 {
+                self.produced_total += records;
+            }
+            for &taken in takes {
+                self.consumed_total += taken;
+            }
+        }
+        if ticks > 0 {
+            if let Some(&last) = takes.last() {
+                self.last_consumption_rate = if dt > 0.0 { last / dt } else { 0.0 };
+            }
+        }
+    }
+
+    /// Whether the bucket queue is empty (no unconsumed records at all —
+    /// a stronger condition than `lag() == 0.0` in the presence of
+    /// floating-point residue).
+    pub fn is_drained(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
     /// Current consumer lag in records.
     pub fn lag(&self) -> f64 {
         self.lag
@@ -247,5 +291,101 @@ mod tests {
         assert_eq!(k.lag(), 0.0);
         let got = k.consume(-5.0, 1.0);
         assert_eq!(got, 0.0);
+    }
+
+    #[test]
+    fn replay_steady_matches_tick_by_tick_bitwise() {
+        let rate = 12_345.678_9;
+        let dt = 0.1;
+        let ticks = 1_000u64;
+
+        let mut ticked = Kafka::new();
+        for i in 0..ticks {
+            let now = i as f64 * dt;
+            ticked.produce(rate, dt, now);
+            let got = ticked.consume(rate * dt, dt);
+            assert_eq!(got.to_bits(), (rate * dt).to_bits());
+        }
+
+        let mut replayed = Kafka::new();
+        replayed.replay_steady(rate, dt, ticks, &[rate * dt]);
+
+        assert_eq!(
+            ticked.produced_total().to_bits(),
+            replayed.produced_total().to_bits()
+        );
+        assert_eq!(
+            ticked.consumed_total().to_bits(),
+            replayed.consumed_total().to_bits()
+        );
+        assert_eq!(
+            ticked.consumption_rate().to_bits(),
+            replayed.consumption_rate().to_bits()
+        );
+        assert_eq!(ticked.lag(), 0.0);
+        assert!(ticked.is_drained());
+        assert!(replayed.is_drained());
+    }
+
+    #[test]
+    fn replay_steady_zero_rate_only_resets_consumption_rate() {
+        let mut k = Kafka::new();
+        k.produce(100.0, 1.0, 0.0);
+        k.consume(100.0, 1.0);
+        assert!(k.is_drained());
+        k.replay_steady(0.0, 0.1, 500, &[0.0]);
+        assert_eq!(k.produced_total(), 100.0);
+        assert_eq!(k.consumed_total(), 100.0);
+        assert_eq!(k.consumption_rate(), 0.0);
+    }
+
+    #[test]
+    fn replay_steady_matches_multi_consumer_ticks_bitwise() {
+        // Two sources splitting each tick's bucket: the first is
+        // capacity-limited to an awkward value, the second drains the
+        // rest. Replaying the recorded takes must reproduce the totals
+        // bit for bit.
+        let rate = 9_876.543;
+        let dt = 0.1;
+        let records = rate * dt;
+        let want_a = records * 0.37; // capacity-limited first consumer
+        let ticks = 777u64;
+
+        let mut ticked = Kafka::new();
+        let mut takes = Vec::new();
+        for i in 0..ticks {
+            ticked.produce(rate, dt, i as f64 * dt);
+            takes.clear();
+            takes.push(ticked.consume(want_a, dt));
+            takes.push(ticked.consume(f64::INFINITY, dt));
+            assert!(ticked.is_drained());
+            assert_eq!(ticked.lag().to_bits(), 0.0f64.to_bits());
+        }
+
+        let mut replayed = Kafka::new();
+        replayed.replay_steady(rate, dt, ticks, &takes);
+
+        assert_eq!(
+            ticked.produced_total().to_bits(),
+            replayed.produced_total().to_bits()
+        );
+        assert_eq!(
+            ticked.consumed_total().to_bits(),
+            replayed.consumed_total().to_bits()
+        );
+        assert_eq!(
+            ticked.consumption_rate().to_bits(),
+            replayed.consumption_rate().to_bits()
+        );
+    }
+
+    #[test]
+    fn is_drained_tracks_bucket_queue() {
+        let mut k = Kafka::new();
+        assert!(k.is_drained());
+        k.produce(10.0, 1.0, 0.0);
+        assert!(!k.is_drained());
+        k.consume(10.0, 1.0);
+        assert!(k.is_drained());
     }
 }

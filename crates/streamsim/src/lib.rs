@@ -43,13 +43,15 @@
 //! };
 //! let mut sim = Simulation::new(config).unwrap();
 //! sim.deploy(&[1, 1, 1]).unwrap();
-//! sim.run_for(120.0);
+//! sim.run_for(120.0).unwrap();
 //! let snap = sim.snapshot();
 //! assert!(snap.source_consumption_rate > 40_000.0);
 //! ```
 
 mod cluster;
 mod engine;
+mod events;
+mod hash;
 mod kafka;
 pub mod metrics;
 mod noise;
@@ -57,9 +59,13 @@ mod rate;
 mod topology;
 
 pub use cluster::{ClusterSpec, MachineSpec, Placement, SharedMachineRegistry};
-pub use engine::{SimError, SimSnapshot, Simulation, SimulationConfig};
+pub use engine::{
+    EngineKind, OperatorSnapshot, SimError, SimSnapshot, Simulation, SimulationConfig,
+};
+pub use events::{EventKind, EventQueue, SimEvent};
+pub use hash::StateHasher;
 pub use kafka::Kafka;
 pub use noise::GaussianNoise;
 pub use rate::generators as rate_generators;
 pub use rate::RateProfile;
-pub use topology::{JobGraph, OperatorKind, OperatorSpec, TopologyError};
+pub use topology::{Adjacency, JobGraph, OperatorKind, OperatorSpec, TopologyError};

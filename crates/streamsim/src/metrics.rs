@@ -58,6 +58,71 @@ pub fn emit(store: &MetricStore, key: &SeriesKey, time: f64, value: f64) {
     }
 }
 
+/// Buffered metric emission with deploy-time key registration.
+///
+/// The per-point [`emit`] path pays a key construction (string formatting
+/// plus a `BTreeMap` build), a key clone, and a store write-lock
+/// round-trip on every value. The engine's key set only changes on
+/// (re)deploy, so it registers each series once, gets back a dense
+/// integer id, and pushes `(time, value)` pairs into per-series buffers;
+/// [`flush`](Self::flush) drains every buffer with one
+/// [`MetricStore::append_batch`] call per series. Store contents after a
+/// flush are identical to per-point emission (non-finite values are
+/// dropped at the store boundary, per-series time order is preserved).
+#[derive(Debug, Default)]
+pub struct MetricBatcher {
+    series: Vec<(SeriesKey, Vec<(f64, f64)>)>,
+}
+
+impl MetricBatcher {
+    /// An empty batcher with no registered series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a series and returns its id for [`push`](Self::push).
+    /// Keys are not deduplicated: the engine rebuilds the registry from
+    /// scratch on deploy, which is the only time the key set changes.
+    pub fn register(&mut self, key: SeriesKey) -> usize {
+        self.series.push((key, Vec::new()));
+        self.series.len() - 1
+    }
+
+    /// Buffers one observation for a registered series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`register`](Self::register).
+    pub fn push(&mut self, id: usize, time: f64, value: f64) {
+        self.series[id].1.push((time, value));
+    }
+
+    /// Number of buffered, unflushed points across all series.
+    pub fn pending(&self) -> usize {
+        self.series.iter().map(|(_, pts)| pts.len()).sum()
+    }
+
+    /// Writes every buffered point to `store` (one batched append per
+    /// series) and clears the buffers, keeping registrations and their
+    /// capacity. Returns the number of points the store accepted.
+    pub fn flush(&mut self, store: &MetricStore) -> usize {
+        let mut stored = 0;
+        for (key, points) in &mut self.series {
+            if !points.is_empty() {
+                stored += store.append_batch(key, points);
+                points.clear();
+            }
+        }
+        stored
+    }
+
+    /// Drops all registrations and buffered points (redeploy path — ids
+    /// handed out before this call are invalidated).
+    pub fn clear(&mut self) {
+        self.series.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +145,49 @@ mod tests {
         assert_eq!(store.last(&k), None);
         emit(&store, &k, 1.0, 5.0);
         assert_eq!(store.last(&k).unwrap().value, 5.0);
+    }
+
+    #[test]
+    fn batcher_matches_per_point_emission() {
+        let batched_store = MetricStore::new();
+        let emitted_store = MetricStore::new();
+        let keys = [job_key(KAFKA_LAG), operator_key(OPERATOR_INPUT_RATE, "Map")];
+
+        let mut batcher = MetricBatcher::new();
+        let ids: Vec<usize> = keys.iter().map(|k| batcher.register(k.clone())).collect();
+        for t in 1..=5 {
+            let time = t as f64;
+            for (idx, key) in keys.iter().enumerate() {
+                let value = if t == 3 { f64::NAN } else { time * 10.0 };
+                batcher.push(ids[idx], time, value);
+                emit(&emitted_store, key, time, value);
+            }
+        }
+        assert_eq!(batcher.pending(), 10);
+        // NaN at t=3 is dropped by the store for both paths.
+        assert_eq!(batcher.flush(&batched_store), 8);
+        assert_eq!(batcher.pending(), 0);
+
+        for key in &keys {
+            use autrascale_metricsdb::Query;
+            let q = Query::new(key.name(), 0.0, 100.0);
+            assert_eq!(batched_store.select(&q), emitted_store.select(&q));
+        }
+    }
+
+    #[test]
+    fn batcher_flush_is_idempotent_and_clear_drops_registrations() {
+        let store = MetricStore::new();
+        let mut batcher = MetricBatcher::new();
+        let id = batcher.register(job_key(SINK_RATE));
+        batcher.push(id, 1.0, 2.0);
+        assert_eq!(batcher.flush(&store), 1);
+        assert_eq!(batcher.flush(&store), 0);
+        // Registration survives a flush…
+        batcher.push(id, 2.0, 3.0);
+        assert_eq!(batcher.flush(&store), 1);
+        // …but not a clear.
+        batcher.clear();
+        assert_eq!(batcher.pending(), 0);
     }
 }

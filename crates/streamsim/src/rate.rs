@@ -95,6 +95,43 @@ impl RateProfile {
         };
         r.max(0.0)
     }
+
+    /// The next time strictly after `t` at which the profile *may* change
+    /// value, or `None` if the rate is constant from `t` onward. The
+    /// returned instant is conservative: it is always safe to re-evaluate
+    /// [`rate_at`] there even if the value happens to be unchanged, but a
+    /// `None` guarantees `rate_at` is constant on `(t, ∞)`.
+    pub fn next_change_after(&self, t: f64) -> Option<f64> {
+        match self {
+            RateProfile::Constant(_) => None,
+            RateProfile::Staircase {
+                initial,
+                step,
+                period,
+                max,
+            } => {
+                if *period <= 0.0 || *step == 0.0 {
+                    return None;
+                }
+                let steps = (t / period).floor().max(0.0);
+                let raw = initial + steps * step;
+                // Saturated: capped at max (rising) or clamped at zero
+                // (falling) — no further boundary changes the rate.
+                if (*step > 0.0 && raw >= *max) || (*step < 0.0 && raw <= 0.0) {
+                    return None;
+                }
+                let mut boundary = (steps + 1.0) * period;
+                if boundary <= t {
+                    boundary = (steps + 2.0) * period;
+                }
+                Some(boundary)
+            }
+            RateProfile::Piecewise(points) => {
+                let idx = points.partition_point(|&(start, _)| start <= t);
+                points.get(idx).map(|&(start, _)| start)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +184,70 @@ mod tests {
     #[should_panic(expected = "sorted")]
     fn piecewise_rejects_unsorted() {
         let _ = RateProfile::piecewise(vec![(10.0, 1.0), (5.0, 2.0)]);
+    }
+
+    #[test]
+    fn constant_never_changes() {
+        assert_eq!(RateProfile::constant(5.0).next_change_after(0.0), None);
+    }
+
+    #[test]
+    fn staircase_next_change_hits_period_boundaries() {
+        let p = RateProfile::staircase(100_000.0, 50_000.0, 600.0, 300_000.0);
+        assert_eq!(p.next_change_after(0.0), Some(600.0));
+        assert_eq!(p.next_change_after(599.9), Some(600.0));
+        // Exactly on a boundary: the *next* one.
+        assert_eq!(p.next_change_after(600.0), Some(1200.0));
+        // Saturated at max: constant from here on.
+        assert_eq!(p.next_change_after(2400.0), None);
+        assert_eq!(p.next_change_after(9999.0), None);
+    }
+
+    #[test]
+    fn staircase_flat_step_never_changes() {
+        let p = RateProfile::staircase(100.0, 0.0, 10.0, 200.0);
+        assert_eq!(p.next_change_after(0.0), None);
+    }
+
+    #[test]
+    fn falling_staircase_stops_changing_at_zero() {
+        let p = RateProfile::staircase(10.0, -20.0, 1.0, 100.0);
+        assert_eq!(p.next_change_after(0.0), Some(1.0));
+        assert_eq!(p.next_change_after(5.0), None);
+    }
+
+    #[test]
+    fn piecewise_next_change_is_next_point() {
+        let p = RateProfile::piecewise(vec![(0.0, 10.0), (100.0, 20.0), (200.0, 5.0)]);
+        assert_eq!(p.next_change_after(0.0), Some(100.0));
+        assert_eq!(p.next_change_after(100.0), Some(200.0));
+        assert_eq!(p.next_change_after(150.0), Some(200.0));
+        assert_eq!(p.next_change_after(200.0), None);
+    }
+
+    #[test]
+    fn next_change_is_consistent_with_rate_at() {
+        // Between t and the reported change-point, the rate is constant.
+        let profiles = vec![
+            RateProfile::staircase(100.0, 25.0, 7.5, 200.0),
+            RateProfile::piecewise(vec![(0.0, 10.0), (33.0, 20.0), (80.0, 5.0)]),
+        ];
+        for p in &profiles {
+            let mut t = 0.0;
+            while t < 120.0 {
+                match p.next_change_after(t) {
+                    Some(next) => {
+                        assert!(next > t, "{next} must be after {t}");
+                        let mid = t + (next - t) * 0.5;
+                        assert_eq!(p.rate_at(t).to_bits(), p.rate_at(mid).to_bits());
+                    }
+                    None => {
+                        assert_eq!(p.rate_at(t).to_bits(), p.rate_at(t + 1e6).to_bits());
+                    }
+                }
+                t += 1.3;
+            }
+        }
     }
 }
 

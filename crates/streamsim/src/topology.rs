@@ -333,6 +333,128 @@ impl JobGraph {
     }
 }
 
+/// Precomputed adjacency for a [`JobGraph`]: CSR successor/predecessor
+/// lists plus the weakly-connected **regions** of the DAG.
+///
+/// [`JobGraph::successors`] allocates a fresh `Vec` per call by scanning
+/// the whole edge list; the engine walks adjacency on every tick, so it
+/// builds one of these at deploy time instead. Deliberately *not* stored
+/// inside `JobGraph` (which is serde-serializable — derived fields would
+/// silently arrive empty after deserialization); rebuild it from the
+/// graph wherever it is needed.
+///
+/// Regions are the connected components of the undirected edge skeleton:
+/// operators in different regions never exchange records, so the engine
+/// may tick regions in parallel and merge results in fixed order. Each
+/// region lists its operator indices in ascending order — a valid
+/// topological order within the region, because `JobGraph` stores
+/// operators topologically sorted (every edge satisfies `from < to`).
+/// Regions themselves are ordered by their smallest operator index.
+#[derive(Debug, Clone)]
+pub struct Adjacency {
+    succ_offsets: Vec<usize>,
+    succ: Vec<usize>,
+    pred_offsets: Vec<usize>,
+    pred: Vec<usize>,
+    regions: Vec<Vec<usize>>,
+    region_of: Vec<usize>,
+}
+
+impl Adjacency {
+    /// Builds CSR adjacency and the region partition for `graph`.
+    pub fn build(graph: &JobGraph) -> Self {
+        let n = graph.len();
+        let edges = graph.edges();
+
+        let mut succ_offsets = vec![0usize; n + 1];
+        let mut pred_offsets = vec![0usize; n + 1];
+        for &(from, to) in edges {
+            succ_offsets[from + 1] += 1;
+            pred_offsets[to + 1] += 1;
+        }
+        for i in 0..n {
+            succ_offsets[i + 1] += succ_offsets[i];
+            pred_offsets[i + 1] += pred_offsets[i];
+        }
+        let mut succ = vec![0usize; edges.len()];
+        let mut pred = vec![0usize; edges.len()];
+        let mut succ_fill = succ_offsets.clone();
+        let mut pred_fill = pred_offsets.clone();
+        for &(from, to) in edges {
+            succ[succ_fill[from]] = to;
+            succ_fill[from] += 1;
+            pred[pred_fill[to]] = from;
+            pred_fill[to] += 1;
+        }
+        // Within each CSR row, neighbors in ascending index order
+        // regardless of edge-list order.
+        for i in 0..n {
+            succ[succ_offsets[i]..succ_offsets[i + 1]].sort_unstable();
+            pred[pred_offsets[i]..pred_offsets[i + 1]].sort_unstable();
+        }
+
+        // Weakly-connected components via union-find on the edge skeleton.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for &(from, to) in edges {
+            let (a, b) = (find(&mut parent, from), find(&mut parent, to));
+            if a != b {
+                // Smaller root wins so roots stay stable and ordered.
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                parent[hi] = lo;
+            }
+        }
+        let mut region_of = vec![usize::MAX; n];
+        let mut regions: Vec<Vec<usize>> = Vec::new();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            if region_of[root] == usize::MAX {
+                region_of[root] = regions.len();
+                regions.push(Vec::new());
+            }
+            region_of[i] = region_of[root];
+            regions[region_of[i]].push(i);
+        }
+
+        Self {
+            succ_offsets,
+            succ,
+            pred_offsets,
+            pred,
+            regions,
+            region_of,
+        }
+    }
+
+    /// Successor indices of operator `i`, ascending, allocation-free.
+    pub fn successors(&self, i: usize) -> &[usize] {
+        &self.succ[self.succ_offsets[i]..self.succ_offsets[i + 1]]
+    }
+
+    /// Predecessor indices of operator `i`, ascending, allocation-free.
+    pub fn predecessors(&self, i: usize) -> &[usize] {
+        &self.pred[self.pred_offsets[i]..self.pred_offsets[i + 1]]
+    }
+
+    /// The weakly-connected regions; each is an ascending list of
+    /// operator indices, and regions are ordered by smallest member.
+    pub fn regions(&self) -> &[Vec<usize>] {
+        &self.regions
+    }
+
+    /// Index (into [`regions`](Self::regions)) of the region containing
+    /// operator `i`.
+    pub fn region_of(&self, i: usize) -> usize {
+        self.region_of[i]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,6 +568,76 @@ mod tests {
         let w = OperatorSpec::window("W", 10.0, 1.0, 250.0);
         assert_eq!(w.window_delay_ms(), 250.0);
         assert_eq!(OperatorSpec::sink("S", 1.0).window_delay_ms(), 0.0);
+    }
+
+    #[test]
+    fn adjacency_matches_edge_scan() {
+        let ops = vec![
+            OperatorSpec::sink("Sink", 1.0),
+            OperatorSpec::source("Source", 1.0),
+            OperatorSpec::transform("Left", 1.0, 1.0),
+            OperatorSpec::transform("Right", 1.0, 1.0),
+        ];
+        let g = JobGraph::new(ops, vec![(1, 2), (1, 3), (2, 0), (3, 0)]).unwrap();
+        let adj = Adjacency::build(&g);
+        for i in 0..g.len() {
+            let mut expected = g.successors(i);
+            expected.sort_unstable();
+            assert_eq!(adj.successors(i), expected.as_slice(), "succ of {i}");
+            let mut expected = g.predecessors(i);
+            expected.sort_unstable();
+            assert_eq!(adj.predecessors(i), expected.as_slice(), "pred of {i}");
+        }
+    }
+
+    #[test]
+    fn single_chain_is_one_region() {
+        let g = JobGraph::linear(chain3()).unwrap();
+        let adj = Adjacency::build(&g);
+        assert_eq!(adj.regions(), &[vec![0, 1, 2]]);
+        for i in 0..3 {
+            assert_eq!(adj.region_of(i), 0);
+        }
+    }
+
+    #[test]
+    fn disjoint_chains_split_into_regions() {
+        // Two independent pipelines in one job graph.
+        let ops = vec![
+            OperatorSpec::source("SrcA", 1.0),
+            OperatorSpec::sink("SinkA", 1.0),
+            OperatorSpec::source("SrcB", 1.0),
+            OperatorSpec::transform("MapB", 1.0, 1.0),
+            OperatorSpec::sink("SinkB", 1.0),
+        ];
+        let g = JobGraph::new(ops, vec![(0, 1), (2, 3), (3, 4)]).unwrap();
+        let adj = Adjacency::build(&g);
+        assert_eq!(adj.regions().len(), 2);
+        // Each region's indices ascend, and every edge stays inside one
+        // region.
+        for region in adj.regions() {
+            assert!(region.windows(2).all(|w| w[0] < w[1]));
+        }
+        for &(f, t) in g.edges() {
+            assert_eq!(adj.region_of(f), adj.region_of(t));
+        }
+        let a = adj.region_of(g.index_of("SrcA").unwrap());
+        let b = adj.region_of(g.index_of("SrcB").unwrap());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn regions_ordered_by_smallest_member() {
+        let ops = vec![
+            OperatorSpec::source("S1", 1.0),
+            OperatorSpec::sink("K1", 1.0),
+            OperatorSpec::source("S2", 1.0),
+            OperatorSpec::sink("K2", 1.0),
+        ];
+        let g = JobGraph::new(ops, vec![(0, 1), (2, 3)]).unwrap();
+        let adj = Adjacency::build(&g);
+        let mins: Vec<usize> = adj.regions().iter().map(|r| r[0]).collect();
+        assert!(mins.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -37,7 +37,7 @@ fn run_sim(job: JobGraph, rate: f64, parallelism: Vec<u32>, seed: u64, secs: f64
     })
     .expect("valid config");
     sim.deploy(&parallelism).expect("valid parallelism");
-    sim.run_for(secs);
+    sim.run_for(secs).expect("finite duration");
     sim
 }
 

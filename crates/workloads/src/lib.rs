@@ -235,7 +235,7 @@ mod tests {
         for p in 1..=3u32 {
             let mut sim = Simulation::new(w.config(300_000.0, 42)).unwrap();
             sim.deploy(&[p; 4]).unwrap();
-            sim.run_for(180.0);
+            sim.run_for(180.0).unwrap();
             rates.push(sim.snapshot().source_consumption_rate);
         }
         assert!((rates[0] - 150_000.0).abs() < 20_000.0, "p=1: {rates:?}");
@@ -254,7 +254,7 @@ mod tests {
         let mut sim = Simulation::new(w.default_config(7)).unwrap();
         // Approximately the paper's throughput-optimal configuration.
         sim.deploy(&[3, 4, 14, 11]).unwrap();
-        sim.run_for(240.0);
+        sim.run_for(240.0).unwrap();
         let snap = sim.snapshot();
         assert!(
             snap.source_consumption_rate > 330_000.0,
@@ -268,7 +268,7 @@ mod tests {
         let w = yahoo();
         let mut sim = Simulation::new(w.default_config(9)).unwrap();
         sim.deploy(&[40, 1, 1, 1, 40]).unwrap();
-        sim.run_for(240.0);
+        sim.run_for(240.0).unwrap();
         let snap = sim.snapshot();
         // Throughput far below the 60k input: the Redis limit gates it.
         assert!(
@@ -280,7 +280,7 @@ mod tests {
         // And more parallelism does NOT help (Fig. 5b's p5/p6 flats).
         let mut bigger = Simulation::new(w.default_config(9)).unwrap();
         bigger.deploy(&[40, 40, 40, 40, 40]).unwrap();
-        bigger.run_for(240.0);
+        bigger.run_for(240.0).unwrap();
         let b = bigger.snapshot().source_consumption_rate;
         assert!(b < snap.source_consumption_rate * 1.15, "{b}");
     }
@@ -290,7 +290,7 @@ mod tests {
         let w = nexmark_q5();
         let mut sim = Simulation::new(w.default_config(3)).unwrap();
         sim.deploy(&[1, 18]).unwrap();
-        sim.run_for(240.0);
+        sim.run_for(240.0).unwrap();
         let snap = sim.snapshot();
         assert!(
             (snap.source_consumption_rate - 30_000.0).abs() < 3_000.0,
@@ -304,7 +304,7 @@ mod tests {
         let w = nexmark_q11();
         let mut sim = Simulation::new(w.default_config(3)).unwrap();
         sim.deploy(&[1, 12]).unwrap();
-        sim.run_for(240.0);
+        sim.run_for(240.0).unwrap();
         let snap = sim.snapshot();
         assert!(
             (snap.source_consumption_rate - 100_000.0).abs() < 10_000.0,
@@ -318,7 +318,7 @@ mod tests {
         let w = nexmark_q5();
         let mut sim = Simulation::new(w.default_config(5)).unwrap();
         sim.deploy(&[2, 20]).unwrap();
-        sim.run_for(240.0);
+        sim.run_for(240.0).unwrap();
         let lat = sim.snapshot().processing_latency_ms;
         assert!(lat < w.target_latency_ms, "latency {lat}");
         // Sliding window delay dominates: at least 250 ms.
@@ -332,7 +332,7 @@ mod tests {
             assert_eq!(w.num_operators(), n);
             let mut sim = Simulation::new(w.config(10_000.0, 1)).unwrap();
             sim.deploy(&vec![1; n]).unwrap();
-            sim.run_for(30.0);
+            sim.run_for(30.0).unwrap();
         }
     }
 

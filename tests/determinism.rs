@@ -4,7 +4,9 @@
 
 use autrascale::{Algorithm1, AuTraScaleConfig, ThroughputOptimizer};
 use autrascale_flinkctl::FlinkCluster;
-use autrascale_streamsim::{JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig};
+use autrascale_streamsim::{
+    EngineKind, JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
+};
 
 fn job() -> JobGraph {
     JobGraph::linear(vec![
@@ -91,6 +93,134 @@ fn different_seeds_diverge_somewhere() {
         a.processing_latency_ms.to_bits(),
         b.processing_latency_ms.to_bits()
     );
+}
+
+/// Runs `script` against both simulator engines on identical configs and
+/// asserts the determinism-hash trajectories (one hash per checkpoint)
+/// and final snapshots are bit-identical. Each scenario below covers
+/// 10 000 steps (1 000 simulated seconds at dt = 0.1).
+fn assert_engine_parity(
+    profile: impl Fn() -> RateProfile,
+    seed: u64,
+    script: impl Fn(&mut Simulation) -> Vec<u64>,
+) {
+    let build = |engine| {
+        Simulation::new(SimulationConfig {
+            job: job(),
+            profile: profile(),
+            seed,
+            restart_downtime: 5.0,
+            engine,
+            ..Default::default()
+        })
+        .unwrap()
+    };
+    let mut event = build(EngineKind::EventDriven);
+    let mut tick = build(EngineKind::Tick);
+    let event_hashes = script(&mut event);
+    let tick_hashes = script(&mut tick);
+    assert_eq!(
+        event_hashes, tick_hashes,
+        "state-hash trajectories diverged between engines"
+    );
+    assert_eq!(event.snapshot(), tick.snapshot());
+    assert_eq!(tick.fast_forwarded_windows(), 0);
+}
+
+/// Checkpoint helper: advance and record the determinism hash.
+fn advance(sim: &mut Simulation, secs: f64, hashes: &mut Vec<u64>) {
+    sim.run_for(secs).unwrap();
+    hashes.push(sim.state_hash());
+}
+
+#[test]
+fn engines_agree_over_10k_steps_with_mid_trace_fault() {
+    assert_engine_parity(
+        || RateProfile::constant(9_000.0),
+        31,
+        |sim| {
+            let mut hashes = Vec::new();
+            sim.deploy(&[1, 2, 1]).unwrap();
+            advance(sim, 400.0, &mut hashes);
+            sim.inject_slowdown(1, 0.35, 123.4).unwrap();
+            advance(sim, 100.0, &mut hashes); // degraded
+            advance(sim, 500.0, &mut hashes); // expiry + recovery
+            hashes
+        },
+    );
+}
+
+#[test]
+fn engines_agree_over_10k_steps_with_rate_switches() {
+    assert_engine_parity(
+        || {
+            RateProfile::piecewise(vec![
+                (0.0, 6_000.0),
+                (200.0, 12_000.0),
+                (450.0, 3_000.0),
+                (700.0, 9_000.0),
+            ])
+        },
+        32,
+        |sim| {
+            let mut hashes = Vec::new();
+            sim.deploy(&[1, 2, 1]).unwrap();
+            for _ in 0..10 {
+                advance(sim, 100.0, &mut hashes);
+            }
+            hashes
+        },
+    );
+}
+
+#[test]
+fn engines_agree_over_10k_steps_with_deploy_downtime() {
+    assert_engine_parity(
+        || RateProfile::constant(8_000.0),
+        33,
+        |sim| {
+            let mut hashes = Vec::new();
+            sim.deploy(&[1, 1, 1]).unwrap();
+            advance(sim, 300.0, &mut hashes);
+            sim.deploy(&[1, 3, 1]).unwrap(); // savepoint + restart
+            advance(sim, 2.5, &mut hashes); // mid-downtime
+            advance(sim, 397.5, &mut hashes); // recovery + drain
+            sim.deploy(&[1, 2, 1]).unwrap(); // scale back down
+            advance(sim, 300.0, &mut hashes);
+            hashes
+        },
+    );
+}
+
+#[test]
+fn event_engine_skips_windows_yet_matches_tick_hash() {
+    // A provisioned constant-rate job goes quiescent: the event engine
+    // must fast-forward most windows and still land on the tick engine's
+    // exact state hash after 10k steps.
+    let build = |engine| {
+        Simulation::new(SimulationConfig {
+            job: job(),
+            profile: RateProfile::constant(7_000.0),
+            seed: 34,
+            engine,
+            ..Default::default()
+        })
+        .unwrap()
+    };
+    let mut event = build(EngineKind::EventDriven);
+    let mut tick = build(EngineKind::Tick);
+    for sim in [&mut event, &mut tick] {
+        sim.deploy(&[1, 2, 1]).unwrap();
+        sim.run_for(1_000.0).unwrap();
+    }
+    assert!(
+        event.fast_forwarded_windows() > 150,
+        "only {} of ~200 windows were fast-forwarded",
+        event.fast_forwarded_windows()
+    );
+    assert_eq!(tick.fast_forwarded_windows(), 0);
+    assert_eq!(event.state_hash(), tick.state_hash());
+    assert_eq!(event.snapshot(), tick.snapshot());
 }
 
 #[test]
