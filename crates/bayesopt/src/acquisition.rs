@@ -124,6 +124,86 @@ mod tests {
     }
 }
 
+/// Probability of feasibility under a constraint surrogate:
+/// `P(c(x) ≤ threshold) = Φ((threshold − μ_c(x)) / σ_c(x))`.
+///
+/// The constraint surrogate models an observed cost (here: processing
+/// latency) and `threshold` is the SLO budget. Where the posterior is
+/// deterministic (σ = 0) the probability collapses to the indicator
+/// `μ_c(x) ≤ threshold`.
+pub fn probability_of_feasibility<S: Surrogate + ?Sized>(
+    constraint: &S,
+    candidate: &[f64],
+    threshold: f64,
+) -> f64 {
+    probability_of_feasibility_with(
+        constraint,
+        candidate,
+        threshold,
+        &mut PredictScratch::default(),
+    )
+}
+
+/// [`probability_of_feasibility`] reusing caller-owned prediction buffers.
+pub fn probability_of_feasibility_with<S: Surrogate + ?Sized>(
+    constraint: &S,
+    candidate: &[f64],
+    threshold: f64,
+    scratch: &mut PredictScratch,
+) -> f64 {
+    let p = constraint.predict_with(candidate, scratch);
+    if p.std <= 0.0 {
+        return if p.mean <= threshold { 1.0 } else { 0.0 };
+    }
+    normal_cdf((threshold - p.mean) / p.std)
+}
+
+/// Constrained expected improvement (Gardner et al. 2014 factorization):
+/// `cEI(x) = EI(x) · P(c(x) ≤ threshold)`.
+///
+/// The objective and constraint surrogates are independent GPs, so the
+/// joint acquisition factorizes into the product of plain EI and the
+/// probability of feasibility. When the constraint surrogate is certain a
+/// candidate is feasible (PoF = 1) the product is *bitwise* plain EI —
+/// `x · 1.0 == x` for every finite IEEE-754 double — so the constrained
+/// acquisition collapses to the unconstrained one on safely-provisioned
+/// regions.
+pub fn constrained_ei<O: Surrogate + ?Sized, C: Surrogate + ?Sized>(
+    objective: &O,
+    constraint: &C,
+    candidate: &[f64],
+    f_best: f64,
+    xi: f64,
+    threshold: f64,
+) -> f64 {
+    let mut scratch = PredictScratch::default();
+    constrained_ei_with(
+        objective,
+        constraint,
+        candidate,
+        f_best,
+        xi,
+        threshold,
+        &mut scratch,
+    )
+}
+
+/// [`constrained_ei`] reusing caller-owned prediction buffers.
+#[allow(clippy::too_many_arguments)]
+pub fn constrained_ei_with<O: Surrogate + ?Sized, C: Surrogate + ?Sized>(
+    objective: &O,
+    constraint: &C,
+    candidate: &[f64],
+    f_best: f64,
+    xi: f64,
+    threshold: f64,
+    scratch: &mut PredictScratch,
+) -> f64 {
+    let ei = expected_improvement_with(objective, candidate, f_best, xi, scratch);
+    let pof = probability_of_feasibility_with(constraint, candidate, threshold, scratch);
+    ei * pof
+}
+
 /// Upper confidence bound: `μ(x) + β·σ(x)`.
 ///
 /// A simpler optimism-in-the-face-of-uncertainty acquisition, provided as
@@ -194,6 +274,50 @@ mod acquisition_variant_tests {
         assert!(u2 >= u1);
         // β = 0 is the pure mean.
         assert!((upper_confidence_bound(&gp, &q, 0.0) - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pof_brackets_and_orders_by_threshold() {
+        let gp = toy_gp();
+        let q = [3.0];
+        let loose = probability_of_feasibility(&gp, &q, 10.0);
+        let tight = probability_of_feasibility(&gp, &q, -10.0);
+        assert!((0.0..=1.0).contains(&loose));
+        assert!((0.0..=1.0).contains(&tight));
+        assert!(loose > 0.999, "far-above-posterior SLO ≈ certain: {loose}");
+        assert!(
+            tight < 1e-3,
+            "far-below-posterior SLO ≈ impossible: {tight}"
+        );
+    }
+
+    #[test]
+    fn pof_deterministic_posterior_is_indicator() {
+        // Single near-noiseless training point: at that point σ ≈ 0 and the
+        // probability collapses to the indicator μ ≤ threshold.
+        let cfg = GpConfig {
+            kernel: Kernel::isotropic(KernelKind::Rbf, 1.0, 1.0),
+            noise_variance: 1e-12,
+            normalize_y: false,
+        };
+        let gp = GaussianProcess::fit(vec![vec![1.0]], vec![0.5], cfg).unwrap();
+        assert_eq!(probability_of_feasibility(&gp, &[1.0], 0.6), 1.0);
+        assert_eq!(probability_of_feasibility(&gp, &[1.0], 0.4), 0.0);
+    }
+
+    #[test]
+    fn constrained_ei_is_plain_ei_times_pof() {
+        let objective = toy_gp();
+        let constraint = toy_gp();
+        let q = [3.0];
+        let best = objective.best_observed();
+        let ei = expected_improvement(&objective, &q, best, 0.01);
+        let pof = probability_of_feasibility(&constraint, &q, 0.8);
+        let cei = constrained_ei(&objective, &constraint, &q, best, 0.01, 0.8);
+        assert_eq!(cei.to_bits(), (ei * pof).to_bits());
+        // A generous threshold sends PoF to 1 and the product is bitwise EI.
+        let relaxed = constrained_ei(&objective, &constraint, &q, best, 0.01, 1e6);
+        assert_eq!(relaxed.to_bits(), ei.to_bits());
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! The latency-constraint surrogate of the SLO-safe acquisition mode.
+//!
+//! AuTraScale's Algorithm 1 scores configurations with unconstrained EI,
+//! so online tuning will happily *evaluate* configurations whose latency
+//! blows the SLO — every such probe is a user-visible violation.
+//! [`ConstraintModel`] is a second, independent GP surrogate over the
+//! *observed constraint metric* (processing latency in ms); the suggest
+//! path multiplies EI by the probability of feasibility
+//! `P(latency ≤ SLO)` it induces and hard-rejects candidates below a
+//! confidence level (see [`crate::ConstraintMode::Slo`] and DESIGN.md).
+//!
+//! The model reuses the exact-GP machinery of the objective surrogate:
+//! the pairwise squared-distance cache ([`PairwiseSqDists`]) is grown
+//! incrementally with one [`SqDistRow`] per observation (O(n·d) per
+//! observe) and handed to [`fit_auto_with_cache`], so each refit skips
+//! the O(n²·d) distance rebuild. Past the sparsification cap the fit
+//! degrades to the same farthest-point subset-of-data policy as the
+//! objective ([`fit_subset`]).
+
+use autrascale_gp::{
+    fit_auto_with_cache, fit_subset, FitOptions, GaussianProcess, GpError, PairwiseSqDists,
+    SqDistRow,
+};
+
+use crate::to_features;
+
+/// Whether (and how) the suggest path constrains candidates by predicted
+/// feasibility.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ConstraintMode {
+    /// No constraint surrogate: the seed's plain acquisition path,
+    /// bit-identical suggestion trajectories. The default.
+    #[default]
+    Unconstrained,
+    /// SLO-safe mode: EI is multiplied by the probability of feasibility
+    /// `P(constraint ≤ threshold)` under the [`ConstraintModel`] GP, and
+    /// candidates whose probability falls below `confidence` are rejected
+    /// outright (score `−∞`). `confidence = 0.0` disables the hard gate
+    /// and keeps only the multiplicative PoF weighting.
+    Slo {
+        /// The SLO budget in the constraint metric's units (latency: ms).
+        threshold: f64,
+        /// Minimum probability of feasibility a candidate must reach to
+        /// be eligible at all; `0.9` is the shipped default
+        /// (`AuTraScaleConfig::constraint_confidence`).
+        confidence: f64,
+    },
+}
+
+/// GP surrogate over an observed constraint metric (latency, lag, …),
+/// indexed by the same parallelism-vector features as the objective.
+#[derive(Debug, Clone)]
+pub struct ConstraintModel {
+    features: Vec<Vec<f64>>,
+    values: Vec<f64>,
+    /// Grown lazily on the first observation — the cache type rejects
+    /// empty training sets.
+    cache: Option<PairwiseSqDists>,
+    fit: FitOptions,
+    /// Past this many observations the fit switches to farthest-point
+    /// subset-of-data (mirrors `BoOptions::max_surrogate_points`).
+    max_points: usize,
+}
+
+impl ConstraintModel {
+    /// Creates an empty constraint model fitting with `fit` options and
+    /// sparsifying past `max_points` observations.
+    pub fn new(fit: FitOptions, max_points: usize) -> Self {
+        Self {
+            features: Vec::new(),
+            values: Vec::new(),
+            cache: None,
+            fit,
+            max_points,
+        }
+    }
+
+    /// Records one observed constraint value for configuration `k`,
+    /// extending the distance cache with a single O(n·d) row.
+    ///
+    /// Non-finite values are ignored (a wedged evaluation window must not
+    /// poison the feasibility model).
+    pub fn observe(&mut self, k: &[u32], value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let feats = to_features(k);
+        let per_dim = self.fit.ard && feats.len() > 1;
+        match &mut self.cache {
+            // First observation fixes the cache's per-dim layout.
+            None => {
+                self.cache = Some(PairwiseSqDists::new(std::slice::from_ref(&feats), per_dim));
+            }
+            Some(cache) => {
+                let row = SqDistRow::new(&self.features, &feats, cache.has_per_dim());
+                cache.push_row(&row);
+            }
+        }
+        self.features.push(feats);
+        self.values.push(value);
+    }
+
+    /// Number of recorded constraint observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no constraint value has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Observed constraint values in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Fits the constraint GP on everything observed so far
+    /// (hyperparameters re-optimized; cached distances reused below the
+    /// sparsification cap).
+    pub fn fit(&self) -> Result<GaussianProcess, GpError> {
+        if self.features.len() > self.max_points {
+            return fit_subset(
+                self.features.clone(),
+                self.values.clone(),
+                self.max_points,
+                &self.fit,
+            );
+        }
+        match &self.cache {
+            Some(cache) => fit_auto_with_cache(
+                self.features.clone(),
+                self.values.clone(),
+                &self.fit,
+                cache.clone(),
+            ),
+            None => autrascale_gp::fit_auto(self.features.clone(), self.values.clone(), &self.fit),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autrascale_gp::fit_auto;
+
+    fn latency(k: &[u32]) -> f64 {
+        // Latency falls with parallelism: 800 / total.
+        let total: u32 = k.iter().sum();
+        800.0 / f64::from(total)
+    }
+
+    fn seeded_model() -> ConstraintModel {
+        let mut m = ConstraintModel::new(FitOptions::default(), 200);
+        for k in [[1u32, 1], [2, 4], [4, 2], [8, 8], [3, 3], [6, 1]] {
+            m.observe(&k, latency(&k));
+        }
+        m
+    }
+
+    #[test]
+    fn incremental_cache_matches_fresh_fit_bitwise() {
+        let m = seeded_model();
+        let gp_cached = m.fit().unwrap();
+        let x: Vec<Vec<f64>> = [[1u32, 1], [2, 4], [4, 2], [8, 8], [3, 3], [6, 1]]
+            .iter()
+            .map(|k| to_features(k))
+            .collect();
+        let y: Vec<f64> = [[1u32, 1], [2, 4], [4, 2], [8, 8], [3, 3], [6, 1]]
+            .iter()
+            .map(|k| latency(k))
+            .collect();
+        let gp_fresh = fit_auto(x, y, &FitOptions::default()).unwrap();
+        assert_eq!(
+            gp_cached.log_marginal_likelihood().to_bits(),
+            gp_fresh.log_marginal_likelihood().to_bits(),
+            "push_row-grown cache must be indistinguishable from scratch"
+        );
+        let q = to_features(&[5, 5]);
+        assert_eq!(
+            gp_cached.predict(&q).mean.to_bits(),
+            gp_fresh.predict(&q).mean.to_bits()
+        );
+    }
+
+    #[test]
+    fn predicts_latency_trend() {
+        let m = seeded_model();
+        let gp = m.fit().unwrap();
+        let cheap = gp.predict(&to_features(&[1, 1])).mean;
+        let rich = gp.predict(&to_features(&[8, 8])).mean;
+        assert!(
+            cheap > rich,
+            "under-provisioned latency {cheap} must exceed provisioned {rich}"
+        );
+    }
+
+    #[test]
+    fn non_finite_values_are_dropped() {
+        let mut m = seeded_model();
+        let n = m.len();
+        m.observe(&[4, 4], f64::NAN);
+        m.observe(&[4, 4], f64::INFINITY);
+        assert_eq!(m.len(), n);
+    }
+
+    #[test]
+    fn sparsifies_past_cap() {
+        let mut m = ConstraintModel::new(FitOptions::default(), 8);
+        for k in 1..=20u32 {
+            m.observe(&[k], 800.0 / f64::from(k));
+        }
+        let gp = m.fit().unwrap();
+        assert_eq!(gp.len(), 8, "subset-of-data past the cap");
+    }
+
+    #[test]
+    fn empty_model_reports_empty() {
+        let m = ConstraintModel::new(FitOptions::default(), 200);
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+    }
+}

@@ -30,15 +30,18 @@
 
 mod acquisition;
 pub mod bootstrap;
+mod constraint;
 mod optimizer;
 mod space;
 
 pub use acquisition::{
-    expected_improvement, expected_improvement_with, thompson_sample, upper_confidence_bound,
-    upper_confidence_bound_with,
+    constrained_ei, constrained_ei_with, expected_improvement, expected_improvement_with,
+    probability_of_feasibility, probability_of_feasibility_with, thompson_sample,
+    upper_confidence_bound, upper_confidence_bound_with,
 };
 pub use autrascale_gp::{FitcSurrogate, SparseStrategy, Surrogate};
 pub use bootstrap::{bootstrap_set, BootstrapDesign};
+pub use constraint::{ConstraintMode, ConstraintModel};
 pub use optimizer::{Acquisition, BayesOpt, BoError, BoOptions};
 pub use space::SearchSpace;
 

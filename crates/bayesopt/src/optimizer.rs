@@ -9,7 +9,11 @@
 //! best candidates otherwise, so suggestion cost stays bounded for
 //! high-arity DAGs.
 
-use crate::acquisition::{expected_improvement_with, thompson_sample, upper_confidence_bound_with};
+use crate::acquisition::{
+    expected_improvement_with, probability_of_feasibility, probability_of_feasibility_with,
+    thompson_sample, upper_confidence_bound_with,
+};
+use crate::constraint::{ConstraintMode, ConstraintModel};
 use crate::space::SearchSpace;
 use crate::{to_features, write_features};
 use autrascale_gp::{
@@ -90,6 +94,14 @@ pub struct BoOptions {
     /// updates. The parity suite compares this against the default
     /// incremental path; production code leaves it `false`.
     pub force_full_refit: bool,
+    /// SLO-safe acquisition mode (see [`ConstraintMode`]): with
+    /// [`ConstraintMode::Slo`], a second GP over constraint observations
+    /// recorded via [`BayesOpt::observe_constrained`] multiplies EI by
+    /// the probability of feasibility and hard-rejects candidates below
+    /// the confidence level. The [`ConstraintMode::Unconstrained`]
+    /// default leaves every seed code path untouched — suggestion
+    /// trajectories are bit-identical.
+    pub constraint: ConstraintMode,
     /// Seed for candidate sampling.
     pub seed: u64,
 }
@@ -108,6 +120,7 @@ impl Default for BoOptions {
             refit_every: 1,
             warm_lml_tolerance: 0.25,
             force_full_refit: false,
+            constraint: ConstraintMode::Unconstrained,
             seed: 0xB0,
         }
     }
@@ -163,6 +176,10 @@ pub struct BayesOpt {
     options: BoOptions,
     observations: Vec<(Vec<u32>, f64)>,
     surrogate: Option<SurrogateState>,
+    /// Latency/lag surrogate of the SLO-safe mode; `None` whenever
+    /// [`BoOptions::constraint`] is [`ConstraintMode::Unconstrained`], so
+    /// the default path carries no constraint state at all.
+    constraint: Option<ConstraintModel>,
     rng: StdRng,
 }
 
@@ -170,11 +187,19 @@ impl BayesOpt {
     /// Creates an optimizer with no observations.
     pub fn new(space: SearchSpace, options: BoOptions) -> Self {
         let rng = StdRng::seed_from_u64(options.seed);
+        let constraint = match options.constraint {
+            ConstraintMode::Unconstrained => None,
+            ConstraintMode::Slo { .. } => Some(ConstraintModel::new(
+                options.fit.clone(),
+                options.max_surrogate_points,
+            )),
+        };
         Self {
             space,
             options,
             observations: Vec::new(),
             surrogate: None,
+            constraint,
             rng,
         }
     }
@@ -200,6 +225,53 @@ impl BayesOpt {
         } else {
             self.surrogate = None;
         }
+    }
+
+    /// [`observe`](Self::observe) plus a constraint-metric sample for the
+    /// SLO-safe mode: the observed value (processing latency in ms for
+    /// Algorithm 1) additionally trains the [`ConstraintModel`] that
+    /// gates future suggestions.
+    ///
+    /// Under [`ConstraintMode::Unconstrained`] the constraint value is
+    /// discarded and this is *exactly* [`observe`](Self::observe) — same
+    /// state, same RNG stream, bit-identical later suggestions — so
+    /// callers can thread their constraint metric unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` has the wrong arity for the space.
+    pub fn observe_constrained(&mut self, k: Vec<u32>, score: f64, constraint_value: f64) {
+        if let Some(model) = &mut self.constraint {
+            model.observe(&k, constraint_value);
+        }
+        self.observe(k, score);
+    }
+
+    /// The constraint surrogate's recorded metric values (empty in
+    /// unconstrained mode) — diagnostics and tests.
+    pub fn constraint_values(&self) -> &[f64] {
+        self.constraint.as_ref().map_or(&[], |m| m.values())
+    }
+
+    /// Fits the constraint GP the next suggestion will gate with, plus the
+    /// mode's threshold and confidence. `None` when unconstrained, when
+    /// fewer than two constraint samples exist (cold start: nothing to
+    /// gate with yet), or when the constraint fit fails (the suggestion
+    /// then degrades to the unconstrained score rather than erroring out
+    /// of the control loop).
+    fn constraint_context(&self) -> Option<(GaussianProcess, f64, f64)> {
+        let ConstraintMode::Slo {
+            threshold,
+            confidence,
+        } = self.options.constraint
+        else {
+            return None;
+        };
+        let model = self.constraint.as_ref()?;
+        if model.len() < 2 {
+            return None;
+        }
+        model.fit().ok().map(|gp| (gp, threshold, confidence))
     }
 
     /// `true` while the incremental path owns the surrogate: a refit
@@ -410,9 +482,13 @@ impl BayesOpt {
     ) -> Vec<u32> {
         let xi = self.options.xi;
         let acquisition = self.options.acquisition;
+        // SLO-safe mode only: fit the latency surrogate once per suggest.
+        // `None` in unconstrained mode, leaving the closure below on the
+        // seed's exact arithmetic.
+        let constraint_ctx = self.constraint_context();
         let score = |scratch: &mut PredictScratch, feats: &mut Vec<f64>, k: &[u32]| -> f64 {
             write_features(k, feats);
-            match acquisition {
+            let base = match acquisition {
                 Acquisition::ExpectedImprovement => {
                     expected_improvement_with(gp, feats, f_best, xi, scratch)
                 }
@@ -422,6 +498,22 @@ impl BayesOpt {
                     upper_confidence_bound_with(gp, feats, beta, scratch) - f_best
                 }
                 Acquisition::Thompson => unreachable!("Thompson uses the serial path"),
+            };
+            let Some((cgp, threshold, confidence)) = &constraint_ctx else {
+                return base;
+            };
+            let pof = probability_of_feasibility_with(cgp, feats, *threshold, scratch);
+            if pof < *confidence {
+                // Hard gate: predicted-infeasible candidates are never
+                // proposed, no matter how promising their EI.
+                return f64::NEG_INFINITY;
+            }
+            match acquisition {
+                // Gardner-style constrained EI: EI · PoF. At PoF = 1 the
+                // product is bitwise plain EI.
+                Acquisition::ExpectedImprovement => base * pof,
+                // UCB keeps its own scale; the gate alone constrains it.
+                _ => base,
             }
         };
 
@@ -479,10 +571,16 @@ impl BayesOpt {
             }
         }
 
-        // If EI is flat zero everywhere (degenerate surrogate), prefer an
-        // unobserved configuration so the loop still explores.
+        // If EI is flat zero everywhere (degenerate surrogate) — or, in
+        // SLO-safe mode, every candidate was gated to −∞ — prefer an
+        // unobserved configuration so the loop still explores; constrained
+        // exploration picks the unseen candidate most likely feasible.
         if best_ei <= 0.0 {
-            if let Some(unseen) = self.first_unseen() {
+            let fallback = match &constraint_ctx {
+                Some((cgp, threshold, _)) => self.first_unseen_feasible(cgp, *threshold),
+                None => self.first_unseen(),
+            };
+            if let Some(unseen) = fallback {
                 return unseen;
             }
         }
@@ -490,11 +588,23 @@ impl BayesOpt {
     }
 
     /// Thompson-sampling path: serial by construction — each candidate
-    /// consumes draws from the loop's seeded RNG in a fixed order.
+    /// consumes draws from the loop's seeded RNG in a fixed order. In
+    /// SLO-safe mode predicted-infeasible candidates are gated to −∞
+    /// *before* sampling, so gated candidates consume no RNG draws.
     fn suggest_thompson<S: Surrogate>(&mut self, gp: &S, f_best: f64) -> Vec<u32> {
+        let constraint_ctx = self.constraint_context();
         let mut candidates = self.candidates();
         let rng = &mut self.rng;
-        let mut score = move |k: &[u32]| thompson_sample(gp, &to_features(k), rng) - f_best;
+        let ctx = &constraint_ctx;
+        let mut score = move |k: &[u32]| {
+            let feats = to_features(k);
+            if let Some((cgp, threshold, confidence)) = ctx {
+                if probability_of_feasibility(cgp, &feats, *threshold) < *confidence {
+                    return f64::NEG_INFINITY;
+                }
+            }
+            thompson_sample(gp, &feats, rng) - f_best
+        };
 
         let mut best_k = candidates
             .pop()
@@ -525,7 +635,11 @@ impl BayesOpt {
         }
 
         if best_ei <= 0.0 {
-            if let Some(unseen) = self.first_unseen() {
+            let fallback = match &constraint_ctx {
+                Some((cgp, threshold, _)) => self.first_unseen_feasible(cgp, *threshold),
+                None => self.first_unseen(),
+            };
+            if let Some(unseen) = fallback {
                 return unseen;
             }
         }
@@ -560,6 +674,38 @@ impl BayesOpt {
         candidates
             .into_iter()
             .find(|k| !seen.contains(k.as_slice()))
+    }
+
+    /// SLO-safe counterpart of [`first_unseen`](Self::first_unseen): among
+    /// unobserved candidates, the one the constraint surrogate deems most
+    /// likely feasible (ties broken toward the cheaper configuration).
+    /// Used when the hard gate rejected every candidate — the safest
+    /// exploratory probe instead of an arbitrary one.
+    fn first_unseen_feasible(&mut self, cgp: &GaussianProcess, threshold: f64) -> Option<Vec<u32>> {
+        let candidates = self.candidates();
+        let seen: HashSet<&[u32]> = self
+            .observations
+            .iter()
+            .map(|(k, _)| k.as_slice())
+            .collect();
+        let mut scratch = PredictScratch::default();
+        let mut feats = Vec::new();
+        let mut best: Option<(Vec<u32>, f64)> = None;
+        for k in candidates {
+            if seen.contains(k.as_slice()) {
+                continue;
+            }
+            write_features(&k, &mut feats);
+            let pof = probability_of_feasibility_with(cgp, &feats, threshold, &mut scratch);
+            let better = match &best {
+                None => true,
+                Some((bk, bp)) => pof > *bp || (pof == *bp && tie_break(&k, bk)),
+            };
+            if better {
+                best = Some((k, pof));
+            }
+        }
+        best.map(|(k, _)| k)
     }
 }
 
@@ -941,6 +1087,176 @@ mod incremental_tests {
         assert_eq!(gp.len(), 10, "sparsified past the cap");
         let k = bo.suggest().unwrap();
         assert!(bo.space().contains(&k));
+    }
+}
+
+#[cfg(test)]
+mod constrained_mode_tests {
+    use super::*;
+
+    /// Hidden objective that *rewards under-provisioning*: the cheaper the
+    /// configuration the higher the score, mirroring the resource term of
+    /// the benefit function (k'/k > 1 below the base configuration).
+    fn cheap_is_best(k: &[u32]) -> f64 {
+        let total: u32 = k.iter().sum();
+        2.0 / f64::from(total).sqrt()
+    }
+
+    /// Hidden latency: 900 ms / total parallelism — configurations with
+    /// total < 3 violate a 300 ms SLO.
+    fn latency(k: &[u32]) -> f64 {
+        let total: u32 = k.iter().sum();
+        900.0 / f64::from(total)
+    }
+
+    const SLO_MS: f64 = 300.0;
+
+    fn slo_options() -> BoOptions {
+        BoOptions {
+            constraint: ConstraintMode::Slo {
+                threshold: SLO_MS,
+                confidence: 0.9,
+            },
+            ..Default::default()
+        }
+    }
+
+    fn seed_both(bo: &mut BayesOpt) {
+        for k in [[1u32, 1], [8, 8], [1, 8], [8, 1], [4, 4], [2, 1]] {
+            bo.observe_constrained(k.to_vec(), cheap_is_best(&k), latency(&k));
+        }
+    }
+
+    #[test]
+    fn unconstrained_observe_constrained_is_bitwise_observe() {
+        // The default mode must discard the constraint value entirely:
+        // identical suggestion trajectories whether the caller threads
+        // latency through or not — the seed-parity contract.
+        let space = SearchSpace::new(vec![1, 1], vec![8, 8]).unwrap();
+        let mut plain = BayesOpt::new(space.clone(), BoOptions::default());
+        let mut threaded = BayesOpt::new(space, BoOptions::default());
+        for k in [[1u32, 1], [8, 8], [1, 8], [8, 1], [4, 4]] {
+            plain.observe(k.to_vec(), cheap_is_best(&k));
+            threaded.observe_constrained(k.to_vec(), cheap_is_best(&k), latency(&k));
+        }
+        assert!(threaded.constraint_values().is_empty());
+        for step in 0..6 {
+            let a = plain.suggest().unwrap();
+            let b = threaded.suggest().unwrap();
+            assert_eq!(a, b, "step {step}");
+            plain.observe(a.clone(), cheap_is_best(&a));
+            threaded.observe_constrained(b.clone(), cheap_is_best(&b), latency(&b));
+        }
+    }
+
+    #[test]
+    fn constrained_mode_proposes_only_predicted_feasible() {
+        // With the score actively rewarding under-provisioning, the
+        // unconstrained optimizer chases SLO-violating configurations; the
+        // constrained one must not propose any once its latency surrogate
+        // is warm (six spanning samples here).
+        let space = SearchSpace::new(vec![1, 1], vec![8, 8]).unwrap();
+        let mut bo = BayesOpt::new(space, slo_options());
+        seed_both(&mut bo);
+        for _ in 0..8 {
+            let k = bo.suggest().unwrap();
+            assert!(
+                latency(&k) <= SLO_MS,
+                "constrained mode proposed SLO-violating {k:?} ({} ms)",
+                latency(&k)
+            );
+            bo.observe_constrained(k.clone(), cheap_is_best(&k), latency(&k));
+        }
+    }
+
+    #[test]
+    fn unconstrained_chases_the_infeasible_optimum() {
+        // Companion to the test above: the seed path *does* walk into the
+        // violating region on this landscape, so the constrained win is
+        // meaningful rather than vacuous.
+        let space = SearchSpace::new(vec![1, 1], vec![8, 8]).unwrap();
+        let mut bo = BayesOpt::new(space, BoOptions::default());
+        seed_both(&mut bo);
+        let mut violations = 0;
+        for _ in 0..8 {
+            let k = bo.suggest().unwrap();
+            if latency(&k) > SLO_MS {
+                violations += 1;
+            }
+            bo.observe_constrained(k.clone(), cheap_is_best(&k), latency(&k));
+        }
+        assert!(violations > 0, "landscape no longer lures the seed path");
+    }
+
+    #[test]
+    fn certain_feasibility_collapses_to_unconstrained_bitwise() {
+        // Threshold so far above every observable latency that the PoF
+        // factor saturates to exactly 1.0: suggestions must be bitwise the
+        // unconstrained ones (cEI = EI · 1.0).
+        let space = SearchSpace::new(vec![1, 1], vec![8, 8]).unwrap();
+        let relaxed = BoOptions {
+            constraint: ConstraintMode::Slo {
+                threshold: 1e9,
+                confidence: 0.9,
+            },
+            ..Default::default()
+        };
+        let mut constrained = BayesOpt::new(space.clone(), relaxed);
+        let mut plain = BayesOpt::new(space, BoOptions::default());
+        seed_both(&mut constrained);
+        for k in [[1u32, 1], [8, 8], [1, 8], [8, 1], [4, 4], [2, 1]] {
+            plain.observe(k.to_vec(), cheap_is_best(&k));
+        }
+        for step in 0..6 {
+            let a = constrained.suggest().unwrap();
+            let b = plain.suggest().unwrap();
+            assert_eq!(a, b, "step {step}");
+            constrained.observe_constrained(a.clone(), cheap_is_best(&a), latency(&a));
+            plain.observe(b.clone(), cheap_is_best(&b));
+        }
+    }
+
+    #[test]
+    fn all_infeasible_falls_back_to_most_feasible_unseen() {
+        // An impossible SLO gates every candidate to −∞; the optimizer
+        // must still return an unobserved in-space configuration (the
+        // max-PoF probe) instead of wedging.
+        let space = SearchSpace::new(vec![1, 1], vec![8, 8]).unwrap();
+        let mut bo = BayesOpt::new(
+            space,
+            BoOptions {
+                constraint: ConstraintMode::Slo {
+                    threshold: 1.0, // unattainable: latency ≥ 56.25 ms
+                    confidence: 0.9,
+                },
+                ..Default::default()
+            },
+        );
+        seed_both(&mut bo);
+        let k = bo.suggest().unwrap();
+        assert!(bo.space().contains(&k));
+        assert!(
+            !bo.observations().iter().any(|(o, _)| *o == k),
+            "fallback must explore an unseen configuration, got {k:?}"
+        );
+        // The max-PoF probe is the most-provisioned unseen candidate on
+        // this monotone landscape (lowest predicted latency).
+        assert!(
+            k.iter().map(|&v| u64::from(v)).sum::<u64>() >= 8,
+            "expected a well-provisioned probe, got {k:?}"
+        );
+    }
+
+    #[test]
+    fn constraint_values_recorded_in_slo_mode() {
+        let space = SearchSpace::new(vec![1, 1], vec![8, 8]).unwrap();
+        let mut bo = BayesOpt::new(space, slo_options());
+        seed_both(&mut bo);
+        assert_eq!(bo.constraint_values().len(), 6);
+        // Non-finite latencies are dropped, scores still recorded.
+        bo.observe_constrained(vec![3, 3], 0.5, f64::NAN);
+        assert_eq!(bo.constraint_values().len(), 6);
+        assert_eq!(bo.observations().len(), 7);
     }
 }
 

@@ -1,0 +1,108 @@
+//! Property-based tests for the SLO-constrained acquisition
+//! (probability of feasibility and the cEI = EI · PoF factorization).
+
+use autrascale_bayesopt::{
+    constrained_ei, expected_improvement, probability_of_feasibility, to_features,
+};
+use autrascale_gp::{GaussianProcess, GpConfig, Kernel, KernelKind};
+use proptest::prelude::*;
+
+/// A small latency-style training set: 2-d features, positive targets.
+fn training_set() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    (3usize..9).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(proptest::collection::vec(1.0f64..16.0, 2), n),
+            proptest::collection::vec(10.0f64..1000.0, n),
+        )
+    })
+}
+
+fn fit(x: Vec<Vec<f64>>, y: Vec<f64>) -> GaussianProcess {
+    let cfg = GpConfig {
+        kernel: Kernel::isotropic(KernelKind::Matern52, 4.0, 1.0),
+        noise_variance: 1e-4,
+        normalize_y: true,
+    };
+    GaussianProcess::fit(x, y, cfg).expect("PSD Gram")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// PoF is a probability: in [0, 1] for every surrogate, query point
+    /// and threshold.
+    #[test]
+    fn pof_is_a_probability(
+        (x, y) in training_set(),
+        q in proptest::collection::vec(0.5f64..20.0, 2),
+        threshold in -500.0f64..2000.0,
+    ) {
+        let gp = fit(x, y);
+        let pof = probability_of_feasibility(&gp, &q, threshold);
+        prop_assert!((0.0..=1.0).contains(&pof), "pof = {pof}");
+        prop_assert!(pof.is_finite());
+    }
+
+    /// Relaxing the SLO can only make candidates look more feasible:
+    /// PoF is monotone non-decreasing in the threshold.
+    #[test]
+    fn pof_monotone_in_threshold(
+        (x, y) in training_set(),
+        q in proptest::collection::vec(0.5f64..20.0, 2),
+        t_low in 0.0f64..800.0,
+        bump in 0.0f64..800.0,
+    ) {
+        let gp = fit(x, y);
+        let tight = probability_of_feasibility(&gp, &q, t_low);
+        let loose = probability_of_feasibility(&gp, &q, t_low + bump);
+        prop_assert!(
+            loose >= tight,
+            "PoF({}) = {loose} < PoF({t_low}) = {tight}",
+            t_low + bump
+        );
+    }
+
+    /// When the constraint surrogate is certain every candidate is
+    /// feasible (threshold far above the posterior, PoF saturates to
+    /// exactly 1.0), constrained EI is *bitwise* plain EI.
+    #[test]
+    fn certain_feasibility_collapses_to_plain_ei(
+        (x, y) in training_set(),
+        (ox, oy) in training_set(),
+        q in proptest::collection::vec(0.5f64..20.0, 2),
+        xi in 0.0f64..0.1,
+    ) {
+        let constraint = fit(x, y);
+        let objective = fit(ox, oy);
+        let f_best = objective.best_observed();
+        // Latencies are < 1000 and posterior stds are bounded by the data
+        // scale, so 1e9 is dozens of σ above any posterior mean: Φ
+        // saturates to exactly 1.0 in f64.
+        let threshold = 1e9;
+        prop_assert_eq!(
+            probability_of_feasibility(&constraint, &q, threshold).to_bits(),
+            1.0f64.to_bits()
+        );
+        let cei = constrained_ei(&objective, &constraint, &q, f_best, xi, threshold);
+        let ei = expected_improvement(&objective, &q, f_best, xi);
+        prop_assert_eq!(cei.to_bits(), ei.to_bits());
+    }
+
+    /// cEI never exceeds plain EI (PoF ≤ 1) and is never negative.
+    #[test]
+    fn cei_bounded_by_plain_ei(
+        (x, y) in training_set(),
+        (ox, oy) in training_set(),
+        k in proptest::collection::vec(1u32..16, 2),
+        threshold in 0.0f64..1500.0,
+    ) {
+        let constraint = fit(x, y);
+        let objective = fit(ox, oy);
+        let f_best = objective.best_observed();
+        let q = to_features(&k);
+        let cei = constrained_ei(&objective, &constraint, &q, f_best, 0.01, threshold);
+        let ei = expected_improvement(&objective, &q, f_best, 0.01);
+        prop_assert!(cei >= 0.0, "cei = {cei}");
+        prop_assert!(cei <= ei, "cei {cei} > ei {ei}");
+    }
+}

@@ -4,6 +4,7 @@
 //! | bench group | what it measures |
 //! |---|---|
 //! | `bo_suggest` | full suggest: fit_auto + candidate scoring (50 obs × 2048 sampled candidates) |
+//! | `constrained_suggest` | SLO-gated suggest (second GP fit + per-candidate PoF factor) vs the unconstrained path on the same 50-observation history |
 //! | `observe_then_suggest` | one steady-state observe→suggest cycle at n = 128: incremental rank-1 path vs full refit |
 //! | `sparse_suggest` | suggest past the sparsification cap (n = 300, m = 64): FITC vs subset-of-data vs exact |
 //! | `gp_fit_auto` | multi-start marginal-likelihood fit alone |
@@ -16,7 +17,7 @@
 //! `cargo run --release -p autrascale-bench --bin sim_events`) at the
 //! repo root whenever the respective hot path changes.
 
-use autrascale_bayesopt::{BayesOpt, BoOptions, SearchSpace, SparseStrategy};
+use autrascale_bayesopt::{BayesOpt, BoOptions, ConstraintMode, SearchSpace, SparseStrategy};
 use autrascale_bench::sim_events::{diurnal_sim, FOUR_CHAIN_OPS};
 use autrascale_gp::{fit_auto, FitMethod, FitOptions, Kernel, KernelKind, PairwiseSqDists};
 use autrascale_linalg::Matrix;
@@ -79,6 +80,52 @@ fn bench_bo_suggest(c: &mut Criterion) {
         }
         b.iter(|| black_box(bo.suggest_with(&gp)))
     });
+}
+
+/// The SLO gate's per-suggest overhead: `slo_gated` pays a second GP fit
+/// over the constraint metric plus one Φ((SLO − μ_c)/σ_c) factor per
+/// candidate; `unconstrained` is the same history through the plain path
+/// (the constraint samples are recorded but carry no model). Both sides
+/// rebuild the optimizer per iteration so the measured cost is the full
+/// observe-history → suggest cycle Algorithm 1 pays each BO step.
+fn bench_constrained_suggest(c: &mut Criterion) {
+    let dim = 4;
+    let hist = history(50, dim);
+    let space = SearchSpace::new(vec![1; dim], vec![32; dim]).unwrap();
+    let mut group = c.benchmark_group("constrained_suggest");
+    let cases = [
+        ("unconstrained_50obs", ConstraintMode::Unconstrained),
+        (
+            "slo_gated_50obs",
+            ConstraintMode::Slo {
+                threshold: 150.0,
+                confidence: 0.9,
+            },
+        ),
+    ];
+    for (name, constraint) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut bo = BayesOpt::new(
+                    space.clone(),
+                    BoOptions {
+                        constraint,
+                        ..Default::default()
+                    },
+                );
+                for (k, s) in &hist {
+                    // Synthetic latency falling with total parallelism —
+                    // the queueing shape the controller actually observes,
+                    // straddling the 150 ms threshold over [1,32]^4.
+                    let total: f64 = k.iter().map(|&v| f64::from(v)).sum();
+                    let latency = 4000.0 / total + 60.0;
+                    bo.observe_constrained(k.clone(), *s, latency);
+                }
+                black_box(bo.suggest().unwrap())
+            })
+        });
+    }
+    group.finish();
 }
 
 /// One steady-state observe→suggest cycle at n = 128: the incremental
@@ -281,6 +328,7 @@ fn bench_sim_run_for(c: &mut Criterion) {
 criterion_group!(
     hotpath,
     bench_bo_suggest,
+    bench_constrained_suggest,
     bench_observe_then_suggest,
     bench_sparse_suggest,
     bench_gp_fit_auto,

@@ -16,7 +16,7 @@
 
 use crate::config::AuTraScaleConfig;
 use crate::scoring::benefit_score;
-use autrascale_bayesopt::{bootstrap_set, BayesOpt, BoOptions, SearchSpace};
+use autrascale_bayesopt::{bootstrap_set, BayesOpt, BoOptions, ConstraintMode, SearchSpace};
 use autrascale_flinkctl::JobControl;
 use autrascale_gp::FitOptions;
 
@@ -64,11 +64,24 @@ pub struct ElasticityOutcome {
     pub bootstrap_samples: usize,
     /// `true` when latency, throughput and score requirements were all met.
     pub meets_qos: bool,
+    /// Cluster-evaluated samples (bootstrap + BO steps; predictions
+    /// excluded) whose measured latency exceeded the SLO — each one is a
+    /// real interval the job spent violating its target.
+    pub slo_violations: usize,
     /// Every sample in evaluation order.
     pub history: Vec<IterationRecord>,
     /// The `(k, score)` training set accumulated — becomes the benefit
     /// model stored in the model library.
     pub dataset: Vec<(Vec<u32>, f64)>,
+}
+
+/// Counts cluster-evaluated samples whose measured latency exceeded the
+/// SLO. Predicted samples never ran, so they cannot have violated it.
+pub fn count_slo_violations(history: &[IterationRecord], target_latency_ms: f64) -> usize {
+    history
+        .iter()
+        .filter(|r| r.phase != SamplePhase::Predicted && r.latency_ms > target_latency_ms)
+        .count()
 }
 
 /// Algorithm 1 runner, bound to a base configuration and search space.
@@ -111,7 +124,19 @@ impl Algorithm1 {
     }
 
     /// Builds the BO loop state, seeded with an existing dataset.
+    ///
+    /// Dataset entries carry scores only (no latencies), so they seed the
+    /// objective surrogate but not the constraint model; the constraint
+    /// GP learns from the latencies this run measures itself.
     pub fn bayes_opt(&self, dataset: &[(Vec<u32>, f64)]) -> BayesOpt {
+        let constraint = if self.config.constrained_acquisition {
+            ConstraintMode::Slo {
+                threshold: self.config.target_latency_ms,
+                confidence: self.config.constraint_confidence,
+            }
+        } else {
+            ConstraintMode::Unconstrained
+        };
         let mut bo = BayesOpt::new(
             self.space.clone(),
             BoOptions {
@@ -122,6 +147,7 @@ impl Algorithm1 {
                     ..Default::default()
                 },
                 seed: self.config.seed,
+                constraint,
                 ..Default::default()
             },
         );
@@ -239,7 +265,7 @@ impl Algorithm1 {
             bootstrap_samples = records.len();
             let mut bo = self.bayes_opt(&[]);
             for r in &records {
-                bo.observe(r.parallelism.clone(), r.score);
+                bo.observe_constrained(r.parallelism.clone(), r.score, r.latency_ms);
             }
             history.extend(records);
             bo
@@ -255,7 +281,7 @@ impl Algorithm1 {
         for _ in 0..self.config.max_bo_iters {
             let suggestion = bo.suggest().map_err(|e| e.to_string())?;
             let record = self.evaluate(cluster, &suggestion, SamplePhase::BoStep)?;
-            bo.observe(record.parallelism.clone(), record.score);
+            bo.observe_constrained(record.parallelism.clone(), record.score, record.latency_ms);
             iterations += 1;
 
             let done = cluster
@@ -284,15 +310,31 @@ impl Algorithm1 {
 
         // If the budget ran out without termination, fall back to the
         // best-scoring real sample seen (the paper's k_best), re-deploying
-        // it so the cluster matches the report.
+        // it so the cluster matches the report. In constrained mode,
+        // SLO-meeting samples are preferred — parking the job on a cheap
+        // config that violates the SLO would defeat the gate.
         let chosen = if meets_qos {
             last
         } else {
-            let best = history
-                .iter()
-                .filter(|r| r.phase != SamplePhase::Predicted)
-                .max_by(|a, b| a.score.total_cmp(&b.score))
-                .cloned()
+            let real = |r: &&IterationRecord| r.phase != SamplePhase::Predicted;
+            let feasible_best = if self.config.constrained_acquisition {
+                history
+                    .iter()
+                    .filter(real)
+                    .filter(|r| r.latency_ms <= self.config.target_latency_ms)
+                    .max_by(|a, b| a.score.total_cmp(&b.score))
+                    .cloned()
+            } else {
+                None
+            };
+            let best = feasible_best
+                .or_else(|| {
+                    history
+                        .iter()
+                        .filter(real)
+                        .max_by(|a, b| a.score.total_cmp(&b.score))
+                        .cloned()
+                })
                 .unwrap_or(last);
             if cluster.current_parallelism() != best.parallelism {
                 cluster.deploy(&best.parallelism)?;
@@ -300,6 +342,8 @@ impl Algorithm1 {
             }
             best
         };
+
+        let slo_violations = count_slo_violations(&history, self.config.target_latency_ms);
 
         Ok(ElasticityOutcome {
             final_parallelism: chosen.parallelism.clone(),
@@ -309,6 +353,7 @@ impl Algorithm1 {
             iterations,
             bootstrap_samples,
             meets_qos,
+            slo_violations,
             history,
             dataset,
         })
@@ -487,5 +532,49 @@ mod tests {
     #[should_panic(expected = "positive parallelism")]
     fn zero_base_panics() {
         let _ = Algorithm1::new(&fast_config(), vec![0, 1], 10);
+    }
+
+    #[test]
+    fn violation_count_matches_history() {
+        let mut fc = test_cluster(10_000.0, 5);
+        fc.submit(&[1, 2]).unwrap();
+        let cfg = fast_config();
+        let alg = Algorithm1::new(&cfg, vec![1, 2], 12);
+        let outcome = alg.run(&mut fc, Vec::new()).unwrap();
+        let expected = outcome
+            .history
+            .iter()
+            .filter(|r| r.phase != SamplePhase::Predicted && r.latency_ms > cfg.target_latency_ms)
+            .count();
+        assert_eq!(outcome.slo_violations, expected);
+    }
+
+    #[test]
+    fn constrained_run_terminates_and_meets_qos() {
+        let mut fc = test_cluster(10_000.0, 6);
+        fc.submit(&[1, 2]).unwrap();
+        let cfg = fast_config().with_constrained_acquisition(0.9);
+        let alg = Algorithm1::new(&cfg, vec![1, 2], 12);
+        let outcome = alg.run(&mut fc, Vec::new()).unwrap();
+        assert!(outcome.meets_qos, "{outcome:?}");
+        assert!(outcome.final_latency_ms <= cfg.target_latency_ms);
+    }
+
+    #[test]
+    fn unconstrained_config_runs_are_bit_identical_to_seed_behaviour() {
+        // The default config must leave the BO trajectory untouched: two
+        // identical runs (constrained knob off) agree bitwise with each
+        // other and with a run built through the pre-knob path.
+        let run = |seed| {
+            let mut fc = test_cluster(10_000.0, seed);
+            fc.submit(&[1, 2]).unwrap();
+            let alg = Algorithm1::new(&fast_config(), vec![1, 2], 12);
+            alg.run(&mut fc, Vec::new()).unwrap()
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.final_parallelism, b.final_parallelism);
+        assert_eq!(a.slo_violations, b.slo_violations);
     }
 }

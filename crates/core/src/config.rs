@@ -42,6 +42,14 @@ pub struct AuTraScaleConfig {
     /// Seed for every stochastic component (BO candidate sampling, GP
     /// restarts).
     pub seed: u64,
+    /// Gate Bayesian-optimisation suggestions on a second GP over
+    /// observed latency: candidates are weighted by (and hard-gated on)
+    /// their probability of meeting `target_latency_ms`. Off by default —
+    /// the unconstrained path is bit-identical to plain EI/UCB.
+    pub constrained_acquisition: bool,
+    /// Minimum posterior probability that a candidate meets the SLO
+    /// before the constrained acquisition will propose it.
+    pub constraint_confidence: f64,
 }
 
 impl Default for AuTraScaleConfig {
@@ -61,6 +69,8 @@ impl Default for AuTraScaleConfig {
             rate_change_threshold: 0.15,
             use_rate_aware_warm_start: false,
             seed: 0xA07A,
+            constrained_acquisition: false,
+            constraint_confidence: 0.9,
         }
     }
 }
@@ -75,6 +85,17 @@ impl AuTraScaleConfig {
     /// Config preset for a workload's published targets.
     pub fn with_target_latency(mut self, target_latency_ms: f64) -> Self {
         self.target_latency_ms = target_latency_ms;
+        self
+    }
+
+    /// Enables SLO-constrained acquisition at the given confidence.
+    pub fn with_constrained_acquisition(mut self, confidence: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&confidence),
+            "confidence must be a probability"
+        );
+        self.constrained_acquisition = true;
+        self.constraint_confidence = confidence;
         self
     }
 }
@@ -94,5 +115,25 @@ mod tests {
     fn builder_sets_latency() {
         let c = AuTraScaleConfig::default().with_target_latency(300.0);
         assert_eq!(c.target_latency_ms, 300.0);
+    }
+
+    #[test]
+    fn constrained_acquisition_defaults_off() {
+        let c = AuTraScaleConfig::default();
+        assert!(!c.constrained_acquisition);
+        assert_eq!(c.constraint_confidence, 0.9);
+    }
+
+    #[test]
+    fn builder_enables_constrained_acquisition() {
+        let c = AuTraScaleConfig::default().with_constrained_acquisition(0.75);
+        assert!(c.constrained_acquisition);
+        assert_eq!(c.constraint_confidence, 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn builder_rejects_non_probability_confidence() {
+        let _ = AuTraScaleConfig::default().with_constrained_acquisition(1.5);
     }
 }

@@ -57,6 +57,9 @@ pub struct MapeController {
     current_rate: Option<f64>,
     /// The throughput-optimal base configuration `k'` at `current_rate`.
     base: Option<Vec<u32>>,
+    /// Running total of SLO-violating cluster evaluations across every
+    /// optimization this controller has driven.
+    slo_violations: usize,
 }
 
 impl MapeController {
@@ -67,6 +70,7 @@ impl MapeController {
             library: ModelLibrary::new(),
             current_rate: None,
             base: None,
+            slo_violations: 0,
         }
     }
 
@@ -78,6 +82,12 @@ impl MapeController {
     /// The current base configuration, if one has been established.
     pub fn base(&self) -> Option<&[u32]> {
         self.base.as_deref()
+    }
+
+    /// SLO-violating cluster evaluations accumulated across every
+    /// optimization this controller has driven so far.
+    pub fn slo_violations(&self) -> usize {
+        self.slo_violations
     }
 
     /// One Analyze→Plan→Execute activation. The caller advances time
@@ -184,6 +194,15 @@ impl MapeController {
                 }
             }
         }
+        self.slo_violations += events
+            .iter()
+            .map(|e| match e {
+                ControllerEvent::SteadyRateOptimized(o)
+                | ControllerEvent::Transferred(o)
+                | ControllerEvent::RateAwareWarmStarted(o) => o.slo_violations,
+                _ => 0,
+            })
+            .sum::<usize>();
         Ok(events)
     }
 
@@ -270,6 +289,15 @@ mod tests {
             .any(|e| matches!(e, ControllerEvent::SteadyRateOptimized(_))));
         assert_eq!(ctrl.library().len(), 1);
         assert!(ctrl.base().is_some());
+        // The violation counter mirrors the outcomes it observed.
+        let expected: usize = events
+            .iter()
+            .map(|e| match e {
+                ControllerEvent::SteadyRateOptimized(o) => o.slo_violations,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(ctrl.slo_violations(), expected);
     }
 
     #[test]

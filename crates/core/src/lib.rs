@@ -67,7 +67,7 @@ pub mod scoring;
 pub mod throughput;
 pub mod transfer;
 
-pub use algorithm1::{Algorithm1, ElasticityOutcome, IterationRecord};
+pub use algorithm1::{count_slo_violations, Algorithm1, ElasticityOutcome, IterationRecord};
 pub use config::AuTraScaleConfig;
 pub use controller::{ControllerEvent, MapeController};
 pub use model_library::ModelLibrary;

@@ -158,6 +158,10 @@ impl TransferLearner {
                 let mut full_history = history;
                 full_history.extend(outcome.history);
                 outcome.history = full_history;
+                outcome.slo_violations = crate::algorithm1::count_slo_violations(
+                    &outcome.history,
+                    self.config.target_latency_ms,
+                );
                 return Ok(outcome);
             }
         }
@@ -192,6 +196,8 @@ impl TransferLearner {
         dataset: Vec<(Vec<u32>, f64)>,
         meets_qos: bool,
     ) -> ElasticityOutcome {
+        let slo_violations =
+            crate::algorithm1::count_slo_violations(&history, self.config.target_latency_ms);
         ElasticityOutcome {
             final_parallelism: last.parallelism.clone(),
             final_latency_ms: last.latency_ms,
@@ -200,6 +206,7 @@ impl TransferLearner {
             iterations,
             bootstrap_samples: 0,
             meets_qos,
+            slo_violations,
             history,
             dataset,
         }

@@ -21,6 +21,7 @@
 //! | `fig8`       | Fig. 8 transfer learning vs DS2                 | [`fig8`] |
 //! | `table4`     | Table IV algorithm overhead                     | [`table4`] |
 //! | `bootstrap`  | §V-C's "more samples, fewer iterations" claim   | [`bootstrap_sweep`] |
+//! | `slo`        | SLO-safety sweep: constrained vs unconstrained acquisition across the scenario battery | [`slo_sweep`] |
 
 pub mod bootstrap_sweep;
 pub mod elasticity;
@@ -29,6 +30,7 @@ pub mod fig2;
 pub mod fig5;
 pub mod fig8;
 pub mod output;
+pub mod slo_sweep;
 pub mod table4;
 
 use autrascale::AuTraScaleConfig;

@@ -2,13 +2,15 @@
 //! paper's evaluation.
 //!
 //! ```text
-//! autrascale-experiments <fig1|fig2|fig5a|fig5b|elasticity|fig8|table4|all> [seed]
+//! autrascale-experiments <fig1|fig2|fig5a|fig5b|elasticity|fig8|table4|bootstrap|slo|all> [seed]
 //! ```
 //!
 //! Artifacts land in `results/` (override with `AUTRASCALE_RESULTS_DIR`);
 //! a markdown summary prints to stdout.
 
-use autrascale_experiments::{bootstrap_sweep, elasticity, fig1, fig2, fig5, fig8, output, table4};
+use autrascale_experiments::{
+    bootstrap_sweep, elasticity, fig1, fig2, fig5, fig8, output, slo_sweep, table4,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -27,6 +29,7 @@ fn main() {
         "fig8" => run_fig8(seed),
         "table4" => run_table4(seed),
         "bootstrap" => run_bootstrap_sweep(seed),
+        "slo" => run_slo_sweep(seed),
         "all" => {
             run_fig1(seed);
             run_fig2(seed);
@@ -36,11 +39,12 @@ fn main() {
             run_fig8(seed);
             run_table4(seed);
             run_bootstrap_sweep(seed);
+            run_slo_sweep(seed);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: autrascale-experiments <fig1|fig2|fig5a|fig5b|elasticity|fig8|table4|bootstrap|all> [seed]"
+                "usage: autrascale-experiments <fig1|fig2|fig5a|fig5b|elasticity|fig8|table4|bootstrap|slo|all> [seed]"
             );
             std::process::exit(2);
         }
@@ -305,6 +309,45 @@ fn run_bootstrap_sweep(seed: u64) {
             ],
             &rows
         )
+    );
+}
+
+fn run_slo_sweep(seed: u64) {
+    println!("## SLO-safety sweep — constrained vs unconstrained acquisition, scenario battery\n");
+    let report = slo_sweep::run(seed);
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.to_string(),
+                if r.constrained { "cEI" } else { "EI" }.to_string(),
+                format!("{:.2}", r.slo_violations),
+                output::fmt1(r.iterations),
+                output::fmt1(r.total_evaluations),
+                output::fmt1(r.final_latency_ms),
+                format!("{:.2}", r.qos_success_rate),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        output::markdown_table(
+            &[
+                "scenario",
+                "acquisition",
+                "mean SLO violations",
+                "mean BO iters",
+                "mean total evals",
+                "mean latency (ms)",
+                "QoS success"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Battery-wide mean violations — unconstrained {:.2}, constrained {:.2}.\n",
+        report.total_violations_unconstrained, report.total_violations_constrained
     );
 }
 

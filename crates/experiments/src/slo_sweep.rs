@@ -1,0 +1,230 @@
+//! SLO-safety sweep — violations vs. convergence across the scenario
+//! battery, constrained acquisition against the unconstrained default.
+//!
+//! For every scenario in [`autrascale_workloads::scenarios`] this runs
+//! Algorithm 1 twice at an equal observation budget — once with the plain
+//! EI acquisition and once with the SLO-gated cEI = EI · Φ((SLO − μ_c)/σ_c)
+//! — and tabulates per-evaluation SLO violations, iterations to
+//! termination, and terminal quality. The operating point is the
+//! resource-frugal α = 0.3 regime from `tests/scenarios.rs`, where
+//! under-provisioned configurations score highest and an unguarded
+//! acquisition actively chases violating configurations.
+
+use crate::output;
+use autrascale::{Algorithm1, AuTraScaleConfig, ElasticityOutcome};
+use autrascale_flinkctl::FlinkCluster;
+use autrascale_workloads::scenarios::{self, Scenario};
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// One (scenario, acquisition-mode) row, averaged over the sweep seeds.
+#[derive(Debug, Clone, Serialize)]
+pub struct SloRow {
+    /// Scenario name (`flash-crowd`, `cascading-failure`, …).
+    pub scenario: &'static str,
+    /// `true` for the SLO-gated acquisition, `false` for plain EI.
+    pub constrained: bool,
+    /// Mean per-evaluation SLO violations (bootstrap + BO history).
+    pub slo_violations: f64,
+    /// Mean BO iterations to termination.
+    pub iterations: f64,
+    /// Mean total evaluations spent (bootstrap + BO).
+    pub total_evaluations: f64,
+    /// Mean terminal latency, ms.
+    pub final_latency_ms: f64,
+    /// Fraction of seeds whose terminal configuration met QoS.
+    pub qos_success_rate: f64,
+}
+
+/// The sweep report: two rows per scenario plus battery-wide totals.
+#[derive(Debug, Clone, Serialize)]
+pub struct SloSweepReport {
+    pub rows: Vec<SloRow>,
+    /// Battery-wide mean violations, unconstrained acquisition.
+    pub total_violations_unconstrained: f64,
+    /// Battery-wide mean violations, constrained acquisition.
+    pub total_violations_constrained: f64,
+}
+
+/// The scenario-battery operating point: equal observation budget in both
+/// modes, with only the acquisition gate toggled. Mirrors
+/// `tests/scenarios.rs` so the sweep reproduces the pinned regressions.
+fn battery_config(s: &Scenario, seed: u64, constrained: bool) -> AuTraScaleConfig {
+    let base = AuTraScaleConfig {
+        target_latency_ms: s.target_latency_ms,
+        alpha: 0.3,
+        policy_running_time: 60.0,
+        bootstrap_m: 3,
+        max_bo_iters: 8,
+        seed,
+        ..Default::default()
+    };
+    if constrained {
+        base.with_constrained_acquisition(0.9)
+    } else {
+        base
+    }
+}
+
+/// Warmup placing the search window over each scenario's stress phase.
+fn warmup_for(s: &Scenario) -> f64 {
+    match s.name {
+        "flash-crowd" => 960.0,
+        "cascading-failure" => 200.0,
+        _ => 60.0,
+    }
+}
+
+/// One end-to-end run: scenario simulator → warmup → Algorithm 1.
+fn run_point(s: &Scenario, seed: u64, constrained: bool) -> ElasticityOutcome {
+    let sim = s.build(seed).expect("scenario builds");
+    let mut cluster = FlinkCluster::new(sim);
+    cluster.submit(&s.initial_parallelism).expect("submit");
+    cluster.run_for(warmup_for(s));
+    let cfg = battery_config(s, seed, constrained);
+    let alg = Algorithm1::new(&cfg, s.initial_parallelism.clone(), s.as_workload().p_max());
+    alg.run(&mut cluster, Vec::new()).expect("algorithm 1 runs")
+}
+
+/// Runs the full battery × {unconstrained, constrained} × seeds grid —
+/// every point is an independent simulation, so the grid parallelizes —
+/// then aggregates serially in grid order for byte-identical reports.
+pub fn run(seed: u64) -> SloSweepReport {
+    let seeds: Vec<u64> = (0..3).map(|i| seed.wrapping_add(i * 7919)).collect();
+    let battery = scenarios::all_scenarios();
+    let grid: Vec<(usize, bool, u64)> = battery
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| {
+            [false, true]
+                .into_iter()
+                .flat_map(|c| seeds.iter().map(move |&s| (i, c, s)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let points: Vec<ElasticityOutcome> = grid
+        .par_iter()
+        .map(|&(i, c, s)| run_point(&battery[i], s, c))
+        .collect();
+
+    let n = seeds.len() as f64;
+    let mut rows = Vec::new();
+    for (chunk, &(i, c, _)) in points
+        .chunks(seeds.len())
+        .zip(grid.iter().step_by(seeds.len()))
+    {
+        let mut violations = 0.0;
+        let mut iters = 0.0;
+        let mut evals = 0.0;
+        let mut latency = 0.0;
+        let mut met = 0usize;
+        for o in chunk {
+            violations += o.slo_violations as f64;
+            iters += o.iterations as f64;
+            evals += (o.bootstrap_samples + o.iterations) as f64;
+            latency += o.final_latency_ms;
+            met += usize::from(o.meets_qos);
+        }
+        rows.push(SloRow {
+            scenario: battery[i].name,
+            constrained: c,
+            slo_violations: violations / n,
+            iterations: iters / n,
+            total_evaluations: evals / n,
+            final_latency_ms: latency / n,
+            qos_success_rate: met as f64 / n,
+        });
+    }
+
+    let total = |constrained: bool| {
+        rows.iter()
+            .filter(|r| r.constrained == constrained)
+            .map(|r| r.slo_violations)
+            .sum::<f64>()
+    };
+    let report = SloSweepReport {
+        total_violations_unconstrained: total(false),
+        total_violations_constrained: total(true),
+        rows,
+    };
+
+    let dir = output::results_dir();
+    let csv_rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.to_string(),
+                r.constrained.to_string(),
+                format!("{:.2}", r.slo_violations),
+                format!("{:.2}", r.iterations),
+                format!("{:.2}", r.total_evaluations),
+                format!("{:.1}", r.final_latency_ms),
+                format!("{:.2}", r.qos_success_rate),
+            ]
+        })
+        .collect();
+    output::write_csv(
+        &dir.join("slo_sweep.csv"),
+        &[
+            "scenario",
+            "constrained",
+            "slo_violations",
+            "iterations",
+            "total_evaluations",
+            "final_latency_ms",
+            "qos_success_rate",
+        ],
+        csv_rows,
+    )
+    .expect("write slo_sweep.csv");
+    output::write_json(&dir.join("slo_sweep.json"), &report).expect("write slo_sweep.json");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_battery_in_both_modes() {
+        let report = run(0xBEEF);
+        let battery = scenarios::all_scenarios().len();
+        assert_eq!(report.rows.len(), battery * 2);
+        for s in scenarios::all_scenarios() {
+            for c in [false, true] {
+                assert!(
+                    report
+                        .rows
+                        .iter()
+                        .any(|r| r.scenario == s.name && r.constrained == c),
+                    "missing row for {} constrained={c}",
+                    s.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constrained_totals_never_worse() {
+        let report = run(0xBEEF);
+        assert!(
+            report.total_violations_constrained <= report.total_violations_unconstrained,
+            "constrained {} > unconstrained {}",
+            report.total_violations_constrained,
+            report.total_violations_unconstrained
+        );
+    }
+
+    #[test]
+    fn sweep_is_seed_deterministic() {
+        let a = run(7);
+        let b = run(7);
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.scenario, rb.scenario);
+            assert_eq!(ra.constrained, rb.constrained);
+            assert_eq!(ra.slo_violations, rb.slo_violations);
+            assert_eq!(ra.iterations, rb.iterations);
+        }
+    }
+}

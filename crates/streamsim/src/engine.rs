@@ -420,6 +420,19 @@ struct Slowdown {
     until: f64,
 }
 
+/// A fault scheduled for a future simulation time (cascading-failure
+/// scenarios): becomes an active [`Slowdown`] on the first tick at or
+/// after `at`, lasting `duration_secs` from `at` — the activation instant
+/// is part of the schedule, so both engines agree on `until` bit for bit
+/// regardless of tick alignment.
+#[derive(Debug, Clone, Copy)]
+struct PendingFault {
+    at: f64,
+    operator: usize,
+    factor: f64,
+    duration_secs: f64,
+}
+
 /// Dense [`MetricBatcher`] ids for every series the engine emits,
 /// registered at deploy time (the only time the key set changes).
 #[derive(Debug, Default)]
@@ -537,6 +550,8 @@ pub struct Simulation {
     deploy_count: u32,
     /// Active transient faults (pruned lazily when one expires).
     slowdowns: Vec<Slowdown>,
+    /// Faults scheduled for future activation, in schedule order.
+    pending_faults: Vec<PendingFault>,
 
     // ---- phased-engine state ----
     /// CSR adjacency + region partition, built once from the job graph.
@@ -645,6 +660,7 @@ impl Simulation {
             last_snapshot: snapshot,
             deploy_count: 0,
             slowdowns: Vec::new(),
+            pending_faults: Vec::new(),
             adjacency,
             source_indices,
             nonsource_indices,
@@ -911,6 +927,30 @@ impl Simulation {
             self.window_has_rate = true;
         } else if producer_rate.to_bits() != self.window_first_rate.to_bits() {
             self.cur_window_steady = false;
+        }
+
+        // Scheduled faults activate unconditionally — a slow disk arrives
+        // whether or not the job is mid-restart. `until` derives from the
+        // scheduled instant, not the activating tick, so both engines
+        // agree bit for bit.
+        if self.pending_faults.iter().any(|f| f.at <= now) {
+            let mut i = 0;
+            while i < self.pending_faults.len() {
+                if self.pending_faults[i].at <= now {
+                    let f = self.pending_faults.remove(i);
+                    let until = f.at + f.duration_secs;
+                    self.slowdowns.push(Slowdown {
+                        operator: f.operator,
+                        factor: f.factor,
+                        until,
+                    });
+                    self.events.push(until, EventKind::FaultExpiry);
+                    self.capacity_dirty = true;
+                    self.cur_window_steady = false;
+                } else {
+                    i += 1;
+                }
+            }
         }
 
         let in_downtime = match self.downtime_until {
@@ -1384,6 +1424,13 @@ impl Simulation {
             h.write_f64(s.factor);
             h.write_f64(s.until);
         }
+        h.write_usize(self.pending_faults.len());
+        for f in &self.pending_faults {
+            h.write_f64(f.at);
+            h.write_usize(f.operator);
+            h.write_f64(f.factor);
+            h.write_f64(f.duration_secs);
+        }
         h.write_f64(self.accum.start);
         h.finish()
     }
@@ -1510,6 +1557,58 @@ impl Simulation {
     /// Number of currently active transient faults.
     pub fn active_faults(&self) -> usize {
         self.slowdowns.len()
+    }
+
+    /// Schedules a transient fault for future simulation time `at_secs`
+    /// (absolute): operator `operator`'s service rate is multiplied by
+    /// `factor` for `duration_secs` starting at `at_secs`. The building
+    /// block of cascading-failure scenarios — stagger several calls and
+    /// faults overlap/stack exactly as [`inject_slowdown`](Self::inject_slowdown)
+    /// faults do.
+    ///
+    /// A schedule in the past (`at_secs ≤ now`) activates immediately. The
+    /// activation instant is pushed as a wake-up event, so the event
+    /// engine can never fast-forward a quiescent window across it.
+    pub fn schedule_slowdown(
+        &mut self,
+        at_secs: f64,
+        operator: usize,
+        factor: f64,
+        duration_secs: f64,
+    ) -> Result<(), SimError> {
+        if !at_secs.is_finite() {
+            return Err(SimError::BadConfig(
+                "scheduled fault time must be finite".into(),
+            ));
+        }
+        if at_secs <= self.time {
+            return self.inject_slowdown(operator, factor, duration_secs);
+        }
+        if operator >= self.config.job.len() {
+            return Err(SimError::BadConfig(format!(
+                "operator index {operator} out of range"
+            )));
+        }
+        if !(factor > 0.0 && factor.is_finite() && duration_secs.is_finite())
+            || duration_secs <= 0.0
+        {
+            return Err(SimError::BadConfig(
+                "slowdown needs a finite factor > 0 and positive duration".into(),
+            ));
+        }
+        self.pending_faults.push(PendingFault {
+            at: at_secs,
+            operator,
+            factor,
+            duration_secs,
+        });
+        self.events.push(at_secs, EventKind::FaultStart);
+        Ok(())
+    }
+
+    /// Number of faults scheduled but not yet active.
+    pub fn pending_faults(&self) -> usize {
+        self.pending_faults.len()
     }
 }
 
@@ -2063,6 +2162,61 @@ mod engine_parity_tests {
             },
         );
     }
+
+    #[test]
+    fn engines_agree_on_scheduled_cascading_faults() {
+        // Three faults scheduled up front, staggered so they overlap in a
+        // cascade: the event engine must wake for each activation (the
+        // FaultStart hints), and both engines must agree on activation
+        // instants and `until` deadlines bit for bit.
+        assert_parity(
+            linear_job,
+            || RateProfile::constant(9_000.0),
+            31,
+            |sim| {
+                let arity = sim.job().len();
+                sim.deploy(&vec![2u32; arity][..]).unwrap();
+                sim.schedule_slowdown(300.0, 0, 0.5, 200.0).unwrap();
+                sim.schedule_slowdown(400.0, 1, 0.4, 250.0).unwrap();
+                sim.schedule_slowdown(450.0, 2, 0.6, 100.0).unwrap();
+                assert_eq!(sim.pending_faults(), 3);
+                let mut hashes = Vec::new();
+                for _ in 0..20 {
+                    sim.run_for(60.0).unwrap();
+                    hashes.push(sim.state_hash());
+                }
+                assert_eq!(sim.pending_faults(), 0);
+                assert_eq!(sim.active_faults(), 0, "all faults expired by 1200 s");
+                hashes
+            },
+        );
+    }
+
+    #[test]
+    fn engines_agree_across_flash_crowd_profile() {
+        // Dense piecewise breakpoints through ramp and decay: every
+        // change-point is covered by a wake-up hint, so a quiescent
+        // pre-spike window never fast-forwards across the spike.
+        assert_parity(
+            linear_job,
+            || {
+                crate::rate::generators::flash_crowd(
+                    4_000.0, 18_000.0, 600.0, 120.0, 300.0, 240.0, 30.0,
+                )
+            },
+            32,
+            |sim| {
+                let arity = sim.job().len();
+                sim.deploy(&vec![1u32; arity][..]).unwrap();
+                let mut hashes = Vec::new();
+                for _ in 0..30 {
+                    sim.run_for(60.0).unwrap();
+                    hashes.push(sim.state_hash());
+                }
+                hashes
+            },
+        );
+    }
 }
 
 #[cfg(test)]
@@ -2145,6 +2299,51 @@ mod fault_tests {
         assert!(s.inject_slowdown(1, 0.0, 10.0).is_err());
         assert!(s.inject_slowdown(1, -1.0, 10.0).is_err());
         assert!(s.inject_slowdown(1, 0.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn scheduled_fault_activates_at_its_instant() {
+        let mut s = sim(15_000.0);
+        s.deploy(&[1, 1, 1]).unwrap();
+        s.schedule_slowdown(120.0, 1, 0.25, 120.0).unwrap();
+        assert_eq!(s.pending_faults(), 1);
+        assert_eq!(s.active_faults(), 0);
+        s.run_for(60.0).unwrap();
+        // Still healthy before the scheduled instant.
+        assert!(s.snapshot().source_consumption_rate > 14_000.0);
+        assert_eq!(s.active_faults(), 0);
+        s.run_for(120.0).unwrap();
+        // Fault active inside [120, 240): degraded window.
+        assert_eq!(s.pending_faults(), 0);
+        assert_eq!(s.active_faults(), 1);
+        assert!(s.snapshot().source_consumption_rate < 7_000.0);
+        // Expires 120 s after *activation*, then the backlog drains.
+        s.run_for(300.0).unwrap();
+        assert_eq!(s.active_faults(), 0);
+        let recovered = s.snapshot().source_consumption_rate;
+        assert!(recovered > 14_000.0, "{recovered}");
+    }
+
+    #[test]
+    fn scheduled_fault_in_the_past_activates_immediately() {
+        let mut s = sim(15_000.0);
+        s.deploy(&[1, 1, 1]).unwrap();
+        s.run_for(60.0).unwrap();
+        s.schedule_slowdown(0.0, 1, 0.25, 120.0).unwrap();
+        assert_eq!(s.pending_faults(), 0);
+        assert_eq!(s.active_faults(), 1);
+    }
+
+    #[test]
+    fn invalid_schedules_rejected() {
+        let mut s = sim(1_000.0);
+        s.deploy(&[1, 1, 1]).unwrap();
+        assert!(s.schedule_slowdown(f64::NAN, 1, 0.5, 10.0).is_err());
+        assert!(s.schedule_slowdown(f64::INFINITY, 1, 0.5, 10.0).is_err());
+        assert!(s.schedule_slowdown(100.0, 9, 0.5, 10.0).is_err());
+        assert!(s.schedule_slowdown(100.0, 1, 0.0, 10.0).is_err());
+        assert!(s.schedule_slowdown(100.0, 1, 0.5, -1.0).is_err());
+        assert_eq!(s.pending_faults(), 0);
     }
 
     #[test]

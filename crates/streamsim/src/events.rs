@@ -25,6 +25,8 @@ use std::collections::BinaryHeap;
 pub enum EventKind {
     /// A transient slowdown reaches its `until` deadline.
     FaultExpiry,
+    /// A scheduled fault activates (cascading-failure scenarios).
+    FaultStart,
     /// Savepoint/restart downtime ends and processing resumes.
     DowntimeEnd,
     /// The producer rate profile may change value.
@@ -53,8 +55,9 @@ struct Entry(SimEvent);
 fn kind_rank(kind: EventKind) -> u8 {
     match kind {
         EventKind::FaultExpiry => 0,
-        EventKind::DowntimeEnd => 1,
-        EventKind::RateBreakpoint => 2,
+        EventKind::FaultStart => 1,
+        EventKind::DowntimeEnd => 2,
+        EventKind::RateBreakpoint => 3,
     }
 }
 

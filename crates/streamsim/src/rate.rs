@@ -313,6 +313,59 @@ pub mod generators {
         RateProfile::piecewise(points)
     }
 
+    /// A flash-crowd event: `base` rate until `at`, a linear ramp to
+    /// `peak` over `ramp_secs`, a plateau of `hold_secs`, then a linear
+    /// decay back to `base` over `decay_secs`. Ramps are sampled every
+    /// `step_secs` into piecewise-constant segments, so every rate change
+    /// is an explicit change-point the event engine's wake-up hints cover
+    /// (`RateProfile::next_change_after` walks exactly these points — the
+    /// fast-forward guard in the event-driven engine never skips across
+    /// one; see the `proptest_rate_parity` suite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base`/`peak` are not positive, `peak < base`, any
+    /// duration is negative, or `step_secs` is not positive.
+    pub fn flash_crowd(
+        base: f64,
+        peak: f64,
+        at: f64,
+        ramp_secs: f64,
+        hold_secs: f64,
+        decay_secs: f64,
+        step_secs: f64,
+    ) -> RateProfile {
+        assert!(base > 0.0 && peak > 0.0, "rates must be positive");
+        assert!(peak >= base, "peak must be at least base");
+        assert!(
+            at >= 0.0 && ramp_secs >= 0.0 && hold_secs >= 0.0 && decay_secs >= 0.0,
+            "durations must be non-negative"
+        );
+        assert!(step_secs > 0.0, "step must be positive");
+        let mut points = vec![(0.0, base)];
+        let ramp = |points: &mut Vec<(f64, f64)>, start: f64, dur: f64, from: f64, to: f64| {
+            if dur <= 0.0 {
+                return;
+            }
+            let n = (dur / step_secs).ceil().max(1.0) as usize;
+            for i in 0..n {
+                let offset = i as f64 * step_secs;
+                points.push((start + offset, from + (to - from) * (offset / dur)));
+            }
+        };
+        ramp(&mut points, at, ramp_secs, base, peak);
+        points.push((at + ramp_secs, peak));
+        ramp(
+            &mut points,
+            at + ramp_secs + hold_secs,
+            decay_secs,
+            peak,
+            base,
+        );
+        points.push((at + ramp_secs + hold_secs + decay_secs, base));
+        RateProfile::piecewise(points)
+    }
+
     /// A bounded random walk: every `interval` seconds the rate moves by
     /// a uniform step in `[-max_step, +max_step]`, clamped to
     /// `[min, max]`. Deterministic given the seed.
@@ -390,6 +443,70 @@ mod generator_tests {
     #[should_panic(expected = "overlap")]
     fn bursty_rejects_overlap() {
         let _ = bursty(1.0, 2.0, 10.0, 10.0, 1);
+    }
+
+    #[test]
+    fn flash_crowd_ramps_holds_and_decays() {
+        // 2k base, spike to 20k at t=600 over a 120 s ramp, hold 300 s,
+        // decay over 240 s, sampled every 30 s.
+        let p = flash_crowd(2_000.0, 20_000.0, 600.0, 120.0, 300.0, 240.0, 30.0);
+        assert_eq!(p.rate_at(0.0), 2_000.0);
+        assert_eq!(p.rate_at(599.9), 2_000.0);
+        // Mid-ramp: strictly between base and peak.
+        let mid = p.rate_at(660.0);
+        assert!(mid > 2_000.0 && mid < 20_000.0, "mid-ramp {mid}");
+        // Plateau.
+        assert_eq!(p.rate_at(800.0), 20_000.0);
+        assert_eq!(p.rate_at(1_019.9), 20_000.0);
+        // Mid-decay, then back to base forever.
+        let dec = p.rate_at(1_140.0);
+        assert!(dec > 2_000.0 && dec < 20_000.0, "mid-decay {dec}");
+        assert_eq!(p.rate_at(1_260.0), 2_000.0);
+        assert_eq!(p.rate_at(1e9), 2_000.0);
+    }
+
+    #[test]
+    fn flash_crowd_changepoints_cover_every_rate_change() {
+        // The wake-up-hint soundness contract: between t and
+        // next_change_after(t) the rate must be bitwise constant — the
+        // event engine fast-forwards only across such windows.
+        let p = flash_crowd(2_000.0, 20_000.0, 600.0, 120.0, 300.0, 240.0, 30.0);
+        let mut t = 0.0;
+        while t < 1_500.0 {
+            match p.next_change_after(t) {
+                Some(next) => {
+                    assert!(next > t);
+                    for frac in [0.25, 0.5, 0.99] {
+                        let mid = t + (next - t) * frac;
+                        assert_eq!(
+                            p.rate_at(t).to_bits(),
+                            p.rate_at(mid).to_bits(),
+                            "rate changed inside ({t}, {next}) at {mid}"
+                        );
+                    }
+                }
+                None => {
+                    assert_eq!(p.rate_at(t).to_bits(), p.rate_at(t + 1e9).to_bits());
+                }
+            }
+            t += 7.3;
+        }
+    }
+
+    #[test]
+    fn flash_crowd_instant_spike_is_a_step() {
+        // Zero ramp/decay: a square pulse.
+        let p = flash_crowd(1_000.0, 8_000.0, 100.0, 0.0, 50.0, 0.0, 10.0);
+        assert_eq!(p.rate_at(99.9), 1_000.0);
+        assert_eq!(p.rate_at(100.0), 8_000.0);
+        assert_eq!(p.rate_at(149.9), 8_000.0);
+        assert_eq!(p.rate_at(150.0), 1_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "peak must be at least base")]
+    fn flash_crowd_rejects_peak_below_base() {
+        let _ = flash_crowd(5_000.0, 1_000.0, 0.0, 1.0, 1.0, 1.0, 1.0);
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Property tests for the wake-up-hint contract between rate profiles and
+//! the event engine's window fast-forward (ISSUE 7 satellite):
+//!
+//! 1. profile-level soundness — between `t` and `next_change_after(t)`
+//!    the rate is bitwise constant, for randomized flash-crowd and
+//!    piecewise profiles (a fast-forwarded window can therefore never
+//!    straddle a breakpoint the hints missed);
+//! 2. engine-level parity — the event engine's per-window state-hash
+//!    trajectory matches the tick engine's on those same randomized
+//!    profiles, with fast-forwarding demonstrably engaged.
+
+use autrascale_streamsim::{
+    rate_generators, EngineKind, JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
+};
+use proptest::prelude::*;
+
+fn job() -> JobGraph {
+    JobGraph::linear(vec![
+        OperatorSpec::source("Source", 40_000.0),
+        OperatorSpec::transform("Map", 30_000.0, 1.0),
+        OperatorSpec::sink("Sink", 40_000.0),
+    ])
+    .expect("valid job")
+}
+
+fn sim(engine: EngineKind, profile: RateProfile, seed: u64) -> Simulation {
+    let mut s = Simulation::new(SimulationConfig {
+        job: job(),
+        profile,
+        seed,
+        engine,
+        ..Default::default()
+    })
+    .expect("valid config");
+    s.deploy(&[2, 2, 2]).expect("valid parallelism");
+    s
+}
+
+/// Randomized flash-crowd parameters (spike always lands inside the
+/// simulated horizon; peak kept below provisioned capacity so pre- and
+/// post-spike windows can go quiescent and fast-forward).
+fn flash_crowd_params() -> impl Strategy<Value = RateProfile> {
+    (
+        2_000.0f64..8_000.0,   // base
+        10_000.0f64..25_000.0, // peak
+        300.0f64..900.0,       // at
+        0.0f64..180.0,         // ramp
+        60.0f64..300.0,        // hold
+        0.0f64..240.0,         // decay
+        15.0f64..60.0,         // step
+    )
+        .prop_map(|(base, peak, at, ramp, hold, decay, step)| {
+            rate_generators::flash_crowd(base, peak, at, ramp, hold, decay, step)
+        })
+}
+
+/// Randomized sorted piecewise profiles.
+fn piecewise_params() -> impl Strategy<Value = RateProfile> {
+    proptest::collection::vec((0.0f64..2_000.0, 1_000.0f64..20_000.0), 1usize..12).prop_map(
+        |mut points| {
+            points.sort_by(|a, b| a.0.total_cmp(&b.0));
+            RateProfile::piecewise(points)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Wake-up-hint soundness: the rate is bitwise constant on every
+    /// interval `(t, next_change_after(t))` of a random flash-crowd
+    /// profile — i.e. the hints cover every breakpoint.
+    #[test]
+    fn flash_crowd_hints_cover_every_breakpoint(
+        profile in flash_crowd_params(),
+        probes in proptest::collection::vec(0.0f64..2_500.0, 8),
+    ) {
+        for &t in &probes {
+            match profile.next_change_after(t) {
+                Some(next) => {
+                    prop_assert!(next > t, "hint {next} not after {t}");
+                    for frac in [0.1, 0.5, 0.9] {
+                        let mid = t + (next - t) * frac;
+                        prop_assert_eq!(
+                            profile.rate_at(t).to_bits(),
+                            profile.rate_at(mid).to_bits(),
+                            "rate changed inside ({}, {}) at {}", t, next, mid
+                        );
+                    }
+                }
+                None => {
+                    prop_assert_eq!(
+                        profile.rate_at(t).to_bits(),
+                        profile.rate_at(t + 1e9).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Same soundness contract for arbitrary sorted piecewise profiles
+    /// (duplicate change-point times included).
+    #[test]
+    fn piecewise_hints_cover_every_breakpoint(
+        profile in piecewise_params(),
+        probes in proptest::collection::vec(0.0f64..2_500.0, 8),
+    ) {
+        for &t in &probes {
+            if let Some(next) = profile.next_change_after(t) {
+                prop_assert!(next > t);
+                let mid = t + (next - t) * 0.5;
+                prop_assert_eq!(
+                    profile.rate_at(t).to_bits(),
+                    profile.rate_at(mid).to_bits()
+                );
+            }
+        }
+    }
+
+    /// Engine parity on randomized flash-crowd profiles: identical
+    /// per-window state-hash trajectories, so no fast-forwarded window
+    /// ever straddled a rate breakpoint (a skipped breakpoint would
+    /// change Kafka counters and diverge the hashes).
+    #[test]
+    fn engines_agree_on_randomized_flash_crowds(
+        profile in flash_crowd_params(),
+        seed in 0u64..500,
+    ) {
+        let mut ev = sim(EngineKind::EventDriven, profile.clone(), seed);
+        let mut tk = sim(EngineKind::Tick, profile, seed);
+        for window in 0..30 {
+            ev.run_for(60.0).unwrap();
+            tk.run_for(60.0).unwrap();
+            prop_assert_eq!(
+                ev.state_hash(),
+                tk.state_hash(),
+                "hash diverged at window {}", window
+            );
+        }
+        prop_assert_eq!(tk.fast_forwarded_windows(), 0u64);
+    }
+}
+
+/// Non-random companion: with a long quiet tail after the spike, the
+/// event engine must actually fast-forward windows (the parity property
+/// above is not vacuously about honest ticking).
+#[test]
+fn flash_crowd_tail_fast_forwards() {
+    let profile = rate_generators::flash_crowd(3_000.0, 15_000.0, 300.0, 60.0, 120.0, 60.0, 30.0);
+    let mut ev = sim(EngineKind::EventDriven, profile.clone(), 7);
+    let mut tk = sim(EngineKind::Tick, profile, 7);
+    ev.run_for(6_000.0).unwrap();
+    tk.run_for(6_000.0).unwrap();
+    assert_eq!(ev.state_hash(), tk.state_hash());
+    assert!(
+        ev.fast_forwarded_windows() > 10,
+        "expected the quiet tail to fast-forward, got {}",
+        ev.fast_forwarded_windows()
+    );
+}

@@ -18,6 +18,9 @@
 
 use autrascale_streamsim::{ClusterSpec, JobGraph, OperatorSpec, RateProfile, SimulationConfig};
 
+pub mod scenarios;
+pub use scenarios::{all_scenarios, Scenario, ScheduledFault};
+
 /// A named, fully calibrated workload: topology + cluster + QoS targets.
 #[derive(Debug, Clone)]
 pub struct Workload {

@@ -1,0 +1,364 @@
+//! Failure-mode scenario battery (ISSUE 7).
+//!
+//! Each scenario packages a topology, cluster, rate profile and fault
+//! schedule that exercises one way real streaming jobs get into trouble:
+//!
+//! | Scenario | Stressor |
+//! |---|---|
+//! | `diurnal` | slow sinusoid-shaped load swing (day/night cycle) |
+//! | `flash_crowd` | sudden spike to ~4× base rate, then decay |
+//! | `hot_keys` | keyed aggregation with severe skew: parallelism scales poorly |
+//! | `cascading_failure` | staggered slowdowns marching down the chain |
+//! | `heterogeneous_machines` | mixed-core cluster: placement-dependent capacity |
+//! | `multi_sink_limited` | fan-out to two sinks, one capped by an external store |
+//!
+//! The scenarios are deterministic given a seed, so the root-level
+//! `tests/scenarios.rs` suite pins each one as a seeded regression:
+//! SLO-violation counts under the constrained acquisition must stay at
+//! or below the unconstrained counts, at equal observation budget.
+
+use crate::Workload;
+use autrascale_streamsim::{
+    rate_generators, ClusterSpec, JobGraph, MachineSpec, OperatorSpec, RateProfile, SimError,
+    Simulation, SimulationConfig,
+};
+
+/// A slowdown injected at a future instant — models a node degrading, a
+/// GC storm, or a dependency brown-out hitting one operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledFault {
+    /// Simulation time at which the fault activates, seconds.
+    pub at_secs: f64,
+    /// Topological index of the operator it hits.
+    pub operator: usize,
+    /// Service-rate multiplier while active (0 < factor ≤ 1).
+    pub factor: f64,
+    /// How long the fault lasts, seconds.
+    pub duration_secs: f64,
+}
+
+/// One failure-mode scenario: everything needed to build a simulation
+/// that reproduces it deterministically.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (stable; used in test output and the experiments CLI).
+    pub name: &'static str,
+    /// The operator DAG.
+    pub job: JobGraph,
+    /// The cluster it runs on.
+    pub cluster: ClusterSpec,
+    /// Input-rate profile.
+    pub profile: RateProfile,
+    /// Faults to schedule at build time.
+    pub faults: Vec<ScheduledFault>,
+    /// Latency target `l_t` for the SLO, ms.
+    pub target_latency_ms: f64,
+    /// A deliberately tight starting parallelism (the controller must
+    /// scale out from here).
+    pub initial_parallelism: Vec<u32>,
+}
+
+impl Scenario {
+    /// Simulation config for this scenario at `seed`.
+    pub fn config(&self, seed: u64) -> SimulationConfig {
+        SimulationConfig {
+            cluster: self.cluster.clone(),
+            job: self.job.clone(),
+            profile: self.profile.clone(),
+            seed,
+            restart_downtime: 5.0,
+            ..Default::default()
+        }
+    }
+
+    /// Builds the simulation and schedules every fault.
+    pub fn build(&self, seed: u64) -> Result<Simulation, SimError> {
+        let mut sim = Simulation::new(self.config(seed))?;
+        for f in &self.faults {
+            sim.schedule_slowdown(f.at_secs, f.operator, f.factor, f.duration_secs)?;
+        }
+        Ok(sim)
+    }
+
+    /// The equivalent [`Workload`] view (no faults, default profile) for
+    /// code that speaks workloads.
+    pub fn as_workload(&self) -> Workload {
+        Workload {
+            name: self.name,
+            job: self.job.clone(),
+            cluster: self.cluster.clone(),
+            input_rate: self.profile.rate_at(0.0),
+            target_latency_ms: self.target_latency_ms,
+        }
+    }
+}
+
+/// A small keyed-aggregation chain used by several scenarios: the Agg
+/// stage is the bottleneck the optimizer has to widen.
+fn agg_chain(agg_sync: f64) -> JobGraph {
+    JobGraph::linear(vec![
+        OperatorSpec::source("Source", 30_000.0)
+            .with_sync_coeff(0.02)
+            .with_comm_cost_ms(1.0)
+            .with_base_latency_ms(1.0),
+        OperatorSpec::transform("Agg", 6_000.0, 1.0)
+            .with_sync_coeff(agg_sync)
+            .with_comm_cost_ms(3.0)
+            .with_base_latency_ms(4.0),
+        OperatorSpec::sink("Sink", 25_000.0)
+            .with_sync_coeff(0.02)
+            .with_comm_cost_ms(1.0)
+            .with_base_latency_ms(2.0),
+    ])
+    .expect("agg chain is valid")
+}
+
+/// Day/night load cycle: a 40-minute sinusoid between 6k and 14k rec/s.
+/// Stresses rate-change detection without ever spiking.
+pub fn diurnal() -> Scenario {
+    Scenario {
+        name: "diurnal",
+        job: agg_chain(0.05),
+        cluster: ClusterSpec::uniform(3, 20, 20),
+        profile: rate_generators::diurnal(10_000.0, 4_000.0, 2_400.0, 60.0),
+        faults: Vec::new(),
+        target_latency_ms: 150.0,
+        initial_parallelism: vec![1, 2, 1],
+    }
+}
+
+/// Flash crowd: base 8k rec/s, spiking to 30k over one minute and
+/// holding for twenty-five (a viral-event crowd, not a blip). The
+/// optimizer searches at the peak, so every infeasible probe it makes
+/// is a real SLO violation while users are watching.
+pub fn flash_crowd() -> Scenario {
+    Scenario {
+        name: "flash-crowd",
+        job: agg_chain(0.05),
+        cluster: ClusterSpec::uniform(3, 20, 20),
+        profile: rate_generators::flash_crowd(8_000.0, 30_000.0, 900.0, 60.0, 1_500.0, 180.0, 30.0),
+        faults: Vec::new(),
+        target_latency_ms: 150.0,
+        initial_parallelism: vec![1, 2, 1],
+    }
+}
+
+/// Severe key skew on the aggregation: a high synchronization coefficient
+/// makes per-instance service rates collapse as parallelism grows, so
+/// "just add instances" stops working and the feasible region is narrow.
+pub fn hot_keys() -> Scenario {
+    Scenario {
+        name: "hot-keys",
+        job: agg_chain(0.45),
+        cluster: ClusterSpec::uniform(3, 20, 16),
+        profile: RateProfile::constant(9_000.0),
+        faults: Vec::new(),
+        target_latency_ms: 200.0,
+        initial_parallelism: vec![1, 2, 1],
+    }
+}
+
+/// Cascading operator failures: staggered slowdowns marching down the
+/// chain (upstream first), each halving-or-worse its victim's service
+/// rate for minutes at a time.
+pub fn cascading_failure() -> Scenario {
+    Scenario {
+        name: "cascading-failure",
+        job: agg_chain(0.05),
+        cluster: ClusterSpec::uniform(3, 20, 20),
+        profile: RateProfile::constant(10_000.0),
+        faults: vec![
+            ScheduledFault {
+                at_secs: 600.0,
+                operator: 0,
+                factor: 0.5,
+                duration_secs: 240.0,
+            },
+            ScheduledFault {
+                at_secs: 780.0,
+                operator: 1,
+                factor: 0.35,
+                duration_secs: 300.0,
+            },
+            ScheduledFault {
+                at_secs: 960.0,
+                operator: 2,
+                factor: 0.5,
+                duration_secs: 240.0,
+            },
+        ],
+        target_latency_ms: 150.0,
+        initial_parallelism: vec![1, 2, 1],
+    }
+}
+
+/// Heterogeneous machine speeds: one big box and two small ones. The
+/// interference model makes capacity placement-dependent, so identical
+/// parallelism vectors can behave differently as instances spill onto
+/// the small machines.
+pub fn heterogeneous_machines() -> Scenario {
+    Scenario {
+        name: "heterogeneous-machines",
+        job: agg_chain(0.05),
+        cluster: ClusterSpec {
+            machines: vec![
+                MachineSpec { cores: 24 },
+                MachineSpec { cores: 4 },
+                MachineSpec { cores: 4 },
+            ],
+            ..ClusterSpec::uniform(3, 20, 20)
+        },
+        profile: RateProfile::constant(11_000.0),
+        faults: Vec::new(),
+        target_latency_ms: 150.0,
+        initial_parallelism: vec![1, 2, 1],
+    }
+}
+
+/// Fan-out to two sinks, one throttled by an external store (the Yahoo
+/// benchmark's Redis pattern): scaling the limited sink buys nothing, so
+/// the optimizer must learn to leave it alone.
+pub fn multi_sink_limited() -> Scenario {
+    let job = JobGraph::new(
+        vec![
+            OperatorSpec::source("Source", 30_000.0)
+                .with_sync_coeff(0.02)
+                .with_comm_cost_ms(1.0)
+                .with_base_latency_ms(1.0),
+            OperatorSpec::transform("Route", 8_000.0, 1.0)
+                .with_sync_coeff(0.05)
+                .with_comm_cost_ms(2.0)
+                .with_base_latency_ms(3.0),
+            OperatorSpec::sink("FastSink", 20_000.0)
+                .with_sync_coeff(0.02)
+                .with_comm_cost_ms(1.0)
+                .with_base_latency_ms(2.0),
+            OperatorSpec::sink("StoreSink", 6_000.0)
+                .with_external_limit(12_000.0)
+                .with_comm_cost_ms(1.0)
+                .with_base_latency_ms(4.0),
+        ],
+        vec![(0, 1), (1, 2), (1, 3)],
+    )
+    .expect("multi-sink topology is valid");
+    Scenario {
+        name: "multi-sink-limited",
+        job,
+        cluster: ClusterSpec::uniform(3, 20, 16),
+        profile: RateProfile::constant(9_000.0),
+        faults: Vec::new(),
+        target_latency_ms: 250.0,
+        initial_parallelism: vec![1, 2, 1, 1],
+    }
+}
+
+/// Every scenario in a stable order.
+pub fn all_scenarios() -> Vec<Scenario> {
+    vec![
+        diurnal(),
+        flash_crowd(),
+        hot_keys(),
+        cascading_failure(),
+        heterogeneous_machines(),
+        multi_sink_limited(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autrascale_streamsim::EngineKind;
+
+    #[test]
+    fn every_scenario_builds_and_runs() {
+        for s in all_scenarios() {
+            let mut sim = s.build(11).unwrap_or_else(|e| panic!("{}: {e:?}", s.name));
+            sim.deploy(&s.initial_parallelism)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", s.name));
+            sim.run_for(120.0).unwrap();
+            assert!(sim.snapshot().processing_latency_ms >= 0.0, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        for s in all_scenarios() {
+            let run = |seed| {
+                let mut sim = s.build(seed).unwrap();
+                sim.deploy(&s.initial_parallelism).unwrap();
+                sim.run_for(1_200.0).unwrap();
+                sim.state_hash()
+            };
+            assert_eq!(run(3), run(3), "{} not deterministic", s.name);
+        }
+    }
+
+    #[test]
+    fn both_engines_agree_on_every_scenario() {
+        for s in all_scenarios() {
+            let run = |engine| {
+                let mut cfg = s.config(5);
+                cfg.engine = engine;
+                let mut sim = Simulation::new(cfg).unwrap();
+                for f in &s.faults {
+                    sim.schedule_slowdown(f.at_secs, f.operator, f.factor, f.duration_secs)
+                        .unwrap();
+                }
+                sim.deploy(&s.initial_parallelism).unwrap();
+                for _ in 0..25 {
+                    sim.run_for(60.0).unwrap();
+                }
+                sim.state_hash()
+            };
+            assert_eq!(
+                run(EngineKind::EventDriven),
+                run(EngineKind::Tick),
+                "{} diverges across engines",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn cascading_faults_drive_latency_up() {
+        let s = cascading_failure();
+        let mut sim = s.build(17).unwrap();
+        sim.deploy(&s.initial_parallelism).unwrap();
+        sim.run_for(590.0).unwrap();
+        let calm = sim.snapshot().processing_latency_ms;
+        // Into the middle of the cascade (first two faults active).
+        sim.run_for(350.0).unwrap();
+        let stormy = sim.snapshot().processing_latency_ms;
+        assert!(
+            stormy > calm,
+            "cascade did not hurt: calm {calm} vs stormy {stormy}"
+        );
+        assert_eq!(sim.pending_faults(), 1); // the 960 s fault still queued
+    }
+
+    #[test]
+    fn flash_crowd_peak_overwhelms_initial_parallelism() {
+        let s = flash_crowd();
+        let mut sim = s.build(19).unwrap();
+        sim.deploy(&s.initial_parallelism).unwrap();
+        // Through the spike (900 s + 60 ramp + 300 hold).
+        sim.run_for(1_100.0).unwrap();
+        let snap = sim.snapshot();
+        assert!(
+            snap.processing_latency_ms > s.target_latency_ms || snap.kafka_lag > 0.0,
+            "spike should overwhelm {:?}: {snap:?}",
+            s.initial_parallelism
+        );
+    }
+
+    #[test]
+    fn multi_sink_fanout_routes_to_both_sinks() {
+        let s = multi_sink_limited();
+        let mut fanout = s.job.successors(1);
+        fanout.sort_unstable();
+        assert_eq!(fanout, vec![2, 3]);
+        let mut sim = s.build(23).unwrap();
+        sim.deploy(&s.initial_parallelism).unwrap();
+        sim.run_for(300.0).unwrap();
+    }
+}
