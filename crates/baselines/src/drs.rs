@@ -220,7 +220,7 @@ impl DrsPolicy {
         let mut last_throughput = 0.0;
         let total = |k: &[u32]| k.iter().map(|&p| u64::from(p)).sum::<u64>();
         for _ in 0..self.config.max_iters {
-            cluster.advance(self.config.policy_running_time);
+            cluster.advance(self.config.policy_running_time)?;
             let metrics = cluster
                 .metrics(self.config.policy_running_time / 4.0)
                 .ok_or_else(|| "no metrics after policy running time".to_string())?;
@@ -337,7 +337,7 @@ mod tests {
     fn prediction_is_monotone_in_parallelism() {
         let mut fc = cluster(20_000.0, 3);
         fc.submit(&[1, 3, 1]).unwrap();
-        fc.run_for(120.0);
+        fc.run_for(120.0).unwrap();
         let metrics = fc.metrics_over(30.0).unwrap();
         let drs = DrsPolicy::new(config(RateMetric::True));
         let p4 = drs.predict_latency_ms(&metrics, &[1, 4, 1]).unwrap();
@@ -349,7 +349,7 @@ mod tests {
     fn prediction_none_when_unstable() {
         let mut fc = cluster(20_000.0, 4);
         fc.submit(&[1, 3, 1]).unwrap();
-        fc.run_for(120.0);
+        fc.run_for(120.0).unwrap();
         let metrics = fc.metrics_over(30.0).unwrap();
         let drs = DrsPolicy::new(config(RateMetric::True));
         // One Map instance cannot absorb 20k at ~8k μ.
@@ -360,7 +360,7 @@ mod tests {
     fn plan_is_stable_configuration() {
         let mut fc = cluster(20_000.0, 5);
         fc.submit(&[1, 3, 1]).unwrap();
-        fc.run_for(120.0);
+        fc.run_for(120.0).unwrap();
         let metrics = fc.metrics_over(30.0).unwrap();
         let drs = DrsPolicy::new(config(RateMetric::True));
         let plan = drs.plan(&metrics, 50);

@@ -132,7 +132,7 @@ impl Ds2Policy {
         let mut history = Vec::new();
         let mut converged = false;
         for _ in 0..self.config.max_iters {
-            cluster.advance(self.config.policy_running_time);
+            cluster.advance(self.config.policy_running_time)?;
             let metrics = cluster
                 .metrics(self.config.policy_running_time / 4.0)
                 .ok_or_else(|| "no metrics after policy running time".to_string())?;
@@ -248,7 +248,7 @@ mod tests {
         .unwrap();
         let mut fc = cluster(job, 50_000.0, 4);
         fc.submit(&[1, 1]).unwrap();
-        fc.run_for(60.0);
+        fc.run_for(60.0).unwrap();
         let metrics = fc.metrics_over(30.0).unwrap();
         let plan = Ds2Policy::default().plan(&metrics, 50);
         assert_eq!(plan.len(), 2);

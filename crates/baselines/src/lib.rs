@@ -17,6 +17,9 @@
 //! [`autrascale_flinkctl::JobControl`], exactly like AuTraScale itself, so
 //! comparisons exercise identical control paths.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod drs;
 pub mod ds2;
 pub mod queueing;

@@ -28,6 +28,9 @@
 //! assert_eq!(next.len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 mod acquisition;
 pub mod bootstrap;
 mod constraint;

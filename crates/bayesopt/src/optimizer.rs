@@ -23,7 +23,7 @@ use autrascale_gp::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Below this many candidates the scoring loop stays serial — rayon's
@@ -664,9 +664,16 @@ impl BayesOpt {
 
     /// First configuration (in enumeration or sample order) that has not
     /// been observed yet.
+    ///
+    /// Determinism audit (R3): the set is used for *membership only* and
+    /// the candidate list is walked in its own deterministic order, so
+    /// iteration order of the set never reaches a result. A `BTreeSet`
+    /// still beats a `HashSet` here — it keeps the whole crate free of
+    /// hash-ordered collections, so no future refactor can start iterating
+    /// one by accident.
     fn first_unseen(&mut self) -> Option<Vec<u32>> {
         let candidates = self.candidates();
-        let seen: HashSet<&[u32]> = self
+        let seen: BTreeSet<&[u32]> = self
             .observations
             .iter()
             .map(|(k, _)| k.as_slice())
@@ -683,7 +690,7 @@ impl BayesOpt {
     /// exploratory probe instead of an arbitrary one.
     fn first_unseen_feasible(&mut self, cgp: &GaussianProcess, threshold: f64) -> Option<Vec<u32>> {
         let candidates = self.candidates();
-        let seen: HashSet<&[u32]> = self
+        let seen: BTreeSet<&[u32]> = self
             .observations
             .iter()
             .map(|(k, _)| k.as_slice())
@@ -735,6 +742,30 @@ mod tests {
             bo.observe(k.to_vec(), hidden(&k));
         }
         bo
+    }
+
+    #[test]
+    fn first_unseen_is_deterministic_and_insertion_order_independent() {
+        // Regression for the R3 audit: the seen-set is membership-only, so
+        // the pick must depend only on candidate enumeration order — not on
+        // the order observations were recorded (which a hash-iterated set
+        // could have leaked).
+        let space = SearchSpace::new(vec![1, 1], vec![4, 4]).unwrap();
+        let mut forward = BayesOpt::new(space.clone(), BoOptions::default());
+        let mut reversed = BayesOpt::new(space, BoOptions::default());
+        let obs = [[1u32, 1], [1, 2], [2, 1], [4, 4], [3, 3]];
+        for k in obs {
+            forward.observe(k.to_vec(), hidden(&k));
+        }
+        for k in obs.iter().rev() {
+            reversed.observe(k.to_vec(), hidden(k));
+        }
+        let a = forward.first_unseen();
+        let b = reversed.first_unseen();
+        assert!(a.is_some());
+        assert_eq!(a, b);
+        // And repeated calls on the same state agree with themselves.
+        assert_eq!(a, forward.first_unseen());
     }
 
     #[test]

@@ -62,7 +62,7 @@ fn ablate_kernel(c: &mut Criterion) {
                 )
                 .unwrap();
                 black_box(gp.predict(&[2.0, 6.0]))
-            })
+            });
         });
     }
     group.finish();
@@ -116,7 +116,7 @@ fn ablate_xi(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablate_xi");
     for xi in [0.0f64, 0.01, 0.1] {
         group.bench_with_input(BenchmarkId::from_parameter(xi), &xi, |b, &xi| {
-            b.iter(|| black_box(bo_to_optimum(xi, &seeds)))
+            b.iter(|| black_box(bo_to_optimum(xi, &seeds)));
         });
     }
     group.finish();
@@ -134,12 +134,12 @@ fn ablate_bootstrap(c: &mut Criterion) {
         })
         .collect();
     group.bench_function("with_bootstrap_design", |b| {
-        b.iter(|| black_box(bo_to_optimum(0.01, &design)))
+        b.iter(|| black_box(bo_to_optimum(0.01, &design)));
     });
     // Without: four corner samples only.
     let corners = default_seed_samples();
     group.bench_function("corners_only", |b| {
-        b.iter(|| black_box(bo_to_optimum(0.01, &corners)))
+        b.iter(|| black_box(bo_to_optimum(0.01, &corners)));
     });
     group.finish();
 }
@@ -160,11 +160,11 @@ fn ablate_transfer(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablate_transfer");
     group.bench_function("warm_start_from_prior", |b| {
-        b.iter(|| black_box(bo_to_optimum(0.01, &prior)))
+        b.iter(|| black_box(bo_to_optimum(0.01, &prior)));
     });
     group.bench_function("cold_start", |b| {
         let corners = default_seed_samples();
-        b.iter(|| black_box(bo_to_optimum(0.01, &corners[..2])))
+        b.iter(|| black_box(bo_to_optimum(0.01, &corners[..2])));
     });
     group.finish();
 }
@@ -194,7 +194,7 @@ fn ablate_truerate(c: &mut Criterion) {
         // Two measure→plan rounds with the chosen metric.
         let mut current = vec![1u32, 1, 1];
         for _ in 0..3 {
-            fc.run_for(60.0);
+            fc.run_for(60.0).expect("fixed positive duration");
             let Some(m) = fc.metrics(30.0) else { break };
             let mut next = Vec::new();
             let mut target = m.producer_rate;
@@ -235,7 +235,7 @@ fn ablate_acquisition(c: &mut Criterion) {
         ("thompson", Acquisition::Thompson),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &acq, |b, &acq| {
-            b.iter(|| black_box(bo_to_optimum_with(acq, 0.01, &seeds)))
+            b.iter(|| black_box(bo_to_optimum_with(acq, 0.01, &seeds)));
         });
     }
     group.finish();

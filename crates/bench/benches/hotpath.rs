@@ -66,7 +66,7 @@ fn bench_bo_suggest(c: &mut Criterion) {
                 bo.observe(k.clone(), *s);
             }
             black_box(bo.suggest().unwrap())
-        })
+        });
     });
 
     // Scoring alone, on a pre-fitted surrogate (the transfer-learning path
@@ -78,7 +78,7 @@ fn bench_bo_suggest(c: &mut Criterion) {
         for (k, s) in &hist {
             bo.observe(k.clone(), *s);
         }
-        b.iter(|| black_box(bo.suggest_with(&gp)))
+        b.iter(|| black_box(bo.suggest_with(&gp)));
     });
 }
 
@@ -122,7 +122,7 @@ fn bench_constrained_suggest(c: &mut Criterion) {
                     bo.observe_constrained(k.clone(), *s, latency);
                 }
                 black_box(bo.suggest().unwrap())
-            })
+            });
         });
     }
     group.finish();
@@ -167,7 +167,7 @@ fn bench_observe_then_suggest(c: &mut Criterion) {
                 let mut bo = seeded.clone();
                 bo.observe(next_obs.0.clone(), next_obs.1);
                 black_box(bo.suggest().unwrap())
-            })
+            });
         });
     }
     group.finish();
@@ -221,7 +221,7 @@ fn bench_sparse_suggest(c: &mut Criterion) {
             b.iter(|| {
                 let mut bo = seeded.clone();
                 black_box(bo.suggest().unwrap())
-            })
+            });
         });
     }
     group.finish();
@@ -246,7 +246,7 @@ fn bench_gp_fit_auto(c: &mut Criterion) {
                 ..Default::default()
             };
             group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
-                b.iter(|| black_box(fit_auto(x.clone(), y.clone(), &opts).unwrap()))
+                b.iter(|| black_box(fit_auto(x.clone(), y.clone(), &opts).unwrap()));
             });
         }
     }
@@ -265,17 +265,17 @@ fn bench_gram_build(c: &mut Criterion) {
             let mut g = Matrix::from_fn(x.len(), x.len(), |i, j| kernel.eval(&x[i], &x[j]));
             g.add_diagonal(noise);
             black_box(g)
-        })
+        });
     });
     let dists = PairwiseSqDists::new(&x, false);
     group.bench_function("distance_cached_n100", |b| {
-        b.iter(|| black_box(dists.gram(&kernel, noise)))
+        b.iter(|| black_box(dists.gram(&kernel, noise)));
     });
     group.bench_function("cache_plus_build_n100", |b| {
         b.iter(|| {
             let d = PairwiseSqDists::new(&x, false);
             black_box(d.gram(&kernel, noise))
-        })
+        });
     });
     group.finish();
 }
@@ -297,7 +297,7 @@ fn bench_sim_step(c: &mut Criterion) {
             b.iter(|| {
                 sim.step().unwrap();
                 black_box(sim.now())
-            })
+            });
         });
     }
     group.finish();
@@ -319,7 +319,7 @@ fn bench_sim_run_for(c: &mut Criterion) {
                 sim.deploy(&[1u32; FOUR_CHAIN_OPS]).unwrap();
                 sim.run_for(100_000.0).unwrap();
                 black_box(sim.state_hash())
-            })
+            });
         });
     }
     group.finish();

@@ -62,7 +62,7 @@ fn bench_fig1_case1(c: &mut Criterion) {
             sim.deploy(&[2, 2, 2, 2]).unwrap();
             sim.run_for(120.0).unwrap();
             black_box(sim.snapshot())
-        })
+        });
     });
 }
 
@@ -75,7 +75,7 @@ fn bench_fig2_case2(c: &mut Criterion) {
             sim.deploy(&[3, 3, 3, 3]).unwrap();
             sim.run_for(120.0).unwrap();
             black_box(sim.snapshot())
-        })
+        });
     });
 }
 
@@ -88,7 +88,7 @@ fn bench_fig5_throughput_opt(c: &mut Criterion) {
                 .run(&mut cluster)
                 .unwrap();
             black_box(outcome)
-        })
+        });
     });
 }
 
@@ -104,7 +104,7 @@ fn bench_tables23_elasticity_step(c: &mut Criterion) {
                 .evaluate(&mut cluster, &[1, 3, 1], SamplePhase::BoStep)
                 .unwrap();
             black_box(record)
-        })
+        });
     });
 }
 
@@ -145,7 +145,7 @@ fn bench_fig8_transfer(c: &mut Criterion) {
                 bo.observe(k, mu);
             }
             black_box(bo.suggest().unwrap())
-        })
+        });
     });
 }
 
@@ -170,7 +170,7 @@ fn bench_table4_overhead(c: &mut Criterion) {
         let y: Vec<f64> = dataset.iter().map(|(_, s)| *s).collect();
 
         group.bench_with_input(BenchmarkId::new("alg1_train", n), &n, |b, _| {
-            b.iter(|| black_box(fit_auto(x.clone(), y.clone(), &FitOptions::default()).unwrap()))
+            b.iter(|| black_box(fit_auto(x.clone(), y.clone(), &FitOptions::default()).unwrap()));
         });
 
         let gp = fit_auto(x.clone(), y.clone(), &FitOptions::default()).unwrap();
@@ -191,7 +191,7 @@ fn bench_table4_overhead(c: &mut Criterion) {
                     ));
                 }
                 black_box(best)
-            })
+            });
         });
     }
     group.finish();

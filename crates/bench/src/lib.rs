@@ -11,4 +11,7 @@
 //! regeneration lives in the `autrascale-experiments` binary instead —
 //! Criterion is for cost, the binary is for shapes.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod sim_events;

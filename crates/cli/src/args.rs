@@ -155,7 +155,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                     "--seed" => {
                         options.seed = value
                             .parse()
-                            .map_err(|_| ParseError(format!("bad --seed {value:?}")))?
+                            .map_err(|_| ParseError(format!("bad --seed {value:?}")))?;
                     }
                     "--latency-target" => options.latency_target = Some(parse_number(flag, value)?),
                     "--report-interval" => options.report_interval = parse_number(flag, value)?,

@@ -9,6 +9,9 @@
 //!                     [--report-interval 300] [--csv timeline.csv]
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 mod args;
 mod run;
 

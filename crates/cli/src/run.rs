@@ -128,7 +128,7 @@ pub fn simulate(options: &SimulateOptions) -> Result<(), String> {
     };
     match &options.policy {
         Policy::AuTraScale => {
-            cluster.run_for(60.0);
+            cluster.run_for(60.0).expect("fixed positive duration");
             let mut controller = MapeController::new(config.clone());
             controller
                 .activate(&mut cluster)
@@ -173,7 +173,7 @@ pub fn simulate(options: &SimulateOptions) -> Result<(), String> {
             break;
         }
         let step = options.report_interval.min(remaining);
-        cluster.run_for(step);
+        cluster.run_for(step).expect("fixed positive duration");
         let Some(m) = cluster.metrics_over(options.report_interval.min(120.0)) else {
             continue;
         };

@@ -168,7 +168,7 @@ impl Algorithm1 {
         if cluster.current_parallelism() != k {
             cluster.deploy(k)?;
         }
-        cluster.advance(self.config.policy_running_time);
+        cluster.advance(self.config.policy_running_time)?;
         // The paper's policy running time exists because QoS is "extremely
         // unstable" right after a restart. Two guards: (1) while a deep
         // backlog inherited from previous samples is still DRAINING, wait
@@ -182,7 +182,7 @@ impl Algorithm1 {
             let deep_backlog = m.kafka_lag > 5.0 * m.producer_rate.max(1.0);
             let draining = m.kafka_lag_delta < 0.0;
             if deep_backlog && draining {
-                cluster.advance(self.config.policy_running_time / 2.0);
+                cluster.advance(self.config.policy_running_time / 2.0)?;
                 waited = true;
             } else {
                 break;
@@ -191,7 +191,7 @@ impl Algorithm1 {
         if waited {
             // One clean settle period so the measurement window holds no
             // drain-phase samples.
-            cluster.advance(self.config.policy_running_time);
+            cluster.advance(self.config.policy_running_time)?;
         }
         let metrics = cluster
             .metrics(self.config.policy_running_time / 4.0)
@@ -338,7 +338,7 @@ impl Algorithm1 {
                 .unwrap_or(last);
             if cluster.current_parallelism() != best.parallelism {
                 cluster.deploy(&best.parallelism)?;
-                cluster.advance(self.config.policy_running_time);
+                cluster.advance(self.config.policy_running_time)?;
             }
             best
         };

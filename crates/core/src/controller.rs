@@ -50,6 +50,7 @@ pub enum ControllerEvent {
 
 /// The AuTraScale controller: owns the model library and the per-rate
 /// state, and drives a [`JobControl`] cluster.
+#[derive(Debug)]
 pub struct MapeController {
     config: AuTraScaleConfig,
     library: ModelLibrary,
@@ -216,7 +217,7 @@ impl MapeController {
         let mut events = Vec::new();
         let deadline = cluster.now() + total_secs;
         while cluster.now() < deadline {
-            cluster.advance(self.config.policy_interval);
+            cluster.advance(self.config.policy_interval)?;
             events.extend(self.activate(cluster)?);
         }
         Ok(events)
@@ -278,7 +279,7 @@ mod tests {
     fn first_activation_builds_model() {
         let mut fc = cluster_with(RateProfile::constant(10_000.0), 31);
         fc.submit(&[1, 1]).unwrap();
-        fc.run_for(60.0);
+        fc.run_for(60.0).unwrap();
         let mut ctrl = MapeController::new(config());
         let events = ctrl.activate(&mut fc).unwrap();
         assert!(events
@@ -304,12 +305,12 @@ mod tests {
     fn steady_state_is_a_noop() {
         let mut fc = cluster_with(RateProfile::constant(10_000.0), 32);
         fc.submit(&[1, 1]).unwrap();
-        fc.run_for(60.0);
+        fc.run_for(60.0).unwrap();
         let mut ctrl = MapeController::new(config());
         ctrl.activate(&mut fc).unwrap();
         // Give the final configuration time to stabilize, then activate
         // again: no QoS violation, so no action.
-        fc.run_for(120.0);
+        fc.run_for(120.0).unwrap();
         let events = ctrl.activate(&mut fc).unwrap();
         assert!(
             events
@@ -326,14 +327,14 @@ mod tests {
             33,
         );
         fc.submit(&[1, 2]).unwrap();
-        fc.run_for(60.0);
+        fc.run_for(60.0).unwrap();
         let mut ctrl = MapeController::new(config());
         ctrl.activate(&mut fc).unwrap();
         assert_eq!(ctrl.library().len(), 1);
 
         // Jump past the rate change.
         let past = 2_100.0 - fc.now().min(2_100.0);
-        fc.run_for(past.max(0.0) + 60.0);
+        fc.run_for(past.max(0.0) + 60.0).unwrap();
         let events = ctrl.activate(&mut fc).unwrap();
         assert!(
             events

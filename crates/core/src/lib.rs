@@ -58,6 +58,9 @@
 //! assert!(outcome.final_parallelism[1] >= 2);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod algorithm1;
 mod config;
 pub mod controller;

@@ -83,7 +83,7 @@ impl ThroughputOptimizer {
         let mut reached = false;
 
         for _ in 0..self.config.max_throughput_iters {
-            cluster.advance(self.config.policy_running_time);
+            cluster.advance(self.config.policy_running_time)?;
             let metrics = cluster
                 .metrics(self.config.policy_running_time / 2.0)
                 .ok_or_else(|| "no metrics available after policy running time".to_string())?;
@@ -151,7 +151,7 @@ impl ThroughputOptimizer {
         // Leave the cluster on the selected configuration.
         if cluster.current_parallelism() != outcome.final_parallelism {
             cluster.deploy(&outcome.final_parallelism)?;
-            cluster.advance(self.config.policy_running_time);
+            cluster.advance(self.config.policy_running_time)?;
         }
         Ok(outcome)
     }

@@ -118,7 +118,7 @@ fn fresh_cluster(workload: &Workload, scenario: Scenario, seed: u64) -> FlinkClu
         .submit(&scenario.initial_parallelism(workload))
         .expect("initial parallelism valid");
     // Settle before any method observes it.
-    cluster.run_for(120.0);
+    cluster.run_for(120.0).expect("fixed positive duration");
     cluster
 }
 
@@ -126,7 +126,7 @@ fn fresh_cluster(workload: &Workload, scenario: Scenario, seed: u64) -> FlinkClu
 /// latency, throughput and lag trend over a clean window. All methods are
 /// judged by this same yardstick (Fig. 6 plots these latencies).
 fn steady_verdict(cluster: &mut FlinkCluster, workload: &Workload) -> (f64, f64, bool) {
-    cluster.run_for(600.0);
+    cluster.run_for(600.0).expect("fixed positive duration");
     let Some(m) = cluster.metrics_over(150.0) else {
         return (f64::INFINITY, 0.0, false);
     };

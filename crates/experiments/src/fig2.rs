@@ -96,7 +96,7 @@ mod tests {
             .iter()
             .map(|p| p.processing_latency_ms)
             .collect();
-        let l_min = l.iter().cloned().fold(f64::INFINITY, f64::min);
+        let l_min = l.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(l[0] > l_min, "{l:?}");
         // …and the provisioned tail (p≥4) is not monotonically improving:
         // comm cost makes p=6 worse than the best provisioned point.

@@ -130,7 +130,9 @@ pub fn run_fig5b(seed: u64) -> Fig5bReport {
     cluster
         .deploy(&vec![p_max; w.num_operators()])
         .expect("max uniform parallelism is valid");
-    cluster.advance(config.policy_running_time);
+    cluster
+        .advance(config.policy_running_time)
+        .expect("fixed positive duration");
     let max_uniform_throughput = cluster
         .metrics(config.policy_running_time / 4.0)
         .map(|m| m.throughput)

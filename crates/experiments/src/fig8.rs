@@ -91,7 +91,13 @@ fn latency_distribution(cluster: &FlinkCluster, window: f64) -> LatencyDistribut
         .into_iter()
         .flat_map(|(_, pts)| pts)
         .collect();
-    let pct = |q: f64| autrascale_metricsdb::percentile(&points, q).unwrap_or(0.0);
+    // Ranks are the literals below, so the Err arm is impossible.
+    let pct = |q: f64| {
+        autrascale_metricsdb::percentile(&points, q)
+            .ok()
+            .flatten()
+            .unwrap_or(0.0)
+    };
     LatencyDistribution {
         mean_ms: autrascale_metricsdb::mean(&points).unwrap_or(0.0),
         p50_ms: pct(50.0),
@@ -127,9 +133,9 @@ fn settle(cluster: &mut FlinkCluster, rate: f64) {
         if cluster.simulation().kafka_lag() <= rate {
             break;
         }
-        cluster.run_for(120.0);
+        cluster.run_for(120.0).expect("fixed positive duration");
     }
-    cluster.run_for(150.0);
+    cluster.run_for(150.0).expect("fixed positive duration");
 }
 
 /// Runs one query's transfer experiment.
@@ -168,7 +174,7 @@ pub fn run_query(
         let sim = Simulation::new(workload.config(new_rate, seed)).expect("valid workload");
         let mut cluster = FlinkCluster::new(sim);
         cluster.submit(&old_base).expect("old base is valid");
-        cluster.run_for(60.0); // one policy interval until detection
+        cluster.run_for(60.0).expect("fixed positive duration"); // one policy interval until detection
 
         let thr_new = ThroughputOptimizer::new(&config)
             .run(&mut cluster)
@@ -196,7 +202,7 @@ pub fn run_query(
         let sim = Simulation::new(workload.config(new_rate, seed + 1)).expect("valid workload");
         let mut cluster = FlinkCluster::new(sim);
         cluster.submit(&old_base).expect("old base is valid");
-        cluster.run_for(60.0);
+        cluster.run_for(60.0).expect("fixed positive duration");
         let policy = Ds2Policy::new(Ds2Config {
             policy_running_time: config.policy_running_time,
             ..Default::default()
@@ -309,7 +315,7 @@ mod tests {
         let sim = Simulation::new(w.config(50_000.0, 3)).unwrap();
         let mut cluster = FlinkCluster::new(sim);
         cluster.submit(&[1, 6]).unwrap();
-        cluster.run_for(200.0);
+        cluster.run_for(200.0).expect("fixed positive duration");
         let d = latency_distribution(&cluster, 150.0);
         assert!(d.p50_ms <= d.p95_ms);
         assert!(d.p95_ms <= d.p99_ms);

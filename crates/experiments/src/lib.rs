@@ -23,6 +23,9 @@
 //! | `bootstrap`  | §V-C's "more samples, fewer iterations" claim   | [`bootstrap_sweep`] |
 //! | `slo`        | SLO-safety sweep: constrained vs unconstrained acquisition across the scenario battery | [`slo_sweep`] |
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod bootstrap_sweep;
 pub mod elasticity;
 pub mod fig1;

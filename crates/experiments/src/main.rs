@@ -8,6 +8,9 @@
 //! Artifacts land in `results/` (override with `AUTRASCALE_RESULTS_DIR`);
 //! a markdown summary prints to stdout.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 use autrascale_experiments::{
     bootstrap_sweep, elasticity, fig1, fig2, fig5, fig8, output, slo_sweep, table4,
 };

@@ -80,7 +80,9 @@ fn run_point(s: &Scenario, seed: u64, constrained: bool) -> ElasticityOutcome {
     let sim = s.build(seed).expect("scenario builds");
     let mut cluster = FlinkCluster::new(sim);
     cluster.submit(&s.initial_parallelism).expect("submit");
-    cluster.run_for(warmup_for(s));
+    cluster
+        .run_for(warmup_for(s))
+        .expect("fixed positive duration");
     let cfg = battery_config(s, seed, constrained);
     let alg = Algorithm1::new(&cfg, s.initial_parallelism.clone(), s.as_workload().p_max());
     alg.run(&mut cluster, Vec::new()).expect("algorithm 1 runs")

@@ -17,6 +17,7 @@ pub enum JobStatus {
 
 /// A handle on the simulated cluster exposing the control-plane surface
 /// the paper's System Scheduler and Metric Aggregator need.
+#[derive(Debug)]
 pub struct FlinkCluster {
     sim: Simulation,
     submitted: bool,
@@ -58,16 +59,11 @@ impl FlinkCluster {
         }
     }
 
-    /// Lets wall-clock advance by `secs` of simulation time.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `secs` is non-finite or negative; the simulator rejects
-    /// such durations and the control plane has no sensible fallback.
-    pub fn run_for(&mut self, secs: f64) {
-        self.sim
-            .run_for(secs)
-            .expect("run_for needs a finite, non-negative duration");
+    /// Lets wall-clock advance by `secs` of simulation time. Errors if
+    /// `secs` is non-finite or negative (the simulator rejects such
+    /// durations); the job state is untouched on error.
+    pub fn run_for(&mut self, secs: f64) -> Result<(), SimError> {
+        self.sim.run_for(secs)
     }
 
     /// Current simulation time, seconds.
@@ -133,8 +129,9 @@ impl FlinkCluster {
         let job = self.sim.job();
         let parallelism = self.sim.parallelism();
         let mut operators = Vec::with_capacity(job.len());
-        for (i, op) in job.operators().iter().enumerate() {
-            let p = parallelism[i];
+        // zip (not indexing) keeps this total even if a deploy ever left
+        // the parallelism vector shorter than the operator list.
+        for (op, &p) in job.operators().iter().zip(parallelism) {
             // Per-subtask series: only subtasks of the CURRENT incarnation
             // (0..p) count; series from a previous, larger parallelism may
             // still hold points inside the window.
@@ -224,12 +221,27 @@ mod tests {
         assert!(matches!(fc.rescale(&[1, 1, 1]), Err(SimError::NotDeployed)));
         fc.submit(&[1, 1, 1]).unwrap();
         assert_eq!(fc.status(), JobStatus::Running);
-        fc.run_for(30.0);
+        fc.run_for(30.0).unwrap();
         fc.rescale(&[1, 2, 1]).unwrap();
         assert_eq!(fc.status(), JobStatus::Restarting);
-        fc.run_for(60.0);
+        fc.run_for(60.0).unwrap();
         assert_eq!(fc.status(), JobStatus::Running);
         assert_eq!(fc.parallelism(), &[1, 2, 1]);
+    }
+
+    #[test]
+    fn run_for_rejects_bad_durations_without_panicking() {
+        // Regression for the R1 lint fix: a negative or non-finite duration
+        // used to abort via expect(); it is now the simulator's typed error
+        // and leaves the job runnable.
+        let mut fc = cluster(10_000.0);
+        fc.submit(&[1, 1, 1]).unwrap();
+        assert!(fc.run_for(-1.0).is_err());
+        assert!(fc.run_for(f64::NAN).is_err());
+        assert!(fc.run_for(f64::INFINITY).is_err());
+        fc.run_for(10.0).unwrap();
+        assert_eq!(fc.status(), JobStatus::Running);
+        assert!((fc.now() - 10.0).abs() < 0.2, "now = {}", fc.now());
     }
 
     #[test]
@@ -237,7 +249,7 @@ mod tests {
         let mut fc = cluster(10_000.0);
         fc.submit(&[1, 1, 1]).unwrap();
         assert!(fc.metrics_over(10.0).is_none());
-        fc.run_for(15.0);
+        fc.run_for(15.0).unwrap();
         assert!(fc.metrics_over(10.0).is_some());
     }
 
@@ -245,7 +257,7 @@ mod tests {
     fn aggregator_sums_across_subtasks() {
         let mut fc = cluster(40_000.0);
         fc.submit(&[1, 3, 1]).unwrap();
-        fc.run_for(60.0);
+        fc.run_for(60.0).unwrap();
         let m = fc.metrics_over(30.0).unwrap();
         let map = m.operator("Map").unwrap();
         assert_eq!(map.parallelism, 3);
@@ -266,7 +278,7 @@ mod tests {
     fn observed_below_true_when_idle() {
         let mut fc = cluster(5_000.0);
         fc.submit(&[1, 1, 1]).unwrap();
-        fc.run_for(60.0);
+        fc.run_for(60.0).unwrap();
         let m = fc.metrics_over(30.0).unwrap();
         let map = m.operator("Map").unwrap();
         assert!(map.observed_rate_total < map.true_rate_total / 2.0);
@@ -276,9 +288,9 @@ mod tests {
     fn rescale_down_uses_current_subtasks_only() {
         let mut fc = cluster(20_000.0);
         fc.submit(&[1, 4, 1]).unwrap();
-        fc.run_for(60.0);
+        fc.run_for(60.0).unwrap();
         fc.rescale(&[1, 1, 1]).unwrap();
-        fc.run_for(60.0);
+        fc.run_for(60.0).unwrap();
         let m = fc.metrics_over(20.0).unwrap();
         let map = m.operator("Map").unwrap();
         assert_eq!(map.parallelism, 1);

@@ -20,8 +20,9 @@ pub trait JobControl {
     /// not running, stop-with-savepoint + restart otherwise.
     fn deploy(&mut self, parallelism: &[u32]) -> Result<(), String>;
 
-    /// Lets `secs` of (simulation) time pass.
-    fn advance(&mut self, secs: f64);
+    /// Lets `secs` of (simulation) time pass. Errors (stringified, like
+    /// [`JobControl::deploy`]) on a non-finite or negative duration.
+    fn advance(&mut self, secs: f64) -> Result<(), String>;
 
     /// Aggregated metrics over the trailing `window_secs`.
     fn metrics(&self, window_secs: f64) -> Option<JobMetrics>;
@@ -51,8 +52,8 @@ impl JobControl for FlinkCluster {
         result.map_err(|e| e.to_string())
     }
 
-    fn advance(&mut self, secs: f64) {
-        self.run_for(secs);
+    fn advance(&mut self, secs: f64) -> Result<(), String> {
+        self.run_for(secs).map_err(|e| e.to_string())
     }
 
     fn metrics(&self, window_secs: f64) -> Option<JobMetrics> {
@@ -114,8 +115,19 @@ mod tests {
     fn advance_and_metrics_flow() {
         let mut fc = control();
         JobControl::deploy(&mut fc, &[1, 1]).unwrap();
-        fc.advance(30.0);
+        fc.advance(30.0).unwrap();
         assert!((JobControl::now(&fc) - 30.0).abs() < 0.2);
         assert!(fc.metrics(10.0).is_some());
+    }
+
+    #[test]
+    fn advance_surfaces_bad_durations_as_errors() {
+        // Regression for the R1 lint fix: advance() used to panic through
+        // run_for's expect() on bad durations.
+        let mut fc = control();
+        JobControl::deploy(&mut fc, &[1, 1]).unwrap();
+        assert!(fc.advance(-5.0).is_err());
+        assert!(fc.advance(f64::NAN).is_err());
+        fc.advance(1.0).unwrap();
     }
 }

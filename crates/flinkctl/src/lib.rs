@@ -17,6 +17,9 @@
 //! is that control plane, minus HTTP: every method corresponds 1:1 to a
 //! REST endpoint the real implementation would call.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 mod client;
 mod control;
 mod metrics_view;

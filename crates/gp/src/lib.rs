@@ -35,6 +35,9 @@
 //! assert!((p.mean - 1.0).abs() < 0.1);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 mod fit;
 mod gaussian_process;
 pub mod gram;

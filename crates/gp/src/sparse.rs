@@ -628,8 +628,8 @@ mod tests {
         assert!(idx.contains(&incumbent));
         // Dispersion: selected inputs span most of [0, 10).
         let values: Vec<f64> = idx.iter().map(|&i| x[i][0]).collect();
-        let span = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-            - values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let span = values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            - values.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(span > 8.0, "span {span}");
     }
 

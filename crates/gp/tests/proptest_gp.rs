@@ -61,8 +61,8 @@ proptest! {
     /// within the convex hull of targets (shrinkage toward the data mean).
     #[test]
     fn mean_stays_in_target_hull((x, y) in training_set(), kind in any_kind()) {
-        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = y.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let kernel = Kernel::isotropic(kind, 1.0, 1.0);
         let cfg = GpConfig { kernel, noise_variance: 0.1, normalize_y: true };
         let gp = GaussianProcess::fit(x.clone(), y, cfg).unwrap();
@@ -289,7 +289,7 @@ proptest! {
         prop_assert_eq!(idx.len(), m.min(n));
         prop_assert!(idx.iter().all(|&i| i < n));
         prop_assert!(idx.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
-        let best = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let best = y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(
             idx.iter().any(|&i| y[i] == best),
             "incumbent (y = {best}) missing from subset {idx:?}"

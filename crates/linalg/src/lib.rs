@@ -24,6 +24,9 @@
 //! assert!((4.0 * x[0] + 2.0 * x[1] - 2.0).abs() < 1e-12);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 mod cholesky;
 pub mod lbfgs;
 mod matrix;

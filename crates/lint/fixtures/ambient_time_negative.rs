@@ -1,0 +1,12 @@
+// Fixture: none of these may be reported by the `ambient-time` rule.
+fn f(seed: u64, sim_now: f64) -> f64 {
+    // Seeded RNG and explicit simulation time are the sanctioned forms.
+    let rng = splitmix(seed);
+    sim_now + rng as f64
+    // "Instant" or "SystemTime" in comments and strings do not count.
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z ^ (z >> 31)
+}

@@ -1,0 +1,16 @@
+// Fixture: every EXPECT line must be reported by the `ambient-time` rule
+// (when scanned as a non-exempt crate).
+use std::time::Instant; // EXPECT line 3
+use std::time::SystemTime; // EXPECT line 4
+
+fn f() -> u128 {
+    let t0 = Instant::now(); // EXPECT line 7
+    let wall = SystemTime::now(); // EXPECT line 8
+    let _ = wall;
+    t0.elapsed().as_nanos()
+}
+
+fn g() -> u64 {
+    let mut rng = rand::thread_rng(); // EXPECT line 14
+    rng.next_u64()
+}

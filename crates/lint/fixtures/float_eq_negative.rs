@@ -1,0 +1,18 @@
+// Fixture: none of these may be reported by the `float-eq` rule.
+fn f(x: f64, y: f64, n: usize, m: usize) -> bool {
+    let a = n == m; // integer equality is fine
+    let b = (x - y).abs() < 1e-12; // the sanctioned tolerance compare
+    let c = x.to_bits() == y.to_bits(); // bitwise parity idiom
+    let d = "x == 1.0".len() == 8; // float `==` inside a string
+    let lens = x.max(0.0).to_bits() != 0; // method-call result, not a float
+    a && b && c && d && lens
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn parity_tests_may_compare_exactly() {
+        let x = 0.1 + 0.2;
+        assert!(x == 0.30000000000000004);
+    }
+}

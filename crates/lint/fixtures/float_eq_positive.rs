@@ -1,0 +1,9 @@
+// Fixture: every EXPECT line must be reported by the `float-eq` rule.
+fn f(x: f64, y: f64) -> bool {
+    let sentinel = f64::NEG_INFINITY;
+    let a = x == 1.0; // EXPECT line 4
+    let b = 0.5 != y; // EXPECT line 5
+    let c = x == y; // EXPECT line 6 (both operands are typed floats)
+    let d = sentinel == x; // EXPECT line 7 (let-bound float ident)
+    a && b && c && d
+}

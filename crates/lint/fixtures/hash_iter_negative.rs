@@ -1,0 +1,14 @@
+// Fixture: none of these may be reported by the `hash-iter` rule.
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+fn f(m: BTreeMap<u32, f64>) -> f64 {
+    // "HashMap" in a string or comment does not count: HashMap.
+    let _doc = "HashMap iteration order";
+    m.values().sum()
+}
+
+fn g() -> usize {
+    let s: BTreeSet<u32> = [1, 2, 3].into_iter().collect();
+    s.len()
+}

@@ -1,0 +1,13 @@
+// Fixture: every EXPECT line must be reported by the `hash-iter` rule
+// (when scanned as a deterministic-core crate).
+use std::collections::HashMap; // EXPECT line 3
+use std::collections::HashSet; // EXPECT line 4
+
+fn f(m: HashMap<u32, f64>) -> f64 { // EXPECT line 6
+    m.values().sum()
+}
+
+fn g() -> usize {
+    let s: HashSet<u32> = [1, 2, 3].into_iter().collect(); // EXPECT line 11
+    s.len()
+}

@@ -1,0 +1,15 @@
+// Fixture: none of these may be reported by the `indexing` rule.
+fn f(v: &[u32]) -> u32 {
+    let array = [1u32, 2, 3]; // array literal, not indexing
+    let [first, .., last] = array; // slice pattern after `let`
+    let full = &v[..]; // full-range slice cannot panic
+    let g = v.get(0).copied(); // checked access
+    let s: Vec<u32> = v.iter().copied().collect(); // iterators
+    first + last + full.len() as u32 + g.unwrap_or(0) + s.len() as u32
+}
+
+#[test]
+fn tests_may_index(/* attribute form without cfg(test) */) {
+    let v = [1, 2, 3];
+    assert_eq!(v[1], 2);
+}

@@ -1,0 +1,8 @@
+// Fixture: every EXPECT line must be reported by the `indexing` rule.
+fn f(v: &[u32], m: &[Vec<u32>]) -> u32 {
+    let a = v[0]; // EXPECT line 3
+    let b = m[1][2]; // EXPECT line 4 (twice: outer and chained)
+    let c = &v[1..]; // EXPECT line 5 (partial ranges can panic)
+    let d = &v[..3]; // EXPECT line 6
+    a + b + c.len() as u32 + d.len() as u32
+}

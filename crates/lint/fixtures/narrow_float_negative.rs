@@ -1,0 +1,9 @@
+// Fixture: none of these may be reported by the `narrow-float` rule.
+fn f(x: f64) -> f64 {
+    let a = 0.5f64; // f64 suffix is fine
+    let b = 0x1f32 as u64; // hex literal ending in "f32" is an integer
+    let c = x * 2.0;
+    // "f32" in a comment or string does not count: f32.
+    let s = "never use f32";
+    a + b as f64 + c + s.len() as f64
+}

@@ -1,0 +1,7 @@
+// Fixture: every EXPECT line must be reported by the `narrow-float` rule
+// (when scanned as a numeric crate).
+fn f(x: f64) -> f64 {
+    let a = x as f32; // EXPECT line 4
+    let b: f32 = 0.5f32; // EXPECT line 5 (twice: type and literal suffix)
+    f64::from(a) + f64::from(b)
+}

@@ -1,0 +1,26 @@
+// Fixture: none of these may be reported by the `panic` rule.
+fn f(x: Option<u32>) -> Option<u32> {
+    // unwrap()/panic!() in comments do not count; neither do strings:
+    let s = "please do not panic!(now) or x.unwrap() here";
+    let _ = s;
+    let v = x?; // `?` is the sanctioned propagation
+    x.map(|n| n + v).or(Some(0)) // combinators are fine
+}
+
+fn unwrap_or_is_fine(x: Option<u32>) -> u32 {
+    // `unwrap_or` / `unwrap_or_else` / `unwrap_or_default` never panic and
+    // must not match the bare-`unwrap` pattern.
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        if false {
+            panic!("tests are exempt");
+        }
+    }
+}

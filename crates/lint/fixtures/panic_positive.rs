@@ -1,0 +1,14 @@
+// Fixture: every line tagged EXPECT must be reported by the `panic` rule.
+fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap(); // EXPECT line 3
+    let b = x.expect("present"); // EXPECT line 4
+    if a > b {
+        panic!("boom"); // EXPECT line 6
+    }
+    match a {
+        0 => unreachable!(), // EXPECT line 9
+        1 => todo!(), // EXPECT line 10
+        2 => unimplemented!(), // EXPECT line 11
+        _ => a,
+    }
+}

@@ -1,0 +1,36 @@
+// Fixture: lexing stress. Nothing in this file may produce ANY finding —
+// every would-be violation is inside a string, raw string, or comment.
+fn f() -> usize {
+    let plain = "x.unwrap() and v[0] and a == 1.0 and HashMap";
+    let escaped = "quote \" then x.expect(\"boom\") still inside";
+    let raw = r"raw \ backslash does not escape: panic!(now)";
+    let hashed = r#"one hash: "inner quotes" and unsafe { } here"#;
+    let doubled = r##"two hashes: "# not the end "# keeps going"##;
+    let ch = '"'; // a quote char, not a string opener
+    let not_lifetime: char = 'a';
+    /* block comment with x.unwrap() and v[1]
+       /* nested block comment: SystemTime::now() */
+       still commented: 0.1 == 0.2 */
+    let b = b"byte string with x.expect(\"no\")";
+    let rb = br#"raw byte string: thread_rng()"#;
+    plain.len()
+        + escaped.len()
+        + raw.len()
+        + hashed.len()
+        + doubled.len()
+        + (ch as usize)
+        + (not_lifetime as usize)
+        + b.len()
+        + rb.len()
+}
+
+struct S<'a> {
+    // A lifetime right next to a char-looking token:
+    r: &'a str,
+}
+
+fn generic_lifetimes<'b>(s: S<'b>) -> &'b str {
+    // `r#match` is a raw identifier, not a raw string opener:
+    let r#match = s.r;
+    r#match
+}

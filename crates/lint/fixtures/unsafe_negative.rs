@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+// Fixture: scanned as a crate root; the attribute above satisfies the
+// `unsafe-code` presence check and nothing here may be reported.
+fn f(v: &[u32]) -> u32 {
+    // "unsafe" in a string or comment does not count: unsafe.
+    let s = "unsafe { }";
+    v.iter().sum::<u32>() + s.len() as u32
+}

@@ -1,0 +1,6 @@
+// Fixture: every EXPECT line must be reported by the `unsafe-code` rule.
+fn f(p: *const u32) -> u32 {
+    unsafe { *p } // EXPECT line 3
+}
+
+unsafe fn g() {} // EXPECT line 6

@@ -1,0 +1,315 @@
+//! The ratchet baseline: `lint-baseline.toml` records, per (rule, file),
+//! how many findings are grandfathered in and why. A run fails on findings
+//! *above* the allowance (new debt) and on allowances *above* the findings
+//! (stale entries — the baseline may only shrink, never silently pad).
+//!
+//! The parser is a hand-rolled subset of TOML — `[[allow]]` tables with
+//! `key = "string"` / `key = integer` pairs and `#` comments — so the lint
+//! binary stays dependency-free.
+
+use crate::report::Finding;
+use std::collections::BTreeMap;
+
+/// One grandfathered (rule, file) allowance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub file: String,
+    pub count: u32,
+    /// Required one-line justification; entries without one are rejected.
+    pub justification: String,
+}
+
+/// Parsed baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    pub entries: Vec<AllowEntry>,
+}
+
+/// Parse failures carry the 1-based line for fixups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint-baseline.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl Baseline {
+    /// Parses the TOML subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut current: Option<(u32, PartialEntry)> = None;
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some((at, partial)) = current.take() {
+                    entries.push(partial.finish(at)?);
+                }
+                current = Some((lineno, PartialEntry::default()));
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(BaselineError {
+                    line: lineno,
+                    message: format!("unsupported table {line}; only [[allow]] is recognised"),
+                });
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(BaselineError {
+                    line: lineno,
+                    message: format!("expected key = value, got {line}"),
+                });
+            };
+            let Some((_, partial)) = current.as_mut() else {
+                return Err(BaselineError {
+                    line: lineno,
+                    message: "key/value outside any [[allow]] table".to_string(),
+                });
+            };
+            partial.set(key.trim(), value.trim(), lineno)?;
+        }
+        if let Some((at, partial)) = current.take() {
+            entries.push(partial.finish(at)?);
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Serialises back to the same subset, sorted by (file, rule) so the
+    /// checked-in file is diff-stable.
+    pub fn render(&self) -> String {
+        let mut sorted = self.entries.clone();
+        sorted.sort_by(|a, b| (&a.file, &a.rule).cmp(&(&b.file, &b.rule)));
+        let mut out = String::from(
+            "# Grandfathered lint findings. The ratchet only tightens: raising a count\n\
+             # or adding an entry requires justification in review; stale entries fail CI.\n",
+        );
+        for e in &sorted {
+            out.push_str(&format!(
+                "\n[[allow]]\nrule = \"{}\"\nfile = \"{}\"\ncount = {}\njustification = \"{}\"\n",
+                e.rule, e.file, e.count, e.justification
+            ));
+        }
+        out
+    }
+
+    /// Splits raw findings into (new, suppressed-count) and reports stale
+    /// entries. Matching is by exact (rule, file) with count semantics:
+    /// findings ≤ count are suppressed; the excess is new; count with no
+    /// findings left over is stale.
+    pub fn apply(&self, findings: &[Finding]) -> (Vec<Finding>, Vec<String>, usize) {
+        let mut budget: BTreeMap<(String, String), u32> = BTreeMap::new();
+        for e in &self.entries {
+            *budget.entry((e.rule.clone(), e.file.clone())).or_insert(0) += e.count;
+        }
+        let mut new_findings = Vec::new();
+        let mut suppressed = 0usize;
+        for f in findings {
+            let key = (f.rule.clone(), f.file.clone());
+            match budget.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    suppressed += 1;
+                }
+                _ => new_findings.push(f.clone()),
+            }
+        }
+        let stale: Vec<String> = budget
+            .iter()
+            .filter(|(_, &n)| n > 0)
+            .map(|((rule, file), n)| format!("{rule} @ {file} ({n} unused allowance(s))"))
+            .collect();
+        (new_findings, stale, suppressed)
+    }
+
+    /// Builds a fresh baseline covering exactly `findings`, with placeholder
+    /// justifications to be hand-edited (used by `--write-baseline`).
+    pub fn covering(findings: &[Finding]) -> Baseline {
+        let mut counts: BTreeMap<(String, String), u32> = BTreeMap::new();
+        for f in findings {
+            *counts.entry((f.rule.clone(), f.file.clone())).or_insert(0) += 1;
+        }
+        Baseline {
+            entries: counts
+                .into_iter()
+                .map(|((rule, file), count)| AllowEntry {
+                    rule,
+                    file,
+                    count,
+                    justification: "TODO: justify or fix".to_string(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct PartialEntry {
+    rule: Option<String>,
+    file: Option<String>,
+    count: Option<u32>,
+    justification: Option<String>,
+}
+
+impl PartialEntry {
+    fn set(&mut self, key: &str, value: &str, line: u32) -> Result<(), BaselineError> {
+        match key {
+            "rule" => self.rule = Some(parse_string(value, line)?),
+            "file" => self.file = Some(parse_string(value, line)?),
+            "justification" => self.justification = Some(parse_string(value, line)?),
+            "count" => {
+                self.count = Some(value.parse().map_err(|_| BaselineError {
+                    line,
+                    message: format!("count must be a non-negative integer, got {value}"),
+                })?);
+            }
+            other => {
+                return Err(BaselineError {
+                    line,
+                    message: format!("unknown key {other}"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self, line: u32) -> Result<AllowEntry, BaselineError> {
+        let missing = |what: &str| BaselineError {
+            line,
+            message: format!("[[allow]] entry is missing `{what}`"),
+        };
+        let entry = AllowEntry {
+            rule: self.rule.ok_or_else(|| missing("rule"))?,
+            file: self.file.ok_or_else(|| missing("file"))?,
+            count: self.count.ok_or_else(|| missing("count"))?,
+            justification: self.justification.ok_or_else(|| missing("justification"))?,
+        };
+        if entry.justification.trim().is_empty() {
+            return Err(BaselineError {
+                line,
+                message: "justification must be non-empty".to_string(),
+            });
+        }
+        Ok(entry)
+    }
+}
+
+/// Strips a trailing `#` comment, honouring `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut prev_backslash = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_backslash => in_string = !in_string,
+            '#' if !in_string => return line.get(..i).unwrap_or(line),
+            _ => {}
+        }
+        prev_backslash = c == '\\' && !prev_backslash;
+    }
+    line
+}
+
+fn parse_string(value: &str, line: u32) -> Result<String, BaselineError> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| BaselineError {
+            line,
+            message: format!("expected a double-quoted string, got {value}"),
+        })?;
+    Ok(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, file: &str) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            group: "R1".to_string(),
+            file: file.to_string(),
+            line: 1,
+            snippet: String::new(),
+            message: String::new(),
+        }
+    }
+
+    const SAMPLE: &str = r#"
+# header comment
+[[allow]]
+rule = "panic"
+file = "crates/gp/src/kernel.rs"  # inline comment
+count = 2
+justification = "dimension mismatch is a programmer error"
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let b = Baseline::parse(SAMPLE).expect("parse");
+        assert_eq!(b.entries.len(), 1);
+        let e = b.entries.first().expect("entry");
+        assert_eq!(e.rule, "panic");
+        assert_eq!(e.count, 2);
+        assert!(e.justification.contains("programmer error"));
+    }
+
+    #[test]
+    fn missing_justification_is_rejected() {
+        let text = "[[allow]]\nrule = \"panic\"\nfile = \"x.rs\"\ncount = 1\n";
+        let err = Baseline::parse(text).expect_err("must fail");
+        assert!(err.message.contains("justification"));
+    }
+
+    #[test]
+    fn apply_splits_new_suppressed_stale() {
+        let b = Baseline::parse(SAMPLE).expect("parse");
+        // 3 findings against an allowance of 2 → 1 new, 2 suppressed.
+        let findings = vec![
+            finding("panic", "crates/gp/src/kernel.rs"),
+            finding("panic", "crates/gp/src/kernel.rs"),
+            finding("panic", "crates/gp/src/kernel.rs"),
+        ];
+        let (new, stale, suppressed) = b.apply(&findings);
+        assert_eq!((new.len(), stale.len(), suppressed), (1, 0, 2));
+
+        // 1 finding against an allowance of 2 → stale.
+        let findings = vec![finding("panic", "crates/gp/src/kernel.rs")];
+        let (new, stale, suppressed) = b.apply(&findings);
+        assert_eq!((new.len(), stale.len(), suppressed), (0, 1, 1));
+        assert!(stale
+            .first()
+            .is_some_and(|s| s.contains("1 unused allowance")));
+    }
+
+    #[test]
+    fn roundtrip_via_render() {
+        let b = Baseline::parse(SAMPLE).expect("parse");
+        let again = Baseline::parse(&b.render()).expect("reparse");
+        assert_eq!(b.entries, again.entries);
+    }
+
+    #[test]
+    fn covering_counts_per_rule_file() {
+        let findings = vec![
+            finding("panic", "a.rs"),
+            finding("panic", "a.rs"),
+            finding("float-eq", "b.rs"),
+        ];
+        let b = Baseline::covering(&findings);
+        assert_eq!(b.entries.len(), 2);
+        let (new, stale, suppressed) = b.apply(&findings);
+        assert_eq!((new.len(), stale.len(), suppressed), (0, 0, 3));
+    }
+}

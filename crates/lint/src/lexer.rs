@@ -1,0 +1,545 @@
+//! A hand-rolled Rust lexer, just deep enough to lint on: it distinguishes
+//! identifiers, numeric literals (tracking floatness and suffix), multi-char
+//! operators, and punctuation, while *discarding* the contents of string
+//! literals, char literals, raw strings, and (nested) comments — so a
+//! `"unwrap()"` inside a string or a `==` inside a comment can never produce
+//! a finding. No `syn`, no dependencies: the tool must build offline.
+//!
+//! Comments are not entirely discarded: `lint:allow(<tag>, …)` directives
+//! inside any comment are collected so rules can be waived per file.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `let`, `f64`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Integer literal (including its suffix, e.g. `3usize`).
+    Int,
+    /// Float literal (has a fractional part, exponent, or float suffix).
+    Float,
+    /// Multi-character operator from the table in [`MULTI_OPS`].
+    Op,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One significant token with its source position (1-based line).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// `true` when the token is this exact identifier.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// `true` when the token is this exact punctuation character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+
+    /// `true` when the token is this exact multi-char operator.
+    pub fn is_op(&self, op: &str) -> bool {
+        self.kind == TokKind::Op && self.text == op
+    }
+}
+
+/// Multi-character operators we must not split (`a != b` is not `a ! = b`).
+/// Longest match wins; operators absent from this table lex as single
+/// punctuation, which is harmless for every rule.
+const MULTI_OPS: &[&str] = &[
+    "..=", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..",
+];
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// Significant tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// `lint:allow(tag)` waivers collected from comments, lowercased.
+    pub allows: Vec<String>,
+}
+
+/// Lexes `source` into significant tokens plus allow directives.
+pub fn lex(source: &str) -> LexedFile {
+    Lexer::new(source).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: LexedFile,
+}
+
+impl Lexer {
+    fn new(source: &str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            out: LexedFile::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let ch = self.chars.get(self.pos).copied();
+        if let Some(c) = ch {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        ch
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> LexedFile {
+        while let Some(ch) = self.peek(0) {
+            let line = self.line;
+            match ch {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(line),
+                '\'' => self.char_or_lifetime(line),
+                'r' | 'b' => self.maybe_raw_or_byte(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphabetic() => self.ident(line),
+                _ => self.operator(line),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.scan_allow(&text);
+    }
+
+    fn block_comment(&mut self) {
+        // `/*` already peeked; consume with nesting.
+        let mut text = String::new();
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.scan_allow(&text);
+    }
+
+    /// Collects `lint:allow(a, b-c)` directives out of comment text.
+    fn scan_allow(&mut self, comment: &str) {
+        let mut rest = comment;
+        while let Some(idx) = rest.find("lint:allow(") {
+            let Some(after) = rest.get(idx + "lint:allow(".len()..) else {
+                break;
+            };
+            let Some(close) = after.find(')') else {
+                break;
+            };
+            for tag in after.get(..close).unwrap_or("").split(',') {
+                let tag = tag.trim().to_ascii_lowercase();
+                if !tag.is_empty() {
+                    self.out.allows.push(tag);
+                }
+            }
+            rest = after.get(close..).unwrap_or("");
+        }
+    }
+
+    fn string_literal(&mut self, _line: u32) {
+        // Plain (or byte) string: `"` consumed by caller loop below.
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    fn raw_string(&mut self) {
+        // At `r` (or after `b`); consume `r`, count `#`s, then scan for
+        // the matching `"##…` terminator.
+        self.bump();
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some('"') {
+            return; // raw identifier (`r#fn`) — lex the ident normally.
+        }
+        self.bump();
+        loop {
+            match self.bump() {
+                None => break,
+                Some('"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some('#') {
+                        seen += 1;
+                        self.bump();
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn maybe_raw_or_byte(&mut self, line: u32) {
+        // `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'` — or just an ident
+        // starting with `r`/`b`.
+        let c0 = self.peek(0);
+        let c1 = self.peek(1);
+        let c2 = self.peek(2);
+        match (c0, c1) {
+            (Some('r'), Some('"')) | (Some('r'), Some('#')) => {
+                // Disambiguate `r"…"` / `r#"…"#` (raw string) from
+                // `r#ident` (raw identifier) by peeking past the hashes.
+                let hashes = count_hashes(&self.chars, self.pos + 1);
+                if self.peek(1 + hashes) == Some('"') {
+                    self.raw_string();
+                } else {
+                    self.ident(line);
+                }
+            }
+            (Some('b'), Some('"')) => {
+                self.bump();
+                self.string_literal(line);
+            }
+            (Some('b'), Some('\'')) => {
+                self.bump();
+                self.char_or_lifetime(line);
+            }
+            (Some('b'), Some('r')) if matches!(c2, Some('"') | Some('#')) => {
+                self.bump();
+                self.raw_string();
+            }
+            _ => self.ident(line),
+        }
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // `'a` lifetime vs `'a'` char literal vs `'\n'` escape.
+        self.bump(); // the opening quote
+        match (self.peek(0), self.peek(1)) {
+            (Some('\\'), _) => {
+                // Escaped char literal: consume escape then closing quote.
+                self.bump();
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    // Multi-char escapes like `\u{1F600}`.
+                    self.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                }
+            }
+            (Some(c), Some('\'')) if c != '\'' => {
+                // Plain char literal `'x'`.
+                self.bump();
+                self.bump();
+            }
+            (Some(c), _) if c == '_' || c.is_alphabetic() => {
+                // Lifetime: consume the identifier.
+                let mut text = String::from("'");
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lifetime, text, line);
+            }
+            (Some(_), _) => {
+                // Unusual char literal (`'('`, `'"'`): scan to close.
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+            }
+            (None, _) => {}
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let radix_prefixed = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x') | Some('o') | Some('b') | Some('X'));
+        if radix_prefixed {
+            text.push(self.bump().unwrap_or('0'));
+            text.push(self.bump().unwrap_or('x'));
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Int, text, line);
+            return;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_digit() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        if matches!(self.peek(0), Some('e') | Some('E')) {
+            let sign_ok = match self.peek(1) {
+                Some('+') | Some('-') => self.peek(2).is_some_and(|c| c.is_ascii_digit()),
+                Some(c) => c.is_ascii_digit(),
+                None => false,
+            };
+            if sign_ok {
+                is_float = true;
+                text.push(self.bump().unwrap_or('e'));
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' || c == '+' || c == '-' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Type suffix (`f64`, `u32`, …).
+        let mut suffix = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix == "f32" || suffix == "f64" {
+            is_float = true;
+        }
+        text.push_str(&suffix);
+        let kind = if is_float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        };
+        self.push(kind, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() || c == '#' && text == "r" {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if text.is_empty() {
+            // Defensive: avoid an infinite loop on unexpected input.
+            self.bump();
+            return;
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn operator(&mut self, line: u32) {
+        for op in MULTI_OPS {
+            let len = op.chars().count();
+            let matches_op = op
+                .chars()
+                .enumerate()
+                .all(|(i, expected)| self.peek(i) == Some(expected));
+            if matches_op {
+                for _ in 0..len {
+                    self.bump();
+                }
+                self.push(TokKind::Op, (*op).to_string(), line);
+                return;
+            }
+        }
+        if let Some(c) = self.bump() {
+            self.push(TokKind::Punct, c.to_string(), line);
+        }
+    }
+}
+
+/// Number of consecutive `#` characters starting at `start`.
+fn count_hashes(chars: &[char], start: usize) -> usize {
+    chars.iter().skip(start).take_while(|&&c| c == '#').count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let toks = lex(r#"let x = "a.unwrap() == b"; y"#);
+        assert!(toks.tokens.iter().all(|t| t.text != "unwrap"));
+        assert!(toks.tokens.iter().all(|t| !t.is_op("==")));
+        assert_eq!(idents(r#"let x = "a.unwrap()"; y"#), vec!["let", "x", "y"]);
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        let toks = lex(r##"let s = r#"panic!("boom") == 1.0"#; z"##);
+        assert!(toks.tokens.iter().all(|t| t.text != "panic"));
+        assert!(toks.tokens.iter().all(|t| t.kind != TokKind::Float));
+        assert!(toks.tokens.iter().any(|t| t.is_ident("z")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner == */ still comment */ real");
+        assert_eq!(toks.tokens.len(), 1);
+        assert!(toks.tokens.first().is_some_and(|t| t.is_ident("real")));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        // Char literal contents never appear as tokens.
+        assert!(toks.tokens.iter().all(|t| t.text != "'x'"));
+    }
+
+    #[test]
+    fn float_and_int_literals() {
+        let toks = lex("let a = 1.5; let b = 2; let c = 1e-6; let d = 3f64; let e = 0x1f32;");
+        let kinds: Vec<_> = toks
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Float | TokKind::Int))
+            .map(|t| (t.kind, t.text.clone()))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (TokKind::Float, "1.5".to_string()),
+                (TokKind::Int, "2".to_string()),
+                (TokKind::Float, "1e-6".to_string()),
+                (TokKind::Float, "3f64".to_string()),
+                // Hex digits must not be misread as an f32 suffix.
+                (TokKind::Int, "0x1f32".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let toks = lex("for i in 0..10 {}");
+        assert!(toks.tokens.iter().any(|t| t.is_op("..")));
+        assert!(toks.tokens.iter().all(|t| t.kind != TokKind::Float));
+    }
+
+    #[test]
+    fn multi_char_ops_do_not_split() {
+        let toks = lex("a != b; c == d; e ..= f");
+        assert!(toks.tokens.iter().any(|t| t.is_op("!=")));
+        assert!(toks.tokens.iter().any(|t| t.is_op("==")));
+        assert!(toks.tokens.iter().any(|t| t.is_op("..=")));
+        assert!(toks.tokens.iter().all(|t| !t.is_punct('!')));
+    }
+
+    #[test]
+    fn allow_directives_collected() {
+        let lexed = lex("// lint:allow(float-eq, indexing)\nfn main() {}\n/* lint:allow(panic) */");
+        assert_eq!(lexed.allows, vec!["float-eq", "indexing", "panic"]);
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn byte_strings_and_raw_idents() {
+        let toks = lex(r#"let b = b"unwrap()"; let r = r#match; x"#);
+        assert!(toks.tokens.iter().all(|t| t.text != "unwrap"));
+        assert!(toks.tokens.iter().any(|t| t.is_ident("r#match")));
+    }
+}

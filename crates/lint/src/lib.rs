@@ -1,0 +1,119 @@
+//! `autrascale-lint`: a dependency-free static analysis pass enforcing the
+//! workspace's determinism and panic-safety invariants (DESIGN.md,
+//! "Determinism invariants"). A hand-rolled lexer (no `syn`) keeps the tool
+//! buildable offline; findings ratchet against `lint-baseline.toml`, which
+//! may only shrink.
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use baseline::Baseline;
+use report::{Finding, Report};
+use rules::Rule;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Errors from a full lint run.
+#[derive(Debug)]
+pub enum LintError {
+    Walk(walk::WalkError),
+    ReadFile(String, std::io::Error),
+    Baseline(baseline::BaselineError),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Walk(e) => write!(f, "{e}"),
+            LintError::ReadFile(path, e) => write!(f, "reading {path}: {e}"),
+            LintError::Baseline(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// A configured lint pass.
+#[derive(Debug)]
+pub struct Linter {
+    enabled: BTreeSet<Rule>,
+}
+
+impl Default for Linter {
+    fn default() -> Self {
+        Linter {
+            enabled: rules::ALL_RULES.iter().copied().collect(),
+        }
+    }
+}
+
+impl Linter {
+    pub fn new() -> Linter {
+        Linter::default()
+    }
+
+    /// Turns off one rule by tag; returns false for unknown tags.
+    pub fn disable(&mut self, tag: &str) -> bool {
+        match Rule::from_tag(tag) {
+            Some(rule) => {
+                self.enabled.remove(&rule);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Restricts the pass to exactly one rule; returns false for unknown tags.
+    pub fn only(&mut self, tag: &str) -> bool {
+        match Rule::from_tag(tag) {
+            Some(rule) => {
+                self.enabled = [rule].into_iter().collect();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Scans the workspace at `root` and returns raw findings, sorted by
+    /// (file, line, rule).
+    pub fn scan_workspace(&self, root: &Path) -> Result<(Vec<Finding>, usize), LintError> {
+        let files = walk::discover(root).map_err(LintError::Walk)?;
+        let mut findings = Vec::new();
+        for file in &files {
+            let source = std::fs::read_to_string(&file.abs_path)
+                .map_err(|e| LintError::ReadFile(file.rel_path.clone(), e))?;
+            findings.extend(rules::scan_file(
+                &file.rel_path,
+                &source,
+                file.class,
+                &self.enabled,
+                file.is_crate_root,
+            ));
+        }
+        findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+        Ok((findings, files.len()))
+    }
+
+    /// Full check: scan, diff against the baseline at `baseline_path`
+    /// (missing file ⇒ empty baseline), build a `Report`.
+    pub fn check(&self, root: &Path, baseline_path: &Path) -> Result<Report, LintError> {
+        let (findings, files_scanned) = self.scan_workspace(root)?;
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(text) => Baseline::parse(&text).map_err(LintError::Baseline)?,
+            Err(_) => Baseline::default(),
+        };
+        let (new_findings, stale_entries, suppressed) = baseline.apply(&findings);
+        Ok(Report {
+            new_findings,
+            stale_entries,
+            suppressed,
+            files_scanned,
+        })
+    }
+}

@@ -1,0 +1,150 @@
+//! CLI for the workspace lint pass.
+//!
+//! ```text
+//! autrascale-lint --check [--json] [--root DIR] [--baseline FILE]
+//!                 [--disable TAG]... [--only TAG] [--write-baseline]
+//!                 [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 new findings or stale baseline entries, 2 usage
+//! or I/O error.
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
+use autrascale_lint::baseline::Baseline;
+use autrascale_lint::rules::ALL_RULES;
+use autrascale_lint::Linter;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Cli {
+    root: PathBuf,
+    baseline: PathBuf,
+    json: bool,
+    write_baseline: bool,
+    list_rules: bool,
+    linter: Linter,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut root = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut json = false;
+    let mut write_baseline = false;
+    let mut list_rules = false;
+    let mut saw_check = false;
+    let mut linter = Linter::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => saw_check = true,
+            "--json" => json = true,
+            "--write-baseline" => write_baseline = true,
+            "--list-rules" => list_rules = true,
+            "--root" => {
+                root = args
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or("--root needs a directory argument")?;
+            }
+            "--baseline" => {
+                baseline = Some(
+                    args.next()
+                        .map(PathBuf::from)
+                        .ok_or("--baseline needs a file argument")?,
+                );
+            }
+            "--disable" => {
+                let tag = args.next().ok_or("--disable needs a rule tag")?;
+                if !linter.disable(&tag) {
+                    return Err(format!("unknown rule tag {tag} (see --list-rules)"));
+                }
+            }
+            "--only" => {
+                let tag = args.next().ok_or("--only needs a rule tag")?;
+                if !linter.only(&tag) {
+                    return Err(format!("unknown rule tag {tag} (see --list-rules)"));
+                }
+            }
+            "--help" | "-h" => {
+                return Err(USAGE.to_string());
+            }
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    if !saw_check && !write_baseline && !list_rules {
+        return Err(format!("nothing to do: pass --check\n{USAGE}"));
+    }
+    let baseline = baseline.unwrap_or_else(|| root.join("lint-baseline.toml"));
+    Ok(Cli {
+        root,
+        baseline,
+        json,
+        write_baseline,
+        list_rules,
+        linter,
+    })
+}
+
+const USAGE: &str = "usage: autrascale-lint --check [--json] [--root DIR] \
+[--baseline FILE] [--disable TAG]... [--only TAG] [--write-baseline] [--list-rules]";
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if cli.list_rules {
+        for rule in ALL_RULES {
+            println!("{:12} [{}] {}", rule.tag(), rule.group(), rule.rationale());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if cli.write_baseline {
+        let (findings, _) = match cli.linter.scan_workspace(&cli.root) {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = Baseline::covering(&findings);
+        if let Err(e) = std::fs::write(&cli.baseline, baseline.render()) {
+            eprintln!("lint: writing {}: {e}", cli.baseline.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "lint: wrote {} entr(ies) to {}; edit the TODO justifications",
+            baseline.entries.len(),
+            cli.baseline.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match cli.linter.check(&cli.root, &cli.baseline) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if cli.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

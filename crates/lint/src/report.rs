@@ -1,0 +1,178 @@
+//! Finding type plus the two output encodings: human text and a
+//! hand-rolled, dependency-free JSON document (stable key order).
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule tag, e.g. `"panic"` or `"float-eq"`.
+    pub rule: String,
+    /// DESIGN.md group, e.g. `"R1"`.
+    pub group: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// The trimmed source line, for context.
+    pub snippet: String,
+    /// Human explanation of what to do instead.
+    pub message: String,
+}
+
+impl Finding {
+    /// `file:line: [R1/panic] message` — the one-line text form.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}:{}: [{}/{}] {}\n    {}",
+            self.file, self.line, self.group, self.rule, self.message, self.snippet
+        )
+    }
+}
+
+/// Outcome of a `--check` run, for both encodings.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Findings not covered by the baseline (cause failure).
+    pub new_findings: Vec<Finding>,
+    /// Baseline entries whose allowance exceeds current findings (cause
+    /// failure: the baseline may only shrink).
+    pub stale_entries: Vec<String>,
+    /// Count of findings absorbed by the baseline.
+    pub suppressed: usize,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.new_findings.is_empty() && self.stale_entries.is_empty()
+    }
+
+    /// Multi-line human rendering.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for finding in &self.new_findings {
+            out.push_str(&finding.render_text());
+            out.push('\n');
+        }
+        for stale in &self.stale_entries {
+            out.push_str("stale baseline entry (shrink lint-baseline.toml): ");
+            out.push_str(stale);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "lint: {} file(s), {} new finding(s), {} stale baseline entr(ies), {} suppressed\n",
+            self.files_scanned,
+            self.new_findings.len(),
+            self.stale_entries.len(),
+            self.suppressed
+        ));
+        out
+    }
+
+    /// Machine-readable rendering. Schema (stable, snapshot-tested):
+    /// `{"schema_version":1,"clean":bool,"files_scanned":n,"suppressed":n,`
+    /// `"new_findings":[{rule,group,file,line,snippet,message}],`
+    /// `"stale_entries":[string]}`
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str("\"schema_version\":1,");
+        out.push_str(&format!("\"clean\":{},", self.is_clean()));
+        out.push_str(&format!("\"files_scanned\":{},", self.files_scanned));
+        out.push_str(&format!("\"suppressed\":{},", self.suppressed));
+        out.push_str("\"new_findings\":[");
+        for (i, f) in self.new_findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"group\":{},\"file\":{},\"line\":{},\"snippet\":{},\"message\":{}}}",
+                json_string(&f.rule),
+                json_string(&f.group),
+                json_string(&f.file),
+                f.line,
+                json_string(&f.snippet),
+                json_string(&f.message)
+            ));
+        }
+        out.push_str("],\"stale_entries\":[");
+        for (i, s) in self.stale_entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(s));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string per RFC 8259 (quotes, backslash, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            new_findings: vec![Finding {
+                rule: "panic".to_string(),
+                group: "R1".to_string(),
+                file: "crates/gp/src/kernel.rs".to_string(),
+                line: 42,
+                snippet: "let v = m.get(k).unwrap();".to_string(),
+                message: ".unwrap() can panic; return a typed error".to_string(),
+            }],
+            stale_entries: vec!["panic @ crates/old.rs (allowed 3, found 1)".to_string()],
+            suppressed: 5,
+            files_scanned: 70,
+        }
+    }
+
+    #[test]
+    fn text_contains_location_and_counts() {
+        let text = sample().render_text();
+        assert!(text.contains("crates/gp/src/kernel.rs:42: [R1/panic]"));
+        assert!(text.contains("stale baseline entry"));
+        assert!(text.contains("70 file(s), 1 new finding(s)"));
+    }
+
+    #[test]
+    fn json_escapes_and_is_stable() {
+        let mut report = sample();
+        if let Some(f) = report.new_findings.first_mut() {
+            f.snippet = "say \"hi\"\tback\\".to_string();
+        }
+        let json = report.render_json();
+        assert!(json.contains("\"say \\\"hi\\\"\\tback\\\\\""));
+        assert!(json.starts_with("{\"schema_version\":1,"));
+    }
+
+    #[test]
+    fn clean_report_says_so() {
+        let report = Report {
+            new_findings: Vec::new(),
+            stale_entries: Vec::new(),
+            suppressed: 0,
+            files_scanned: 3,
+        };
+        assert!(report.is_clean());
+        assert!(report.render_json().contains("\"clean\":true"));
+    }
+}

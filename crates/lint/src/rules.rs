@@ -1,0 +1,572 @@
+//! The determinism-and-panic-safety rules (R1–R6) over the lexed token
+//! stream of one file.
+//!
+//! Every rule is individually toggleable and can be waived for a whole
+//! file with a `// lint:allow(<tag>)` comment. Findings inside
+//! `#[cfg(test)]` / `#[test]` / `#[should_panic]` items are suppressed —
+//! test code is allowed to panic and to compare floats exactly.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::report::Finding;
+use crate::walk::CrateClass;
+use std::collections::BTreeSet;
+
+/// One lint rule. The `tag` is what `lint:allow(...)`, the baseline file,
+/// and `--disable` use; the `id` groups tags into the R1–R6 of DESIGN.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// R1 — `unwrap()` / `expect(` / `panic!` / `unreachable!` / `todo!` /
+    /// `unimplemented!` in library-crate non-test code.
+    Panic,
+    /// R1 — slice/array indexing `x[i]` in library-crate non-test code
+    /// (`[..]` full-range slices are exempt: they cannot panic).
+    Indexing,
+    /// R2 — float `==` / `!=` outside waived files and test code.
+    FloatEq,
+    /// R3 — `HashMap` / `HashSet` in the deterministic crates (iteration
+    /// order feeds results; require `BTreeMap` or a sorted collection).
+    HashIter,
+    /// R4 — `SystemTime` / `Instant` / `thread_rng` / `from_entropy`
+    /// outside `bench` / `cli` / `experiments`.
+    AmbientTime,
+    /// R5 — any `unsafe` token, plus a missing `#![forbid(unsafe_code)]`
+    /// in a crate root.
+    UnsafeCode,
+    /// R6 — `f32` types, casts, or literals in the numeric crates.
+    NarrowFloat,
+}
+
+/// Every rule, in report order.
+pub const ALL_RULES: &[Rule] = &[
+    Rule::Panic,
+    Rule::Indexing,
+    Rule::FloatEq,
+    Rule::HashIter,
+    Rule::AmbientTime,
+    Rule::UnsafeCode,
+    Rule::NarrowFloat,
+];
+
+impl Rule {
+    /// Stable kebab-case tag (allow directives, baseline, CLI toggles).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::Indexing => "indexing",
+            Rule::FloatEq => "float-eq",
+            Rule::HashIter => "hash-iter",
+            Rule::AmbientTime => "ambient-time",
+            Rule::UnsafeCode => "unsafe-code",
+            Rule::NarrowFloat => "narrow-float",
+        }
+    }
+
+    /// The DESIGN.md rule group this tag belongs to.
+    pub fn group(self) -> &'static str {
+        match self {
+            Rule::Panic | Rule::Indexing => "R1",
+            Rule::FloatEq => "R2",
+            Rule::HashIter => "R3",
+            Rule::AmbientTime => "R4",
+            Rule::UnsafeCode => "R5",
+            Rule::NarrowFloat => "R6",
+        }
+    }
+
+    /// One-line rationale, shown by `--list-rules` and in findings.
+    pub fn rationale(self) -> &'static str {
+        match self {
+            Rule::Panic => "library code must return typed errors, not panic",
+            Rule::Indexing => "slice indexing panics on bad bounds; use get()/iterators",
+            Rule::FloatEq => "float equality breaks bitwise-parity reasoning",
+            Rule::HashIter => "hash iteration order is nondeterministic across runs",
+            Rule::AmbientTime => "wall-clock/ambient RNG makes runs unreproducible",
+            Rule::UnsafeCode => "the workspace is 100% safe Rust; keep it that way",
+            Rule::NarrowFloat => "f32 silently loses the precision parity suites pin",
+        }
+    }
+
+    /// Parses a tag (as used by `--disable` / `lint:allow`).
+    pub fn from_tag(tag: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.tag() == tag)
+    }
+
+    /// Whether the rule applies to a crate of this class at all.
+    fn applies_to(self, class: CrateClass) -> bool {
+        match self {
+            Rule::Panic | Rule::Indexing => class.is_library(),
+            Rule::FloatEq => true,
+            Rule::HashIter => class.deterministic_core(),
+            Rule::AmbientTime => !class.ambient_exempt(),
+            Rule::UnsafeCode => true,
+            Rule::NarrowFloat => class.numeric(),
+        }
+    }
+}
+
+/// Scans one file and returns its findings (unfiltered by any baseline).
+///
+/// `rel_path` is the repo-relative path used in reports; `class` is the
+/// owning crate's classification; `enabled` is the still-enabled rule set
+/// after CLI toggles; `is_crate_root` switches on the
+/// `#![forbid(unsafe_code)]` presence check.
+pub fn scan_file(
+    rel_path: &str,
+    source: &str,
+    class: CrateClass,
+    enabled: &BTreeSet<Rule>,
+    is_crate_root: bool,
+) -> Vec<Finding> {
+    let lexed = lex(source);
+    let toks = &lexed.tokens;
+    let lines: Vec<&str> = source.lines().collect();
+    let snippet = |line: u32| -> String {
+        lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+
+    let test_spans = test_spans(toks);
+    let in_test = |line: u32| test_spans.iter().any(|&(lo, hi)| line >= lo && line <= hi);
+    let allowed = |rule: Rule| lexed.allows.iter().any(|a| a == rule.tag());
+    let active = |rule: Rule| enabled.contains(&rule) && rule.applies_to(class) && !allowed(rule);
+
+    let mut findings = Vec::new();
+    let mut emit = |rule: Rule, line: u32, message: String| {
+        findings.push(Finding {
+            rule: rule.tag().to_string(),
+            group: rule.group().to_string(),
+            file: rel_path.to_string(),
+            line,
+            snippet: snippet(line),
+            message,
+        });
+    };
+
+    // ---- R5 crate-root attribute check -------------------------------
+    if is_crate_root && active(Rule::UnsafeCode) && !has_forbid_unsafe(toks) {
+        emit(
+            Rule::UnsafeCode,
+            1,
+            "crate root lacks #![forbid(unsafe_code)]".to_string(),
+        );
+    }
+
+    let float_idents = collect_float_idents(toks);
+    let is_floaty = |tok: &Tok| -> bool {
+        match tok.kind {
+            TokKind::Float => true,
+            TokKind::Ident => {
+                tok.text == "f64" || tok.text == "f32" || float_idents.contains(&tok.text)
+            }
+            _ => false,
+        }
+    };
+
+    for (i, tok) in toks.iter().enumerate() {
+        if in_test(tok.line) {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|p| toks.get(p));
+        let next = toks.get(i + 1);
+
+        // ---- R1: panic family ----------------------------------------
+        if active(Rule::Panic) {
+            if tok.kind == TokKind::Ident
+                && (tok.text == "unwrap" || tok.text == "expect")
+                && prev.is_some_and(|p| p.is_punct('.'))
+                && next.is_some_and(|n| n.is_punct('('))
+            {
+                emit(
+                    Rule::Panic,
+                    tok.line,
+                    format!(".{}() can panic; return a typed error", tok.text),
+                );
+            }
+            if tok.kind == TokKind::Ident
+                && matches!(
+                    tok.text.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                )
+                && next.is_some_and(|n| n.is_punct('!'))
+            {
+                emit(
+                    Rule::Panic,
+                    tok.line,
+                    format!("{}! in library code; return a typed error", tok.text),
+                );
+            }
+        }
+
+        // ---- R1: slice indexing --------------------------------------
+        if active(Rule::Indexing) && tok.is_punct('[') && is_index_open(toks, i) {
+            emit(
+                Rule::Indexing,
+                tok.line,
+                "slice indexing can panic; prefer get()/iterators".to_string(),
+            );
+        }
+
+        // ---- R2: float equality --------------------------------------
+        if active(Rule::FloatEq)
+            && (tok.is_op("==") || tok.is_op("!="))
+            && float_operand(toks, i, &is_floaty)
+        {
+            emit(
+                Rule::FloatEq,
+                tok.line,
+                format!(
+                    "float {} outside a parity suite; compare with a tolerance",
+                    tok.text
+                ),
+            );
+        }
+
+        // ---- R3: hash-ordered collections ----------------------------
+        if active(Rule::HashIter)
+            && tok.kind == TokKind::Ident
+            && (tok.text == "HashMap" || tok.text == "HashSet")
+        {
+            emit(
+                Rule::HashIter,
+                tok.line,
+                format!(
+                    "{} in a deterministic crate; use BTreeMap/sorted data",
+                    tok.text
+                ),
+            );
+        }
+
+        // ---- R4: ambient time / RNG ----------------------------------
+        if active(Rule::AmbientTime)
+            && tok.kind == TokKind::Ident
+            && matches!(
+                tok.text.as_str(),
+                "SystemTime" | "Instant" | "thread_rng" | "ThreadRng" | "from_entropy"
+            )
+        {
+            emit(
+                Rule::AmbientTime,
+                tok.line,
+                format!(
+                    "{} is environment-dependent; thread a seed instead",
+                    tok.text
+                ),
+            );
+        }
+
+        // ---- R5: unsafe ----------------------------------------------
+        if active(Rule::UnsafeCode) && tok.is_ident("unsafe") {
+            emit(Rule::UnsafeCode, tok.line, "unsafe block/fn".to_string());
+        }
+
+        // ---- R6: f32 in numeric crates -------------------------------
+        if active(Rule::NarrowFloat) {
+            if tok.is_ident("f32") {
+                emit(
+                    Rule::NarrowFloat,
+                    tok.line,
+                    "f32 in a numeric crate; use f64".to_string(),
+                );
+            }
+            if tok.kind == TokKind::Float && tok.text.ends_with("f32") {
+                emit(
+                    Rule::NarrowFloat,
+                    tok.line,
+                    "f32 literal in a numeric crate; use f64".to_string(),
+                );
+            }
+        }
+    }
+
+    findings
+}
+
+/// `true` when `toks[open]` (a `[`) opens an *index* expression rather than
+/// an array literal, attribute, slice pattern, or type.
+fn is_index_open(toks: &[Tok], open: usize) -> bool {
+    let Some(prev) = open.checked_sub(1).and_then(|p| toks.get(p)) else {
+        return false;
+    };
+    let indexable = match prev.kind {
+        // `name[i]`, but not `let [a, b] = …` or `in [1, 2]` etc.
+        TokKind::Ident => !is_keyword(&prev.text),
+        // `)(…)[i]` and `a[0][1]`.
+        TokKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+        _ => false,
+    };
+    if !indexable {
+        return false;
+    }
+    // `x[..]` — the only indexing form that cannot panic.
+    !(toks.get(open + 1).is_some_and(|t| t.is_op(".."))
+        && toks.get(open + 2).is_some_and(|t| t.is_punct(']')))
+}
+
+/// Keywords that may directly precede `[` without forming an index.
+fn is_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "let"
+            | "in"
+            | "return"
+            | "match"
+            | "if"
+            | "else"
+            | "ref"
+            | "mut"
+            | "move"
+            | "box"
+            | "break"
+            | "const"
+            | "static"
+            | "as"
+            | "dyn"
+            | "impl"
+            | "for"
+            | "while"
+            | "loop"
+            | "where"
+            | "fn"
+            | "use"
+            | "pub"
+            | "mod"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "type"
+    )
+}
+
+/// Identifiers that plausibly hold floats: declared `: f64`/`: f32`, or
+/// `let`-bound to an initializer mentioning a float literal or `f64`/`f32`.
+/// A deliberately simple, file-local type-flow approximation.
+fn collect_float_idents(toks: &[Tok]) -> BTreeSet<String> {
+    let mut floats = BTreeSet::new();
+    for (i, tok) in toks.iter().enumerate() {
+        // `name : f64` (params, fields, let-with-annotation).
+        if tok.kind == TokKind::Ident
+            && !is_keyword(&tok.text)
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| t.is_ident("f64") || t.is_ident("f32"))
+        {
+            floats.insert(tok.text.clone());
+        }
+        // `let [mut] name … = <init>;` with a floaty initializer.
+        if tok.is_ident("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else {
+                continue;
+            };
+            let floaty_init = toks
+                .iter()
+                .skip(j + 1)
+                .take(40)
+                .take_while(|t| !t.is_punct(';'))
+                .any(|t| t.kind == TokKind::Float || t.is_ident("f64") || t.is_ident("f32"));
+            if floaty_init {
+                floats.insert(name.text.clone());
+            }
+        }
+    }
+    floats
+}
+
+/// Whether either operand of the comparison at `op` looks like a float.
+/// Looks at the token just before, and just after (skipping `-`/`(`/`&`).
+/// An operand immediately followed by `.` or `(` is a method/function call
+/// whose *result* is compared, not the float itself (`x.len() != y.len()`,
+/// `0.0f64.to_bits()`), so it does not count.
+fn float_operand(toks: &[Tok], op: usize, is_floaty: &dyn Fn(&Tok) -> bool) -> bool {
+    if let Some(prev) = op.checked_sub(1).and_then(|p| toks.get(p)) {
+        if is_floaty(prev) {
+            return true;
+        }
+    }
+    let mut j = op + 1;
+    while toks
+        .get(j)
+        .is_some_and(|t| t.is_punct('-') || t.is_punct('(') || t.is_punct('&') || t.is_punct('*'))
+    {
+        j += 1;
+    }
+    let called = toks
+        .get(j + 1)
+        .is_some_and(|t| t.is_punct('.') || t.is_punct('('));
+    toks.get(j).is_some_and(is_floaty) && !called
+}
+
+/// `true` when the token stream contains `# ! [ forbid ( unsafe_code ) ]`.
+fn has_forbid_unsafe(toks: &[Tok]) -> bool {
+    toks.windows(8).any(|w| {
+        matches!(w, [a, b, c, d, e, f, g, h]
+            if a.is_punct('#')
+                && b.is_punct('!')
+                && c.is_punct('[')
+                && d.is_ident("forbid")
+                && e.is_punct('(')
+                && f.is_ident("unsafe_code")
+                && g.is_punct(')')
+                && h.is_punct(']'))
+    })
+}
+
+/// Line spans of test-gated items: `#[cfg(test)]`, `#[test]`,
+/// `#[should_panic]` — the attribute line through the item's closing brace.
+/// `#[cfg(not(test))]` is NOT a test span.
+fn test_spans(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let Some(tok) = toks.get(i) else { break };
+        let attr_opens = tok.is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('['));
+        if !attr_opens {
+            i += 1;
+            continue;
+        }
+        // Find the attribute's closing `]` tracking bracket depth.
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        let mut attr_idents: Vec<&str> = Vec::new();
+        while let Some(t) = toks.get(j) {
+            if t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.kind == TokKind::Ident {
+                attr_idents.push(&t.text);
+            }
+            j += 1;
+        }
+        let is_test_attr = match attr_idents.first().copied() {
+            Some("test") | Some("should_panic") => true,
+            Some("cfg") => attr_idents.contains(&"test") && !attr_idents.contains(&"not"),
+            _ => false,
+        };
+        if !is_test_attr {
+            i = j + 1;
+            continue;
+        }
+        let start_line = tok.line;
+        // Skip any further attributes, then consume the item: everything up
+        // to its first `{` (then brace-match) or a bare `;`.
+        let mut k = j + 1;
+        while toks.get(k).is_some_and(|t| t.is_punct('#'))
+            && toks.get(k + 1).is_some_and(|t| t.is_punct('['))
+        {
+            let mut d = 0i32;
+            let mut m = k + 1;
+            while let Some(t) = toks.get(m) {
+                if t.is_punct('[') {
+                    d += 1;
+                } else if t.is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                m += 1;
+            }
+            k = m + 1;
+        }
+        let mut end_line = start_line;
+        let mut brace_depth = 0i32;
+        let mut entered = false;
+        while let Some(t) = toks.get(k) {
+            if !entered && t.is_punct(';') {
+                end_line = t.line;
+                break;
+            }
+            if t.is_punct('{') {
+                brace_depth += 1;
+                entered = true;
+            } else if t.is_punct('}') {
+                brace_depth -= 1;
+                if entered && brace_depth == 0 {
+                    end_line = t.line;
+                    break;
+                }
+            }
+            end_line = t.line;
+            k += 1;
+        }
+        spans.push((start_line, end_line));
+        i = k + 1;
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str, class: CrateClass) -> Vec<Finding> {
+        let enabled: BTreeSet<Rule> = ALL_RULES.iter().copied().collect();
+        scan_file("test.rs", src, class, &enabled, false)
+    }
+
+    fn lib(src: &str) -> Vec<Finding> {
+        scan(src, CrateClass::library_for_tests())
+    }
+
+    #[test]
+    fn unwrap_in_library_flags() {
+        let f = lib("fn f() { x.unwrap(); }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.first().map(|f| f.rule.as_str()), Some("panic"));
+    }
+
+    #[test]
+    fn unwrap_inside_cfg_test_mod_is_exempt() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n  fn f() { x.unwrap(); }\n}\n";
+        assert!(lib(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_still_linted() {
+        let src = "#[cfg(not(test))]\nmod real {\n  fn f() { x.unwrap(); }\n}\n";
+        assert_eq!(lib(src).len(), 1);
+    }
+
+    #[test]
+    fn indexing_flags_but_full_range_does_not() {
+        let src = "fn f(v: &[u32]) { let a = v[0]; let b = &v[..]; let c = &v[1..]; }";
+        let f = lib(src);
+        // `v[0]` and `v[1..]` flag; `v[..]` does not.
+        assert_eq!(f.iter().filter(|f| f.rule == "indexing").count(), 2);
+    }
+
+    #[test]
+    fn float_eq_on_literal_and_tracked_ident() {
+        let src = "fn f(x: f64) { if x == 1.0 {} let mut b = f64::NEG_INFINITY; if b != x {} }";
+        let f = lib(src);
+        assert_eq!(f.iter().filter(|f| f.rule == "float-eq").count(), 2);
+    }
+
+    #[test]
+    fn int_eq_is_fine() {
+        assert!(lib("fn f(n: usize) { if n == 0 {} }").is_empty());
+    }
+
+    #[test]
+    fn allow_directive_waives_rule_for_file() {
+        let src = "// lint:allow(panic)\nfn f() { x.unwrap(); }";
+        assert!(lib(src).is_empty());
+    }
+
+    #[test]
+    fn line_spans_are_correct() {
+        let src = "fn a() {}\n\nfn b() { x.unwrap(); }\n";
+        let f = lib(src);
+        assert_eq!(f.first().map(|f| f.line), Some(3));
+    }
+}

@@ -1,0 +1,222 @@
+//! Source discovery: every `crates/<name>/src/**/*.rs` plus each crate's
+//! `benches/` and integration-test trees are *known*, but only non-test
+//! sources are linted. Files come back sorted so reports and baselines are
+//! byte-stable across runs and platforms.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// How a crate is treated by the rules (decided by directory name, which is
+/// stable in this workspace; see DESIGN.md "Determinism invariants").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrateClass {
+    /// `bench`, `cli`, `experiments`: process edges where ambient time and
+    /// panicking on startup misconfiguration are acceptable.
+    ambient_exempt: bool,
+    /// `streamsim`, `gp`, `bayesopt`, `core`: crates whose outputs the
+    /// parity suites pin bit-for-bit.
+    deterministic_core: bool,
+    /// `linalg`, `gp`, `bayesopt`: crates doing f64 numerics.
+    numeric: bool,
+}
+
+impl CrateClass {
+    /// Classifies a crate by its directory name under `crates/`.
+    pub fn for_crate(name: &str) -> CrateClass {
+        CrateClass {
+            ambient_exempt: matches!(name, "bench" | "cli" | "experiments"),
+            deterministic_core: matches!(name, "streamsim" | "gp" | "bayesopt" | "core"),
+            numeric: matches!(name, "linalg" | "gp" | "bayesopt"),
+        }
+    }
+
+    /// Library crates get the panic/indexing rules; process-edge crates
+    /// (`bench`/`cli`/`experiments`) may fail fast on bad input.
+    pub fn is_library(self) -> bool {
+        !self.ambient_exempt
+    }
+
+    pub fn deterministic_core(self) -> bool {
+        self.deterministic_core
+    }
+
+    pub fn ambient_exempt(self) -> bool {
+        self.ambient_exempt
+    }
+
+    pub fn numeric(self) -> bool {
+        self.numeric
+    }
+
+    /// A maximally-strict class for rule unit tests.
+    pub fn library_for_tests() -> CrateClass {
+        CrateClass {
+            ambient_exempt: false,
+            deterministic_core: true,
+            numeric: true,
+        }
+    }
+}
+
+/// One discovered source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Absolute path on disk.
+    pub abs_path: PathBuf,
+    /// Classification of the owning crate.
+    pub class: CrateClass,
+    /// Whether this is `src/lib.rs` or `src/main.rs` (crate-root attribute
+    /// checks apply).
+    pub is_crate_root: bool,
+}
+
+/// Errors from workspace discovery.
+#[derive(Debug)]
+pub enum WalkError {
+    /// `root` has no `crates/` directory — wrong working directory.
+    NoCratesDir(PathBuf),
+    /// An I/O failure while reading a directory.
+    Io(PathBuf, std::io::Error),
+}
+
+impl std::fmt::Display for WalkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalkError::NoCratesDir(root) => {
+                write!(
+                    f,
+                    "{} has no crates/ directory; pass --root",
+                    root.display()
+                )
+            }
+            WalkError::Io(path, err) => write!(f, "reading {}: {}", path.display(), err),
+        }
+    }
+}
+
+impl std::error::Error for WalkError {}
+
+/// Finds every lintable source file under `<root>/crates/*/src/`, sorted by
+/// relative path. Integration tests (`tests/`), benches (`benches/`), and
+/// the lint crate's own fixtures are skipped: they are allowed to panic and
+/// to contain deliberate rule violations.
+pub fn discover(root: &Path) -> Result<Vec<SourceFile>, WalkError> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(WalkError::NoCratesDir(root.to_path_buf()));
+    }
+    let mut crate_names = Vec::new();
+    let entries = fs::read_dir(&crates_dir).map_err(|e| WalkError::Io(crates_dir.clone(), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| WalkError::Io(crates_dir.clone(), e))?;
+        if entry.path().is_dir() {
+            if let Some(name) = entry.file_name().to_str() {
+                crate_names.push(name.to_string());
+            }
+        }
+    }
+    crate_names.sort();
+
+    let mut files = Vec::new();
+    for name in &crate_names {
+        let src = crates_dir.join(name).join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let class = CrateClass::for_crate(name);
+        collect_rs(&src, &mut |abs| {
+            let rel = rel_to(root, &abs);
+            let is_crate_root = rel.ends_with("/src/lib.rs") || rel.ends_with("/src/main.rs");
+            // The lint crate's fixture corpus contains deliberate violations.
+            if rel.contains("/fixtures/") {
+                return;
+            }
+            files.push(SourceFile {
+                rel_path: rel,
+                abs_path: abs,
+                class,
+                is_crate_root,
+            });
+        })?;
+    }
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(files)
+}
+
+/// Depth-first `.rs` collection in deterministic (sorted) order.
+fn collect_rs(dir: &Path, sink: &mut dyn FnMut(PathBuf)) -> Result<(), WalkError> {
+    let mut entries: Vec<PathBuf> = Vec::new();
+    let read = fs::read_dir(dir).map_err(|e| WalkError::Io(dir.to_path_buf(), e))?;
+    for entry in read {
+        let entry = entry.map_err(|e| WalkError::Io(dir.to_path_buf(), e))?;
+        entries.push(entry.path());
+    }
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, sink)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            sink(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative, `/`-separated form of `abs` (falls back to the
+/// absolute path if `abs` is not under `root`).
+fn rel_to(root: &Path, abs: &Path) -> String {
+    let rel = abs.strip_prefix(root).unwrap_or(abs);
+    rel.components()
+        .filter_map(|c| c.as_os_str().to_str())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_design() {
+        assert!(CrateClass::for_crate("bench").ambient_exempt());
+        assert!(CrateClass::for_crate("cli").ambient_exempt());
+        assert!(CrateClass::for_crate("experiments").ambient_exempt());
+        assert!(!CrateClass::for_crate("gp").ambient_exempt());
+        assert!(CrateClass::for_crate("core").deterministic_core());
+        assert!(CrateClass::for_crate("streamsim").deterministic_core());
+        assert!(!CrateClass::for_crate("metricsdb").deterministic_core());
+        assert!(CrateClass::for_crate("linalg").numeric());
+        assert!(!CrateClass::for_crate("flinkctl").numeric());
+        assert!(CrateClass::for_crate("metricsdb").is_library());
+        assert!(!CrateClass::for_crate("cli").is_library());
+    }
+
+    #[test]
+    fn discovery_is_sorted_and_skips_fixtures() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .map(Path::to_path_buf);
+        let Some(root) = root else {
+            return;
+        };
+        let Ok(files) = discover(&root) else {
+            return;
+        };
+        assert!(!files.is_empty());
+        for pair in files.windows(2) {
+            if let [a, b] = pair {
+                assert!(a.rel_path < b.rel_path, "{} !< {}", a.rel_path, b.rel_path);
+            }
+        }
+        assert!(files.iter().all(|f| !f.rel_path.contains("/fixtures/")));
+        assert!(files
+            .iter()
+            .any(|f| f.rel_path == "crates/lint/src/walk.rs" && !f.is_crate_root));
+        assert!(files
+            .iter()
+            .any(|f| f.rel_path == "crates/lint/src/lib.rs" && f.is_crate_root));
+    }
+}

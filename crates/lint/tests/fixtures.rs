@@ -1,0 +1,187 @@
+//! Fixture-corpus tests: each rule has a positive fixture (every annotated
+//! line must be reported, at the right line) and a negative fixture (zero
+//! findings under ALL rules), plus a lexing stress file where every
+//! would-be violation is hidden inside strings, raw strings, or comments.
+
+use autrascale_lint::report::Finding;
+use autrascale_lint::rules::{scan_file, Rule, ALL_RULES};
+use autrascale_lint::walk::CrateClass;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()))
+}
+
+fn scan(name: &str, rules: &[Rule], is_crate_root: bool) -> Vec<Finding> {
+    let enabled: BTreeSet<Rule> = rules.iter().copied().collect();
+    scan_file(
+        name,
+        &fixture(name),
+        CrateClass::library_for_tests(),
+        &enabled,
+        is_crate_root,
+    )
+}
+
+/// Asserts the positive fixture reports exactly `expected_lines` (with
+/// multiplicity) for `rule`, isolated from the other rules.
+fn assert_positive(name: &str, rule: Rule, expected_lines: &[u32]) {
+    let findings = scan(name, &[rule], false);
+    let got: Vec<u32> = findings.iter().map(|f| f.line).collect();
+    assert_eq!(
+        got, expected_lines,
+        "{name}: expected {rule:?} findings at {expected_lines:?}, got {findings:#?}"
+    );
+    assert!(
+        findings.iter().all(|f| f.rule == rule.tag()),
+        "{name}: wrong rule tag in {findings:#?}"
+    );
+}
+
+/// Asserts the negative fixture is clean under EVERY rule.
+fn assert_negative(name: &str, is_crate_root: bool) {
+    let findings = scan(name, ALL_RULES, is_crate_root);
+    assert!(
+        findings.is_empty(),
+        "{name}: expected no findings, got {findings:#?}"
+    );
+}
+
+#[test]
+fn panic_positive() {
+    assert_positive("panic_positive.rs", Rule::Panic, &[3, 4, 6, 9, 10, 11]);
+}
+
+#[test]
+fn panic_negative() {
+    assert_negative("panic_negative.rs", false);
+}
+
+#[test]
+fn indexing_positive() {
+    // Line 4 twice: `m[1]` and the chained `[2]`.
+    assert_positive("indexing_positive.rs", Rule::Indexing, &[3, 4, 4, 5, 6]);
+}
+
+#[test]
+fn indexing_negative() {
+    assert_negative("indexing_negative.rs", false);
+}
+
+#[test]
+fn float_eq_positive() {
+    assert_positive("float_eq_positive.rs", Rule::FloatEq, &[4, 5, 6, 7]);
+}
+
+#[test]
+fn float_eq_negative() {
+    assert_negative("float_eq_negative.rs", false);
+}
+
+#[test]
+fn hash_iter_positive() {
+    assert_positive("hash_iter_positive.rs", Rule::HashIter, &[3, 4, 6, 11]);
+}
+
+#[test]
+fn hash_iter_negative() {
+    assert_negative("hash_iter_negative.rs", false);
+}
+
+#[test]
+fn ambient_time_positive() {
+    assert_positive(
+        "ambient_time_positive.rs",
+        Rule::AmbientTime,
+        &[3, 4, 7, 8, 14],
+    );
+}
+
+#[test]
+fn ambient_time_negative() {
+    assert_negative("ambient_time_negative.rs", false);
+}
+
+#[test]
+fn unsafe_positive() {
+    assert_positive("unsafe_positive.rs", Rule::UnsafeCode, &[3, 6]);
+}
+
+#[test]
+fn unsafe_negative_is_a_clean_crate_root() {
+    // Scanned as a crate root: the #![forbid(unsafe_code)] header must
+    // satisfy the presence check.
+    assert_negative("unsafe_negative.rs", true);
+}
+
+#[test]
+fn missing_forbid_attribute_is_reported_on_crate_roots() {
+    // The same clean file WITHOUT the attribute line fails the root check.
+    let source = fixture("unsafe_negative.rs").replacen("#![forbid(unsafe_code)]\n", "", 1);
+    let enabled: BTreeSet<Rule> = [Rule::UnsafeCode].into_iter().collect();
+    let findings = scan_file(
+        "unsafe_negative.rs",
+        &source,
+        CrateClass::library_for_tests(),
+        &enabled,
+        true,
+    );
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert!(findings
+        .first()
+        .is_some_and(|f| f.message.contains("forbid(unsafe_code)")));
+}
+
+#[test]
+fn narrow_float_positive() {
+    // Line 5 twice: the `f32` annotation and the `0.5f32` literal.
+    assert_positive("narrow_float_positive.rs", Rule::NarrowFloat, &[4, 5, 5]);
+}
+
+#[test]
+fn narrow_float_negative() {
+    assert_negative("narrow_float_negative.rs", false);
+}
+
+#[test]
+fn tricky_lexing_is_fully_opaque() {
+    assert_negative("tricky_lexing.rs", false);
+}
+
+#[test]
+fn fixtures_annotate_every_expected_line() {
+    // Meta-check: the EXPECT annotations inside each positive fixture agree
+    // with the line lists asserted above, so the fixtures stay readable.
+    let cases: &[(&str, Rule, &[u32])] = &[
+        ("panic_positive.rs", Rule::Panic, &[3, 4, 6, 9, 10, 11]),
+        ("indexing_positive.rs", Rule::Indexing, &[3, 4, 4, 5, 6]),
+        ("float_eq_positive.rs", Rule::FloatEq, &[4, 5, 6, 7]),
+        ("hash_iter_positive.rs", Rule::HashIter, &[3, 4, 6, 11]),
+        (
+            "ambient_time_positive.rs",
+            Rule::AmbientTime,
+            &[3, 4, 7, 8, 14],
+        ),
+        ("unsafe_positive.rs", Rule::UnsafeCode, &[3, 6]),
+        ("narrow_float_positive.rs", Rule::NarrowFloat, &[4, 5, 5]),
+    ];
+    for (name, _rule, lines) in cases {
+        let source = fixture(name);
+        let annotated: BTreeSet<u32> = source
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.contains("// EXPECT line"))
+            .map(|(i, _)| i as u32 + 1)
+            .collect();
+        let expected: BTreeSet<u32> = lines.iter().copied().collect();
+        assert_eq!(
+            annotated, expected,
+            "{name}: EXPECT annotations drifted from the asserted lines"
+        );
+    }
+}

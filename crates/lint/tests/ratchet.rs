@@ -1,0 +1,128 @@
+//! Ratchet behaviour end-to-end over a synthetic mini-workspace on disk:
+//! new findings fail, exactly-covered findings pass, and a stale baseline
+//! entry fails even when the code is clean (the allowlist may only shrink).
+//! Also pins the JSON report schema.
+
+use autrascale_lint::baseline::Baseline;
+use autrascale_lint::Linter;
+use std::path::{Path, PathBuf};
+
+/// Builds `<root>/crates/gp/src/lib.rs` (a numeric, deterministic-core
+/// crate name) with the given source, in a unique temp dir.
+fn mini_workspace(tag: &str, source: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("autrascale-lint-test-{tag}"));
+    let src = root.join("crates").join("gp").join("src");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&src).expect("temp workspace");
+    std::fs::write(src.join("lib.rs"), source).expect("write lib.rs");
+    root
+}
+
+fn write_baseline(root: &Path, text: &str) -> PathBuf {
+    let path = root.join("lint-baseline.toml");
+    std::fs::write(&path, text).expect("write baseline");
+    path
+}
+
+const DIRTY: &str = "#![forbid(unsafe_code)]\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+const CLEAN: &str = "#![forbid(unsafe_code)]\nfn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n";
+
+const COVERING: &str = r#"
+[[allow]]
+rule = "panic"
+file = "crates/gp/src/lib.rs"
+count = 1
+justification = "legacy unwrap, tracked for removal"
+"#;
+
+#[test]
+fn new_finding_fails_with_location() {
+    let root = mini_workspace("new", DIRTY);
+    let report = Linter::new()
+        .check(&root, &root.join("lint-baseline.toml"))
+        .expect("check runs");
+    assert!(!report.is_clean());
+    assert_eq!(report.new_findings.len(), 1);
+    let f = report.new_findings.first().expect("one finding");
+    assert_eq!(f.rule, "panic");
+    assert_eq!(f.file, "crates/gp/src/lib.rs");
+    assert_eq!(f.line, 2);
+}
+
+#[test]
+fn covered_finding_passes() {
+    let root = mini_workspace("covered", DIRTY);
+    let baseline = write_baseline(&root, COVERING);
+    let report = Linter::new().check(&root, &baseline).expect("check runs");
+    assert!(report.is_clean(), "{}", report.render_text());
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn stale_baseline_entry_fails_even_on_clean_code() {
+    let root = mini_workspace("stale", CLEAN);
+    let baseline = write_baseline(&root, COVERING);
+    let report = Linter::new().check(&root, &baseline).expect("check runs");
+    assert!(!report.is_clean());
+    assert!(report.new_findings.is_empty());
+    assert_eq!(report.stale_entries.len(), 1);
+    assert!(
+        report.stale_entries[0].contains("crates/gp/src/lib.rs"),
+        "{:?}",
+        report.stale_entries
+    );
+}
+
+#[test]
+fn write_then_check_roundtrip_is_clean() {
+    let root = mini_workspace("roundtrip", DIRTY);
+    let linter = Linter::new();
+    let (findings, _) = linter.scan_workspace(&root).expect("scan");
+    let baseline = Baseline::covering(&findings);
+    let path = write_baseline(&root, &baseline.render());
+    let report = linter.check(&root, &path).expect("check runs");
+    assert!(report.is_clean(), "{}", report.render_text());
+}
+
+#[test]
+fn json_schema_snapshot() {
+    // The exact JSON bytes for a known workspace + empty baseline. Update
+    // deliberately: external tooling parses this shape (schema_version 1).
+    let root = mini_workspace("json", DIRTY);
+    let report = Linter::new()
+        .check(&root, &root.join("lint-baseline.toml"))
+        .expect("check runs");
+    let expected = concat!(
+        "{\"schema_version\":1,\"clean\":false,\"files_scanned\":1,",
+        "\"suppressed\":0,\"new_findings\":[{\"rule\":\"panic\",\"group\":\"R1\",",
+        "\"file\":\"crates/gp/src/lib.rs\",\"line\":2,",
+        "\"snippet\":\"fn f(x: Option<u32>) -> u32 { x.unwrap() }\",",
+        "\"message\":\".unwrap() can panic; return a typed error\"}],",
+        "\"stale_entries\":[]}"
+    );
+    assert_eq!(report.render_json(), expected);
+}
+
+#[test]
+fn rule_toggles_disable_and_only() {
+    let root = mini_workspace("toggles", DIRTY);
+    // --disable panic: the unwrap no longer reports.
+    let mut linter = Linter::new();
+    assert!(linter.disable("panic"));
+    let report = linter
+        .check(&root, &root.join("lint-baseline.toml"))
+        .expect("check runs");
+    assert!(report.is_clean(), "{}", report.render_text());
+
+    // --only float-eq: likewise clean (the unwrap is not a float compare).
+    let mut linter = Linter::new();
+    assert!(linter.only("float-eq"));
+    let report = linter
+        .check(&root, &root.join("lint-baseline.toml"))
+        .expect("check runs");
+    assert!(report.is_clean(), "{}", report.render_text());
+
+    // Unknown tags are rejected.
+    assert!(!Linter::new().disable("no-such-rule"));
+    assert!(!Linter::new().only("no-such-rule"));
+}

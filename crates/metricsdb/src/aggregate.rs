@@ -2,6 +2,30 @@
 
 use crate::series::DataPoint;
 
+/// Errors from reducers with constrained parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggregateError {
+    /// Percentile rank outside `[0, 100]` (or NaN).
+    PercentileOutOfRange(f64),
+    /// Downsampling bucket width that is not positive and finite.
+    BadBucketWidth(f64),
+}
+
+impl std::fmt::Display for AggregateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggregateError::PercentileOutOfRange(q) => {
+                write!(f, "percentile out of range: {q} (want 0..=100)")
+            }
+            AggregateError::BadBucketWidth(w) => {
+                write!(f, "bucket width must be positive and finite, got {w}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AggregateError {}
+
 /// Arithmetic mean of the values; `None` for an empty window.
 pub fn mean(points: &[DataPoint]) -> Option<f64> {
     if points.is_empty() {
@@ -22,26 +46,29 @@ pub fn max(points: &[DataPoint]) -> Option<f64> {
 
 /// Percentile in `[0, 100]` with linear interpolation between order
 /// statistics (the "linear" / type-7 method used by numpy and Prometheus).
-/// `None` for an empty window.
-///
-/// # Panics
-///
-/// Panics if `q` is outside `[0, 100]`.
-pub fn percentile(points: &[DataPoint], q: f64) -> Option<f64> {
-    assert!((0.0..=100.0).contains(&q), "percentile out of range: {q}");
+/// `Ok(None)` for an empty window;
+/// [`AggregateError::PercentileOutOfRange`] for a rank outside `[0, 100]`.
+pub fn percentile(points: &[DataPoint], q: f64) -> Result<Option<f64>, AggregateError> {
+    if !(0.0..=100.0).contains(&q) {
+        return Err(AggregateError::PercentileOutOfRange(q));
+    }
     if points.is_empty() {
-        return None;
+        return Ok(None);
     }
     let mut values: Vec<f64> = points.iter().map(|p| p.value).collect();
     values.sort_by(f64::total_cmp);
     let rank = q / 100.0 * (values.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
+    let (Some(&vlo), Some(&vhi)) = (values.get(lo), values.get(hi)) else {
+        // Unreachable: 0 ≤ rank ≤ len−1, so floor/ceil stay in bounds.
+        return Ok(values.last().copied());
+    };
     if lo == hi {
-        Some(values[lo])
+        Ok(Some(vlo))
     } else {
         let frac = rank - lo as f64;
-        Some(values[lo] * (1.0 - frac) + values[hi] * frac)
+        Ok(Some(vlo * (1.0 - frac) + vhi * frac))
     }
 }
 
@@ -65,7 +92,7 @@ mod tests {
         assert_eq!(mean(&[]), None);
         assert_eq!(min(&[]), None);
         assert_eq!(max(&[]), None);
-        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[], 50.0), Ok(None));
     }
 
     #[test]
@@ -79,28 +106,37 @@ mod tests {
     #[test]
     fn percentile_median_interpolates() {
         let p = pts(&[1.0, 2.0, 3.0, 4.0]);
-        assert_eq!(percentile(&p, 50.0), Some(2.5));
-        assert_eq!(percentile(&p, 0.0), Some(1.0));
-        assert_eq!(percentile(&p, 100.0), Some(4.0));
+        assert_eq!(percentile(&p, 50.0), Ok(Some(2.5)));
+        assert_eq!(percentile(&p, 0.0), Ok(Some(1.0)));
+        assert_eq!(percentile(&p, 100.0), Ok(Some(4.0)));
     }
 
     #[test]
     fn percentile_unsorted_input() {
         let p = pts(&[9.0, 1.0, 5.0]);
-        assert_eq!(percentile(&p, 50.0), Some(5.0));
+        assert_eq!(percentile(&p, 50.0), Ok(Some(5.0)));
     }
 
     #[test]
     fn p99_of_uniform_ramp() {
         let values: Vec<f64> = (0..101).map(|i| i as f64).collect();
         let p = pts(&values);
-        assert_eq!(percentile(&p, 99.0), Some(99.0));
+        assert_eq!(percentile(&p, 99.0), Ok(Some(99.0)));
     }
 
     #[test]
-    #[should_panic(expected = "percentile out of range")]
-    fn percentile_rejects_bad_q() {
-        let _ = percentile(&pts(&[1.0]), 101.0);
+    fn percentile_rejects_bad_q_without_panicking() {
+        // Regression for the R1 lint fix: out-of-range ranks used to abort
+        // the process via assert!; they are now a typed error.
+        assert_eq!(
+            percentile(&pts(&[1.0]), 101.0),
+            Err(AggregateError::PercentileOutOfRange(101.0))
+        );
+        assert_eq!(
+            percentile(&pts(&[1.0]), -0.5),
+            Err(AggregateError::PercentileOutOfRange(-0.5))
+        );
+        assert!(percentile(&pts(&[1.0]), f64::NAN).is_err());
     }
 }
 

@@ -29,10 +29,13 @@
 //! assert!((mean - 53_000.0).abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod aggregate;
 mod series;
 mod store;
 
-pub use aggregate::{derivative, max, mean, min, percentile};
+pub use aggregate::{derivative, max, mean, min, percentile, AggregateError};
 pub use series::{DataPoint, Series};
 pub use store::{AppendError, MetricStore, Query, SeriesKey};

@@ -1,5 +1,6 @@
 //! A single time-ordered series of (timestamp, value) points.
 
+use crate::aggregate::AggregateError;
 use serde::{Deserialize, Serialize};
 
 /// One observation in a series. Timestamps are simulation seconds.
@@ -71,7 +72,8 @@ impl Series {
         }
         let start = self.points.partition_point(|p| p.time < from);
         let end = self.points.partition_point(|p| p.time <= to);
-        &self.points[start..end]
+        // start <= end because from <= to here; get() keeps this total.
+        self.points.get(start..end).unwrap_or(&[])
     }
 
     /// Drops every point strictly older than `horizon` (retention).
@@ -156,40 +158,44 @@ mod tests {
 impl Series {
     /// Downsamples into fixed `bucket_secs` buckets, one mean point per
     /// non-empty bucket (timestamped at the bucket start). Used for
-    /// plotting and long-horizon summaries.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bucket_secs` is not positive.
-    pub fn downsample(&self, bucket_secs: f64) -> Vec<DataPoint> {
-        assert!(bucket_secs > 0.0, "bucket size must be positive");
+    /// plotting and long-horizon summaries. A bucket width that is not
+    /// positive and finite is a typed error, not a panic.
+    pub fn downsample(&self, bucket_secs: f64) -> Result<Vec<DataPoint>, AggregateError> {
+        if !bucket_secs.is_finite() || bucket_secs <= 0.0 {
+            return Err(AggregateError::BadBucketWidth(bucket_secs));
+        }
         let mut out: Vec<DataPoint> = Vec::new();
-        let mut bucket_start = f64::NEG_INFINITY;
-        let mut sum = 0.0;
-        let mut count = 0usize;
+        // (bucket start, running sum, point count) of the open bucket. The
+        // Option replaces a NEG_INFINITY sentinel so no float equality is
+        // needed to detect "no bucket yet"; bucket starts from the same
+        // floor() computation are bit-identical, so to_bits comparison is
+        // exact by construction.
+        let mut open: Option<(f64, f64, usize)> = None;
         for p in self.points() {
             let start = (p.time / bucket_secs).floor() * bucket_secs;
-            if start != bucket_start {
-                if count > 0 {
-                    out.push(DataPoint {
-                        time: bucket_start,
-                        value: sum / count as f64,
-                    });
+            match open.as_mut() {
+                Some((bs, sum, count)) if bs.to_bits() == start.to_bits() => {
+                    *sum += p.value;
+                    *count += 1;
                 }
-                bucket_start = start;
-                sum = 0.0;
-                count = 0;
+                _ => {
+                    if let Some((bs, sum, count)) = open.take() {
+                        out.push(DataPoint {
+                            time: bs,
+                            value: sum / count as f64,
+                        });
+                    }
+                    open = Some((start, p.value, 1));
+                }
             }
-            sum += p.value;
-            count += 1;
         }
-        if count > 0 {
+        if let Some((bs, sum, count)) = open {
             out.push(DataPoint {
-                time: bucket_start,
+                time: bs,
                 value: sum / count as f64,
             });
         }
-        out
+        Ok(out)
     }
 }
 
@@ -203,7 +209,7 @@ mod downsample_tests {
         for i in 0..10 {
             s.push(i as f64, i as f64); // values 0..9 at t 0..9
         }
-        let d = s.downsample(5.0);
+        let d = s.downsample(5.0).unwrap();
         assert_eq!(d.len(), 2);
         assert_eq!(d[0].time, 0.0);
         assert!((d[0].value - 2.0).abs() < 1e-12); // mean of 0..=4
@@ -216,19 +222,27 @@ mod downsample_tests {
         let mut s = Series::new();
         s.push(0.0, 1.0);
         s.push(100.0, 3.0);
-        let d = s.downsample(10.0);
+        let d = s.downsample(10.0).unwrap();
         assert_eq!(d.len(), 2);
         assert_eq!(d[1].time, 100.0);
     }
 
     #[test]
     fn downsample_empty_series() {
-        assert!(Series::new().downsample(1.0).is_empty());
+        assert!(Series::new().downsample(1.0).unwrap().is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn downsample_rejects_zero_bucket() {
-        let _ = Series::new().downsample(0.0);
+    fn downsample_rejects_bad_buckets_without_panicking() {
+        // Regression for the R1 lint fix: a non-positive bucket used to
+        // abort via assert!; it is now a typed error.
+        let s = Series::new();
+        assert_eq!(s.downsample(0.0), Err(AggregateError::BadBucketWidth(0.0)));
+        assert_eq!(
+            s.downsample(-1.0),
+            Err(AggregateError::BadBucketWidth(-1.0))
+        );
+        assert!(s.downsample(f64::NAN).is_err());
+        assert!(s.downsample(f64::INFINITY).is_err());
     }
 }

@@ -193,12 +193,21 @@ impl MetricStore {
             .and_then(|s| aggregate::mean(s.window(from, to)))
     }
 
-    /// Percentile of one exact series over a window; `None` when empty.
-    pub fn window_percentile(&self, key: &SeriesKey, from: f64, to: f64, q: f64) -> Option<f64> {
+    /// Percentile of one exact series over a window; `Ok(None)` when the
+    /// series is missing or the window empty, `Err` for a rank outside
+    /// `[0, 100]`.
+    pub fn window_percentile(
+        &self,
+        key: &SeriesKey,
+        from: f64,
+        to: f64,
+        q: f64,
+    ) -> Result<Option<f64>, aggregate::AggregateError> {
         let guard = self.series.read();
-        guard
-            .get(key)
-            .and_then(|s| aggregate::percentile(s.window(from, to), q))
+        match guard.get(key) {
+            Some(s) => aggregate::percentile(s.window(from, to), q),
+            None => aggregate::percentile(&[], q),
+        }
     }
 
     /// Per-series window means for every series of a metric matching the

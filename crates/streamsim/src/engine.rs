@@ -608,6 +608,21 @@ pub struct Simulation {
     ff_windows: u64,
 }
 
+impl std::fmt::Debug for Simulation {
+    // Compact: the full state (metric store, window accumulators, CSR
+    // adjacency) is megabytes of noise in a panic message.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("time", &self.time)
+            .field("deployed", &self.deployed)
+            .field("parallelism", &self.parallelism)
+            .field("deploy_count", &self.deploy_count)
+            .field("downtime_until", &self.downtime_until)
+            .field("ff_windows", &self.ff_windows)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Simulation {
     /// Builds a simulation; call [`deploy`](Self::deploy) before stepping.
     pub fn new(config: SimulationConfig) -> Result<Self, SimError> {

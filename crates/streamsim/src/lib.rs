@@ -48,6 +48,9 @@
 //! assert!(snap.source_consumption_rate > 40_000.0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 mod cluster;
 mod engine;
 mod events;

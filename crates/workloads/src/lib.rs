@@ -16,6 +16,9 @@
 //! two instances suffice at 250k — matching both Fig. 2 and Fig. 5a
 //! simultaneously (see DESIGN.md).
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 use autrascale_streamsim::{ClusterSpec, JobGraph, OperatorSpec, RateProfile, SimulationConfig};
 
 pub mod scenarios;

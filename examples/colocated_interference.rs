@@ -48,8 +48,7 @@ fn main() {
     // Job A: the one we auto-scale.
     let mut a = FlinkCluster::new(colocated(&registry, 15_000.0, 1));
     a.submit(&[1, 2, 1]).expect("submit A");
-    a.run_for(60.0);
-
+    a.run_for(60.0).expect("fixed positive duration");
     let config = AuTraScaleConfig {
         target_latency_ms: 150.0,
         policy_running_time: 120.0,
@@ -58,20 +57,20 @@ fn main() {
     let mut controller = MapeController::new(config);
     println!("scaling job A alone on the cluster …");
     controller.activate(&mut a).expect("first activation");
-    a.run_for(180.0);
+    a.run_for(180.0).expect("fixed positive duration");
     report("A alone", &a, &registry);
 
     // Job B arrives: 3 operators × 12 instances = 36 instances on 24 cores.
     println!("\nnoisy neighbor B arrives (36 instances on 24 cores) …");
     let mut b = FlinkCluster::new(colocated(&registry, 1_000.0, 2));
     b.submit(&[12, 12, 12]).expect("submit B");
-    a.run_for(240.0);
+    a.run_for(240.0).expect("fixed positive duration");
     report("A crowded", &a, &registry);
 
     // The controller re-scales A under interference.
     println!("\nnext controller activation for A …");
     controller.activate(&mut a).expect("recovery activation");
-    a.run_for(400.0);
+    a.run_for(400.0).expect("fixed positive duration");
     report("A re-scaled", &a, &registry);
 
     // B leaves again; A is now over-provisioned and the next activation

@@ -39,7 +39,7 @@ fn fresh_cluster(seed: u64) -> FlinkCluster {
     .expect("valid simulation");
     let mut cluster = FlinkCluster::new(sim);
     cluster.submit(&[1, 1, 1, 1]).expect("initial submission");
-    cluster.run_for(60.0);
+    cluster.run_for(60.0).expect("fixed positive duration");
     cluster
 }
 
@@ -52,9 +52,9 @@ fn steady(cluster: &mut FlinkCluster) -> (f64, f64) {
         if cluster.simulation().kafka_lag() <= RATE {
             break;
         }
-        cluster.run_for(120.0);
+        cluster.run_for(120.0).expect("fixed positive duration");
     }
-    cluster.run_for(400.0);
+    cluster.run_for(400.0).expect("fixed positive duration");
     let m = cluster.metrics_over(120.0).expect("metrics");
     (m.processing_latency_ms, m.throughput)
 }

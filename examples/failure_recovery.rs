@@ -30,8 +30,7 @@ fn main() {
     .expect("valid simulation");
     let mut cluster = FlinkCluster::new(sim);
     cluster.submit(&[1, 2, 1]).expect("initial submission");
-    cluster.run_for(60.0);
-
+    cluster.run_for(60.0).expect("fixed positive duration");
     let config = AuTraScaleConfig {
         target_latency_ms: 150.0,
         policy_running_time: 120.0,
@@ -41,7 +40,7 @@ fn main() {
 
     println!("establishing the baseline configuration …");
     controller.activate(&mut cluster).expect("first activation");
-    cluster.run_for(180.0);
+    cluster.run_for(180.0).expect("fixed positive duration");
     report("healthy", &cluster);
 
     println!("\ninjecting a fault: Parse degraded to 35% capacity …");
@@ -49,14 +48,14 @@ fn main() {
         .simulation_mut()
         .inject_slowdown(1, 0.35, 1.0e9)
         .expect("valid injection");
-    cluster.run_for(240.0);
+    cluster.run_for(240.0).expect("fixed positive duration");
     report("degraded", &cluster);
 
     println!("\nnext controller activation …");
     controller
         .activate(&mut cluster)
         .expect("recovery activation");
-    cluster.run_for(400.0);
+    cluster.run_for(400.0).expect("fixed positive duration");
     report("recovered", &cluster);
 }
 

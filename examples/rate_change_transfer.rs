@@ -45,8 +45,7 @@ fn main() {
     cluster
         .submit(&thr.final_parallelism)
         .expect("old base valid");
-    cluster.run_for(60.0);
-
+    cluster.run_for(60.0).expect("fixed positive duration");
     let thr_new = ThroughputOptimizer::new(&config)
         .run(&mut cluster)
         .expect("throughput phase");

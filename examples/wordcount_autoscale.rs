@@ -19,8 +19,7 @@ fn main() {
     let sim = Simulation::new(workload.default_config(42)).expect("valid workload");
     let mut cluster = FlinkCluster::new(sim);
     cluster.submit(&[1, 1, 1, 1]).expect("initial submission");
-    cluster.run_for(60.0);
-
+    cluster.run_for(60.0).expect("fixed positive duration");
     let config = AuTraScaleConfig {
         target_latency_ms: workload.target_latency_ms,
         policy_running_time: 300.0,
@@ -58,7 +57,7 @@ fn main() {
     }
 
     // Observe the steady state the controller left behind.
-    cluster.run_for(300.0);
+    cluster.run_for(300.0).expect("fixed positive duration");
     let metrics = cluster.metrics_over(120.0).expect("metrics available");
     println!(
         "steady state: parallelism {:?}, throughput {:.0}/{:.0} records/s, \

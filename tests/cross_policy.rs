@@ -32,12 +32,12 @@ fn fresh(seed: u64) -> FlinkCluster {
     .unwrap();
     let mut fc = FlinkCluster::new(sim);
     fc.submit(&[1, 1, 1]).unwrap();
-    fc.run_for(60.0);
+    fc.run_for(60.0).expect("fixed positive duration");
     fc
 }
 
 fn steady_latency(cluster: &mut FlinkCluster) -> (f64, f64) {
-    cluster.run_for(400.0);
+    cluster.run_for(400.0).expect("fixed positive duration");
     let m = cluster.metrics_over(120.0).unwrap();
     (m.processing_latency_ms, m.throughput)
 }
@@ -213,7 +213,7 @@ mod scenario_battery {
         let sim = s.build(seed).expect("scenario builds");
         let mut fc = FlinkCluster::new(sim);
         fc.submit(&s.initial_parallelism).expect("submit");
-        fc.run_for(warmup_secs);
+        fc.run_for(warmup_secs).expect("fixed positive duration");
         fc
     }
 

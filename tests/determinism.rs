@@ -82,7 +82,7 @@ fn different_seeds_diverge_somewhere() {
     let run = |seed| {
         let mut fc = cluster(seed);
         fc.submit(&[1, 2, 1]).unwrap();
-        fc.run_for(120.0);
+        fc.run_for(120.0).expect("fixed positive duration");
         fc.metrics_over(60.0).unwrap()
     };
     let a = run(1);
@@ -230,7 +230,7 @@ fn simulation_replay_matches_metrics_store() {
     let series = |seed| {
         let mut fc = cluster(seed);
         fc.submit(&[1, 2, 1]).unwrap();
-        fc.run_for(180.0);
+        fc.run_for(180.0).expect("fixed positive duration");
         let store = fc.simulation().store();
         store
             .select(&autrascale_metricsdb::Query::new(

@@ -70,7 +70,7 @@ fn full_pipeline_meets_qos_from_cold_start() {
     assert_eq!(cluster.parallelism(), outcome.final_parallelism.as_slice());
 
     // Steady state after the controller walks away.
-    cluster.run_for(300.0);
+    cluster.run_for(300.0).expect("fixed positive duration");
     let metrics = cluster.metrics_over(100.0).unwrap();
     assert!(metrics.keeping_up(0.05), "{metrics:?}");
     assert!(metrics.processing_latency_ms <= cfg.target_latency_ms * 1.2);
@@ -99,7 +99,7 @@ fn model_transfers_to_a_higher_rate() {
     // Transfer to 18k on a fresh deployment.
     let mut cluster = cluster_at(18_000.0, 3);
     cluster.submit(&thr.final_parallelism).unwrap();
-    cluster.run_for(60.0);
+    cluster.run_for(60.0).expect("fixed positive duration");
     let thr_new = ThroughputOptimizer::new(&cfg).run(&mut cluster).unwrap();
     let tl = TransferLearner::new(&cfg, thr_new.final_parallelism, cluster.max_parallelism());
     let prior = library.closest(18_000.0).unwrap().clone();
@@ -130,8 +130,7 @@ fn controller_survives_a_rate_drop() {
     .unwrap();
     let mut cluster = FlinkCluster::new(sim);
     cluster.submit(&[1, 3, 3]).unwrap();
-    cluster.run_for(60.0);
-
+    cluster.run_for(60.0).expect("fixed positive duration");
     let mut controller = MapeController::new(config());
     let first = controller.activate(&mut cluster).unwrap();
     assert!(first
@@ -141,7 +140,7 @@ fn controller_survives_a_rate_drop() {
 
     // Move past the drop and reactivate.
     while cluster.now() < 4_100.0 {
-        cluster.run_for(120.0);
+        cluster.run_for(120.0).expect("fixed positive duration");
     }
     let events = controller.activate(&mut cluster).unwrap();
     assert!(
@@ -169,10 +168,10 @@ fn controller_recovers_from_operator_degradation() {
 
     let mut cluster = cluster_at(15_000.0, 9);
     cluster.submit(&[1, 2, 3]).unwrap();
-    cluster.run_for(60.0);
+    cluster.run_for(60.0).expect("fixed positive duration");
     let mut controller = MapeController::new(config());
     controller.activate(&mut cluster).unwrap();
-    cluster.run_for(120.0);
+    cluster.run_for(120.0).expect("fixed positive duration");
     let before = cluster.metrics_over(60.0).unwrap();
     assert!(before.keeping_up(0.05), "healthy baseline expected");
 
@@ -181,7 +180,7 @@ fn controller_recovers_from_operator_degradation() {
         .simulation_mut()
         .inject_slowdown(1, 0.4, 1_000_000.0)
         .unwrap();
-    cluster.run_for(180.0);
+    cluster.run_for(180.0).expect("fixed positive duration");
     let degraded = cluster.metrics_over(60.0).unwrap();
     assert!(
         !degraded.keeping_up(0.05) || degraded.processing_latency_ms > config().target_latency_ms,
@@ -191,7 +190,7 @@ fn controller_recovers_from_operator_degradation() {
     // Recovery: the controller scales Map up against the degraded rate.
     let map_before: u32 = cluster.parallelism()[1];
     controller.activate(&mut cluster).unwrap();
-    cluster.run_for(400.0);
+    cluster.run_for(400.0).expect("fixed positive duration");
     let after = cluster.metrics_over(120.0).unwrap();
     assert!(
         after.keeping_up(0.05),
@@ -273,8 +272,7 @@ fn rate_aware_warm_start_kicks_in_after_two_models() {
     .unwrap();
     let mut cluster = FlinkCluster::new(sim);
     cluster.submit(&[1, 2, 2]).unwrap();
-    cluster.run_for(60.0);
-
+    cluster.run_for(60.0).expect("fixed positive duration");
     let cfg = AuTraScaleConfig {
         use_rate_aware_warm_start: true,
         ..config()
@@ -285,7 +283,7 @@ fn rate_aware_warm_start_kicks_in_after_two_models() {
     // model exists so far, the joint model needs two).
     controller.activate(&mut cluster).unwrap();
     while cluster.now() < 4_100.0 {
-        cluster.run_for(120.0);
+        cluster.run_for(120.0).expect("fixed positive duration");
     }
     let second = controller.activate(&mut cluster).unwrap();
     assert!(
@@ -299,7 +297,7 @@ fn rate_aware_warm_start_kicks_in_after_two_models() {
     // Third rate (13k, between the trained ones): the joint model takes
     // over and interpolates.
     while cluster.now() < 9_100.0 {
-        cluster.run_for(120.0);
+        cluster.run_for(120.0).expect("fixed positive duration");
     }
     let third = controller.activate(&mut cluster).unwrap();
     assert!(

@@ -44,13 +44,14 @@ fn soak(
     .unwrap();
     let mut cluster = FlinkCluster::new(sim);
     cluster.submit(&[1, 2, 1]).unwrap();
-    cluster.run_for(120.0);
-
+    cluster.run_for(120.0).expect("fixed positive duration");
     let mut controller = MapeController::new(controller_config());
     let mut events = Vec::new();
     let deadline = hours * 3600.0;
     while cluster.now() < deadline {
-        cluster.run_for(controller_config().policy_interval);
+        cluster
+            .run_for(controller_config().policy_interval)
+            .expect("fixed positive duration");
         events.extend(controller.activate(&mut cluster).unwrap());
     }
     (controller, cluster, events)
@@ -78,7 +79,7 @@ fn diurnal_day_builds_a_model_library_and_keeps_up() {
     );
 
     // End state: healthy.
-    cluster.run_for(600.0);
+    cluster.run_for(600.0).expect("fixed positive duration");
     let m = cluster.metrics_over(300.0).unwrap();
     assert!(m.keeping_up(0.05), "{m:?}");
 }
@@ -88,7 +89,7 @@ fn bursty_traffic_recovers_between_bursts() {
     // 10-minute bursts to 3x the base rate every 40 minutes.
     let profile = generators::bursty(8_000.0, 24_000.0, 2_400.0, 600.0, 3);
     let (_, mut cluster, _) = soak(profile, 32, 3.0);
-    cluster.run_for(600.0);
+    cluster.run_for(600.0).expect("fixed positive duration");
     let m = cluster.metrics_over(300.0).unwrap();
     // After the last burst the job has settled back at the base rate.
     assert!((m.producer_rate - 8_000.0).abs() < 100.0);
@@ -116,6 +117,6 @@ fn random_walk_rates_never_wedge_the_controller() {
     // final deployment being valid implies every deploy was accepted).
     let p = cluster.parallelism().to_vec();
     assert!(p.iter().all(|&v| (1..=50).contains(&v)), "{p:?}");
-    cluster.run_for(600.0);
+    cluster.run_for(600.0).expect("fixed positive duration");
     assert!(cluster.metrics_over(300.0).is_some());
 }

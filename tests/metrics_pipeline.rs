@@ -31,7 +31,7 @@ fn cluster(rate: f64, seed: u64) -> FlinkCluster {
 fn flow_conservation_through_selectivities() {
     let mut fc = cluster(10_000.0, 1);
     fc.submit(&[1, 1, 1, 1]).unwrap();
-    fc.run_for(180.0);
+    fc.run_for(180.0).expect("fixed positive duration");
     let m = fc.metrics_over(60.0).unwrap();
 
     let split = m.operator("Split").unwrap();
@@ -67,7 +67,7 @@ fn flow_conservation_through_selectivities() {
 fn aggregator_matches_raw_store_contents() {
     let mut fc = cluster(10_000.0, 2);
     fc.submit(&[1, 2, 1, 1]).unwrap();
-    fc.run_for(120.0);
+    fc.run_for(120.0).expect("fixed positive duration");
     let m = fc.metrics_over(60.0).unwrap();
     let store = fc.simulation().store();
     let (from, to) = m.window;
@@ -96,7 +96,7 @@ fn aggregator_matches_raw_store_contents() {
 fn records_are_conserved_through_kafka() {
     let mut fc = cluster(8_000.0, 3);
     fc.submit(&[1, 1, 1, 1]).unwrap();
-    fc.run_for(300.0);
+    fc.run_for(300.0).expect("fixed positive duration");
     let sim = fc.simulation();
     // produced = consumed + lag (within a tick of slack).
     let produced = 8_000.0 * sim.now();
@@ -115,7 +115,7 @@ fn true_rate_is_capability_not_flow() {
     // rate tracks the capability — the paper's core metric distinction.
     let mut fc = cluster(4_000.0, 4);
     fc.submit(&[1, 1, 1, 1]).unwrap();
-    fc.run_for(180.0);
+    fc.run_for(180.0).expect("fixed positive duration");
     let m = fc.metrics_over(60.0).unwrap();
     let split = m.operator("Split").unwrap();
     // Observed ≈ 4k (the flow), true ≈ 20k (the capability).
@@ -137,7 +137,7 @@ fn event_time_latency_includes_pending() {
     // exceed processing latency by the pending time.
     let mut fc = cluster(25_000.0, 5);
     fc.submit(&[1, 1, 1, 1]).unwrap();
-    fc.run_for(300.0);
+    fc.run_for(300.0).expect("fixed positive duration");
     let m = fc.metrics_over(60.0).unwrap();
     let event = m.event_time_latency_ms.expect("job is consuming");
     assert!(

@@ -40,7 +40,7 @@ fn run(s: &Scenario, seed: u64, warmup_secs: f64, constrained: bool) -> Elastici
     let sim = s.build(seed).expect("scenario builds");
     let mut fc = FlinkCluster::new(sim);
     fc.submit(&s.initial_parallelism).expect("submit");
-    fc.run_for(warmup_secs);
+    fc.run_for(warmup_secs).expect("fixed positive duration");
     let cfg = config(s, constrained);
     let alg = Algorithm1::new(&cfg, s.initial_parallelism.clone(), s.as_workload().p_max());
     alg.run(&mut fc, Vec::new()).expect("algorithm 1 runs")
