@@ -11,6 +11,8 @@
 //! | `gram_build` | one Gram build: direct `kernel.eval` vs the distance cache |
 //! | `sim_step` | one steady-state simulator tick on a 16-operator 4-chain job, per engine |
 //! | `sim_run_for` | 100 000 simulated seconds of a quiescence-heavy diurnal trace: event engine (window fast-forward) vs tick engine |
+//! | `forecast_fit` | proactive controller's per-activation fit: Holt-Winters auto scan and AR(8) Yule-Walker on the 300-point trailing rate window |
+//! | `forecast_predict` | 90 s-horizon forecast (`policy_interval + policy_running_time`) from each fitted model |
 //!
 //! Medians from this harness are recorded in `BENCH_bo_suggest.json`
 //! (surrogate groups) and `BENCH_sim_events.json` (simulator groups, via
@@ -19,8 +21,10 @@
 
 use autrascale_bayesopt::{BayesOpt, BoOptions, ConstraintMode, SearchSpace, SparseStrategy};
 use autrascale_bench::sim_events::{diurnal_sim, FOUR_CHAIN_OPS};
+use autrascale_forecast::{ArPredictor, ForecastModel, HoltWinters, Predictor};
 use autrascale_gp::{fit_auto, FitMethod, FitOptions, Kernel, KernelKind, PairwiseSqDists};
 use autrascale_linalg::Matrix;
+use autrascale_metricsdb::Series;
 use autrascale_streamsim::EngineKind;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -325,6 +329,58 @@ fn bench_sim_run_for(c: &mut Criterion) {
     group.finish();
 }
 
+/// The proactive controller's trailing rate window: 300 points at 1 s
+/// cadence, a mid-ramp flash-crowd shape (flat base, then a linear climb)
+/// with deterministic jitter — the exact input `forecast_rate` fits every
+/// activation.
+fn rate_window() -> Series {
+    let mut series = Series::new();
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for t in 0..300 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let jitter = (state >> 11) as f64 * (1.0 / (1u64 << 53) as f64) - 0.5;
+        let base = if t < 270 {
+            8_000.0
+        } else {
+            8_000.0 + (t - 270) as f64 * 367.0
+        };
+        assert!(series.push(t as f64, base + 40.0 * jitter));
+    }
+    series
+}
+
+/// Per-activation fit cost of the proactive mode's two predictors on the
+/// 300-point window (forecast_window_secs = 300 at 1 s metric cadence).
+fn bench_forecast_fit(c: &mut Criterion) {
+    let series = rate_window();
+    let mut group = c.benchmark_group("forecast_fit");
+    group.bench_function("holt_winters_auto8_300pts", |b| {
+        b.iter(|| black_box(HoltWinters::auto(8).fit(&series).unwrap()));
+    });
+    group.bench_function("ar8_300pts", |b| {
+        b.iter(|| black_box(ArPredictor::new(8).fit(&series).unwrap()));
+    });
+    group.finish();
+}
+
+/// Forecast cost at the controller's 90 s horizon
+/// (policy_interval 30 s + policy_running_time 60 s).
+fn bench_forecast_predict(c: &mut Criterion) {
+    let series = rate_window();
+    let hw = HoltWinters::auto(8).fit(&series).unwrap();
+    let ar = ArPredictor::new(8).fit(&series).unwrap();
+    let mut group = c.benchmark_group("forecast_predict");
+    group.bench_function("holt_winters_90s", |b| {
+        b.iter(|| black_box(hw.predict(90.0).unwrap()));
+    });
+    group.bench_function("ar8_90s", |b| {
+        b.iter(|| black_box(ar.predict(90.0).unwrap()));
+    });
+    group.finish();
+}
+
 criterion_group!(
     hotpath,
     bench_bo_suggest,
@@ -334,6 +390,8 @@ criterion_group!(
     bench_gp_fit_auto,
     bench_gram_build,
     bench_sim_step,
-    bench_sim_run_for
+    bench_sim_run_for,
+    bench_forecast_fit,
+    bench_forecast_predict
 );
 criterion_main!(hotpath);

@@ -50,6 +50,21 @@ pub struct AuTraScaleConfig {
     /// Minimum posterior probability that a candidate meets the SLO
     /// before the constrained acquisition will propose it.
     pub constraint_confidence: f64,
+    /// Forecast the producer rate over the next `policy_interval` from
+    /// the raw rate series and re-tune toward the predicted rate *before*
+    /// it arrives. Off by default — the reactive path is bit-identical to
+    /// the paper's Algorithms 1–2.
+    pub proactive_forecasting: bool,
+    /// Trailing window of raw rate samples the forecaster fits on,
+    /// seconds.
+    pub forecast_window_secs: f64,
+    /// Largest seasonal period (in samples) the Holt-Winters auto scan
+    /// considers; slower cycles are carried by the trend term.
+    pub forecast_max_period: usize,
+    /// Proactive re-tunes are skipped when the forecaster's one-step
+    /// RMSE exceeds this fraction of the current rate — a noisy model
+    /// must not trigger speculative reconfigurations.
+    pub forecast_max_rmse_ratio: f64,
 }
 
 impl Default for AuTraScaleConfig {
@@ -71,6 +86,10 @@ impl Default for AuTraScaleConfig {
             seed: 0xA07A,
             constrained_acquisition: false,
             constraint_confidence: 0.9,
+            proactive_forecasting: false,
+            forecast_window_secs: 300.0,
+            forecast_max_period: 8,
+            forecast_max_rmse_ratio: 0.25,
         }
     }
 }
@@ -96,6 +115,16 @@ impl AuTraScaleConfig {
         );
         self.constrained_acquisition = true;
         self.constraint_confidence = confidence;
+        self
+    }
+
+    /// Enables proactive rate forecasting over the next control interval.
+    pub fn with_proactive_forecasting(mut self) -> Self {
+        assert!(
+            self.forecast_window_secs > 0.0,
+            "forecast window must be positive"
+        );
+        self.proactive_forecasting = true;
         self
     }
 }
@@ -135,5 +164,30 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn builder_rejects_non_probability_confidence() {
         let _ = AuTraScaleConfig::default().with_constrained_acquisition(1.5);
+    }
+
+    #[test]
+    fn proactive_forecasting_defaults_off() {
+        let c = AuTraScaleConfig::default();
+        assert!(!c.proactive_forecasting);
+        assert_eq!(c.forecast_window_secs, 300.0);
+        assert_eq!(c.forecast_max_period, 8);
+        assert_eq!(c.forecast_max_rmse_ratio, 0.25);
+    }
+
+    #[test]
+    fn builder_enables_proactive_forecasting() {
+        let c = AuTraScaleConfig::default().with_proactive_forecasting();
+        assert!(c.proactive_forecasting);
+    }
+
+    #[test]
+    #[should_panic(expected = "forecast window")]
+    fn builder_rejects_non_positive_forecast_window() {
+        let c = AuTraScaleConfig {
+            forecast_window_secs: 0.0,
+            ..Default::default()
+        };
+        let _ = c.with_proactive_forecasting();
     }
 }

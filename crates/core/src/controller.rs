@@ -23,6 +23,8 @@ use crate::rate_aware::RateAwareModel;
 use crate::throughput::{ThroughputOptimizer, ThroughputOutcome};
 use crate::transfer::TransferLearner;
 use autrascale_flinkctl::JobControl;
+use autrascale_forecast::{ForecastModel, HoltWinters, Predictor};
+use autrascale_metricsdb::Series;
 
 /// What one controller activation did.
 #[derive(Debug, Clone)]
@@ -43,6 +45,17 @@ pub enum ControllerEvent {
         old: f64,
         /// Newly observed rate, records/s.
         new: f64,
+    },
+    /// Proactive mode forecast the rate crossing the retune threshold
+    /// within the next control interval and re-tuned toward the
+    /// prediction before it arrived
+    /// ([`AuTraScaleConfig::proactive_forecasting`]).
+    RateForecasted {
+        /// Rate the forecast was anchored on, records/s.
+        current: f64,
+        /// Predicted rate at the end of the next control interval,
+        /// records/s.
+        predicted: f64,
     },
     /// QoS and resource usage were fine; nothing to do.
     NoActionNeeded,
@@ -103,6 +116,17 @@ impl MapeController {
         let rate = metrics.producer_rate;
         let mut events = Vec::new();
 
+        // Proactive mode forecasts once per activation; the reactive
+        // default skips this entirely (None) and is bit-identical to the
+        // paper's loop. Forecasting is pure arithmetic over the rate
+        // series — it consumes no randomness, so enabling it on a rate
+        // the forecaster sees as steady changes nothing downstream.
+        let predicted = if self.config.proactive_forecasting {
+            self.forecast_rate(cluster)
+        } else {
+            None
+        };
+
         match self.current_rate {
             // First activation: establish the model from scratch.
             None => {
@@ -120,78 +144,62 @@ impl MapeController {
                     old: current,
                     new: rate,
                 });
-                let (base, outcome) = self.optimize_throughput(cluster)?;
-                events.push(ControllerEvent::ThroughputOptimized(outcome));
-
-                // Preferred path when enabled and enough models exist:
-                // warm-start Algorithm 1 from the joint rate-aware model.
-                let rate_aware_dataset =
-                    if self.config.use_rate_aware_warm_start && self.library.len() >= 2 {
-                        RateAwareModel::fit(&self.library, self.config.seed)
-                            .ok()
-                            .map(|model| {
-                                model.warm_start_dataset(
-                                    &base,
-                                    cluster.max_parallelism(),
-                                    self.config.bootstrap_m,
-                                    rate,
-                                )
-                            })
-                    } else {
-                        None
-                    };
-
-                let prior = self.library.closest(rate).cloned();
-                let result = match (rate_aware_dataset, prior) {
-                    (Some(dataset), _) => {
-                        let alg1 =
-                            Algorithm1::new(&self.config, base.clone(), cluster.max_parallelism());
-                        let r = alg1.run(cluster, dataset)?;
-                        events.push(ControllerEvent::RateAwareWarmStarted(r.clone()));
-                        r
+                // Mid-ramp, the trailing window mean lags the rate's
+                // destination: the reactive loop tunes at the lagged
+                // observation and re-tunes again next interval. Proactive
+                // mode re-tunes toward the forecast endpoint once.
+                let target = match predicted.map(|(p, _)| p) {
+                    Some(p) if rate_changed(rate, p, self.config.rate_change_threshold) => {
+                        events.push(ControllerEvent::RateForecasted {
+                            current: rate,
+                            predicted: p,
+                        });
+                        p
                     }
-                    (None, Some(prior)) => {
-                        let tl = TransferLearner::new(
-                            &self.config,
-                            base.clone(),
-                            cluster.max_parallelism(),
-                        );
-                        let r = tl.run(cluster, &prior, Vec::new())?;
-                        events.push(ControllerEvent::Transferred(r.clone()));
-                        r
-                    }
-                    (None, None) => {
-                        let alg1 =
-                            Algorithm1::new(&self.config, base.clone(), cluster.max_parallelism());
-                        let r = alg1.run(cluster, Vec::new())?;
-                        events.push(ControllerEvent::SteadyRateOptimized(r.clone()));
-                        r
-                    }
+                    _ => rate,
                 };
-                self.library.insert(rate, result.dataset);
-                self.base = Some(base);
-                self.current_rate = Some(rate);
+                self.retune(cluster, target, &mut events)?;
             }
-            Some(_) => {
-                // Steady rate: intervene only on QoS violation or lag.
-                let qos_violated = metrics.processing_latency_ms > self.config.target_latency_ms
-                    || !metrics.meets_rate(self.config.rate_tolerance);
-                if qos_violated {
-                    let base = self
-                        .base
-                        .clone()
-                        .expect("base exists whenever current_rate does");
-                    let dataset = self
-                        .library
-                        .closest(rate)
-                        .map(|m| m.dataset.clone())
-                        .unwrap_or_default();
-                    let alg1 = Algorithm1::new(&self.config, base, cluster.max_parallelism());
-                    let result = alg1.run(cluster, dataset)?;
-                    self.library.insert(rate, result.dataset.clone());
-                    events.push(ControllerEvent::SteadyRateOptimized(result));
+            Some(current) => {
+                // Confidence-gated early trigger: shrink the prediction
+                // toward the current rate by the model's one-step RMSE, so
+                // only changes that clear the threshold even under the
+                // model's own in-sample error fire a speculative re-tune.
+                let confident = predicted.filter(|&(p, rmse)| {
+                    let conservative = if p >= current { p - rmse } else { p + rmse };
+                    rate_changed(current, conservative, self.config.rate_change_threshold)
+                });
+                if let Some((p, _)) = confident {
+                    // The observed rate is still steady but the forecast
+                    // crosses the retune threshold within the next control
+                    // interval: warm-start the transfer before it arrives.
+                    events.push(ControllerEvent::RateForecasted {
+                        current,
+                        predicted: p,
+                    });
+                    self.retune(cluster, p, &mut events)?;
                 } else {
-                    events.push(ControllerEvent::NoActionNeeded);
+                    // Steady rate: intervene only on QoS violation or lag.
+                    let qos_violated = metrics.processing_latency_ms
+                        > self.config.target_latency_ms
+                        || !metrics.meets_rate(self.config.rate_tolerance);
+                    if qos_violated {
+                        let base = self
+                            .base
+                            .clone()
+                            .expect("base exists whenever current_rate does");
+                        let dataset = self
+                            .library
+                            .closest(rate)
+                            .map(|m| m.dataset.clone())
+                            .unwrap_or_default();
+                        let alg1 = Algorithm1::new(&self.config, base, cluster.max_parallelism());
+                        let result = alg1.run(cluster, dataset)?;
+                        self.library.insert(rate, result.dataset.clone());
+                        events.push(ControllerEvent::SteadyRateOptimized(result));
+                    } else {
+                        events.push(ControllerEvent::NoActionNeeded);
+                    }
                 }
             }
         }
@@ -221,6 +229,99 @@ impl MapeController {
             events.extend(self.activate(cluster)?);
         }
         Ok(events)
+    }
+
+    /// Re-tunes toward `target_rate`: throughput optimization, then the
+    /// rate-aware / transfer / plain-Algorithm-1 cascade, updating the
+    /// library and per-rate state. Shared by the reactive rate-change arm
+    /// (`target_rate` = observed) and the proactive arm (= predicted).
+    fn retune(
+        &mut self,
+        cluster: &mut impl JobControl,
+        target_rate: f64,
+        events: &mut Vec<ControllerEvent>,
+    ) -> Result<(), String> {
+        let (base, outcome) = self.optimize_throughput(cluster)?;
+        events.push(ControllerEvent::ThroughputOptimized(outcome));
+
+        // Preferred path when enabled and enough models exist:
+        // warm-start Algorithm 1 from the joint rate-aware model.
+        let rate_aware_dataset = if self.config.use_rate_aware_warm_start && self.library.len() >= 2
+        {
+            RateAwareModel::fit(&self.library, self.config.seed)
+                .ok()
+                .map(|model| {
+                    model.warm_start_dataset(
+                        &base,
+                        cluster.max_parallelism(),
+                        self.config.bootstrap_m,
+                        target_rate,
+                    )
+                })
+        } else {
+            None
+        };
+
+        let prior = self.library.closest(target_rate).cloned();
+        let result = match (rate_aware_dataset, prior) {
+            (Some(dataset), _) => {
+                let alg1 = Algorithm1::new(&self.config, base.clone(), cluster.max_parallelism());
+                let r = alg1.run(cluster, dataset)?;
+                events.push(ControllerEvent::RateAwareWarmStarted(r.clone()));
+                r
+            }
+            (None, Some(prior)) => {
+                let tl =
+                    TransferLearner::new(&self.config, base.clone(), cluster.max_parallelism());
+                let r = tl.run(cluster, &prior, Vec::new())?;
+                events.push(ControllerEvent::Transferred(r.clone()));
+                r
+            }
+            (None, None) => {
+                let alg1 = Algorithm1::new(&self.config, base.clone(), cluster.max_parallelism());
+                let r = alg1.run(cluster, Vec::new())?;
+                events.push(ControllerEvent::SteadyRateOptimized(r.clone()));
+                r
+            }
+        };
+        self.library.insert(target_rate, result.dataset);
+        self.base = Some(base);
+        self.current_rate = Some(target_rate);
+        Ok(())
+    }
+
+    /// Fits Holt-Winters on the trailing rate series and extrapolates to
+    /// the moment a re-tune started now would have its configuration live
+    /// and trusted (`policy_interval + policy_running_time` ahead) — the
+    /// rate the new configuration must actually serve, so an in-progress
+    /// ramp is extrapolated to its destination rather than chased
+    /// one lagged observation at a time. `None` (no proactive action)
+    /// when the history is too short, the fit fails, the model's
+    /// in-sample error is too large to trust, or the prediction is not a
+    /// usable rate. Returns the prediction alongside the model's one-step
+    /// RMSE so callers can gate decisions on forecast confidence.
+    fn forecast_rate(&self, cluster: &impl JobControl) -> Option<(f64, f64)> {
+        let mut series = Series::new();
+        for p in cluster.rate_history(self.config.forecast_window_secs) {
+            series.push(p.time, p.value);
+        }
+        let model = HoltWinters::auto(self.config.forecast_max_period)
+            .fit(&series)
+            .ok()?;
+        let horizon = self.config.policy_interval + self.config.policy_running_time;
+        let forecast = model.predict(horizon).ok()?;
+        let point = forecast.last()?.value;
+        if !point.is_finite() || point <= 0.0 {
+            return None;
+        }
+        // Gate on in-sample accuracy: a model that cannot track its own
+        // training window must not trigger speculative re-tunes.
+        let scale = series.last().map(|p| p.value.abs()).unwrap_or(0.0).max(1.0);
+        let rmse = model.diagnostics().rmse;
+        if rmse > self.config.forecast_max_rmse_ratio * scale {
+            return None;
+        }
+        Some((point, rmse))
     }
 
     fn optimize_throughput(

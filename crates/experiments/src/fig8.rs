@@ -88,6 +88,7 @@ fn latency_distribution(cluster: &FlinkCluster, window: f64) -> LatencyDistribut
     let from = (now - window).max(0.0);
     let points: Vec<_> = store
         .select(&Query::new(simmetrics::PROCESSING_LATENCY_MS, from, now))
+        .expect("finite bounds")
         .into_iter()
         .flat_map(|(_, pts)| pts)
         .collect();

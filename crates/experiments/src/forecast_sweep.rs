@@ -1,0 +1,309 @@
+//! Proactive-forecasting sweep — SLO-violating windows and Kafka lag,
+//! proactive vs reactive MAPE loop on the seeded diurnal and flash-crowd
+//! scenarios.
+//!
+//! For each (scenario, mode, seed) point the full MAPE loop runs to the
+//! scenario's horizon at an equal simulated-time budget; the only toggle
+//! is [`AuTraScaleConfig::proactive_forecasting`]. Scores are computed
+//! post-hoc from the metric store over the whole run, so optimization
+//! probes and restart downtime are charged to the mode that incurred
+//! them. The `lag avoided` columns are reactive-minus-proactive deltas:
+//! positive means forecasting kept the job ahead of the rate change.
+
+use crate::output;
+use autrascale::{AuTraScaleConfig, ControllerEvent, MapeController};
+use autrascale_flinkctl::FlinkCluster;
+use autrascale_metricsdb::Query;
+use autrascale_streamsim::metrics;
+use autrascale_workloads::scenarios::{diurnal, flash_crowd, Scenario};
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// One (scenario, mode) row, averaged over the sweep seeds.
+#[derive(Debug, Clone, Serialize)]
+pub struct ForecastRow {
+    /// Scenario name (`diurnal`, `flash-crowd`).
+    pub scenario: &'static str,
+    /// `true` for the proactive forecasting mode, `false` for reactive.
+    pub proactive: bool,
+    /// Mean SLO-violating `policy_interval` windows over the run.
+    pub violating_windows: f64,
+    /// Mean of the per-run peak Kafka consumer lag, records.
+    pub peak_kafka_lag: f64,
+    /// Mean Kafka consumer lag over the whole run, records.
+    pub mean_kafka_lag: f64,
+    /// Mean re-optimizations (throughput + elasticity passes) run.
+    pub retunes: f64,
+    /// Mean proactive forecast triggers (always 0 for reactive rows).
+    pub forecast_triggers: f64,
+}
+
+/// Reactive-minus-proactive deltas for one scenario.
+#[derive(Debug, Clone, Serialize)]
+pub struct LagAvoided {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Violating windows avoided by forecasting (positive = proactive
+    /// better).
+    pub windows_avoided: f64,
+    /// Peak-lag reduction in records (positive = proactive better).
+    pub peak_lag_avoided: f64,
+}
+
+/// The sweep report: two rows per scenario plus per-scenario deltas.
+#[derive(Debug, Clone, Serialize)]
+pub struct ForecastSweepReport {
+    pub rows: Vec<ForecastRow>,
+    pub lag_avoided: Vec<LagAvoided>,
+}
+
+/// Raw scores of one end-to-end MAPE run.
+struct RunScore {
+    violating_windows: usize,
+    peak_kafka_lag: f64,
+    mean_kafka_lag: f64,
+    retunes: usize,
+    forecast_triggers: usize,
+}
+
+/// The battery pair and per-scenario horizons. Flash-crowd runs past the
+/// point where the reactive loop pays its second re-optimization at the
+/// 30k peak; diurnal covers most of one day/night cycle.
+fn battery() -> Vec<(Scenario, f64)> {
+    vec![(diurnal(), 1_500.0), (flash_crowd(), 2_400.0)]
+}
+
+/// Budget-matched controller config; `proactive` toggles only the
+/// forecasting front-end. Mirrors `tests/forecast_proactive.rs` so the
+/// sweep reproduces the pinned regressions.
+fn battery_config(s: &Scenario, seed: u64, proactive: bool) -> AuTraScaleConfig {
+    let cfg = AuTraScaleConfig {
+        target_latency_ms: s.target_latency_ms,
+        policy_running_time: 60.0,
+        bootstrap_m: 3,
+        max_bo_iters: 5,
+        n_num: 3,
+        seed,
+        ..Default::default()
+    };
+    if proactive {
+        cfg.with_proactive_forecasting()
+    } else {
+        cfg
+    }
+}
+
+/// One end-to-end run: MAPE loop to the horizon, then post-hoc scoring
+/// from the metric store.
+fn run_point(s: &Scenario, seed: u64, proactive: bool, horizon_secs: f64) -> RunScore {
+    let mut fc = FlinkCluster::new(s.build(seed).expect("scenario builds"));
+    fc.submit(&s.initial_parallelism).expect("submit");
+    fc.run_for(60.0).expect("warmup");
+    let cfg = battery_config(s, seed, proactive);
+    let interval = cfg.policy_interval;
+    let target = cfg.target_latency_ms;
+    let mut ctrl = MapeController::new(cfg);
+    let mut retunes = 0usize;
+    let mut forecast_triggers = 0usize;
+    while fc.now() < horizon_secs {
+        for e in ctrl.activate(&mut fc).expect("activation") {
+            match e {
+                ControllerEvent::ThroughputOptimized(_) => retunes += 1,
+                ControllerEvent::RateForecasted { .. } => forecast_triggers += 1,
+                _ => {}
+            }
+        }
+        fc.run_for(interval).expect("interval advance");
+    }
+
+    let store = fc.simulation().store();
+    let end = fc.now();
+    let latency_key = metrics::job_key(metrics::PROCESSING_LATENCY_MS);
+    let mut violating_windows = 0usize;
+    let mut t = 0.0;
+    while t < end {
+        let mean = store
+            .window_mean(&latency_key, t, (t + interval).min(end))
+            .expect("finite bounds")
+            .unwrap_or(0.0);
+        if mean > target {
+            violating_windows += 1;
+        }
+        t += interval;
+    }
+
+    let lag: Vec<f64> = store
+        .select(&Query::new(metrics::KAFKA_LAG, 0.0, end))
+        .expect("finite bounds")
+        .into_iter()
+        .flat_map(|(_, pts)| pts)
+        .map(|p| p.value)
+        .collect();
+    let peak_kafka_lag = lag.iter().copied().fold(0.0, f64::max);
+    let mean_kafka_lag = if lag.is_empty() {
+        0.0
+    } else {
+        lag.iter().sum::<f64>() / lag.len() as f64
+    };
+
+    RunScore {
+        violating_windows,
+        peak_kafka_lag,
+        mean_kafka_lag,
+        retunes,
+        forecast_triggers,
+    }
+}
+
+/// Runs the battery × {reactive, proactive} × seeds grid — every point is
+/// an independent simulation, so the grid parallelizes — then aggregates
+/// serially in grid order for byte-identical reports.
+pub fn run(seed: u64) -> ForecastSweepReport {
+    let seeds: Vec<u64> = (0..3).map(|i| seed.wrapping_add(i * 7919)).collect();
+    let battery = battery();
+    let grid: Vec<(usize, bool, u64)> = battery
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| {
+            [false, true]
+                .into_iter()
+                .flat_map(|p| seeds.iter().map(move |&s| (i, p, s)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let points: Vec<RunScore> = grid
+        .par_iter()
+        .map(|&(i, p, s)| {
+            let (scenario, horizon) = &battery[i];
+            run_point(scenario, s, p, *horizon)
+        })
+        .collect();
+
+    let n = seeds.len() as f64;
+    let mut rows = Vec::new();
+    for (chunk, &(i, p, _)) in points
+        .chunks(seeds.len())
+        .zip(grid.iter().step_by(seeds.len()))
+    {
+        let mut windows = 0.0;
+        let mut peak = 0.0;
+        let mut mean_lag = 0.0;
+        let mut retunes = 0.0;
+        let mut triggers = 0.0;
+        for r in chunk {
+            windows += r.violating_windows as f64;
+            peak += r.peak_kafka_lag;
+            mean_lag += r.mean_kafka_lag;
+            retunes += r.retunes as f64;
+            triggers += r.forecast_triggers as f64;
+        }
+        let (scenario, _) = &battery[i];
+        rows.push(ForecastRow {
+            scenario: scenario.name,
+            proactive: p,
+            violating_windows: windows / n,
+            peak_kafka_lag: peak / n,
+            mean_kafka_lag: mean_lag / n,
+            retunes: retunes / n,
+            forecast_triggers: triggers / n,
+        });
+    }
+
+    let lag_avoided = battery
+        .iter()
+        .map(|(s, _)| {
+            let pick = |proactive: bool, f: fn(&ForecastRow) -> f64| {
+                rows.iter()
+                    .find(|r| r.scenario == s.name && r.proactive == proactive)
+                    .map(f)
+                    .unwrap_or(0.0)
+            };
+            LagAvoided {
+                scenario: s.name,
+                windows_avoided: pick(false, |r| r.violating_windows)
+                    - pick(true, |r| r.violating_windows),
+                peak_lag_avoided: pick(false, |r| r.peak_kafka_lag)
+                    - pick(true, |r| r.peak_kafka_lag),
+            }
+        })
+        .collect();
+
+    let report = ForecastSweepReport { rows, lag_avoided };
+
+    let dir = output::results_dir();
+    let csv_rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.to_string(),
+                r.proactive.to_string(),
+                format!("{:.2}", r.violating_windows),
+                format!("{:.0}", r.peak_kafka_lag),
+                format!("{:.0}", r.mean_kafka_lag),
+                format!("{:.2}", r.retunes),
+                format!("{:.2}", r.forecast_triggers),
+            ]
+        })
+        .collect();
+    output::write_csv(
+        &dir.join("forecast_sweep.csv"),
+        &[
+            "scenario",
+            "proactive",
+            "violating_windows",
+            "peak_kafka_lag",
+            "mean_kafka_lag",
+            "retunes",
+            "forecast_triggers",
+        ],
+        csv_rows,
+    )
+    .expect("write forecast_sweep.csv");
+    output::write_json(&dir.join("forecast_sweep.json"), &report)
+        .expect("write forecast_sweep.json");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_both_scenarios_in_both_modes() {
+        let report = run(0xF0CA);
+        assert_eq!(report.rows.len(), 4);
+        for (s, _) in battery() {
+            for p in [false, true] {
+                let row = report
+                    .rows
+                    .iter()
+                    .find(|r| r.scenario == s.name && r.proactive == p)
+                    .expect("row for every (scenario, mode) pair");
+                if p {
+                    assert!(row.forecast_triggers >= 0.0);
+                } else {
+                    assert_eq!(row.forecast_triggers, 0.0);
+                }
+            }
+        }
+        assert_eq!(report.lag_avoided.len(), 2);
+    }
+
+    #[test]
+    fn flash_crowd_deltas_favor_proactive() {
+        // The same inequality `tests/forecast_proactive.rs` pins per-seed,
+        // here at the sweep's aggregated operating point.
+        let report = run(42);
+        let fc = report
+            .lag_avoided
+            .iter()
+            .find(|d| d.scenario == "flash-crowd")
+            .expect("flash-crowd delta");
+        assert!(
+            fc.windows_avoided > 0.0,
+            "expected proactive to avoid violating windows, delta {}",
+            fc.windows_avoided
+        );
+    }
+}

@@ -22,6 +22,7 @@
 //! | `table4`     | Table IV algorithm overhead                     | [`table4`] |
 //! | `bootstrap`  | §V-C's "more samples, fewer iterations" claim   | [`bootstrap_sweep`] |
 //! | `slo`        | SLO-safety sweep: constrained vs unconstrained acquisition across the scenario battery | [`slo_sweep`] |
+//! | `forecast`   | Proactive-forecasting sweep: violating windows + lag avoided vs reactive on diurnal/flash-crowd | [`forecast_sweep`] |
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
@@ -32,6 +33,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod fig5;
 pub mod fig8;
+pub mod forecast_sweep;
 pub mod output;
 pub mod slo_sweep;
 pub mod table4;

@@ -2,7 +2,7 @@
 //! paper's evaluation.
 //!
 //! ```text
-//! autrascale-experiments <fig1|fig2|fig5a|fig5b|elasticity|fig8|table4|bootstrap|slo|all> [seed]
+//! autrascale-experiments <fig1|fig2|fig5a|fig5b|elasticity|fig8|table4|bootstrap|slo|forecast|all> [seed]
 //! ```
 //!
 //! Artifacts land in `results/` (override with `AUTRASCALE_RESULTS_DIR`);
@@ -12,7 +12,7 @@
 #![deny(missing_debug_implementations)]
 
 use autrascale_experiments::{
-    bootstrap_sweep, elasticity, fig1, fig2, fig5, fig8, output, slo_sweep, table4,
+    bootstrap_sweep, elasticity, fig1, fig2, fig5, fig8, forecast_sweep, output, slo_sweep, table4,
 };
 
 fn main() {
@@ -33,6 +33,7 @@ fn main() {
         "table4" => run_table4(seed),
         "bootstrap" => run_bootstrap_sweep(seed),
         "slo" => run_slo_sweep(seed),
+        "forecast" => run_forecast_sweep(seed),
         "all" => {
             run_fig1(seed);
             run_fig2(seed);
@@ -43,11 +44,12 @@ fn main() {
             run_table4(seed);
             run_bootstrap_sweep(seed);
             run_slo_sweep(seed);
+            run_forecast_sweep(seed);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: autrascale-experiments <fig1|fig2|fig5a|fig5b|elasticity|fig8|table4|bootstrap|slo|all> [seed]"
+                "usage: autrascale-experiments <fig1|fig2|fig5a|fig5b|elasticity|fig8|table4|bootstrap|slo|forecast|all> [seed]"
             );
             std::process::exit(2);
         }
@@ -352,6 +354,48 @@ fn run_slo_sweep(seed: u64) {
         "Battery-wide mean violations — unconstrained {:.2}, constrained {:.2}.\n",
         report.total_violations_unconstrained, report.total_violations_constrained
     );
+}
+
+fn run_forecast_sweep(seed: u64) {
+    println!("## Proactive-forecasting sweep — proactive vs reactive MAPE loop\n");
+    let report = forecast_sweep::run(seed);
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.to_string(),
+                if r.proactive { "proactive" } else { "reactive" }.to_string(),
+                format!("{:.2}", r.violating_windows),
+                format!("{:.0}", r.peak_kafka_lag),
+                format!("{:.0}", r.mean_kafka_lag),
+                format!("{:.2}", r.retunes),
+                format!("{:.2}", r.forecast_triggers),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        output::markdown_table(
+            &[
+                "scenario",
+                "mode",
+                "mean violating windows",
+                "mean peak lag",
+                "mean lag",
+                "mean re-tunes",
+                "mean forecasts"
+            ],
+            &rows
+        )
+    );
+    for d in &report.lag_avoided {
+        println!(
+            "{}: forecasting avoided {:.2} violating windows and {:.0} records of peak lag.",
+            d.scenario, d.windows_avoided, d.peak_lag_avoided
+        );
+    }
+    println!();
 }
 
 fn run_table4(seed: u64) {

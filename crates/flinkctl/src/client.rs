@@ -98,13 +98,18 @@ impl FlinkCluster {
         let store = self.sim.store();
 
         let job_mean = |name: &str| -> Option<f64> {
-            let results = store.select(&Query::new(name, from, to));
+            // Bounds are finite by construction (now() and a clamped
+            // trailing window), so BadBound cannot occur here.
+            let results = store
+                .select(&Query::new(name, from, to))
+                .unwrap_or_default();
             let points: Vec<_> = results.into_iter().flat_map(|(_, pts)| pts).collect();
             aggregate::mean(&points)
         };
         let job_last = |name: &str| -> Option<f64> {
             store
                 .select(&Query::new(name, from, to))
+                .unwrap_or_default()
                 .into_iter()
                 .flat_map(|(_, pts)| pts)
                 .last()
@@ -117,6 +122,7 @@ impl FlinkCluster {
         let kafka_lag = job_last(metrics::KAFKA_LAG).unwrap_or(0.0);
         let kafka_lag_start = store
             .select(&Query::new(metrics::KAFKA_LAG, from, to))
+            .unwrap_or_default()
             .into_iter()
             .flat_map(|(_, pts)| pts)
             .next()
@@ -143,8 +149,8 @@ impl FlinkCluster {
                 let okey =
                     metrics::instance_key(metrics::OBSERVED_PROCESSING_RATE, &op.name, subtask);
                 if let (Some(t), Some(o)) = (
-                    store.window_mean(&tkey, from, to),
-                    store.window_mean(&okey, from, to),
+                    store.window_mean(&tkey, from, to).ok().flatten(),
+                    store.window_mean(&okey, from, to).ok().flatten(),
                 ) {
                     sum_true += t;
                     sum_observed += o;
@@ -156,8 +162,16 @@ impl FlinkCluster {
             }
             let input_key = metrics::operator_key(metrics::OPERATOR_INPUT_RATE, &op.name);
             let output_key = metrics::operator_key(metrics::OPERATOR_OUTPUT_RATE, &op.name);
-            let input_rate = store.window_mean(&input_key, from, to).unwrap_or(0.0);
-            let output_rate = store.window_mean(&output_key, from, to).unwrap_or(0.0);
+            let input_rate = store
+                .window_mean(&input_key, from, to)
+                .ok()
+                .flatten()
+                .unwrap_or(0.0);
+            let output_rate = store
+                .window_mean(&output_key, from, to)
+                .ok()
+                .flatten()
+                .unwrap_or(0.0);
 
             // Scale subtask sums up to the full parallelism when some
             // subtasks lacked points (can only happen right after a

@@ -2,6 +2,8 @@
 
 use crate::client::{FlinkCluster, JobStatus};
 use crate::metrics_view::JobMetrics;
+use autrascale_metricsdb::{DataPoint, Query};
+use autrascale_streamsim::metrics;
 
 /// What a scaling policy (AuTraScale, DS2, DRS, …) needs from the cluster:
 /// deploy configurations, let time pass, read aggregated metrics.
@@ -32,6 +34,15 @@ pub trait JobControl {
 
     /// Current time, seconds.
     fn now(&self) -> f64;
+
+    /// Raw points of the producer-rate series over the trailing
+    /// `window_secs`, oldest first. Default: empty — control planes
+    /// without a raw-series backend simply never trigger proactive
+    /// forecasting.
+    fn rate_history(&self, window_secs: f64) -> Vec<DataPoint> {
+        let _ = window_secs;
+        Vec::new()
+    }
 }
 
 impl JobControl for FlinkCluster {
@@ -66,6 +77,19 @@ impl JobControl for FlinkCluster {
 
     fn now(&self) -> f64 {
         FlinkCluster::now(self)
+    }
+
+    fn rate_history(&self, window_secs: f64) -> Vec<DataPoint> {
+        let to = FlinkCluster::now(self);
+        let from = (to - window_secs).max(0.0);
+        // Bounds are finite by construction, so select cannot fail.
+        self.simulation()
+            .store()
+            .select(&Query::new(metrics::PRODUCER_RATE, from, to))
+            .unwrap_or_default()
+            .into_iter()
+            .flat_map(|(_, points)| points)
+            .collect()
     }
 }
 
@@ -118,6 +142,20 @@ mod tests {
         fc.advance(30.0).unwrap();
         assert!((JobControl::now(&fc) - 30.0).abs() < 0.2);
         assert!(fc.metrics(10.0).is_some());
+    }
+
+    #[test]
+    fn rate_history_returns_producer_rate_points_oldest_first() {
+        let mut fc = control();
+        JobControl::deploy(&mut fc, &[1, 1]).unwrap();
+        fc.advance(60.0).unwrap();
+        let points = fc.rate_history(30.0);
+        assert!(!points.is_empty());
+        assert!(points.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(points.iter().all(|p| p.value.is_finite() && p.value > 0.0));
+        // The window bound holds: nothing older than now − 30 s.
+        let now = JobControl::now(&fc);
+        assert!(points.iter().all(|p| p.time >= now - 30.0 - 1e-9));
     }
 
     #[test]

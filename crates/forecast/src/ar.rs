@@ -1,0 +1,268 @@
+//! AR(p) autoregression fit by Yule-Walker.
+//!
+//! The mean-centered series `d_t = y_t − μ` is modeled as
+//! `d_t = Σ_{j=1..p} φ_j d_{t−j} + ε_t`. The Yule-Walker equations
+//! `R φ = r` use the biased autocovariance estimate (divisor `n`), which
+//! keeps the Toeplitz matrix `R[i][j] = c[|i−j|]` positive semi-definite,
+//! so the jitter-escalating [`Cholesky`] from `autrascale_linalg` — the
+//! same factorization under the GP surrogate — solves it robustly.
+
+use crate::error::ForecastError;
+use crate::predictor::{checked_values, horizon_steps, sample_cadence, ForecastModel, Predictor};
+use autrascale_linalg::{Cholesky, Matrix};
+use autrascale_metricsdb::{DataPoint, Series};
+
+/// AR(p) predictor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ArPredictor {
+    order: usize,
+}
+
+impl ArPredictor {
+    /// An autoregression of the given order (≥ 1; validated at fit).
+    pub fn new(order: usize) -> Self {
+        ArPredictor { order }
+    }
+}
+
+/// Biased autocovariances `c[0..=lags]` of the centered values.
+fn autocovariance(centered: &[f64], lags: usize) -> Vec<f64> {
+    let n = centered.len();
+    let inv = 1.0 / n as f64;
+    (0..=lags)
+        .map(|k| {
+            centered
+                .iter()
+                .zip(centered.iter().skip(k))
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+                * inv
+        })
+        .collect()
+}
+
+impl Predictor for ArPredictor {
+    type Model = ArModel;
+
+    fn fit(&self, series: &Series) -> Result<ArModel, ForecastError> {
+        let p = self.order;
+        if p == 0 {
+            return Err(ForecastError::BadOrder(0));
+        }
+        // p lags plus at least two scored forecasts.
+        let values = checked_values(series, p + 2)?;
+        let cadence = sample_cadence(series)?;
+        let n = values.len();
+        let mu = values.iter().sum::<f64>() / n as f64;
+        let centered: Vec<f64> = values.iter().map(|v| v - mu).collect();
+
+        let c = autocovariance(&centered, p);
+        let c0 = c.first().copied().unwrap_or(0.0);
+        if c0 <= 0.0 {
+            // A constant series has zero variance: Yule-Walker is
+            // degenerate, but the flat forecast μ is exact.
+            let residuals = vec![0.0; n.saturating_sub(p)];
+            let last_time = series.last().map(|q| q.time).unwrap_or(0.0);
+            return Ok(ArModel {
+                phi: vec![0.0; p],
+                mu,
+                history: vec![0.0; p],
+                last_time,
+                cadence,
+                residuals,
+            });
+        }
+        let toeplitz = Matrix::from_fn(p, p, |i, j| {
+            let lag = i.abs_diff(j);
+            c.get(lag).copied().unwrap_or(0.0)
+        });
+        let rhs: Vec<f64> = c.iter().skip(1).take(p).copied().collect();
+        let chol = Cholesky::decompose(&toeplitz).map_err(|_| ForecastError::Singular)?;
+        let phi = chol.solve(&rhs);
+
+        // One-step-ahead residuals over the training window: forecast
+        // d_t from the p previous deviations.
+        let residuals: Vec<f64> = (p..n)
+            .map(|t| {
+                let predicted: f64 = phi
+                    .iter()
+                    .enumerate()
+                    .map(|(j, f)| f * centered.get(t - 1 - j).copied().unwrap_or(0.0))
+                    .sum();
+                centered.get(t).copied().unwrap_or(0.0) - predicted
+            })
+            .collect();
+
+        // Most-recent-first deviations seed the recursive forecast.
+        let history: Vec<f64> = centered.iter().rev().take(p).copied().collect();
+        let last_time = series.last().map(|q| q.time).unwrap_or(0.0);
+        Ok(ArModel {
+            phi,
+            mu,
+            history,
+            last_time,
+            cadence,
+            residuals,
+        })
+    }
+}
+
+/// A fitted AR(p) model.
+#[derive(Debug, Clone)]
+pub struct ArModel {
+    /// AR coefficients, lag 1 first.
+    phi: Vec<f64>,
+    mu: f64,
+    /// Last `p` centered observations, most recent first.
+    history: Vec<f64>,
+    last_time: f64,
+    cadence: f64,
+    residuals: Vec<f64>,
+}
+
+impl ArModel {
+    /// Fitted coefficients, lag 1 first.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.phi
+    }
+
+    /// Series mean the autoregression is centered on.
+    pub fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    /// The forecast cadence (mean sample spacing), seconds.
+    pub fn cadence(&self) -> f64 {
+        self.cadence
+    }
+}
+
+impl ForecastModel for ArModel {
+    fn predict(&self, horizon_secs: f64) -> Result<Vec<DataPoint>, ForecastError> {
+        let steps = horizon_steps(horizon_secs, self.cadence)?;
+        let mut history = self.history.clone();
+        let mut out = Vec::with_capacity(steps);
+        for i in 1..=steps {
+            let next: f64 = self
+                .phi
+                .iter()
+                .zip(history.iter())
+                .map(|(f, d)| f * d)
+                .sum();
+            out.push(DataPoint {
+                time: self.last_time + self.cadence * i as f64,
+                value: self.mu + next,
+            });
+            history.insert(0, next);
+            history.truncate(self.phi.len());
+        }
+        Ok(out)
+    }
+
+    fn residuals(&self) -> &[f64] {
+        &self.residuals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ar1_series(n: usize, phi: f64, seed: u64) -> Series {
+        // Deterministic splitmix64 noise, no external rng.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64) - 0.5
+        };
+        let mut s = Series::new();
+        let mut d = 0.0;
+        for t in 0..n {
+            d = phi * d + next() * 100.0;
+            s.push(t as f64 * 5.0, 10_000.0 + d);
+        }
+        s
+    }
+
+    #[test]
+    fn recovers_ar1_coefficient_sign_and_scale() {
+        let series = ar1_series(400, 0.8, 7);
+        let model = ArPredictor::new(1).fit(&series).unwrap();
+        let phi1 = model.coefficients().first().copied().unwrap();
+        assert!((phi1 - 0.8).abs() < 0.15, "phi1 {phi1}");
+        assert!((model.mean() - 10_000.0).abs() < 200.0);
+    }
+
+    #[test]
+    fn forecast_decays_toward_the_mean() {
+        let series = ar1_series(400, 0.7, 3);
+        let model = ArPredictor::new(2).fit(&series).unwrap();
+        let f = model.predict(5.0 * 50.0).unwrap();
+        assert_eq!(f.len(), 50);
+        let first_dev = (f.first().unwrap().value - model.mean()).abs();
+        let last_dev = (f.last().unwrap().value - model.mean()).abs();
+        assert!(last_dev <= first_dev + 1e-9, "{first_dev} -> {last_dev}");
+        assert!(f.iter().all(|p| p.value.is_finite()));
+    }
+
+    #[test]
+    fn constant_series_forecasts_flat_without_singular_error() {
+        let mut s = Series::new();
+        for t in 0..20 {
+            s.push(t as f64, 42.0);
+        }
+        let model = ArPredictor::new(3).fit(&s).unwrap();
+        let f = model.predict(5.0).unwrap();
+        assert!(f.iter().all(|p| (p.value - 42.0).abs() < 1e-9));
+        assert!(model.residuals().iter().all(|r| r.abs() < 1e-9));
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let series = ar1_series(10, 0.5, 1);
+        assert!(matches!(
+            ArPredictor::new(0).fit(&series),
+            Err(ForecastError::BadOrder(0))
+        ));
+        assert!(matches!(
+            ArPredictor::new(20).fit(&series),
+            Err(ForecastError::TooFewPoints { .. })
+        ));
+    }
+
+    #[test]
+    fn residuals_shrink_with_model_order_on_ar2_signal() {
+        // An AR(2)-ish signal: order-2 fit must not be worse than order-1.
+        let mut s = Series::new();
+        let (mut d1, mut d2) = (50.0, -30.0);
+        for t in 0..300 {
+            let d = 0.6 * d1 - 0.3 * d2 + ((t * 2654435761_usize) % 97) as f64 - 48.0;
+            s.push(t as f64, 5_000.0 + d);
+            d2 = d1;
+            d1 = d;
+        }
+        let m1 = ArPredictor::new(1).fit(&s).unwrap();
+        let m2 = ArPredictor::new(2).fit(&s).unwrap();
+        use crate::predictor::ForecastModel;
+        assert!(m2.diagnostics().rmse <= m1.diagnostics().rmse * 1.05);
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let series = ar1_series(200, 0.6, 11);
+        let a = ArPredictor::new(3).fit(&series).unwrap();
+        let b = ArPredictor::new(3).fit(&series).unwrap();
+        for (x, y) in a.coefficients().iter().zip(b.coefficients()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let fa = a.predict(100.0).unwrap();
+        let fb = b.predict(100.0).unwrap();
+        for (pa, pb) in fa.iter().zip(&fb) {
+            assert_eq!(pa.value.to_bits(), pb.value.to_bits());
+        }
+    }
+}

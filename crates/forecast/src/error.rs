@@ -1,0 +1,60 @@
+//! Typed forecasting errors.
+
+use std::fmt;
+
+/// Errors from fitting or evaluating a forecaster.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForecastError {
+    /// The series is shorter than the model's minimum fit length.
+    TooFewPoints {
+        /// Minimum points the model needs.
+        needed: usize,
+        /// Points actually available.
+        got: usize,
+    },
+    /// A non-finite value or timestamp in the input (defence in depth —
+    /// `Series::push` rejects these at ingest).
+    NonFiniteInput,
+    /// The series has no positive time spacing (all points share one
+    /// timestamp), so no forecast cadence exists.
+    NonPositiveCadence,
+    /// A forecast horizon that is not positive and finite.
+    BadHorizon(f64),
+    /// A seasonal period outside `2..` (Holt-Winters needs at least two
+    /// observations per season to separate level from season).
+    BadPeriod(usize),
+    /// An autoregressive order of zero.
+    BadOrder(usize),
+    /// The Yule-Walker system was numerically singular even after jitter
+    /// escalation (constant series degenerate here).
+    Singular,
+}
+
+impl fmt::Display for ForecastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForecastError::TooFewPoints { needed, got } => {
+                write!(
+                    f,
+                    "series too short to fit: need {needed} points, got {got}"
+                )
+            }
+            ForecastError::NonFiniteInput => write!(f, "non-finite value in input series"),
+            ForecastError::NonPositiveCadence => {
+                write!(f, "series has no positive time spacing")
+            }
+            ForecastError::BadHorizon(h) => {
+                write!(f, "forecast horizon must be positive and finite, got {h}")
+            }
+            ForecastError::BadPeriod(m) => {
+                write!(f, "seasonal period must be at least 2, got {m}")
+            }
+            ForecastError::BadOrder(p) => write!(f, "AR order must be at least 1, got {p}"),
+            ForecastError::Singular => {
+                write!(f, "Yule-Walker system singular (constant series?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ForecastError {}

@@ -1,0 +1,356 @@
+//! Additive Holt-Winters (triple exponential smoothing).
+//!
+//! State: level ℓ, trend b, and a length-`m` seasonal vector s. One-step
+//! recurrences for observation `y_t` (seasonal index `i = t mod m`):
+//!
+//! ```text
+//! ŷ_t = ℓ + b + s[i]                      (one-step forecast)
+//! ℓ'  = α (y_t − s[i]) + (1 − α)(ℓ + b)
+//! b'  = β (ℓ' − ℓ) + (1 − β) b
+//! s[i]' = γ (y_t − ℓ') + (1 − γ) s[i]
+//! ```
+//!
+//! Smoothing parameters (α, β, γ) are chosen by coordinate descent over a
+//! fixed grid on the one-step squared-error sum — deterministic, no
+//! derivatives, and cheap because each objective evaluation is one O(n)
+//! replay. The seasonal period is either pinned or selected by scanning
+//! candidate periods with the same objective.
+
+use crate::error::ForecastError;
+use crate::predictor::{checked_values, horizon_steps, sample_cadence, ForecastModel, Predictor};
+use autrascale_metricsdb::{DataPoint, Series};
+
+/// Candidate grid for each smoothing parameter (open interval (0, 1);
+/// the endpoints degenerate to no-smoothing / no-memory).
+const PARAM_GRID: [f64; 10] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+/// Coordinate-descent sweeps over (α, β, γ); each sweep re-optimizes every
+/// coordinate once, so a handful converge on this smooth 3-d objective.
+const DESCENT_SWEEPS: usize = 4;
+
+/// Additive Holt-Winters predictor configuration.
+#[derive(Debug, Clone)]
+pub struct HoltWinters {
+    period: Option<usize>,
+    max_period: usize,
+}
+
+impl HoltWinters {
+    /// Fits with a known seasonal period of `period` samples (≥ 2).
+    pub fn with_period(period: usize) -> Self {
+        HoltWinters {
+            period: Some(period),
+            max_period: period,
+        }
+    }
+
+    /// Scans candidate periods `2..=max_period` (bounded by the data) and
+    /// keeps the one whose fitted one-step error is smallest; ties prefer
+    /// the shortest period.
+    pub fn auto(max_period: usize) -> Self {
+        HoltWinters {
+            period: None,
+            max_period,
+        }
+    }
+}
+
+/// One full replay of the smoothing recurrences.
+struct Replay {
+    level: f64,
+    trend: f64,
+    season: Vec<f64>,
+    sse: f64,
+    residuals: Vec<f64>,
+}
+
+fn initial_state(values: &[f64], m: usize) -> (f64, f64, Vec<f64>) {
+    let inv_m = 1.0 / m as f64;
+    let first: f64 = values.iter().take(m).sum::<f64>() * inv_m;
+    let second: f64 = values.iter().skip(m).take(m).sum::<f64>() * inv_m;
+    let level = first;
+    let trend = (second - first) * inv_m;
+    let season: Vec<f64> = values.iter().take(m).map(|v| v - level).collect();
+    (level, trend, season)
+}
+
+fn replay(values: &[f64], m: usize, alpha: f64, beta: f64, gamma: f64, keep: bool) -> Replay {
+    let (mut level, mut trend, mut season) = initial_state(values, m);
+    let mut sse = 0.0;
+    let mut residuals = Vec::with_capacity(if keep { values.len() } else { 0 });
+    for (t, &v) in values.iter().enumerate() {
+        let idx = t % m;
+        let s_old = season.get(idx).copied().unwrap_or(0.0);
+        let predicted = level + trend + s_old;
+        let r = v - predicted;
+        sse += r * r;
+        if keep {
+            residuals.push(r);
+        }
+        let new_level = alpha * (v - s_old) + (1.0 - alpha) * (level + trend);
+        let new_trend = beta * (new_level - level) + (1.0 - beta) * trend;
+        if let Some(slot) = season.get_mut(idx) {
+            *slot = gamma * (v - new_level) + (1.0 - gamma) * s_old;
+        }
+        level = new_level;
+        trend = new_trend;
+    }
+    Replay {
+        level,
+        trend,
+        season,
+        sse,
+        residuals,
+    }
+}
+
+/// Coordinate descent on (α, β, γ); returns the best parameters and their
+/// objective value. Deterministic: fixed grid, fixed sweep order, strict
+/// improvement only.
+fn descend(values: &[f64], m: usize) -> (f64, f64, f64, f64) {
+    let (mut alpha, mut beta, mut gamma) = (0.3, 0.1, 0.1);
+    let mut best = replay(values, m, alpha, beta, gamma, false).sse;
+    for _ in 0..DESCENT_SWEEPS {
+        let mut improved = false;
+        for coord in 0..3 {
+            for &candidate in &PARAM_GRID {
+                let (ta, tb, tg) = match coord {
+                    0 => (candidate, beta, gamma),
+                    1 => (alpha, candidate, gamma),
+                    _ => (alpha, beta, candidate),
+                };
+                let sse = replay(values, m, ta, tb, tg, false).sse;
+                if sse < best {
+                    best = sse;
+                    (alpha, beta, gamma) = (ta, tb, tg);
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (alpha, beta, gamma, best)
+}
+
+impl Predictor for HoltWinters {
+    type Model = HoltWintersModel;
+
+    fn fit(&self, series: &Series) -> Result<HoltWintersModel, ForecastError> {
+        if let Some(m) = self.period {
+            if m < 2 {
+                return Err(ForecastError::BadPeriod(m));
+            }
+        } else if self.max_period < 2 {
+            return Err(ForecastError::BadPeriod(self.max_period));
+        }
+        let min_period = self.period.unwrap_or(2);
+        // Two full seasons initialize level/trend/season; one more point
+        // gives the objective at least one non-trivial forecast.
+        let values = checked_values(series, 2 * min_period + 1)?;
+        let cadence = sample_cadence(series)?;
+        let n = values.len();
+
+        let candidates: Vec<usize> = match self.period {
+            Some(m) => vec![m],
+            // A period needs two full seasons of data to initialize.
+            None => (2..=self.max_period.min((n - 1) / 2)).collect(),
+        };
+        let mut chosen: Option<(usize, f64, f64, f64, f64)> = None;
+        for &m in &candidates {
+            if n < 2 * m + 1 {
+                continue;
+            }
+            let (alpha, beta, gamma, sse) = descend(&values, m);
+            let better = match chosen {
+                Some((_, _, _, _, best_sse)) => sse < best_sse,
+                None => true,
+            };
+            if better {
+                chosen = Some((m, alpha, beta, gamma, sse));
+            }
+        }
+        let Some((period, alpha, beta, gamma, sse)) = chosen else {
+            return Err(ForecastError::TooFewPoints {
+                needed: 2 * min_period + 1,
+                got: n,
+            });
+        };
+
+        let fitted = replay(&values, period, alpha, beta, gamma, true);
+        let last_time = series.last().map(|p| p.time).unwrap_or(0.0);
+        Ok(HoltWintersModel {
+            level: fitted.level,
+            trend: fitted.trend,
+            season: fitted.season,
+            next_phase: n % period,
+            alpha,
+            beta,
+            gamma,
+            period,
+            sse,
+            last_time,
+            cadence,
+            residuals: fitted.residuals,
+        })
+    }
+}
+
+/// A fitted additive Holt-Winters model.
+#[derive(Debug, Clone)]
+pub struct HoltWintersModel {
+    level: f64,
+    trend: f64,
+    season: Vec<f64>,
+    /// Seasonal index of the first forecast step (`n mod m`).
+    next_phase: usize,
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    period: usize,
+    sse: f64,
+    last_time: f64,
+    cadence: f64,
+    residuals: Vec<f64>,
+}
+
+impl HoltWintersModel {
+    /// The fitted (or pinned) seasonal period, in samples.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// Fitted smoothing parameters (α, β, γ).
+    pub fn params(&self) -> (f64, f64, f64) {
+        (self.alpha, self.beta, self.gamma)
+    }
+
+    /// One-step squared-error sum of the winning fit.
+    pub fn sse(&self) -> f64 {
+        self.sse
+    }
+
+    /// The forecast cadence (mean sample spacing), seconds.
+    pub fn cadence(&self) -> f64 {
+        self.cadence
+    }
+}
+
+impl ForecastModel for HoltWintersModel {
+    fn predict(&self, horizon_secs: f64) -> Result<Vec<DataPoint>, ForecastError> {
+        let steps = horizon_steps(horizon_secs, self.cadence)?;
+        let mut out = Vec::with_capacity(steps);
+        for i in 1..=steps {
+            let idx = (self.next_phase + i - 1) % self.period;
+            let seasonal = self.season.get(idx).copied().unwrap_or(0.0);
+            out.push(DataPoint {
+                time: self.last_time + self.cadence * i as f64,
+                value: self.level + self.trend * i as f64 + seasonal,
+            });
+        }
+        Ok(out)
+    }
+
+    fn residuals(&self) -> &[f64] {
+        &self.residuals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::ResidualDiagnostics;
+
+    fn seasonal_series(n: usize, period: usize, slope: f64) -> Series {
+        let mut s = Series::new();
+        for t in 0..n {
+            let phase = (t % period) as f64 / period as f64;
+            let seasonal = (phase * std::f64::consts::TAU).sin() * 500.0;
+            s.push(t as f64 * 10.0, 8_000.0 + slope * t as f64 + seasonal);
+        }
+        s
+    }
+
+    #[test]
+    fn fit_recovers_pinned_period_trend_direction() {
+        let series = seasonal_series(96, 12, 5.0);
+        let model = HoltWinters::with_period(12).fit(&series).unwrap();
+        assert_eq!(model.period(), 12);
+        // Slope is 5 per sample; the fitted trend must be positive and of
+        // the right magnitude.
+        assert!(model.trend > 1.0 && model.trend < 10.0, "{}", model.trend);
+    }
+
+    #[test]
+    fn auto_scan_recovers_the_true_period() {
+        let series = seasonal_series(120, 12, 2.0);
+        let model = HoltWinters::auto(24).fit(&series).unwrap();
+        // The scan may lock onto the period or a harmonic; either way it
+        // must divide evenly into the truth for the forecast to phase-align.
+        assert_eq!(model.period() % 12, 0, "period {}", model.period());
+    }
+
+    #[test]
+    fn forecast_extends_beyond_last_time_at_cadence() {
+        let series = seasonal_series(60, 6, 0.0);
+        let model = HoltWinters::with_period(6).fit(&series).unwrap();
+        let last = series.last().unwrap().time;
+        let f = model.predict(30.0).unwrap();
+        assert_eq!(f.len(), 3); // cadence 10s → 3 steps cover 30s
+        assert!(f.iter().all(|p| p.time > last));
+        assert!((f.last().unwrap().time - (last + 30.0)).abs() < 1e-9);
+        assert!(f.iter().all(|p| p.value.is_finite()));
+    }
+
+    #[test]
+    fn residual_diagnostics_are_tight_on_clean_signal() {
+        let series = seasonal_series(96, 12, 5.0);
+        let model = HoltWinters::with_period(12).fit(&series).unwrap();
+        let d: ResidualDiagnostics = model.diagnostics();
+        assert_eq!(d.n, 96);
+        // Signal amplitude is 500; a fitted model must do far better than
+        // predicting the mean.
+        assert!(d.rmse < 100.0, "rmse {}", d.rmse);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let series = seasonal_series(10, 4, 0.0);
+        assert!(matches!(
+            HoltWinters::with_period(1).fit(&series),
+            Err(ForecastError::BadPeriod(1))
+        ));
+        assert!(matches!(
+            HoltWinters::with_period(24).fit(&series),
+            Err(ForecastError::TooFewPoints { .. })
+        ));
+        let mut tiny = Series::new();
+        tiny.push(0.0, 1.0);
+        assert!(HoltWinters::auto(8).fit(&tiny).is_err());
+    }
+
+    #[test]
+    fn bad_horizons_are_typed_errors() {
+        let series = seasonal_series(60, 6, 0.0);
+        let model = HoltWinters::with_period(6).fit(&series).unwrap();
+        assert!(model.predict(0.0).is_err());
+        assert!(model.predict(-1.0).is_err());
+        assert!(model.predict(f64::NAN).is_err());
+        assert!(model.predict(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let series = seasonal_series(96, 12, 3.0);
+        let a = HoltWinters::auto(16).fit(&series).unwrap();
+        let b = HoltWinters::auto(16).fit(&series).unwrap();
+        assert_eq!(a.params(), b.params());
+        assert_eq!(a.period(), b.period());
+        let fa = a.predict(60.0).unwrap();
+        let fb = b.predict(60.0).unwrap();
+        for (pa, pb) in fa.iter().zip(&fb) {
+            assert_eq!(pa.value.to_bits(), pb.value.to_bits());
+        }
+    }
+}

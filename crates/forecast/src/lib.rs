@@ -1,0 +1,44 @@
+//! Classical time-series forecasting over `metricsdb` series.
+//!
+//! The paper's controller (Algorithms 1–2) is purely reactive: it re-tunes
+//! only after a rate change has already degraded latency. This crate is the
+//! forecasting front-end for the opt-in *proactive* mode: fit a model on
+//! the trailing producer-rate series, extrapolate over the next control
+//! interval, and let the controller warm-start its benefit model before
+//! the rate arrives (ROADMAP "Proactive scaling via rate forecasting").
+//!
+//! Two pure-rust classical models, both O(n) per evaluation pass:
+//!
+//! - [`HoltWinters`] — additive level/trend/season exponential smoothing.
+//!   Smoothing parameters (α, β, γ) are fit by coordinate descent over a
+//!   grid on the one-step-ahead squared-error objective; the season length
+//!   is either pinned ([`HoltWinters::with_period`]) or scanned
+//!   ([`HoltWinters::auto`]).
+//! - [`ArPredictor`] — an AR(p) autoregression fit by Yule-Walker: the
+//!   Toeplitz autocovariance system is solved with the jitter-robust
+//!   [`autrascale_linalg::Cholesky`] used by the GP layer.
+//!
+//! Both models report one-step-ahead residual diagnostics
+//! ([`ForecastModel::diagnostics`]) so callers can gate decisions on the
+//! model's in-sample error instead of trusting point forecasts blindly.
+//!
+//! Points are treated as equally spaced at the series' mean cadence; the
+//! simulator emits metrics on a fixed interval, so this holds by
+//! construction for the rate series this crate targets.
+//!
+//! Determinism: fitting is pure arithmetic over the input series — no
+//! randomness, no ambient time, no hash iteration — so equal inputs give
+//! bit-equal models and forecasts on every platform.
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
+mod ar;
+mod error;
+mod holt_winters;
+mod predictor;
+
+pub use ar::{ArModel, ArPredictor};
+pub use error::ForecastError;
+pub use holt_winters::{HoltWinters, HoltWintersModel};
+pub use predictor::{sample_cadence, ForecastModel, Predictor, ResidualDiagnostics};

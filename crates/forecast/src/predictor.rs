@@ -1,0 +1,181 @@
+//! The pluggable predictor trait and shared fit plumbing.
+
+use crate::error::ForecastError;
+use autrascale_metricsdb::{DataPoint, Series};
+
+/// A forecasting algorithm: configuration that fits a [`ForecastModel`]
+/// to a series.
+pub trait Predictor {
+    /// The fitted model type.
+    type Model: ForecastModel;
+
+    /// Fits a model to the series. Points are treated as equally spaced
+    /// at the series' mean cadence.
+    fn fit(&self, series: &Series) -> Result<Self::Model, ForecastError>;
+}
+
+/// A fitted forecaster: extrapolates beyond the last observed point and
+/// exposes its one-step-ahead in-sample residuals.
+pub trait ForecastModel: std::fmt::Debug {
+    /// Forecast points after the last observation, one per fitted cadence
+    /// step, covering at least `horizon_secs` of future time (the final
+    /// point's timestamp is `>= last_time + horizon_secs`).
+    fn predict(&self, horizon_secs: f64) -> Result<Vec<DataPoint>, ForecastError>;
+
+    /// One-step-ahead residuals (observed − forecast) accumulated while
+    /// replaying the training series.
+    fn residuals(&self) -> &[f64];
+
+    /// Summary statistics of [`residuals`](Self::residuals).
+    fn diagnostics(&self) -> ResidualDiagnostics {
+        ResidualDiagnostics::from_residuals(self.residuals())
+    }
+}
+
+/// Summary of one-step-ahead forecast errors; the controller gates
+/// proactive decisions on these instead of trusting point forecasts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResidualDiagnostics {
+    /// Number of one-step forecasts scored.
+    pub n: usize,
+    /// Mean signed error (bias; positive = model under-forecasts).
+    pub mean_error: f64,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Root-mean-squared error.
+    pub rmse: f64,
+}
+
+impl ResidualDiagnostics {
+    /// Computes the summary; all-zero for an empty residual set.
+    pub fn from_residuals(residuals: &[f64]) -> Self {
+        let n = residuals.len();
+        if n == 0 {
+            return ResidualDiagnostics {
+                n: 0,
+                mean_error: 0.0,
+                mae: 0.0,
+                rmse: 0.0,
+            };
+        }
+        let inv = 1.0 / n as f64;
+        let mean_error = residuals.iter().sum::<f64>() * inv;
+        let mae = residuals.iter().map(|r| r.abs()).sum::<f64>() * inv;
+        let rmse = (residuals.iter().map(|r| r * r).sum::<f64>() * inv).sqrt();
+        ResidualDiagnostics {
+            n,
+            mean_error,
+            mae,
+            rmse,
+        }
+    }
+}
+
+/// Mean spacing between consecutive points — the cadence forecasts are
+/// emitted at. Errors when fewer than two points or no positive span.
+pub fn sample_cadence(series: &Series) -> Result<f64, ForecastError> {
+    let points = series.points();
+    let (Some(first), Some(last)) = (points.first(), points.last()) else {
+        return Err(ForecastError::TooFewPoints {
+            needed: 2,
+            got: points.len(),
+        });
+    };
+    if points.len() < 2 {
+        return Err(ForecastError::TooFewPoints {
+            needed: 2,
+            got: points.len(),
+        });
+    }
+    let span = last.time - first.time;
+    let cadence = span / (points.len() - 1) as f64;
+    if cadence > 0.0 && cadence.is_finite() {
+        Ok(cadence)
+    } else {
+        Err(ForecastError::NonPositiveCadence)
+    }
+}
+
+/// Extracts values, validating finiteness and minimum length.
+pub(crate) fn checked_values(series: &Series, needed: usize) -> Result<Vec<f64>, ForecastError> {
+    let points = series.points();
+    if points.len() < needed {
+        return Err(ForecastError::TooFewPoints {
+            needed,
+            got: points.len(),
+        });
+    }
+    if points.iter().any(|p| !p.value.is_finite()) {
+        return Err(ForecastError::NonFiniteInput);
+    }
+    Ok(points.iter().map(|p| p.value).collect())
+}
+
+/// Validates a horizon and converts it to a step count at `cadence`
+/// (ceiling, at least one step).
+pub(crate) fn horizon_steps(horizon_secs: f64, cadence: f64) -> Result<usize, ForecastError> {
+    if !horizon_secs.is_finite() || horizon_secs <= 0.0 {
+        return Err(ForecastError::BadHorizon(horizon_secs));
+    }
+    let steps = (horizon_secs / cadence).ceil();
+    // Cap pathological horizons (e.g. horizon ≫ cadence·usize::MAX).
+    if steps >= 1e9 {
+        return Err(ForecastError::BadHorizon(horizon_secs));
+    }
+    Ok((steps as usize).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostics_of_empty_residuals_are_zero() {
+        let d = ResidualDiagnostics::from_residuals(&[]);
+        assert_eq!(d.n, 0);
+        assert_eq!(d.mae, 0.0);
+        assert_eq!(d.rmse, 0.0);
+    }
+
+    #[test]
+    fn diagnostics_match_hand_computation() {
+        let d = ResidualDiagnostics::from_residuals(&[1.0, -1.0, 3.0, -3.0]);
+        assert_eq!(d.n, 4);
+        assert!((d.mean_error - 0.0).abs() < 1e-12);
+        assert!((d.mae - 2.0).abs() < 1e-12);
+        assert!((d.rmse - 5.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cadence_is_mean_spacing() {
+        let mut s = Series::new();
+        s.push(0.0, 1.0);
+        s.push(1.0, 1.0);
+        s.push(4.0, 1.0);
+        let c = sample_cadence(&s).unwrap();
+        assert!((c - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cadence_rejects_degenerate_series() {
+        let mut s = Series::new();
+        s.push(1.0, 1.0);
+        assert!(matches!(
+            sample_cadence(&s),
+            Err(ForecastError::TooFewPoints { .. })
+        ));
+        s.push(1.0, 2.0);
+        assert_eq!(sample_cadence(&s), Err(ForecastError::NonPositiveCadence));
+    }
+
+    #[test]
+    fn horizon_steps_rounds_up_and_validates() {
+        assert_eq!(horizon_steps(30.0, 10.0), Ok(3));
+        assert_eq!(horizon_steps(25.0, 10.0), Ok(3));
+        assert_eq!(horizon_steps(1.0, 10.0), Ok(1));
+        assert!(horizon_steps(0.0, 10.0).is_err());
+        assert!(horizon_steps(-5.0, 10.0).is_err());
+        assert!(horizon_steps(f64::NAN, 10.0).is_err());
+        assert!(horizon_steps(f64::INFINITY, 10.0).is_err());
+    }
+}

@@ -13,10 +13,10 @@ pub struct CrateClass {
     /// `bench`, `cli`, `experiments`: process edges where ambient time and
     /// panicking on startup misconfiguration are acceptable.
     ambient_exempt: bool,
-    /// `streamsim`, `gp`, `bayesopt`, `core`: crates whose outputs the
-    /// parity suites pin bit-for-bit.
+    /// `streamsim`, `gp`, `bayesopt`, `core`, `forecast`: crates whose
+    /// outputs the parity suites pin bit-for-bit.
     deterministic_core: bool,
-    /// `linalg`, `gp`, `bayesopt`: crates doing f64 numerics.
+    /// `linalg`, `gp`, `bayesopt`, `forecast`: crates doing f64 numerics.
     numeric: bool,
 }
 
@@ -25,8 +25,11 @@ impl CrateClass {
     pub fn for_crate(name: &str) -> CrateClass {
         CrateClass {
             ambient_exempt: matches!(name, "bench" | "cli" | "experiments"),
-            deterministic_core: matches!(name, "streamsim" | "gp" | "bayesopt" | "core"),
-            numeric: matches!(name, "linalg" | "gp" | "bayesopt"),
+            deterministic_core: matches!(
+                name,
+                "streamsim" | "gp" | "bayesopt" | "core" | "forecast"
+            ),
+            numeric: matches!(name, "linalg" | "gp" | "bayesopt" | "forecast"),
         }
     }
 
@@ -187,6 +190,11 @@ mod tests {
         assert!(CrateClass::for_crate("core").deterministic_core());
         assert!(CrateClass::for_crate("streamsim").deterministic_core());
         assert!(!CrateClass::for_crate("metricsdb").deterministic_core());
+        // The forecast crate feeds the controller's proactive decisions,
+        // so it gets both the bit-for-bit determinism rules (no HashMap
+        // iteration, no ambient time/rng) and the f64-only numeric rules.
+        assert!(CrateClass::for_crate("forecast").deterministic_core());
+        assert!(CrateClass::for_crate("forecast").numeric());
         assert!(CrateClass::for_crate("linalg").numeric());
         assert!(!CrateClass::for_crate("flinkctl").numeric());
         assert!(CrateClass::for_crate("metricsdb").is_library());

@@ -9,6 +9,11 @@ pub enum AggregateError {
     PercentileOutOfRange(f64),
     /// Downsampling bucket width that is not positive and finite.
     BadBucketWidth(f64),
+    /// A NaN window bound or retention horizon. NaN compares false
+    /// against every timestamp, so accepting it would silently produce
+    /// an empty window (or a retention no-op) and hide the upstream bug
+    /// that computed it.
+    BadBound(f64),
 }
 
 impl std::fmt::Display for AggregateError {
@@ -19,6 +24,12 @@ impl std::fmt::Display for AggregateError {
             }
             AggregateError::BadBucketWidth(w) => {
                 write!(f, "bucket width must be positive and finite, got {w}")
+            }
+            AggregateError::BadBound(b) => {
+                write!(
+                    f,
+                    "window bound / retention horizon must not be NaN, got {b}"
+                )
             }
         }
     }

@@ -25,7 +25,7 @@
 //!     .tag("subtask", "0");
 //! store.append(&key, 1.0, 52_000.0).unwrap();
 //! store.append(&key, 2.0, 54_000.0).unwrap();
-//! let mean = store.window_mean(&key, 0.0, 10.0).unwrap();
+//! let mean = store.window_mean(&key, 0.0, 10.0).unwrap().unwrap();
 //! assert!((mean - 53_000.0).abs() < 1e-9);
 //! ```
 

@@ -25,14 +25,18 @@ impl Series {
     }
 
     /// Appends a point; returns `false` (and drops the point) if its
-    /// timestamp is non-finite or older than the last one.
+    /// timestamp is non-finite, its value is non-finite, or its timestamp
+    /// is older than the last one.
     ///
     /// Rejecting NaN/∞ timestamps here protects the sortedness invariant
     /// that [`Series::window`] and [`Series::retain_from`] binary-search
     /// on — a NaN compares false against everything, so it would slip
     /// past the monotonicity check and corrupt every later query.
+    /// Rejecting NaN/∞ *values* protects every reducer downstream: one
+    /// NaN poisons `mean`, sorts last under `total_cmp` so `p100` returns
+    /// NaN, and corrupts any forecaster fit on the series.
     pub fn push(&mut self, time: f64, value: f64) -> bool {
-        if !time.is_finite() {
+        if !time.is_finite() || !value.is_finite() {
             return false;
         }
         if let Some(last) = self.points.last() {
@@ -66,22 +70,43 @@ impl Series {
 
     /// Values with `from <= t <= to`, using binary search on the sorted
     /// timestamps.
-    pub fn window(&self, from: f64, to: f64) -> &[DataPoint] {
+    ///
+    /// A NaN bound is a typed [`AggregateError::BadBound`] — a NaN
+    /// compares false against everything, so treating it as "empty
+    /// window" would silently hide an upstream arithmetic bug. Infinite
+    /// bounds stay meaningful and saturate: `from = -∞` starts at the
+    /// first point, `to = +∞` ends at the last. An inverted finite range
+    /// (`from > to`) is an empty window, not an error.
+    pub fn window(&self, from: f64, to: f64) -> Result<&[DataPoint], AggregateError> {
+        if from.is_nan() {
+            return Err(AggregateError::BadBound(from));
+        }
+        if to.is_nan() {
+            return Err(AggregateError::BadBound(to));
+        }
         if from > to || self.points.is_empty() {
-            return &[];
+            return Ok(&[]);
         }
         let start = self.points.partition_point(|p| p.time < from);
         let end = self.points.partition_point(|p| p.time <= to);
         // start <= end because from <= to here; get() keeps this total.
-        self.points.get(start..end).unwrap_or(&[])
+        Ok(self.points.get(start..end).unwrap_or(&[]))
     }
 
     /// Drops every point strictly older than `horizon` (retention).
     /// Returns the number of points removed.
-    pub fn retain_from(&mut self, horizon: f64) -> usize {
+    ///
+    /// A NaN horizon is a typed [`AggregateError::BadBound`]: a
+    /// miscomputed retention horizon must not silently stop eviction
+    /// (NaN partitions before every point, so the old behavior was a
+    /// permanent no-op). `+∞` drops everything; `-∞` keeps everything.
+    pub fn retain_from(&mut self, horizon: f64) -> Result<usize, AggregateError> {
+        if horizon.is_nan() {
+            return Err(AggregateError::BadBound(horizon));
+        }
         let cut = self.points.partition_point(|p| p.time < horizon);
         self.points.drain(..cut);
-        cut
+        Ok(cut)
     }
 }
 
@@ -105,7 +130,7 @@ mod tests {
         for i in 0..10 {
             s.push(i as f64, i as f64);
         }
-        let w = s.window(2.0, 5.0);
+        let w = s.window(2.0, 5.0).unwrap();
         assert_eq!(w.len(), 4);
         assert_eq!(w[0].time, 2.0);
         assert_eq!(w[3].time, 5.0);
@@ -114,11 +139,11 @@ mod tests {
     #[test]
     fn window_empty_cases() {
         let s = Series::new();
-        assert!(s.window(0.0, 1.0).is_empty());
+        assert!(s.window(0.0, 1.0).unwrap().is_empty());
         let mut s = Series::new();
         s.push(5.0, 1.0);
-        assert!(s.window(6.0, 7.0).is_empty());
-        assert!(s.window(3.0, 2.0).is_empty());
+        assert!(s.window(6.0, 7.0).unwrap().is_empty());
+        assert!(s.window(3.0, 2.0).unwrap().is_empty());
     }
 
     #[test]
@@ -127,7 +152,7 @@ mod tests {
         for i in 0..10 {
             s.push(i as f64, 0.0);
         }
-        assert_eq!(s.retain_from(4.0), 4);
+        assert_eq!(s.retain_from(4.0), Ok(4));
         assert_eq!(s.len(), 6);
         assert_eq!(s.points()[0].time, 4.0);
     }
@@ -143,7 +168,84 @@ mod tests {
         // The series stays queryable: a NaN timestamp would have poisoned
         // the partition_point binary searches behind window/retain_from.
         assert!(s.push(2.0, 14.0));
-        assert_eq!(s.window(0.0, 3.0).len(), 2);
+        assert_eq!(s.window(0.0, 3.0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn non_finite_values_rejected() {
+        let mut s = Series::new();
+        assert!(s.push(1.0, 10.0));
+        assert!(!s.push(2.0, f64::NAN));
+        assert!(!s.push(2.0, f64::INFINITY));
+        assert!(!s.push(2.0, f64::NEG_INFINITY));
+        assert!(s.push(2.0, 12.0));
+        assert_eq!(s.len(), 2);
+        // Rejected points must not advance the monotonicity cursor: a
+        // point at the same timestamp still lands after a rejected one.
+        assert!(s.push(2.0, 13.0));
+        assert_eq!(s.len(), 3);
+    }
+
+    /// Regression: before the fix, one NaN value slipped into the series
+    /// and poisoned every aggregate (`p100` returns NaN because NaN sorts
+    /// last under `total_cmp`, `mean` propagates it, `downsample` averages
+    /// it into its bucket).
+    #[test]
+    fn aggregates_stay_finite_after_attempted_non_finite_push() {
+        use crate::aggregate;
+        let mut s = Series::new();
+        for i in 0..8 {
+            s.push(i as f64, 1.0 + i as f64);
+        }
+        s.push(8.0, f64::NAN);
+        s.push(8.0, f64::INFINITY);
+        s.push(9.0, 9.0);
+
+        let w = s.window(0.0, 100.0).unwrap();
+        let p100 = aggregate::percentile(w, 100.0).unwrap().unwrap();
+        assert!(p100.is_finite(), "p100 poisoned: {p100}");
+        assert_eq!(p100, 9.0);
+        let m = aggregate::mean(w).unwrap();
+        assert!(m.is_finite(), "mean poisoned: {m}");
+        for p in s.downsample(4.0).unwrap() {
+            assert!(p.value.is_finite(), "downsample poisoned at {}", p.time);
+        }
+    }
+
+    #[test]
+    fn nan_window_bounds_are_typed_errors() {
+        let mut s = Series::new();
+        s.push(1.0, 1.0);
+        assert!(matches!(
+            s.window(f64::NAN, 2.0),
+            Err(AggregateError::BadBound(_))
+        ));
+        assert!(matches!(
+            s.window(0.0, f64::NAN),
+            Err(AggregateError::BadBound(_))
+        ));
+        assert!(matches!(
+            s.retain_from(f64::NAN),
+            Err(AggregateError::BadBound(_))
+        ));
+        // The error must not mutate: eviction did not silently run.
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn infinite_bounds_saturate() {
+        let mut s = Series::new();
+        for i in 0..4 {
+            s.push(i as f64, i as f64);
+        }
+        assert_eq!(s.window(f64::NEG_INFINITY, f64::INFINITY).unwrap().len(), 4);
+        assert_eq!(s.window(f64::NEG_INFINITY, 1.0).unwrap().len(), 2);
+        let mut keep = s.clone();
+        assert_eq!(keep.retain_from(f64::NEG_INFINITY), Ok(0));
+        assert_eq!(keep.len(), 4);
+        let mut drop_all = s;
+        assert_eq!(drop_all.retain_from(f64::INFINITY), Ok(4));
+        assert!(drop_all.is_empty());
     }
 
     #[test]

@@ -170,14 +170,25 @@ impl MetricStore {
             .collect()
     }
 
-    /// Runs a query, returning each matching series' window.
-    pub fn select(&self, query: &Query) -> Vec<(SeriesKey, Vec<DataPoint>)> {
-        self.series
+    /// Runs a query, returning each matching series' window. A NaN query
+    /// bound is a typed [`aggregate::AggregateError::BadBound`]; infinite
+    /// bounds saturate (see [`Series::window`]).
+    pub fn select(
+        &self,
+        query: &Query,
+    ) -> Result<Vec<(SeriesKey, Vec<DataPoint>)>, aggregate::AggregateError> {
+        validate_bounds(query.from, query.to)?;
+        Ok(self
+            .series
             .read()
             .iter()
             .filter(|(k, _)| k.name() == query.name && k.matches_tags(&query.tags))
-            .map(|(k, s)| (k.clone(), s.window(query.from, query.to).to_vec()))
-            .collect()
+            .map(|(k, s)| {
+                // Bounds were validated above, so window cannot fail.
+                let pts = s.window(query.from, query.to).unwrap_or_default();
+                (k.clone(), pts.to_vec())
+            })
+            .collect())
     }
 
     /// Latest point of one exact series.
@@ -185,17 +196,24 @@ impl MetricStore {
         self.series.read().get(key).and_then(Series::last)
     }
 
-    /// Mean of one exact series over a window; `None` when empty.
-    pub fn window_mean(&self, key: &SeriesKey, from: f64, to: f64) -> Option<f64> {
+    /// Mean of one exact series over a window; `Ok(None)` when the series
+    /// is missing or the window empty, `Err` for a NaN bound.
+    pub fn window_mean(
+        &self,
+        key: &SeriesKey,
+        from: f64,
+        to: f64,
+    ) -> Result<Option<f64>, aggregate::AggregateError> {
+        validate_bounds(from, to)?;
         let guard = self.series.read();
-        guard
+        Ok(guard
             .get(key)
-            .and_then(|s| aggregate::mean(s.window(from, to)))
+            .and_then(|s| aggregate::mean(s.window(from, to).unwrap_or_default())))
     }
 
     /// Percentile of one exact series over a window; `Ok(None)` when the
     /// series is missing or the window empty, `Err` for a rank outside
-    /// `[0, 100]`.
+    /// `[0, 100]` or a NaN bound.
     pub fn window_percentile(
         &self,
         key: &SeriesKey,
@@ -203,9 +221,10 @@ impl MetricStore {
         to: f64,
         q: f64,
     ) -> Result<Option<f64>, aggregate::AggregateError> {
+        validate_bounds(from, to)?;
         let guard = self.series.read();
         match guard.get(key) {
-            Some(s) => aggregate::percentile(s.window(from, to), q),
+            Some(s) => aggregate::percentile(s.window(from, to).unwrap_or_default(), q),
             None => aggregate::percentile(&[], q),
         }
     }
@@ -213,27 +232,49 @@ impl MetricStore {
     /// Per-series window means for every series of a metric matching the
     /// query tags. Used by the Metric Aggregator to e.g. sum the true rate
     /// across the subtasks of an operator.
-    pub fn grouped_window_mean(&self, query: &Query) -> Vec<(SeriesKey, f64)> {
-        self.select(query)
+    pub fn grouped_window_mean(
+        &self,
+        query: &Query,
+    ) -> Result<Vec<(SeriesKey, f64)>, aggregate::AggregateError> {
+        Ok(self
+            .select(query)?
             .into_iter()
             .filter_map(|(k, pts)| aggregate::mean(&pts).map(|m| (k, m)))
-            .collect()
+            .collect())
     }
 
     /// Drops points older than `horizon` from every series, returning the
-    /// total number of points removed.
-    pub fn apply_retention(&self, horizon: f64) -> usize {
-        self.series
+    /// total number of points removed. A NaN horizon is a typed error —
+    /// before this contract it silently stopped eviction for every series
+    /// (NaN partitions before every point). `+∞` drops everything.
+    pub fn apply_retention(&self, horizon: f64) -> Result<usize, aggregate::AggregateError> {
+        if horizon.is_nan() {
+            return Err(aggregate::AggregateError::BadBound(horizon));
+        }
+        Ok(self
+            .series
             .write()
             .values_mut()
-            .map(|s| s.retain_from(horizon))
-            .sum()
+            .map(|s| s.retain_from(horizon).unwrap_or(0))
+            .sum())
     }
 
     /// Removes all series (a new job run starts with a clean slate).
     pub fn clear(&self) {
         self.series.write().clear();
     }
+}
+
+/// Rejects NaN window bounds before any per-series work, so query methods
+/// fail atomically instead of partially evaluating.
+fn validate_bounds(from: f64, to: f64) -> Result<(), aggregate::AggregateError> {
+    if from.is_nan() {
+        return Err(aggregate::AggregateError::BadBound(from));
+    }
+    if to.is_nan() {
+        return Err(aggregate::AggregateError::BadBound(to));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -253,7 +294,7 @@ mod tests {
         let k = SeriesKey::new("latency").tag("job", "wc");
         store.append(&k, 1.0, 100.0).unwrap();
         store.append(&k, 2.0, 200.0).unwrap();
-        let results = store.select(&Query::new("latency", 0.0, 10.0));
+        let results = store.select(&Query::new("latency", 0.0, 10.0)).unwrap();
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].1.len(), 2);
     }
@@ -282,9 +323,11 @@ mod tests {
         let k2 = SeriesKey::new("rate").tag("op", "Sink").tag("subtask", "0");
         store.append(&k2, 1.0, 99.0).unwrap();
 
-        let only_map = store.select(&Query::new("rate", 0.0, 2.0).tag("op", "Map"));
+        let only_map = store
+            .select(&Query::new("rate", 0.0, 2.0).tag("op", "Map"))
+            .unwrap();
         assert_eq!(only_map.len(), 3);
-        let all = store.select(&Query::new("rate", 0.0, 2.0));
+        let all = store.select(&Query::new("rate", 0.0, 2.0)).unwrap();
         assert_eq!(all.len(), 4);
     }
 
@@ -296,7 +339,9 @@ mod tests {
             store.append(&k, 1.0, 10.0 * (sub + 1) as f64).unwrap();
             store.append(&k, 2.0, 20.0 * (sub + 1) as f64).unwrap();
         }
-        let means = store.grouped_window_mean(&Query::new("rate", 0.0, 3.0));
+        let means = store
+            .grouped_window_mean(&Query::new("rate", 0.0, 3.0))
+            .unwrap();
         assert_eq!(means.len(), 2);
         let total: f64 = means.iter().map(|(_, m)| m).sum();
         assert!((total - (15.0 + 30.0)).abs() < 1e-12);
@@ -316,8 +361,8 @@ mod tests {
 
         // NaN skipped, out-of-order (2.5 after 3.0) rejected.
         assert_eq!(stored, 2);
-        let a = batched.select(&Query::new("rate", 0.0, 10.0));
-        let b = looped.select(&Query::new("rate", 0.0, 10.0));
+        let a = batched.select(&Query::new("rate", 0.0, 10.0)).unwrap();
+        let b = looped.select(&Query::new("rate", 0.0, 10.0)).unwrap();
         assert_eq!(a, b);
         assert_eq!(a[0].1.len(), 2);
     }
@@ -336,9 +381,52 @@ mod tests {
         for i in 0..10 {
             store.append(&k, i as f64, 0.0).unwrap();
         }
-        assert_eq!(store.apply_retention(5.0), 5);
+        assert_eq!(store.apply_retention(5.0), Ok(5));
         store.clear();
         assert_eq!(store.series_count(), 0);
+    }
+
+    #[test]
+    fn nan_bounds_are_typed_errors() {
+        use crate::aggregate::AggregateError;
+        let store = MetricStore::new();
+        let k = SeriesKey::new("m");
+        store.append(&k, 1.0, 1.0).unwrap();
+        assert!(matches!(
+            store.select(&Query::new("m", f64::NAN, 2.0)),
+            Err(AggregateError::BadBound(_))
+        ));
+        assert!(matches!(
+            store.window_mean(&k, 0.0, f64::NAN),
+            Err(AggregateError::BadBound(_))
+        ));
+        assert!(matches!(
+            store.window_percentile(&k, f64::NAN, 1.0, 50.0),
+            Err(AggregateError::BadBound(_))
+        ));
+        assert!(matches!(
+            store.grouped_window_mean(&Query::new("m", f64::NAN, 1.0)),
+            Err(AggregateError::BadBound(_))
+        ));
+        // Regression: a NaN horizon used to be a silent retention no-op;
+        // it must now surface and leave the series untouched.
+        assert!(matches!(
+            store.apply_retention(f64::NAN),
+            Err(AggregateError::BadBound(_))
+        ));
+        let all = store.select(&Query::new("m", 0.0, 10.0)).unwrap();
+        assert_eq!(all[0].1.len(), 1);
+    }
+
+    #[test]
+    fn infinite_retention_horizon_drops_everything() {
+        let store = MetricStore::new();
+        let k = SeriesKey::new("m");
+        for i in 0..5 {
+            store.append(&k, i as f64, 0.0).unwrap();
+        }
+        assert_eq!(store.apply_retention(f64::INFINITY), Ok(5));
+        assert_eq!(store.apply_retention(f64::NEG_INFINITY), Ok(0));
     }
 
     #[test]
@@ -356,7 +444,7 @@ mod tests {
                 });
             }
         });
-        let results = store.select(&Query::new("m", 0.0, 1e9));
+        let results = store.select(&Query::new("m", 0.0, 1e9)).unwrap();
         assert_eq!(results.len(), 4);
         assert!(results.iter().all(|(_, pts)| pts.len() == 1000));
     }

@@ -1,0 +1,129 @@
+//! Property-based tests for the aggregate reducers: percentile order
+//! statistics and downsampling invariants on randomly generated series,
+//! including negative timestamps (simulation warm-up offsets) — the
+//! regime where `(t / bucket).floor()` bucket assignment is easiest to
+//! get wrong.
+
+use autrascale_metricsdb::{aggregate, DataPoint, Series};
+use proptest::prelude::*;
+
+/// Strategy: 1–64 finite values in a range wide enough to exercise
+/// interpolation without overflowing intermediate sums.
+fn values() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0e6f64..1.0e6, 1..64)
+}
+
+fn pts(values: &[f64]) -> Vec<DataPoint> {
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| DataPoint {
+            time: i as f64,
+            value: v,
+        })
+        .collect()
+}
+
+/// Strategy: a series with a (possibly negative) start time and jittered
+/// positive spacing, plus a bucket width.
+fn series_and_bucket() -> impl Strategy<Value = (Series, f64)> {
+    (
+        -1.0e4f64..1.0e4,
+        proptest::collection::vec((0.01f64..30.0, -1.0e6f64..1.0e6), 1..64),
+        0.1f64..100.0,
+    )
+        .prop_map(|(start, steps, bucket)| {
+            let mut s = Series::new();
+            let mut t = start;
+            for (dt, v) in steps {
+                t += dt;
+                assert!(s.push(t, v), "finite monotone pushes are accepted");
+            }
+            (s, bucket)
+        })
+}
+
+proptest! {
+    #[test]
+    fn percentile_is_monotone_in_q(vals in values(), qa in 0.0f64..100.0, qb in 0.0f64..100.0) {
+        let points = pts(&vals);
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let plo = aggregate::percentile(&points, lo).unwrap().unwrap();
+        let phi = aggregate::percentile(&points, hi).unwrap().unwrap();
+        prop_assert!(plo <= phi, "p{lo} = {plo} > p{hi} = {phi}");
+    }
+
+    #[test]
+    fn percentile_endpoints_are_min_and_max(vals in values()) {
+        let points = pts(&vals);
+        let min = aggregate::min(&points).unwrap();
+        let max = aggregate::max(&points).unwrap();
+        prop_assert_eq!(aggregate::percentile(&points, 0.0).unwrap().unwrap(), min);
+        prop_assert_eq!(aggregate::percentile(&points, 100.0).unwrap().unwrap(), max);
+    }
+
+    #[test]
+    fn percentile_interpolation_is_bounded_by_neighbors(vals in values(), q in 0.0f64..100.0) {
+        // The type-7 interpolated value must lie between the two sorted
+        // order statistics it interpolates (and hence within [min, max]).
+        let points = pts(&vals);
+        let mut sorted = vals.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = q / 100.0 * (sorted.len() - 1) as f64;
+        let vlo = sorted[rank.floor() as usize];
+        let vhi = sorted[rank.ceil() as usize];
+        let p = aggregate::percentile(&points, q).unwrap().unwrap();
+        prop_assert!(vlo <= p && p <= vhi, "p{q} = {p} outside [{vlo}, {vhi}]");
+    }
+
+    #[test]
+    fn downsample_means_are_bounded_by_bucket_extremes((s, bucket) in series_and_bucket()) {
+        let down = s.downsample(bucket).unwrap();
+        prop_assert!(!down.is_empty());
+        prop_assert!(down.len() <= s.len());
+        for d in &down {
+            // Points of this bucket: bucket-start timestamps come from the
+            // same floor() computation, so the membership test is exact.
+            let members: Vec<f64> = s
+                .points()
+                .iter()
+                .filter(|p| ((p.time / bucket).floor() * bucket).to_bits() == d.time.to_bits())
+                .map(|p| p.value)
+                .collect();
+            prop_assert!(!members.is_empty(), "bucket at {} has no members", d.time);
+            let lo = members.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = members.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            // The mean of n values in [lo, hi] stays in [lo, hi] up to
+            // accumulation rounding.
+            let slack = 1e-9 * (1.0 + hi.abs().max(lo.abs()));
+            prop_assert!(
+                d.value >= lo - slack && d.value <= hi + slack,
+                "bucket mean {} outside [{lo}, {hi}]",
+                d.value
+            );
+        }
+    }
+
+    #[test]
+    fn downsample_emits_one_point_per_occupied_bucket((s, bucket) in series_and_bucket()) {
+        // Holds for negative timestamps too: floor() (not integer
+        // truncation) keeps bucket assignment monotone below zero.
+        let down = s.downsample(bucket).unwrap();
+        for w in down.windows(2) {
+            prop_assert!(w[0].time < w[1].time);
+        }
+        // The series is time-sorted and floor() is monotone, so points of
+        // one bucket are consecutive: dedup yields the occupied buckets
+        // in emission order, which must match the output exactly.
+        let mut starts: Vec<u64> = s
+            .points()
+            .iter()
+            .map(|p| ((p.time / bucket).floor() * bucket).to_bits())
+            .collect();
+        starts.dedup();
+        prop_assert_eq!(starts.len(), down.len());
+        for (expected, d) in starts.iter().zip(&down) {
+            prop_assert_eq!(*expected, d.time.to_bits());
+        }
+    }
+}

@@ -222,6 +222,7 @@ mod scenario_battery {
         let store = fc.simulation().store();
         store
             .select(&Query::new(PROCESSING_LATENCY_MS, from, fc.now()))
+            .unwrap()
             .into_iter()
             .flat_map(|(_, pts)| pts)
             .filter(|p| p.value > target)

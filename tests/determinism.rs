@@ -238,6 +238,7 @@ fn simulation_replay_matches_metrics_store() {
                 0.0,
                 1e9,
             ))
+            .unwrap()
             .into_iter()
             .flat_map(|(_, pts)| pts)
             .map(|p| (p.time.to_bits(), p.value.to_bits()))

@@ -1,0 +1,207 @@
+//! Proactive-forecasting regression battery (ISSUE 9).
+//!
+//! Compares the MAPE loop with [`AuTraScaleConfig::proactive_forecasting`]
+//! on vs off at an equal simulated-time budget on the seeded diurnal and
+//! flash-crowd scenarios. SLO-violating `policy_interval` windows are
+//! counted post-hoc from the metric store over the *whole* run, so
+//! optimization probes and restart downtime are charged to the mode that
+//! incurred them.
+//!
+//! Pinned guarantees:
+//! - flash-crowd: proactive gives strictly fewer violating windows;
+//! - battery-wide: proactive is never worse than reactive;
+//! - steady rate: proactive-on is bit-identical to the reactive default
+//!   (the forecaster sees no coming change and consumes no randomness);
+//! - both modes are deterministic at a fixed seed.
+
+use autrascale::{AuTraScaleConfig, ControllerEvent, MapeController};
+use autrascale_flinkctl::FlinkCluster;
+use autrascale_streamsim::metrics;
+use autrascale_workloads::scenarios::{diurnal, flash_crowd, Scenario};
+
+/// Budget-matched controller config; `proactive` toggles only the
+/// forecasting front-end.
+fn config(s: &Scenario, proactive: bool) -> AuTraScaleConfig {
+    let cfg = AuTraScaleConfig {
+        target_latency_ms: s.target_latency_ms,
+        policy_running_time: 60.0,
+        bootstrap_m: 3,
+        max_bo_iters: 5,
+        n_num: 3,
+        ..Default::default()
+    };
+    if proactive {
+        cfg.with_proactive_forecasting()
+    } else {
+        cfg
+    }
+}
+
+/// SLO-violating `window`-second windows over `[0, now]`, judged by the
+/// mean of the job processing-latency series in each window.
+fn violating_windows(fc: &FlinkCluster, target_ms: f64, window: f64) -> usize {
+    let store = fc.simulation().store();
+    let key = metrics::job_key(metrics::PROCESSING_LATENCY_MS);
+    let end = fc.now();
+    let mut count = 0;
+    let mut t = 0.0;
+    while t < end {
+        let mean = store
+            .window_mean(&key, t, (t + window).min(end))
+            .expect("finite bounds")
+            .unwrap_or(0.0);
+        if mean > target_ms {
+            count += 1;
+        }
+        t += window;
+    }
+    count
+}
+
+struct RunOutcome {
+    violating_windows: usize,
+    events: Vec<ControllerEvent>,
+    final_parallelism: Vec<u32>,
+    slo_violations: usize,
+}
+
+/// Drives the MAPE loop on the scenario until `horizon_secs` of simulated
+/// time have passed, then scores the whole run.
+fn run(s: &Scenario, seed: u64, proactive: bool, horizon_secs: f64) -> RunOutcome {
+    let mut fc = FlinkCluster::new(s.build(seed).expect("scenario builds"));
+    fc.submit(&s.initial_parallelism).expect("submit");
+    fc.run_for(60.0).expect("warmup");
+    let cfg = config(s, proactive);
+    let interval = cfg.policy_interval;
+    let target = cfg.target_latency_ms;
+    let mut ctrl = MapeController::new(cfg);
+    let mut events = Vec::new();
+    while fc.now() < horizon_secs {
+        events.extend(ctrl.activate(&mut fc).expect("activation"));
+        fc.run_for(interval).expect("interval advance");
+    }
+    RunOutcome {
+        violating_windows: violating_windows(&fc, target, interval),
+        events,
+        final_parallelism: fc.parallelism().to_vec(),
+        slo_violations: ctrl.slo_violations(),
+    }
+}
+
+fn forecast_events(events: &[ControllerEvent]) -> usize {
+    events
+        .iter()
+        .filter(|e| matches!(e, ControllerEvent::RateForecasted { .. }))
+        .count()
+}
+
+#[test]
+fn proactive_strictly_beats_reactive_on_flash_crowd() {
+    let s = flash_crowd();
+    let horizon = 2_400.0;
+    let reactive = run(&s, 42, false, horizon);
+    let proactive = run(&s, 42, true, horizon);
+    assert!(
+        forecast_events(&proactive.events) > 0,
+        "proactive mode never forecast a rate change: {:?}",
+        proactive.events
+    );
+    assert!(
+        proactive.violating_windows < reactive.violating_windows,
+        "proactive {} windows vs reactive {} windows",
+        proactive.violating_windows,
+        reactive.violating_windows
+    );
+}
+
+#[test]
+fn proactive_is_never_worse_battery_wide() {
+    for (s, horizon) in [(diurnal(), 1_500.0), (flash_crowd(), 2_400.0)] {
+        let reactive = run(&s, 7, false, horizon);
+        let proactive = run(&s, 7, true, horizon);
+        assert!(
+            proactive.violating_windows <= reactive.violating_windows,
+            "{}: proactive {} windows vs reactive {}",
+            s.name,
+            proactive.violating_windows,
+            reactive.violating_windows
+        );
+    }
+}
+
+#[test]
+fn steady_rate_parity_proactive_on_equals_off() {
+    // On a constant rate the forecaster predicts no change and consumes
+    // no randomness, so enabling proactive mode must change nothing:
+    // same events, same deployments, same violation count, bit for bit.
+    let mut s = diurnal();
+    s.profile = autrascale_streamsim::RateProfile::constant(10_000.0);
+    let reactive = run(&s, 11, false, 900.0);
+    let proactive = run(&s, 11, true, 900.0);
+    assert_eq!(
+        format!("{:?}", reactive.events),
+        format!("{:?}", proactive.events)
+    );
+    assert_eq!(reactive.final_parallelism, proactive.final_parallelism);
+    assert_eq!(reactive.slo_violations, proactive.slo_violations);
+    assert_eq!(reactive.violating_windows, proactive.violating_windows);
+}
+
+#[test]
+fn proactive_runs_are_deterministic() {
+    let s = flash_crowd();
+    let a = run(&s, 13, true, 1_200.0);
+    let b = run(&s, 13, true, 1_200.0);
+    assert_eq!(format!("{:?}", a.events), format!("{:?}", b.events));
+    assert_eq!(a.final_parallelism, b.final_parallelism);
+    assert_eq!(a.violating_windows, b.violating_windows);
+}
+
+#[test]
+#[ignore]
+fn debug_dump_flash_crowd() {
+    let s = flash_crowd();
+    for proactive in [false, true] {
+        let mut fc = FlinkCluster::new(s.build(42).expect("scenario builds"));
+        fc.submit(&s.initial_parallelism).expect("submit");
+        fc.run_for(60.0).expect("warmup");
+        let cfg = config(&s, proactive);
+        let mut ctrl = MapeController::new(cfg.clone());
+        println!("=== proactive={proactive} ===");
+        while fc.now() < 2_400.0 {
+            let t0 = fc.now();
+            let evs = ctrl.activate(&mut fc).expect("activation");
+            for e in &evs {
+                let tag = match e {
+                    ControllerEvent::ThroughputOptimized(_) => "ThroughputOptimized".into(),
+                    ControllerEvent::SteadyRateOptimized(o) => {
+                        format!("SteadyRateOptimized slo={}", o.slo_violations)
+                    }
+                    ControllerEvent::Transferred(o) => {
+                        format!("Transferred slo={}", o.slo_violations)
+                    }
+                    ControllerEvent::RateAwareWarmStarted(o) => {
+                        format!("RateAware slo={}", o.slo_violations)
+                    }
+                    ControllerEvent::RateChangeDetected { old, new } => {
+                        format!("RateChange {old:.0}->{new:.0}")
+                    }
+                    ControllerEvent::RateForecasted { current, predicted } => {
+                        format!("Forecast {current:.0}->{predicted:.0}")
+                    }
+                    ControllerEvent::NoActionNeeded => "NoAction".into(),
+                };
+                println!(
+                    "t={t0:8.1} -> t={:8.1}  {tag}  par={:?}",
+                    fc.now(),
+                    fc.parallelism()
+                );
+            }
+            fc.run_for(cfg.policy_interval).expect("advance");
+        }
+        println!(
+            "violating={}",
+            violating_windows(&fc, cfg.target_latency_ms, cfg.policy_interval)
+        );
+    }
+}

@@ -75,6 +75,7 @@ fn aggregator_matches_raw_store_contents() {
     // Throughput aggregate equals the mean of the raw series.
     let raw: Vec<f64> = store
         .select(&Query::new(metrics::JOB_THROUGHPUT, from, to))
+        .unwrap()
         .into_iter()
         .flat_map(|(_, pts)| pts)
         .map(|p| p.value)
@@ -87,7 +88,7 @@ fn aggregator_matches_raw_store_contents() {
     let mut sum = 0.0;
     for subtask in 0..2 {
         let key = metrics::instance_key(metrics::TRUE_PROCESSING_RATE, "Split", subtask);
-        sum += store.window_mean(&key, from, to).unwrap();
+        sum += store.window_mean(&key, from, to).unwrap().unwrap();
     }
     assert!((split.true_rate_total - sum).abs() < 1e-9);
 }
