@@ -45,7 +45,7 @@ pub use acquisition::{
 pub use autrascale_gp::{FitcSurrogate, SparseStrategy, Surrogate};
 pub use bootstrap::{bootstrap_set, BootstrapDesign};
 pub use constraint::{ConstraintMode, ConstraintModel};
-pub use optimizer::{Acquisition, BayesOpt, BoError, BoOptions};
+pub use optimizer::{suggest_batch, Acquisition, BayesOpt, BoError, BoOptions};
 pub use space::SearchSpace;
 
 /// Converts a parallelism vector to the `f64` feature vector the GP sees.

@@ -716,6 +716,21 @@ impl BayesOpt {
     }
 }
 
+/// Suggests the next configuration for every optimizer in the slice at
+/// once — the multi-tenant entry point of a fleet control plane, where
+/// each job owns an independent [`BayesOpt`] and a scheduling round wants
+/// all of their proposals together.
+///
+/// The optimizers share no state, so suggestions run in parallel (rayon)
+/// with an order-preserving collect: the result at index `i` is bitwise
+/// identical to calling `optimizers[i].suggest()` in a serial loop over
+/// the slice — including each optimizer's RNG advancement. Per-optimizer
+/// failures (e.g. [`BoError::NoObservations`] for a cold tenant) surface
+/// in that tenant's slot without disturbing the rest of the batch.
+pub fn suggest_batch(optimizers: &mut [BayesOpt]) -> Vec<Result<Vec<u32>, BoError>> {
+    optimizers.par_iter_mut().map(BayesOpt::suggest).collect()
+}
+
 /// Deterministic tie-break: prefer the configuration with smaller total
 /// parallelism (cheaper), then lexicographically smaller.
 fn tie_break(a: &[u32], b: &[u32]) -> bool {
@@ -901,6 +916,57 @@ mod tests {
             let picked_ser = bo_ser.suggest_ranked(&gp, f_best, candidates, false);
             assert_eq!(picked_par, picked_ser, "{acquisition:?}");
         }
+    }
+
+    #[test]
+    fn suggest_batch_matches_serial_loop_bitwise() {
+        // Tenants with different spaces, seeds and histories: the batch
+        // entry point must reproduce the serial in-order loop exactly,
+        // including each optimizer's post-suggest RNG state (checked by
+        // running a second round on the same optimizers).
+        let make_fleet = || {
+            (0..6u64)
+                .map(|t| {
+                    let dims = 1 + (t as usize % 3);
+                    let space = SearchSpace::new(vec![1; dims], vec![6 + t as u32; dims]).unwrap();
+                    let mut bo = BayesOpt::new(
+                        space,
+                        BoOptions {
+                            seed: 0xB0 + t,
+                            ..Default::default()
+                        },
+                    );
+                    if t != 4 {
+                        // Tenant 4 stays cold: its slot must carry the
+                        // NoObservations error without poisoning the batch.
+                        bo.observe(vec![1; dims], 0.2);
+                        bo.observe(vec![5; dims], 0.7 + t as f64 * 0.01);
+                    }
+                    bo
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut batched = make_fleet();
+        let mut serial = make_fleet();
+        for round in 0..3 {
+            let a = suggest_batch(&mut batched);
+            let b: Vec<_> = serial.iter_mut().map(BayesOpt::suggest).collect();
+            assert_eq!(a, b, "round {round}");
+            for (bo, result) in batched.iter_mut().zip(&a) {
+                if let Ok(k) = result {
+                    bo.observe(k.clone(), 0.5);
+                }
+            }
+            for (bo, result) in serial.iter_mut().zip(&b) {
+                if let Ok(k) = result {
+                    bo.observe(k.clone(), 0.5);
+                }
+            }
+        }
+        assert!(matches!(
+            suggest_batch(&mut batched)[4],
+            Err(BoError::NoObservations)
+        ));
     }
 
     #[test]

@@ -13,11 +13,14 @@
 //! | `sim_run_for` | 100 000 simulated seconds of a quiescence-heavy diurnal trace: event engine (window fast-forward) vs tick engine |
 //! | `forecast_fit` | proactive controller's per-activation fit: Holt-Winters auto scan and AR(8) Yule-Walker on the 300-point trailing rate window |
 //! | `forecast_predict` | 90 s-horizon forecast (`policy_interval + policy_running_time`) from each fitted model |
+//! | `fleet_advance` | one 30 s scheduling round on a pre-warmed multi-job fleet (steady-state MAPE activation per job), sharded vs serial |
 //!
 //! Medians from this harness are recorded in `BENCH_bo_suggest.json`
-//! (surrogate groups) and `BENCH_sim_events.json` (simulator groups, via
-//! `cargo run --release -p autrascale-bench --bin sim_events`) at the
-//! repo root whenever the respective hot path changes.
+//! (surrogate groups), `BENCH_sim_events.json` (simulator groups, via
+//! `cargo run --release -p autrascale-bench --bin sim_events`), and
+//! `BENCH_fleet.json` (the fleet group, alongside the 1k-job sweep from
+//! `autrascale-experiments fleet`) at the repo root whenever the
+//! respective hot path changes.
 
 use autrascale_bayesopt::{BayesOpt, BoOptions, ConstraintMode, SearchSpace, SparseStrategy};
 use autrascale_bench::sim_events::{diurnal_sim, FOUR_CHAIN_OPS};
@@ -381,6 +384,94 @@ fn bench_forecast_predict(c: &mut Criterion) {
     group.finish();
 }
 
+/// One pre-warmed fleet for `bench_fleet_advance`: a donor cold-tunes,
+/// then `jobs` tenants resume from its checkpoint at the tuned
+/// parallelism, so every timed round is one cheap steady-state MAPE
+/// activation per job.
+fn warm_fleet(jobs: u64) -> autrascale_fleet::Fleet {
+    use autrascale::AuTraScaleConfig;
+    use autrascale_fleet::{Fleet, FleetConfig, JobSpec, ResumeState, WorkloadFeatures};
+    use autrascale_streamsim::{JobGraph, OperatorSpec, RateProfile, SimulationConfig};
+
+    let sim = |seed: u64| SimulationConfig {
+        job: JobGraph::linear(vec![
+            OperatorSpec::source("Source", 30_000.0),
+            OperatorSpec::sink("Sink", 5_000.0)
+                .with_sync_coeff(0.02)
+                .with_comm_cost_ms(3.0),
+        ])
+        .unwrap(),
+        profile: RateProfile::constant(10_000.0),
+        seed,
+        restart_downtime: 2.0,
+        ..Default::default()
+    };
+    let controller = AuTraScaleConfig {
+        target_latency_ms: 150.0,
+        policy_interval: 30.0,
+        policy_running_time: 60.0,
+        bootstrap_m: 3,
+        max_bo_iters: 4,
+        n_num: 3,
+        ..Default::default()
+    };
+    let spec = |id: u64| JobSpec {
+        id,
+        sim: sim(0xF1EE7 + id),
+        controller: controller.clone(),
+        initial_parallelism: vec![1, 1],
+        features: WorkloadFeatures::of_job(2, 20, 10_000.0, 150.0),
+        resume: None,
+    };
+
+    let mut donor = Fleet::new(FleetConfig::default());
+    donor.admit(spec(0)).unwrap();
+    donor.advance_round(60.0).unwrap();
+    let tuned = donor.job(0).unwrap();
+    let resume = ResumeState {
+        rate: tuned.controller().current_rate().unwrap(),
+        base: tuned.controller().base().unwrap().to_vec(),
+        library: tuned.controller().library().clone(),
+    };
+    let parallelism = tuned.cluster().parallelism().to_vec();
+
+    let mut fleet = Fleet::new(FleetConfig {
+        retention_secs: Some(60.0),
+        shard_count: 16,
+        ..Default::default()
+    });
+    for id in 0..jobs {
+        let mut s = spec(id);
+        s.initial_parallelism = parallelism.clone();
+        s.resume = Some(resume.clone());
+        fleet.admit(s).unwrap();
+    }
+    fleet.advance_round(120.0).unwrap();
+    fleet
+}
+
+/// One 30 s scheduling round on a pre-warmed fleet: `jobs` steady-state
+/// MAPE activations. Retention keeps the per-job metric shards bounded,
+/// so iterations don't slow down as simulated time accumulates. The
+/// sharded and serial paths are bitwise identical (the determinism
+/// contract), so their timing difference is pure scheduling overhead —
+/// on a single-core machine serial typically wins by the rayon margin.
+fn bench_fleet_advance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_advance");
+    group.sample_size(20);
+    for jobs in [64u64, 256] {
+        let mut fleet = warm_fleet(jobs);
+        group.bench_function(BenchmarkId::new("sharded_round", jobs), |b| {
+            b.iter(|| black_box(fleet.advance_round(30.0).unwrap().len()));
+        });
+    }
+    let mut serial = warm_fleet(64);
+    group.bench_function(BenchmarkId::new("serial_round", 64u64), |b| {
+        b.iter(|| black_box(serial.advance_round_serial(30.0).unwrap().len()));
+    });
+    group.finish();
+}
+
 criterion_group!(
     hotpath,
     bench_bo_suggest,
@@ -392,6 +483,7 @@ criterion_group!(
     bench_sim_step,
     bench_sim_run_for,
     bench_forecast_fit,
-    bench_forecast_predict
+    bench_forecast_predict,
+    bench_fleet_advance
 );
 criterion_main!(hotpath);

@@ -79,13 +79,55 @@ pub struct MapeController {
 impl MapeController {
     /// A controller with an empty model library.
     pub fn new(config: AuTraScaleConfig) -> Self {
+        Self::with_library(config, ModelLibrary::new())
+    }
+
+    /// A controller whose model library is seeded from elsewhere — the
+    /// fleet's cross-job transfer path, where a new job inherits the
+    /// models of the closest finished session. With a non-empty library
+    /// the *first* activation warm-starts via Algorithm 2 from the
+    /// closest-rate donor model instead of running Algorithm 1 cold; with
+    /// an empty library this is exactly [`new`](Self::new).
+    pub fn with_library(config: AuTraScaleConfig, library: ModelLibrary) -> Self {
         Self {
             config,
-            library: ModelLibrary::new(),
+            library,
             current_rate: None,
             base: None,
             slo_violations: 0,
         }
+    }
+
+    /// Restores a controller mid-session: the library, steady rate and
+    /// base configuration it had previously established (a checkpoint
+    /// resume — the fleet's pre-warmed admission path). The next
+    /// activation behaves exactly like the steady-state arm of a
+    /// controller that tuned `current_rate` itself: no action while QoS
+    /// holds, re-tune on violation or rate change.
+    pub fn resume(
+        config: AuTraScaleConfig,
+        library: ModelLibrary,
+        current_rate: f64,
+        base: Vec<u32>,
+    ) -> Self {
+        Self {
+            config,
+            library,
+            current_rate: Some(current_rate),
+            base: Some(base),
+            slo_violations: 0,
+        }
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &AuTraScaleConfig {
+        &self.config
+    }
+
+    /// The steady rate the current model corresponds to (`None` before
+    /// the first activation establishes one).
+    pub fn current_rate(&self) -> Option<f64> {
+        self.current_rate
     }
 
     /// The model library (one benefit model per steady rate seen).
@@ -128,16 +170,36 @@ impl MapeController {
         };
 
         match self.current_rate {
-            // First activation: establish the model from scratch.
+            // First activation: establish the model from scratch, or —
+            // when the library was seeded via
+            // [`with_library`](Self::with_library) — transfer from the
+            // donor's closest-rate model. `new()` starts empty, so the
+            // from-scratch path is untouched.
             None => {
                 let (base, outcome) = self.optimize_throughput(cluster)?;
                 events.push(ControllerEvent::ThroughputOptimized(outcome));
-                let alg1 = Algorithm1::new(&self.config, base.clone(), cluster.max_parallelism());
-                let result = alg1.run(cluster, Vec::new())?;
-                self.library.insert(rate, result.dataset.clone());
+                let result = match self.library.closest(rate).cloned() {
+                    Some(prior) => {
+                        let tl = TransferLearner::new(
+                            &self.config,
+                            base.clone(),
+                            cluster.max_parallelism(),
+                        );
+                        let r = tl.run(cluster, &prior, Vec::new())?;
+                        events.push(ControllerEvent::Transferred(r.clone()));
+                        r
+                    }
+                    None => {
+                        let alg1 =
+                            Algorithm1::new(&self.config, base.clone(), cluster.max_parallelism());
+                        let r = alg1.run(cluster, Vec::new())?;
+                        events.push(ControllerEvent::SteadyRateOptimized(r.clone()));
+                        r
+                    }
+                };
+                self.library.insert(rate, result.dataset);
                 self.base = Some(base);
                 self.current_rate = Some(rate);
-                events.push(ControllerEvent::SteadyRateOptimized(result));
             }
             Some(current) if rate_changed(current, rate, self.config.rate_change_threshold) => {
                 events.push(ControllerEvent::RateChangeDetected {
@@ -419,6 +481,63 @@ mod tests {
                 .any(|e| matches!(e, ControllerEvent::NoActionNeeded)),
             "{events:?}"
         );
+    }
+
+    #[test]
+    fn seeded_library_transfers_on_first_activation() {
+        // A donor controller tunes first; its library then seeds a second
+        // controller on a fresh but similar cluster, whose first
+        // activation must go through Algorithm 2 instead of cold
+        // Algorithm 1 — the fleet cross-job admission path.
+        let mut donor_fc = cluster_with(RateProfile::constant(10_000.0), 35);
+        donor_fc.submit(&[1, 1]).unwrap();
+        donor_fc.run_for(60.0).unwrap();
+        let mut donor = MapeController::new(config());
+        donor.activate(&mut donor_fc).unwrap();
+        assert_eq!(donor.library().len(), 1);
+
+        let mut fc = cluster_with(RateProfile::constant(11_000.0), 36);
+        fc.submit(&[1, 1]).unwrap();
+        fc.run_for(60.0).unwrap();
+        let mut ctrl = MapeController::with_library(config(), donor.library().clone());
+        let events = ctrl.activate(&mut fc).unwrap();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, ControllerEvent::Transferred(_))),
+            "{events:?}"
+        );
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, ControllerEvent::SteadyRateOptimized(_))),
+            "{events:?}"
+        );
+        assert!(ctrl.base().is_some());
+    }
+
+    #[test]
+    fn empty_seeded_library_is_bitwise_cold_start() {
+        // with_library(ModelLibrary::new()) must be indistinguishable from
+        // new(): same events, same final configuration, same library.
+        let run = |seeded: bool| {
+            let mut fc = cluster_with(RateProfile::constant(10_000.0), 37);
+            fc.submit(&[1, 1]).unwrap();
+            fc.run_for(60.0).unwrap();
+            let mut ctrl = if seeded {
+                MapeController::with_library(config(), ModelLibrary::new())
+            } else {
+                MapeController::new(config())
+            };
+            let events = ctrl.activate(&mut fc).unwrap();
+            (
+                format!("{events:?}"),
+                fc.parallelism().to_vec(),
+                ctrl.library().len(),
+                fc.simulation().state_hash(),
+            )
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

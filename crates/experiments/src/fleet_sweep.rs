@@ -1,0 +1,243 @@
+//! Fleet control-plane sweep — steady-state MAPE throughput at 1 000
+//! simulated jobs (ISSUE 10).
+//!
+//! One donor job cold-tunes on the smoke topology; its checkpoint then
+//! pre-warms an `n`-job fleet (every tenant resumed at the tuned
+//! parallelism and steady rate), the regime the fleet scheduler is built
+//! for: each 30 s scheduling round runs one cheap steady-state MAPE
+//! activation per job. The sweep times `rounds` concurrent rounds with
+//! `std::time::Instant` (this crate is ambient-exempt) and reports
+//! **MAPE loops per wall-clock second** — the control plane's sustained
+//! multi-tenant throughput — plus the serial reference on a smaller
+//! fleet and the per-job metric footprint retention holds it to.
+//!
+//! Run with `cargo run --release -p autrascale-experiments -- fleet`;
+//! artifacts land in `results/fleet_sweep.{csv,json}`. Recorded medians
+//! live in `BENCH_fleet.json` at the repo root.
+
+use crate::output;
+use autrascale::AuTraScaleConfig;
+use autrascale_fleet::{Admission, Fleet, FleetConfig, JobSpec, ResumeState, WorkloadFeatures};
+use autrascale_streamsim::{JobGraph, OperatorSpec, RateProfile, SimulationConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One timed configuration of the sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetRow {
+    /// Number of simulated jobs in the fleet.
+    pub jobs: usize,
+    /// `true` for `advance_round` (sharded/concurrent), `false` for the
+    /// serial reference.
+    pub concurrent: bool,
+    /// Scheduling rounds timed (after a warm-up round).
+    pub rounds: usize,
+    /// Wall-clock seconds for the timed rounds.
+    pub wall_secs: f64,
+    /// Steady-state MAPE activations completed per wall-clock second.
+    pub loops_per_sec: f64,
+    /// Largest per-job metric shard after the run, points (bounded by
+    /// retention regardless of how long the fleet has run).
+    pub max_shard_points: usize,
+}
+
+/// The sweep report.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetSweepReport {
+    pub rows: Vec<FleetRow>,
+}
+
+fn sim_config(rate: f64, seed: u64) -> SimulationConfig {
+    let job = JobGraph::linear(vec![
+        OperatorSpec::source("Source", 30_000.0),
+        OperatorSpec::sink("Sink", 5_000.0)
+            .with_sync_coeff(0.02)
+            .with_comm_cost_ms(3.0),
+    ])
+    .expect("smoke topology is valid");
+    SimulationConfig {
+        job,
+        profile: RateProfile::constant(rate),
+        seed,
+        restart_downtime: 2.0,
+        ..Default::default()
+    }
+}
+
+fn controller_config() -> AuTraScaleConfig {
+    AuTraScaleConfig {
+        target_latency_ms: 150.0,
+        policy_interval: 30.0,
+        policy_running_time: 60.0,
+        bootstrap_m: 3,
+        max_bo_iters: 4,
+        n_num: 3,
+        ..Default::default()
+    }
+}
+
+fn spec(id: u64, rate: f64, seed: u64) -> JobSpec {
+    JobSpec {
+        id,
+        sim: sim_config(rate, seed.wrapping_add(id)),
+        controller: controller_config(),
+        initial_parallelism: vec![1, 1],
+        features: WorkloadFeatures::of_job(2, 20, rate, 150.0),
+        resume: None,
+    }
+}
+
+/// Cold-tunes one donor and returns its checkpoint plus the tuned
+/// parallelism every resumed tenant is submitted at.
+fn donor_checkpoint(seed: u64) -> (ResumeState, Vec<u32>) {
+    let mut donor = Fleet::new(FleetConfig::default());
+    donor.admit(spec(0, 10_000.0, seed)).expect("donor admits");
+    donor.advance_round(60.0).expect("donor tunes");
+    let tuned = donor.job(0).expect("donor exists");
+    let resume = ResumeState {
+        rate: tuned
+            .controller()
+            .current_rate()
+            .expect("donor saw its steady rate"),
+        base: tuned
+            .controller()
+            .base()
+            .expect("donor tuned a base")
+            .to_vec(),
+        library: tuned.controller().library().clone(),
+    };
+    (resume, tuned.cluster().parallelism().to_vec())
+}
+
+/// Builds a pre-warmed `jobs`-tenant fleet from the donor checkpoint.
+fn warm_fleet(jobs: usize, resume: &ResumeState, parallelism: &[u32], seed: u64) -> Fleet {
+    let mut fleet = Fleet::new(FleetConfig {
+        retention_secs: Some(60.0),
+        shard_count: 16,
+        ..Default::default()
+    });
+    for id in 0..jobs as u64 {
+        let mut s = spec(id, 10_000.0, seed);
+        s.initial_parallelism = parallelism.to_vec();
+        s.resume = Some(resume.clone());
+        let admission = fleet.admit(s).expect("resumed admission");
+        assert_eq!(admission, Admission::Resumed);
+    }
+    // One warm-up round past the metric windows so every timed round is
+    // pure steady state.
+    fleet.advance_round(120.0).expect("warm-up round");
+    fleet
+}
+
+/// Times `rounds` scheduling rounds on a pre-warmed fleet.
+fn time_rounds(fleet: &mut Fleet, rounds: usize, concurrent: bool) -> FleetRow {
+    let jobs = fleet.len();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let outcomes = if concurrent {
+            fleet.advance_round(30.0).expect("timed round")
+        } else {
+            fleet.advance_round_serial(30.0).expect("timed round")
+        };
+        assert_eq!(outcomes.len(), jobs);
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    let loops = jobs * rounds;
+    let max_shard_points = fleet
+        .metrics()
+        .shard_ids()
+        .into_iter()
+        .map(|id| fleet.metrics().shard_points(id))
+        .max()
+        .unwrap_or(0);
+    FleetRow {
+        jobs,
+        concurrent,
+        rounds,
+        wall_secs,
+        loops_per_sec: if wall_secs > 0.0 {
+            loops as f64 / wall_secs
+        } else {
+            f64::INFINITY
+        },
+        max_shard_points,
+    }
+}
+
+/// The sweep at explicit fleet sizes: concurrent rounds at each size,
+/// plus a serial reference at the smallest size (the determinism contract
+/// makes the two bitwise identical, so the serial row is purely a timing
+/// baseline).
+pub fn run_with(sizes: &[usize], rounds: usize, seed: u64) -> FleetSweepReport {
+    let (resume, parallelism) = donor_checkpoint(seed);
+    let mut rows = Vec::new();
+    for (i, &jobs) in sizes.iter().enumerate() {
+        let mut fleet = warm_fleet(jobs, &resume, &parallelism, seed);
+        rows.push(time_rounds(&mut fleet, rounds, true));
+        if i == 0 {
+            let mut serial = warm_fleet(jobs, &resume, &parallelism, seed);
+            rows.push(time_rounds(&mut serial, rounds, false));
+        }
+    }
+    let report = FleetSweepReport { rows };
+
+    let dir = output::results_dir();
+    let csv_rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.jobs.to_string(),
+                r.concurrent.to_string(),
+                r.rounds.to_string(),
+                format!("{:.3}", r.wall_secs),
+                format!("{:.1}", r.loops_per_sec),
+                r.max_shard_points.to_string(),
+            ]
+        })
+        .collect();
+    output::write_csv(
+        &dir.join("fleet_sweep.csv"),
+        &[
+            "jobs",
+            "concurrent",
+            "rounds",
+            "wall_secs",
+            "loops_per_sec",
+            "max_shard_points",
+        ],
+        csv_rows,
+    )
+    .expect("write fleet_sweep.csv");
+    output::write_json(&dir.join("fleet_sweep.json"), &report).expect("write fleet_sweep.json");
+    report
+}
+
+/// The headline sweep: 1 000 simulated jobs (the ISSUE 10 acceptance
+/// scale) with a 64-job point for the serial comparison.
+pub fn run(seed: u64) -> FleetSweepReport {
+    run_with(&[64, 1_000], 4, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_reports_positive_throughput_and_bounded_shards() {
+        let report = run_with(&[8], 2, 0xF1EE7);
+        // One concurrent row + one serial reference row.
+        assert_eq!(report.rows.len(), 2);
+        let concurrent = &report.rows[0];
+        let serial = &report.rows[1];
+        assert!(concurrent.concurrent);
+        assert!(!serial.concurrent);
+        assert_eq!(concurrent.jobs, 8);
+        assert!(concurrent.loops_per_sec > 0.0);
+        assert!(serial.loops_per_sec > 0.0);
+        // Retention keeps every shard bounded; identical fleets advanced
+        // the same rounds hold identical footprints.
+        assert!(concurrent.max_shard_points > 0);
+        assert_eq!(concurrent.max_shard_points, serial.max_shard_points);
+    }
+}

@@ -23,6 +23,7 @@
 //! | `bootstrap`  | §V-C's "more samples, fewer iterations" claim   | [`bootstrap_sweep`] |
 //! | `slo`        | SLO-safety sweep: constrained vs unconstrained acquisition across the scenario battery | [`slo_sweep`] |
 //! | `forecast`   | Proactive-forecasting sweep: violating windows + lag avoided vs reactive on diurnal/flash-crowd | [`forecast_sweep`] |
+//! | `fleet`      | Fleet control plane: steady-state MAPE loops/s at 1 000 simulated jobs | [`fleet_sweep`] |
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
@@ -33,6 +34,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod fig5;
 pub mod fig8;
+pub mod fleet_sweep;
 pub mod forecast_sweep;
 pub mod output;
 pub mod slo_sweep;

@@ -2,7 +2,7 @@
 //! paper's evaluation.
 //!
 //! ```text
-//! autrascale-experiments <fig1|fig2|fig5a|fig5b|elasticity|fig8|table4|bootstrap|slo|forecast|all> [seed]
+//! autrascale-experiments <fig1|fig2|fig5a|fig5b|elasticity|fig8|table4|bootstrap|slo|forecast|fleet|all> [seed]
 //! ```
 //!
 //! Artifacts land in `results/` (override with `AUTRASCALE_RESULTS_DIR`);
@@ -12,7 +12,8 @@
 #![deny(missing_debug_implementations)]
 
 use autrascale_experiments::{
-    bootstrap_sweep, elasticity, fig1, fig2, fig5, fig8, forecast_sweep, output, slo_sweep, table4,
+    bootstrap_sweep, elasticity, fig1, fig2, fig5, fig8, fleet_sweep, forecast_sweep, output,
+    slo_sweep, table4,
 };
 
 fn main() {
@@ -34,6 +35,7 @@ fn main() {
         "bootstrap" => run_bootstrap_sweep(seed),
         "slo" => run_slo_sweep(seed),
         "forecast" => run_forecast_sweep(seed),
+        "fleet" => run_fleet_sweep(seed),
         "all" => {
             run_fig1(seed);
             run_fig2(seed);
@@ -45,11 +47,12 @@ fn main() {
             run_bootstrap_sweep(seed);
             run_slo_sweep(seed);
             run_forecast_sweep(seed);
+            run_fleet_sweep(seed);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: autrascale-experiments <fig1|fig2|fig5a|fig5b|elasticity|fig8|table4|bootstrap|slo|forecast|all> [seed]"
+                "usage: autrascale-experiments <fig1|fig2|fig5a|fig5b|elasticity|fig8|table4|bootstrap|slo|forecast|fleet|all> [seed]"
             );
             std::process::exit(2);
         }
@@ -396,6 +399,45 @@ fn run_forecast_sweep(seed: u64) {
         );
     }
     println!();
+}
+
+fn run_fleet_sweep(seed: u64) {
+    println!("## Fleet control plane — steady-state MAPE throughput\n");
+    let report = fleet_sweep::run(seed);
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.jobs.to_string(),
+                if r.concurrent { "concurrent" } else { "serial" }.to_string(),
+                r.rounds.to_string(),
+                format!("{:.3}", r.wall_secs),
+                format!("{:.1}", r.loops_per_sec),
+                r.max_shard_points.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        output::markdown_table(
+            &[
+                "jobs",
+                "mode",
+                "rounds",
+                "wall (s)",
+                "MAPE loops/s",
+                "max shard points"
+            ],
+            &rows
+        )
+    );
+    if let Some(big) = report.rows.iter().rfind(|r| r.concurrent) {
+        println!(
+            "Sustained {:.0} steady-state MAPE loops/s across {} simulated jobs.\n",
+            big.loops_per_sec, big.jobs
+        );
+    }
 }
 
 fn run_table4(seed: u64) {

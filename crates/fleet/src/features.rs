@@ -1,0 +1,158 @@
+//! Workload feature vectors — the retrieval key of cross-job transfer.
+//!
+//! A new job should inherit models from the finished session whose
+//! *workload* looks most like its own, not from whichever session
+//! happened to finish last. This module defines the feature embedding
+//! that comparison runs in: a small fixed-meaning vector (operator count,
+//! resource ceiling, input rate, latency target) plus free-form extra
+//! dimensions, compared by squared Euclidean distance in a normalized
+//! space (rates and latencies are log-scaled so a 10k→20k rec/s gap
+//! counts like a 100k→200k one).
+
+use std::fmt;
+
+/// Errors constructing a feature vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeatureError {
+    /// A feature value was NaN or infinite.
+    NonFinite {
+        /// Index of the offending dimension.
+        index: usize,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The vector was empty.
+    Empty,
+}
+
+impl fmt::Display for FeatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatureError::NonFinite { index, value } => {
+                write!(f, "non-finite feature {value} at dimension {index}")
+            }
+            FeatureError::Empty => write!(f, "empty feature vector"),
+        }
+    }
+}
+
+impl std::error::Error for FeatureError {}
+
+/// A workload's position in feature space. Construction validates every
+/// dimension finite, so distances over stored features are always
+/// well-ordered (no NaN poisoning the nearest-neighbor scan).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadFeatures {
+    dims: Vec<f64>,
+}
+
+impl WorkloadFeatures {
+    /// A feature vector from raw dimensions.
+    pub fn new(dims: Vec<f64>) -> Result<Self, FeatureError> {
+        if dims.is_empty() {
+            return Err(FeatureError::Empty);
+        }
+        for (index, &value) in dims.iter().enumerate() {
+            if !value.is_finite() {
+                return Err(FeatureError::NonFinite { index, value });
+            }
+        }
+        Ok(Self { dims })
+    }
+
+    /// The canonical embedding of a streaming job: operator count, the
+    /// cluster's parallelism ceiling, input rate and latency target, the
+    /// last two log-scaled (`ln(1 + x)`, clamped at zero) so distances
+    /// compare workloads by *ratio* rather than absolute magnitude.
+    pub fn of_job(
+        num_operators: usize,
+        max_parallelism: u32,
+        input_rate: f64,
+        target_latency_ms: f64,
+    ) -> Self {
+        let log1p = |x: f64| {
+            if x.is_finite() && x > 0.0 {
+                x.ln_1p()
+            } else {
+                0.0
+            }
+        };
+        Self {
+            dims: vec![
+                num_operators as f64,
+                f64::from(max_parallelism),
+                log1p(input_rate),
+                log1p(target_latency_ms),
+            ],
+        }
+    }
+
+    /// The raw dimensions.
+    pub fn dims(&self) -> &[f64] {
+        &self.dims
+    }
+
+    /// Squared Euclidean distance to another feature vector; `None` when
+    /// the vectors have different arity (incomparable embeddings never
+    /// win a nearest-neighbor scan — they are skipped, not coerced).
+    pub fn sq_distance(&self, other: &Self) -> Option<f64> {
+        if self.dims.len() != other.dims.len() {
+            return None;
+        }
+        Some(
+            self.dims
+                .iter()
+                .zip(&other.dims)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_finite_and_empty() {
+        assert_eq!(WorkloadFeatures::new(Vec::new()), Err(FeatureError::Empty));
+        assert!(matches!(
+            WorkloadFeatures::new(vec![1.0, f64::NAN]),
+            Err(FeatureError::NonFinite { index: 1, .. })
+        ));
+        assert!(matches!(
+            WorkloadFeatures::new(vec![f64::INFINITY]),
+            Err(FeatureError::NonFinite { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = WorkloadFeatures::of_job(4, 20, 350_000.0, 180.0);
+        let b = WorkloadFeatures::of_job(2, 25, 30_000.0, 500.0);
+        let ab = a.sq_distance(&b).unwrap();
+        let ba = b.sq_distance(&a).unwrap();
+        assert_eq!(ab.to_bits(), ba.to_bits());
+        assert_eq!(a.sq_distance(&a), Some(0.0));
+        assert!(ab > 0.0);
+    }
+
+    #[test]
+    fn mismatched_arity_is_incomparable() {
+        let a = WorkloadFeatures::new(vec![1.0, 2.0]).unwrap();
+        let b = WorkloadFeatures::new(vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a.sq_distance(&b), None);
+    }
+
+    #[test]
+    fn log_scaling_compares_rates_by_ratio() {
+        // 10k vs 20k must be about as far as 100k vs 200k.
+        let lo = WorkloadFeatures::of_job(2, 10, 10_000.0, 100.0);
+        let lo2 = WorkloadFeatures::of_job(2, 10, 20_000.0, 100.0);
+        let hi = WorkloadFeatures::of_job(2, 10, 100_000.0, 100.0);
+        let hi2 = WorkloadFeatures::of_job(2, 10, 200_000.0, 100.0);
+        let d_lo = lo.sq_distance(&lo2).unwrap();
+        let d_hi = hi.sq_distance(&hi2).unwrap();
+        assert!((d_lo - d_hi).abs() < 0.01 * d_lo.max(d_hi));
+    }
+}

@@ -1,0 +1,72 @@
+//! Fleet-scale multi-job control plane.
+//!
+//! The paper tunes one streaming job at a time; a production deployment
+//! of the same controller runs *fleets* of them. This crate scales the
+//! single-job MAPE stack out to many tenants without giving up the
+//! repo's determinism discipline:
+//!
+//! * [`Fleet`] — a sharded scheduler advancing many simulated jobs
+//!   concurrently (rayon over contiguous shards of the id-sorted job
+//!   vector), each job owning its own `MapeController` + `FlinkCluster`;
+//! * [`FleetLibrary`] — a concurrently readable donor library with
+//!   cross-job transfer: nearest-neighbor retrieval over
+//!   [`WorkloadFeatures`] seeds a new job's transfer cascade from the
+//!   closest published session, falling back to cold start;
+//! * per-job metric shards (`autrascale_metricsdb::ShardedMetricStore`)
+//!   with retention caps that keep a 1k-job fleet's memory bounded.
+//!
+//! The batched suggestion entry point for fleets that drive raw
+//! optimizers directly is `autrascale_bayesopt::suggest_batch`.
+//!
+//! # Determinism contract
+//!
+//! Concurrency here is *parallelism of independent work*, never a source
+//! of nondeterminism: a fleet of N jobs advanced concurrently is
+//! bit-identical per job to the same N jobs advanced serially in job-ID
+//! order, and a single-job fleet is bit-identical to driving the bare
+//! controller loop yourself. `tests/fleet_determinism.rs` pins both
+//! under each simulator engine.
+//!
+//! # Example
+//!
+//! ```
+//! use autrascale::AuTraScaleConfig;
+//! use autrascale_fleet::{Admission, Fleet, FleetConfig, JobSpec, WorkloadFeatures};
+//! use autrascale_streamsim::{JobGraph, OperatorSpec, RateProfile, SimulationConfig};
+//!
+//! let job = JobGraph::linear(vec![
+//!     OperatorSpec::source("Source", 30_000.0),
+//!     OperatorSpec::sink("Sink", 8_000.0).with_sync_coeff(0.05),
+//! ])
+//! .unwrap();
+//! let mut fleet = Fleet::new(FleetConfig::default());
+//! fleet
+//!     .admit(JobSpec {
+//!         id: 1,
+//!         sim: SimulationConfig {
+//!             job,
+//!             profile: RateProfile::constant(10_000.0),
+//!             seed: 7,
+//!             ..Default::default()
+//!         },
+//!         controller: AuTraScaleConfig::default(),
+//!         initial_parallelism: vec![1, 1],
+//!         features: WorkloadFeatures::of_job(2, 20, 10_000.0, 250.0),
+//!         resume: None,
+//!     })
+//!     .unwrap();
+//! assert_eq!(fleet.job(1).unwrap().admission(), Admission::ColdStart);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
+mod features;
+mod library;
+mod scheduler;
+
+pub use features::{FeatureError, WorkloadFeatures};
+pub use library::{DonorEntry, FleetLibrary};
+pub use scheduler::{
+    Admission, Fleet, FleetConfig, FleetError, FleetJob, JobOutcome, JobSpec, ResumeState,
+};

@@ -1,0 +1,197 @@
+//! The fleet-wide model library: finished sessions publish their per-rate
+//! benefit models here; new jobs retrieve the closest donor at admission.
+//!
+//! Concurrency contract: the map is `RwLock`-guarded so scheduler shards
+//! can *read* (nearest-neighbor retrieval at admission) concurrently,
+//! while writes (publication) happen at explicit points in job-ID order —
+//! never from inside a parallel round. Keys are a `BTreeMap` so every
+//! scan runs in ascending job-ID order regardless of publication order,
+//! which is what makes tie-breaking deterministic.
+
+use crate::features::WorkloadFeatures;
+use autrascale::ModelLibrary;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// One published session: where a donor's models came from and what its
+/// workload looked like.
+#[derive(Debug, Clone)]
+pub struct DonorEntry {
+    /// The publishing job's id.
+    pub job_id: u64,
+    /// The publishing job's workload embedding.
+    pub features: WorkloadFeatures,
+    /// The models it established (one per steady rate seen).
+    pub library: ModelLibrary,
+}
+
+/// A concurrently readable map of donor sessions, keyed by job id.
+#[derive(Debug, Default)]
+pub struct FleetLibrary {
+    entries: RwLock<BTreeMap<u64, (WorkloadFeatures, ModelLibrary)>>,
+}
+
+impl FleetLibrary {
+    /// An empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes (or republishes) a session's models. Empty model
+    /// libraries are ignored — a job that never tuned has nothing to
+    /// donate, and keeping it out means retrieval can only ever seed a
+    /// transfer cascade with at least one usable prior.
+    pub fn publish(&self, job_id: u64, features: WorkloadFeatures, library: ModelLibrary) {
+        if library.is_empty() {
+            return;
+        }
+        self.entries.write().insert(job_id, (features, library));
+    }
+
+    /// Removes a donor (e.g. its models were found to be stale).
+    pub fn retire(&self, job_id: u64) -> bool {
+        self.entries.write().remove(&job_id).is_some()
+    }
+
+    /// Number of published donors.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// `true` when nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Published donor ids, ascending.
+    pub fn donor_ids(&self) -> Vec<u64> {
+        self.entries.read().keys().copied().collect()
+    }
+
+    /// The donor closest to `query` in feature space, excluding
+    /// `exclude` (a job never donates to itself on re-admission).
+    ///
+    /// Deterministic by construction: donors are scanned in ascending
+    /// job-ID order and a later donor wins only on *strictly* smaller
+    /// squared distance, so exact ties resolve to the lowest job id no
+    /// matter the publication order. Donors with incomparable embeddings
+    /// (different arity) are skipped.
+    pub fn nearest(&self, query: &WorkloadFeatures, exclude: Option<u64>) -> Option<DonorEntry> {
+        let guard = self.entries.read();
+        let mut best: Option<(u64, f64)> = None;
+        for (&job_id, (features, _)) in guard.iter() {
+            if Some(job_id) == exclude {
+                continue;
+            }
+            let Some(d) = query.sq_distance(features) else {
+                continue;
+            };
+            let closer = match best {
+                None => true,
+                Some((_, best_d)) => d < best_d,
+            };
+            if closer {
+                best = Some((job_id, d));
+            }
+        }
+        let (job_id, _) = best?;
+        guard.get(&job_id).map(|(features, library)| DonorEntry {
+            job_id,
+            features: features.clone(),
+            library: library.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feats(x: f64) -> WorkloadFeatures {
+        WorkloadFeatures::new(vec![x, 0.0]).unwrap()
+    }
+
+    fn lib_with_rate(rate: f64) -> ModelLibrary {
+        let mut lib = ModelLibrary::new();
+        lib.insert(rate, vec![(vec![1, 1], 0.5)]);
+        lib
+    }
+
+    #[test]
+    fn empty_library_retrieves_nothing() {
+        let fleet = FleetLibrary::new();
+        assert!(fleet.is_empty());
+        assert!(fleet.nearest(&feats(0.0), None).is_none());
+    }
+
+    #[test]
+    fn nearest_picks_minimum_distance() {
+        let fleet = FleetLibrary::new();
+        fleet.publish(1, feats(0.0), lib_with_rate(1_000.0));
+        fleet.publish(2, feats(5.0), lib_with_rate(2_000.0));
+        fleet.publish(3, feats(9.0), lib_with_rate(3_000.0));
+        let hit = fleet.nearest(&feats(6.0), None).unwrap();
+        assert_eq!(hit.job_id, 2);
+        assert_eq!(hit.library.len(), 1);
+    }
+
+    #[test]
+    fn exact_tie_resolves_to_lowest_id_regardless_of_publish_order() {
+        for order in [[1u64, 5], [5, 1]] {
+            let fleet = FleetLibrary::new();
+            for id in order {
+                // Ids 1 and 5 sit symmetrically around the query at 2.0.
+                let x = if id == 1 { 0.0 } else { 4.0 };
+                fleet.publish(id, feats(x), lib_with_rate(1_000.0));
+            }
+            let hit = fleet.nearest(&feats(2.0), None).unwrap();
+            assert_eq!(hit.job_id, 1, "publish order {order:?}");
+        }
+    }
+
+    #[test]
+    fn exclusion_and_retire() {
+        let fleet = FleetLibrary::new();
+        fleet.publish(1, feats(0.0), lib_with_rate(1_000.0));
+        fleet.publish(2, feats(10.0), lib_with_rate(2_000.0));
+        let hit = fleet.nearest(&feats(0.0), Some(1)).unwrap();
+        assert_eq!(hit.job_id, 2);
+        assert!(fleet.retire(1));
+        assert!(!fleet.retire(1));
+        assert_eq!(fleet.donor_ids(), vec![2]);
+    }
+
+    #[test]
+    fn empty_models_are_not_published() {
+        let fleet = FleetLibrary::new();
+        fleet.publish(1, feats(0.0), ModelLibrary::new());
+        assert!(fleet.is_empty());
+    }
+
+    #[test]
+    fn incomparable_embeddings_are_skipped() {
+        let fleet = FleetLibrary::new();
+        fleet.publish(1, WorkloadFeatures::new(vec![0.0]).unwrap(), {
+            let mut l = ModelLibrary::new();
+            l.insert(1.0, vec![(vec![1], 0.1)]);
+            l
+        });
+        fleet.publish(2, feats(100.0), lib_with_rate(2_000.0));
+        // Query in 2-d space: donor 1 (1-d) cannot be compared; donor 2
+        // wins despite its huge distance.
+        let hit = fleet.nearest(&feats(0.0), None).unwrap();
+        assert_eq!(hit.job_id, 2);
+    }
+
+    #[test]
+    fn republish_replaces_models() {
+        let fleet = FleetLibrary::new();
+        fleet.publish(7, feats(1.0), lib_with_rate(1_000.0));
+        let mut bigger = lib_with_rate(1_000.0);
+        bigger.insert(9_000.0, vec![(vec![2, 2], 0.9)]);
+        fleet.publish(7, feats(1.0), bigger);
+        let hit = fleet.nearest(&feats(1.0), None).unwrap();
+        assert_eq!(hit.library.len(), 2);
+        assert_eq!(fleet.len(), 1);
+    }
+}

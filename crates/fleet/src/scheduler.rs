@@ -1,0 +1,679 @@
+//! The sharded fleet scheduler.
+//!
+//! A [`Fleet`] owns many independent jobs, each a full control stack
+//! (simulated cluster + [`MapeController`]). A scheduling round advances
+//! every job by the same wall-clock span; jobs are partitioned into
+//! contiguous shards of the id-sorted job vector and shards run
+//! concurrently (rayon), which is safe *and* bit-reproducible because
+//! jobs share no mutable state during a round:
+//!
+//! * each job owns its simulator, its RNG stream and its metric shard;
+//! * the shared [`FleetLibrary`] is only read at admission and only
+//!   written at the explicit publication point after the round's
+//!   barrier, serially in job-ID order.
+//!
+//! The determinism contract — pinned by `tests/fleet_determinism.rs` —
+//! is therefore exact: [`Fleet::advance_round`] produces per-job state
+//! bitwise identical to [`Fleet::advance_round_serial`], and a
+//! single-job fleet is bitwise identical to driving the bare
+//! [`MapeController::run_loop`] yourself.
+//!
+//! Per-job metric retention ([`FleetConfig::retention_secs`]) keeps each
+//! shard's memory bounded at fleet scale. The effective horizon is
+//! clamped so it can never evict a window any controller read still
+//! reaches: `max(policy_interval, policy_running_time)` of that job's
+//! own config, widened by `forecast_window_secs` when proactive
+//! forecasting is on (the only mode that reads the rate history). Every
+//! future read at time `T' ≥ T` looks back at most that far, so points
+//! older than `T − W_max` are provably dead — eviction is invisible to
+//! control decisions, which is what keeps the single-job parity exact
+//! even with retention enabled.
+
+use crate::features::WorkloadFeatures;
+use crate::library::FleetLibrary;
+use autrascale::{AuTraScaleConfig, ControllerEvent, MapeController, ModelLibrary};
+use autrascale_flinkctl::FlinkCluster;
+use autrascale_metricsdb::ShardedMetricStore;
+use autrascale_streamsim::{Simulation, SimulationConfig};
+use rayon::prelude::*;
+use std::fmt;
+
+/// Fleet-level knobs.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of contiguous shards a round is split into. Purely a
+    /// parallelism hint — results are identical for any value ≥ 1.
+    pub shard_count: usize,
+    /// Per-job metric retention: after each round, points older than this
+    /// many seconds are evicted from the job's metric shard (clamped so
+    /// no controller-readable window is ever dropped). `None` keeps full
+    /// history — the seed behavior.
+    pub retention_secs: Option<f64>,
+    /// Cross-job transfer at admission: seed a new job's controller from
+    /// the nearest published donor. `false` admits every job cold.
+    pub transfer: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            shard_count: 8,
+            retention_secs: None,
+            transfer: true,
+        }
+    }
+}
+
+/// Checkpointed controller state for pre-warmed admission: the job
+/// resumes at a known steady rate instead of tuning from scratch.
+#[derive(Debug, Clone)]
+pub struct ResumeState {
+    /// The steady rate the restored model corresponds to, records/s.
+    pub rate: f64,
+    /// The throughput-optimal base configuration at that rate.
+    pub base: Vec<u32>,
+    /// The per-rate model library established so far.
+    pub library: ModelLibrary,
+}
+
+/// Everything needed to admit one job into the fleet.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Fleet-unique job id; rounds and publications process jobs in
+    /// ascending id order.
+    pub id: u64,
+    /// The simulated cluster this job runs on.
+    pub sim: SimulationConfig,
+    /// The job's controller configuration.
+    pub controller: AuTraScaleConfig,
+    /// Parallelism the job is submitted with.
+    pub initial_parallelism: Vec<u32>,
+    /// The job's workload embedding (transfer retrieval key).
+    pub features: WorkloadFeatures,
+    /// Pre-warmed admission: restore this controller state instead of
+    /// cold-starting or transferring.
+    pub resume: Option<ResumeState>,
+}
+
+/// How a job's controller was seeded at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Empty library; the first activation tunes from scratch.
+    ColdStart,
+    /// Library inherited from the nearest published donor; the first
+    /// activation warm-starts via Algorithm 2.
+    Transferred {
+        /// The donor job's id.
+        donor: u64,
+    },
+    /// Checkpoint resume: steady rate and base restored directly.
+    Resumed,
+}
+
+/// One job's slice of a scheduling round.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job's id.
+    pub id: u64,
+    /// Controller events emitted during the round, in activation order.
+    pub events: Vec<ControllerEvent>,
+    /// The job's simulator state hash after the round.
+    pub state_hash: u64,
+}
+
+/// Errors from fleet operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// A job with this id is already admitted.
+    DuplicateJob(u64),
+    /// No job with this id exists.
+    UnknownJob(u64),
+    /// A scheduling round was requested with a non-finite or negative
+    /// duration. Caught at the fleet boundary: the bare controller loop
+    /// would silently no-op (a NaN deadline fails every comparison).
+    InvalidRound(f64),
+    /// Building or submitting a job's simulation failed.
+    Build {
+        /// The job being admitted.
+        id: u64,
+        /// The underlying simulator error.
+        message: String,
+    },
+    /// A job's controller errored during a round. Other jobs completed
+    /// the round; the fleet is still usable.
+    Job {
+        /// The failing job (lowest id when several fail in one round).
+        id: u64,
+        /// The underlying controller error.
+        message: String,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::DuplicateJob(id) => write!(f, "job {id} is already admitted"),
+            FleetError::UnknownJob(id) => write!(f, "no job with id {id}"),
+            FleetError::InvalidRound(secs) => {
+                write!(f, "round duration {secs} must be finite and non-negative")
+            }
+            FleetError::Build { id, message } => write!(f, "building job {id}: {message}"),
+            FleetError::Job { id, message } => write!(f, "job {id}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// One admitted job: a full per-tenant control stack.
+#[derive(Debug)]
+pub struct FleetJob {
+    id: u64,
+    features: WorkloadFeatures,
+    cluster: FlinkCluster,
+    controller: MapeController,
+    admission: Admission,
+    rounds: usize,
+}
+
+impl FleetJob {
+    /// The job's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// How this job's controller was seeded.
+    pub fn admission(&self) -> Admission {
+        self.admission
+    }
+
+    /// The job's workload embedding.
+    pub fn features(&self) -> &WorkloadFeatures {
+        &self.features
+    }
+
+    /// The job's cluster handle.
+    pub fn cluster(&self) -> &FlinkCluster {
+        &self.cluster
+    }
+
+    /// The job's controller.
+    pub fn controller(&self) -> &MapeController {
+        &self.controller
+    }
+
+    /// Scheduling rounds this job has participated in.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// The job's simulator state hash (excludes the metric store, so
+    /// retention does not perturb it).
+    pub fn state_hash(&self) -> u64 {
+        self.cluster.simulation().state_hash()
+    }
+
+    /// Advances this job by one round: the controller's MAPE loop for
+    /// `secs` of simulated time. Pure per-job work — reads and writes
+    /// nothing outside the job, which is what makes concurrent rounds
+    /// bitwise equal to serial ones.
+    fn advance(&mut self, secs: f64) -> Result<Vec<ControllerEvent>, String> {
+        let events = self.controller.run_loop(&mut self.cluster, secs)?;
+        self.rounds += 1;
+        Ok(events)
+    }
+}
+
+/// The fleet: id-sorted jobs, the shared donor library, and the sharded
+/// metric store.
+#[derive(Debug, Default)]
+pub struct Fleet {
+    config: FleetConfig,
+    /// Sorted by id, unique.
+    jobs: Vec<FleetJob>,
+    library: FleetLibrary,
+    metrics: ShardedMetricStore,
+}
+
+impl Fleet {
+    /// An empty fleet.
+    pub fn new(config: FleetConfig) -> Self {
+        Self {
+            config,
+            jobs: Vec::new(),
+            library: FleetLibrary::new(),
+            metrics: ShardedMetricStore::new(),
+        }
+    }
+
+    /// Admits a job: builds its simulator, submits it, registers its
+    /// metric shard, and seeds its controller — from the given
+    /// [`ResumeState`] when present, else from the nearest published
+    /// donor (when [`FleetConfig::transfer`] is on and any donor exists),
+    /// else cold. Returns how the controller was seeded.
+    pub fn admit(&mut self, spec: JobSpec) -> Result<Admission, FleetError> {
+        let index = match self.jobs.binary_search_by_key(&spec.id, FleetJob::id) {
+            Ok(_) => return Err(FleetError::DuplicateJob(spec.id)),
+            Err(i) => i,
+        };
+        let build_err = |message: String| FleetError::Build {
+            id: spec.id,
+            message,
+        };
+        let sim = Simulation::new(spec.sim).map_err(|e| build_err(e.to_string()))?;
+        let mut cluster = FlinkCluster::new(sim);
+        cluster
+            .submit(&spec.initial_parallelism)
+            .map_err(|e| build_err(e.to_string()))?;
+
+        let (controller, admission) = match spec.resume {
+            Some(state) => (
+                MapeController::resume(spec.controller, state.library, state.rate, state.base),
+                Admission::Resumed,
+            ),
+            None => {
+                let donor = if self.config.transfer {
+                    self.library.nearest(&spec.features, Some(spec.id))
+                } else {
+                    None
+                };
+                match donor {
+                    Some(entry) => (
+                        MapeController::with_library(spec.controller, entry.library),
+                        Admission::Transferred {
+                            donor: entry.job_id,
+                        },
+                    ),
+                    None => (MapeController::new(spec.controller), Admission::ColdStart),
+                }
+            }
+        };
+
+        self.metrics.register(spec.id, cluster.simulation().store());
+        self.jobs.insert(
+            index,
+            FleetJob {
+                id: spec.id,
+                features: spec.features,
+                cluster,
+                controller,
+                admission,
+                rounds: 0,
+            },
+        );
+        Ok(admission)
+    }
+
+    /// Retires a job: publishes its models to the donor library one last
+    /// time, unregisters its metric shard, and removes it from the fleet.
+    pub fn retire(&mut self, id: u64) -> Result<FleetJob, FleetError> {
+        let index = self
+            .jobs
+            .binary_search_by_key(&id, FleetJob::id)
+            .map_err(|_| FleetError::UnknownJob(id))?;
+        let job = self.jobs.remove(index);
+        self.library.publish(
+            job.id,
+            job.features.clone(),
+            job.controller.library().clone(),
+        );
+        self.metrics.remove(id);
+        Ok(job)
+    }
+
+    /// Advances every job by `secs` of simulated time, shards running
+    /// concurrently. Per-job results are bitwise identical to
+    /// [`advance_round_serial`](Self::advance_round_serial).
+    pub fn advance_round(&mut self, secs: f64) -> Result<Vec<JobOutcome>, FleetError> {
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(FleetError::InvalidRound(secs));
+        }
+        let shard_size = self.shard_size();
+        let raw: Vec<Vec<(u64, Result<Vec<ControllerEvent>, String>)>> = self
+            .jobs
+            .chunks_mut(shard_size)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|shard| {
+                shard
+                    .iter_mut()
+                    .map(|job| (job.id, job.advance(secs)))
+                    .collect()
+            })
+            .collect();
+        self.finish_round(raw.into_iter().flatten().collect())
+    }
+
+    /// The serial reference: identical per-job work in ascending id
+    /// order, no concurrency. Exists so the determinism battery (and any
+    /// debugging session) can compare against it directly.
+    pub fn advance_round_serial(&mut self, secs: f64) -> Result<Vec<JobOutcome>, FleetError> {
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(FleetError::InvalidRound(secs));
+        }
+        let raw = self
+            .jobs
+            .iter_mut()
+            .map(|job| (job.id, job.advance(secs)))
+            .collect();
+        self.finish_round(raw)
+    }
+
+    /// Post-round barrier work, serial in job-ID order: error selection,
+    /// metric retention, and library publication.
+    fn finish_round(
+        &mut self,
+        raw: Vec<(u64, Result<Vec<ControllerEvent>, String>)>,
+    ) -> Result<Vec<JobOutcome>, FleetError> {
+        let mut outcomes = Vec::with_capacity(raw.len());
+        let mut hashes = self.jobs.iter().map(FleetJob::state_hash);
+        for (id, result) in raw {
+            let events = result.map_err(|message| FleetError::Job { id, message })?;
+            let state_hash = hashes.next().unwrap_or(0);
+            outcomes.push(JobOutcome {
+                id,
+                events,
+                state_hash,
+            });
+        }
+        drop(hashes);
+        self.apply_retention();
+        self.publish_all();
+        Ok(outcomes)
+    }
+
+    /// Evicts each job's dead metric history (see the module docs for
+    /// the clamp that makes this invisible to control decisions).
+    /// Returns the total points evicted.
+    pub fn apply_retention(&self) -> usize {
+        let Some(cap) = self.config.retention_secs else {
+            return 0;
+        };
+        let mut evicted = 0;
+        for job in &self.jobs {
+            let cfg = job.controller.config();
+            // The forecast window is only ever read in proactive mode, so
+            // a reactive controller's clamp ignores it.
+            let mut min_keep = cfg.policy_interval.max(cfg.policy_running_time);
+            if cfg.proactive_forecasting {
+                min_keep = min_keep.max(cfg.forecast_window_secs);
+            }
+            let keep = cap.max(min_keep);
+            if !keep.is_finite() {
+                continue;
+            }
+            let horizon = job.cluster.now() - keep;
+            if horizon > 0.0 {
+                evicted += self.metrics.apply_retention(job.id, horizon).unwrap_or(0);
+            }
+        }
+        evicted
+    }
+
+    /// Publishes every job's current models to the donor library,
+    /// serially in ascending job-ID order — the only write path into the
+    /// shared library, always outside the concurrent section.
+    pub fn publish_all(&self) {
+        for job in &self.jobs {
+            self.library.publish(
+                job.id,
+                job.features.clone(),
+                job.controller.library().clone(),
+            );
+        }
+    }
+
+    /// Jobs in ascending id order.
+    pub fn jobs(&self) -> &[FleetJob] {
+        &self.jobs
+    }
+
+    /// The job with this id.
+    pub fn job(&self, id: u64) -> Option<&FleetJob> {
+        self.jobs
+            .binary_search_by_key(&id, FleetJob::id)
+            .ok()
+            .and_then(|i| self.jobs.get(i))
+    }
+
+    /// Number of admitted jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when no job is admitted.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The shared donor library.
+    pub fn library(&self) -> &FleetLibrary {
+        &self.library
+    }
+
+    /// The per-job metric shards.
+    pub fn metrics(&self) -> &ShardedMetricStore {
+        &self.metrics
+    }
+
+    /// Per-job simulator state hashes, ascending id order — the
+    /// determinism battery's comparison key.
+    pub fn state_hashes(&self) -> Vec<(u64, u64)> {
+        self.jobs.iter().map(|j| (j.id, j.state_hash())).collect()
+    }
+
+    /// Jobs per contiguous shard for the current fleet size.
+    fn shard_size(&self) -> usize {
+        let shards = self.config.shard_count.max(1);
+        self.jobs.len().div_ceil(shards).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autrascale_streamsim::{JobGraph, OperatorSpec, RateProfile};
+
+    fn sim_config(rate: f64, seed: u64) -> SimulationConfig {
+        let job = JobGraph::linear(vec![
+            OperatorSpec::source("Source", 30_000.0),
+            OperatorSpec::sink("Sink", 5_000.0)
+                .with_sync_coeff(0.02)
+                .with_comm_cost_ms(3.0),
+        ])
+        .unwrap();
+        SimulationConfig {
+            job,
+            profile: RateProfile::constant(rate),
+            seed,
+            restart_downtime: 2.0,
+            ..Default::default()
+        }
+    }
+
+    fn controller_config() -> AuTraScaleConfig {
+        AuTraScaleConfig {
+            target_latency_ms: 150.0,
+            policy_interval: 30.0,
+            policy_running_time: 60.0,
+            bootstrap_m: 3,
+            max_bo_iters: 4,
+            n_num: 3,
+            ..Default::default()
+        }
+    }
+
+    fn spec(id: u64, rate: f64) -> JobSpec {
+        JobSpec {
+            id,
+            sim: sim_config(rate, 100 + id),
+            controller: controller_config(),
+            initial_parallelism: vec![1, 1],
+            features: WorkloadFeatures::of_job(2, 20, rate, 150.0),
+            resume: None,
+        }
+    }
+
+    #[test]
+    fn duplicate_and_unknown_ids_are_errors() {
+        let mut fleet = Fleet::new(FleetConfig::default());
+        fleet.admit(spec(3, 10_000.0)).unwrap();
+        assert_eq!(
+            fleet.admit(spec(3, 11_000.0)),
+            Err(FleetError::DuplicateJob(3))
+        );
+        assert!(matches!(fleet.retire(9), Err(FleetError::UnknownJob(9))));
+        assert_eq!(fleet.len(), 1);
+    }
+
+    #[test]
+    fn jobs_stay_sorted_by_id() {
+        let mut fleet = Fleet::new(FleetConfig::default());
+        for id in [9u64, 2, 5, 1] {
+            fleet.admit(spec(id, 10_000.0)).unwrap();
+        }
+        let ids: Vec<u64> = fleet.jobs().iter().map(FleetJob::id).collect();
+        assert_eq!(ids, vec![1, 2, 5, 9]);
+        assert_eq!(fleet.metrics().shard_ids(), vec![1, 2, 5, 9]);
+    }
+
+    #[test]
+    fn first_admission_is_cold_then_transfer_kicks_in() {
+        let mut fleet = Fleet::new(FleetConfig::default());
+        assert_eq!(
+            fleet.admit(spec(1, 10_000.0)).unwrap(),
+            Admission::ColdStart
+        );
+        // Tune job 1 so the round's publication gives it something to donate.
+        fleet.advance_round(90.0).unwrap();
+        assert_eq!(fleet.library().len(), 1);
+        assert_eq!(
+            fleet.admit(spec(2, 11_000.0)).unwrap(),
+            Admission::Transferred { donor: 1 }
+        );
+    }
+
+    #[test]
+    fn transfer_disabled_always_cold_starts() {
+        let mut fleet = Fleet::new(FleetConfig {
+            transfer: false,
+            ..Default::default()
+        });
+        fleet.admit(spec(1, 10_000.0)).unwrap();
+        fleet.advance_round(90.0).unwrap();
+        assert_eq!(
+            fleet.admit(spec(2, 11_000.0)).unwrap(),
+            Admission::ColdStart
+        );
+    }
+
+    #[test]
+    fn resumed_admission_restores_steady_state() {
+        // A donor tunes; its state then pre-warms a second fleet's job,
+        // whose first round must be pure steady-state (no re-tuning).
+        let mut donor = Fleet::new(FleetConfig::default());
+        donor.admit(spec(1, 10_000.0)).unwrap();
+        donor.advance_round(90.0).unwrap();
+        let tuned = donor.job(1).unwrap();
+        let resume = ResumeState {
+            rate: tuned.controller().current_rate().unwrap(),
+            base: tuned.controller().base().unwrap().to_vec(),
+            library: tuned.controller().library().clone(),
+        };
+
+        let mut fleet = Fleet::new(FleetConfig::default());
+        let mut warm = spec(1, 10_000.0);
+        // Resume means landing in the tuned configuration, not at [1, 1].
+        warm.initial_parallelism = tuned.cluster().parallelism().to_vec();
+        warm.resume = Some(resume);
+        assert_eq!(fleet.admit(warm).unwrap(), Admission::Resumed);
+        // Let metrics accumulate before the first activation.
+        let outcomes = fleet.advance_round(120.0).unwrap();
+        let events = &outcomes.first().unwrap().events;
+        assert!(
+            events
+                .iter()
+                .all(|e| matches!(e, ControllerEvent::NoActionNeeded)),
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn concurrent_round_matches_serial_round() {
+        let build = || {
+            let mut fleet = Fleet::new(FleetConfig {
+                shard_count: 3,
+                ..Default::default()
+            });
+            for id in 0..4u64 {
+                fleet
+                    .admit(spec(id, 8_000.0 + 1_000.0 * id as f64))
+                    .unwrap();
+            }
+            fleet
+        };
+        let mut conc = build();
+        let mut serial = build();
+        for _ in 0..2 {
+            let a = conc.advance_round(90.0).unwrap();
+            let b = serial.advance_round_serial(90.0).unwrap();
+            let key = |outs: &[JobOutcome]| {
+                outs.iter()
+                    .map(|o| (o.id, o.state_hash, format!("{:?}", o.events)))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(key(&a), key(&b));
+        }
+        assert_eq!(conc.state_hashes(), serial.state_hashes());
+    }
+
+    #[test]
+    fn retention_bounds_shard_growth_without_touching_live_windows() {
+        let build = |retention: Option<f64>| {
+            let mut fleet = Fleet::new(FleetConfig {
+                retention_secs: retention,
+                ..Default::default()
+            });
+            fleet.admit(spec(1, 10_000.0)).unwrap();
+            fleet
+        };
+        let mut capped = build(Some(120.0));
+        let mut full = build(None);
+        for _ in 0..4 {
+            capped.advance_round(120.0).unwrap();
+            full.advance_round(120.0).unwrap();
+        }
+        assert!(capped.metrics().total_points() < full.metrics().total_points());
+        // The clamp keeps behavior identical: state hashes never diverge
+        // (the hash excludes the store; divergence would mean a control
+        // decision read an evicted window).
+        assert_eq!(capped.state_hashes(), full.state_hashes());
+    }
+
+    #[test]
+    fn retire_publishes_and_unregisters() {
+        let mut fleet = Fleet::new(FleetConfig::default());
+        fleet.admit(spec(1, 10_000.0)).unwrap();
+        fleet.advance_round(90.0).unwrap();
+        let job = fleet.retire(1).unwrap();
+        assert!(job.rounds() >= 1);
+        assert!(fleet.is_empty());
+        assert_eq!(fleet.metrics().shard_count(), 0);
+        // The donor's models outlive it.
+        assert_eq!(fleet.library().donor_ids(), vec![1]);
+    }
+
+    #[test]
+    fn non_finite_or_negative_round_durations_are_rejected() {
+        let mut fleet = Fleet::new(FleetConfig::default());
+        fleet.admit(spec(1, 10_000.0)).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -30.0] {
+            let err = fleet.advance_round(bad).unwrap_err();
+            assert!(matches!(err, FleetError::InvalidRound(_)), "{err}");
+            let err = fleet.advance_round_serial(bad).unwrap_err();
+            assert!(matches!(err, FleetError::InvalidRound(_)), "{err}");
+        }
+        // The guard left the fleet untouched and usable.
+        assert!(fleet.advance_round(30.0).is_ok());
+    }
+}

@@ -13,8 +13,8 @@ pub struct CrateClass {
     /// `bench`, `cli`, `experiments`: process edges where ambient time and
     /// panicking on startup misconfiguration are acceptable.
     ambient_exempt: bool,
-    /// `streamsim`, `gp`, `bayesopt`, `core`, `forecast`: crates whose
-    /// outputs the parity suites pin bit-for-bit.
+    /// `streamsim`, `gp`, `bayesopt`, `core`, `forecast`, `fleet`: crates
+    /// whose outputs the parity suites pin bit-for-bit.
     deterministic_core: bool,
     /// `linalg`, `gp`, `bayesopt`, `forecast`: crates doing f64 numerics.
     numeric: bool,
@@ -27,7 +27,7 @@ impl CrateClass {
             ambient_exempt: matches!(name, "bench" | "cli" | "experiments"),
             deterministic_core: matches!(
                 name,
-                "streamsim" | "gp" | "bayesopt" | "core" | "forecast"
+                "streamsim" | "gp" | "bayesopt" | "core" | "forecast" | "fleet"
             ),
             numeric: matches!(name, "linalg" | "gp" | "bayesopt" | "forecast"),
         }
@@ -195,6 +195,12 @@ mod tests {
         // iteration, no ambient time/rng) and the f64-only numeric rules.
         assert!(CrateClass::for_crate("forecast").deterministic_core());
         assert!(CrateClass::for_crate("forecast").numeric());
+        // The fleet scheduler's concurrent-vs-serial parity is pinned
+        // bitwise, so it inherits the full determinism ruleset (and it is
+        // a library crate: no panicking escapes in src/).
+        assert!(CrateClass::for_crate("fleet").deterministic_core());
+        assert!(CrateClass::for_crate("fleet").is_library());
+        assert!(!CrateClass::for_crate("fleet").numeric());
         assert!(CrateClass::for_crate("linalg").numeric());
         assert!(!CrateClass::for_crate("flinkctl").numeric());
         assert!(CrateClass::for_crate("metricsdb").is_library());

@@ -34,8 +34,10 @@
 
 pub mod aggregate;
 mod series;
+mod shard;
 mod store;
 
 pub use aggregate::{derivative, max, mean, min, percentile, AggregateError};
 pub use series::{DataPoint, Series};
+pub use shard::ShardedMetricStore;
 pub use store::{AppendError, MetricStore, Query, SeriesKey};

@@ -1,0 +1,198 @@
+//! Per-job sharding over [`MetricStore`] for multi-tenant control planes.
+//!
+//! A fleet scheduler runs thousands of jobs, each emitting its own metric
+//! series. One flat store would make every query scan (and every retention
+//! pass lock) the union of all jobs' series; a [`ShardedMetricStore`] keys
+//! one [`MetricStore`] per job id instead. Shards are `Arc`-shared so a
+//! simulator that already owns its store can be *registered* (adopted)
+//! rather than copied, and the map is a `BTreeMap` so shard iteration
+//! order is deterministic regardless of registration order.
+//!
+//! Retention is the point: [`ShardedMetricStore::apply_retention`] evicts
+//! one job's history without touching any other shard, which is what keeps
+//! a 1k-job fleet's memory bounded (see the fleet determinism battery's
+//! 1k-job smoke test).
+
+use crate::aggregate::AggregateError;
+use crate::store::MetricStore;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A deterministic map of job id → metric-store shard.
+#[derive(Debug, Default)]
+pub struct ShardedMetricStore {
+    shards: RwLock<BTreeMap<u64, Arc<MetricStore>>>,
+}
+
+impl ShardedMetricStore {
+    /// An empty sharded store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adopts an existing store as the shard for `job_id`, replacing (and
+    /// returning) the previous shard if one was registered.
+    pub fn register(&self, job_id: u64, store: Arc<MetricStore>) -> Option<Arc<MetricStore>> {
+        self.shards.write().insert(job_id, store)
+    }
+
+    /// The shard for `job_id`, if registered.
+    pub fn shard(&self, job_id: u64) -> Option<Arc<MetricStore>> {
+        self.shards.read().get(&job_id).cloned()
+    }
+
+    /// The shard for `job_id`, creating an empty one when absent.
+    pub fn shard_or_create(&self, job_id: u64) -> Arc<MetricStore> {
+        if let Some(existing) = self.shard(job_id) {
+            return existing;
+        }
+        let mut guard = self.shards.write();
+        Arc::clone(
+            guard
+                .entry(job_id)
+                .or_insert_with(|| Arc::new(MetricStore::new())),
+        )
+    }
+
+    /// Unregisters (and returns) the shard for `job_id` — a retired job's
+    /// metrics drop with the last external `Arc`.
+    pub fn remove(&self, job_id: u64) -> Option<Arc<MetricStore>> {
+        self.shards.write().remove(&job_id)
+    }
+
+    /// Registered job ids, ascending.
+    pub fn shard_ids(&self) -> Vec<u64> {
+        self.shards.read().keys().copied().collect()
+    }
+
+    /// Number of registered shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.read().len()
+    }
+
+    /// `true` when no shard is registered.
+    pub fn is_empty(&self) -> bool {
+        self.shards.read().is_empty()
+    }
+
+    /// Total stored points across every shard.
+    pub fn total_points(&self) -> usize {
+        self.shards.read().values().map(|s| s.total_points()).sum()
+    }
+
+    /// Stored points in one shard; 0 when the shard is absent.
+    pub fn shard_points(&self, job_id: u64) -> usize {
+        self.shard(job_id).map_or(0, |s| s.total_points())
+    }
+
+    /// Drops points older than `horizon` from one shard, returning the
+    /// number of points evicted (0 when the shard is absent). NaN horizons
+    /// are rejected like [`MetricStore::apply_retention`].
+    pub fn apply_retention(&self, job_id: u64, horizon: f64) -> Result<usize, AggregateError> {
+        match self.shard(job_id) {
+            Some(shard) => shard.apply_retention(horizon),
+            None => Ok(0),
+        }
+    }
+
+    /// Applies one retention horizon to every shard, returning the total
+    /// points evicted. Fails atomically-before-side-effects on a NaN
+    /// horizon (no shard is touched).
+    pub fn apply_retention_all(&self, horizon: f64) -> Result<usize, AggregateError> {
+        if horizon.is_nan() {
+            return Err(AggregateError::BadBound(horizon));
+        }
+        let shards: Vec<Arc<MetricStore>> = self.shards.read().values().cloned().collect();
+        let mut evicted = 0;
+        for shard in shards {
+            evicted += shard.apply_retention(horizon)?;
+        }
+        Ok(evicted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::SeriesKey;
+
+    fn filled(points: usize) -> Arc<MetricStore> {
+        let store = Arc::new(MetricStore::new());
+        let key = SeriesKey::new("m");
+        for i in 0..points {
+            store.append(&key, i as f64, 1.0).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn register_and_lookup_roundtrip() {
+        let sharded = ShardedMetricStore::new();
+        assert!(sharded.is_empty());
+        assert!(sharded.shard(7).is_none());
+        assert!(sharded.register(7, filled(3)).is_none());
+        assert_eq!(sharded.shard_count(), 1);
+        assert_eq!(sharded.shard(7).unwrap().total_points(), 3);
+        // Re-registering replaces and hands back the old shard.
+        let old = sharded.register(7, filled(5)).unwrap();
+        assert_eq!(old.total_points(), 3);
+        assert_eq!(sharded.shard_points(7), 5);
+    }
+
+    #[test]
+    fn shard_or_create_is_idempotent() {
+        let sharded = ShardedMetricStore::new();
+        let a = sharded.shard_or_create(1);
+        a.append(&SeriesKey::new("m"), 0.0, 1.0).unwrap();
+        let b = sharded.shard_or_create(1);
+        assert_eq!(b.total_points(), 1);
+        assert_eq!(sharded.shard_count(), 1);
+    }
+
+    #[test]
+    fn shard_ids_are_sorted_regardless_of_registration_order() {
+        let sharded = ShardedMetricStore::new();
+        for id in [9, 2, 5, 1] {
+            sharded.register(id, filled(1));
+        }
+        assert_eq!(sharded.shard_ids(), vec![1, 2, 5, 9]);
+    }
+
+    #[test]
+    fn retention_is_per_shard() {
+        let sharded = ShardedMetricStore::new();
+        sharded.register(1, filled(10));
+        sharded.register(2, filled(10));
+        assert_eq!(sharded.apply_retention(1, 5.0), Ok(5));
+        assert_eq!(sharded.shard_points(1), 5);
+        assert_eq!(sharded.shard_points(2), 10);
+        assert_eq!(sharded.apply_retention(99, 5.0), Ok(0));
+        assert_eq!(sharded.apply_retention_all(8.0), Ok(3 + 8));
+        assert_eq!(sharded.total_points(), 2 + 2);
+    }
+
+    #[test]
+    fn nan_horizon_is_rejected_before_any_eviction() {
+        let sharded = ShardedMetricStore::new();
+        sharded.register(1, filled(4));
+        assert!(matches!(
+            sharded.apply_retention(1, f64::NAN),
+            Err(AggregateError::BadBound(_))
+        ));
+        assert!(matches!(
+            sharded.apply_retention_all(f64::NAN),
+            Err(AggregateError::BadBound(_))
+        ));
+        assert_eq!(sharded.total_points(), 4);
+    }
+
+    #[test]
+    fn remove_drops_the_shard() {
+        let sharded = ShardedMetricStore::new();
+        sharded.register(3, filled(2));
+        assert_eq!(sharded.remove(3).unwrap().total_points(), 2);
+        assert!(sharded.remove(3).is_none());
+        assert_eq!(sharded.total_points(), 0);
+    }
+}

@@ -160,6 +160,13 @@ impl MetricStore {
         self.series.read().len()
     }
 
+    /// Total stored points across every series — the store's memory
+    /// footprint in data points. Fleet schedulers use this to assert that
+    /// per-job retention keeps each shard bounded.
+    pub fn total_points(&self) -> usize {
+        self.series.read().values().map(Series::len).sum()
+    }
+
     /// All keys for a metric name.
     pub fn keys_for(&self, name: &str) -> Vec<SeriesKey> {
         self.series

@@ -1,0 +1,306 @@
+//! Fleet concurrency-determinism battery (ISSUE 10).
+//!
+//! Concurrency in the fleet scheduler must be *pure parallelism*: a
+//! fleet of N jobs advanced concurrently is bit-identical per job to
+//! the same N jobs advanced serially in job-ID order, and a single-job
+//! fleet is bit-identical to driving the bare `MapeController` loop
+//! yourself. Both contracts are pinned here under both simulator
+//! engines (explicitly per test, and again per CI feature leg via the
+//! `tick-engine` matrix entry), alongside a 1k-job smoke that checks
+//! per-job metric retention keeps every shard bounded.
+
+use autrascale::{AuTraScaleConfig, ControllerEvent, ElasticityOutcome, MapeController};
+use autrascale_fleet::{
+    Admission, Fleet, FleetConfig, JobOutcome, JobSpec, ResumeState, WorkloadFeatures,
+};
+use autrascale_flinkctl::FlinkCluster;
+use autrascale_streamsim::{
+    EngineKind, JobGraph, OperatorSpec, RateProfile, Simulation, SimulationConfig,
+};
+
+const ENGINES: [EngineKind; 2] = [EngineKind::EventDriven, EngineKind::Tick];
+
+fn sim_config(rate: f64, seed: u64, engine: EngineKind) -> SimulationConfig {
+    let job = JobGraph::linear(vec![
+        OperatorSpec::source("Source", 30_000.0),
+        OperatorSpec::sink("Sink", 5_000.0)
+            .with_sync_coeff(0.02)
+            .with_comm_cost_ms(3.0),
+    ])
+    .unwrap();
+    SimulationConfig {
+        job,
+        profile: RateProfile::constant(rate),
+        seed,
+        engine,
+        restart_downtime: 2.0,
+        ..Default::default()
+    }
+}
+
+fn controller_config() -> AuTraScaleConfig {
+    AuTraScaleConfig {
+        target_latency_ms: 150.0,
+        policy_interval: 30.0,
+        policy_running_time: 60.0,
+        bootstrap_m: 3,
+        max_bo_iters: 4,
+        n_num: 3,
+        ..Default::default()
+    }
+}
+
+fn spec(id: u64, rate: f64, engine: EngineKind) -> JobSpec {
+    JobSpec {
+        id,
+        sim: sim_config(rate, 0xF1EE7 + id, engine),
+        controller: controller_config(),
+        initial_parallelism: vec![1, 1],
+        features: WorkloadFeatures::of_job(2, 20, rate, 150.0),
+        resume: None,
+    }
+}
+
+/// Bitwise fingerprint of an `ElasticityOutcome`: every float via
+/// `to_bits`, so two outcomes compare equal iff they are bit-identical.
+type OutcomeBits = (Vec<u32>, u64, u64, u64, usize, usize, bool, usize);
+
+fn outcome_bits(o: &ElasticityOutcome) -> OutcomeBits {
+    (
+        o.final_parallelism.clone(),
+        o.final_latency_ms.to_bits(),
+        o.final_throughput.to_bits(),
+        o.final_score.to_bits(),
+        o.iterations,
+        o.bootstrap_samples,
+        o.meets_qos,
+        o.slo_violations,
+    )
+}
+
+/// Every optimization outcome in a round's events, bit-fingerprinted.
+fn round_outcome_bits(outcomes: &[JobOutcome]) -> Vec<(u64, Vec<OutcomeBits>)> {
+    outcomes
+        .iter()
+        .map(|o| {
+            let bits = o
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    ControllerEvent::SteadyRateOptimized(out)
+                    | ControllerEvent::Transferred(out)
+                    | ControllerEvent::RateAwareWarmStarted(out) => Some(outcome_bits(out)),
+                    _ => None,
+                })
+                .collect();
+            (o.id, bits)
+        })
+        .collect()
+}
+
+#[test]
+fn sixty_four_job_fleet_concurrent_matches_serial_bitwise() {
+    for engine in ENGINES {
+        let build = || {
+            let mut fleet = Fleet::new(FleetConfig {
+                shard_count: 7, // deliberately not a divisor of 64
+                retention_secs: Some(240.0),
+                ..Default::default()
+            });
+            for id in 0..64u64 {
+                // A spread of rates so jobs tune toward different
+                // configurations and cross-job transfer has real variety.
+                let rate = 6_000.0 + 150.0 * id as f64;
+                fleet.admit(spec(id, rate, engine)).unwrap();
+            }
+            fleet
+        };
+        let mut concurrent = build();
+        let mut serial = build();
+        for round in 0..2 {
+            let a = concurrent.advance_round(60.0).unwrap();
+            let b = serial.advance_round_serial(60.0).unwrap();
+            // Per-job state hashes, bitwise.
+            let hash_key = |outs: &[JobOutcome]| {
+                outs.iter()
+                    .map(|o| (o.id, o.state_hash))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(hash_key(&a), hash_key(&b), "{engine:?} round {round}");
+            // Every ElasticityOutcome, bitwise.
+            assert_eq!(
+                round_outcome_bits(&a),
+                round_outcome_bits(&b),
+                "{engine:?} round {round}"
+            );
+            // And the full event streams (order + every field).
+            let events_key = |outs: &[JobOutcome]| {
+                outs.iter()
+                    .map(|o| format!("{:?}", o.events))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(events_key(&a), events_key(&b), "{engine:?} round {round}");
+        }
+        assert_eq!(concurrent.state_hashes(), serial.state_hashes());
+        // The shared library converged to the same donors either way.
+        assert_eq!(
+            concurrent.library().donor_ids(),
+            serial.library().donor_ids()
+        );
+    }
+}
+
+#[test]
+fn shard_count_never_changes_results() {
+    let engine = EngineKind::default();
+    let run = |shard_count: usize| {
+        let mut fleet = Fleet::new(FleetConfig {
+            shard_count,
+            ..Default::default()
+        });
+        for id in 0..6u64 {
+            fleet
+                .admit(spec(id, 8_000.0 + 500.0 * id as f64, engine))
+                .unwrap();
+        }
+        fleet.advance_round(60.0).unwrap();
+        fleet.state_hashes()
+    };
+    let one = run(1);
+    assert_eq!(one, run(3));
+    assert_eq!(one, run(64));
+}
+
+#[test]
+fn single_job_fleet_matches_bare_controller_bitwise() {
+    for engine in ENGINES {
+        // The fleet path — retention ON, to prove the clamp keeps even an
+        // actively evicting fleet on the bare controller's trajectory.
+        let mut fleet = Fleet::new(FleetConfig {
+            retention_secs: Some(120.0),
+            ..Default::default()
+        });
+        fleet.admit(spec(42, 10_000.0, engine)).unwrap();
+        let mut fleet_events = Vec::new();
+        for _ in 0..3 {
+            let outcomes = fleet.advance_round(60.0).unwrap();
+            fleet_events.push(format!("{:?}", outcomes.first().unwrap().events));
+        }
+
+        // The bare reference: same sim, same config, same round chunking.
+        let sim = Simulation::new(sim_config(10_000.0, 0xF1EE7 + 42, engine)).unwrap();
+        let mut cluster = FlinkCluster::new(sim);
+        cluster.submit(&[1, 1]).unwrap();
+        let mut ctrl = MapeController::new(controller_config());
+        let mut bare_events = Vec::new();
+        for _ in 0..3 {
+            let events = ctrl.run_loop(&mut cluster, 60.0).unwrap();
+            bare_events.push(format!("{events:?}"));
+        }
+
+        assert_eq!(fleet_events, bare_events, "{engine:?}");
+        let fleet_job = fleet.job(42).unwrap();
+        assert_eq!(
+            fleet_job.state_hash(),
+            cluster.simulation().state_hash(),
+            "{engine:?}"
+        );
+        assert_eq!(
+            fleet_job.cluster().parallelism(),
+            cluster.parallelism(),
+            "{engine:?}"
+        );
+        // Retention actually ran (the fleet holds fewer points) yet the
+        // trajectories above stayed bitwise equal.
+        assert!(
+            fleet.metrics().shard_points(42) < cluster.simulation().store().total_points(),
+            "{engine:?}: retention should have evicted dead history"
+        );
+    }
+}
+
+#[test]
+fn transfer_admission_seeds_from_nearest_donor() {
+    let engine = EngineKind::default();
+    let mut fleet = Fleet::new(FleetConfig::default());
+    // Two donors at well-separated rates.
+    fleet.admit(spec(1, 6_000.0, engine)).unwrap();
+    fleet.admit(spec(2, 14_000.0, engine)).unwrap();
+    fleet.advance_round(60.0).unwrap();
+    assert_eq!(fleet.library().len(), 2);
+    // A newcomer near donor 2's rate must inherit from donor 2 and its
+    // first tuning must go through the transfer cascade.
+    let admission = fleet.admit(spec(3, 13_500.0, engine)).unwrap();
+    assert_eq!(admission, Admission::Transferred { donor: 2 });
+    let outcomes = fleet.advance_round(60.0).unwrap();
+    let newcomer = outcomes.iter().find(|o| o.id == 3).unwrap();
+    assert!(
+        newcomer
+            .events
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::Transferred(_))),
+        "{:?}",
+        newcomer.events
+    );
+}
+
+#[test]
+fn thousand_job_smoke_keeps_every_shard_bounded() {
+    let engine = EngineKind::default();
+    // Tune one donor to produce a checkpoint, then resume 1000 jobs from
+    // it — the steady-state fleet the bench measures, where activations
+    // are cheap NoAction loops.
+    let mut donor = Fleet::new(FleetConfig::default());
+    donor.admit(spec(0, 10_000.0, engine)).unwrap();
+    donor.advance_round(60.0).unwrap();
+    let tuned = donor.job(0).unwrap();
+    let resume = ResumeState {
+        rate: tuned.controller().current_rate().unwrap(),
+        base: tuned.controller().base().unwrap().to_vec(),
+        library: tuned.controller().library().clone(),
+    };
+    let parallelism = tuned.cluster().parallelism().to_vec();
+
+    let mut fleet = Fleet::new(FleetConfig {
+        retention_secs: Some(60.0),
+        shard_count: 16,
+        ..Default::default()
+    });
+    for id in 0..1_000u64 {
+        let mut s = spec(id, 10_000.0, engine);
+        s.initial_parallelism = parallelism.clone();
+        s.resume = Some(resume.clone());
+        assert_eq!(fleet.admit(s).unwrap(), Admission::Resumed);
+    }
+    assert_eq!(fleet.metrics().shard_count(), 1_000);
+
+    // Warm up past the retention horizon, then measure two consecutive
+    // rounds: with eviction active, per-shard footprints must stop
+    // growing (bounded memory at fleet scale).
+    fleet.advance_round(120.0).unwrap();
+    fleet.advance_round(30.0).unwrap();
+    let before: Vec<usize> = (0..1_000)
+        .map(|id| fleet.metrics().shard_points(id))
+        .collect();
+    fleet.advance_round(30.0).unwrap();
+    let after: Vec<usize> = (0..1_000)
+        .map(|id| fleet.metrics().shard_points(id))
+        .collect();
+    for (id, (b, a)) in before.iter().zip(&after).enumerate() {
+        assert!(a <= b, "job {id}: shard grew {b} -> {a} despite retention");
+        assert!(*a > 0, "job {id}: retention evicted the live window");
+    }
+    // Absolute bound: the keep window is max(cap=60, policy windows=60)
+    // plus one 30 s round in flight — far below unbounded growth (180 s
+    // of history by now).
+    let max_points = after.iter().max().copied().unwrap_or(0);
+    let full_history = fleet
+        .jobs()
+        .iter()
+        .map(|j| j.cluster().now())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_points > 0 && full_history >= 180.0,
+        "smoke preconditions: {max_points} points, {full_history} secs"
+    );
+}
